@@ -1,0 +1,118 @@
+// Google-benchmark micro-benchmarks: datapath primitive throughput, golden
+// inference, loadable compilation, and cycle-simulation speed.
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hpp"
+#include "core/accelerator.hpp"
+#include "hw/activation_unit.hpp"
+#include "hw/multiplier.hpp"
+#include "loadable/compiler.hpp"
+#include "nn/model_zoo.hpp"
+
+using namespace netpu;
+
+namespace {
+
+void BM_WordDotBinary(benchmark::State& state) {
+  common::Xoshiro256 rng(1);
+  const Word a = rng.next(), w = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw::word_dot(a, w, {1, true}, {1, true}, 64));
+  }
+}
+BENCHMARK(BM_WordDotBinary);
+
+void BM_WordDotInteger(benchmark::State& state) {
+  common::Xoshiro256 rng(2);
+  const Word a = rng.next(), w = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw::word_dot(a, w, {8, true}, {8, true}, 8));
+  }
+}
+BENCHMARK(BM_WordDotInteger);
+
+void BM_SigmoidPwl(benchmark::State& state) {
+  std::int64_t raw = -300;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw::sigmoid_pwl(common::Q32x5(raw)));
+    raw = raw >= 300 ? -300 : raw + 7;
+  }
+}
+BENCHMARK(BM_SigmoidPwl);
+
+void BM_QuanTransform(benchmark::State& state) {
+  const auto scale = common::Q16x16::from_double(0.37);
+  const auto offset = common::Q16x16::from_double(1.2);
+  std::int64_t raw = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        common::quan_transform(common::Q32x5(raw), scale, offset, 4, false));
+    raw += 31;
+  }
+}
+BENCHMARK(BM_QuanTransform);
+
+void BM_GoldenInferTfc(benchmark::State& state) {
+  common::Xoshiro256 rng(3);
+  const auto mlp = nn::make_random_quantized_model({nn::Topology::kTfc, 2, 2},
+                                                   true, rng);
+  std::vector<std::uint8_t> image(mlp.input_size());
+  for (auto& p : image) p = static_cast<std::uint8_t>(rng.next_below(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.infer(image).predicted);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GoldenInferTfc);
+
+void BM_CompileTfc(benchmark::State& state) {
+  common::Xoshiro256 rng(4);
+  const auto mlp = nn::make_random_quantized_model({nn::Topology::kTfc, 2, 2},
+                                                   true, rng);
+  std::vector<std::uint8_t> image(mlp.input_size(), 100);
+  for (auto _ : state) {
+    auto stream = loadable::compile(mlp, image, {});
+    benchmark::DoNotOptimize(stream.value().size());
+  }
+}
+BENCHMARK(BM_CompileTfc);
+
+void BM_CycleSimTfcW1A1(benchmark::State& state) {
+  common::Xoshiro256 rng(5);
+  core::Accelerator acc(core::NetpuConfig::paper_instance());
+  const auto mlp = nn::make_random_quantized_model({nn::Topology::kTfc, 1, 1},
+                                                   true, rng);
+  std::vector<std::uint8_t> image(mlp.input_size(), 77);
+  auto stream = loadable::compile(mlp, image, acc.config().compile_options());
+  Cycle cycles = 0;
+  for (auto _ : state) {
+    auto run = acc.run(stream.value());
+    cycles = run.value().cycles;
+    benchmark::DoNotOptimize(run.value().predicted);
+  }
+  state.counters["sim_cycles"] = static_cast<double>(cycles);
+  state.counters["cycles_per_sec"] = benchmark::Counter(
+      static_cast<double>(cycles) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CycleSimTfcW1A1)->Unit(benchmark::kMillisecond);
+
+void BM_FunctionalRunTfc(benchmark::State& state) {
+  common::Xoshiro256 rng(6);
+  core::Accelerator acc(core::NetpuConfig::paper_instance());
+  const auto mlp = nn::make_random_quantized_model({nn::Topology::kTfc, 2, 2},
+                                                   true, rng);
+  std::vector<std::uint8_t> image(mlp.input_size(), 42);
+  auto stream = loadable::compile(mlp, image, acc.config().compile_options());
+  core::RunOptions opts;
+  opts.mode = core::RunMode::kFunctional;
+  for (auto _ : state) {
+    auto run = acc.run(stream.value(), opts);
+    benchmark::DoNotOptimize(run.value().predicted);
+  }
+}
+BENCHMARK(BM_FunctionalRunTfc)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Regenerates the data behind Eq. 4: the piecewise-linear sigmoid (and the
+// derived tanh) against the exact functions — series for x in [-8, 8] plus
+// error summary. The paper presents this as an equation; we emit the curve
+// a plot would use.
+#include <cmath>
+#include <cstdio>
+
+#include "hw/activation_unit.hpp"
+
+using netpu::common::Q32x5;
+
+int main() {
+  std::printf("Eq. 4: piecewise-linear Sigmoid on the Q32.5 datapath\n\n");
+  std::printf("%8s %12s %12s %10s | %12s %12s\n", "x", "sigmoid_pwl", "sigmoid",
+              "abs err", "tanh_pwl", "tanh");
+  double max_sig_err = 0.0, max_tanh_err = 0.0;
+  double sum_sig_err = 0.0;
+  int count = 0;
+  for (double x = -8.0; x <= 8.0 + 1e-9; x += 0.5) {
+    const double sig = netpu::hw::sigmoid_pwl(Q32x5::from_double(x)).to_double();
+    const double sig_exact = 1.0 / (1.0 + std::exp(-x));
+    const double th = netpu::hw::tanh_pwl(Q32x5::from_double(x)).to_double();
+    const double th_exact = std::tanh(x);
+    std::printf("%8.2f %12.5f %12.5f %10.5f | %12.5f %12.5f\n", x, sig, sig_exact,
+                std::fabs(sig - sig_exact), th, th_exact);
+  }
+  for (double x = -8.0; x <= 8.0; x += 1.0 / 32.0) {
+    const double sig = netpu::hw::sigmoid_pwl(Q32x5::from_double(x)).to_double();
+    const double sig_exact = 1.0 / (1.0 + std::exp(-x));
+    const double th = netpu::hw::tanh_pwl(Q32x5::from_double(x)).to_double();
+    max_sig_err = std::max(max_sig_err, std::fabs(sig - sig_exact));
+    max_tanh_err = std::max(max_tanh_err, std::fabs(th - std::tanh(x)));
+    sum_sig_err += std::fabs(sig - sig_exact);
+    ++count;
+  }
+  std::printf("\nmax |sigmoid error| = %.5f, mean = %.5f, max |tanh error| = %.5f\n",
+              max_sig_err, sum_sig_err / count, max_tanh_err);
+  std::printf("(shift-and-add only: no DSP slices, the point of Eq. 4)\n");
+  return 0;
+}

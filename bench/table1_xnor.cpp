@@ -1,0 +1,26 @@
+// Regenerates Table I: the XNOR gate as binarized multiplier, in both the
+// signed (+1/-1) value domain and the unsigned (1/0) encoding domain.
+#include <cstdio>
+
+#include "hw/multiplier.hpp"
+
+int main() {
+  std::printf("Table I: XNOR as Binarized Multiplier\n\n");
+  std::printf("        Signed            |        Unsigned\n");
+  std::printf("  Inputs      Output      |   Inputs      Output\n");
+  for (const int a : {1, 0}) {
+    for (const int w : {1, 0}) {
+      const int product = netpu::hw::xnor_lane_dot(static_cast<std::uint8_t>(a),
+                                                   static_cast<std::uint8_t>(w), 1);
+      const int sa = a ? 1 : -1;
+      const int sw = w ? 1 : -1;
+      const int bit = product > 0 ? 1 : 0;
+      std::printf("  %2d  %2d  ->  %2d         |   %d   %d  ->   %d\n", sa, sw,
+                  product, a, w, bit);
+    }
+  }
+  std::printf("\nPopcount check: dot of 8 channels (all +1 * +1) = %d\n",
+              static_cast<int>(netpu::hw::word_dot(0xff, 0xff, {1, true},
+                                                   {1, true}, 8)));
+  return 0;
+}

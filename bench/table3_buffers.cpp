@@ -1,0 +1,33 @@
+// Regenerates Table III: the Data Buffer Cluster of one LPU (names, widths,
+// depths) plus the BRAM tiles each buffer consumes under the resource model.
+#include <cstdio>
+
+#include "core/config.hpp"
+#include "hw/resource_model.hpp"
+
+int main() {
+  const auto config = netpu::core::NetpuConfig::paper_instance();
+  std::printf("Table III: Data Buffer Cluster in LPU\n\n");
+  std::printf("%-18s %12s %8s %10s\n", "Buffer Name", "Output Width", "Depth",
+              "BRAM36");
+  double total = 0.0;
+  for (const auto& spec : config.lpu.buffer_specs()) {
+    // 128-bit parameter buffers store two 64-bit stream words per entry.
+    const auto bram = netpu::hw::ResourceModel::buffer_bram36(spec);
+    total += bram;
+    std::printf("%-18s %9d bits %8ld %10.1f\n", spec.name.c_str(),
+                spec.width_bits, spec.depth, bram);
+  }
+  std::printf("%-18s %22s %10.1f  (x%d LPUs)\n", "Total per LPU", "", total,
+              config.lpus);
+
+  std::printf("\nNetPU FIFO cluster:\n");
+  for (const auto& spec : config.fifo_specs()) {
+    std::printf("%-18s %9d bits %8ld %10.1f\n", spec.name.c_str(),
+                spec.width_bits, spec.depth,
+                netpu::hw::ResourceModel::buffer_bram36(spec));
+  }
+  std::printf("\nDerived limits: max input length %u, max neurons per layer %u\n",
+              config.max_input_length, config.max_neurons_per_layer);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Regenerates Table V: simulation + resource utilization of the NetPU-M
+// instance (2 LPUs x 8 TNPUs, 100 MHz) on Ultra96-V2.
+//
+// Rows, as in the paper:
+//   * w2a2 models, Multi-Threshold activation, BN folding enabled
+//   * w2a2 models, Multi-Threshold activation, BN folding disabled
+//   * w1a1 models, Sign activation (BN folded into thresholds)
+// Columns: TFC (64x3), SFC (256x3), LFC (1024x3); LFC runs w1a2 in the
+// third row's quantized variant as in Table VI.
+//
+// Latency does not depend on learned weights (dense MLP, fixed schedule),
+// so the models carry random parameters of the exact topology/precision.
+#include <cstdio>
+
+#include "core/accelerator.hpp"
+#include "core/latency_model.hpp"
+#include "hw/power_model.hpp"
+#include "nn/model_zoo.hpp"
+
+using namespace netpu;
+
+namespace {
+
+double simulate_us(core::Accelerator& acc, const nn::ModelVariant& variant,
+                   bool bn_fold, Cycle* cycles_out = nullptr) {
+  common::Xoshiro256 rng(7);
+  const auto mlp = nn::make_random_quantized_model(variant, bn_fold, rng);
+  std::vector<std::uint8_t> image(mlp.input_size());
+  for (auto& p : image) p = static_cast<std::uint8_t>(rng.next_below(256));
+  auto run = acc.run(mlp, image);
+  if (!run.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n", run.error().to_string().c_str());
+    return -1.0;
+  }
+  if (cycles_out != nullptr) *cycles_out = run.value().cycles;
+  return run.value().latency_us(acc.config());
+}
+
+}  // namespace
+
+int main() {
+  const auto config = core::NetpuConfig::paper_instance();
+  core::Accelerator acc(config);
+
+  std::printf("Table V: Simulation and Resource Utilization of NetPU-M on "
+              "Ultra96-V2 @ %.0f MHz\n", config.clock_mhz);
+  std::printf("Instance: %d LPUs x %d TNPUs, Multi-Threshold cap %d bits\n\n",
+              config.lpus, config.lpu.tnpus, config.tnpu.max_mt_bits);
+
+  const auto res = acc.resources();
+  const auto device = hw::ultra96_v2();
+  const auto util = hw::utilization(res, device);
+  std::printf("%-10s %10s %10s %10s\n", "Resource", "Used", "Total", "Rate");
+  std::printf("%-10s %10ld %10ld %9.2f%%   (paper: 59755 / 84.69%%)\n", "LUT",
+              res.luts, device.luts, 100.0 * util.luts);
+  std::printf("%-10s %10ld %10ld %9.2f%%   (paper: 256 / 71.11%%)\n", "DSP",
+              res.dsps, device.dsps, 100.0 * util.dsps);
+  std::printf("%-10s %10ld %10ld %9.2f%%   (paper: 14601 / 10.35%%)\n", "FF",
+              res.ffs, device.ffs, 100.0 * util.ffs);
+  std::printf("%-10s %10.1f %10.1f %9.2f%%   (paper: 129.5 / 59.95%%)\n\n", "BRAM",
+              res.bram36, device.bram36, 100.0 * util.bram36);
+
+  struct Row {
+    const char* label;
+    int w_bits, a_bits;
+    bool bn_fold;
+    double paper_tfc, paper_sfc, paper_lfc;
+  };
+  // LFC's quantized rows use w1a2 (Table V/VI); TFC/SFC use w2a2.
+  const Row rows[] = {
+      {"Multi-Thres, BN fold=Yes", 2, 2, true, 172.165, 882.085, 7408.225},
+      {"Multi-Thres, BN fold=No ", 2, 2, false, 175.805, 895.805, 7462.205},
+      {"Sign (w1a1), fold thresh", 1, 1, true, 38.745, 133.785, 974.745},
+  };
+
+  std::printf("%-26s | %22s | %22s | %22s\n", "Inference latency (us)",
+              "TFC (64x3)", "SFC (256x3)", "LFC (1024x3)");
+  std::printf("%-26s | %10s %11s | %10s %11s | %10s %11s\n", "", "ours", "paper",
+              "ours", "paper", "ours", "paper");
+  for (const auto& row : rows) {
+    nn::ModelVariant tfc{nn::Topology::kTfc, row.w_bits, row.a_bits};
+    nn::ModelVariant sfc{nn::Topology::kSfc, row.w_bits, row.a_bits};
+    nn::ModelVariant lfc{nn::Topology::kLfc, row.a_bits == 1 ? 1 : 1,
+                         row.a_bits};  // LFC: w1a1 or w1a2
+    const double tfc_us = simulate_us(acc, tfc, row.bn_fold);
+    const double sfc_us = simulate_us(acc, sfc, row.bn_fold);
+    const double lfc_us = simulate_us(acc, lfc, row.bn_fold);
+    std::printf("%-26s | %10.2f %11.2f | %10.2f %11.2f | %10.2f %11.2f\n",
+                row.label, tfc_us, row.paper_tfc, sfc_us, row.paper_sfc, lfc_us,
+                row.paper_lfc);
+  }
+
+  std::printf("\nShape checks (paper-reported properties):\n");
+  {
+    nn::ModelVariant tfc1{nn::Topology::kTfc, 1, 1};
+    nn::ModelVariant tfc2{nn::Topology::kTfc, 2, 2};
+    const double t1 = simulate_us(acc, tfc1, true);
+    const double t2f = simulate_us(acc, tfc2, true);
+    const double t2n = simulate_us(acc, tfc2, false);
+    std::printf("  binarized < 2-bit quantized:        %s (%.2f vs %.2f us)\n",
+                t1 < t2f ? "yes" : "NO", t1, t2f);
+    std::printf("  BN folding speeds up inference:     %s (%.2f vs %.2f us)\n",
+                t2f < t2n ? "yes" : "NO", t2f, t2n);
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Mixed precision (Sec. III-B1: "the data precision in different layers can
+// also be different"): one network whose layers run at 1, 2, and 4 bits,
+// plus runtime model swapping — three different networks stream through the
+// SAME accelerator instance back to back, no hardware regeneration.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/accelerator.hpp"
+#include "nn/quantized_mlp.hpp"
+
+using namespace netpu;
+
+namespace {
+
+// Hand-build a mixed-precision network: 2-bit input codes, a 2-bit MT
+// hidden layer, a 4-bit MT hidden layer, an 8-bit output layer.
+nn::QuantizedMlp mixed_net(common::Xoshiro256& rng) {
+  nn::QuantizedMlp mlp;
+
+  nn::QuantizedLayer in;
+  in.kind = hw::LayerKind::kInput;
+  in.activation = hw::Activation::kMultiThreshold;
+  in.in_prec = {8, false};
+  in.out_prec = {2, false};
+  in.input_length = in.neurons = 32;
+  for (int n = 0; n < 32; ++n) {
+    for (const double t : {42.5, 127.5, 212.5}) {
+      in.mt_thresholds.push_back(common::Q32x5::from_double(t));
+    }
+  }
+  mlp.layers.push_back(std::move(in));
+
+  const auto hidden = [&rng](int neurons, int fan_in, hw::Precision in_p,
+                             hw::Precision w_p, int out_bits) {
+    nn::QuantizedLayer l;
+    l.kind = hw::LayerKind::kHidden;
+    l.activation = hw::Activation::kMultiThreshold;
+    l.in_prec = in_p;
+    l.w_prec = w_p;
+    l.out_prec = {out_bits, false};
+    l.input_length = fan_in;
+    l.neurons = neurons;
+    for (int i = 0; i < neurons * fan_in; ++i) {
+      l.weights.push_back(static_cast<std::int8_t>(
+          rng.next_int(-(1 << (w_p.bits - 1)), (1 << (w_p.bits - 1)) - 1)));
+    }
+    const int levels = (1 << out_bits) - 1;
+    for (int n = 0; n < neurons; ++n) {
+      std::vector<std::int64_t> raws;
+      for (int k = 0; k < levels; ++k) {
+        raws.push_back(rng.next_int(-fan_in * 32, fan_in * 32));
+      }
+      std::sort(raws.begin(), raws.end());
+      for (const auto r : raws) l.mt_thresholds.emplace_back(r);
+    }
+    return l;
+  };
+  // Layer 1: 2-bit activations x 2-bit weights -> 4-bit codes.
+  mlp.layers.push_back(hidden(16, 32, {2, false}, {2, true}, 4));
+  // Layer 2: 4-bit activations x 3-bit weights -> 2-bit codes.
+  mlp.layers.push_back(hidden(12, 16, {4, false}, {3, true}, 2));
+
+  nn::QuantizedLayer out;
+  out.kind = hw::LayerKind::kOutput;
+  out.activation = hw::Activation::kNone;
+  out.in_prec = {2, false};
+  out.w_prec = {4, true};
+  out.out_prec = {8, true};
+  out.input_length = 12;
+  out.neurons = 4;
+  for (int i = 0; i < 48; ++i) {
+    out.weights.push_back(static_cast<std::int8_t>(rng.next_int(-8, 7)));
+  }
+  for (int n = 0; n < 4; ++n) {
+    out.bias.push_back(static_cast<std::int32_t>(rng.next_int(-10, 10)));
+  }
+  mlp.layers.push_back(std::move(out));
+  return mlp;
+}
+
+}  // namespace
+
+int main() {
+  common::Xoshiro256 rng(31);
+  core::Accelerator acc(core::NetpuConfig::paper_instance());
+
+  const auto mixed = mixed_net(rng);
+  if (auto s = mixed.validate(); !s.ok()) {
+    std::fprintf(stderr, "invalid network: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("Mixed-precision network on one NetPU-M instance:\n");
+  for (std::size_t l = 0; l < mixed.layers.size(); ++l) {
+    const auto& layer = mixed.layers[l];
+    std::printf("  layer %zu: %-6s  in %d-bit x w %d-bit -> out %d-bit, %d neurons\n",
+                l, hw::to_string(layer.kind), layer.in_prec.bits,
+                layer.w_prec.bits, layer.out_prec.bits, layer.neurons);
+  }
+
+  std::vector<std::uint8_t> input(32);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::uint8_t>(8 * i);
+  }
+  auto run = acc.run(mixed, input);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", run.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("predicted %zu in %.2f us; golden agrees: %s\n\n",
+              run.value().predicted, run.value().latency_us(acc.config()),
+              mixed.infer(input).predicted == run.value().predicted ? "yes" : "NO");
+
+  // Runtime model swapping: stream three different networks through the
+  // same instance (the PEM-style generality with HSD-style control).
+  std::printf("Swapping models at runtime (same instance, new stream each):\n");
+  for (const int bits : {1, 2, 4}) {
+    nn::RandomMlpSpec spec;
+    spec.input_size = 32;
+    spec.hidden = {16, 16};
+    spec.outputs = 4;
+    spec.weight_bits = bits;
+    spec.activation_bits = bits;
+    const auto net = nn::random_quantized_mlp(spec, rng);
+    auto r = acc.run(net, input);
+    if (!r.ok()) {
+      std::fprintf(stderr, "  w%da%d failed: %s\n", bits, bits,
+                   r.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("  w%da%d: predicted %zu, %.2f us\n", bits, bits,
+                r.value().predicted, r.value().latency_us(acc.config()));
+  }
+  return 0;
+}

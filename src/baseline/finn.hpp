@@ -1,0 +1,84 @@
+// FINN-style HSD baseline (Umuroglu et al., FPGA'17), the comparator of
+// Table VI.
+//
+// FINN bakes one network into hardware as a pipeline of Matrix-Vector-
+// Threshold Units (MVTUs). Each MVTU is folded by (PE, SIMD): a layer of
+// `neurons` x `synapses` takes ceil(neurons/PE) * ceil(synapses/SIMD)
+// cycles per image, layers stream concurrently, and single-image latency is
+// the sum of layer folds plus pipeline registers. Weights live on chip, so
+// unlike NetPU-M there is no per-inference weight streaming — the flip side
+// is one bitstream per network (Table II's "needs regeneration").
+//
+// The four instances the paper compares against carry their published
+// resource/latency/power numbers alongside the fold-derived model values,
+// so the table bench can show both.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/device.hpp"
+#include "hw/power_model.hpp"
+#include "hw/resource_model.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::baseline {
+
+struct MvtuFold {
+  int neurons = 0;
+  int synapses = 0;
+  int pe = 1;
+  int simd = 1;
+
+  [[nodiscard]] std::uint64_t fold_cycles() const {
+    const auto nf = static_cast<std::uint64_t>((neurons + pe - 1) / pe);
+    const auto sf = static_cast<std::uint64_t>((synapses + simd - 1) / simd);
+    return nf * sf;
+  }
+};
+
+struct FinnInstance {
+  std::string name;
+  hw::Device device;
+  double clock_mhz = 200.0;
+  std::vector<MvtuFold> layers;
+  int pipeline_regs_per_layer = 16;
+
+  // Published numbers (FINN paper / Table VI), for side-by-side reporting.
+  hw::Resources published;
+  double published_latency_us = 0.0;
+  double published_power_w = 0.0;
+
+  // Fold-derived single-image latency: sum of per-layer folds + pipeline.
+  [[nodiscard]] std::uint64_t model_cycles() const;
+  [[nodiscard]] double model_latency_us() const;
+
+  // Steady-state initiation interval: the slowest MVTU paces the pipeline.
+  [[nodiscard]] std::uint64_t initiation_interval_cycles() const;
+  [[nodiscard]] double throughput_images_per_s() const;
+
+  // First-order power from the published resources (full switching
+  // activity: the dataflow pipeline never stalls).
+  [[nodiscard]] double model_power_w() const;
+};
+
+// The four instances of Table VI.
+[[nodiscard]] FinnInstance sfc_max();
+[[nodiscard]] FinnInstance lfc_max();
+[[nodiscard]] FinnInstance sfc_fix();
+[[nodiscard]] FinnInstance lfc_fix();
+[[nodiscard]] std::vector<FinnInstance> table6_instances();
+
+// Build a FINN-style instance for an arbitrary quantized MLP with a uniform
+// (PE, SIMD) fold — the "what would an HSD design cost for this model"
+// explorer used in the ablation bench.
+[[nodiscard]] FinnInstance make_instance(const std::string& name,
+                                         const nn::QuantizedMlp& mlp, int pe,
+                                         int simd, double clock_mhz = 200.0);
+
+// Functional check: an HSD instance computes exactly the same network, so
+// its predictions equal the golden model's.
+[[nodiscard]] std::size_t classify(const nn::QuantizedMlp& mlp,
+                                   std::span<const std::uint8_t> image);
+
+}  // namespace netpu::baseline

@@ -1,0 +1,87 @@
+// Bit-manipulation helpers used by the bit-true datapath models.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace netpu::common {
+
+// Number of set bits in `v` (the hardware Popcount submodule of the binary
+// multiplier, Sec. III-B1).
+[[nodiscard]] constexpr int popcount64(std::uint64_t v) noexcept {
+  return std::popcount(v);
+}
+
+[[nodiscard]] constexpr int popcount8(std::uint8_t v) noexcept {
+  return std::popcount(static_cast<unsigned>(v));
+}
+
+// Mask with the low `bits` bits set. `bits` must be in [0, 64].
+[[nodiscard]] constexpr std::uint64_t low_mask(int bits) noexcept {
+  assert(bits >= 0 && bits <= 64);
+  if (bits >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bits) - 1;
+}
+
+// Sign-extend the low `bits` bits of `v` to a signed 64-bit value.
+[[nodiscard]] constexpr std::int64_t sign_extend(std::uint64_t v, int bits) noexcept {
+  assert(bits >= 1 && bits <= 64);
+  if (bits == 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t m = std::uint64_t{1} << (bits - 1);
+  const std::uint64_t x = v & low_mask(bits);
+  return static_cast<std::int64_t>((x ^ m) - m);
+}
+
+// Zero-extend the low `bits` bits of `v`.
+[[nodiscard]] constexpr std::uint64_t zero_extend(std::uint64_t v, int bits) noexcept {
+  assert(bits >= 1 && bits <= 64);
+  return v & low_mask(bits);
+}
+
+// Saturate a signed value into a `bits`-wide two's-complement range.
+[[nodiscard]] constexpr std::int64_t saturate_signed(std::int64_t v, int bits) noexcept {
+  assert(bits >= 1 && bits <= 63);
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  if (v > hi) return hi;
+  if (v < lo) return lo;
+  return v;
+}
+
+// Saturate a signed value into an unsigned `bits`-wide range [0, 2^bits - 1].
+[[nodiscard]] constexpr std::int64_t saturate_unsigned(std::int64_t v, int bits) noexcept {
+  assert(bits >= 1 && bits <= 62);
+  const std::int64_t hi = (std::int64_t{1} << bits) - 1;
+  if (v > hi) return hi;
+  if (v < 0) return 0;
+  return v;
+}
+
+// Extract the byte lane `lane` (0 = least significant) of a 64-bit word.
+[[nodiscard]] constexpr std::uint8_t byte_lane(std::uint64_t word, int lane) noexcept {
+  assert(lane >= 0 && lane < 8);
+  return static_cast<std::uint8_t>(word >> (8 * lane));
+}
+
+// Insert `value` into byte lane `lane` of `word`.
+[[nodiscard]] constexpr std::uint64_t set_byte_lane(std::uint64_t word, int lane,
+                                                    std::uint8_t value) noexcept {
+  assert(lane >= 0 && lane < 8);
+  const int sh = 8 * lane;
+  return (word & ~(std::uint64_t{0xff} << sh)) |
+         (static_cast<std::uint64_t>(value) << sh);
+}
+
+// Ceiling division for non-negative integers.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  assert(b != 0);
+  return (a + b - 1) / b;
+}
+
+// True if `v` is a power of two (and non-zero).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+}  // namespace netpu::common

@@ -1,0 +1,50 @@
+#include "common/fixed_point.hpp"
+
+#include <cmath>
+
+#include "common/bitutils.hpp"
+
+namespace netpu::common {
+
+Q16x16 Q16x16::from_double(double v) {
+  const double scaled = std::nearbyint(v * kScale);
+  constexpr double kMax = static_cast<double>(std::numeric_limits<std::int32_t>::max());
+  constexpr double kMin = static_cast<double>(std::numeric_limits<std::int32_t>::min());
+  if (scaled >= kMax) return Q16x16(std::numeric_limits<std::int32_t>::max());
+  if (scaled <= kMin) return Q16x16(std::numeric_limits<std::int32_t>::min());
+  return Q16x16(static_cast<std::int32_t>(scaled));
+}
+
+Q32x5 Q32x5::from_double(double v) {
+  const double scaled = std::nearbyint(v * kScale);
+  if (scaled >= static_cast<double>(kRawMax)) return Q32x5(kRawMax);
+  if (scaled <= static_cast<double>(kRawMin)) return Q32x5(kRawMin);
+  return Q32x5(static_cast<std::int64_t>(scaled));
+}
+
+Q32x5 bn_transform(std::int32_t x, Q16x16 scale, Q16x16 offset) {
+  // x (Q.0) * scale (Q.16) -> Q.16 in 64 bits (no overflow: 32b * 32b).
+  const std::int64_t prod_q16 =
+      static_cast<std::int64_t>(x) * static_cast<std::int64_t>(scale.raw());
+  // Truncate to Q.5 (arithmetic shift right by 11).
+  const std::int64_t prod_q5 = prod_q16 >> (Q16x16::kFracBits - Q32x5::kFracBits);
+  const std::int64_t offset_q5 =
+      static_cast<std::int64_t>(offset.raw()) >> (Q16x16::kFracBits - Q32x5::kFracBits);
+  return Q32x5::saturate(prod_q5 + offset_q5);
+}
+
+std::int64_t quan_transform(Q32x5 x, Q16x16 scale, Q16x16 offset, int bits,
+                            bool output_signed) {
+  // x (Q.5) * scale (Q.16) -> Q.21. 37b * 32b fits in 69 bits, so the
+  // intermediate uses __int128 exactly as a widened RTL product register.
+  const __int128 prod_q21 =
+      static_cast<__int128>(x.raw()) * static_cast<__int128>(scale.raw());
+  const __int128 offset_q21 = static_cast<__int128>(offset.raw())
+                              << Q32x5::kFracBits;  // Q.16 -> Q.21
+  constexpr int kShift = Q16x16::kFracBits + Q32x5::kFracBits;  // 21
+  const __int128 rounded = prod_q21 + offset_q21 + (__int128{1} << (kShift - 1));
+  const auto q = static_cast<std::int64_t>(rounded >> kShift);
+  return output_signed ? saturate_signed(q, bits) : saturate_unsigned(q, bits);
+}
+
+}  // namespace netpu::common

@@ -1,0 +1,109 @@
+// Fixed-point number formats of the NetPU-M datapath.
+//
+// The paper (Sec. III-B1) fixes two formats:
+//  * BN/QUAN scale and offset parameters are 32-bit fixed-point values. The
+//    paper does not name the split; we use Q16.16 (16 integer bits, 16
+//    fraction bits), which comfortably covers the scale/offset magnitudes a
+//    folded batch-norm produces for 1-8 bit MLPs.
+//  * The BN/ACTIV/QUAN inter-stage value is a 37-bit fixed-point number with
+//    32 integer bits and 5 fraction bits (Q32.5). 37 = 32 + 5 is exactly the
+//    width needed to carry a 32-bit accumulator value shifted into the
+//    5-fraction-bit domain without loss, which is how the crossbar feeds the
+//    activation unit when the BN stage is bypassed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace netpu::common {
+
+// 32-bit Q16.16 parameter value (BN scale/offset, QUAN scale/offset).
+class Q16x16 {
+ public:
+  static constexpr int kFracBits = 16;
+  static constexpr double kScale = 65536.0;  // 2^16
+
+  constexpr Q16x16() = default;
+  constexpr explicit Q16x16(std::int32_t raw) : raw_(raw) {}
+
+  // Quantize a real value to Q16.16 with round-to-nearest and saturation.
+  [[nodiscard]] static Q16x16 from_double(double v);
+
+  [[nodiscard]] constexpr std::int32_t raw() const { return raw_; }
+  [[nodiscard]] constexpr double to_double() const {
+    return static_cast<double>(raw_) / kScale;
+  }
+
+  friend constexpr bool operator==(Q16x16 a, Q16x16 b) { return a.raw_ == b.raw_; }
+
+ private:
+  std::int32_t raw_ = 0;
+};
+
+// 37-bit Q32.5 datapath value, stored sign-extended in an int64.
+class Q32x5 {
+ public:
+  static constexpr int kFracBits = 5;
+  static constexpr int kTotalBits = 37;
+  static constexpr std::int64_t kRawMax = (std::int64_t{1} << (kTotalBits - 1)) - 1;
+  static constexpr std::int64_t kRawMin = -(std::int64_t{1} << (kTotalBits - 1));
+  static constexpr double kScale = 32.0;  // 2^5
+
+  constexpr Q32x5() = default;
+  constexpr explicit Q32x5(std::int64_t raw) : raw_(raw) {}
+
+  // Lossless lift of a 32-bit integer (ACCU output) into the Q32.5 domain:
+  // a 32-bit value shifted left by 5 always fits the 37-bit range.
+  [[nodiscard]] static constexpr Q32x5 from_int32(std::int32_t v) {
+    return Q32x5(static_cast<std::int64_t>(v) << kFracBits);
+  }
+
+  [[nodiscard]] static Q32x5 from_double(double v);
+
+  // Saturate an arbitrary raw (Q.5-aligned) int64 into the 37-bit range.
+  [[nodiscard]] static constexpr Q32x5 saturate(std::int64_t raw) {
+    if (raw > kRawMax) return Q32x5(kRawMax);
+    if (raw < kRawMin) return Q32x5(kRawMin);
+    return Q32x5(raw);
+  }
+
+  [[nodiscard]] constexpr std::int64_t raw() const { return raw_; }
+  [[nodiscard]] constexpr double to_double() const {
+    return static_cast<double>(raw_) / kScale;
+  }
+
+  // Saturate into the int32 range of the 32-bit threshold stream ports
+  // (Sec. III-B1: Sign/Multi-Threshold parameters are 32-bit). Lowering
+  // applies this so the golden model matches what the stream can carry.
+  [[nodiscard]] constexpr Q32x5 clamp_to_int32() const {
+    if (raw_ > std::numeric_limits<std::int32_t>::max()) {
+      return Q32x5(std::numeric_limits<std::int32_t>::max());
+    }
+    if (raw_ < std::numeric_limits<std::int32_t>::min()) {
+      return Q32x5(std::numeric_limits<std::int32_t>::min());
+    }
+    return *this;
+  }
+
+  friend constexpr bool operator==(Q32x5 a, Q32x5 b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator<(Q32x5 a, Q32x5 b) { return a.raw_ < b.raw_; }
+
+ private:
+  std::int64_t raw_ = 0;
+};
+
+// y = scale * x + offset, where x is the 32-bit ACCU output and scale/offset
+// are Q16.16. The product is truncated (arithmetic shift, as RTL would) from
+// Q.16 to Q.5 and the sum saturates into the 37-bit Q32.5 range. This is the
+// bit-true transfer function of the BN submodule.
+[[nodiscard]] Q32x5 bn_transform(std::int32_t x, Q16x16 scale, Q16x16 offset);
+
+// q = round(scale * x + offset) saturated into a `bits`-wide integer range
+// (signed two's complement when `output_signed`, else [0, 2^bits - 1]).
+// x is Q32.5; scale/offset are Q16.16; the product is rounded to nearest
+// (half away from zero handled as +0.5 then floor, i.e. half-up) at the
+// Q.21 alignment. This is the bit-true transfer function of QUAN.
+[[nodiscard]] std::int64_t quan_transform(Q32x5 x, Q16x16 scale, Q16x16 offset,
+                                          int bits, bool output_signed);
+
+}  // namespace netpu::common

@@ -1,0 +1,52 @@
+// Lightweight leveled logging. Defaults to warnings-and-above so simulation
+// inner loops stay quiet; benches and examples can raise verbosity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace netpu::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+// Emit one log record (thread-safe, single write to stderr).
+void log_message(LogLevel level, const char* file, int line, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define NETPU_LOG(level)                                              \
+  if (static_cast<int>(level) < static_cast<int>(::netpu::common::log_level())) {} \
+  else ::netpu::common::detail::LogLine(level, __FILE__, __LINE__)
+
+#define NETPU_LOG_DEBUG NETPU_LOG(::netpu::common::LogLevel::kDebug)
+#define NETPU_LOG_INFO NETPU_LOG(::netpu::common::LogLevel::kInfo)
+#define NETPU_LOG_WARN NETPU_LOG(::netpu::common::LogLevel::kWarn)
+#define NETPU_LOG_ERROR NETPU_LOG(::netpu::common::LogLevel::kError)
+
+}  // namespace netpu::common

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation for tests, workload
+// synthesis and weight initialization.
+//
+// xoshiro256** seeded via SplitMix64: fast, high quality, and — unlike
+// std::mt19937 with std::uniform_* distributions — produces identical
+// sequences across standard libraries, which keeps golden test vectors and
+// synthetic datasets stable.
+#pragma once
+
+#include <cstdint>
+
+namespace netpu::common {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  std::uint64_t next();
+  result_type operator()() { return next(); }
+
+  // Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  // Standard normal variate (Box-Muller, deterministic).
+  double next_gaussian();
+
+  bool next_bool() { return (next() >> 63) != 0; }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace netpu::common

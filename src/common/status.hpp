@@ -1,0 +1,103 @@
+// Minimal error-reporting vocabulary for fallible library operations.
+//
+// The library reports recoverable failures (malformed loadables,
+// configurations that exceed buffer capacities, ...) through Result<T>
+// rather than exceptions, so callers in tight simulation loops pay nothing
+// on the success path.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace netpu::common {
+
+enum class ErrorCode {
+  kInvalidArgument,
+  kOutOfRange,
+  kCapacityExceeded,
+  kMalformedStream,
+  kUnsupported,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* error_code_name(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kCapacityExceeded: return "capacity_exceeded";
+    case ErrorCode::kMalformedStream: return "malformed_stream";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(error_code_name(code)) + ": " + message;
+  }
+};
+
+// A value-or-error sum type (a deliberately small std::expected stand-in).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}             // NOLINT(google-explicit-constructor)
+  Result(Error error) : v_(std::move(error)) {}         // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), has_error_(true) {}  // NOLINT
+
+  [[nodiscard]] static Status ok_status() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return !has_error_; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(has_error_);
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool has_error_ = false;
+};
+
+[[nodiscard]] inline Error make_error(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace netpu::common

@@ -1,0 +1,16 @@
+// Core scalar aliases shared across the NetPU-M codebase.
+#pragma once
+
+#include <cstdint>
+
+namespace netpu {
+
+// One word of the NetPU-M configuration/data stream. The paper's Network
+// Input FIFO and the Layer Input/Weight buffers are 64 bits wide (Table III),
+// so the entire loadable is expressed as a sequence of 64-bit words.
+using Word = std::uint64_t;
+
+// Simulation time, measured in clock cycles of the accelerator clock domain.
+using Cycle = std::uint64_t;
+
+}  // namespace netpu

@@ -1,0 +1,82 @@
+#include "core/accelerator.hpp"
+
+#include "hw/activation_unit.hpp"
+#include "loadable/compiler.hpp"
+#include "loadable/parser.hpp"
+#include "sim/scheduler.hpp"
+
+namespace netpu::core {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+
+Accelerator::Accelerator(NetpuConfig config) : config_(std::move(config)) {
+  const auto status = config_.validate();
+  (void)status;
+  assert(status.ok());
+}
+
+Result<RunResult> Accelerator::run(std::span<const Word> stream,
+                                   const RunOptions& options) {
+  if (options.mode == RunMode::kFunctional) {
+    auto parsed = loadable::parse(stream);
+    if (!parsed.ok()) return parsed.error();
+    const auto& p = parsed.value();
+    // Enforce the same instance capability limits as the hardware router.
+    for (const auto& layer : p.mlp.layers) {
+      if (layer.activation == hw::Activation::kMultiThreshold &&
+          layer.out_prec.bits > config_.tnpu.max_mt_bits) {
+        return Error{ErrorCode::kUnsupported,
+                     "Multi-Threshold precision exceeds this instance's cap"};
+      }
+      if (layer.dense && !config_.tnpu.dense_support) {
+        return Error{ErrorCode::kUnsupported,
+                     "dense streaming requires a dense-capable instance"};
+      }
+    }
+    const auto inference = p.mlp.infer(p.image);
+    RunResult r;
+    r.predicted = inference.predicted;
+    r.output_values = inference.output_values;
+    if (config_.softmax_unit) {
+      r.probabilities = hw::softmax_q15(r.output_values);
+    }
+    r.cycles = 0;
+    return r;
+  }
+
+  Netpu netpu(config_);
+  if (options.trace != nullptr) netpu.set_trace(options.trace);
+  netpu.reset();
+  if (auto s = netpu.load(std::vector<Word>(stream.begin(), stream.end())); !s.ok()) {
+    return s.error();
+  }
+  sim::Scheduler scheduler;
+  scheduler.add(&netpu);
+  for (int i = 0; i < netpu.lpu_count(); ++i) scheduler.add(&netpu.lpu(i));
+  const auto run = scheduler.run(options.max_cycles);
+  if (!run.finished) {
+    return Error{ErrorCode::kInternal, "simulation hit the cycle limit"};
+  }
+  RunResult r;
+  r.predicted = netpu.predicted();
+  r.output_values = netpu.output_values();
+  r.probabilities = netpu.probabilities();
+  r.cycles = run.cycles;
+  for (const auto& p : netpu.layer_profile()) {
+    r.layers.push_back(LayerProfile{p.layer, p.queued, p.active, p.end});
+  }
+  r.stats = netpu.collect_stats();
+  return r;
+}
+
+Result<RunResult> Accelerator::run(const nn::QuantizedMlp& mlp,
+                                   std::span<const std::uint8_t> image,
+                                   const RunOptions& options) {
+  auto stream = loadable::compile(mlp, image, config_.compile_options());
+  if (!stream.ok()) return stream.error();
+  return run(stream.value(), options);
+}
+
+}  // namespace netpu::core

@@ -1,0 +1,79 @@
+// Public facade of the NetPU-M library: configure an instance, compile or
+// accept a loadable, run inference in cycle-accurate or functional mode.
+//
+//   core::Accelerator acc(core::NetpuConfig::paper_instance());
+//   auto loadable = loadable::compile(mlp, image, acc.config().compile_options());
+//   auto result = acc.run(loadable.value());
+//   result->predicted, result->cycles, acc.config().cycles_to_us(...)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/netpu.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace netpu::core {
+
+enum class RunMode {
+  kCycleAccurate,  // full TNPU/LPU/NetPU simulation, counts clock cycles
+  kFunctional,     // parse + golden integer evaluation (no timing)
+};
+
+struct RunOptions {
+  RunMode mode = RunMode::kCycleAccurate;
+  Cycle max_cycles = 500'000'000;  // runaway guard for the scheduler
+  // Optional caller-owned waveform trace (cycle-accurate mode only): the
+  // LPU control FSMs record their state transitions into it.
+  sim::Trace* trace = nullptr;
+};
+
+struct LayerProfile {
+  std::size_t layer = 0;
+  Cycle queued = 0;  // settings popped (layer assigned to its LPU)
+  Cycle active = 0;  // inputs complete, first neuron batch starts
+  Cycle end = 0;     // final result flushed
+  [[nodiscard]] Cycle cycles() const { return end - active; }
+  [[nodiscard]] Cycle wait() const { return active - queued; }
+};
+
+struct RunResult {
+  std::size_t predicted = 0;
+  std::vector<std::int64_t> output_values;  // raw Q32.5 output-layer values
+  // Q15 class probabilities (empty unless NetpuConfig::softmax_unit).
+  std::vector<std::int32_t> probabilities;
+  Cycle cycles = 0;                         // 0 in functional mode
+  // Per-layer execution spans (cycle-accurate mode only).
+  std::vector<LayerProfile> layers;
+  sim::Stats stats;
+
+  [[nodiscard]] double latency_us(const NetpuConfig& config) const {
+    return config.cycles_to_us(cycles);
+  }
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(NetpuConfig config);
+
+  [[nodiscard]] const NetpuConfig& config() const { return config_; }
+
+  // Run one inference from a compiled loadable.
+  [[nodiscard]] common::Result<RunResult> run(std::span<const Word> stream,
+                                              const RunOptions& options = {});
+
+  // Convenience: compile `mlp` + `image` against this instance's limits and
+  // run it.
+  [[nodiscard]] common::Result<RunResult> run(const nn::QuantizedMlp& mlp,
+                                              std::span<const std::uint8_t> image,
+                                              const RunOptions& options = {});
+
+  [[nodiscard]] hw::Resources resources() const { return config_.resources(); }
+
+ private:
+  NetpuConfig config_;
+};
+
+}  // namespace netpu::core

@@ -1,0 +1,82 @@
+#include "core/config.hpp"
+
+namespace netpu::core {
+
+std::vector<hw::BufferSpec> LpuConfig::buffer_specs() const {
+  // Table III geometry: word capacities map back to the published
+  // width/depth pairs (64-bit buffers 1:1; 128-bit buffers two words/entry).
+  if (buffer_reuse) {
+    // Never-co-used parameter types share one physical buffer each.
+    return {
+        {"layer_input", 64, buffers.layer_input_words},
+        {"input_reload", 64, buffers.input_reload_words},
+        {"layer_weight", 64, buffers.layer_weight_words},
+        {"bias|bn_scale", 128, buffers.bn_scale_words / 2},
+        {"bn_offset", 128, buffers.bn_offset_words / 2},
+        {"sign_thr|quan_scale", 128, buffers.quan_scale_words / 2},
+        {"multi_thr|quan_offset", 128, buffers.quan_offset_words / 2},
+    };
+  }
+  return {
+      {"layer_input", 64, buffers.layer_input_words},
+      {"input_reload", 64, buffers.input_reload_words},
+      {"layer_weight", 64, buffers.layer_weight_words},
+      {"bias", 64, buffers.bias_words},
+      {"bn_scale", 128, buffers.bn_scale_words / 2},
+      {"bn_offset", 128, buffers.bn_offset_words / 2},
+      {"sign_threshold", 128, buffers.sign_threshold_words / 2},
+      {"multi_thresholds", 128, buffers.multi_threshold_words / 2},
+      {"quan_scale", 128, buffers.quan_scale_words / 2},
+      {"quan_offset", 128, buffers.quan_offset_words / 2},
+  };
+}
+
+common::Status NetpuConfig::validate() const {
+  using common::Error;
+  using common::ErrorCode;
+  if (lpus < 1) {
+    return Error{ErrorCode::kInvalidArgument, "need at least one LPU"};
+  }
+  if (lpu.tnpus < 1) {
+    return Error{ErrorCode::kInvalidArgument, "need at least one TNPU per LPU"};
+  }
+  if (tnpu.lanes != 8) {
+    return Error{ErrorCode::kUnsupported,
+                 "the 64-bit stream geometry fixes 8 lanes per TNPU"};
+  }
+  if (tnpu.max_mt_bits < 1 || tnpu.max_mt_bits > 8) {
+    return Error{ErrorCode::kInvalidArgument, "max_mt_bits outside 1-8"};
+  }
+  if (clock_mhz <= 0.0) {
+    return Error{ErrorCode::kInvalidArgument, "non-positive clock"};
+  }
+  return common::Status::ok_status();
+}
+
+loadable::CompileOptions NetpuConfig::compile_options() const {
+  loadable::CompileOptions o;
+  o.max_neurons_per_layer = max_neurons_per_layer;
+  o.max_input_length = max_input_length;
+  o.input_buffer_words = lpu.buffers.layer_input_words;
+  o.weight_buffer_words = lpu.buffers.layer_weight_words;
+  o.bias_buffer_words =
+      lpu.buffer_reuse ? lpu.buffers.bn_scale_words : lpu.buffers.bias_words;
+  o.param_buffer_words = lpu.buffers.bn_scale_words;  // 128-bit param FIFOs
+  return o;
+}
+
+std::vector<hw::BufferSpec> NetpuConfig::fifo_specs() const {
+  return {
+      {"network_input", 64, network_input_fifo_words},
+      {"network_output", 64, network_output_fifo_words},
+      {"layer_setting", 64, layer_setting_fifo_words},
+      {"result_label", 16, 512},
+  };
+}
+
+hw::Resources NetpuConfig::resources() const {
+  return hw::ResourceModel::netpu(tnpu.resource_params(), lpus, lpu.tnpus,
+                                  lpu.buffer_specs(), fifo_specs());
+}
+
+}  // namespace netpu::core

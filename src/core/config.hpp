@@ -1,0 +1,118 @@
+// Hardware configuration of a NetPU-M instance.
+//
+// Mirrors the paper's Verilog-macro configuration file (Sec. III-A): the C++
+// generator there fixes TNPU lane count, Multi-Threshold precision cap,
+// multiplier realizations, TNPUs per LPU, LPU count and all buffer depths
+// before synthesis; everything else (network shape, precisions, activations,
+// BN folding) arrives at runtime through the data stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "hw/resource_model.hpp"
+#include "hw/types.hpp"
+#include "loadable/compiler.hpp"
+
+namespace netpu::core {
+
+struct TnpuConfig {
+  // Lanes are fixed at hw::kLanesPerTnpu (8) by the 64-bit stream geometry;
+  // kept here for the resource model's parameterization.
+  int lanes = 8;
+  // Multi-Threshold precision cap. The shipped instance uses 4 bits
+  // (Table IV shows the 8-bit variant costs ~27% of the device's LUTs).
+  int max_mt_bits = 4;
+  hw::MulImpl mul_impl = hw::MulImpl::kDsp;
+  hw::MulImpl bn_mul_impl = hw::MulImpl::kDsp;
+  // Dense multi-channel MUL bank (Sec. V future work #3). Off in the
+  // paper's instance; enabling grows the MUL submodule.
+  bool dense_support = false;
+
+  [[nodiscard]] hw::TnpuResourceParams resource_params() const {
+    return {lanes, max_mt_bits, mul_impl, bn_mul_impl, dense_support};
+  }
+};
+
+// One buffer of the Data Buffer Cluster, capacities in 64-bit stream words.
+struct LpuBuffers {
+  // Table III: 64-bit x 1024 data buffers (including Bias); 128-bit x 2048
+  // parameter buffers hold two 64-bit stream words per entry (4096 words).
+  std::uint32_t layer_input_words = 1024;
+  std::uint32_t input_reload_words = 1024;
+  std::uint32_t layer_weight_words = 1024;
+  std::uint32_t bias_words = 1024;
+  std::uint32_t bn_scale_words = 4096;
+  std::uint32_t bn_offset_words = 4096;
+  std::uint32_t sign_threshold_words = 4096;
+  std::uint32_t multi_threshold_words = 4096;
+  std::uint32_t quan_scale_words = 4096;
+  std::uint32_t quan_offset_words = 4096;
+};
+
+struct LpuConfig {
+  int tnpus = 8;
+  LpuBuffers buffers;
+  // Buffer reuse (Sec. V future work #2): parameter types that are never
+  // used by the same layer share one physical buffer — Bias with BN Scale
+  // (folded vs unfolded), Sign thresholds with QUAN Scale and
+  // Multi-Thresholds with QUAN Offset (self-quantizing activations bypass
+  // QUAN). Saves 18 BRAM36 per LPU; off in the paper's instance.
+  bool buffer_reuse = false;
+
+  // Buffer specs for the resource model (Table III widths/depths).
+  [[nodiscard]] std::vector<hw::BufferSpec> buffer_specs() const;
+};
+
+// Microarchitectural timing constants of the LPU control FSM (Fig. 4).
+struct TimingConfig {
+  Cycle layer_init_cycles = 8;   // setting decode + crossbar reconfiguration
+  Cycle batch_init_cycles = 1;   // batch bookkeeping
+  Cycle drain_cycles = 3;        // datapath pipeline depth at batch end
+  Cycle input_layer_chunk_cycles = 2;  // quantize one 8-pixel group
+};
+
+struct NetpuConfig {
+  int lpus = 2;
+  TnpuConfig tnpu;
+  LpuConfig lpu;
+  TimingConfig timing;
+  // Flow-through weight streaming (Sec. V future work #1): MAC consumes
+  // weight words directly from the FIFO instead of the fill-then-drain
+  // buffer discipline, halving the dominant weight-traffic term. Off in
+  // the paper's instance.
+  bool overlapped_weight_stream = false;
+  // SoftMax output unit (the paper's declared MaxOut follow-up): the NetPU
+  // additionally emits Q15 class probabilities. Off in the paper's
+  // instance.
+  bool softmax_unit = false;
+  double clock_mhz = 100.0;
+  std::uint32_t network_input_fifo_words = 8192;
+  std::uint32_t network_output_fifo_words = 1024;
+  std::uint32_t layer_setting_fifo_words = 256;
+  std::uint32_t max_neurons_per_layer = 8192;
+  std::uint32_t max_input_length = 8192;
+
+  // The paper's evaluated instance: 2 LPUs x 8 TNPUs, Multi-Threshold capped
+  // at 4 bits, DSP multipliers, 100 MHz (Table V).
+  [[nodiscard]] static NetpuConfig paper_instance() { return NetpuConfig{}; }
+
+  [[nodiscard]] common::Status validate() const;
+
+  // Compiler capacity limits implied by this instance's buffers.
+  [[nodiscard]] loadable::CompileOptions compile_options() const;
+
+  // NetPU-level FIFO specs for the resource model.
+  [[nodiscard]] std::vector<hw::BufferSpec> fifo_specs() const;
+
+  // Whole-instance resource estimate.
+  [[nodiscard]] hw::Resources resources() const;
+
+  [[nodiscard]] double cycles_to_us(Cycle cycles) const {
+    return static_cast<double>(cycles) / clock_mhz;
+  }
+};
+
+}  // namespace netpu::core

@@ -1,0 +1,25 @@
+#include "core/crossbar.hpp"
+
+namespace netpu::core {
+
+std::vector<Stage> crossbar_path(hw::LayerKind kind, hw::Activation activation,
+                                 bool bn_fold) {
+  std::vector<Stage> path;
+  if (kind == hw::LayerKind::kInput) {
+    path.push_back(hw::activation_self_quantizing(activation) ? Stage::kActiv
+                                                              : Stage::kQuan);
+    return path;
+  }
+  path.push_back(Stage::kMul);
+  path.push_back(Stage::kAccu);
+  if (!bn_fold) path.push_back(Stage::kBn);
+  if (kind == hw::LayerKind::kOutput) {
+    path.push_back(Stage::kMaxOut);
+    return path;
+  }
+  if (activation != hw::Activation::kNone) path.push_back(Stage::kActiv);
+  if (!hw::activation_self_quantizing(activation)) path.push_back(Stage::kQuan);
+  return path;
+}
+
+}  // namespace netpu::core

@@ -1,0 +1,36 @@
+// The TNPU crossbar (Sec. III-B1): selects which submodules the data stream
+// traverses for a given layer role, activation and BN-folding option. The
+// five highlighted paths of Fig. 3 fall out of these rules:
+//  * input layers feed the dataset value into ACTIV (Sign/Multi-Threshold)
+//    or QUAN (everything else), bypassing MUL/ACCU/BN;
+//  * BN is bypassed whenever folding is enabled;
+//  * QUAN is bypassed when the activation is self-quantizing (Sign/MT);
+//  * output layers bypass ACTIV/QUAN and feed BN-or-ACCU output to MaxOut.
+#pragma once
+
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace netpu::core {
+
+enum class Stage { kMul, kAccu, kBn, kActiv, kQuan, kMaxOut };
+
+[[nodiscard]] constexpr const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::kMul: return "MUL";
+    case Stage::kAccu: return "ACCU";
+    case Stage::kBn: return "BN";
+    case Stage::kActiv: return "ACTIV";
+    case Stage::kQuan: return "QUAN";
+    case Stage::kMaxOut: return "MAXOUT";
+  }
+  return "?";
+}
+
+// Stage sequence the crossbar wires up for one layer configuration.
+[[nodiscard]] std::vector<Stage> crossbar_path(hw::LayerKind kind,
+                                               hw::Activation activation,
+                                               bool bn_fold);
+
+}  // namespace netpu::core

@@ -1,0 +1,78 @@
+#include "core/latency_model.hpp"
+
+#include <algorithm>
+
+#include "loadable/layer_setting.hpp"
+
+namespace netpu::core {
+
+LatencyBreakdown estimate_latency(const nn::QuantizedMlp& mlp,
+                                  const NetpuConfig& config) {
+  LatencyBreakdown b;
+  // Header: magic + layer count + image count words, plus two setting-word
+  // pushes and two pops per layer.
+  b.header = 3 + 4 * static_cast<Cycle>(mlp.layers.size());
+
+  for (const auto& layer : mlp.layers) {
+    const auto s = loadable::LayerSetting::from_layer(layer);
+    b.layer_init += config.timing.layer_init_cycles;
+    b.input_load += s.input_words() + 1;
+
+    const std::uint32_t chunks = s.chunks_per_neuron();
+    std::uint32_t max_batch = static_cast<std::uint32_t>(config.lpu.tnpus);
+    if (chunks > 0) {
+      max_batch = std::min(
+          max_batch, std::max<std::uint32_t>(
+                         1, config.lpu.buffers.layer_weight_words / chunks));
+    }
+    const std::uint32_t batches = (s.neurons + max_batch - 1) / max_batch;
+
+    // Neuron Initialization: one cycle per parameter-word pop, with a
+    // one-cycle floor per neuron; two-values-per-word cursor alignment is
+    // tracked per parameter type across the layer.
+    const std::uint32_t single_types =
+        (s.has_bias_section() ? 1u : 0u) + (s.has_bn_section() ? 2u : 0u) +
+        (s.has_sign_section() ? 1u : 0u) + (s.has_quan_section() ? 2u : 0u);
+    const std::uint32_t values_mt =
+        s.has_mt_section() ? static_cast<std::uint32_t>(s.mt_levels()) : 0u;
+    std::uint32_t leftover_mt = 0;
+    for (std::uint32_t n = 0; n < s.neurons; ++n) {
+      std::uint32_t pops = (n % 2 == 0) ? single_types : 0;
+      if (values_mt > 0) {
+        const std::uint32_t need = values_mt > leftover_mt ? values_mt - leftover_mt : 0;
+        const std::uint32_t mt_pops = (need + 1) / 2;
+        pops += mt_pops;
+        leftover_mt = leftover_mt + 2 * mt_pops - values_mt;
+      }
+      b.neuron_init += std::max<Cycle>(1, pops);
+    }
+    b.neuron_init +=
+        static_cast<Cycle>(batches) * (config.timing.batch_init_cycles + 1);
+
+    // Weight traffic: buffer fill + MAC, one cycle each per weight word,
+    // plus the two state-transition cycles per batch; the input layer
+    // quantizes in place instead.
+    if (s.kind == hw::LayerKind::kInput) {
+      b.weight_traffic += static_cast<Cycle>(batches) *
+                          (config.timing.input_layer_chunk_cycles + 1);
+    } else if (config.overlapped_weight_stream) {
+      b.weight_traffic += s.weight_section_words() + batches;
+    } else {
+      b.weight_traffic +=
+          2ull * s.weight_section_words() + 2ull * batches;
+    }
+
+    // Drain plus result collection: the whole batch shares the result bus
+    // for one cycle (hidden/input layers); output-layer neurons emit one
+    // 64-bit raw value per cycle into the Output Multiplexer.
+    b.drain_emit += static_cast<Cycle>(batches) *
+                    (config.timing.drain_cycles + 2);
+    if (s.kind == hw::LayerKind::kOutput) b.drain_emit += s.neurons;
+  }
+
+  // MaxOut collection of the output layer's values at the NetPU.
+  b.drain_emit += mlp.layers.back().neurons;
+  return b;
+}
+
+}  // namespace netpu::core

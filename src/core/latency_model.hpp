@@ -1,0 +1,35 @@
+// Closed-form latency estimate mirroring the LPU FSM's cycle discipline.
+//
+// Used two ways:
+//  * as a cross-check of the cycle-accurate simulator (tests require
+//    agreement within a tolerance; the model sums per-layer costs serially
+//    and therefore slightly over-estimates the cross-LPU overlap the
+//    simulator exploits, and ignores FIFO stall cycles);
+//  * as a fast design-space explorer (the resource_explorer example sweeps
+//    instances without running full simulations).
+#pragma once
+
+#include "core/config.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::core {
+
+struct LatencyBreakdown {
+  Cycle header = 0;
+  Cycle layer_init = 0;
+  Cycle input_load = 0;
+  Cycle neuron_init = 0;
+  Cycle weight_traffic = 0;  // fill + MAC (2 cycles per weight word)
+  Cycle drain_emit = 0;
+  [[nodiscard]] Cycle total() const {
+    return header + layer_init + input_load + neuron_init + weight_traffic +
+           drain_emit;
+  }
+};
+
+// Estimate the end-to-end cycle count of one inference of `mlp` on the
+// instance described by `config`.
+[[nodiscard]] LatencyBreakdown estimate_latency(const nn::QuantizedMlp& mlp,
+                                                const NetpuConfig& config);
+
+}  // namespace netpu::core

@@ -1,0 +1,461 @@
+#include "core/lpu.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "loadable/words.hpp"
+
+namespace netpu::core {
+namespace {
+
+constexpr const char* state_name(Lpu::State s) {
+  switch (s) {
+    case Lpu::State::kIdle: return "idle";
+    case Lpu::State::kLayerInit: return "layer_init";
+    case Lpu::State::kInputLoad: return "input_load";
+    case Lpu::State::kNeuronInit: return "neuron_init";
+    case Lpu::State::kWeightFill: return "weight_fill";
+    case Lpu::State::kMac: return "mac";
+    case Lpu::State::kInputProc: return "input_proc";
+    case Lpu::State::kDrain: return "drain";
+    case Lpu::State::kEmit: return "emit";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Lpu::Lpu(std::string name, const NetpuConfig& config)
+    : sim::Component(std::move(name)),
+      config_(config),
+      setting_fifo_(Component::name() + ".setting", config.layer_setting_fifo_words, 64),
+      input_fifo_(Component::name() + ".layer_input",
+                  config.lpu.buffers.layer_input_words, 64),
+      weight_fifo_(Component::name() + ".layer_weight",
+                   config.lpu.buffers.layer_weight_words, 64),
+      input_reload_(Component::name() + ".input_reload",
+                    config.lpu.buffers.input_reload_words, 64),
+      weight_bram_(Component::name() + ".weight_bram",
+                   config.lpu.buffers.layer_weight_words, 64) {
+  tnpus_.reserve(static_cast<std::size_t>(config.lpu.tnpus));
+  for (int i = 0; i < config.lpu.tnpus; ++i) tnpus_.emplace_back(config.tnpu);
+  const std::uint32_t param_depths[kParamTypes] = {
+      config.lpu.buffers.bias_words,           config.lpu.buffers.bn_scale_words,
+      config.lpu.buffers.bn_offset_words,      config.lpu.buffers.sign_threshold_words,
+      config.lpu.buffers.multi_threshold_words, config.lpu.buffers.quan_scale_words,
+      config.lpu.buffers.quan_offset_words};
+  for (int t = 0; t < kParamTypes; ++t) {
+    param_fifos_[static_cast<std::size_t>(t)] = std::make_unique<sim::Fifo<Word>>(
+        Component::name() + "." + to_string(static_cast<ParamType>(t)),
+        param_depths[t], 128);
+  }
+}
+
+void Lpu::reset() {
+  setting_fifo_.reset();
+  input_fifo_.reset();
+  weight_fifo_.reset();
+  for (auto& f : param_fifos_) f->reset();
+  input_reload_.reset();
+  weight_bram_.reset();
+  state_ = State::kIdle;
+  have_w0_ = false;
+  state_counter_ = 0;
+  layers_completed_ = 0;
+  layer_spans_.clear();
+  packer_.clear();
+  cursors_.fill(ParamCursor{});
+  stats_.clear();
+}
+
+bool Lpu::idle() const {
+  if (state_ != State::kIdle) return false;
+  if (!setting_fifo_.empty() || !input_fifo_.empty() || !weight_fifo_.empty()) {
+    return false;
+  }
+  for (const auto& f : param_fifos_) {
+    if (!f->empty()) return false;
+  }
+  return true;
+}
+
+void Lpu::enter(State s) {
+  state_ = s;
+  state_counter_ = 0;
+  if (trace_ != nullptr) {
+    trace_->record(now_, name() + ".state", static_cast<std::int64_t>(s));
+  }
+}
+
+Lpu::NeuronNeeds Lpu::needs_for_current_layer() const {
+  NeuronNeeds n;
+  auto& v = n.values;
+  if (setting_.has_bias_section()) v[static_cast<int>(ParamType::kBias)] = 1;
+  if (setting_.has_bn_section()) {
+    v[static_cast<int>(ParamType::kBnScale)] = 1;
+    v[static_cast<int>(ParamType::kBnOffset)] = 1;
+  }
+  if (setting_.has_sign_section()) {
+    v[static_cast<int>(ParamType::kSignThreshold)] = 1;
+  }
+  if (setting_.has_mt_section()) {
+    v[static_cast<int>(ParamType::kMultiThreshold)] = setting_.mt_levels();
+  }
+  if (setting_.has_quan_section()) {
+    v[static_cast<int>(ParamType::kQuanScale)] = 1;
+    v[static_cast<int>(ParamType::kQuanOffset)] = 1;
+  }
+  return n;
+}
+
+void Lpu::start_layer() {
+  for (auto& t : tnpus_) t.configure_layer(setting_);
+  input_words_needed_ = setting_.input_words();
+  input_words_loaded_ = 0;
+  next_neuron_ = 0;
+  // Per-type parameter sections are word-aligned per layer; discard any
+  // leftover padding halves from the previous layer.
+  cursors_.fill(ParamCursor{});
+  packer_.clear();
+  enter(State::kInputLoad);
+}
+
+void Lpu::start_batch() {
+  if (next_neuron_ == 0) layer_active_ = now_;
+  batch_start_ = next_neuron_;
+  std::uint32_t batch = static_cast<std::uint32_t>(config_.lpu.tnpus);
+  const std::uint32_t remaining = setting_.neurons - next_neuron_;
+  batch = std::min(batch, remaining);
+  const std::uint32_t chunks = setting_.chunks_per_neuron();
+  if (chunks > 0) {
+    // A batch's weight words must fit the Layer Weight buffer; very wide
+    // fan-in layers therefore run with fewer concurrent neurons.
+    const std::uint32_t cap = config_.lpu.buffers.layer_weight_words / chunks;
+    batch = std::min(batch, std::max<std::uint32_t>(1, cap));
+  }
+  batch_size_ = batch;
+  batch_init_cursor_ = 0;
+  needs_ = needs_for_current_layer();
+  pending_params_ = NeuronParams{};
+  neuron_ready_ = needs_.done();  // layers without per-neuron parameters
+  enter(State::kNeuronInit);
+  state_counter_ = config_.timing.batch_init_cycles;
+}
+
+// Take one 32-bit value from a cursor into the pending parameter set.
+namespace {
+void deposit(NeuronParams& p, ParamType type, std::int32_t value) {
+  switch (type) {
+    case ParamType::kBias:
+      p.bias = value;
+      break;
+    case ParamType::kBnScale:
+      p.bn_scale = loadable::param_to_q16(value);
+      break;
+    case ParamType::kBnOffset:
+      p.bn_offset = loadable::param_to_q16(value);
+      break;
+    case ParamType::kSignThreshold:
+      p.sign_threshold = loadable::param_to_threshold(value);
+      break;
+    case ParamType::kMultiThreshold:
+      p.mt_thresholds.push_back(loadable::param_to_threshold(value));
+      break;
+    case ParamType::kQuanScale:
+      p.quan_scale = loadable::param_to_q16(value);
+      break;
+    case ParamType::kQuanOffset:
+      p.quan_offset = loadable::param_to_q16(value);
+      break;
+  }
+}
+}  // namespace
+
+bool Lpu::consume_available() {
+  // Zero-cost consumption of halves already latched from popped words, then
+  // at most one FIFO pop this cycle. Returns false on a pop stall.
+  for (int t = 0; t < kParamTypes; ++t) {
+    auto& cursor = cursors_[static_cast<std::size_t>(
+        physical_type(static_cast<ParamType>(t)))];
+    while (needs_.values[t] > 0 && cursor.consumed < 2) {
+      const auto value = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(cursor.word >> (32 * cursor.consumed)));
+      deposit(pending_params_, static_cast<ParamType>(t), value);
+      ++cursor.consumed;
+      --needs_.values[t];
+    }
+  }
+  if (needs_.done()) {
+    neuron_ready_ = true;
+    return true;
+  }
+  for (int t = 0; t < kParamTypes; ++t) {
+    if (needs_.values[t] <= 0) continue;
+    const auto phys =
+        static_cast<std::size_t>(physical_type(static_cast<ParamType>(t)));
+    auto& fifo = *param_fifos_[phys];
+    auto& cursor = cursors_[phys];
+    Word w = 0;
+    if (!fifo.try_pop(w)) {
+      stats_.add("stall_param_empty");
+      return false;
+    }
+    cursor.word = w;
+    cursor.consumed = 0;
+    while (needs_.values[t] > 0 && cursor.consumed < 2) {
+      const auto value = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(cursor.word >> (32 * cursor.consumed)));
+      deposit(pending_params_, static_cast<ParamType>(t), value);
+      ++cursor.consumed;
+      --needs_.values[t];
+    }
+    if (needs_.done()) neuron_ready_ = true;
+    return true;
+  }
+  return true;
+}
+
+void Lpu::finalize_neuron() {
+  tnpus_[batch_init_cursor_].init_neuron(std::move(pending_params_));
+  ++batch_init_cursor_;
+  pending_params_ = NeuronParams{};
+  neuron_ready_ = false;
+  if (batch_init_cursor_ < batch_size_) {
+    needs_ = needs_for_current_layer();
+    neuron_ready_ = needs_.done();
+  }
+}
+
+void Lpu::emit_code(std::int32_t code) {
+  packer_.push_back(code);
+}
+
+void Lpu::flush_packer() {
+  assert(downstream_ != nullptr);
+  const auto words = setting_.dense
+                         ? loadable::pack_codes_dense(packer_, setting_.out_prec)
+                         : loadable::pack_codes(packer_, setting_.out_prec);
+  assert(words.size() == 1);
+  downstream_->push(words[0]);
+  packer_.clear();
+}
+
+void Lpu::tick(Cycle cycle) {
+  now_ = cycle;
+  stats_.add(std::string("cycles_") + state_name(state_));
+  switch (state_) {
+    case State::kIdle: {
+      Word w = 0;
+      if (!have_w0_) {
+        if (setting_fifo_.try_pop(w)) {
+          setting_w0_ = w;
+          have_w0_ = true;
+          layer_queued_ = now_;
+        }
+        return;
+      }
+      if (!setting_fifo_.try_pop(w)) return;
+      have_w0_ = false;
+      auto s = loadable::LayerSetting::decode(setting_w0_, w);
+      assert(s.ok());  // the router only forwards validated settings
+      setting_ = s.value();
+      enter(State::kLayerInit);
+      state_counter_ = config_.timing.layer_init_cycles;
+      return;
+    }
+
+    case State::kLayerInit:
+      if (state_counter_ > 1) {
+        --state_counter_;
+        return;
+      }
+      start_layer();
+      return;
+
+    case State::kInputLoad: {
+      if (input_words_loaded_ >= input_words_needed_) {
+        start_batch();
+        return;
+      }
+      Word w = 0;
+      if (!input_fifo_.try_pop(w)) {
+        stats_.add("stall_input_empty");
+        return;
+      }
+      input_reload_.write(input_words_loaded_, w);
+      ++input_words_loaded_;
+      return;
+    }
+
+    case State::kNeuronInit: {
+      if (state_counter_ > 0) {
+        --state_counter_;
+        return;
+      }
+      if (batch_init_cursor_ >= batch_size_) {
+        if (setting_.kind == hw::LayerKind::kInput) {
+          enter(State::kInputProc);
+          state_counter_ = config_.timing.input_layer_chunk_cycles;
+        } else if (config_.overlapped_weight_stream) {
+          // Sec. V future work #1: flow-through weight streaming — MAC
+          // consumes the FIFO directly, no fill phase.
+          mac_cursor_ = 0;
+          enter(State::kMac);
+        } else {
+          fill_cursor_ = 0;
+          enter(State::kWeightFill);
+        }
+        return;
+      }
+      // One cycle: consume latched halves, pop at most one parameter word,
+      // and register the neuron the moment its parameter set completes (the
+      // TNPU latches from the 128-bit parameter bus in the same cycle).
+      consume_available();
+      if (neuron_ready_) finalize_neuron();
+      return;
+    }
+
+    case State::kWeightFill: {
+      const std::uint32_t batch_words = batch_size_ * setting_.chunks_per_neuron();
+      if (fill_cursor_ >= batch_words) {
+        mac_cursor_ = 0;
+        enter(State::kMac);
+        return;
+      }
+      Word w = 0;
+      if (!weight_fifo_.try_pop(w)) {
+        stats_.add("stall_weight_empty");
+        return;
+      }
+      weight_bram_.write(fill_cursor_, w);
+      ++fill_cursor_;
+      return;
+    }
+
+    case State::kMac: {
+      const std::uint32_t chunks = setting_.chunks_per_neuron();
+      const std::uint32_t batch_words = batch_size_ * chunks;
+      if (mac_cursor_ >= batch_words) {
+        enter(State::kDrain);
+        state_counter_ = config_.timing.drain_cycles;
+        return;
+      }
+      const int vpc = setting_.values_per_chunk();
+      std::uint32_t c, t;
+      Word weight = 0;
+      if (config_.overlapped_weight_stream) {
+        // Flow-through: consume in arrival (neuron-major) order.
+        t = mac_cursor_ / chunks;
+        c = mac_cursor_ % chunks;
+        if (!weight_fifo_.try_pop(weight)) {
+          stats_.add("stall_weight_empty");
+          return;
+        }
+      } else {
+        c = mac_cursor_ / batch_size_;
+        t = mac_cursor_ % batch_size_;
+        weight = weight_bram_.read(t * chunks + c);
+      }
+      const int active = std::min<std::int64_t>(
+          vpc, static_cast<std::int64_t>(setting_.input_length) -
+                   static_cast<std::int64_t>(c) * vpc);
+      tnpus_[t].mac(input_reload_.read(c), weight, active);
+      ++mac_cursor_;
+      stats_.add("mac_word_ops");
+      return;
+    }
+
+    case State::kInputProc:
+      if (state_counter_ > 1) {
+        --state_counter_;
+        return;
+      }
+      enter(State::kDrain);
+      state_counter_ = config_.timing.drain_cycles;
+      return;
+
+    case State::kDrain:
+      if (state_counter_ > 1) {
+        --state_counter_;
+        return;
+      }
+      emit_cursor_ = 0;
+      enter(State::kEmit);
+      return;
+
+    case State::kEmit: {
+      if (emit_cursor_ >= batch_size_) {
+        next_neuron_ += batch_size_;
+        if (next_neuron_ < setting_.neurons) {
+          start_batch();
+        } else {
+          ++layers_completed_;
+          layer_spans_.push_back(LayerSpan{layer_queued_, layer_active_, now_});
+          if (trace_ != nullptr) {
+            trace_->record(now_, name() + ".layers_done", layers_completed_);
+          }
+          enter(State::kIdle);
+        }
+        return;
+      }
+      const std::uint32_t n = batch_start_ + emit_cursor_;
+      const bool last_of_layer = (n + 1 == setting_.neurons);
+
+      if (setting_.kind == hw::LayerKind::kOutput) {
+        assert(network_output_ != nullptr);
+        if (network_output_->full()) {
+          stats_.add("stall_output_full");
+          return;
+        }
+        const std::int64_t raw = tnpus_[emit_cursor_].finish_raw();
+        network_output_->push(std::bit_cast<Word>(raw));
+        ++emit_cursor_;
+        return;
+      }
+
+      // Hidden/input layer: the whole batch drives the 64-bit result bus in
+      // one cycle (every TNPU contributes its code to the output packer);
+      // completed (or layer-final partial) words flush downstream.
+      const int vpw = setting_.values_per_output_word();
+      const std::size_t take = batch_size_ - emit_cursor_;
+      const bool last_batch = batch_start_ + batch_size_ == setting_.neurons;
+      // Worst case this cycle: one full-word flush plus the layer-final
+      // partial flush.
+      std::size_t flushes = (packer_.size() + take) / static_cast<std::size_t>(vpw);
+      if (last_batch && (packer_.size() + take) % static_cast<std::size_t>(vpw) != 0) {
+        ++flushes;
+      }
+      if (downstream_->free_slots() < flushes) {
+        stats_.add("stall_downstream_full");
+        return;
+      }
+      (void)last_of_layer;
+      for (std::size_t e = 0; e < take; ++e) {
+        const std::uint32_t idx = emit_cursor_ + static_cast<std::uint32_t>(e);
+        const std::uint32_t neuron = batch_start_ + idx;
+        std::int32_t code;
+        if (setting_.kind == hw::LayerKind::kInput) {
+          const int vpw_in = setting_.values_per_input_word();
+          const Word w =
+              input_reload_.read(neuron / static_cast<std::uint32_t>(vpw_in));
+          const auto raw = loadable::unpack_codes(std::span<const Word>(&w, 1),
+                                                  static_cast<std::size_t>(vpw_in),
+                                                  setting_.in_prec);
+          code = tnpus_[idx].input_quantize(
+              raw[neuron % static_cast<std::uint32_t>(vpw_in)]);
+        } else {
+          code = tnpus_[idx].finish_code();
+        }
+        emit_code(code);
+        if (packer_.size() == static_cast<std::size_t>(vpw) ||
+            neuron + 1 == setting_.neurons) {
+          flush_packer();
+        }
+      }
+      emit_cursor_ = batch_size_;
+      return;
+    }
+  }
+}
+
+}  // namespace netpu::core

@@ -1,0 +1,208 @@
+// Layer Processing Unit: TNPU cluster + Data Buffer Cluster + layer-control
+// FSM (Fig. 2 left, Fig. 4).
+//
+// Cycle discipline (one action per clock, matching the single-ported
+// buffers of Table III):
+//  * Layer Initialization: pop the two setting words, reconfigure crossbars.
+//  * Input load: pull the layer's input words (image or ring FIFO) into the
+//    Input Reload buffer, one word per cycle — loaded once per layer and
+//    replayed for every neuron batch (the paper's Input Reload Buffer).
+//  * Per neuron batch (min(TNPUs, weight-buffer capacity / chunk count)):
+//     - Neuron Initialization: pop parameter words (two 32-bit values per
+//       word) from the per-type FIFOs, one pop per cycle, plus one setup
+//       cycle per neuron.
+//     - Weight fill: stream the batch's weight words into the Layer Weight
+//       buffer, one per cycle.
+//     - MAC: one buffer read per cycle drives one TNPU word-MAC
+//       (chunk-major across the batch; the shared input word comes from the
+//       reload buffer in parallel).
+//     - Drain + result collection: fixed pipeline drain, then one neuron
+//       result per cycle into the output packer.
+// The fill/MAC split (2 cycles per weight word) is what makes parameter
+// loading the dominant latency term, which both the paper's Table V numbers
+// and its own bottleneck analysis (Sec. V) exhibit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/tnpu.hpp"
+#include "sim/bram.hpp"
+#include "sim/component.hpp"
+#include "sim/fifo.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace netpu::core {
+
+enum class ParamType : int {
+  kBias = 0,
+  kBnScale,
+  kBnOffset,
+  kSignThreshold,
+  kMultiThreshold,
+  kQuanScale,
+  kQuanOffset,
+};
+inline constexpr int kParamTypes = 7;
+
+[[nodiscard]] constexpr const char* to_string(ParamType t) {
+  switch (t) {
+    case ParamType::kBias: return "bias";
+    case ParamType::kBnScale: return "bn_scale";
+    case ParamType::kBnOffset: return "bn_offset";
+    case ParamType::kSignThreshold: return "sign_threshold";
+    case ParamType::kMultiThreshold: return "multi_thresholds";
+    case ParamType::kQuanScale: return "quan_scale";
+    case ParamType::kQuanOffset: return "quan_offset";
+  }
+  return "?";
+}
+
+class Lpu : public sim::Component {
+ public:
+  enum class State {
+    kIdle,
+    kLayerInit,
+    kInputLoad,
+    kNeuronInit,
+    kWeightFill,
+    kMac,
+    kInputProc,  // input-layer substitute for WeightFill+Mac
+    kDrain,
+    kEmit,
+  };
+
+  Lpu(std::string name, const NetpuConfig& config);
+
+  // --- FIFO endpoints fed by the NetPU stream router. ---
+  [[nodiscard]] sim::Fifo<Word>& setting_fifo() { return setting_fifo_; }
+  [[nodiscard]] sim::Fifo<Word>& input_fifo() { return input_fifo_; }
+  [[nodiscard]] sim::Fifo<Word>& weight_fifo() { return weight_fifo_; }
+  [[nodiscard]] sim::Fifo<Word>& param_fifo(ParamType t) {
+    return *param_fifos_[static_cast<std::size_t>(physical_type(t))];
+  }
+
+  // Physical buffer a parameter type lands in: identity normally; under
+  // buffer reuse the mutually exclusive pairs alias (Bias -> BN Scale,
+  // Sign thresholds -> QUAN Scale, Multi-Thresholds -> QUAN Offset).
+  [[nodiscard]] ParamType physical_type(ParamType t) const {
+    if (!config_.lpu.buffer_reuse) return t;
+    switch (t) {
+      case ParamType::kBias: return ParamType::kBnScale;
+      case ParamType::kSignThreshold: return ParamType::kQuanScale;
+      case ParamType::kMultiThreshold: return ParamType::kQuanOffset;
+      default: return t;
+    }
+  }
+
+  // Ring wiring: packed hidden-layer outputs go downstream; output-layer
+  // raw values (bit-cast int64) go to the network output FIFO.
+  void connect(sim::Fifo<Word>* downstream, sim::Fifo<Word>* network_output) {
+    downstream_ = downstream;
+    network_output_ = network_output;
+  }
+
+  void reset() override;
+  void tick(Cycle cycle) override;
+  [[nodiscard]] bool idle() const override;
+
+  // Attach a waveform trace; state transitions and layer completions are
+  // recorded as integer signals (renderable via sim::Trace::to_vcd).
+  void set_trace(sim::Trace* trace) { trace_ = trace; }
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] std::uint32_t layers_completed() const { return layers_completed_; }
+
+  // Timeline of each layer this LPU executed, in execution order:
+  // `queued` = first setting-word pop, `active` = inputs complete / first
+  // neuron batch starts, `end` = final result flush. end - active is the
+  // layer's own processing cost; active - queued is upstream wait.
+  struct LayerSpan {
+    Cycle queued = 0;
+    Cycle active = 0;
+    Cycle end = 0;
+    [[nodiscard]] Cycle cycles() const { return end - active; }
+    [[nodiscard]] Cycle wait() const { return active - queued; }
+  };
+  [[nodiscard]] const std::vector<LayerSpan>& layer_spans() const {
+    return layer_spans_;
+  }
+  [[nodiscard]] const sim::Stats& stats() const { return stats_; }
+  [[nodiscard]] sim::Stats& stats() { return stats_; }
+
+ private:
+  struct ParamCursor {
+    Word word = 0;
+    int consumed = 2;  // both halves consumed -> next value needs a pop
+  };
+
+  // Parameter values still required for the neuron under initialization.
+  struct NeuronNeeds {
+    std::array<int, kParamTypes> values{};
+    [[nodiscard]] bool done() const {
+      for (const int v : values) {
+        if (v > 0) return false;
+      }
+      return true;
+    }
+  };
+
+  void enter(State s);
+  void start_layer();
+  void start_batch();
+  [[nodiscard]] NeuronNeeds needs_for_current_layer() const;
+  // Consume available leftover halves for the pending neuron; returns the
+  // FIFO to pop next, or nullptr when the neuron's values are complete.
+  bool consume_available();
+  void finalize_neuron();
+  void emit_code(std::int32_t code);
+  void flush_packer();
+
+  NetpuConfig config_;
+  std::vector<Tnpu> tnpus_;
+
+  sim::Fifo<Word> setting_fifo_;
+  sim::Fifo<Word> input_fifo_;
+  sim::Fifo<Word> weight_fifo_;
+  std::array<std::unique_ptr<sim::Fifo<Word>>, kParamTypes> param_fifos_;
+  sim::Bram<Word> input_reload_;
+  sim::Bram<Word> weight_bram_;
+
+  sim::Fifo<Word>* downstream_ = nullptr;
+  sim::Fifo<Word>* network_output_ = nullptr;
+
+  // FSM state.
+  State state_ = State::kIdle;
+  loadable::LayerSetting setting_;
+  Word setting_w0_ = 0;
+  bool have_w0_ = false;
+  Cycle state_counter_ = 0;
+  std::uint32_t input_words_needed_ = 0;
+  std::uint32_t input_words_loaded_ = 0;
+  std::uint32_t next_neuron_ = 0;      // next neuron index of the layer
+  std::uint32_t batch_start_ = 0;
+  std::uint32_t batch_size_ = 0;
+  std::uint32_t batch_init_cursor_ = 0;  // neuron being initialized (in batch)
+  NeuronNeeds needs_;
+  NeuronParams pending_params_;
+  bool neuron_ready_ = false;  // values complete; setup cycle pending
+  std::uint32_t fill_cursor_ = 0;
+  std::uint32_t mac_cursor_ = 0;
+  std::uint32_t emit_cursor_ = 0;
+  std::array<ParamCursor, kParamTypes> cursors_;
+  std::vector<std::int32_t> packer_;
+  std::uint32_t layers_completed_ = 0;
+  std::vector<LayerSpan> layer_spans_;
+  Cycle layer_queued_ = 0;
+  Cycle layer_active_ = 0;
+  sim::Trace* trace_ = nullptr;
+  Cycle now_ = 0;
+
+  sim::Stats stats_;
+};
+
+}  // namespace netpu::core

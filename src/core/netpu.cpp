@@ -1,0 +1,263 @@
+#include "core/netpu.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "hw/activation_unit.hpp"
+#include "loadable/compiler.hpp"
+
+namespace netpu::core {
+namespace {
+
+using common::Error;
+using common::ErrorCode;
+using common::Status;
+
+}  // namespace
+
+Netpu::Netpu(const NetpuConfig& config)
+    : sim::Component("netpu"),
+      config_(config),
+      network_output_fifo_("netpu.network_output", config.network_output_fifo_words,
+                           64) {
+  for (int i = 0; i < config.lpus; ++i) {
+    std::ostringstream name;
+    name << "lpu" << i;
+    lpus_.push_back(std::make_unique<Lpu>(name.str(), config));
+  }
+  // Recycling ring: LPU i feeds LPU (i+1) mod L; output layers divert to
+  // the network output FIFO through the Output Multiplexer.
+  for (int i = 0; i < config.lpus; ++i) {
+    lpus_[static_cast<std::size_t>(i)]->connect(
+        &lpus_[static_cast<std::size_t>((i + 1) % config.lpus)]->input_fifo(),
+        &network_output_fifo_);
+  }
+}
+
+Status Netpu::load(std::vector<Word> stream) {
+  stream_ = std::move(stream);
+  loaded_ = false;
+  auto status = build_plan();
+  if (!status.ok()) return status;
+  loaded_ = true;
+  return Status::ok_status();
+}
+
+Status Netpu::build_plan() {
+  plan_.clear();
+  section_index_ = 0;
+  section_pos_ = 0;
+  stream_pos_ = 0;
+  output_values_.clear();
+  probabilities_.clear();
+  softmax_countdown_ = 0;
+  finished_ = false;
+  predicted_ = 0;
+
+  if (stream_.size() < 2 || stream_[0] != loadable::kMagic) {
+    return Error{ErrorCode::kMalformedStream, "bad loadable magic"};
+  }
+  const auto n_layers = static_cast<std::size_t>(stream_[1]);
+  if (n_layers < 2 || 2 + 2 * n_layers > stream_.size()) {
+    return Error{ErrorCode::kMalformedStream, "bad layer count"};
+  }
+  const auto layers_per_lpu = common::ceil_div(n_layers, lpus_.size());
+  if (layers_per_lpu * 2 > config_.layer_setting_fifo_words) {
+    return Error{ErrorCode::kCapacityExceeded,
+                 "network depth exceeds the Layer Setting FIFO"};
+  }
+
+  std::vector<loadable::LayerSetting> settings;
+  settings.reserve(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    auto s = loadable::LayerSetting::decode(stream_[2 + 2 * i], stream_[3 + 2 * i]);
+    if (!s.ok()) return s.error();
+    // Instance capability checks (the stream reconfigures the hardware, but
+    // cannot exceed what was synthesized).
+    if (s.value().has_mt_section() &&
+        s.value().out_prec.bits > config_.tnpu.max_mt_bits) {
+      return Error{ErrorCode::kUnsupported,
+                   "Multi-Threshold precision exceeds this instance's cap"};
+    }
+    if (s.value().dense && !config_.tnpu.dense_support) {
+      return Error{ErrorCode::kUnsupported,
+                   "dense streaming requires a dense-capable instance"};
+    }
+    settings.push_back(s.value());
+  }
+  output_neurons_ = settings.back().neurons;
+
+  const auto lpu_of = [&](std::size_t layer) -> Lpu& {
+    return *lpus_[layer % lpus_.size()];
+  };
+
+  // Header: magic + layer count.
+  plan_.push_back({nullptr, 2});
+  // Layer settings: two words each, to the executing LPU's setting FIFO.
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    plan_.push_back({&lpu_of(i).setting_fifo(), 2});
+  }
+  // Image count word + dataset input to the first LPU.
+  plan_.push_back({nullptr, 1});
+  plan_.push_back({&lpus_[0]->input_fifo(), settings.front().input_words()});
+
+  // Parameter and weight sections in compiler order: P0, P1, then
+  // W(k), P(k+2).
+  const auto push_params = [&](std::size_t layer) {
+    const auto& s = settings[layer];
+    Lpu& lpu = lpu_of(layer);
+    if (s.has_bias_section()) {
+      plan_.push_back({&lpu.param_fifo(ParamType::kBias), s.param_type_words(1)});
+    }
+    if (s.has_bn_section()) {
+      plan_.push_back({&lpu.param_fifo(ParamType::kBnScale), s.param_type_words(1)});
+      plan_.push_back({&lpu.param_fifo(ParamType::kBnOffset), s.param_type_words(1)});
+    }
+    if (s.has_sign_section()) {
+      plan_.push_back(
+          {&lpu.param_fifo(ParamType::kSignThreshold), s.param_type_words(1)});
+    }
+    if (s.has_mt_section()) {
+      plan_.push_back(
+          {&lpu.param_fifo(ParamType::kMultiThreshold),
+           s.param_type_words(static_cast<std::uint32_t>(s.mt_levels()))});
+    }
+    if (s.has_quan_section()) {
+      plan_.push_back({&lpu.param_fifo(ParamType::kQuanScale), s.param_type_words(1)});
+      plan_.push_back({&lpu.param_fifo(ParamType::kQuanOffset), s.param_type_words(1)});
+    }
+  };
+
+  push_params(0);
+  if (n_layers > 1) push_params(1);
+  for (std::size_t k = 0; k < n_layers; ++k) {
+    if (settings[k].kind != hw::LayerKind::kInput) {
+      plan_.push_back({&lpu_of(k).weight_fifo(), settings[k].weight_section_words()});
+    }
+    if (k + 2 < n_layers) push_params(k + 2);
+  }
+
+  // The plan must cover the stream exactly.
+  std::uint64_t total = 0;
+  for (const auto& s : plan_) total += s.words;
+  if (total != stream_.size()) {
+    return Error{ErrorCode::kMalformedStream, "stream length mismatch"};
+  }
+  return Status::ok_status();
+}
+
+void Netpu::reset() {
+  for (auto& l : lpus_) l->reset();
+  network_output_fifo_.reset();
+  stats_.clear();
+  section_index_ = 0;
+  section_pos_ = 0;
+  stream_pos_ = 0;
+  output_values_.clear();
+  probabilities_.clear();
+  softmax_countdown_ = 0;
+  finished_ = false;
+  predicted_ = 0;
+}
+
+void Netpu::tick(Cycle) {
+  // SoftMax post-stage: one value per cycle through the exponential LUT
+  // plus a short normalization tail.
+  if (softmax_countdown_ > 0) {
+    if (--softmax_countdown_ == 0) {
+      probabilities_ = hw::softmax_q15(output_values_);
+      finished_ = true;
+    }
+    return;
+  }
+
+  // Drain the output FIFO (MaxOut stage): one raw value per cycle.
+  if (!finished_ && !network_output_fifo_.empty()) {
+    const Word w = network_output_fifo_.pop();
+    output_values_.push_back(std::bit_cast<std::int64_t>(w));
+    if (output_values_.size() == output_neurons_) {
+      predicted_ = hw::maxout(output_values_);
+      if (config_.softmax_unit) {
+        softmax_countdown_ = static_cast<Cycle>(output_neurons_) + 8;
+      } else {
+        finished_ = true;
+      }
+    }
+  }
+
+  // Stream one word along the routing plan.
+  if (!loaded_ || section_index_ >= plan_.size()) return;
+  Section& sec = plan_[section_index_];
+  if (section_pos_ >= sec.words) {
+    ++section_index_;
+    section_pos_ = 0;
+    return;  // section switch consumes the cycle (router bookkeeping)
+  }
+  if (sec.target == nullptr) {
+    if (external_source_ != nullptr) {
+      Word w = 0;
+      if (!external_source_->try_pop(w)) {
+        stats_.add("router_stall_dma");
+        return;
+      }
+    }
+    ++stream_pos_;
+    ++section_pos_;
+    stats_.add("router_header_words");
+    return;
+  }
+  if (sec.target->full()) {
+    stats_.add("router_stall_full");
+    return;
+  }
+  Word word = stream_[stream_pos_];
+  if (external_source_ != nullptr) {
+    // The DMA engine delivers the same words on its own schedule.
+    if (!external_source_->try_pop(word)) {
+      stats_.add("router_stall_dma");
+      return;
+    }
+  }
+  sec.target->push(word);
+  ++stream_pos_;
+  ++section_pos_;
+  stats_.add("router_words");
+}
+
+bool Netpu::idle() const {
+  if (!loaded_) return true;
+  if (softmax_countdown_ > 0) return false;
+  if (stream_pos_ < stream_.size()) return false;
+  if (!network_output_fifo_.empty()) return false;
+  for (const auto& l : lpus_) {
+    if (!l->idle()) return false;
+  }
+  return finished_;
+}
+
+std::vector<Netpu::LayerProfile> Netpu::layer_profile() const {
+  std::vector<LayerProfile> out;
+  for (std::size_t i = 0; i < lpus_.size(); ++i) {
+    const auto& spans = lpus_[i]->layer_spans();
+    for (std::size_t j = 0; j < spans.size(); ++j) {
+      out.push_back(LayerProfile{j * lpus_.size() + i, spans[j].queued,
+                                 spans[j].active, spans[j].end});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LayerProfile& a, const LayerProfile& b) {
+              return a.layer < b.layer;
+            });
+  return out;
+}
+
+sim::Stats Netpu::collect_stats() const {
+  sim::Stats s = stats_;
+  for (std::size_t i = 0; i < lpus_.size(); ++i) {
+    s.merge(lpus_[i]->stats());
+  }
+  return s;
+}
+
+}  // namespace netpu::core

@@ -1,0 +1,111 @@
+// Network Processing Unit (Sec. III-B3): the top control module.
+//
+// Owns the LPU cluster wired as the Recycling Layer Structure (Fig. 2
+// right: LPU i's outputs feed LPU (i+1) mod L; layer k executes on LPU
+// k mod L, so arbitrarily deep MLPs run on a fixed cluster), the NetPU FIFO
+// cluster, the stream router and the MaxOut/Output-Multiplexer stage.
+//
+// The router models the Network Input FIFO: exactly one 64-bit word enters
+// the accelerator per cycle, routed by the predictable section order of the
+// loadable (the property that reduces the host runtime to a DMA copy). It
+// stalls when the target buffer is full, which is how upstream sections
+// (weights of layer k+1) naturally wait for downstream compute.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/lpu.hpp"
+#include "sim/component.hpp"
+#include "sim/fifo.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace netpu::core {
+
+class Netpu : public sim::Component {
+ public:
+  explicit Netpu(const NetpuConfig& config);
+
+  // Stage a loadable for streaming. Precomputes the section routing plan
+  // from the header (the hardware derives the same plan on the fly from the
+  // Layer Setting FIFO). Must be called after reset() and before ticking.
+  [[nodiscard]] common::Status load(std::vector<Word> stream);
+
+  void reset() override;
+  void tick(Cycle cycle) override;
+  [[nodiscard]] bool idle() const override;
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] std::size_t predicted() const { return predicted_; }
+  [[nodiscard]] const std::vector<std::int64_t>& output_values() const {
+    return output_values_;
+  }
+  // Q15 class probabilities; empty unless the instance has the SoftMax unit.
+  [[nodiscard]] const std::vector<std::int32_t>& probabilities() const {
+    return probabilities_;
+  }
+
+  [[nodiscard]] int lpu_count() const { return static_cast<int>(lpus_.size()); }
+  [[nodiscard]] Lpu& lpu(int i) { return *lpus_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const Lpu& lpu(int i) const { return *lpus_[static_cast<std::size_t>(i)]; }
+
+  // Aggregated statistics: router counters plus per-LPU state cycles.
+  [[nodiscard]] sim::Stats collect_stats() const;
+
+  // Per-layer execution spans in global layer order (layer k ran on LPU
+  // k mod L as that LPU's (k div L)-th assignment).
+  struct LayerProfile {
+    std::size_t layer = 0;
+    Cycle queued = 0;
+    Cycle active = 0;
+    Cycle end = 0;
+    [[nodiscard]] Cycle cycles() const { return end - active; }
+  };
+  [[nodiscard]] std::vector<LayerProfile> layer_profile() const;
+
+  // Attach a waveform trace to every LPU's control FSM.
+  void set_trace(sim::Trace* trace) {
+    for (auto& l : lpus_) l->set_trace(trace);
+  }
+
+  // Co-simulation hook: route words from `source` (fed by a DMA engine
+  // component) instead of the pre-loaded stream image. The loadable passed
+  // to load() is still required — the router plans sections from its
+  // header — but word delivery then follows the source's timing.
+  void set_external_source(sim::Fifo<Word>* source) { external_source_ = source; }
+
+ private:
+  // One contiguous stream section and its destination FIFO (nullptr for
+  // header words the router consumes itself).
+  struct Section {
+    sim::Fifo<Word>* target = nullptr;
+    std::uint64_t words = 0;
+  };
+
+  [[nodiscard]] common::Status build_plan();
+
+  NetpuConfig config_;
+  std::vector<std::unique_ptr<Lpu>> lpus_;
+  sim::Fifo<Word> network_output_fifo_;
+
+  std::vector<Word> stream_;
+  sim::Fifo<Word>* external_source_ = nullptr;
+  std::vector<Section> plan_;
+  std::size_t section_index_ = 0;
+  std::uint64_t section_pos_ = 0;
+  std::size_t stream_pos_ = 0;
+  bool loaded_ = false;
+
+  std::uint32_t output_neurons_ = 0;
+  std::vector<std::int64_t> output_values_;
+  std::vector<std::int32_t> probabilities_;
+  Cycle softmax_countdown_ = 0;
+  bool finished_ = false;
+  std::size_t predicted_ = 0;
+
+  sim::Stats stats_;
+};
+
+}  // namespace netpu::core

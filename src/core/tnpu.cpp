@@ -1,0 +1,80 @@
+#include "core/tnpu.hpp"
+
+#include <cassert>
+
+#include "hw/activation_unit.hpp"
+
+namespace netpu::core {
+
+using common::Q32x5;
+
+void Tnpu::configure_layer(const loadable::LayerSetting& setting) {
+  // The Multi-Threshold comparator bank is sized at hardware-generation
+  // time; a stream requesting more precision than the instance carries is a
+  // configuration error caught by the accelerator before simulation.
+  assert(setting.activation != hw::Activation::kMultiThreshold ||
+         setting.out_prec.bits <= config_.max_mt_bits);
+  setting_ = setting;
+}
+
+void Tnpu::init_neuron(NeuronParams params) {
+  params_ = std::move(params);
+  const bool use_bias = setting_.has_bias_section();
+  acc_.reset(use_bias ? params_.bias : 0);
+}
+
+void Tnpu::mac(Word inputs, Word weights, int active_values) {
+  const bool binary = setting_.in_prec.bits == 1 && setting_.w_prec.bits == 1;
+  if (setting_.dense && !binary) {
+    acc_.add(hw::word_dot_dense(inputs, weights, setting_.in_prec,
+                                setting_.w_prec, active_values));
+    return;
+  }
+  acc_.add(hw::word_dot(inputs, weights, setting_.in_prec, setting_.w_prec,
+                        active_values));
+}
+
+Q32x5 Tnpu::post_accumulator() const {
+  if (setting_.bn_fold) return Q32x5::from_int32(acc_.value());
+  return common::bn_transform(acc_.value(), params_.bn_scale, params_.bn_offset);
+}
+
+std::int32_t Tnpu::activate(Q32x5 q5) const {
+  switch (setting_.activation) {
+    case hw::Activation::kSign:
+      return hw::sign_activation(q5, params_.sign_threshold);
+    case hw::Activation::kMultiThreshold:
+      return hw::multi_threshold(q5, params_.mt_thresholds);
+    case hw::Activation::kRelu:
+      q5 = hw::relu(q5);
+      break;
+    case hw::Activation::kSigmoid:
+      q5 = hw::sigmoid_pwl(q5);
+      break;
+    case hw::Activation::kTanh:
+      q5 = hw::tanh_pwl(q5);
+      break;
+    case hw::Activation::kNone:
+      break;
+  }
+  return static_cast<std::int32_t>(
+      common::quan_transform(q5, params_.quan_scale, params_.quan_offset,
+                             setting_.out_prec.bits, setting_.out_prec.is_signed));
+}
+
+std::int32_t Tnpu::input_quantize(std::int32_t raw_value) const {
+  assert(setting_.kind == hw::LayerKind::kInput);
+  return activate(Q32x5::from_int32(raw_value));
+}
+
+std::int32_t Tnpu::finish_code() const {
+  assert(setting_.kind == hw::LayerKind::kHidden);
+  return activate(post_accumulator());
+}
+
+std::int64_t Tnpu::finish_raw() const {
+  assert(setting_.kind == hw::LayerKind::kOutput);
+  return post_accumulator().raw();
+}
+
+}  // namespace netpu::core

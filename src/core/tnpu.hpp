@@ -1,0 +1,64 @@
+// Transformable Neuron Processing Unit: one neuron datapath, runtime-
+// reconfigured per layer through the crossbar (Sec. III-B1). The LPU drives
+// it cycle-by-cycle; all arithmetic delegates to the bit-true hw:: units so
+// the simulator matches the golden QuantizedMlp model exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "core/crossbar.hpp"
+#include "hw/multiplier.hpp"
+#include "loadable/layer_setting.hpp"
+
+namespace netpu::core {
+
+// Per-neuron parameters delivered during Neuron Initialization.
+struct NeuronParams {
+  std::int32_t bias = 0;
+  common::Q16x16 bn_scale, bn_offset;
+  common::Q32x5 sign_threshold;
+  std::vector<common::Q32x5> mt_thresholds;
+  common::Q16x16 quan_scale, quan_offset;
+};
+
+class Tnpu {
+ public:
+  explicit Tnpu(const TnpuConfig& config) : config_(config) {}
+
+  // Crossbar reconfiguration at Layer Initialization.
+  void configure_layer(const loadable::LayerSetting& setting);
+
+  // Neuron Initialization: load this neuron's parameters and clear ACCU
+  // (pre-loading the folded bias when the layer uses it).
+  void init_neuron(NeuronParams params);
+
+  // One MUL+ACCU cycle: one 64-bit input word against one weight word.
+  void mac(Word inputs, Word weights, int active_values);
+
+  // Input-layer path: quantize one raw dataset value via ACTIV or QUAN.
+  [[nodiscard]] std::int32_t input_quantize(std::int32_t raw_value) const;
+
+  // Hidden-layer completion: post-accumulator pipeline to the output code.
+  [[nodiscard]] std::int32_t finish_code() const;
+
+  // Output-layer completion: raw Q32.5 value feeding MaxOut.
+  [[nodiscard]] std::int64_t finish_raw() const;
+
+  [[nodiscard]] const loadable::LayerSetting& setting() const { return setting_; }
+  [[nodiscard]] std::int32_t accumulator() const { return acc_.value(); }
+
+ private:
+  [[nodiscard]] common::Q32x5 post_accumulator() const;
+  [[nodiscard]] std::int32_t activate(common::Q32x5 q5) const;
+
+  TnpuConfig config_;
+  loadable::LayerSetting setting_;
+  NeuronParams params_;
+  hw::Accumulator acc_;
+};
+
+}  // namespace netpu::core

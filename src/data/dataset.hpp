@@ -1,0 +1,45 @@
+// Image-classification dataset container shared by the trainer, the
+// loadable compiler and the accuracy benches.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "nn/trainer.hpp"
+
+namespace netpu::data {
+
+struct Dataset {
+  int width = 28;
+  int height = 28;
+  int classes = 10;
+  std::vector<std::vector<std::uint8_t>> images;  // raw 8-bit pixels, row-major
+  std::vector<int> labels;
+
+  [[nodiscard]] std::size_t size() const { return images.size(); }
+  [[nodiscard]] std::size_t pixels() const {
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  }
+
+  // Float view of one image, pixels scaled to [0, 1].
+  [[nodiscard]] nn::TrainSample to_train_sample(std::size_t i) const {
+    assert(i < size());
+    nn::TrainSample s;
+    s.x.resize(images[i].size());
+    for (std::size_t p = 0; p < images[i].size(); ++p) {
+      s.x[p] = static_cast<float>(images[i][p]) / 255.0f;
+    }
+    s.label = labels[i];
+    return s;
+  }
+
+  [[nodiscard]] std::vector<nn::TrainSample> to_train_samples() const {
+    std::vector<nn::TrainSample> out;
+    out.reserve(size());
+    for (std::size_t i = 0; i < size(); ++i) out.push_back(to_train_sample(i));
+    return out;
+  }
+};
+
+}  // namespace netpu::data

@@ -1,0 +1,115 @@
+#include "data/idx.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace netpu::data {
+namespace {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+std::uint32_t read_be32(std::istream& in) {
+  std::uint8_t b[4] = {};
+  in.read(reinterpret_cast<char*>(b), 4);
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) | b[3];
+}
+
+void write_be32(std::ostream& out, std::uint32_t v) {
+  const std::uint8_t b[4] = {static_cast<std::uint8_t>(v >> 24),
+                             static_cast<std::uint8_t>(v >> 16),
+                             static_cast<std::uint8_t>(v >> 8),
+                             static_cast<std::uint8_t>(v)};
+  out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+constexpr std::uint32_t kImagesMagic = 0x00000803;  // unsigned byte, 3 dims
+constexpr std::uint32_t kLabelsMagic = 0x00000801;  // unsigned byte, 1 dim
+
+}  // namespace
+
+Result<Dataset> load_idx(const std::string& images_path, const std::string& labels_path) {
+  std::ifstream img(images_path, std::ios::binary);
+  if (!img) {
+    return Error{ErrorCode::kInvalidArgument, "cannot open " + images_path};
+  }
+  std::ifstream lab(labels_path, std::ios::binary);
+  if (!lab) {
+    return Error{ErrorCode::kInvalidArgument, "cannot open " + labels_path};
+  }
+
+  if (read_be32(img) != kImagesMagic) {
+    return Error{ErrorCode::kMalformedStream, "bad IDX3 magic in " + images_path};
+  }
+  const std::uint32_t count = read_be32(img);
+  const std::uint32_t rows = read_be32(img);
+  const std::uint32_t cols = read_be32(img);
+  if (!img || rows == 0 || cols == 0 || rows > 4096 || cols > 4096) {
+    return Error{ErrorCode::kMalformedStream, "bad IDX3 header in " + images_path};
+  }
+
+  if (read_be32(lab) != kLabelsMagic) {
+    return Error{ErrorCode::kMalformedStream, "bad IDX1 magic in " + labels_path};
+  }
+  const std::uint32_t label_count = read_be32(lab);
+  if (label_count != count) {
+    return Error{ErrorCode::kMalformedStream, "image/label count mismatch"};
+  }
+
+  Dataset ds;
+  ds.width = static_cast<int>(cols);
+  ds.height = static_cast<int>(rows);
+  ds.images.reserve(count);
+  ds.labels.reserve(count);
+  const std::size_t px = static_cast<std::size_t>(rows) * cols;
+  int max_label = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::vector<std::uint8_t> image(px);
+    img.read(reinterpret_cast<char*>(image.data()),
+             static_cast<std::streamsize>(px));
+    char label = 0;
+    lab.read(&label, 1);
+    if (!img || !lab) {
+      return Error{ErrorCode::kMalformedStream, "truncated IDX data"};
+    }
+    ds.images.push_back(std::move(image));
+    ds.labels.push_back(static_cast<int>(static_cast<unsigned char>(label)));
+    max_label = std::max(max_label, ds.labels.back());
+  }
+  ds.classes = max_label + 1;
+  return ds;
+}
+
+Status save_idx(const Dataset& ds, const std::string& images_path,
+                const std::string& labels_path) {
+  std::ofstream img(images_path, std::ios::binary);
+  if (!img) {
+    return Error{ErrorCode::kInvalidArgument, "cannot create " + images_path};
+  }
+  std::ofstream lab(labels_path, std::ios::binary);
+  if (!lab) {
+    return Error{ErrorCode::kInvalidArgument, "cannot create " + labels_path};
+  }
+  write_be32(img, kImagesMagic);
+  write_be32(img, static_cast<std::uint32_t>(ds.size()));
+  write_be32(img, static_cast<std::uint32_t>(ds.height));
+  write_be32(img, static_cast<std::uint32_t>(ds.width));
+  write_be32(lab, kLabelsMagic);
+  write_be32(lab, static_cast<std::uint32_t>(ds.size()));
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    img.write(reinterpret_cast<const char*>(ds.images[i].data()),
+              static_cast<std::streamsize>(ds.images[i].size()));
+    const char label = static_cast<char>(ds.labels[i]);
+    lab.write(&label, 1);
+  }
+  if (!img || !lab) {
+    return Error{ErrorCode::kInternal, "short write while saving IDX"};
+  }
+  return Status::ok_status();
+}
+
+}  // namespace netpu::data

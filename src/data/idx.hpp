@@ -1,0 +1,20 @@
+// IDX-format (LeCun MNIST) reader/writer, so real MNIST files drop in for
+// the synthetic digits when available.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "data/dataset.hpp"
+
+namespace netpu::data {
+
+// Load a dataset from an IDX3 image file + IDX1 label file pair.
+[[nodiscard]] common::Result<Dataset> load_idx(const std::string& images_path,
+                                               const std::string& labels_path);
+
+// Write `ds` as an IDX3/IDX1 pair (round-trip tests, interop).
+[[nodiscard]] common::Status save_idx(const Dataset& ds, const std::string& images_path,
+                                      const std::string& labels_path);
+
+}  // namespace netpu::data

@@ -1,0 +1,150 @@
+#include "data/synthetic_mnist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prng.hpp"
+
+namespace netpu::data {
+namespace {
+
+struct Point {
+  float x, y;
+};
+using Polyline = std::vector<Point>;
+
+// Stroke skeletons per digit class in a normalized [0,1]^2 box (y grows
+// downward). Curves are sampled into short segments.
+Polyline arc(float cx, float cy, float rx, float ry, float a0, float a1, int steps) {
+  Polyline p;
+  p.reserve(static_cast<std::size_t>(steps) + 1);
+  for (int i = 0; i <= steps; ++i) {
+    const float t = a0 + (a1 - a0) * static_cast<float>(i) / static_cast<float>(steps);
+    p.push_back({cx + rx * std::cos(t), cy + ry * std::sin(t)});
+  }
+  return p;
+}
+
+std::vector<Polyline> digit_strokes(int digit) {
+  constexpr float kPi = 3.14159265f;
+  switch (digit) {
+    case 0:
+      return {arc(0.5f, 0.5f, 0.32f, 0.42f, 0.0f, 2.0f * kPi, 24)};
+    case 1:
+      return {{{0.32f, 0.28f}, {0.52f, 0.12f}, {0.52f, 0.88f}},
+              {{0.32f, 0.88f}, {0.72f, 0.88f}}};
+    case 2:
+      return {arc(0.5f, 0.32f, 0.3f, 0.22f, -kPi, 0.35f, 12),
+              {{0.74f, 0.42f}, {0.24f, 0.88f}},
+              {{0.24f, 0.88f}, {0.78f, 0.88f}}};
+    case 3:
+      return {arc(0.47f, 0.3f, 0.28f, 0.2f, -kPi, 0.5f * kPi, 14),
+              arc(0.47f, 0.7f, 0.3f, 0.22f, -0.5f * kPi, kPi, 14)};
+    case 4:
+      return {{{0.62f, 0.12f}, {0.2f, 0.62f}, {0.8f, 0.62f}},
+              {{0.62f, 0.12f}, {0.62f, 0.88f}}};
+    case 5:
+      return {{{0.74f, 0.12f}, {0.28f, 0.12f}, {0.26f, 0.48f}},
+              arc(0.48f, 0.66f, 0.29f, 0.23f, -0.55f * kPi, 0.85f * kPi, 16)};
+    case 6:
+      return {arc(0.62f, 0.2f, 0.4f, 0.55f, -0.85f * kPi, -0.45f * kPi, 10),
+              {{0.3f, 0.35f}, {0.28f, 0.66f}},
+              arc(0.5f, 0.68f, 0.23f, 0.2f, 0.0f, 2.0f * kPi, 18)};
+    case 7:
+      return {{{0.22f, 0.14f}, {0.78f, 0.14f}, {0.4f, 0.88f}}};
+    case 8:
+      return {arc(0.5f, 0.3f, 0.24f, 0.19f, 0.0f, 2.0f * kPi, 18),
+              arc(0.5f, 0.69f, 0.29f, 0.21f, 0.0f, 2.0f * kPi, 18)};
+    case 9:
+    default:
+      return {arc(0.5f, 0.32f, 0.24f, 0.21f, 0.0f, 2.0f * kPi, 18),
+              {{0.73f, 0.35f}, {0.68f, 0.88f}}};
+  }
+}
+
+float segment_distance(Point p, Point a, Point b) {
+  const float vx = b.x - a.x;
+  const float vy = b.y - a.y;
+  const float len2 = vx * vx + vy * vy;
+  float t = 0.0f;
+  if (len2 > 0.0f) {
+    t = std::clamp(((p.x - a.x) * vx + (p.y - a.y) * vy) / len2, 0.0f, 1.0f);
+  }
+  const float dx = p.x - (a.x + t * vx);
+  const float dy = p.y - (a.y + t * vy);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+Dataset make_synthetic_mnist(const SyntheticMnistOptions& options) {
+  Dataset ds;
+  ds.width = 28;
+  ds.height = 28;
+  ds.classes = 10;
+  ds.images.reserve(options.count);
+  ds.labels.reserve(options.count);
+
+  common::Xoshiro256 rng(options.seed);
+
+  // Pre-sample skeletons.
+  std::vector<std::vector<Polyline>> skeletons(10);
+  for (int d = 0; d < 10; ++d) skeletons[static_cast<std::size_t>(d)] = digit_strokes(d);
+
+  for (std::size_t i = 0; i < options.count; ++i) {
+    const int label = static_cast<int>(rng.next_below(10));
+    const float angle =
+        static_cast<float>(rng.next_double(-options.max_rotate_rad, options.max_rotate_rad));
+    const float scale =
+        1.0f + static_cast<float>(rng.next_double(-options.scale_jitter, options.scale_jitter));
+    const float dx =
+        static_cast<float>(rng.next_double(-options.max_shift_px, options.max_shift_px));
+    const float dy =
+        static_cast<float>(rng.next_double(-options.max_shift_px, options.max_shift_px));
+    const float width = options.stroke_width *
+                        (1.0f + static_cast<float>(rng.next_double(-0.25, 0.25)));
+    const float ca = std::cos(angle);
+    const float sa = std::sin(angle);
+
+    // Transform skeleton into pixel space: scale 20px box centered at 14,14.
+    std::vector<Polyline> strokes = skeletons[static_cast<std::size_t>(label)];
+    for (auto& poly : strokes) {
+      for (auto& p : poly) {
+        const float nx = (p.x - 0.5f) * 20.0f * scale;
+        const float ny = (p.y - 0.5f) * 20.0f * scale;
+        p.x = 14.0f + ca * nx - sa * ny + dx;
+        p.y = 14.0f + sa * nx + ca * ny + dy;
+      }
+    }
+
+    std::vector<std::uint8_t> img(ds.pixels(), 0);
+    for (int y = 0; y < 28; ++y) {
+      for (int x = 0; x < 28; ++x) {
+        const Point pc{static_cast<float>(x) + 0.5f, static_cast<float>(y) + 0.5f};
+        float best = 1e9f;
+        for (const auto& poly : strokes) {
+          for (std::size_t s = 0; s + 1 < poly.size(); ++s) {
+            best = std::min(best, segment_distance(pc, poly[s], poly[s + 1]));
+          }
+        }
+        // Soft falloff from the stroke centerline.
+        float v = std::clamp(1.25f - best / width, 0.0f, 1.0f);
+        v += static_cast<float>(rng.next_double(0.0, options.noise_level));
+        img[static_cast<std::size_t>(y) * 28 + static_cast<std::size_t>(x)] =
+            static_cast<std::uint8_t>(std::clamp(v, 0.0f, 1.0f) * 255.0f);
+      }
+    }
+    ds.images.push_back(std::move(img));
+    ds.labels.push_back(label);
+  }
+  return ds;
+}
+
+Dataset make_synthetic_mnist(std::size_t count, std::uint64_t seed) {
+  SyntheticMnistOptions o;
+  o.count = count;
+  o.seed = seed;
+  return make_synthetic_mnist(o);
+}
+
+}  // namespace netpu::data

@@ -1,0 +1,112 @@
+#include "hw/activation_unit.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace netpu::hw {
+namespace {
+
+// Q32.5 raw constants of the Eq. 4 breakpoints and intercepts. All are
+// exactly representable with 5 fraction bits (0.84375 = 27/32,
+// 0.625 = 20/32, 0.5 = 16/32), which is why the paper's approximation is
+// implementable with shifts only.
+constexpr std::int64_t kRaw5 = 5 * 32;
+constexpr std::int64_t kRaw2_375 = 76;  // 2.375 * 32
+constexpr std::int64_t kRaw1 = 32;
+constexpr std::int64_t kRawOne = 32;        // f(x) saturation value 1.0
+constexpr std::int64_t kRaw0_84375 = 27;
+constexpr std::int64_t kRaw0_625 = 20;
+constexpr std::int64_t kRaw0_5 = 16;
+
+// f(x) of Eq. 4, defined on |x|.
+std::int64_t sigmoid_magnitude(std::int64_t ax) {
+  if (ax >= kRaw5) return kRawOne;
+  if (ax >= kRaw2_375) return (ax >> 5) + kRaw0_84375;
+  if (ax >= kRaw1) return (ax >> 3) + kRaw0_625;
+  return (ax >> 2) + kRaw0_5;
+}
+
+}  // namespace
+
+Q32x5 sigmoid_pwl(Q32x5 x) {
+  const std::int64_t raw = x.raw();
+  if (raw >= 0) return Q32x5(sigmoid_magnitude(raw));
+  return Q32x5(kRawOne - sigmoid_magnitude(-raw));
+}
+
+Q32x5 tanh_pwl(Q32x5 x) {
+  const Q32x5 doubled = Q32x5::saturate(x.raw() * 2);
+  return Q32x5(2 * sigmoid_pwl(doubled).raw() - kRawOne);
+}
+
+Q32x5 relu(Q32x5 x) { return x.raw() >= 0 ? x : Q32x5(0); }
+
+int sign_activation(Q32x5 x, Q32x5 threshold) {
+  return x.raw() >= threshold.raw() ? 1 : -1;
+}
+
+std::int32_t multi_threshold(Q32x5 x, std::span<const Q32x5> thresholds) {
+  // The hardware is a comparator tree; the count of asserted comparators is
+  // the output code. Thresholds are sorted, so this equals the insertion
+  // point, but we model the tree literally to keep the unit independent of
+  // the sorting precondition (a misordered threshold set still matches RTL).
+  std::int32_t code = 0;
+  for (const auto& t : thresholds) {
+    if (x.raw() >= t.raw()) ++code;
+  }
+  return code;
+}
+
+std::size_t maxout(std::span<const std::int64_t> values) {
+  assert(!values.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] > values[best]) best = i;
+  }
+  return best;
+}
+
+namespace {
+
+// 2^(-k/16) in Q15, k = 0..15 (the fractional-exponent lookup of the
+// SoftMax unit).
+constexpr std::int32_t kExp2FracLut[16] = {
+    32768, 31379, 30048, 28774, 27554, 26386, 25268, 24196,
+    23170, 22188, 21247, 20347, 19484, 18658, 17867, 17109,
+};
+
+// log2(e) in Q16.16.
+constexpr std::int64_t kLog2eQ16 = 94548;
+
+}  // namespace
+
+std::vector<std::int32_t> softmax_q15(std::span<const std::int64_t> values) {
+  assert(!values.empty());
+  std::int64_t max_raw = values[0];
+  for (const auto v : values) max_raw = std::max(max_raw, v);
+
+  // e^(v - max) = 2^((v - max) * log2 e); the Q32.5 difference times
+  // log2(e) in Q16.16, renormalized to a Q16.16 non-negative exponent.
+  std::vector<std::int64_t> exps(values.size());
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::int64_t d_q5 = max_raw - values[i];  // >= 0
+    const std::int64_t x_q16 = (d_q5 * kLog2eQ16) >> 5;
+    const std::int64_t int_part = x_q16 >> 16;
+    std::int64_t e = 0;
+    if (int_part < kSoftmaxFracBits + 1) {
+      const auto frac_index = static_cast<std::size_t>((x_q16 >> 12) & 0xF);
+      e = kExp2FracLut[frac_index] >> int_part;
+    }
+    exps[i] = e;
+    sum += e;
+  }
+  std::vector<std::int32_t> probs(values.size());
+  if (sum == 0) return probs;  // all-underflow degenerate case
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    probs[i] = static_cast<std::int32_t>((exps[i] << kSoftmaxFracBits) / sum);
+  }
+  return probs;
+}
+
+}  // namespace netpu::hw

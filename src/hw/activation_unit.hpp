@@ -1,0 +1,56 @@
+// Bit-true ACTIV submodule: ReLU, piecewise-linear Sigmoid (Eq. 4), Tanh
+// (via tanh(x) = 2*sigmoid(2x) - 1), Sign with a trained threshold (Eq. 3),
+// and HWGQ-style Multi-Threshold counting.
+//
+// All transfer functions operate in the 37-bit Q32.5 inter-stage domain.
+// Sigmoid/Tanh outputs stay in Q32.5 ([0,1] resp. [-1,1] scaled by 32) and
+// are re-quantized by QUAN; Sign and Multi-Threshold emit quantized codes
+// directly and bypass QUAN (crossbar rule).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "hw/types.hpp"
+
+namespace netpu::hw {
+
+using common::Q32x5;
+
+// Eq. 4 piecewise-linear approximation of sigmoid on Q32.5. Output raw is
+// in [0, 32] (i.e. [0.0, 1.0]).
+[[nodiscard]] Q32x5 sigmoid_pwl(Q32x5 x);
+
+// tanh via the shared sigmoid block: 2*sigmoid(2x) - 1. Output in [-32, 32].
+[[nodiscard]] Q32x5 tanh_pwl(Q32x5 x);
+
+// max(0, x).
+[[nodiscard]] Q32x5 relu(Q32x5 x);
+
+// Sign activation with trained threshold (Eq. 3): +1 when x >= threshold,
+// else -1. The threshold lives in the same Q.5 domain as x.
+[[nodiscard]] int sign_activation(Q32x5 x, Q32x5 threshold);
+
+// Multi-Threshold (HWGQ) activation: the output code is the number of
+// thresholds <= x. `thresholds` must be sorted ascending; for an n-bit
+// output the unit holds 2^n - 1 thresholds, so codes span [0, 2^n - 1].
+[[nodiscard]] std::int32_t multi_threshold(Q32x5 x, std::span<const Q32x5> thresholds);
+
+// MaxOut submodule of the output layer: index of the maximum value
+// (lowest index wins ties).
+[[nodiscard]] std::size_t maxout(std::span<const std::int64_t> values);
+
+// SoftMax unit (the paper's declared follow-up to MaxOut, implemented here
+// as an extension): fixed-point softmax over the output layer's raw Q32.5
+// values. Shift-and-LUT base-2 exponentials — e^x is evaluated as
+// 2^(x*log2 e) with a 16-entry Q15 table for the fractional part and an
+// arithmetic shift for the integer part — then normalized to Q15
+// probabilities (sum ~= 32768 up to per-element truncation).
+inline constexpr int kSoftmaxFracBits = 15;
+inline constexpr std::int32_t kSoftmaxOne = 1 << kSoftmaxFracBits;
+[[nodiscard]] std::vector<std::int32_t> softmax_q15(
+    std::span<const std::int64_t> values);
+
+}  // namespace netpu::hw

@@ -1,0 +1,35 @@
+// FPGA device descriptions: available resource totals used to turn absolute
+// resource counts into utilization percentages (Tables IV-VI).
+#pragma once
+
+#include <string>
+
+namespace netpu::hw {
+
+struct Device {
+  std::string name;
+  long luts = 0;
+  long dsps = 0;
+  long ffs = 0;
+  double bram36 = 0;  // 36-Kbit block-RAM tiles (halves = BRAM18)
+};
+
+// Xilinx Zynq UltraScale+ ZU3EG on the Ultra96-V2 evaluation platform.
+// Totals match the "Total Resource Number" rows of Tables IV and V.
+[[nodiscard]] inline Device ultra96_v2() {
+  return Device{"Ultra96-V2 (ZU3EG)", 70560, 360, 141120, 216.0};
+}
+
+// Zynq-7000 Z7020 (PYNQ-Z1), the platform of the FINN instances in
+// Table VI. BRAM total expressed in 36-Kbit tiles.
+[[nodiscard]] inline Device zynq7020() {
+  return Device{"Zynq-7000 (Z7020)", 53200, 220, 106400, 140.0};
+}
+
+// Zynq-7000 Z7045 (ZC706), used by the large FINN "max" instances, whose
+// LUT counts exceed the Z7020.
+[[nodiscard]] inline Device zynq7045() {
+  return Device{"Zynq-7000 (Z7045)", 218600, 900, 437200, 545.0};
+}
+
+}  // namespace netpu::hw

@@ -1,0 +1,91 @@
+#include "hw/multiplier.hpp"
+
+#include <cassert>
+
+#include "common/bitutils.hpp"
+
+namespace netpu::hw {
+
+std::int32_t decode_lane(std::uint8_t lane, Precision prec) {
+  assert(prec.bits >= 2 && prec.bits <= kLaneBits);
+  if (prec.is_signed) {
+    return static_cast<std::int32_t>(common::sign_extend(lane, prec.bits));
+  }
+  return static_cast<std::int32_t>(common::zero_extend(lane, prec.bits));
+}
+
+std::int32_t xnor_lane_dot(std::uint8_t a, std::uint8_t w, int channels) {
+  assert(channels >= 0 && channels <= kLaneBits);
+  if (channels == 0) return 0;
+  const auto x = static_cast<std::uint8_t>(~(a ^ w));
+  const auto masked = static_cast<std::uint8_t>(x & common::low_mask(channels));
+  // popcount counts the +1 products; the remaining `channels - popcount`
+  // are -1 products (Table I).
+  return 2 * common::popcount8(masked) - channels;
+}
+
+std::array<std::int32_t, kLanesPerTnpu> int_word_products(Word inputs, Word weights,
+                                                          Precision in_prec,
+                                                          Precision w_prec,
+                                                          int active_lanes) {
+  assert(active_lanes >= 0 && active_lanes <= kLanesPerTnpu);
+  std::array<std::int32_t, kLanesPerTnpu> out{};
+  for (int lane = 0; lane < active_lanes; ++lane) {
+    const std::int32_t a = decode_lane(common::byte_lane(inputs, lane), in_prec);
+    const std::int32_t w = decode_lane(common::byte_lane(weights, lane), w_prec);
+    out[static_cast<std::size_t>(lane)] = a * w;
+  }
+  return out;
+}
+
+std::int32_t decode_dense(Word word, int index, Precision prec) {
+  assert(prec.bits >= 1 && prec.bits <= kLaneBits);
+  assert(index >= 0 && index < dense_values_per_word(prec.bits));
+  const Word field = word >> (index * prec.bits);
+  if (prec.bits == 1) return (field & 1) != 0 ? 1 : -1;  // binarized codes
+  if (prec.is_signed) {
+    return static_cast<std::int32_t>(common::sign_extend(field, prec.bits));
+  }
+  return static_cast<std::int32_t>(common::zero_extend(field, prec.bits));
+}
+
+std::int64_t word_dot_dense(Word inputs, Word weights, Precision in_prec,
+                            Precision w_prec, int active_values) {
+  // Dense streams require matching packing widths (stream validation
+  // enforces in_prec.bits == w_prec.bits).
+  assert(in_prec.bits == w_prec.bits);
+  assert(active_values >= 0 && active_values <= dense_values_per_word(in_prec.bits));
+  std::int64_t sum = 0;
+  for (int i = 0; i < active_values; ++i) {
+    sum += static_cast<std::int64_t>(decode_dense(inputs, i, in_prec)) *
+           decode_dense(weights, i, w_prec);
+  }
+  return sum;
+}
+
+std::int64_t word_dot(Word inputs, Word weights, Precision in_prec, Precision w_prec,
+                      int active_values) {
+  const bool binary = in_prec.bits == 1 || w_prec.bits == 1;
+  if (binary) {
+    // Pairing exception (Sec. III-B1): a 1-bit operand requires a 1-bit
+    // partner; the compiler widens lone 1-bit weights to 2-bit {-1,+1}.
+    assert(in_prec.bits == 1 && w_prec.bits == 1);
+    assert(active_values >= 0 && active_values <= kBinaryChannelsPerWord);
+    std::int64_t sum = 0;
+    int remaining = active_values;
+    for (int lane = 0; lane < kLanesPerTnpu && remaining > 0; ++lane) {
+      const int ch = remaining < kLaneBits ? remaining : kLaneBits;
+      sum += xnor_lane_dot(common::byte_lane(inputs, lane),
+                           common::byte_lane(weights, lane), ch);
+      remaining -= ch;
+    }
+    return sum;
+  }
+  assert(active_values >= 0 && active_values <= kLanesPerTnpu);
+  const auto products = int_word_products(inputs, weights, in_prec, w_prec, active_values);
+  std::int64_t sum = 0;
+  for (const auto p : products) sum += p;
+  return sum;
+}
+
+}  // namespace netpu::hw

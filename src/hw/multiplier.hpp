@@ -1,0 +1,89 @@
+// Bit-true model of the TNPU MUL submodule (Sec. III-B1).
+//
+// One TNPU carries N = 8 lanes of 8 bits each (one 64-bit word per operand
+// per cycle). Two modes:
+//  * Binary mode (input precision == weight precision == 1 bit): every lane
+//    carries eight 1-bit channels, so a word holds 64 binarized values.
+//    Each lane is an 8-bit XNOR gate followed by a Popcount, exactly the
+//    FINN binary multiplier (Table I): with +1 encoded as bit 1 and -1 as
+//    bit 0, the dot product of c channels is 2*popcount(xnor) - c.
+//  * Integer mode (2..8 bits): every lane carries one value in an 8-bit
+//    container; bits above the configured precision are ignored (the paper's
+//    "placeholder" bits). Weights are two's-complement signed; activations
+//    are signed or unsigned per the layer setting.
+//
+// The paper's pairing exception — if either operand is 1 bit, both must
+// be — is enforced here by assertion and at configuration validation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "hw/types.hpp"
+
+namespace netpu::hw {
+
+inline constexpr int kLanesPerTnpu = 8;
+inline constexpr int kLaneBits = 8;
+inline constexpr int kBinaryChannelsPerWord = kLanesPerTnpu * kLaneBits;  // 64
+
+// Signed/unsigned decode of one 8-bit lane under `prec`.
+[[nodiscard]] std::int32_t decode_lane(std::uint8_t lane, Precision prec);
+
+// XNOR-popcount dot product of one 8-bit lane pair with `channels` active
+// low-order channels (1..8). Result in [-channels, +channels].
+[[nodiscard]] std::int32_t xnor_lane_dot(std::uint8_t a, std::uint8_t w, int channels);
+
+// Per-lane products of one integer-mode word pair. Lanes >= active_lanes
+// produce 0.
+[[nodiscard]] std::array<std::int32_t, kLanesPerTnpu> int_word_products(
+    Word inputs, Word weights, Precision in_prec, Precision w_prec, int active_lanes);
+
+// Dot-product contribution of one 64-bit word pair: sum of lane products in
+// integer mode, or the XNOR-popcount sum over `active_values` channels in
+// binary mode. `active_values` counts values, not lanes: up to 64 in binary
+// mode, up to 8 in integer mode.
+[[nodiscard]] std::int64_t word_dot(Word inputs, Word weights, Precision in_prec,
+                                    Precision w_prec, int active_values);
+
+// Number of values carried per 64-bit stream word at a given precision:
+// 64 for 1-bit operands, 8 otherwise (8-bit lane containers, Sec. V).
+[[nodiscard]] constexpr int values_per_word(int bits) {
+  return bits == 1 ? kBinaryChannelsPerWord : kLanesPerTnpu;
+}
+
+// --- Dense multi-channel mode (the paper's Sec. V future work #3) ---
+//
+// The baseline stream wastes 8 - n bits per value at n-bit precision
+// ("placeholder" bits). Dense mode packs floor(64 / bits) values per word;
+// the MUL grows a bank of narrow multipliers to consume them in one cycle.
+
+// Values per 64-bit word under dense packing.
+[[nodiscard]] constexpr int dense_values_per_word(int bits) {
+  return hw::kBinaryChannelsPerWord / bits;  // 64 / bits
+}
+
+// Decode value `index` from a densely packed word.
+[[nodiscard]] std::int32_t decode_dense(Word word, int index, Precision prec);
+
+// Dot-product contribution of one densely packed word pair. Both operands
+// must use the same packing width (enforced by stream validation); `active`
+// counts values (up to dense_values_per_word).
+[[nodiscard]] std::int64_t word_dot_dense(Word inputs, Word weights,
+                                          Precision in_prec, Precision w_prec,
+                                          int active_values);
+
+// The ACCU submodule: 32-bit wrap-around accumulator with an optional
+// bias pre-load used when BN folding is active.
+class Accumulator {
+ public:
+  void reset(std::int32_t bias = 0) { acc_ = bias; }
+  void add(std::int64_t v) { acc_ = static_cast<std::int32_t>(acc_ + v); }
+  [[nodiscard]] std::int32_t value() const { return acc_; }
+
+ private:
+  std::int32_t acc_ = 0;
+};
+
+}  // namespace netpu::hw

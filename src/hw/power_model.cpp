@@ -1,0 +1,13 @@
+#include "hw/power_model.hpp"
+
+namespace netpu::hw {
+
+double estimate_power_watts(const Resources& r, const PowerParams& p) {
+  const double dynamic_uw_per_mhz = kLutUwPerMhz * static_cast<double>(r.luts) +
+                                    kDspUwPerMhz * static_cast<double>(r.dsps) +
+                                    kBram36UwPerMhz * r.bram36 +
+                                    kFfUwPerMhz * static_cast<double>(r.ffs);
+  return p.static_watts + p.activity * p.clock_mhz * dynamic_uw_per_mhz * 1e-6;
+}
+
+}  // namespace netpu::hw

@@ -1,0 +1,35 @@
+// First-order wall-power model.
+//
+// Substitutes for the paper's wall power meter (Table VI): total power is a
+// platform-static term (board + PS subsystem) plus a dynamic term linear in
+// clocked resources, scaled by clock frequency and a switching-activity
+// factor. An overlay that stalls on parameter loading (NetPU-M) toggles far
+// less than a fully-pipelined streaming dataflow (FINN-max); activity
+// captures that. Constants are calibrated so the six Table VI power cells
+// land within ~15% of the paper, preserving the ordering
+// NetPU-M < FINN-fix << FINN-max.
+#pragma once
+
+#include "hw/resource_model.hpp"
+
+namespace netpu::hw {
+
+struct PowerParams {
+  double static_watts = 4.6;  // board + processing-system baseline
+  double activity = 0.45;     // average switching activity factor [0, 1]
+  double clock_mhz = 100.0;
+};
+
+// Platform baselines measured at the wall (board, PS, regulators).
+inline constexpr double kUltra96StaticWatts = 4.6;
+inline constexpr double kZynq7000StaticWatts = 6.1;
+
+// Dynamic power per resource per MHz, in microwatts.
+inline constexpr double kLutUwPerMhz = 0.78;
+inline constexpr double kDspUwPerMhz = 10.0;
+inline constexpr double kBram36UwPerMhz = 20.0;
+inline constexpr double kFfUwPerMhz = 0.05;
+
+[[nodiscard]] double estimate_power_watts(const Resources& r, const PowerParams& p);
+
+}  // namespace netpu::hw

@@ -1,0 +1,133 @@
+#include "hw/resource_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/bitutils.hpp"
+
+namespace netpu::hw {
+namespace {
+
+// Per-submodule cost constants. Calibrated against the Vivado synthesis
+// results the paper reports for the Ultra96-V2: the four TNPU instances of
+// Table IV are reproduced exactly, and the 2-LPU x 8-TNPU instance of
+// Table V is reproduced exactly in LUT/DSP/FF and within 3% in BRAM.
+constexpr long kXnorLutPerLane = 20;     // 8-bit XNOR + popcount + adder
+constexpr long kIntMulCtrlLutPerLane = 8;
+constexpr long kIntMulDspPerLane = 1;
+constexpr long kIntMulLutPerLane = 78;   // LUT-fabric realization of one 8x8
+constexpr long kAccuLut = 80;
+constexpr long kBnDspModeLut = 160;
+constexpr long kBnDspModeDsp = 8;
+constexpr long kBnLutModeLut = 1249;     // 32-bit scale multiply in fabric
+constexpr long kBnLutModeDsp = 4;
+constexpr long kReluLut = 37;
+constexpr long kSigmoidLut = 185;        // Eq. 4 shifter/adder network
+constexpr long kTanhLut = 42;
+constexpr long kSignLut = 33;
+constexpr long kMtLutPerThreshold = 68;  // 37-bit comparator + count adder
+constexpr long kMtLutPerBit = 6;         // output code mux per bit
+constexpr long kQuanLut = 310;
+constexpr long kMaxoutLut = 90;
+constexpr long kCrossbarLut = 300;
+constexpr long kTnpuCtrlLut = 200;
+constexpr long kTnpuFfPerLane = 4;
+// Dense multi-channel bank (extension, engineering estimate — the paper
+// has no synthesis data for it): narrow LUT multipliers for up to 32
+// 2-bit channels plus field-extraction muxes.
+constexpr long kDenseBankLut = 760;
+
+constexpr long kLpuBaseLut = 1450;
+constexpr long kLpuFsmLut = 1200;
+constexpr long kLpuLutPerBuffer = 35;
+constexpr long kLpuLutPerTnpu = 400;  // operand routing / result collection
+constexpr long kLpuBaseFf = 2000;
+constexpr long kLpuFfPerTnpu = 240;
+constexpr long kLpuFfPerBuffer = 80;
+
+constexpr long kNetpuBaseLut = 2275;
+constexpr long kNetpuLutPerLpu = 900;
+constexpr long kNetpuBaseFf = 2249;
+constexpr long kNetpuFfPerLpu = 1200;
+
+}  // namespace
+
+Utilization utilization(const Resources& r, const Device& d) {
+  Utilization u;
+  if (d.luts > 0) u.luts = static_cast<double>(r.luts) / static_cast<double>(d.luts);
+  if (d.dsps > 0) u.dsps = static_cast<double>(r.dsps) / static_cast<double>(d.dsps);
+  if (d.ffs > 0) u.ffs = static_cast<double>(r.ffs) / static_cast<double>(d.ffs);
+  if (d.bram36 > 0) u.bram36 = r.bram36 / d.bram36;
+  return u;
+}
+
+Resources ResourceModel::tnpu(const TnpuResourceParams& p) {
+  assert(p.lanes >= 1);
+  assert(p.max_mt_bits >= 1 && p.max_mt_bits <= 8);
+  Resources r;
+
+  // MUL: `lanes` binary (XNOR+popcount) plus `lanes` integer multipliers.
+  r.luts += kXnorLutPerLane * p.lanes;
+  if (p.mul_impl == MulImpl::kDsp) {
+    r.luts += kIntMulCtrlLutPerLane * p.lanes;
+    r.dsps += kIntMulDspPerLane * p.lanes;
+  } else {
+    r.luts += kIntMulLutPerLane * p.lanes;
+  }
+
+  r.luts += kAccuLut;
+
+  if (p.bn_mul_impl == MulImpl::kDsp) {
+    r.luts += kBnDspModeLut;
+    r.dsps += kBnDspModeDsp;
+  } else {
+    r.luts += kBnLutModeLut;
+    r.dsps += kBnLutModeDsp;
+  }
+
+  // ACTIV: all five functions are present (runtime-selectable).
+  r.luts += kReluLut + kSigmoidLut + kTanhLut + kSignLut;
+  const long mt_thresholds = (1L << p.max_mt_bits) - 1;
+  r.luts += kMtLutPerThreshold * mt_thresholds + kMtLutPerBit * p.max_mt_bits;
+
+  r.luts += kQuanLut + kMaxoutLut + kCrossbarLut + kTnpuCtrlLut;
+  if (p.dense_stream) r.luts += kDenseBankLut;
+  r.ffs += kTnpuFfPerLane * p.lanes;
+  return r;
+}
+
+double ResourceModel::buffer_bram36(const BufferSpec& spec) {
+  // BRAM18 primitive: 18 bits wide x 1024 deep. A WxD buffer tiles
+  // ceil(W/18) x ceil(D/1024) of them; two BRAM18 = one BRAM36 tile.
+  const auto w = static_cast<std::uint64_t>(spec.width_bits);
+  const auto d = static_cast<std::uint64_t>(spec.depth);
+  const auto tiles18 = common::ceil_div(w, 18) * common::ceil_div(d, 1024);
+  return 0.5 * static_cast<double>(tiles18);
+}
+
+Resources ResourceModel::lpu(const TnpuResourceParams& tnpu_params, int tnpus,
+                             const std::vector<BufferSpec>& buffers) {
+  assert(tnpus >= 1);
+  Resources r = tnpu(tnpu_params) * tnpus;
+  r.luts += kLpuBaseLut + kLpuFsmLut +
+            kLpuLutPerBuffer * static_cast<long>(buffers.size()) +
+            kLpuLutPerTnpu * tnpus;
+  r.ffs += kLpuBaseFf + kLpuFfPerTnpu * tnpus +
+           kLpuFfPerBuffer * static_cast<long>(buffers.size());
+  for (const auto& b : buffers) r.bram36 += buffer_bram36(b);
+  return r;
+}
+
+Resources ResourceModel::netpu(const TnpuResourceParams& tnpu_params, int lpus,
+                               int tnpus_per_lpu,
+                               const std::vector<BufferSpec>& lpu_buffers,
+                               const std::vector<BufferSpec>& netpu_fifos) {
+  assert(lpus >= 1);
+  Resources r = lpu(tnpu_params, tnpus_per_lpu, lpu_buffers) * lpus;
+  r.luts += kNetpuBaseLut + kNetpuLutPerLpu * lpus;
+  r.ffs += kNetpuBaseFf + kNetpuFfPerLpu * lpus;
+  for (const auto& f : netpu_fifos) r.bram36 += buffer_bram36(f);
+  return r;
+}
+
+}  // namespace netpu::hw

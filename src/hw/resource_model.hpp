@@ -1,0 +1,90 @@
+// Analytic FPGA resource model.
+//
+// Substitutes for Vivado synthesis (we have no FPGA toolchain): per-submodule
+// LUT/DSP/FF/BRAM cost functions whose constants are calibrated so that the
+// four single-TNPU instances reproduce Table IV exactly and the 2-LPU x
+// 8-TNPU NetPU-M instance reproduces Table V. The model's purpose is the
+// paper's argument structure — the Multi-Threshold width blow-up, the
+// DSP-vs-LUT multiplier trade, and whole-instance utilization — not
+// gate-level fidelity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/device.hpp"
+#include "hw/types.hpp"
+
+namespace netpu::hw {
+
+// Resource vector. BRAM is in 36-Kbit tiles; 0.5 denotes one BRAM18.
+struct Resources {
+  long luts = 0;
+  long dsps = 0;
+  long ffs = 0;
+  double bram36 = 0.0;
+
+  Resources& operator+=(const Resources& o) {
+    luts += o.luts;
+    dsps += o.dsps;
+    ffs += o.ffs;
+    bram36 += o.bram36;
+    return *this;
+  }
+  friend Resources operator+(Resources a, const Resources& b) { return a += b; }
+  friend Resources operator*(Resources a, long n) {
+    a.luts *= n;
+    a.dsps *= n;
+    a.ffs *= n;
+    a.bram36 *= n;
+    return a;
+  }
+  friend bool operator==(const Resources&, const Resources&) = default;
+};
+
+// Utilization of `r` against a device, as fractions in [0, 1].
+struct Utilization {
+  double luts = 0, dsps = 0, ffs = 0, bram36 = 0;
+};
+[[nodiscard]] Utilization utilization(const Resources& r, const Device& d);
+
+// Parameters of one TNPU instance relevant to its resource cost.
+struct TnpuResourceParams {
+  int lanes = 8;                 // N integer + N binary multipliers
+  int max_mt_bits = 4;           // Multi-Threshold precision cap (Table IV)
+  MulImpl mul_impl = MulImpl::kDsp;   // MUL submodule realization
+  MulImpl bn_mul_impl = MulImpl::kDsp;  // BN submodule multiplier realization
+  // Dense multi-channel MUL bank (extension; not in the paper's instance):
+  // 32 narrow 2-bit lanes plus per-width unpacking muxes.
+  bool dense_stream = false;
+};
+
+// One FIFO/BRAM buffer, for the Data Buffer Cluster and NetPU FIFO cluster.
+struct BufferSpec {
+  std::string name;
+  int width_bits = 64;
+  long depth = 1024;
+};
+
+class ResourceModel {
+ public:
+  // Cost of one TNPU (MUL + ACCU + BN + ACTIV + QUAN + Crossbar + MaxOut).
+  [[nodiscard]] static Resources tnpu(const TnpuResourceParams& p);
+
+  // BRAM cost of one buffer: width/depth tiling of BRAM18 primitives
+  // (18 bits x 1024 entries), reported in 36-Kbit tiles.
+  [[nodiscard]] static double buffer_bram36(const BufferSpec& spec);
+
+  // Control + buffer cost of one LPU around `tnpus` TNPU instances.
+  [[nodiscard]] static Resources lpu(const TnpuResourceParams& tnpu_params, int tnpus,
+                                     const std::vector<BufferSpec>& buffers);
+
+  // Whole NetPU-M instance: `lpus` LPUs plus top-level control and the
+  // NetPU FIFO cluster.
+  [[nodiscard]] static Resources netpu(const TnpuResourceParams& tnpu_params, int lpus,
+                                       int tnpus_per_lpu,
+                                       const std::vector<BufferSpec>& lpu_buffers,
+                                       const std::vector<BufferSpec>& netpu_fifos);
+};
+
+}  // namespace netpu::hw

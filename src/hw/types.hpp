@@ -1,0 +1,70 @@
+// Shared hardware-level vocabulary: layer roles, activation selection,
+// multiplier implementation style, precision descriptors.
+#pragma once
+
+#include <cstdint>
+
+namespace netpu::hw {
+
+// Layer roles distinguished by the NetPU scheduler (Sec. III-B2/B3):
+// the Input layer quantizes high-precision dataset inputs, Hidden layers
+// are fully-connected neuron layers, the Output layer produces the
+// classification via MaxOut.
+enum class LayerKind : std::uint8_t { kInput = 0, kHidden = 1, kOutput = 2 };
+
+// The five runtime-selectable activation functions (Sec. III-B1) plus
+// "none" for the output layer, whose raw pre-activation feeds MaxOut.
+enum class Activation : std::uint8_t {
+  kNone = 0,
+  kRelu = 1,
+  kSigmoid = 2,
+  kTanh = 3,
+  kSign = 4,
+  kMultiThreshold = 5,
+};
+
+// Multiplier realization choice explored in Table IV: DSP slices or LUT
+// fabric. Affects the resource model only; the arithmetic is identical.
+enum class MulImpl : std::uint8_t { kDsp = 0, kLut = 1 };
+
+[[nodiscard]] constexpr const char* to_string(LayerKind k) {
+  switch (k) {
+    case LayerKind::kInput: return "input";
+    case LayerKind::kHidden: return "hidden";
+    case LayerKind::kOutput: return "output";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(Activation a) {
+  switch (a) {
+    case Activation::kNone: return "none";
+    case Activation::kRelu: return "relu";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kTanh: return "tanh";
+    case Activation::kSign: return "sign";
+    case Activation::kMultiThreshold: return "multi_threshold";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(MulImpl m) {
+  return m == MulImpl::kDsp ? "dsp" : "lut";
+}
+
+// True for activations whose output is already a quantized code and must
+// bypass the QUAN stage (crossbar rule, Sec. III-B1).
+[[nodiscard]] constexpr bool activation_self_quantizing(Activation a) {
+  return a == Activation::kSign || a == Activation::kMultiThreshold;
+}
+
+// Precision of one operand stream: bit width plus signedness of the codes.
+// 1-bit values are always the binarized {-1,+1} set (signed by definition).
+struct Precision {
+  int bits = 8;        // 1..8 (paper's supported quantization range)
+  bool is_signed = true;
+
+  friend constexpr bool operator==(const Precision&, const Precision&) = default;
+};
+
+}  // namespace netpu::hw

@@ -1,0 +1,176 @@
+#include "loadable/compiler.hpp"
+
+#include <sstream>
+
+#include "loadable/words.hpp"
+
+namespace netpu::loadable {
+namespace {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+// Emit one layer's parameter block in the canonical subsection order.
+void emit_params(const nn::QuantizedLayer& layer, const LayerSetting& s,
+                 std::vector<Word>& out) {
+  const auto append = [&out](const std::vector<std::int32_t>& values) {
+    const auto words = pack_params(values);
+    out.insert(out.end(), words.begin(), words.end());
+  };
+
+  if (s.has_bias_section()) {
+    append(layer.bias);
+  }
+  if (s.has_bn_section()) {
+    std::vector<std::int32_t> v;
+    v.reserve(layer.bn_scale.size());
+    for (const auto q : layer.bn_scale) v.push_back(q16_to_param(q));
+    append(v);
+    v.clear();
+    for (const auto q : layer.bn_offset) v.push_back(q16_to_param(q));
+    append(v);
+  }
+  if (s.has_sign_section()) {
+    std::vector<std::int32_t> v;
+    v.reserve(layer.sign_thresholds.size());
+    for (const auto t : layer.sign_thresholds) v.push_back(threshold_to_param(t));
+    append(v);
+  }
+  if (s.has_mt_section()) {
+    std::vector<std::int32_t> v;
+    v.reserve(layer.mt_thresholds.size());
+    for (const auto t : layer.mt_thresholds) v.push_back(threshold_to_param(t));
+    append(v);
+  }
+  if (s.has_quan_section()) {
+    std::vector<std::int32_t> v;
+    v.reserve(layer.quan_scale.size());
+    for (const auto q : layer.quan_scale) v.push_back(q16_to_param(q));
+    append(v);
+    v.clear();
+    for (const auto q : layer.quan_offset) v.push_back(q16_to_param(q));
+    append(v);
+  }
+}
+
+// Emit one layer's weight section: neuron-major, each neuron's chunk words
+// consecutive (zero-padded tail chunk).
+void emit_weights(const nn::QuantizedLayer& layer, std::vector<Word>& out) {
+  std::vector<std::int32_t> row_codes(static_cast<std::size_t>(layer.input_length));
+  for (int n = 0; n < layer.neurons; ++n) {
+    const auto row = layer.weight_row(n);
+    for (std::size_t i = 0; i < row.size(); ++i) row_codes[i] = row[i];
+    const auto words = layer.dense ? pack_codes_dense(row_codes, layer.w_prec)
+                                   : pack_codes(row_codes, layer.w_prec);
+    out.insert(out.end(), words.begin(), words.end());
+  }
+}
+
+}  // namespace
+
+Status check_capacity(const nn::QuantizedMlp& mlp, const CompileOptions& options) {
+  for (std::size_t i = 0; i < mlp.layers.size(); ++i) {
+    const auto s = LayerSetting::from_layer(mlp.layers[i]);
+    const auto fail = [&](const std::string& what) -> Status {
+      std::ostringstream os;
+      os << "layer " << i << ": " << what;
+      return Error{ErrorCode::kCapacityExceeded, os.str()};
+    };
+    if (s.neurons > options.max_neurons_per_layer) {
+      return fail("neuron count exceeds the supported maximum");
+    }
+    if (s.input_length > options.max_input_length) {
+      return fail("input length exceeds the supported maximum");
+    }
+    if (s.input_words() > options.input_buffer_words) {
+      return fail("layer input does not fit the Layer Input buffer");
+    }
+    if (s.chunks_per_neuron() > options.weight_buffer_words) {
+      return fail("one neuron's weights do not fit the Layer Weight buffer");
+    }
+    // Per-type parameter sections must fit their FIFOs.
+    if (s.has_bias_section() && s.param_type_words(1) > options.bias_buffer_words) {
+      return fail("bias section exceeds the Bias buffer");
+    }
+    if (s.has_bn_section() && s.param_type_words(1) > options.param_buffer_words) {
+      return fail("BN section exceeds the BN buffers");
+    }
+    if (s.has_sign_section() &&
+        s.param_type_words(1) > options.param_buffer_words) {
+      return fail("Sign threshold section exceeds its buffer");
+    }
+    if (s.has_mt_section() &&
+        s.param_type_words(static_cast<std::uint32_t>(s.mt_levels())) >
+            options.param_buffer_words) {
+      return fail("Multi-Threshold section exceeds its buffer");
+    }
+    if (s.has_quan_section() &&
+        s.param_type_words(1) > options.param_buffer_words) {
+      return fail("QUAN section exceeds its buffers");
+    }
+  }
+  return Status::ok_status();
+}
+
+std::uint64_t compiled_size_words(const nn::QuantizedMlp& mlp) {
+  std::uint64_t words = 3;  // magic + layer count + image count
+  for (const auto& layer : mlp.layers) {
+    const auto s = LayerSetting::from_layer(layer);
+    words += 2;  // setting
+    words += s.param_section_words();
+    words += s.weight_section_words();
+  }
+  if (!mlp.layers.empty()) {
+    words += LayerSetting::from_layer(mlp.layers.front()).input_words();
+  }
+  return words;
+}
+
+Result<std::vector<Word>> compile(const nn::QuantizedMlp& mlp,
+                                  std::span<const std::uint8_t> image,
+                                  const CompileOptions& options) {
+  if (auto s = mlp.validate(); !s.ok()) return s.error();
+  if (auto s = check_capacity(mlp, options); !s.ok()) return s.error();
+  if (image.size() != mlp.input_size()) {
+    return Error{ErrorCode::kInvalidArgument, "input image size mismatch"};
+  }
+
+  std::vector<Word> out;
+  out.reserve(compiled_size_words(mlp));
+  out.push_back(kMagic);
+  out.push_back(static_cast<Word>(mlp.layers.size()));
+
+  std::vector<LayerSetting> settings;
+  settings.reserve(mlp.layers.size());
+  for (const auto& layer : mlp.layers) {
+    settings.push_back(LayerSetting::from_layer(layer));
+    const auto enc = settings.back().encode();
+    out.push_back(enc[0]);
+    out.push_back(enc[1]);
+  }
+
+  // Dataset input section: image count (currently always 1, the stream
+  // carries one inference) followed by the packed raw samples.
+  out.push_back(1);
+  {
+    std::vector<std::int32_t> pixels(image.begin(), image.end());
+    const auto words = pack_codes(pixels, settings.front().in_prec);
+    out.insert(out.end(), words.begin(), words.end());
+  }
+
+  // Sec. III-B3 interleave: P0, P1, then W(k) followed by P(k+2).
+  const std::size_t n_layers = mlp.layers.size();
+  emit_params(mlp.layers[0], settings[0], out);
+  if (n_layers > 1) emit_params(mlp.layers[1], settings[1], out);
+  for (std::size_t k = 0; k < n_layers; ++k) {
+    if (mlp.layers[k].kind != hw::LayerKind::kInput) {
+      emit_weights(mlp.layers[k], out);
+    }
+    if (k + 2 < n_layers) emit_params(mlp.layers[k + 2], settings[k + 2], out);
+  }
+  return out;
+}
+
+}  // namespace netpu::loadable

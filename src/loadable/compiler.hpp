@@ -1,0 +1,53 @@
+// The model compiler: serializes a QuantizedMlp plus one inference input
+// into the NetPU-M data stream ("loadable"), in the exact order of
+// Sec. III-B3:
+//   magic, (1) layer count, (2) all layer settings, (3) dataset inputs,
+//   (4) params L0, (5) params L1, (6) weights L0, (7) params L2,
+//   (8) weights L1, ..., params L(N-1), weights L(N-2), weights L(N-1).
+//
+// Within one layer's parameter block the per-type subsections appear in a
+// fixed order (bias, BN scale, BN offset, Sign thresholds, Multi-Thresholds,
+// QUAN scale, QUAN offset), each packed two 32-bit values per word across
+// all neurons — matching the per-type FIFOs of the Data Buffer Cluster
+// (Table III). Weights are packed neuron-major (each neuron's chunk words
+// consecutive). Pre-packaged this way, the host runtime is pure data
+// streaming (the paper's headline simplification).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "loadable/layer_setting.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::loadable {
+
+inline constexpr Word kMagic = 0x4E45545055'4D3031ull;  // "NETPUM01"
+
+// Stream-capacity limits of the target Data Buffer Cluster, in 64-bit words
+// (defaults follow Table III: 64b x 1024 data buffers, 128b x 2048 parameter
+// buffers = 4096 words per type).
+struct CompileOptions {
+  std::uint32_t max_neurons_per_layer = 8192;
+  std::uint32_t max_input_length = 8192;
+  std::uint32_t input_buffer_words = 1024;
+  std::uint32_t weight_buffer_words = 1024;
+  std::uint32_t bias_buffer_words = 1024;
+  std::uint32_t param_buffer_words = 4096;
+};
+
+// Compile a network plus one raw input image into a loadable word stream.
+[[nodiscard]] common::Result<std::vector<Word>> compile(
+    const nn::QuantizedMlp& mlp, std::span<const std::uint8_t> image,
+    const CompileOptions& options = {});
+
+// Validate `mlp` against the buffer-capacity limits without serializing.
+[[nodiscard]] common::Status check_capacity(const nn::QuantizedMlp& mlp,
+                                            const CompileOptions& options);
+
+// Size (in words) the compiled stream will have, without building it.
+[[nodiscard]] std::uint64_t compiled_size_words(const nn::QuantizedMlp& mlp);
+
+}  // namespace netpu::loadable

@@ -1,0 +1,115 @@
+#include "loadable/layer_setting.hpp"
+
+namespace netpu::loadable {
+namespace {
+
+using common::Error;
+using common::ErrorCode;
+
+constexpr int kKindShift = 0;      // 3 bits
+constexpr int kActShift = 3;       // 3 bits
+constexpr int kBnFoldShift = 6;    // 1 bit
+constexpr int kInSignShift = 7;    // 1 bit
+constexpr int kWSignShift = 8;     // 1 bit
+constexpr int kOutSignShift = 9;   // 1 bit
+constexpr int kInBitsShift = 10;   // 4 bits
+constexpr int kWBitsShift = 14;    // 4 bits
+constexpr int kOutBitsShift = 18;  // 4 bits
+constexpr int kDenseShift = 22;    // 1 bit
+
+}  // namespace
+
+LayerSetting LayerSetting::from_layer(const nn::QuantizedLayer& layer) {
+  LayerSetting s;
+  s.kind = layer.kind;
+  s.activation = layer.activation;
+  s.bn_fold = layer.bn_fold;
+  s.dense = layer.dense;
+  s.in_prec = layer.in_prec;
+  s.w_prec = layer.kind == hw::LayerKind::kInput ? hw::Precision{8, true}
+                                                 : layer.w_prec;
+  s.out_prec = layer.out_prec;
+  s.neurons = static_cast<std::uint32_t>(layer.neurons);
+  s.input_length = static_cast<std::uint32_t>(layer.input_length);
+  return s;
+}
+
+std::array<Word, 2> LayerSetting::encode() const {
+  Word w0 = 0;
+  w0 |= static_cast<Word>(kind) << kKindShift;
+  w0 |= static_cast<Word>(activation) << kActShift;
+  w0 |= static_cast<Word>(bn_fold ? 1 : 0) << kBnFoldShift;
+  w0 |= static_cast<Word>(in_prec.is_signed ? 1 : 0) << kInSignShift;
+  w0 |= static_cast<Word>(w_prec.is_signed ? 1 : 0) << kWSignShift;
+  w0 |= static_cast<Word>(out_prec.is_signed ? 1 : 0) << kOutSignShift;
+  w0 |= static_cast<Word>(in_prec.bits & 0xf) << kInBitsShift;
+  w0 |= static_cast<Word>(w_prec.bits & 0xf) << kWBitsShift;
+  w0 |= static_cast<Word>(out_prec.bits & 0xf) << kOutBitsShift;
+  w0 |= static_cast<Word>(dense ? 1 : 0) << kDenseShift;
+  const Word w1 = static_cast<Word>(neurons) |
+                  (static_cast<Word>(input_length) << 32);
+  return {w0, w1};
+}
+
+common::Result<LayerSetting> LayerSetting::decode(Word w0, Word w1) {
+  LayerSetting s;
+  const auto kind_raw = (w0 >> kKindShift) & 0x7;
+  if (kind_raw > static_cast<Word>(hw::LayerKind::kOutput)) {
+    return Error{ErrorCode::kMalformedStream, "invalid layer kind"};
+  }
+  s.kind = static_cast<hw::LayerKind>(kind_raw);
+  const auto act_raw = (w0 >> kActShift) & 0x7;
+  if (act_raw > static_cast<Word>(hw::Activation::kMultiThreshold)) {
+    return Error{ErrorCode::kMalformedStream, "invalid activation selector"};
+  }
+  s.activation = static_cast<hw::Activation>(act_raw);
+  s.bn_fold = ((w0 >> kBnFoldShift) & 1) != 0;
+  s.dense = ((w0 >> kDenseShift) & 1) != 0;
+  s.in_prec = {static_cast<int>((w0 >> kInBitsShift) & 0xf),
+               ((w0 >> kInSignShift) & 1) != 0};
+  s.w_prec = {static_cast<int>((w0 >> kWBitsShift) & 0xf),
+              ((w0 >> kWSignShift) & 1) != 0};
+  s.out_prec = {static_cast<int>((w0 >> kOutBitsShift) & 0xf),
+                ((w0 >> kOutSignShift) & 1) != 0};
+  for (const auto& p : {s.in_prec, s.w_prec, s.out_prec}) {
+    if (p.bits < 1 || p.bits > 8) {
+      return Error{ErrorCode::kMalformedStream, "precision outside 1-8 bits"};
+    }
+  }
+  s.neurons = static_cast<std::uint32_t>(w1 & 0xffffffffu);
+  s.input_length = static_cast<std::uint32_t>(w1 >> 32);
+  if (s.neurons == 0 || s.input_length == 0) {
+    return Error{ErrorCode::kMalformedStream, "zero layer dimensions"};
+  }
+  // Sanity cap far above any realizable Data Buffer Cluster (Table III
+  // tops out at 8192): rejects corrupted dimension fields early.
+  constexpr std::uint32_t kDimensionCap = 1u << 20;
+  if (s.neurons > kDimensionCap || s.input_length > kDimensionCap) {
+    return Error{ErrorCode::kMalformedStream, "implausible layer dimensions"};
+  }
+  return s;
+}
+
+std::uint32_t LayerSetting::param_values_per_neuron() const {
+  std::uint32_t v = 0;
+  if (has_bias_section()) v += 1;
+  if (has_bn_section()) v += 2;
+  if (has_sign_section()) v += 1;
+  if (has_mt_section()) v += static_cast<std::uint32_t>(mt_levels());
+  if (has_quan_section()) v += 2;
+  return v;
+}
+
+std::uint64_t LayerSetting::param_section_words() const {
+  std::uint64_t words = 0;
+  if (has_bias_section()) words += param_type_words(1);
+  if (has_bn_section()) words += 2ull * param_type_words(1);
+  if (has_sign_section()) words += param_type_words(1);
+  if (has_mt_section()) {
+    words += param_type_words(static_cast<std::uint32_t>(mt_levels()));
+  }
+  if (has_quan_section()) words += 2ull * param_type_words(1);
+  return words;
+}
+
+}  // namespace netpu::loadable

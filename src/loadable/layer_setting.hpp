@@ -1,0 +1,117 @@
+// Layer Setting Data (Sec. III-B2, "Layer Initialization"): the per-layer
+// configuration record carried at the head of the loadable stream. Two
+// 64-bit words encode layer type, activation, BN-folding option, the three
+// precisions and the layer geometry; everything an LPU needs to derive the
+// exact length and routing of the layer's parameter and weight sections.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bitutils.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "hw/multiplier.hpp"
+#include "hw/types.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::loadable {
+
+// 32-bit parameter values travel two per 64-bit stream word.
+inline constexpr int kParamsPerWord = 2;
+
+struct LayerSetting {
+  hw::LayerKind kind = hw::LayerKind::kHidden;
+  hw::Activation activation = hw::Activation::kNone;
+  bool bn_fold = true;
+  // Dense multi-channel streaming (Sec. V future work #3): operand and
+  // output codes pack floor(64/bits) per word instead of one per 8-bit
+  // lane. Requires in_prec.bits == w_prec.bits on weighted layers and a
+  // dense-capable TNPU instance.
+  bool dense = false;
+  hw::Precision in_prec{8, false};
+  hw::Precision w_prec{8, true};
+  hw::Precision out_prec{8, true};
+  std::uint32_t neurons = 0;
+  std::uint32_t input_length = 0;
+
+  [[nodiscard]] static LayerSetting from_layer(const nn::QuantizedLayer& layer);
+
+  [[nodiscard]] std::array<Word, 2> encode() const;
+  [[nodiscard]] static common::Result<LayerSetting> decode(Word w0, Word w1);
+
+  friend bool operator==(const LayerSetting&, const LayerSetting&) = default;
+
+  // --- Derived stream geometry (shared by compiler, router and LPU). ---
+
+  // Values per 64-bit operand word: 64 in binary mode, 8 in baseline lane
+  // mode, floor(64/bits) in dense mode.
+  [[nodiscard]] int values_per_chunk() const {
+    if (kind == hw::LayerKind::kInput) return hw::kLanesPerTnpu;
+    if (in_prec.bits == 1 && w_prec.bits == 1) return hw::kBinaryChannelsPerWord;
+    if (dense) return hw::dense_values_per_word(in_prec.bits);
+    return hw::kLanesPerTnpu;
+  }
+  // Values per word of this layer's input stream.
+  [[nodiscard]] int values_per_input_word() const {
+    if (kind == hw::LayerKind::kInput) {
+      return hw::values_per_word(in_prec.bits);  // raw samples stay lane-packed
+    }
+    return dense ? hw::dense_values_per_word(in_prec.bits)
+                 : hw::values_per_word(in_prec.bits);
+  }
+  // Values per word of this layer's output stream.
+  [[nodiscard]] int values_per_output_word() const {
+    if (kind == hw::LayerKind::kOutput) return 1;  // raw 64-bit values
+    return dense ? hw::dense_values_per_word(out_prec.bits)
+                 : hw::values_per_word(out_prec.bits);
+  }
+  // Words per input vector at the *input* precision (layer input buffer).
+  [[nodiscard]] std::uint32_t input_words() const {
+    return static_cast<std::uint32_t>(common::ceil_div(
+        input_length, static_cast<std::uint32_t>(values_per_input_word())));
+  }
+  // MUL word-pair chunks per neuron (equals weight words per neuron).
+  [[nodiscard]] std::uint32_t chunks_per_neuron() const {
+    if (kind == hw::LayerKind::kInput) return 0;
+    return static_cast<std::uint32_t>(
+        common::ceil_div(input_length, static_cast<std::uint32_t>(values_per_chunk())));
+  }
+  [[nodiscard]] std::uint64_t weight_section_words() const {
+    return static_cast<std::uint64_t>(chunks_per_neuron()) * neurons;
+  }
+
+  // True when the stream carries a per-neuron bias section (BN folded away
+  // and the activation path actually uses the ACCU bias port).
+  [[nodiscard]] bool has_bias_section() const {
+    return kind != hw::LayerKind::kInput && bn_fold &&
+           !hw::activation_self_quantizing(activation);
+  }
+  [[nodiscard]] bool has_bn_section() const {
+    return kind != hw::LayerKind::kInput ? !bn_fold : false;
+  }
+  [[nodiscard]] bool has_sign_section() const {
+    return activation == hw::Activation::kSign;
+  }
+  [[nodiscard]] bool has_mt_section() const {
+    return activation == hw::Activation::kMultiThreshold;
+  }
+  [[nodiscard]] bool has_quan_section() const {
+    if (kind == hw::LayerKind::kOutput) return false;
+    return !hw::activation_self_quantizing(activation);
+  }
+  [[nodiscard]] int mt_levels() const { return (1 << out_prec.bits) - 1; }
+
+  // 32-bit parameter values per neuron across all present sections.
+  [[nodiscard]] std::uint32_t param_values_per_neuron() const;
+  // Words of one packed per-type parameter section (values packed across
+  // neurons, two per word).
+  [[nodiscard]] std::uint32_t param_type_words(std::uint32_t values_per_neuron) const {
+    return static_cast<std::uint32_t>(common::ceil_div(
+        static_cast<std::uint64_t>(values_per_neuron) * neurons, kParamsPerWord));
+  }
+  // Total words of the layer's parameter block.
+  [[nodiscard]] std::uint64_t param_section_words() const;
+};
+
+}  // namespace netpu::loadable

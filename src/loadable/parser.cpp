@@ -1,0 +1,200 @@
+#include "loadable/parser.hpp"
+
+#include <algorithm>
+
+#include "loadable/compiler.hpp"
+#include "loadable/words.hpp"
+
+namespace netpu::loadable {
+namespace {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+
+class Reader {
+ public:
+  explicit Reader(std::span<const Word> stream) : stream_(stream) {}
+
+  [[nodiscard]] bool exhausted() const { return pos_ >= stream_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return stream_.size() - pos_; }
+
+  Result<Word> next() {
+    if (exhausted()) {
+      return Error{ErrorCode::kMalformedStream, "unexpected end of stream"};
+    }
+    return stream_[pos_++];
+  }
+
+  Result<std::span<const Word>> take(std::uint64_t count) {
+    if (remaining() < count) {
+      return Error{ErrorCode::kMalformedStream, "truncated section"};
+    }
+    auto s = stream_.subspan(pos_, count);
+    pos_ += count;
+    return s;
+  }
+
+ private:
+  std::span<const Word> stream_;
+  std::size_t pos_ = 0;
+};
+
+// Decode one layer's parameter block into the QuantizedLayer fields.
+common::Status parse_params(Reader& reader, const LayerSetting& s,
+                            nn::QuantizedLayer& layer) {
+  const auto n = static_cast<std::size_t>(s.neurons);
+  const auto read_values =
+      [&](std::size_t count) -> Result<std::vector<std::int32_t>> {
+    auto words = reader.take(common::ceil_div(count, kParamsPerWord));
+    if (!words.ok()) return words.error();
+    return unpack_params(words.value(), count);
+  };
+
+  if (s.has_bias_section()) {
+    auto v = read_values(n);
+    if (!v.ok()) return v.error();
+    layer.bias = std::move(v).value();
+  }
+  if (s.has_bn_section()) {
+    auto sc = read_values(n);
+    if (!sc.ok()) return sc.error();
+    auto of = read_values(n);
+    if (!of.ok()) return of.error();
+    for (const auto p : sc.value()) layer.bn_scale.push_back(param_to_q16(p));
+    for (const auto p : of.value()) layer.bn_offset.push_back(param_to_q16(p));
+  }
+  if (s.has_sign_section()) {
+    auto v = read_values(n);
+    if (!v.ok()) return v.error();
+    for (const auto p : v.value()) {
+      layer.sign_thresholds.push_back(param_to_threshold(p));
+    }
+  }
+  if (s.has_mt_section()) {
+    auto v = read_values(n * static_cast<std::size_t>(s.mt_levels()));
+    if (!v.ok()) return v.error();
+    for (const auto p : v.value()) {
+      layer.mt_thresholds.push_back(param_to_threshold(p));
+    }
+  }
+  if (s.has_quan_section()) {
+    auto sc = read_values(n);
+    if (!sc.ok()) return sc.error();
+    auto of = read_values(n);
+    if (!of.ok()) return of.error();
+    for (const auto p : sc.value()) layer.quan_scale.push_back(param_to_q16(p));
+    for (const auto p : of.value()) layer.quan_offset.push_back(param_to_q16(p));
+  }
+  return common::Status::ok_status();
+}
+
+common::Status parse_weights(Reader& reader, const LayerSetting& s,
+                             nn::QuantizedLayer& layer) {
+  const auto words_per_neuron = s.chunks_per_neuron();
+  // Bound the up-front allocation by what the stream can actually carry;
+  // a corrupted dimension field must fail on the section read, not OOM.
+  const std::uint64_t needed = static_cast<std::uint64_t>(s.neurons) * s.input_length;
+  const std::uint64_t carriable =
+      reader.remaining() * static_cast<std::uint64_t>(s.values_per_chunk());
+  layer.weights.reserve(static_cast<std::size_t>(std::min(needed, carriable)));
+  for (std::uint32_t n = 0; n < s.neurons; ++n) {
+    auto words = reader.take(words_per_neuron);
+    if (!words.ok()) return words.error();
+    const auto codes =
+        s.dense ? unpack_codes_dense(words.value(), s.input_length, s.w_prec)
+                : unpack_codes(words.value(), s.input_length, s.w_prec);
+    for (const auto c : codes) {
+      layer.weights.push_back(static_cast<std::int8_t>(c));
+    }
+  }
+  return common::Status::ok_status();
+}
+
+}  // namespace
+
+Result<ParsedLoadable> parse(std::span<const Word> stream) {
+  Reader reader(stream);
+
+  auto magic = reader.next();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != kMagic) {
+    return Error{ErrorCode::kMalformedStream, "bad loadable magic"};
+  }
+
+  auto count_w = reader.next();
+  if (!count_w.ok()) return count_w.error();
+  const auto n_layers = static_cast<std::size_t>(count_w.value());
+  if (n_layers < 2 || n_layers > 4096) {
+    return Error{ErrorCode::kMalformedStream, "implausible layer count"};
+  }
+
+  ParsedLoadable out;
+  out.settings.reserve(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    auto w0 = reader.next();
+    if (!w0.ok()) return w0.error();
+    auto w1 = reader.next();
+    if (!w1.ok()) return w1.error();
+    auto s = LayerSetting::decode(w0.value(), w1.value());
+    if (!s.ok()) return s.error();
+    out.settings.push_back(s.value());
+  }
+
+  auto image_count = reader.next();
+  if (!image_count.ok()) return image_count.error();
+  if (image_count.value() != 1) {
+    return Error{ErrorCode::kUnsupported, "loadables carry exactly one inference"};
+  }
+  {
+    const auto& s0 = out.settings.front();
+    auto words = reader.take(s0.input_words());
+    if (!words.ok()) return words.error();
+    const auto codes = unpack_codes(words.value(), s0.input_length, s0.in_prec);
+    for (const auto c : codes) {
+      out.image.push_back(static_cast<std::uint8_t>(c));
+    }
+  }
+
+  // Materialize layers, then fill them in stream order.
+  out.mlp.layers.resize(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    const auto& s = out.settings[i];
+    auto& l = out.mlp.layers[i];
+    l.kind = s.kind;
+    l.activation = s.activation;
+    l.bn_fold = s.bn_fold;
+    l.dense = s.dense;
+    l.in_prec = s.in_prec;
+    l.w_prec = s.w_prec;
+    l.out_prec = s.out_prec;
+    l.neurons = static_cast<int>(s.neurons);
+    l.input_length = static_cast<int>(s.input_length);
+  }
+
+  const auto params_of = [&](std::size_t i) -> common::Status {
+    return parse_params(reader, out.settings[i], out.mlp.layers[i]);
+  };
+  if (auto s = params_of(0); !s.ok()) return s.error();
+  if (n_layers > 1) {
+    if (auto s = params_of(1); !s.ok()) return s.error();
+  }
+  for (std::size_t k = 0; k < n_layers; ++k) {
+    if (out.settings[k].kind != hw::LayerKind::kInput) {
+      if (auto s = parse_weights(reader, out.settings[k], out.mlp.layers[k]); !s.ok()) {
+        return s.error();
+      }
+    }
+    if (k + 2 < n_layers) {
+      if (auto s = params_of(k + 2); !s.ok()) return s.error();
+    }
+  }
+
+  if (!reader.exhausted()) {
+    return Error{ErrorCode::kMalformedStream, "trailing words after loadable"};
+  }
+  if (auto s = out.mlp.validate(); !s.ok()) return s.error();
+  return out;
+}
+
+}  // namespace netpu::loadable

@@ -1,0 +1,25 @@
+// Loadable parser: the inverse of the compiler. Reconstructs the
+// QuantizedMlp and the input image from a word stream. Used by the
+// accelerator's functional mode, by round-trip tests, and as the reference
+// for the NetPU stream router's section arithmetic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "loadable/layer_setting.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::loadable {
+
+struct ParsedLoadable {
+  std::vector<LayerSetting> settings;
+  nn::QuantizedMlp mlp;
+  std::vector<std::uint8_t> image;
+};
+
+[[nodiscard]] common::Result<ParsedLoadable> parse(std::span<const Word> stream);
+
+}  // namespace netpu::loadable

@@ -1,0 +1,43 @@
+#include "loadable/stream_io.hpp"
+
+#include <fstream>
+
+#include "loadable/compiler.hpp"
+
+namespace netpu::loadable {
+
+using common::Error;
+using common::ErrorCode;
+
+common::Status save_stream(const std::vector<Word>& stream, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Error{ErrorCode::kInvalidArgument, "cannot create " + path};
+  for (const Word w : stream) {
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(w >> (8 * i));
+    f.write(reinterpret_cast<const char*>(bytes), 8);
+  }
+  if (!f) return Error{ErrorCode::kInternal, "short write to " + path};
+  return common::Status::ok_status();
+}
+
+common::Result<std::vector<Word>> load_stream(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Error{ErrorCode::kInvalidArgument, "cannot open " + path};
+  std::vector<Word> stream;
+  std::uint8_t bytes[8];
+  while (f.read(reinterpret_cast<char*>(bytes), 8)) {
+    Word w = 0;
+    for (int i = 0; i < 8; ++i) w |= static_cast<Word>(bytes[i]) << (8 * i);
+    stream.push_back(w);
+  }
+  if (f.gcount() != 0) {
+    return Error{ErrorCode::kMalformedStream, "file is not word-aligned"};
+  }
+  if (stream.empty() || stream[0] != kMagic) {
+    return Error{ErrorCode::kMalformedStream, "not a NetPU-M loadable"};
+  }
+  return stream;
+}
+
+}  // namespace netpu::loadable

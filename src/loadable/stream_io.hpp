@@ -1,0 +1,18 @@
+// Loadable file I/O: the compiled word stream as a binary artifact the host
+// DMA engine reads (little-endian 64-bit words; the in-stream magic word
+// doubles as the file signature).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace netpu::loadable {
+
+[[nodiscard]] common::Status save_stream(const std::vector<Word>& stream,
+                                         const std::string& path);
+[[nodiscard]] common::Result<std::vector<Word>> load_stream(const std::string& path);
+
+}  // namespace netpu::loadable

@@ -1,0 +1,108 @@
+#include "loadable/words.hpp"
+
+#include <cassert>
+
+#include "common/bitutils.hpp"
+
+namespace netpu::loadable {
+
+std::vector<Word> pack_codes(std::span<const std::int32_t> codes, hw::Precision prec) {
+  std::vector<Word> out;
+  if (prec.bits == 1) {
+    out.assign(common::ceil_div(codes.size(), hw::kBinaryChannelsPerWord), 0);
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      // +1 encodes as bit 1, -1 (or 0) as bit 0 (Table I).
+      if (codes[i] > 0) {
+        out[i / hw::kBinaryChannelsPerWord] |=
+            Word{1} << (i % hw::kBinaryChannelsPerWord);
+      }
+    }
+    return out;
+  }
+  out.assign(common::ceil_div(codes.size(), hw::kLanesPerTnpu), 0);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const auto lane = static_cast<std::uint8_t>(
+        static_cast<std::uint32_t>(codes[i]) & common::low_mask(prec.bits));
+    out[i / hw::kLanesPerTnpu] = common::set_byte_lane(
+        out[i / hw::kLanesPerTnpu], static_cast<int>(i % hw::kLanesPerTnpu), lane);
+  }
+  return out;
+}
+
+std::vector<std::int32_t> unpack_codes(std::span<const Word> words, std::size_t count,
+                                       hw::Precision prec) {
+  std::vector<std::int32_t> out(count);
+  if (prec.bits == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const Word w = words[i / hw::kBinaryChannelsPerWord];
+      out[i] = ((w >> (i % hw::kBinaryChannelsPerWord)) & 1) != 0 ? 1 : -1;
+    }
+    return out;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto lane = common::byte_lane(words[i / hw::kLanesPerTnpu],
+                                        static_cast<int>(i % hw::kLanesPerTnpu));
+    out[i] = prec.is_signed
+                 ? static_cast<std::int32_t>(common::sign_extend(lane, prec.bits))
+                 : static_cast<std::int32_t>(common::zero_extend(lane, prec.bits));
+  }
+  return out;
+}
+
+std::vector<Word> pack_codes_dense(std::span<const std::int32_t> codes,
+                                   hw::Precision prec) {
+  if (prec.bits == 1) return pack_codes(codes, prec);
+  const int vpw = hw::dense_values_per_word(prec.bits);
+  std::vector<Word> out(common::ceil_div(codes.size(), static_cast<std::uint64_t>(vpw)),
+                        0);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const Word field = static_cast<std::uint32_t>(codes[i]) & common::low_mask(prec.bits);
+    out[i / static_cast<std::size_t>(vpw)] |=
+        field << ((i % static_cast<std::size_t>(vpw)) * static_cast<std::size_t>(prec.bits));
+  }
+  return out;
+}
+
+std::vector<std::int32_t> unpack_codes_dense(std::span<const Word> words,
+                                             std::size_t count, hw::Precision prec) {
+  if (prec.bits == 1) return unpack_codes(words, count, prec);
+  const auto vpw = static_cast<std::size_t>(hw::dense_values_per_word(prec.bits));
+  std::vector<std::int32_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = hw::decode_dense(words[i / vpw], static_cast<int>(i % vpw), prec);
+  }
+  return out;
+}
+
+std::vector<Word> pack_params(std::span<const std::int32_t> values) {
+  std::vector<Word> out(common::ceil_div(values.size(), 2), 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto u = static_cast<std::uint32_t>(values[i]);
+    out[i / 2] |= static_cast<Word>(u) << (32 * (i % 2));
+  }
+  return out;
+}
+
+std::vector<std::int32_t> unpack_params(std::span<const Word> words, std::size_t count) {
+  std::vector<std::int32_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(words[i / 2] >> (32 * (i % 2))));
+  }
+  return out;
+}
+
+std::int32_t threshold_to_param(common::Q32x5 t) {
+  const std::int64_t raw = t.raw();
+  if (raw > std::numeric_limits<std::int32_t>::max()) {
+    return std::numeric_limits<std::int32_t>::max();
+  }
+  if (raw < std::numeric_limits<std::int32_t>::min()) {
+    return std::numeric_limits<std::int32_t>::min();
+  }
+  return static_cast<std::int32_t>(raw);
+}
+
+common::Q32x5 param_to_threshold(std::int32_t p) { return common::Q32x5(p); }
+
+}  // namespace netpu::loadable

@@ -1,0 +1,51 @@
+// Word-level packing of operand codes and 32-bit parameters into the 64-bit
+// stream format (Sec. V notes the "placeholder bits": 2-8 bit values travel
+// one per 8-bit lane; 1-bit values travel 64 per word).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "common/types.hpp"
+#include "hw/multiplier.hpp"
+#include "hw/types.hpp"
+
+namespace netpu::loadable {
+
+// Pack integer codes into stream words under `prec`. Codes must already fit
+// the precision's range; the final word is zero-padded.
+[[nodiscard]] std::vector<Word> pack_codes(std::span<const std::int32_t> codes,
+                                           hw::Precision prec);
+
+// Inverse of pack_codes for `count` values.
+[[nodiscard]] std::vector<std::int32_t> unpack_codes(std::span<const Word> words,
+                                                     std::size_t count,
+                                                     hw::Precision prec);
+
+// Dense-mode packing (Sec. V future work #3): floor(64 / bits) values per
+// word, no placeholder bits. For 1-bit codes this coincides with pack_codes.
+[[nodiscard]] std::vector<Word> pack_codes_dense(std::span<const std::int32_t> codes,
+                                                 hw::Precision prec);
+[[nodiscard]] std::vector<std::int32_t> unpack_codes_dense(
+    std::span<const Word> words, std::size_t count, hw::Precision prec);
+
+// Pack 32-bit parameter values two per word (low half first).
+[[nodiscard]] std::vector<Word> pack_params(std::span<const std::int32_t> values);
+[[nodiscard]] std::vector<std::int32_t> unpack_params(std::span<const Word> words,
+                                                      std::size_t count);
+
+// Threshold parameters are 32-bit ports in the paper; Q32.5 values are
+// saturated into int32 on the way into the stream. The lowering pass applies
+// the same saturation so the golden model and the hardware agree bit-exactly.
+[[nodiscard]] std::int32_t threshold_to_param(common::Q32x5 t);
+[[nodiscard]] common::Q32x5 param_to_threshold(std::int32_t p);
+
+// Convenience conversions for Q16.16 parameters.
+[[nodiscard]] inline std::int32_t q16_to_param(common::Q16x16 v) { return v.raw(); }
+[[nodiscard]] inline common::Q16x16 param_to_q16(std::int32_t p) {
+  return common::Q16x16(p);
+}
+
+}  // namespace netpu::loadable

@@ -1,0 +1,70 @@
+#include "nn/batchnorm.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace netpu::nn {
+
+BatchNorm BatchNorm::identity(std::size_t n) {
+  BatchNorm bn;
+  bn.gamma.assign(n, 1.0f);
+  bn.beta.assign(n, 0.0f);
+  bn.mean.assign(n, 0.0f);
+  bn.var.assign(n, 1.0f - bn.eps);
+  return bn;
+}
+
+Vector BatchNorm::apply(std::span<const float> x) const {
+  assert(x.size() == size());
+  Vector y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = gamma[i] * (x[i] - mean[i]) / sigma_hat(i) + beta[i];
+  }
+  return y;
+}
+
+float BatchNorm::sigma_hat(std::size_t i) const {
+  return std::sqrt(var[i] + eps);
+}
+
+void fold_batchnorm_into_linear(const BatchNorm& bn, Matrix& weights, Vector& bias) {
+  assert(bn.size() == weights.rows());
+  assert(bias.size() == weights.rows());
+  for (std::size_t r = 0; r < weights.rows(); ++r) {
+    const float s = bn.gamma[r] / bn.sigma_hat(r);
+    for (float& w : weights.row(r)) w *= s;
+    bias[r] = s * (bias[r] - bn.mean[r]) + bn.beta[r];
+  }
+}
+
+SignFold fold_batchnorm_into_sign(const BatchNorm& bn) {
+  SignFold f;
+  f.thresholds.resize(bn.size());
+  f.negate.resize(bn.size());
+  for (std::size_t i = 0; i < bn.size(); ++i) {
+    assert(bn.gamma[i] != 0.0f);
+    f.thresholds[i] = bn.mean[i] - bn.beta[i] * bn.sigma_hat(i) / bn.gamma[i];
+    f.negate[i] = bn.gamma[i] < 0.0f;
+  }
+  return f;
+}
+
+std::vector<Vector> fold_batchnorm_into_multithreshold(const BatchNorm& bn, float step,
+                                                       int levels) {
+  assert(levels >= 1);
+  assert(step > 0.0f);
+  std::vector<Vector> out(bn.size());
+  for (std::size_t i = 0; i < bn.size(); ++i) {
+    assert(bn.gamma[i] > 0.0f);
+    out[i].resize(static_cast<std::size_t>(levels));
+    const float sh = bn.sigma_hat(i);
+    for (int k = 1; k <= levels; ++k) {
+      const float y = (static_cast<float>(k) - 0.5f) * step;
+      out[i][static_cast<std::size_t>(k - 1)] =
+          (y - bn.beta[i]) * sh / bn.gamma[i] + bn.mean[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace netpu::nn

@@ -1,0 +1,58 @@
+// Batch normalization and the folding identities of Sec. II-C.
+//
+// Eq. 1: y = gamma * (x - mean) / sqrt(var + eps) + beta
+// Eq. 2: BN after a linear layer folds into the layer's weights and bias.
+// Eq. 3: BN before a Sign activation folds into a single threshold.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace netpu::nn {
+
+// Per-channel batch-norm parameters for one layer of `n` neurons.
+struct BatchNorm {
+  Vector gamma;  // scale
+  Vector beta;   // shift
+  Vector mean;   // running mean of pre-activations
+  Vector var;    // running variance
+  float eps = 1e-5f;
+
+  [[nodiscard]] static BatchNorm identity(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return gamma.size(); }
+
+  // Eq. 1 applied element-wise to a pre-activation vector.
+  [[nodiscard]] Vector apply(std::span<const float> x) const;
+
+  // sqrt(var[i] + eps).
+  [[nodiscard]] float sigma_hat(std::size_t i) const;
+};
+
+// Eq. 2: given z = W*x + b followed by BN, produce W', b' such that
+// W'*x + b' == BN(W*x + b). Modifies weights/bias in place.
+void fold_batchnorm_into_linear(const BatchNorm& bn, Matrix& weights, Vector& bias);
+
+// Eq. 3: the threshold T for which Sign(BN(z)) == Sign(z - T), per channel:
+// T_i = mean_i - beta_i * sigma_hat_i / gamma_i.
+// Channels with gamma_i < 0 flip the comparison direction; callers handle
+// that by negating the channel's weights (see lowering), so this returns the
+// threshold together with a per-channel flip flag.
+struct SignFold {
+  Vector thresholds;
+  std::vector<bool> negate;  // true where gamma < 0
+};
+[[nodiscard]] SignFold fold_batchnorm_into_sign(const BatchNorm& bn);
+
+// HWGQ / Multi-Threshold derivation: thresholds in the *pre-BN* domain such
+// that counting satisfied thresholds reproduces
+//   clamp(round(BN(z) / step), 0, levels)
+// i.e. BN(z) >= (k - 0.5) * step  <=>  z >= threshold[k-1], for k = 1..levels.
+// Requires gamma > 0 on every channel (the lowering pass guarantees this by
+// weight negation). Returns thresholds[channel][k-1], ascending in k.
+[[nodiscard]] std::vector<Vector> fold_batchnorm_into_multithreshold(
+    const BatchNorm& bn, float step, int levels);
+
+}  // namespace netpu::nn

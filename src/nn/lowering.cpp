@@ -1,0 +1,286 @@
+#include "nn/lowering.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "nn/quantization.hpp"
+
+namespace netpu::nn {
+namespace {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+
+Error lower_error(std::size_t index, const std::string& what) {
+  std::ostringstream os;
+  os << "lowering layer " << index << ": " << what;
+  return Error{ErrorCode::kInvalidArgument, os.str()};
+}
+
+// Flip rows whose BN gamma is negative (negating weights and bias and
+// substituting gamma' = -gamma, mean' = -mean leaves BN(Wx+b) unchanged),
+// so every subsequent fold may assume gamma > 0.
+void normalize_gamma(Matrix& w, Vector& b, BatchNorm& bn) {
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    if (bn.gamma[r] >= 0.0f) continue;
+    for (float& v : w.row(r)) v = -v;
+    b[r] = -b[r];
+    bn.gamma[r] = -bn.gamma[r];
+    bn.mean[r] = -bn.mean[r];
+  }
+}
+
+// Working copy of one float layer during lowering.
+struct WorkLayer {
+  Matrix weights;
+  Vector bias;
+  std::optional<BatchNorm> bn;
+};
+
+// BN-stage parameters mapping the integer accumulator to the real
+// post-BN value y (Q32.5): y = (gamma*s_acc/sigma)*acc + (gamma*(b-mean)/sigma
+// + beta); degenerates to y = s_acc*acc + b without BN.
+void emit_bn_stage(const WorkLayer& wl, double s_acc, QuantizedLayer& out) {
+  const std::size_t n = wl.weights.rows();
+  out.bn_fold = false;
+  out.bn_scale.reserve(n);
+  out.bn_offset.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double scale = s_acc;
+    double offset = wl.bias[r];
+    if (wl.bn) {
+      const double g = wl.bn->gamma[r];
+      const double sh = wl.bn->sigma_hat(r);
+      scale = g * s_acc / sh;
+      offset = g * (wl.bias[r] - wl.bn->mean[r]) / sh + wl.bn->beta[r];
+    }
+    out.bn_scale.push_back(Q16x16::from_double(scale));
+    out.bn_offset.push_back(Q16x16::from_double(offset));
+  }
+}
+
+}  // namespace
+
+Result<QuantizedMlp> lower(const FloatMlp& model, const LoweringOptions& options) {
+  if (model.layers().empty()) {
+    return Error{ErrorCode::kInvalidArgument, "cannot lower an empty model"};
+  }
+  const auto& layers = model.layers();
+  const int raw_max = max_code(options.input_prec);  // e.g. 255 for 8-bit pixels
+  const double s_pixel = options.input_max_value / static_cast<double>(raw_max);
+
+  QuantizedMlp out;
+
+  // ---- Input layer: elementwise quantizer matched to the first hidden
+  // layer's activation kind and precision.
+  const FloatLayer& first = layers.front();
+  const int a0 = first.quant.activation.bits;
+  if (a0 < 1 || a0 > 8) {
+    return lower_error(0, "first layer activation precision outside 1-8 bits");
+  }
+  const bool binary_input = first.quant.activation.bits == 1 ||
+                            first.activation == hw::Activation::kSign;
+  double s_in;  // real step of the codes entering the first hidden layer
+  {
+    QuantizedLayer in;
+    in.kind = hw::LayerKind::kInput;
+    in.in_prec = options.input_prec;
+    in.input_length = static_cast<int>(model.input_size());
+    in.neurons = static_cast<int>(model.input_size());
+    if (binary_input) {
+      in.activation = hw::Activation::kSign;
+      in.out_prec = {1, true};
+      const double pixel_threshold = static_cast<double>(raw_max) / 2.0;
+      in.sign_thresholds.assign(static_cast<std::size_t>(in.neurons),
+                                Q32x5::from_double(pixel_threshold).clamp_to_int32());
+      s_in = 1.0;  // codes are exactly {-1, +1}
+    } else {
+      in.activation = hw::Activation::kMultiThreshold;
+      in.out_prec = {a0, false};
+      const int levels = (1 << a0) - 1;
+      s_in = options.input_max_value / static_cast<double>(levels);
+      std::vector<Q32x5> row;
+      row.reserve(static_cast<std::size_t>(levels));
+      for (int k = 1; k <= levels; ++k) {
+        const double pixel_thr = (static_cast<double>(k) - 0.5) * s_in / s_pixel;
+        row.push_back(Q32x5::from_double(pixel_thr).clamp_to_int32());
+      }
+      in.mt_thresholds.reserve(static_cast<std::size_t>(in.neurons * levels));
+      for (int nidx = 0; nidx < in.neurons; ++nidx) {
+        in.mt_thresholds.insert(in.mt_thresholds.end(), row.begin(), row.end());
+      }
+    }
+    out.layers.push_back(std::move(in));
+  }
+
+  hw::Precision in_prec = out.layers.front().out_prec;
+
+  // ---- Hidden and output layers.
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const FloatLayer& fl = layers[li];
+    const bool is_output = li + 1 == layers.size();
+    const auto n = fl.neurons();
+
+    WorkLayer wl{fl.weights, fl.bias, fl.bn};
+
+    QuantizedLayer ql;
+    ql.kind = is_output ? hw::LayerKind::kOutput : hw::LayerKind::kHidden;
+    ql.activation = is_output ? hw::Activation::kNone : fl.activation;
+    ql.in_prec = in_prec;
+    ql.input_length = static_cast<int>(fl.inputs());
+    ql.neurons = static_cast<int>(n);
+
+    // Threshold-folding activations require gamma > 0 row normalization.
+    const bool threshold_path = ql.activation == hw::Activation::kSign ||
+                                ql.activation == hw::Activation::kMultiThreshold;
+    if (wl.bn && threshold_path) normalize_gamma(wl.weights, wl.bias, *wl.bn);
+
+    // ReLU / output layers fold BN into weights and bias (Eq. 2) before
+    // weight quantization when folding is requested.
+    const bool eq2_path = ql.activation == hw::Activation::kRelu ||
+                          ql.activation == hw::Activation::kNone;
+    if (wl.bn && eq2_path && options.bn_fold) {
+      fold_batchnorm_into_linear(*wl.bn, wl.weights, wl.bias);
+      wl.bn.reset();
+    }
+
+    // Weight quantization. A lone 1-bit request widens to 2-bit {-1,+1}
+    // codes (pairing exception, Sec. III-B1).
+    hw::Precision w_req = fl.quant.weight;
+    const double s_w = weight_scale(wl.weights, w_req);
+    ql.w_prec = w_req;
+    if (w_req.bits == 1 && in_prec.bits != 1) ql.w_prec = {2, true};
+    ql.weights = quantize_weights(wl.weights, static_cast<float>(s_w), w_req);
+    const double s_acc = s_w * s_in;
+
+    if (is_output) {
+      if (options.bn_fold) {
+        ql.bn_fold = true;
+        ql.bias.reserve(n);
+        for (std::size_t r = 0; r < n; ++r) {
+          ql.bias.push_back(static_cast<std::int32_t>(
+              std::nearbyint(wl.bias[r] / s_acc)));
+        }
+      } else {
+        emit_bn_stage(wl, s_acc, ql);
+      }
+      ql.out_prec = {8, true};
+      out.layers.push_back(std::move(ql));
+      break;
+    }
+
+    const int a_bits = fl.quant.activation.bits;
+    const float step = fl.quant.activation_scale;
+    switch (ql.activation) {
+      case hw::Activation::kSign: {
+        ql.out_prec = {1, true};
+        if (options.bn_fold || !wl.bn) {
+          ql.bn_fold = true;
+          ql.sign_thresholds.reserve(n);
+          for (std::size_t r = 0; r < n; ++r) {
+            double t_z = 0.0;  // sign(z) threshold without BN
+            if (wl.bn) {
+              t_z = wl.bn->mean[r] -
+                    wl.bn->beta[r] * wl.bn->sigma_hat(r) / wl.bn->gamma[r];
+            }
+            ql.sign_thresholds.push_back(
+                Q32x5::from_double((t_z - wl.bias[r]) / s_acc).clamp_to_int32());
+          }
+        } else {
+          emit_bn_stage(wl, s_acc, ql);
+          ql.sign_thresholds.assign(n, Q32x5(0));  // y-domain: sign(y)
+        }
+        s_in = 1.0;
+        break;
+      }
+      case hw::Activation::kMultiThreshold: {
+        if (step <= 0.0f) {
+          return lower_error(li, "Multi-Threshold requires a calibrated "
+                                 "activation scale (run calibration first)");
+        }
+        ql.out_prec = {a_bits, false};
+        const int levels = ql.mt_levels();
+        if (options.bn_fold || !wl.bn) {
+          ql.bn_fold = true;
+          ql.mt_thresholds.reserve(n * static_cast<std::size_t>(levels));
+          for (std::size_t r = 0; r < n; ++r) {
+            for (int k = 1; k <= levels; ++k) {
+              double t_z = (static_cast<double>(k) - 0.5) * step;
+              if (wl.bn) {
+                t_z = (t_z - wl.bn->beta[r]) * wl.bn->sigma_hat(r) /
+                          wl.bn->gamma[r] +
+                      wl.bn->mean[r];
+              }
+              ql.mt_thresholds.push_back(
+                  Q32x5::from_double((t_z - wl.bias[r]) / s_acc).clamp_to_int32());
+            }
+          }
+        } else {
+          emit_bn_stage(wl, s_acc, ql);
+          ql.mt_thresholds.reserve(n * static_cast<std::size_t>(levels));
+          for (std::size_t r = 0; r < n; ++r) {
+            for (int k = 1; k <= levels; ++k) {
+              ql.mt_thresholds.push_back(
+                  Q32x5::from_double((static_cast<double>(k) - 0.5) * step).clamp_to_int32());
+            }
+          }
+        }
+        s_in = step;
+        break;
+      }
+      case hw::Activation::kRelu: {
+        if (step <= 0.0f) {
+          return lower_error(li, "ReLU requires a calibrated activation scale");
+        }
+        ql.out_prec = {a_bits, false};
+        double q_scale;
+        if (options.bn_fold || !wl.bn) {
+          ql.bn_fold = true;
+          ql.bias.reserve(n);
+          for (std::size_t r = 0; r < n; ++r) {
+            ql.bias.push_back(static_cast<std::int32_t>(
+                std::nearbyint(wl.bias[r] / s_acc)));
+          }
+          q_scale = s_acc / step;  // q5 carries acc units
+        } else {
+          emit_bn_stage(wl, s_acc, ql);
+          q_scale = 1.0 / step;  // q5 carries real units
+        }
+        ql.quan_scale.assign(n, Q16x16::from_double(q_scale));
+        ql.quan_offset.assign(n, Q16x16::from_double(0.0));
+        s_in = step;
+        break;
+      }
+      case hw::Activation::kSigmoid:
+      case hw::Activation::kTanh: {
+        // Nonlinear PWL activations need q5 in real units: always engage
+        // the BN stage as pre-scaler (absorbing BN and bias if present).
+        emit_bn_stage(wl, s_acc, ql);
+        const bool is_tanh = ql.activation == hw::Activation::kTanh;
+        const int codes = is_tanh ? (1 << (a_bits - 1)) - 1 : (1 << a_bits) - 1;
+        const int eff_codes = codes < 1 ? 1 : codes;
+        ql.out_prec = {a_bits, is_tanh};
+        const double s_out = 1.0 / static_cast<double>(eff_codes);
+        ql.quan_scale.assign(n, Q16x16::from_double(1.0 / s_out));
+        ql.quan_offset.assign(n, Q16x16::from_double(0.0));
+        s_in = s_out;
+        break;
+      }
+      case hw::Activation::kNone:
+        return lower_error(li, "hidden layers need an activation");
+    }
+
+    in_prec = ql.out_prec;
+    out.layers.push_back(std::move(ql));
+  }
+
+  if (auto s = out.validate(); !s.ok()) {
+    return Error{ErrorCode::kInternal,
+                 "lowering produced an invalid network: " + s.error().to_string()};
+  }
+  return out;
+}
+
+}  // namespace netpu::nn

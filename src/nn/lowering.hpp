@@ -1,0 +1,47 @@
+// Lowering: trained float MLP -> integer QuantizedMlp (the model-compiler
+// front-end; the loadable compiler serializes the result for the hardware).
+//
+// Scale bookkeeping: activations of layer l are represented as codes with a
+// real-valued step s_l (code * s_l ~ activation value); weights as codes
+// with per-tensor scale s_w. A neuron's accumulator then carries the real
+// pre-activation divided by s_acc = s_w * s_in, and every BN/threshold/QUAN
+// parameter is expressed in that accumulator domain:
+//  * Sign: Eq. 3 threshold, bias absorbed, BN stage bypassed (bn_fold).
+//  * Multi-Threshold: HWGQ thresholds; with bn_fold they absorb BN+bias,
+//    without they are placed after the BN stage in the y-domain.
+//  * ReLU: Eq. 2 BN fold into weights/bias (or BN stage), QUAN rescales.
+//  * Sigmoid/Tanh: nonlinear in the real domain, so the compiler always
+//    engages the BN stage as a pre-scaler (q5 must carry real units before
+//    the PWL activation); a bn_fold request is honored by folding BN into
+//    the pre-scaler rather than bypassing it.
+//  * Output layer: BN folded into weights/bias (Eq. 2) or applied by the BN
+//    stage; MaxOut sees per-neuron monotone transforms of the logits.
+// Rows with gamma < 0 are normalized by weight negation first, so all folds
+// assume positive gamma.
+#pragma once
+
+#include "common/status.hpp"
+#include "hw/types.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::nn {
+
+struct LoweringOptions {
+  // Fold BN per Eq. 2/3 where the datapath allows it; false keeps the BN
+  // submodule active (Table V explores both).
+  bool bn_fold = true;
+  // Real value represented by the maximum raw input sample (e.g. pixel 255
+  // maps to 1.0 for [0,1]-normalized images).
+  double input_max_value = 1.0;
+  // Raw input sample precision (dataset pixels).
+  hw::Precision input_prec{8, /*is_signed=*/false};
+};
+
+// Lower `model` to the integer network. Every hidden layer must carry a
+// calibrated quant annotation (activation_scale > 0 except for Sign).
+// Fails with kInvalidArgument on uncalibrated or unsupported combinations.
+[[nodiscard]] common::Result<QuantizedMlp> lower(const FloatMlp& model,
+                                                 const LoweringOptions& options);
+
+}  // namespace netpu::nn

@@ -1,0 +1,150 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "nn/quantization.hpp"
+
+namespace netpu::nn {
+
+float sigmoid_exact(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+float tanh_exact(float x) { return std::tanh(x); }
+
+FloatLayer& FloatMlp::add_layer(std::size_t neurons, hw::Activation act,
+                                bool with_batchnorm) {
+  const std::size_t fan_in = layers_.empty() ? input_size_ : layers_.back().neurons();
+  FloatLayer layer;
+  layer.weights = Matrix(neurons, fan_in);
+  layer.bias.assign(neurons, 0.0f);
+  if (with_batchnorm) layer.bn = BatchNorm::identity(neurons);
+  layer.activation = act;
+  layers_.push_back(std::move(layer));
+  return layers_.back();
+}
+
+Vector FloatMlp::layer_forward(const FloatLayer& layer, std::span<const float> x,
+                               bool quantized, bool is_output) const {
+  Vector z(layer.neurons());
+  if (quantized) {
+    const float ws = weight_scale(layer.weights, layer.quant.weight);
+    for (std::size_t r = 0; r < layer.neurons(); ++r) {
+      const auto row = layer.weights.row(r);
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        acc += fake_quantize(row[c], ws, layer.quant.weight) * x[c];
+      }
+      z[r] = acc + layer.bias[r];
+    }
+  } else {
+    z = matvec(layer.weights, x);
+    for (std::size_t r = 0; r < z.size(); ++r) z[r] += layer.bias[r];
+  }
+
+  Vector y = layer.bn ? layer.bn->apply(z) : std::move(z);
+  if (is_output) return y;  // logits feed softmax/MaxOut directly
+
+  switch (layer.activation) {
+    case hw::Activation::kNone:
+      break;
+    case hw::Activation::kRelu:
+      for (auto& v : y) v = std::max(0.0f, v);
+      break;
+    case hw::Activation::kSigmoid:
+      for (auto& v : y) v = sigmoid_exact(v);
+      break;
+    case hw::Activation::kTanh:
+      for (auto& v : y) v = tanh_exact(v);
+      break;
+    case hw::Activation::kSign:
+      for (auto& v : y) v = v >= 0.0f ? 1.0f : -1.0f;
+      break;
+    case hw::Activation::kMultiThreshold: {
+      // HWGQ: uniform non-negative levels {0, s, 2s, ...,
+      // (2^p - 1) s}; in float mode (uncalibrated scale) fall back to ReLU.
+      const float s = layer.quant.activation_scale;
+      if (quantized && s > 0.0f) {
+        const auto levels = static_cast<float>(max_code(
+            hw::Precision{layer.quant.activation.bits, /*is_signed=*/false}));
+        for (auto& v : y) {
+          v = std::clamp(std::nearbyint(v / s), 0.0f, levels) * s;
+        }
+      } else {
+        for (auto& v : y) v = std::max(0.0f, v);
+      }
+      break;
+    }
+  }
+
+  if (quantized && layer.quant.activation_scale > 0.0f &&
+      (layer.activation == hw::Activation::kRelu ||
+       layer.activation == hw::Activation::kSigmoid ||
+       layer.activation == hw::Activation::kTanh)) {
+    hw::Precision p = layer.quant.activation;
+    // ReLU/Sigmoid outputs are non-negative; lowering uses unsigned codes.
+    if (layer.activation != hw::Activation::kTanh) p.is_signed = false;
+    for (auto& v : y) v = fake_quantize(v, layer.quant.activation_scale, p);
+  }
+  return y;
+}
+
+Vector FloatMlp::quantize_input(std::span<const float> x) const {
+  Vector q(x.begin(), x.end());
+  if (layers_.empty()) return q;
+  const auto& first = layers_.front();
+  const int a0 = first.quant.activation.bits;
+  if (a0 == 1 || first.activation == hw::Activation::kSign) {
+    for (auto& v : q) v = v >= 0.5f ? 1.0f : -1.0f;
+    return q;
+  }
+  // Uniform input codes over [0, 1] — what the input layer's thresholds
+  // realize (lowering.cpp, input_max_value = 1).
+  const auto levels = static_cast<float>((1 << a0) - 1);
+  for (auto& v : q) {
+    v = std::clamp(std::nearbyint(v * levels), 0.0f, levels) / levels;
+  }
+  return q;
+}
+
+Vector FloatMlp::forward(std::span<const float> x, bool quantized) const {
+  assert(x.size() == input_size_);
+  Vector cur = quantized ? quantize_input(x) : Vector(x.begin(), x.end());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    cur = layer_forward(layers_[i], cur, quantized, i + 1 == layers_.size());
+  }
+  return cur;
+}
+
+Vector FloatMlp::pre_activations(std::span<const float> x, std::size_t index,
+                                 bool quantized) const {
+  assert(index < layers_.size());
+  Vector cur = quantized ? quantize_input(x) : Vector(x.begin(), x.end());
+  for (std::size_t i = 0; i < index; ++i) {
+    cur = layer_forward(layers_[i], cur, quantized, /*is_output=*/false);
+  }
+  const FloatLayer& layer = layers_[index];
+  Vector z;
+  if (quantized) {
+    const float ws = weight_scale(layer.weights, layer.quant.weight);
+    z.resize(layer.neurons());
+    for (std::size_t r = 0; r < layer.neurons(); ++r) {
+      const auto row = layer.weights.row(r);
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        acc += fake_quantize(row[c], ws, layer.quant.weight) * cur[c];
+      }
+      z[r] = acc + layer.bias[r];
+    }
+  } else {
+    z = matvec(layer.weights, cur);
+    for (std::size_t r = 0; r < z.size(); ++r) z[r] += layer.bias[r];
+  }
+  return z;
+}
+
+std::size_t FloatMlp::classify(std::span<const float> x, bool quantized) const {
+  const Vector logits = forward(x, quantized);
+  return argmax(logits);
+}
+
+}  // namespace netpu::nn

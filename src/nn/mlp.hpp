@@ -1,0 +1,91 @@
+// Float MLP reference model.
+//
+// This is the "trained network" a user brings to NetPU-M: fully-connected
+// layers with optional batch normalization and one of the five supported
+// activations. It serves three roles:
+//  * training substrate (see trainer.hpp), including quantization-aware
+//    training with straight-through estimators;
+//  * float reference for accuracy comparisons against the accelerator;
+//  * input to the lowering pass that produces the integer QuantizedMlp.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "hw/types.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/tensor.hpp"
+
+namespace netpu::nn {
+
+// Per-layer quantization annotations driving QAT and lowering.
+struct QuantAnnotation {
+  hw::Precision weight;            // target weight precision
+  hw::Precision activation;        // target activation (output) precision
+  float activation_scale = 0.0f;   // step between activation codes; 0 = uncalibrated
+};
+
+struct FloatLayer {
+  Matrix weights;  // neurons x inputs
+  Vector bias;     // neurons
+  std::optional<BatchNorm> bn;
+  hw::Activation activation = hw::Activation::kRelu;
+  QuantAnnotation quant;
+
+  [[nodiscard]] std::size_t neurons() const { return weights.rows(); }
+  [[nodiscard]] std::size_t inputs() const { return weights.cols(); }
+};
+
+class FloatMlp {
+ public:
+  FloatMlp() = default;
+  explicit FloatMlp(std::size_t input_size) : input_size_(input_size) {}
+
+  // Append a layer of `neurons` units. The final layer added is the output
+  // layer and conventionally uses Activation::kNone.
+  FloatLayer& add_layer(std::size_t neurons, hw::Activation act,
+                        bool with_batchnorm);
+
+  [[nodiscard]] std::size_t input_size() const { return input_size_; }
+  [[nodiscard]] std::size_t output_size() const {
+    return layers_.empty() ? 0 : layers_.back().neurons();
+  }
+  [[nodiscard]] std::vector<FloatLayer>& layers() { return layers_; }
+  [[nodiscard]] const std::vector<FloatLayer>& layers() const { return layers_; }
+
+  // Fake-quantize a raw input vector exactly as the hardware input layer
+  // will (Sign binarization around 0.5 for 1-bit models, uniform
+  // multi-threshold codes otherwise). Applied by every quantized forward so
+  // training sees the deployed input representation.
+  [[nodiscard]] Vector quantize_input(std::span<const float> x) const;
+
+  // Forward pass to output logits. When `quantized` is set, the input is
+  // quantized per quantize_input and weights and activations are
+  // fake-quantized per the layer annotations (the QAT /
+  // post-training-quantization forward the accelerator will realize).
+  [[nodiscard]] Vector forward(std::span<const float> x, bool quantized = false) const;
+
+  // Pre-activation values of layer `index` (post-linear, pre-BN), used by
+  // calibration. Honors fake quantization when `quantized`.
+  [[nodiscard]] Vector pre_activations(std::span<const float> x, std::size_t index,
+                                       bool quantized = false) const;
+
+  [[nodiscard]] std::size_t classify(std::span<const float> x,
+                                     bool quantized = false) const;
+
+ private:
+  // Activation forward shared by both modes; MT/Sign already quantize.
+  [[nodiscard]] Vector layer_forward(const FloatLayer& layer,
+                                     std::span<const float> x, bool quantized,
+                                     bool is_output) const;
+
+  std::size_t input_size_ = 0;
+  std::vector<FloatLayer> layers_;
+};
+
+// Exact float activation transfer functions (references for the PWL tests).
+[[nodiscard]] float sigmoid_exact(float x);
+[[nodiscard]] float tanh_exact(float x);
+
+}  // namespace netpu::nn

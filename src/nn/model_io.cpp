@@ -1,0 +1,278 @@
+#include "nn/model_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace netpu::nn {
+namespace {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+constexpr std::uint32_t kModelMagic = 0x4D50544Eu;  // "NTPM"
+constexpr std::uint32_t kModelVersion = 1;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) {
+    const auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool exhausted() const { return pos_ >= bytes_.size(); }
+
+  Result<std::uint8_t> u8() {
+    if (pos_ + 1 > bytes_.size()) return truncated();
+    return bytes_[pos_++];
+  }
+  Result<std::uint32_t> u32() {
+    if (pos_ + 4 > bytes_.size()) return truncated();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+  Result<std::int32_t> i32() {
+    auto v = u32();
+    if (!v.ok()) return v.error();
+    return static_cast<std::int32_t>(v.value());
+  }
+  Result<std::int64_t> i64() {
+    if (pos_ + 8 > bytes_.size()) return truncated();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    return static_cast<std::int64_t>(v);
+  }
+
+ private:
+  static Error truncated() {
+    return Error{ErrorCode::kMalformedStream, "truncated model file"};
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_model(const QuantizedMlp& mlp) {
+  ByteWriter w;
+  w.u32(kModelMagic);
+  w.u32(kModelVersion);
+  w.u32(static_cast<std::uint32_t>(mlp.layers.size()));
+  for (const auto& l : mlp.layers) {
+    w.u8(static_cast<std::uint8_t>(l.kind));
+    w.u8(static_cast<std::uint8_t>(l.activation));
+    w.u8(l.bn_fold ? 1 : 0);
+    w.u8(l.dense ? 1 : 0);
+    for (const auto& p : {l.in_prec, l.w_prec, l.out_prec}) {
+      w.u8(static_cast<std::uint8_t>(p.bits));
+      w.u8(p.is_signed ? 1 : 0);
+    }
+    w.u32(static_cast<std::uint32_t>(l.input_length));
+    w.u32(static_cast<std::uint32_t>(l.neurons));
+    w.u32(static_cast<std::uint32_t>(l.weights.size()));
+    for (const auto v : l.weights) w.u8(static_cast<std::uint8_t>(v));
+    w.u32(static_cast<std::uint32_t>(l.bias.size()));
+    for (const auto v : l.bias) w.i32(v);
+    w.u32(static_cast<std::uint32_t>(l.bn_scale.size()));
+    for (const auto v : l.bn_scale) w.i32(v.raw());
+    for (const auto v : l.bn_offset) w.i32(v.raw());
+    w.u32(static_cast<std::uint32_t>(l.sign_thresholds.size()));
+    for (const auto v : l.sign_thresholds) w.i64(v.raw());
+    w.u32(static_cast<std::uint32_t>(l.mt_thresholds.size()));
+    for (const auto v : l.mt_thresholds) w.i64(v.raw());
+    w.u32(static_cast<std::uint32_t>(l.quan_scale.size()));
+    for (const auto v : l.quan_scale) w.i32(v.raw());
+    for (const auto v : l.quan_offset) w.i32(v.raw());
+  }
+  return w.take();
+}
+
+Result<QuantizedMlp> deserialize_model(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto magic = r.u32();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != kModelMagic) {
+    return Error{ErrorCode::kMalformedStream, "not a NetPU-M model file"};
+  }
+  auto version = r.u32();
+  if (!version.ok()) return version.error();
+  if (version.value() != kModelVersion) {
+    return Error{ErrorCode::kUnsupported, "unsupported model file version"};
+  }
+  auto count = r.u32();
+  if (!count.ok()) return count.error();
+  if (count.value() < 2 || count.value() > 4096) {
+    return Error{ErrorCode::kMalformedStream, "implausible layer count"};
+  }
+
+  QuantizedMlp mlp;
+  mlp.layers.resize(count.value());
+  for (auto& l : mlp.layers) {
+    auto kind = r.u8();
+    auto act = r.u8();
+    auto fold = r.u8();
+    auto dense = r.u8();
+    if (!kind.ok() || !act.ok() || !fold.ok() || !dense.ok()) {
+      return Error{ErrorCode::kMalformedStream, "truncated layer header"};
+    }
+    if (kind.value() > 2 || act.value() > 5) {
+      return Error{ErrorCode::kMalformedStream, "invalid layer enums"};
+    }
+    l.kind = static_cast<hw::LayerKind>(kind.value());
+    l.activation = static_cast<hw::Activation>(act.value());
+    l.bn_fold = fold.value() != 0;
+    l.dense = dense.value() != 0;
+    for (auto* p : {&l.in_prec, &l.w_prec, &l.out_prec}) {
+      auto bits = r.u8();
+      auto sign = r.u8();
+      if (!bits.ok() || !sign.ok()) {
+        return Error{ErrorCode::kMalformedStream, "truncated precision"};
+      }
+      p->bits = bits.value();
+      p->is_signed = sign.value() != 0;
+    }
+    auto len = r.u32();
+    auto neurons = r.u32();
+    if (!len.ok() || !neurons.ok()) {
+      return Error{ErrorCode::kMalformedStream, "truncated dimensions"};
+    }
+    l.input_length = static_cast<int>(len.value());
+    l.neurons = static_cast<int>(neurons.value());
+
+    const auto read_sized = [&r](auto&& fn, auto& out, std::uint32_t limit)
+        -> Status {
+      auto n = r.u32();
+      if (!n.ok()) return n.error();
+      if (n.value() > limit) {
+        return Error{ErrorCode::kMalformedStream, "implausible section size"};
+      }
+      out.reserve(n.value());
+      for (std::uint32_t i = 0; i < n.value(); ++i) {
+        if (auto s = fn(out); !s.ok()) return s;
+      }
+      return Status::ok_status();
+    };
+    constexpr std::uint32_t kLimit = 1u << 28;
+
+    if (auto s = read_sized(
+            [&r](std::vector<std::int8_t>& out) -> Status {
+              auto v = r.u8();
+              if (!v.ok()) return v.error();
+              out.push_back(static_cast<std::int8_t>(v.value()));
+              return Status::ok_status();
+            },
+            l.weights, kLimit);
+        !s.ok()) {
+      return s.error();
+    }
+    if (auto s = read_sized(
+            [&r](std::vector<std::int32_t>& out) -> Status {
+              auto v = r.i32();
+              if (!v.ok()) return v.error();
+              out.push_back(v.value());
+              return Status::ok_status();
+            },
+            l.bias, kLimit);
+        !s.ok()) {
+      return s.error();
+    }
+    // BN scale count covers both scale and offset arrays.
+    {
+      auto n = r.u32();
+      if (!n.ok()) return n.error();
+      if (n.value() > kLimit) {
+        return Error{ErrorCode::kMalformedStream, "implausible BN size"};
+      }
+      for (std::uint32_t i = 0; i < n.value(); ++i) {
+        auto v = r.i32();
+        if (!v.ok()) return v.error();
+        l.bn_scale.emplace_back(v.value());
+      }
+      for (std::uint32_t i = 0; i < n.value(); ++i) {
+        auto v = r.i32();
+        if (!v.ok()) return v.error();
+        l.bn_offset.emplace_back(v.value());
+      }
+    }
+    if (auto s = read_sized(
+            [&r](std::vector<Q32x5>& out) -> Status {
+              auto v = r.i64();
+              if (!v.ok()) return v.error();
+              out.emplace_back(v.value());
+              return Status::ok_status();
+            },
+            l.sign_thresholds, kLimit);
+        !s.ok()) {
+      return s.error();
+    }
+    if (auto s = read_sized(
+            [&r](std::vector<Q32x5>& out) -> Status {
+              auto v = r.i64();
+              if (!v.ok()) return v.error();
+              out.emplace_back(v.value());
+              return Status::ok_status();
+            },
+            l.mt_thresholds, kLimit);
+        !s.ok()) {
+      return s.error();
+    }
+    {
+      auto n = r.u32();
+      if (!n.ok()) return n.error();
+      if (n.value() > kLimit) {
+        return Error{ErrorCode::kMalformedStream, "implausible QUAN size"};
+      }
+      for (std::uint32_t i = 0; i < n.value(); ++i) {
+        auto v = r.i32();
+        if (!v.ok()) return v.error();
+        l.quan_scale.emplace_back(v.value());
+      }
+      for (std::uint32_t i = 0; i < n.value(); ++i) {
+        auto v = r.i32();
+        if (!v.ok()) return v.error();
+        l.quan_offset.emplace_back(v.value());
+      }
+    }
+  }
+  if (!r.exhausted()) {
+    return Error{ErrorCode::kMalformedStream, "trailing bytes after model"};
+  }
+  if (auto s = mlp.validate(); !s.ok()) return s.error();
+  return mlp;
+}
+
+Status save_model(const QuantizedMlp& mlp, const std::string& path) {
+  const auto bytes = serialize_model(mlp);
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Error{ErrorCode::kInvalidArgument, "cannot create " + path};
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f) return Error{ErrorCode::kInternal, "short write to " + path};
+  return Status::ok_status();
+}
+
+Result<QuantizedMlp> load_model(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Error{ErrorCode::kInvalidArgument, "cannot open " + path};
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  return deserialize_model(bytes);
+}
+
+}  // namespace netpu::nn

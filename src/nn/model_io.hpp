@@ -1,0 +1,25 @@
+// Binary serialization of QuantizedMlp (".netpum" model files): the
+// artifact the offline flow (train -> calibrate -> lower) hands to the
+// deployment flow (compile -> stream). Little-endian, versioned, fully
+// validated on load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::nn {
+
+// Serialize to an in-memory byte buffer / parse one back.
+[[nodiscard]] std::vector<std::uint8_t> serialize_model(const QuantizedMlp& mlp);
+[[nodiscard]] common::Result<QuantizedMlp> deserialize_model(
+    std::span<const std::uint8_t> bytes);
+
+// File convenience wrappers.
+[[nodiscard]] common::Status save_model(const QuantizedMlp& mlp,
+                                        const std::string& path);
+[[nodiscard]] common::Result<QuantizedMlp> load_model(const std::string& path);
+
+}  // namespace netpu::nn

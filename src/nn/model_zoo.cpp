@@ -1,0 +1,66 @@
+#include "nn/model_zoo.hpp"
+
+#include <sstream>
+
+namespace netpu::nn {
+
+std::string ModelVariant::name() const {
+  std::ostringstream os;
+  switch (topology) {
+    case Topology::kTfc: os << "TFC"; break;
+    case Topology::kSfc: os << "SFC"; break;
+    case Topology::kLfc: os << "LFC"; break;
+  }
+  os << "-w" << weight_bits << "a" << activation_bits;
+  return os.str();
+}
+
+int ModelVariant::hidden_width() const {
+  switch (topology) {
+    case Topology::kTfc: return 64;
+    case Topology::kSfc: return 256;
+    case Topology::kLfc: return 1024;
+  }
+  return 64;
+}
+
+std::vector<ModelVariant> paper_variants() {
+  return {
+      {Topology::kTfc, 1, 1}, {Topology::kTfc, 2, 2},
+      {Topology::kSfc, 1, 1}, {Topology::kSfc, 2, 2},
+      {Topology::kLfc, 1, 1}, {Topology::kLfc, 1, 2},
+  };
+}
+
+FloatMlp make_float_model(const ModelVariant& variant) {
+  FloatMlp model(kMnistInputSize);
+  const hw::Activation act = variant.hidden_activation();
+  for (int i = 0; i < kZooHiddenLayers; ++i) {
+    auto& layer = model.add_layer(static_cast<std::size_t>(variant.hidden_width()),
+                                  act, /*with_batchnorm=*/true);
+    layer.quant.weight = {variant.weight_bits, true};
+    layer.quant.activation = {variant.activation_bits,
+                              /*is_signed=*/variant.activation_bits == 1};
+  }
+  auto& out = model.add_layer(kMnistClasses, hw::Activation::kNone,
+                              /*with_batchnorm=*/false);
+  out.quant.weight = {variant.weight_bits, true};
+  out.quant.activation = {8, true};
+  return model;
+}
+
+QuantizedMlp make_random_quantized_model(const ModelVariant& variant, bool bn_fold,
+                                         common::Xoshiro256& rng) {
+  RandomMlpSpec spec;
+  spec.input_size = kMnistInputSize;
+  spec.hidden.assign(kZooHiddenLayers, variant.hidden_width());
+  spec.outputs = kMnistClasses;
+  spec.hidden_activation = variant.hidden_activation();
+  spec.bn_fold = bn_fold;
+  spec.weight_bits = variant.weight_bits;
+  spec.activation_bits = variant.activation_bits;
+  spec.input_bits = 8;
+  return random_quantized_mlp(spec, rng);
+}
+
+}  // namespace netpu::nn

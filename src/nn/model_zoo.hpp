@@ -1,0 +1,49 @@
+// The evaluation models of Sec. IV: TFC / SFC / LFC MLP topologies from
+// FINN/Brevitas (MNIST, 28x28 inputs, three hidden layers of 64 / 256 /
+// 1024 neurons, 10-class output) in the quantization variants the paper
+// runs: w1a1 (binarized, Sign), w2a2 (2-bit, Multi-Threshold) and w1a2
+// (1-bit weights, 2-bit activations).
+#pragma once
+
+#include <string>
+
+#include "common/prng.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::nn {
+
+enum class Topology { kTfc, kSfc, kLfc };
+
+struct ModelVariant {
+  Topology topology = Topology::kTfc;
+  int weight_bits = 1;
+  int activation_bits = 1;
+
+  [[nodiscard]] std::string name() const;          // e.g. "TFC-w1a1"
+  [[nodiscard]] int hidden_width() const;          // 64 / 256 / 1024
+  [[nodiscard]] hw::Activation hidden_activation() const {
+    return activation_bits == 1 ? hw::Activation::kSign
+                                : hw::Activation::kMultiThreshold;
+  }
+};
+
+inline constexpr int kMnistInputSize = 28 * 28;
+inline constexpr int kMnistClasses = 10;
+inline constexpr int kZooHiddenLayers = 3;
+
+// The six variants evaluated in Tables V/VI, in paper order.
+[[nodiscard]] std::vector<ModelVariant> paper_variants();
+
+// Untrained float model with BN on hidden layers and quant annotations set
+// for the variant; train with Trainer and calibrate before lowering.
+[[nodiscard]] FloatMlp make_float_model(const ModelVariant& variant);
+
+// Random-parameter integer model of the variant's exact topology and
+// precision layout — latency and resource results do not depend on learned
+// weights, so the table benches use these directly.
+[[nodiscard]] QuantizedMlp make_random_quantized_model(const ModelVariant& variant,
+                                                       bool bn_fold,
+                                                       common::Xoshiro256& rng);
+
+}  // namespace netpu::nn

@@ -1,0 +1,61 @@
+#include "nn/quantization.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace netpu::nn {
+
+int quantize_value(float v, float scale, hw::Precision p) {
+  assert(scale > 0.0f);
+  if (p.bits == 1) return v >= 0.0f ? 1 : -1;
+  const float q = std::nearbyint(v / scale);
+  const float lo = static_cast<float>(min_code(p));
+  const float hi = static_cast<float>(max_code(p));
+  return static_cast<int>(std::clamp(q, lo, hi));
+}
+
+float weight_scale(const Matrix& w, hw::Precision p) {
+  if (p.bits <= 2) {
+    // Binary/ternary-style scale: the mean magnitude (XNOR-Net / TWN
+    // practice). A max-based scale at <= 2 bits collapses most weights to
+    // code 0 whenever a single outlier dominates.
+    double sum = 0.0;
+    for (const float v : w.data()) sum += std::fabs(v);
+    const double mean = w.size() ? sum / static_cast<double>(w.size()) : 1.0;
+    return mean > 0.0 ? static_cast<float>(mean) : 1.0f;
+  }
+  float mx = 0.0f;
+  for (const float v : w.data()) mx = std::max(mx, std::fabs(v));
+  if (mx == 0.0f) mx = 1.0f;
+  return mx / static_cast<float>(max_code(p));
+}
+
+std::vector<std::int8_t> quantize_weights(const Matrix& w, float scale,
+                                          hw::Precision p) {
+  std::vector<std::int8_t> codes;
+  codes.reserve(w.size());
+  for (const float v : w.data()) {
+    codes.push_back(static_cast<std::int8_t>(quantize_value(v, scale, p)));
+  }
+  return codes;
+}
+
+float fake_quantize(float v, float scale, hw::Precision p) {
+  return dequantize_value(quantize_value(v, scale, p), scale);
+}
+
+float calibrate_abs_percentile(std::span<const float> samples, double percentile) {
+  assert(!samples.empty());
+  assert(percentile > 0.0 && percentile <= 1.0);
+  std::vector<float> mags(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) mags[i] = std::fabs(samples[i]);
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(mags.size()) - 1.0,
+                       percentile * static_cast<double>(mags.size() - 1) + 0.5));
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(idx),
+                   mags.end());
+  return mags[idx];
+}
+
+}  // namespace netpu::nn

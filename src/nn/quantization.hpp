@@ -1,0 +1,51 @@
+// Uniform quantization helpers (Sec. II-B): code/scale conversions for
+// weights and activations, plus the fake-quantization used during QAT.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hw/types.hpp"
+#include "nn/tensor.hpp"
+
+namespace netpu::nn {
+
+// Largest magnitude representable by a code set.
+[[nodiscard]] constexpr int max_code(hw::Precision p) {
+  if (p.bits == 1) return 1;  // binarized {-1, +1}
+  return p.is_signed ? (1 << (p.bits - 1)) - 1 : (1 << p.bits) - 1;
+}
+
+[[nodiscard]] constexpr int min_code(hw::Precision p) {
+  if (p.bits == 1) return -1;
+  return p.is_signed ? -(1 << (p.bits - 1)) : 0;
+}
+
+// Quantize one real value to a code under scale s: clamp(round(v / s)).
+[[nodiscard]] int quantize_value(float v, float scale, hw::Precision p);
+
+// Dequantize: code * scale.
+[[nodiscard]] constexpr float dequantize_value(int code, float scale) {
+  return static_cast<float>(code) * scale;
+}
+
+// Per-tensor symmetric weight scale: max|w| / max_code. 1-bit weights use
+// the mean magnitude (XNOR-Net style), which minimizes the L2 error of the
+// {-s, +s} representation.
+[[nodiscard]] float weight_scale(const Matrix& w, hw::Precision p);
+
+// Quantize a weight matrix to integer codes (row-major, same shape).
+[[nodiscard]] std::vector<std::int8_t> quantize_weights(const Matrix& w, float scale,
+                                                        hw::Precision p);
+
+// Fake quantization for QAT: quantize-dequantize, differentiable through a
+// straight-through estimator (the gradient masks live in the trainer).
+[[nodiscard]] float fake_quantize(float v, float scale, hw::Precision p);
+
+// Activation-range calibration: the `percentile` magnitude of the samples
+// (percentile in (0, 1]; 1.0 = max). Used to pick activation scales.
+[[nodiscard]] float calibrate_abs_percentile(std::span<const float> samples,
+                                             double percentile);
+
+}  // namespace netpu::nn

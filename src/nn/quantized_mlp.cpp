@@ -1,0 +1,355 @@
+#include "nn/quantized_mlp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "hw/activation_unit.hpp"
+#include "hw/multiplier.hpp"
+#include "nn/quantization.hpp"
+
+namespace netpu::nn {
+namespace {
+
+using common::Error;
+using common::ErrorCode;
+using common::Status;
+
+Status layer_error(std::size_t index, const std::string& what) {
+  std::ostringstream os;
+  os << "layer " << index << ": " << what;
+  return Error{ErrorCode::kInvalidArgument, os.str()};
+}
+
+// Per-neuron post-accumulator processing shared by hidden and input paths.
+std::int32_t activate_and_quantize(const QuantizedLayer& layer, int neuron, Q32x5 q5) {
+  const auto n = static_cast<std::size_t>(neuron);
+  switch (layer.activation) {
+    case hw::Activation::kSign:
+      return hw::sign_activation(q5, layer.sign_thresholds[n]);
+    case hw::Activation::kMultiThreshold:
+      return hw::multi_threshold(q5, layer.mt_row(neuron));
+    case hw::Activation::kRelu:
+      q5 = hw::relu(q5);
+      break;
+    case hw::Activation::kSigmoid:
+      q5 = hw::sigmoid_pwl(q5);
+      break;
+    case hw::Activation::kTanh:
+      q5 = hw::tanh_pwl(q5);
+      break;
+    case hw::Activation::kNone:
+      break;  // pure requantization
+  }
+  return static_cast<std::int32_t>(common::quan_transform(
+      q5, layer.quan_scale[n], layer.quan_offset[n], layer.out_prec.bits,
+      layer.out_prec.is_signed));
+}
+
+// Pre-activation Q32.5 value of one neuron: accumulate + BN-or-bypass.
+Q32x5 neuron_preactivation(const QuantizedLayer& layer, int neuron,
+                           std::span<const std::int32_t> in_codes) {
+  const auto n = static_cast<std::size_t>(neuron);
+  hw::Accumulator acc;
+  acc.reset(layer.uses_bias() ? layer.bias[n] : 0);
+  const auto row = layer.weight_row(neuron);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    acc.add(static_cast<std::int64_t>(row[i]) * in_codes[i]);
+  }
+  if (layer.bn_fold) return Q32x5::from_int32(acc.value());
+  return common::bn_transform(acc.value(), layer.bn_scale[n], layer.bn_offset[n]);
+}
+
+}  // namespace
+
+std::vector<std::int32_t> layer_forward_codes(const QuantizedLayer& layer,
+                                              std::span<const std::int32_t> in_codes) {
+  assert(in_codes.size() == static_cast<std::size_t>(layer.input_length));
+  std::vector<std::int32_t> out(static_cast<std::size_t>(layer.neurons));
+  if (layer.kind == hw::LayerKind::kInput) {
+    // Elementwise quantization of raw inputs: the crossbar feeds each value
+    // directly into ACTIV (Sign/Multi-Threshold) or QUAN (everything else).
+    for (int n = 0; n < layer.neurons; ++n) {
+      const Q32x5 q5 = Q32x5::from_int32(in_codes[static_cast<std::size_t>(n)]);
+      out[static_cast<std::size_t>(n)] = activate_and_quantize(layer, n, q5);
+    }
+    return out;
+  }
+  for (int n = 0; n < layer.neurons; ++n) {
+    const Q32x5 q5 = neuron_preactivation(layer, n, in_codes);
+    out[static_cast<std::size_t>(n)] = activate_and_quantize(layer, n, q5);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> output_layer_values(const QuantizedLayer& layer,
+                                              std::span<const std::int32_t> in_codes) {
+  assert(layer.kind == hw::LayerKind::kOutput);
+  std::vector<std::int64_t> values(static_cast<std::size_t>(layer.neurons));
+  for (int n = 0; n < layer.neurons; ++n) {
+    values[static_cast<std::size_t>(n)] = neuron_preactivation(layer, n, in_codes).raw();
+  }
+  return values;
+}
+
+InferenceResult QuantizedMlp::infer(std::span<const std::uint8_t> input) const {
+  assert(!layers.empty());
+  assert(input.size() == input_size());
+  std::vector<std::int32_t> codes(input.begin(), input.end());
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+    codes = layer_forward_codes(layers[l], codes);
+  }
+  InferenceResult r;
+  r.output_values = output_layer_values(layers.back(), codes);
+  r.predicted = hw::maxout(r.output_values);
+  return r;
+}
+
+std::vector<std::vector<std::int32_t>> QuantizedMlp::infer_trace(
+    std::span<const std::uint8_t> input) const {
+  std::vector<std::vector<std::int32_t>> trace;
+  std::vector<std::int32_t> codes(input.begin(), input.end());
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+    codes = layer_forward_codes(layers[l], codes);
+    trace.push_back(codes);
+  }
+  const auto values = output_layer_values(layers.back(), codes);
+  trace.emplace_back(values.begin(), values.end());
+  return trace;
+}
+
+std::size_t QuantizedMlp::total_weights() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.weights.size();
+  return n;
+}
+
+common::Status QuantizedMlp::validate() const {
+  if (layers.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "empty network"};
+  }
+  if (layers.front().kind != hw::LayerKind::kInput) {
+    return layer_error(0, "first layer must be an input layer");
+  }
+  if (layers.back().kind != hw::LayerKind::kOutput) {
+    return layer_error(layers.size() - 1, "last layer must be an output layer");
+  }
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const QuantizedLayer& l = layers[i];
+    const auto n = static_cast<std::size_t>(l.neurons);
+    if (l.neurons <= 0 || l.input_length <= 0) {
+      return layer_error(i, "non-positive dimensions");
+    }
+    if (i > 0 && i + 1 < layers.size() && l.kind != hw::LayerKind::kHidden) {
+      return layer_error(i, "middle layers must be hidden layers");
+    }
+    const auto check_prec = [&](hw::Precision p, const char* what) -> Status {
+      if (p.bits < 1 || p.bits > 8) {
+        return layer_error(i, std::string(what) + " precision outside 1-8 bits");
+      }
+      return Status::ok_status();
+    };
+    if (auto s = check_prec(l.in_prec, "input"); !s.ok()) return s;
+    if (auto s = check_prec(l.out_prec, "output"); !s.ok()) return s;
+
+    if (l.dense != layers.front().dense) {
+      return layer_error(i, "dense streaming must be uniform across layers");
+    }
+    if (l.kind == hw::LayerKind::kInput) {
+      if (l.input_length != l.neurons) {
+        return layer_error(i, "input layer must have input_length == neurons");
+      }
+      if (!l.weights.empty()) {
+        return layer_error(i, "input layer carries no weights");
+      }
+    } else {
+      if (auto s = check_prec(l.w_prec, "weight"); !s.ok()) return s;
+      // Paper's pairing exception: a 1-bit operand requires a 1-bit partner.
+      if ((l.in_prec.bits == 1) != (l.w_prec.bits == 1)) {
+        return layer_error(i, "1-bit precision requires both operands 1-bit");
+      }
+      if (l.dense && l.in_prec.bits != l.w_prec.bits) {
+        return layer_error(i, "dense streaming requires equal input and "
+                              "weight widths");
+      }
+      if (l.weights.size() != n * static_cast<std::size_t>(l.input_length)) {
+        return layer_error(i, "weight count mismatch");
+      }
+      const QuantizedLayer& prev = layers[i - 1];
+      if (l.input_length != prev.neurons) {
+        return layer_error(i, "fan-in does not match previous layer width");
+      }
+      if (!(l.in_prec == prev.out_prec)) {
+        return layer_error(i, "input precision does not match previous output");
+      }
+      if (l.bn_fold) {
+        if (l.uses_bias() ? l.bias.size() != n : !l.bias.empty()) {
+          return layer_error(i, "bias size mismatch");
+        }
+      } else if (l.bn_scale.size() != n || l.bn_offset.size() != n) {
+        return layer_error(i, "BN parameter size mismatch");
+      }
+    }
+
+    if (l.kind == hw::LayerKind::kOutput) {
+      if (l.activation != hw::Activation::kNone) {
+        return layer_error(i, "output layer feeds MaxOut directly (no activation)");
+      }
+      continue;
+    }
+    switch (l.activation) {
+      case hw::Activation::kSign:
+        if (l.out_prec.bits != 1) {
+          return layer_error(i, "Sign produces 1-bit codes");
+        }
+        if (l.sign_thresholds.size() != n) {
+          return layer_error(i, "Sign threshold count mismatch");
+        }
+        break;
+      case hw::Activation::kMultiThreshold:
+        if (l.out_prec.is_signed) {
+          return layer_error(i, "Multi-Threshold codes are unsigned");
+        }
+        if (l.mt_thresholds.size() != n * static_cast<std::size_t>(l.mt_levels())) {
+          return layer_error(i, "Multi-Threshold count mismatch");
+        }
+        break;
+      default:
+        if (l.quan_scale.size() != n || l.quan_offset.size() != n) {
+          return layer_error(i, "QUAN parameter size mismatch");
+        }
+        break;
+    }
+  }
+  return Status::ok_status();
+}
+
+common::Status enable_dense_stream(QuantizedMlp& mlp) {
+  for (std::size_t i = 0; i < mlp.layers.size(); ++i) {
+    QuantizedLayer& l = mlp.layers[i];
+    if (l.kind != hw::LayerKind::kInput && l.in_prec.bits != l.w_prec.bits) {
+      return layer_error(i, "dense streaming requires equal input and weight "
+                            "widths");
+    }
+  }
+  for (auto& l : mlp.layers) l.dense = true;
+  return common::Status::ok_status();
+}
+
+QuantizedMlp random_quantized_mlp(const RandomMlpSpec& spec, common::Xoshiro256& rng) {
+  QuantizedMlp mlp;
+  const bool binary = spec.activation_bits == 1;
+  const hw::Activation hidden_act =
+      binary ? hw::Activation::kSign : spec.hidden_activation;
+  const hw::Precision act_prec{spec.activation_bits,
+                               /*is_signed=*/binary ||
+                                   hidden_act == hw::Activation::kTanh};
+  // A lone 1-bit operand is widened to 2-bit {-1,+1} codes (see word_dot).
+  int w_bits = spec.weight_bits;
+  const bool pm_one_weights = w_bits == 1;
+  if (pm_one_weights && !binary) w_bits = 2;
+  const hw::Precision w_prec{w_bits, /*is_signed=*/true};
+
+  const auto make_mt_row = [&](double lo, double hi, int levels,
+                               std::vector<Q32x5>& out) {
+    std::vector<std::int64_t> raws(static_cast<std::size_t>(levels));
+    for (auto& r : raws) {
+      r = static_cast<std::int64_t>(rng.next_double(lo, hi) * 32.0);
+    }
+    std::sort(raws.begin(), raws.end());
+    for (const auto r : raws) out.emplace_back(r);
+  };
+
+  // Input layer: elementwise quantizer over 8-bit raw samples.
+  {
+    QuantizedLayer in;
+    in.kind = hw::LayerKind::kInput;
+    in.activation = hw::activation_self_quantizing(hidden_act)
+                        ? hidden_act
+                        : hw::Activation::kNone;
+    in.in_prec = {spec.input_bits, /*is_signed=*/false};
+    in.out_prec = act_prec;
+    in.input_length = static_cast<int>(spec.input_size);
+    in.neurons = static_cast<int>(spec.input_size);
+    for (int nidx = 0; nidx < in.neurons; ++nidx) {
+      if (in.activation == hw::Activation::kSign) {
+        in.sign_thresholds.push_back(
+            Q32x5(static_cast<std::int64_t>(rng.next_int(0, 255) * 32)));
+      } else if (in.activation == hw::Activation::kMultiThreshold) {
+        make_mt_row(0.0, 255.0, in.mt_levels(), in.mt_thresholds);
+      } else {
+        in.quan_scale.push_back(Q16x16::from_double(rng.next_double(0.002, 0.02)));
+        in.quan_offset.push_back(Q16x16::from_double(rng.next_double(-0.5, 0.5)));
+      }
+    }
+    mlp.layers.push_back(std::move(in));
+  }
+
+  // Hidden layers + output layer.
+  std::vector<int> widths = spec.hidden;
+  widths.push_back(spec.outputs);
+  int fan_in = static_cast<int>(spec.input_size);
+  hw::Precision in_prec = act_prec;
+  for (std::size_t li = 0; li < widths.size(); ++li) {
+    const bool is_output = li + 1 == widths.size();
+    QuantizedLayer l;
+    l.kind = is_output ? hw::LayerKind::kOutput : hw::LayerKind::kHidden;
+    l.activation = is_output ? hw::Activation::kNone : hidden_act;
+    l.bn_fold = spec.bn_fold;
+    l.in_prec = in_prec;
+    l.w_prec = w_prec;
+    l.out_prec = is_output ? hw::Precision{8, true} : act_prec;
+    l.input_length = fan_in;
+    l.neurons = widths[li];
+    const auto n = static_cast<std::size_t>(l.neurons);
+    l.weights.reserve(n * static_cast<std::size_t>(fan_in));
+    for (std::size_t i = 0; i < n * static_cast<std::size_t>(fan_in); ++i) {
+      int code;
+      if (pm_one_weights || w_prec.bits == 1) {
+        code = rng.next_bool() ? 1 : -1;
+      } else {
+        code = static_cast<int>(
+            rng.next_int(min_code(w_prec), max_code(w_prec)));
+      }
+      l.weights.push_back(static_cast<std::int8_t>(code));
+    }
+    if (l.bn_fold) {
+      // Only activations that do not absorb the bias into thresholds carry
+      // a bias section (uses_bias rule).
+      if (is_output || !hw::activation_self_quantizing(l.activation)) {
+        for (std::size_t i = 0; i < n; ++i) {
+          l.bias.push_back(static_cast<std::int32_t>(rng.next_int(-64, 64)));
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        l.bn_scale.push_back(Q16x16::from_double(rng.next_double(0.05, 1.5)));
+        l.bn_offset.push_back(Q16x16::from_double(rng.next_double(-8.0, 8.0)));
+      }
+    }
+    if (!is_output) {
+      const double acc_span = static_cast<double>(fan_in) * 4.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        switch (l.activation) {
+          case hw::Activation::kSign:
+            l.sign_thresholds.push_back(
+                Q32x5(static_cast<std::int64_t>(rng.next_double(-acc_span, acc_span) * 32.0)));
+            break;
+          case hw::Activation::kMultiThreshold:
+            make_mt_row(-acc_span, acc_span, l.mt_levels(), l.mt_thresholds);
+            break;
+          default:
+            l.quan_scale.push_back(Q16x16::from_double(rng.next_double(0.01, 0.3)));
+            l.quan_offset.push_back(Q16x16::from_double(rng.next_double(-1.0, 1.0)));
+            break;
+        }
+      }
+    }
+    fan_in = l.neurons;
+    in_prec = l.out_prec;
+    mlp.layers.push_back(std::move(l));
+  }
+  return mlp;
+}
+
+}  // namespace netpu::nn

@@ -1,0 +1,144 @@
+// The integer network NetPU-M executes: per-layer integer weight codes plus
+// the fixed-point BN/threshold/QUAN parameters of the TNPU datapath.
+//
+// QuantizedMlp is simultaneously
+//  * the output of the lowering pass (lowering.hpp),
+//  * the input of the loadable compiler (loadable/compiler.hpp), and
+//  * the *golden model*: infer() evaluates every neuron with the exact
+//    bit-true hw:: submodule functions, so the cycle-accurate simulator's
+//    outputs must equal it bit for bit (the central correctness anchor).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "common/prng.hpp"
+#include "common/status.hpp"
+#include "hw/types.hpp"
+
+namespace netpu::nn {
+
+using common::Q16x16;
+using common::Q32x5;
+
+struct QuantizedLayer {
+  hw::LayerKind kind = hw::LayerKind::kHidden;
+  hw::Activation activation = hw::Activation::kMultiThreshold;
+  // True: BN folded away (bias adds into ACCU; BN stage bypassed).
+  // False: the BN submodule applies bn_scale/bn_offset per neuron.
+  bool bn_fold = true;
+  // Dense multi-channel streaming (Sec. V future work #3). Set uniformly
+  // across the network via enable_dense_stream().
+  bool dense = false;
+  hw::Precision in_prec;
+  hw::Precision w_prec;
+  hw::Precision out_prec;
+  int input_length = 0;  // fan-in; for the input layer equals `neurons`
+  int neurons = 0;
+
+  // Row-major neurons x input_length weight codes (empty for input layers).
+  std::vector<std::int8_t> weights;
+  // Per-neuron parameters; populated according to bn_fold / activation.
+  std::vector<std::int32_t> bias;                 // bn_fold
+  std::vector<Q16x16> bn_scale, bn_offset;        // !bn_fold
+  std::vector<Q32x5> sign_thresholds;             // activation == Sign
+  std::vector<Q32x5> mt_thresholds;               // neurons x mt_levels(), row-major
+  std::vector<Q16x16> quan_scale, quan_offset;    // ReLU/Sigmoid/Tanh (and
+                                                  // input-layer QUAN path)
+
+  [[nodiscard]] int mt_levels() const { return (1 << out_prec.bits) - 1; }
+
+  [[nodiscard]] std::span<const std::int8_t> weight_row(int n) const {
+    return std::span<const std::int8_t>(
+        weights.data() + static_cast<std::size_t>(n) * static_cast<std::size_t>(input_length),
+        static_cast<std::size_t>(input_length));
+  }
+  [[nodiscard]] std::span<const Q32x5> mt_row(int n) const {
+    const auto k = static_cast<std::size_t>(mt_levels());
+    return std::span<const Q32x5>(mt_thresholds.data() + static_cast<std::size_t>(n) * k, k);
+  }
+
+  // True if this layer's output codes bypass QUAN (Sign / Multi-Threshold).
+  [[nodiscard]] bool self_quantizing() const {
+    return hw::activation_self_quantizing(activation);
+  }
+
+  // True if the ACCU bias port is in use: BN folded away and the activation
+  // path does not absorb the bias into thresholds (Sign/Multi-Threshold
+  // folding swallows the bias; the stream then carries no bias section).
+  [[nodiscard]] bool uses_bias() const {
+    return kind != hw::LayerKind::kInput && bn_fold && !self_quantizing();
+  }
+};
+
+struct InferenceResult {
+  std::vector<std::int64_t> output_values;  // raw Q32.5 outputs of the output layer
+  std::size_t predicted = 0;                // MaxOut result
+};
+
+class QuantizedMlp {
+ public:
+  std::vector<QuantizedLayer> layers;
+
+  [[nodiscard]] std::size_t input_size() const {
+    return layers.empty() ? 0 : static_cast<std::size_t>(layers.front().neurons);
+  }
+  [[nodiscard]] std::size_t output_size() const {
+    return layers.empty() ? 0 : static_cast<std::size_t>(layers.back().neurons);
+  }
+
+  // Structural validation: layer chaining, precision pairing rules
+  // (a 1-bit operand requires a 1-bit partner), parameter vector sizes,
+  // paper-range precisions (1-8 bits).
+  [[nodiscard]] common::Status validate() const;
+
+  // Bit-exact golden inference on one raw input image (e.g. 8-bit pixels).
+  [[nodiscard]] InferenceResult infer(std::span<const std::uint8_t> input) const;
+
+  // Per-layer output codes (input layer first), for debugging and for the
+  // layer-by-layer equivalence tests against the simulator.
+  [[nodiscard]] std::vector<std::vector<std::int32_t>> infer_trace(
+      std::span<const std::uint8_t> input) const;
+
+  [[nodiscard]] std::size_t classify(std::span<const std::uint8_t> input) const {
+    return infer(input).predicted;
+  }
+
+  // Total weight-code count (proxy for model size).
+  [[nodiscard]] std::size_t total_weights() const;
+};
+
+// Switch a network to dense multi-channel streaming (Sec. V future work
+// #3): packs floor(64/bits) values per word instead of 8-bit lanes. Fails
+// when a weighted layer's input and weight widths differ (dense words must
+// carry equal value counts for the MUL word pairing).
+[[nodiscard]] common::Status enable_dense_stream(QuantizedMlp& mlp);
+
+// Evaluate one layer on the previous layer's output codes (the golden
+// datapath; shared by infer/infer_trace and exposed for unit tests).
+[[nodiscard]] std::vector<std::int32_t> layer_forward_codes(
+    const QuantizedLayer& layer, std::span<const std::int32_t> in_codes);
+
+// Raw Q32.5 pre-MaxOut values of an output layer.
+[[nodiscard]] std::vector<std::int64_t> output_layer_values(
+    const QuantizedLayer& layer, std::span<const std::int32_t> in_codes);
+
+// Options for synthesizing a random-but-valid quantized MLP (property tests
+// and latency benches; latency does not depend on learned weights).
+struct RandomMlpSpec {
+  std::size_t input_size = 16;
+  std::vector<int> hidden = {8, 8};
+  int outputs = 4;
+  hw::Activation hidden_activation = hw::Activation::kMultiThreshold;
+  bool bn_fold = true;
+  int weight_bits = 2;
+  int activation_bits = 2;
+  int input_bits = 8;  // precision of the raw input samples
+};
+
+[[nodiscard]] QuantizedMlp random_quantized_mlp(const RandomMlpSpec& spec,
+                                                common::Xoshiro256& rng);
+
+}  // namespace netpu::nn

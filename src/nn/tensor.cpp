@@ -1,0 +1,56 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netpu::nn {
+
+Vector matvec(const Matrix& m, std::span<const float> x) {
+  assert(x.size() == m.cols());
+  Vector y(m.rows(), 0.0f);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    y[r] = dot(m.row(r), x);
+  }
+  return y;
+}
+
+Vector matvec_transposed(const Matrix& m, std::span<const float> x) {
+  assert(x.size() == m.rows());
+  Vector y(m.cols(), 0.0f);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    const float xr = x[r];
+    for (std::size_t c = 0; c < m.cols(); ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  float s = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+Vector softmax(std::span<const float> x) {
+  Vector y(x.begin(), x.end());
+  const float mx = *std::max_element(y.begin(), y.end());
+  float sum = 0.0f;
+  for (auto& v : y) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (auto& v : y) v /= sum;
+  return y;
+}
+
+std::size_t argmax(std::span<const float> x) {
+  assert(!x.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace netpu::nn

@@ -1,0 +1,67 @@
+// Minimal dense linear-algebra types for the software NN substrate.
+// Row-major float matrices and vectors; just enough for MLP training and
+// inference — no BLAS dependency, deliberately simple and testable.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace netpu::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] float& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] float operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<float> row(std::size_t r) {
+    assert(r < rows_);
+    return std::span<float>(data_.data() + r * cols_, cols_);
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const {
+    assert(r < rows_);
+    return std::span<const float>(data_.data() + r * cols_, cols_);
+  }
+
+  [[nodiscard]] std::vector<float>& data() { return data_; }
+  [[nodiscard]] const std::vector<float>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+using Vector = std::vector<float>;
+
+// y = M * x  (M: rows x cols, x: cols) — the fully-connected forward kernel.
+[[nodiscard]] Vector matvec(const Matrix& m, std::span<const float> x);
+
+// y = M^T * x  (x: rows) — used by backpropagation.
+[[nodiscard]] Vector matvec_transposed(const Matrix& m, std::span<const float> x);
+
+// Dot product.
+[[nodiscard]] float dot(std::span<const float> a, std::span<const float> b);
+
+// Numerically-stable softmax.
+[[nodiscard]] Vector softmax(std::span<const float> x);
+
+// Index of the maximum element (lowest index on ties).
+[[nodiscard]] std::size_t argmax(std::span<const float> x);
+
+}  // namespace netpu::nn

@@ -1,0 +1,386 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "nn/quantization.hpp"
+
+namespace netpu::nn {
+namespace {
+
+// Effective weights seen by the forward pass (fake-quantized under QAT).
+Matrix effective_weights(const FloatLayer& layer, bool qat) {
+  if (!qat) return layer.weights;
+  Matrix w = layer.weights;
+  const float ws = weight_scale(layer.weights, layer.quant.weight);
+  for (auto& v : w.data()) v = fake_quantize(v, ws, layer.quant.weight);
+  return w;
+}
+
+}  // namespace
+
+Trainer::Trainer(FloatMlp& model, TrainConfig config)
+    : model_(model),
+      config_(config),
+      current_lr_(config.learning_rate),
+      rng_(config.seed) {
+  for (const auto& layer : model_.layers()) {
+    vel_w_.emplace_back(layer.weights.rows(), layer.weights.cols());
+    vel_b_.emplace_back(layer.neurons(), 0.0f);
+    vel_gamma_.emplace_back(layer.neurons(), 0.0f);
+    vel_beta_.emplace_back(layer.neurons(), 0.0f);
+    if (config_.optimizer == Optimizer::kAdam) {
+      sq_w_.emplace_back(layer.weights.rows(), layer.weights.cols());
+      sq_b_.emplace_back(layer.neurons(), 0.0f);
+      sq_gamma_.emplace_back(layer.neurons(), 0.0f);
+      sq_beta_.emplace_back(layer.neurons(), 0.0f);
+    }
+  }
+  batch_stats_.resize(model_.layers().size());
+}
+
+void Trainer::initialize_weights() {
+  for (auto& layer : model_.layers()) {
+    const double limit =
+        std::sqrt(6.0 / static_cast<double>(layer.inputs() + layer.neurons()));
+    for (auto& w : layer.weights.data()) {
+      w = static_cast<float>(rng_.next_double(-limit, limit));
+    }
+    std::fill(layer.bias.begin(), layer.bias.end(), 0.0f);
+  }
+}
+
+float Trainer::train_batch(std::span<const TrainSample*> batch) {
+  const std::size_t b = batch.size();
+  auto& layers = model_.layers();
+  const std::size_t num_layers = layers.size();
+
+  // Per-sample intermediates, indexed [layer][sample].
+  std::vector<std::vector<Vector>> inputs(num_layers);    // layer input x
+  std::vector<std::vector<Vector>> pre_bn(num_layers);    // z = Wx + b
+  std::vector<std::vector<Vector>> post_bn(num_layers);   // y = BN(z)
+  std::vector<std::vector<Vector>> post_act(num_layers);  // a = act(y)
+
+  std::vector<Vector> cur(b);
+  for (std::size_t s = 0; s < b; ++s) {
+    // Under QAT the network trains on the input representation the
+    // hardware input layer will produce.
+    cur[s] = config_.qat ? model_.quantize_input(batch[s]->x) : batch[s]->x;
+  }
+
+  std::vector<Matrix> eff_w(num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    eff_w[l] = effective_weights(layers[l], config_.qat);
+  }
+
+  // Layer-synchronous forward with batch-statistic BN.
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    FloatLayer& layer = layers[l];
+    const bool is_output = (l + 1 == num_layers);
+    const std::size_t n = layer.neurons();
+    inputs[l] = cur;
+    pre_bn[l].resize(b);
+    for (std::size_t s = 0; s < b; ++s) {
+      Vector z = matvec(eff_w[l], cur[s]);
+      for (std::size_t r = 0; r < z.size(); ++r) z[r] += layer.bias[r];
+      pre_bn[l][s] = std::move(z);
+    }
+
+    if (layer.bn) {
+      BatchNorm& bn = *layer.bn;
+      Vector mean(n, 0.0f);
+      Vector var(n, 0.0f);
+      for (std::size_t s = 0; s < b; ++s) {
+        for (std::size_t i = 0; i < n; ++i) mean[i] += pre_bn[l][s][i];
+      }
+      for (auto& m : mean) m /= static_cast<float>(b);
+      for (std::size_t s = 0; s < b; ++s) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const float d = pre_bn[l][s][i] - mean[i];
+          var[i] += d * d;
+        }
+      }
+      for (auto& v : var) v /= static_cast<float>(b);
+      // Inference statistics track the batch statistics by EMA.
+      for (std::size_t i = 0; i < n; ++i) {
+        bn.mean[i] += config_.bn_momentum * (mean[i] - bn.mean[i]);
+        bn.var[i] += config_.bn_momentum * (var[i] - bn.var[i]);
+      }
+      post_bn[l].resize(b);
+      for (std::size_t s = 0; s < b; ++s) {
+        Vector y(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const float sh = std::sqrt(var[i] + bn.eps);
+          y[i] = bn.gamma[i] * (pre_bn[l][s][i] - mean[i]) / sh + bn.beta[i];
+        }
+        post_bn[l][s] = std::move(y);
+      }
+      batch_stats_[l] = {std::move(mean), std::move(var)};
+    } else {
+      post_bn[l] = pre_bn[l];
+    }
+
+    post_act[l].resize(b);
+    for (std::size_t s = 0; s < b; ++s) {
+      if (is_output) {
+        post_act[l][s] = post_bn[l][s];
+        continue;
+      }
+      Vector a = post_bn[l][s];
+      switch (layer.activation) {
+        case hw::Activation::kNone:
+          break;
+        case hw::Activation::kRelu:
+          for (auto& v : a) v = std::max(0.0f, v);
+          break;
+        case hw::Activation::kSigmoid:
+          for (auto& v : a) v = sigmoid_exact(v);
+          break;
+        case hw::Activation::kTanh:
+          for (auto& v : a) v = tanh_exact(v);
+          break;
+        case hw::Activation::kSign:
+          for (auto& v : a) v = v >= 0.0f ? 1.0f : -1.0f;
+          break;
+        case hw::Activation::kMultiThreshold: {
+          const float step = layer.quant.activation_scale;
+          if (config_.qat && step > 0.0f) {
+            const auto levels =
+                static_cast<float>((1 << layer.quant.activation.bits) - 1);
+            for (auto& v : a) {
+              v = std::clamp(std::nearbyint(v / step), 0.0f, levels) * step;
+            }
+          } else {
+            for (auto& v : a) v = std::max(0.0f, v);
+          }
+          break;
+        }
+      }
+      post_act[l][s] = std::move(a);
+    }
+    cur = post_act[l];
+  }
+
+  // Backward.
+  std::vector<LayerGrads> grads(num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    grads[l].dw = Matrix(layers[l].weights.rows(), layers[l].weights.cols());
+    grads[l].db.assign(layers[l].neurons(), 0.0f);
+    grads[l].dgamma.assign(layers[l].neurons(), 0.0f);
+    grads[l].dbeta.assign(layers[l].neurons(), 0.0f);
+  }
+
+  float total_loss = 0.0f;
+  for (std::size_t s = 0; s < b; ++s) {
+    const Vector probs = softmax(post_act[num_layers - 1][s]);
+    const int label = batch[s]->label;
+    total_loss += -std::log(std::max(probs[static_cast<std::size_t>(label)], 1e-12f));
+
+    Vector d_post_act(probs.size());
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      d_post_act[i] = probs[i] - (static_cast<int>(i) == label ? 1.0f : 0.0f);
+    }
+
+    for (std::size_t li = num_layers; li-- > 0;) {
+      FloatLayer& layer = layers[li];
+      const bool is_output = (li + 1 == num_layers);
+      Vector d_post_bn(layer.neurons());
+
+      if (is_output) {
+        d_post_bn = d_post_act;
+      } else {
+        for (std::size_t i = 0; i < layer.neurons(); ++i) {
+          const float y = post_bn[li][s][i];
+          const float a = post_act[li][s][i];
+          float g = d_post_act[i];
+          switch (layer.activation) {
+            case hw::Activation::kNone:
+              break;
+            case hw::Activation::kRelu:
+              g *= (y > 0.0f) ? 1.0f : 0.0f;
+              break;
+            case hw::Activation::kSigmoid:
+              g *= a * (1.0f - a);
+              break;
+            case hw::Activation::kTanh:
+              g *= 1.0f - a * a;
+              break;
+            case hw::Activation::kSign:
+              g *= (std::fabs(y) <= 1.0f) ? 1.0f : 0.0f;  // hard-tanh STE
+              break;
+            case hw::Activation::kMultiThreshold: {
+              const float step = layer.quant.activation_scale;
+              const float hi =
+                  (config_.qat && step > 0.0f)
+                      ? step * static_cast<float>(
+                                   (1 << layer.quant.activation.bits) - 1)
+                      : std::numeric_limits<float>::infinity();
+              g *= (y > 0.0f && y <= hi) ? 1.0f : 0.0f;  // clipped-linear STE
+              break;
+            }
+          }
+          d_post_bn[i] = g;
+        }
+      }
+
+      Vector d_pre_bn(layer.neurons());
+      if (layer.bn) {
+        const auto& [bmean, bvar] = batch_stats_[li];
+        BatchNorm& bn = *layer.bn;
+        for (std::size_t i = 0; i < layer.neurons(); ++i) {
+          const float sh = std::sqrt(bvar[i] + bn.eps);
+          const float xhat = (pre_bn[li][s][i] - bmean[i]) / sh;
+          grads[li].dgamma[i] += d_post_bn[i] * xhat;
+          grads[li].dbeta[i] += d_post_bn[i];
+          d_pre_bn[i] = d_post_bn[i] * bn.gamma[i] / sh;
+        }
+      } else {
+        d_pre_bn = d_post_bn;
+      }
+
+      const Vector& x_in = inputs[li][s];
+      for (std::size_t r = 0; r < layer.neurons(); ++r) {
+        const float dz = d_pre_bn[r];
+        grads[li].db[r] += dz;
+        auto drow = grads[li].dw.row(r);
+        for (std::size_t c = 0; c < x_in.size(); ++c) drow[c] += dz * x_in[c];
+      }
+      if (li > 0) {
+        d_post_act = matvec_transposed(eff_w[li], d_pre_bn);
+      }
+    }
+  }
+
+  apply_grads(grads, b);
+  return total_loss / static_cast<float>(b);
+}
+
+void Trainer::apply_grads(const std::vector<LayerGrads>& grads, std::size_t batch_size) {
+  auto& layers = model_.layers();
+  const float scale = 1.0f / static_cast<float>(batch_size);
+  const bool adam = config_.optimizer == Optimizer::kAdam;
+  float bias_corr1 = 1.0f, bias_corr2 = 1.0f;
+  if (adam) {
+    ++adam_step_;
+    bias_corr1 = 1.0f - std::pow(config_.adam_beta1, static_cast<float>(adam_step_));
+    bias_corr2 = 1.0f - std::pow(config_.adam_beta2, static_cast<float>(adam_step_));
+  }
+
+  // One parameter update under the selected optimizer.
+  const auto update = [&](float& param, float& m, float* v, float g) {
+    if (adam) {
+      m = config_.adam_beta1 * m + (1.0f - config_.adam_beta1) * g;
+      *v = config_.adam_beta2 * *v + (1.0f - config_.adam_beta2) * g * g;
+      const float mhat = m / bias_corr1;
+      const float vhat = *v / bias_corr2;
+      param -= current_lr_ * mhat / (std::sqrt(vhat) + config_.adam_eps);
+      return;
+    }
+    m = config_.momentum * m - current_lr_ * g;
+    param += m;
+  };
+
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    FloatLayer& layer = layers[l];
+    const bool binary_weights = layer.quant.weight.bits == 1 && config_.qat;
+    for (std::size_t i = 0; i < layer.weights.size(); ++i) {
+      const float g = grads[l].dw.data()[i] * scale +
+                      config_.weight_decay * layer.weights.data()[i];
+      float& w = layer.weights.data()[i];
+      update(w, vel_w_[l].data()[i], adam ? &sq_w_[l].data()[i] : nullptr, g);
+      // BNN practice: keep binary master weights inside the STE window.
+      if (binary_weights) w = std::clamp(w, -1.0f, 1.0f);
+    }
+    for (std::size_t i = 0; i < layer.neurons(); ++i) {
+      update(layer.bias[i], vel_b_[l][i], adam ? &sq_b_[l][i] : nullptr,
+             grads[l].db[i] * scale);
+      if (layer.bn) {
+        update(layer.bn->gamma[i], vel_gamma_[l][i],
+               adam ? &sq_gamma_[l][i] : nullptr, grads[l].dgamma[i] * scale);
+        update(layer.bn->beta[i], vel_beta_[l][i],
+               adam ? &sq_beta_[l][i] : nullptr, grads[l].dbeta[i] * scale);
+      }
+    }
+  }
+}
+
+float Trainer::train_epoch(std::span<const TrainSample> samples) {
+  std::vector<const TrainSample*> order(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) order[i] = &samples[i];
+  // Fisher-Yates shuffle with the deterministic PRNG.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng_.next_below(i)]);
+  }
+
+  float loss_sum = 0.0f;
+  std::size_t batches = 0;
+  for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+    const std::size_t end = std::min(order.size(), start + config_.batch_size);
+    loss_sum +=
+        train_batch(std::span<const TrainSample*>(order.data() + start, end - start));
+    ++batches;
+  }
+  return batches ? loss_sum / static_cast<float>(batches) : 0.0f;
+}
+
+void Trainer::fit(std::span<const TrainSample> samples) {
+  for (int e = 0; e < config_.epochs; ++e) {
+    train_epoch(samples);
+    current_lr_ *= config_.lr_decay;
+  }
+}
+
+double Trainer::evaluate(const FloatMlp& model, std::span<const TrainSample> samples,
+                         bool quantized) {
+  if (samples.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& s : samples) {
+    if (model.classify(s.x, quantized) == static_cast<std::size_t>(s.label)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+void Trainer::calibrate_activation_scales(FloatMlp& model,
+                                          std::span<const TrainSample> samples) {
+  auto& layers = model.layers();
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+    FloatLayer& layer = layers[l];
+    if (layer.activation == hw::Activation::kSign) {
+      layer.quant.activation_scale = 1.0f;  // codes are exactly {-1, +1}
+      continue;
+    }
+    const int codes = (1 << layer.quant.activation.bits) - 1;
+    if (layer.activation == hw::Activation::kSigmoid) {
+      // Output range is [0, 1] by construction.
+      layer.quant.activation_scale = 1.0f / static_cast<float>(codes);
+      continue;
+    }
+    if (layer.activation == hw::Activation::kTanh) {
+      // Output range is [-1, 1]; signed codes.
+      const int signed_codes = (1 << (layer.quant.activation.bits - 1)) - 1;
+      layer.quant.activation_scale =
+          1.0f / static_cast<float>(std::max(1, signed_codes));
+      continue;
+    }
+    // ReLU / Multi-Threshold: cover the 99.9th-percentile post-BN magnitude.
+    // The quantized forward is used so the statistics match deployment
+    // (earlier layers are calibrated first, in loop order); the float
+    // forward would feed BN running statistics a different distribution and
+    // produce wildly inflated scales.
+    std::vector<float> values;
+    for (const auto& s : samples) {
+      const Vector z = model.pre_activations(s.x, l, /*quantized=*/true);
+      const Vector y = layer.bn ? layer.bn->apply(z) : z;
+      values.insert(values.end(), y.begin(), y.end());
+    }
+    if (values.empty()) continue;
+    const float range = std::max(calibrate_abs_percentile(values, 0.999), 1e-3f);
+    layer.quant.activation_scale = range / static_cast<float>(codes);
+  }
+}
+
+}  // namespace netpu::nn

@@ -1,0 +1,104 @@
+// Minibatch SGD trainer with quantization-aware training (QAT).
+//
+// Training substitutes for the paper's pre-trained FINN/Brevitas models.
+// Forward passes use batch-synchronous batch normalization (layer-wise batch
+// statistics, running averages updated by EMA); quantized layers use
+// straight-through estimators: Sign backpropagates a hard-tanh window,
+// Multi-Threshold a clipped-linear window, and fake-quantized weights pass
+// gradients straight to the float master copy (clipped to [-1, 1] for 1-bit
+// weights, standard BNN practice). The batch-statistics gradient term is
+// dropped (stats frozen within a step), a common and benign simplification
+// at these model sizes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "nn/mlp.hpp"
+
+namespace netpu::nn {
+
+struct TrainSample {
+  Vector x;
+  int label = 0;
+};
+
+enum class Optimizer { kSgd, kAdam };
+
+struct TrainConfig {
+  int epochs = 5;
+  std::size_t batch_size = 32;
+  Optimizer optimizer = Optimizer::kSgd;
+  float learning_rate = 0.05f;
+  float adam_beta1 = 0.9f;
+  float adam_beta2 = 0.999f;
+  float adam_eps = 1e-8f;
+  float lr_decay = 0.85f;       // multiplicative per-epoch decay
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  bool qat = false;             // fake-quantize weights/activations in forward
+  float bn_momentum = 0.1f;     // EMA rate for running statistics
+  std::uint64_t seed = 1;
+};
+
+class Trainer {
+ public:
+  Trainer(FloatMlp& model, TrainConfig config);
+
+  // Glorot-uniform weight initialization (deterministic from config seed).
+  void initialize_weights();
+
+  // One epoch over shuffled `samples`; returns the mean cross-entropy loss.
+  float train_epoch(std::span<const TrainSample> samples);
+
+  // Full training run per the config.
+  void fit(std::span<const TrainSample> samples);
+
+  // Classification accuracy of `model` over `samples`.
+  [[nodiscard]] static double evaluate(const FloatMlp& model,
+                                       std::span<const TrainSample> samples,
+                                       bool quantized);
+
+  // Calibrate per-layer activation scales from sample data: sets
+  // quant.activation_scale so the code range covers the 99.9th percentile
+  // activation magnitude. Must run before lowering QNN models.
+  static void calibrate_activation_scales(FloatMlp& model,
+                                          std::span<const TrainSample> samples);
+
+ private:
+  struct LayerGrads {
+    Matrix dw;
+    Vector db;
+    Vector dgamma;
+    Vector dbeta;
+  };
+
+  // Forward one minibatch layer-synchronously (batch-stat BN), storing
+  // intermediates; returns the mean loss and fills per-sample gradients.
+  float train_batch(std::span<const TrainSample*> batch);
+
+  void apply_grads(const std::vector<LayerGrads>& grads, std::size_t batch_size);
+
+  FloatMlp& model_;
+  TrainConfig config_;
+  float current_lr_;
+  common::Xoshiro256 rng_;
+  // Batch statistics (mean, var) per layer, captured by the forward pass of
+  // the current minibatch for use in its backward pass.
+  std::vector<std::pair<Vector, Vector>> batch_stats_;
+  // Momentum buffers (SGD) / first-moment buffers (Adam), one per layer.
+  std::vector<Matrix> vel_w_;
+  std::vector<Vector> vel_b_;
+  std::vector<Vector> vel_gamma_;
+  std::vector<Vector> vel_beta_;
+  // Adam second-moment buffers and step counter.
+  std::vector<Matrix> sq_w_;
+  std::vector<Vector> sq_b_;
+  std::vector<Vector> sq_gamma_;
+  std::vector<Vector> sq_beta_;
+  long adam_step_ = 0;
+};
+
+}  // namespace netpu::nn

@@ -1,0 +1,81 @@
+#include "runtime/axi_dma.hpp"
+
+#include "core/netpu.hpp"
+#include "sim/scheduler.hpp"
+
+namespace netpu::runtime {
+
+AxiDmaEngine::AxiDmaEngine(std::vector<Word> payload, AxiDmaTimings timings,
+                           sim::Fifo<Word>& target)
+    : sim::Component("axi_dma"),
+      payload_(std::move(payload)),
+      timings_(timings),
+      target_(target) {
+  setup_remaining_ = timings_.setup_cycles;
+}
+
+void AxiDmaEngine::reset() {
+  setup_remaining_ = timings_.setup_cycles;
+  gap_remaining_ = 0;
+  beats_in_burst_ = 0;
+  pos_ = 0;
+}
+
+void AxiDmaEngine::tick(Cycle) {
+  if (setup_remaining_ > 0) {
+    --setup_remaining_;
+    return;
+  }
+  if (gap_remaining_ > 0) {
+    --gap_remaining_;
+    return;
+  }
+  if (pos_ >= payload_.size()) return;
+  if (!target_.try_push(payload_[pos_])) return;  // back-pressure
+  ++pos_;
+  if (++beats_in_burst_ == timings_.burst_beats) {
+    beats_in_burst_ = 0;
+    gap_remaining_ = timings_.inter_burst_gap;
+  }
+}
+
+bool AxiDmaEngine::idle() const { return pos_ >= payload_.size(); }
+
+common::Result<core::RunResult> cosimulate(const core::NetpuConfig& config,
+                                           std::span<const Word> stream,
+                                           const AxiDmaTimings& timings) {
+  std::vector<Word> payload(stream.begin(), stream.end());
+
+  core::Netpu netpu(config);
+  netpu.reset();
+  if (auto s = netpu.load(payload); !s.ok()) return s.error();
+
+  // The DMA stream lands in a FIFO sized like a modest AXI interconnect
+  // buffer; the NetPU router pops from it at its own pace.
+  sim::Fifo<Word> axi_stream("axi_stream", 64, 64);
+  netpu.set_external_source(&axi_stream);
+  AxiDmaEngine dma(std::move(payload), timings, axi_stream);
+
+  sim::Scheduler scheduler;
+  scheduler.add(&dma);
+  scheduler.add(&netpu);
+  for (int i = 0; i < netpu.lpu_count(); ++i) scheduler.add(&netpu.lpu(i));
+  const auto run = scheduler.run(500'000'000);
+  if (!run.finished) {
+    return common::Error{common::ErrorCode::kInternal,
+                         "co-simulation hit the cycle limit"};
+  }
+
+  core::RunResult r;
+  r.predicted = netpu.predicted();
+  r.output_values = netpu.output_values();
+  r.probabilities = netpu.probabilities();
+  r.cycles = run.cycles + timings.irq_cycles;
+  for (const auto& p : netpu.layer_profile()) {
+    r.layers.push_back(core::LayerProfile{p.layer, p.queued, p.active, p.end});
+  }
+  r.stats = netpu.collect_stats();
+  return r;
+}
+
+}  // namespace netpu::runtime

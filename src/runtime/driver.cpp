@@ -1,0 +1,53 @@
+#include "runtime/driver.hpp"
+
+#include "loadable/compiler.hpp"
+
+namespace netpu::runtime {
+
+using common::Result;
+
+Result<MeasuredInference> Driver::infer(const nn::QuantizedMlp& mlp,
+                                        std::span<const std::uint8_t> image,
+                                        core::RunMode mode) {
+  auto stream =
+      loadable::compile(mlp, image, accelerator_.config().compile_options());
+  if (!stream.ok()) return stream.error();
+
+  core::RunOptions options;
+  options.mode = mode;
+  auto run = accelerator_.run(stream.value(), options);
+  if (!run.ok()) return run.error();
+
+  MeasuredInference m;
+  m.predicted = run.value().predicted;
+  m.cycles = run.value().cycles;
+  m.simulated_us = run.value().latency_us(accelerator_.config());
+  m.measured_us =
+      m.simulated_us + dma_.transfer_overhead_us(stream.value().size());
+  return m;
+}
+
+Result<BatchResult> Driver::infer_batch(
+    const nn::QuantizedMlp& mlp, std::span<const std::vector<std::uint8_t>> images,
+    std::span<const int> labels, std::size_t timed_samples) {
+  BatchResult batch;
+  batch.total = images.size();
+  double latency_sum = 0.0;
+  std::size_t timed = 0;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const bool timed_run = timed < timed_samples;
+    auto m = infer(mlp, images[i],
+                   timed_run ? core::RunMode::kCycleAccurate
+                             : core::RunMode::kFunctional);
+    if (!m.ok()) return m.error();
+    if (timed_run) {
+      latency_sum += m.value().measured_us;
+      ++timed;
+    }
+    if (static_cast<int>(m.value().predicted) == labels[i]) ++batch.correct;
+  }
+  batch.mean_measured_us = timed ? latency_sum / static_cast<double>(timed) : 0.0;
+  return batch;
+}
+
+}  // namespace netpu::runtime

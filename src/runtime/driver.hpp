@@ -1,0 +1,57 @@
+// Host-side driver: what the MCU/PS runs. Because the loadable pre-packages
+// settings, inputs, parameters and weights in the exact consumption order
+// (Sec. III-B3), the driver is little more than "DMA the buffer, wait for
+// the result" — the paper's headline runtime simplification.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "runtime/dma.hpp"
+
+namespace netpu::runtime {
+
+struct MeasuredInference {
+  std::size_t predicted = 0;
+  double simulated_us = 0.0;  // accelerator-only latency (Table V analogue)
+  double measured_us = 0.0;   // including DMA/PS overhead (Table VI analogue)
+  netpu::Cycle cycles = 0;
+};
+
+struct BatchResult {
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  double mean_measured_us = 0.0;
+
+  [[nodiscard]] double accuracy() const {
+    return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+  }
+};
+
+class Driver {
+ public:
+  Driver(core::Accelerator& accelerator, DmaModel dma = {})
+      : accelerator_(accelerator), dma_(dma) {}
+
+  // One inference: compile, stream, simulate, add transfer overhead.
+  [[nodiscard]] common::Result<MeasuredInference> infer(
+      const nn::QuantizedMlp& mlp, std::span<const std::uint8_t> image,
+      core::RunMode mode = core::RunMode::kCycleAccurate);
+
+  // Batch of images: the accelerator holds no weights across inferences, so
+  // every image re-streams the full loadable (the honest cost of the
+  // overlay; FINN-style HSD instances keep weights on chip instead).
+  // `timed_samples` caps how many images run cycle-accurately; the rest run
+  // functionally and reuse the measured mean latency.
+  [[nodiscard]] common::Result<BatchResult> infer_batch(
+      const nn::QuantizedMlp& mlp,
+      std::span<const std::vector<std::uint8_t>> images, std::span<const int> labels,
+      std::size_t timed_samples = 1);
+
+ private:
+  core::Accelerator& accelerator_;
+  DmaModel dma_;
+};
+
+}  // namespace netpu::runtime

@@ -1,0 +1,55 @@
+// Multiple-FPGA pipelined inference (Sec. I-B application scenario).
+//
+// K NetPU-M instances are chained: each owns a contiguous slice of the
+// network's layers and forwards its output codes to the next board. Because
+// each stage re-streams only its own slice's weights, stages run
+// concurrently across *different* images — throughput is set by the slowest
+// stage while single-image latency gains the inter-board transfer overhead.
+//
+// Functionality uses the golden layer evaluation (each stage computes its
+// slice exactly as one NetPU-M would); timing uses the per-stage latency
+// model plus per-hop DMA overhead.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/latency_model.hpp"
+#include "nn/quantized_mlp.hpp"
+#include "runtime/dma.hpp"
+
+namespace netpu::runtime {
+
+struct PipelineStage {
+  std::size_t first_layer = 0;  // inclusive
+  std::size_t last_layer = 0;   // inclusive
+  double stage_us = 0.0;
+};
+
+class MultiFpgaPipeline {
+ public:
+  // Partition `mlp` across `boards` instances of `config`, balancing the
+  // estimated per-stage latency greedily.
+  MultiFpgaPipeline(nn::QuantizedMlp mlp, const core::NetpuConfig& config,
+                    int boards, DmaModel dma = {});
+
+  [[nodiscard]] const std::vector<PipelineStage>& stages() const { return stages_; }
+
+  // Latency of one image through all stages (including per-hop transfers).
+  [[nodiscard]] double single_image_latency_us() const;
+
+  // Steady-state throughput: the slowest stage paces the pipeline.
+  [[nodiscard]] double throughput_images_per_s() const;
+
+  // Exact (golden) classification through the staged layers.
+  [[nodiscard]] std::size_t classify(std::span<const std::uint8_t> image) const;
+
+ private:
+  nn::QuantizedMlp mlp_;
+  core::NetpuConfig config_;
+  DmaModel dma_;
+  std::vector<PipelineStage> stages_;
+};
+
+}  // namespace netpu::runtime

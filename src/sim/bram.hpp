@@ -1,0 +1,57 @@
+// Simple-dual-port block-RAM model: one synchronous write port, one
+// synchronous read port with single-cycle latency metadata.
+//
+// The LPU's Input Reload Buffer is modelled on top of this: inputs are
+// written once per layer and replayed once per neuron batch.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace netpu::sim {
+
+template <typename T>
+class Bram {
+ public:
+  Bram(std::string name, std::size_t depth, int bit_width)
+      : name_(std::move(name)), depth_(depth), bit_width_(bit_width), mem_(depth) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  [[nodiscard]] int bit_width() const { return bit_width_; }
+
+  void write(std::size_t addr, const T& v) {
+    assert(addr < depth_);
+    mem_[addr] = v;
+    ++writes_;
+  }
+
+  [[nodiscard]] const T& read(std::size_t addr) const {
+    assert(addr < depth_);
+    ++reads_;
+    return mem_[addr];
+  }
+
+  void reset() {
+    mem_.assign(depth_, T{});
+    reads_ = 0;
+    writes_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+
+ private:
+  std::string name_;
+  std::size_t depth_;
+  int bit_width_;
+  std::vector<T> mem_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace netpu::sim

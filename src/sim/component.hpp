@@ -1,0 +1,41 @@
+// Clocked component interface of the cycle-level simulation kernel.
+//
+// The kernel uses a single-phase discrete-clock model: every cycle the
+// scheduler calls tick() on each registered component in registration order.
+// Components communicate exclusively through Fifo<T> channels, whose
+// push/pop discipline (at most one push and one pop per endpoint per cycle,
+// enforced by the FSMs that own them) gives register-transfer semantics
+// without a two-phase evaluate/commit pass.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace netpu::sim {
+
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // Return to the power-on state.
+  virtual void reset() = 0;
+
+  // Advance one clock cycle. `cycle` is the global cycle index.
+  virtual void tick(Cycle cycle) = 0;
+
+  // True once the component has no further work; the scheduler may stop
+  // when every component is idle.
+  [[nodiscard]] virtual bool idle() const = 0;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace netpu::sim

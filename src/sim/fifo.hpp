@@ -1,0 +1,105 @@
+// Cycle-level FIFO channel with bounded depth and occupancy statistics.
+//
+// Models the BRAM/LUTRAM FIFOs of the paper's Data Buffer Cluster
+// (Table III) and the NetPU FIFO Cluster. `bit_width` is metadata used by
+// the resource model (a FIFO of depth D and width W costs BRAM proportional
+// to D*W); the element type T carries the simulated payload.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace netpu::sim {
+
+struct FifoStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::size_t max_occupancy = 0;
+  std::uint64_t push_stalls = 0;  // failed push attempts (full)
+  std::uint64_t pop_stalls = 0;   // failed pop attempts (empty)
+};
+
+template <typename T>
+class Fifo {
+ public:
+  Fifo(std::string name, std::size_t depth, int bit_width)
+      : name_(std::move(name)), depth_(depth), bit_width_(bit_width) {
+    assert(depth_ > 0);
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  [[nodiscard]] int bit_width() const { return bit_width_; }
+
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] bool full() const { return q_.size() >= depth_; }
+  [[nodiscard]] std::size_t free_slots() const { return depth_ - q_.size(); }
+
+  // Attempt to enqueue; returns false (and records a stall) when full.
+  bool try_push(const T& v) {
+    if (full()) {
+      ++stats_.push_stalls;
+      return false;
+    }
+    q_.push_back(v);
+    ++stats_.pushes;
+    stats_.max_occupancy = std::max(stats_.max_occupancy, q_.size());
+    return true;
+  }
+
+  // Enqueue; caller must have checked !full().
+  void push(const T& v) {
+    const bool ok = try_push(v);
+    assert(ok);
+    (void)ok;
+  }
+
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return q_.front();
+  }
+
+  // Attempt to dequeue into `out`; returns false (and records a stall)
+  // when empty.
+  bool try_pop(T& out) {
+    if (empty()) {
+      ++stats_.pop_stalls;
+      return false;
+    }
+    out = q_.front();
+    q_.pop_front();
+    ++stats_.pops;
+    return true;
+  }
+
+  T pop() {
+    T v{};
+    const bool ok = try_pop(v);
+    assert(ok);
+    (void)ok;
+    return v;
+  }
+
+  void clear() { q_.clear(); }
+
+  void reset() {
+    q_.clear();
+    stats_ = FifoStats{};
+  }
+
+  [[nodiscard]] const FifoStats& stats() const { return stats_; }
+
+ private:
+  std::string name_;
+  std::size_t depth_;
+  int bit_width_;
+  std::deque<T> q_;
+  FifoStats stats_;
+};
+
+}  // namespace netpu::sim

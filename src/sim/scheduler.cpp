@@ -1,0 +1,46 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+
+namespace netpu::sim {
+
+void Scheduler::add(Component* component) {
+  assert(component != nullptr);
+  components_.push_back(component);
+}
+
+void Scheduler::reset() {
+  for (auto* c : components_) c->reset();
+  now_ = 0;
+}
+
+bool Scheduler::all_idle() const {
+  for (const auto* c : components_) {
+    if (!c->idle()) return false;
+  }
+  return true;
+}
+
+void Scheduler::step(Cycle n) {
+  for (Cycle i = 0; i < n; ++i) {
+    for (auto* c : components_) c->tick(now_);
+    ++now_;
+  }
+}
+
+RunResult Scheduler::run(Cycle max_cycles) {
+  RunResult r;
+  while (!all_idle()) {
+    if (now_ >= max_cycles) {
+      r.cycles = now_;
+      r.finished = false;
+      return r;
+    }
+    step(1);
+  }
+  r.cycles = now_;
+  r.finished = true;
+  return r;
+}
+
+}  // namespace netpu::sim

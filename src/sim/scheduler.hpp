@@ -1,0 +1,44 @@
+// Discrete-clock scheduler: advances all registered components one cycle at
+// a time until either every component reports idle or a cycle limit fires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "sim/component.hpp"
+
+namespace netpu::sim {
+
+struct RunResult {
+  Cycle cycles = 0;       // total cycles simulated
+  bool finished = false;  // all components idle (vs. cycle-limit abort)
+};
+
+class Scheduler {
+ public:
+  // Components are ticked in registration order each cycle; register
+  // upstream producers before downstream consumers so a word can traverse
+  // at most one hop per cycle.
+  void add(Component* component);
+
+  void reset();
+
+  // Run until all components are idle. `max_cycles` bounds runaway
+  // simulations (deadlocked FSMs).
+  RunResult run(Cycle max_cycles);
+
+  // Advance exactly `n` cycles (for fine-grained tests).
+  void step(Cycle n = 1);
+
+  [[nodiscard]] Cycle now() const { return now_; }
+
+  [[nodiscard]] bool all_idle() const;
+
+ private:
+  std::vector<Component*> components_;
+  Cycle now_ = 0;
+};
+
+}  // namespace netpu::sim

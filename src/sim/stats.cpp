@@ -1,0 +1,15 @@
+#include "sim/stats.hpp"
+
+#include <sstream>
+
+namespace netpu::sim {
+
+std::string Stats::to_string() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : counters_) {
+    os << k << ": " << v << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace netpu::sim

@@ -1,0 +1,39 @@
+// Named cycle/event counters collected during simulation, used by the
+// latency breakdowns in EXPERIMENTS.md and the table benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace netpu::sim {
+
+class Stats {
+ public:
+  void add(const std::string& key, std::uint64_t delta = 1) { counters_[key] += delta; }
+
+  [[nodiscard]] std::uint64_t get(const std::string& key) const {
+    const auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+  void merge(const Stats& other) {
+    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  }
+
+  void clear() { counters_.clear(); }
+
+  // Multi-line "key: value" rendering, keys sorted.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace netpu::sim

@@ -1,0 +1,53 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace netpu::sim {
+
+std::string Trace::to_event_log() const {
+  std::ostringstream os;
+  for (const auto& e : events_) {
+    os << e.cycle << " " << e.signal << "=" << e.value << "\n";
+  }
+  return os.str();
+}
+
+std::string Trace::to_vcd() const {
+  // Collect signals and assign short identifiers.
+  std::map<std::string, char> ids;
+  char next_id = '!';
+  for (const auto& e : events_) {
+    if (!ids.contains(e.signal)) {
+      ids.emplace(e.signal, next_id);
+      ++next_id;
+    }
+  }
+
+  std::ostringstream os;
+  os << "$timescale 1ns $end\n$scope module netpu $end\n";
+  for (const auto& [sig, id] : ids) {
+    os << "$var integer 64 " << id << " " << sig << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<Event> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event& a, const Event& b) { return a.cycle < b.cycle; });
+  Cycle last = ~Cycle{0};
+  for (const auto& e : sorted) {
+    if (e.cycle != last) {
+      os << "#" << e.cycle * 10 << "\n";
+      last = e.cycle;
+    }
+    os << "b";
+    for (int bit = 63; bit >= 0; --bit) {
+      os << ((static_cast<std::uint64_t>(e.value) >> bit) & 1u);
+    }
+    os << " " << ids.at(e.signal) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace netpu::sim

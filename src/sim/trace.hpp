@@ -1,0 +1,46 @@
+// Minimal waveform/event trace writer.
+//
+// Records (cycle, signal, value) events and renders them either as a
+// human-readable event log or as a small VCD file loadable in GTKWave.
+// Tracing is off by default; FSM tests and debugging enable it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace netpu::sim {
+
+class Trace {
+ public:
+  struct Event {
+    Cycle cycle;
+    std::string signal;
+    std::int64_t value;
+  };
+
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(Cycle cycle, const std::string& signal, std::int64_t value) {
+    if (!enabled_) return;
+    events_.push_back(Event{cycle, signal, value});
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  // One "cycle signal=value" line per event.
+  [[nodiscard]] std::string to_event_log() const;
+
+  // Value-change-dump rendering (1 ns timescale, one cycle = 10 ns).
+  [[nodiscard]] std::string to_vcd() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<Event> events_;
+};
+
+}  // namespace netpu::sim

@@ -1,0 +1,98 @@
+// FINN-style HSD baseline: fold arithmetic, published-instance agreement,
+// and functional equivalence with the golden model.
+#include "baseline/finn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+
+namespace netpu::baseline {
+namespace {
+
+TEST(MvtuFold, FoldCycleArithmetic) {
+  // 256 neurons x 784 synapses at PE=16, SIMD=16: 16 * 49 = 784 cycles.
+  MvtuFold f{256, 784, 16, 16};
+  EXPECT_EQ(f.fold_cycles(), 784u);
+  // Fully unfolded: one cycle.
+  MvtuFold full{256, 784, 256, 784};
+  EXPECT_EQ(full.fold_cycles(), 1u);
+  // Ceiling behavior on non-divisible folds.
+  MvtuFold ragged{10, 100, 3, 7};
+  EXPECT_EQ(ragged.fold_cycles(), 4u * 15u);
+}
+
+TEST(FinnInstances, ModelLatencyTracksPublished) {
+  for (const auto& inst : table6_instances()) {
+    ASSERT_GT(inst.published_latency_us, 0.0) << inst.name;
+    const double ratio = inst.model_latency_us() / inst.published_latency_us;
+    EXPECT_GT(ratio, 0.6) << inst.name << " model=" << inst.model_latency_us();
+    EXPECT_LT(ratio, 1.4) << inst.name << " model=" << inst.model_latency_us();
+  }
+}
+
+TEST(FinnInstances, PowerOrderingMaxAboveFix) {
+  const double sfc_max_w = sfc_max().model_power_w();
+  const double sfc_fix_w = sfc_fix().model_power_w();
+  const double lfc_max_w = lfc_max().model_power_w();
+  EXPECT_GT(sfc_max_w, 2.0 * sfc_fix_w);
+  EXPECT_NEAR(sfc_max_w, 21.2, 4.0);
+  EXPECT_NEAR(lfc_max_w, 22.6, 4.0);
+  EXPECT_NEAR(sfc_fix_w, 8.1, 1.5);
+}
+
+TEST(FinnInstances, MaxIsFasterFixIsSmaller) {
+  const auto max_i = sfc_max();
+  const auto fix_i = sfc_fix();
+  EXPECT_LT(max_i.published_latency_us, fix_i.published_latency_us / 100.0);
+  EXPECT_GT(max_i.published.luts, 10 * fix_i.published.luts);
+}
+
+TEST(FinnInstances, ThroughputPacedBySlowestLayer) {
+  const auto f = sfc_fix();
+  std::uint64_t max_fold = 0;
+  for (const auto& l : f.layers) max_fold = std::max(max_fold, l.fold_cycles());
+  EXPECT_EQ(f.initiation_interval_cycles(), max_fold);
+  EXPECT_GT(f.throughput_images_per_s(), 0.0);
+  // Latency >= initiation interval (a pipeline cannot beat its slowest stage).
+  EXPECT_GE(f.model_cycles(), f.initiation_interval_cycles());
+}
+
+TEST(FinnInstances, MakeInstanceFromArbitraryModel) {
+  common::Xoshiro256 rng(5);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 64;
+  spec.hidden = {32, 32};
+  spec.outputs = 5;
+  spec.weight_bits = 1;
+  spec.activation_bits = 1;
+  const auto mlp = nn::random_quantized_mlp(spec, rng);
+  const auto inst = make_instance("custom", mlp, 8, 8);
+  EXPECT_EQ(inst.layers.size(), 3u);  // input layer carries no MVTU
+  EXPECT_GT(inst.published.luts, 0);
+  EXPECT_GT(inst.published.bram36, 0.0);
+  // Heavier folding (fewer PEs) -> slower but smaller.
+  const auto slim = make_instance("slim", mlp, 2, 2);
+  EXPECT_GT(slim.model_latency_us(), inst.model_latency_us());
+  EXPECT_LT(slim.published.luts, inst.published.luts);
+}
+
+TEST(FinnBaseline, FunctionalEquivalenceWithGolden) {
+  // The HSD baseline computes the same network: predictions match the
+  // golden model exactly (only latency/resources differ from NetPU-M).
+  common::Xoshiro256 rng(6);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 30;
+  spec.hidden = {12};
+  spec.outputs = 4;
+  spec.weight_bits = 1;
+  spec.activation_bits = 1;
+  const auto mlp = nn::random_quantized_mlp(spec, rng);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::uint8_t> img(30);
+    for (auto& p : img) p = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_EQ(classify(mlp, img), mlp.infer(img).predicted);
+  }
+}
+
+}  // namespace
+}  // namespace netpu::baseline

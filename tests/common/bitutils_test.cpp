@@ -1,0 +1,91 @@
+#include "common/bitutils.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netpu::common {
+namespace {
+
+TEST(Bitutils, PopcountMatchesNaive) {
+  for (std::uint32_t v = 0; v < 256; ++v) {
+    int naive = 0;
+    for (int b = 0; b < 8; ++b) naive += (v >> b) & 1;
+    EXPECT_EQ(popcount8(static_cast<std::uint8_t>(v)), naive);
+  }
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(~std::uint64_t{0}), 64);
+  EXPECT_EQ(popcount64(0x8000000000000001ull), 2);
+}
+
+TEST(Bitutils, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xffu);
+  EXPECT_EQ(low_mask(63), 0x7fffffffffffffffull);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bitutils, SignExtend) {
+  EXPECT_EQ(sign_extend(0b1, 1), -1);
+  EXPECT_EQ(sign_extend(0b0, 1), 0);
+  EXPECT_EQ(sign_extend(0b10, 2), -2);
+  EXPECT_EQ(sign_extend(0b01, 2), 1);
+  EXPECT_EQ(sign_extend(0xff, 8), -1);
+  EXPECT_EQ(sign_extend(0x7f, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  // Bits above the field are ignored.
+  EXPECT_EQ(sign_extend(0xabcd00ffull, 8), -1);
+}
+
+TEST(Bitutils, ZeroExtend) {
+  EXPECT_EQ(zero_extend(0xff, 4), 0xfu);
+  EXPECT_EQ(zero_extend(0xff, 8), 0xffu);
+  EXPECT_EQ(zero_extend(0x1ff, 8), 0xffu);
+}
+
+TEST(Bitutils, SaturateSigned) {
+  EXPECT_EQ(saturate_signed(300, 8), 127);
+  EXPECT_EQ(saturate_signed(-300, 8), -128);
+  EXPECT_EQ(saturate_signed(17, 8), 17);
+  EXPECT_EQ(saturate_signed(1, 1), 0);   // 1-bit signed range is [-1, 0]
+  EXPECT_EQ(saturate_signed(-5, 3), -4);
+}
+
+TEST(Bitutils, SaturateUnsigned) {
+  EXPECT_EQ(saturate_unsigned(300, 8), 255);
+  EXPECT_EQ(saturate_unsigned(-3, 8), 0);
+  EXPECT_EQ(saturate_unsigned(7, 3), 7);
+  EXPECT_EQ(saturate_unsigned(8, 3), 7);
+}
+
+TEST(Bitutils, ByteLanes) {
+  const std::uint64_t w = 0x0807060504030201ull;
+  for (int lane = 0; lane < 8; ++lane) {
+    EXPECT_EQ(byte_lane(w, lane), lane + 1);
+  }
+  std::uint64_t out = 0;
+  for (int lane = 0; lane < 8; ++lane) {
+    out = set_byte_lane(out, lane, static_cast<std::uint8_t>(lane + 1));
+  }
+  EXPECT_EQ(out, w);
+  // Overwriting a lane replaces only that lane.
+  EXPECT_EQ(byte_lane(set_byte_lane(w, 3, 0xaa), 3), 0xaa);
+  EXPECT_EQ(byte_lane(set_byte_lane(w, 3, 0xaa), 2), 3);
+}
+
+TEST(Bitutils, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 8), 0u);
+  EXPECT_EQ(ceil_div(1, 8), 1u);
+  EXPECT_EQ(ceil_div(8, 8), 1u);
+  EXPECT_EQ(ceil_div(9, 8), 2u);
+  EXPECT_EQ(ceil_div(784, 64), 13u);
+}
+
+TEST(Bitutils, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(65));
+}
+
+}  // namespace
+}  // namespace netpu::common

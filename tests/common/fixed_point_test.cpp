@@ -1,0 +1,122 @@
+#include "common/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+
+namespace netpu::common {
+namespace {
+
+TEST(Q16x16, RoundTripExactValues) {
+  EXPECT_EQ(Q16x16::from_double(1.0).raw(), 65536);
+  EXPECT_EQ(Q16x16::from_double(-1.0).raw(), -65536);
+  EXPECT_EQ(Q16x16::from_double(0.5).raw(), 32768);
+  EXPECT_DOUBLE_EQ(Q16x16::from_double(3.25).to_double(), 3.25);
+}
+
+TEST(Q16x16, SaturatesAtInt32Range) {
+  EXPECT_EQ(Q16x16::from_double(1e9).raw(), std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(Q16x16::from_double(-1e9).raw(), std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(Q16x16, QuantizationErrorBounded) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double(-30000.0, 30000.0);
+    EXPECT_NEAR(Q16x16::from_double(v).to_double(), v, 1.0 / 65536.0);
+  }
+}
+
+TEST(Q32x5, FromInt32IsLossless) {
+  for (const std::int32_t v : {0, 1, -1, 1 << 20, -(1 << 20),
+                               std::numeric_limits<std::int32_t>::max(),
+                               std::numeric_limits<std::int32_t>::min()}) {
+    const Q32x5 q = Q32x5::from_int32(v);
+    EXPECT_EQ(q.raw(), static_cast<std::int64_t>(v) * 32);
+    EXPECT_LE(q.raw(), Q32x5::kRawMax);
+    EXPECT_GE(q.raw(), Q32x5::kRawMin);
+  }
+}
+
+TEST(Q32x5, SaturateClampsTo37Bits) {
+  EXPECT_EQ(Q32x5::saturate(Q32x5::kRawMax + 1).raw(), Q32x5::kRawMax);
+  EXPECT_EQ(Q32x5::saturate(Q32x5::kRawMin - 1).raw(), Q32x5::kRawMin);
+  EXPECT_EQ(Q32x5::saturate(42).raw(), 42);
+}
+
+TEST(Q32x5, ClampToInt32) {
+  EXPECT_EQ(Q32x5(std::int64_t{1} << 35).clamp_to_int32().raw(),
+            std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(Q32x5(-(std::int64_t{1} << 35)).clamp_to_int32().raw(),
+            std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(Q32x5(1234).clamp_to_int32().raw(), 1234);
+}
+
+TEST(BnTransform, IdentityScale) {
+  // scale = 1.0, offset = 0: y == x (in Q.5).
+  const auto one = Q16x16::from_double(1.0);
+  const auto zero = Q16x16::from_double(0.0);
+  for (const std::int32_t x : {0, 5, -5, 100000, -100000}) {
+    EXPECT_EQ(bn_transform(x, one, zero).raw(), static_cast<std::int64_t>(x) * 32);
+  }
+}
+
+TEST(BnTransform, KnownAffineValues) {
+  // y = 0.5 * x + 2.0 at x = 10 -> 7.0 -> raw 224.
+  const auto y = bn_transform(10, Q16x16::from_double(0.5), Q16x16::from_double(2.0));
+  EXPECT_EQ(y.raw(), 224);
+}
+
+TEST(BnTransform, ApproximatesRealAffine) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto x = static_cast<std::int32_t>(rng.next_int(-100000, 100000));
+    const double s = rng.next_double(-4.0, 4.0);
+    const double o = rng.next_double(-100.0, 100.0);
+    const auto y = bn_transform(x, Q16x16::from_double(s), Q16x16::from_double(o));
+    // Truncation of the Q.16 product plus parameter rounding: error below
+    // a few Q.5 ulps relative to |x|.
+    const double expected = s * x + o;
+    EXPECT_NEAR(y.to_double(), expected, std::abs(x) * 2e-5 + 0.1)
+        << "x=" << x << " s=" << s << " o=" << o;
+  }
+}
+
+TEST(BnTransform, SaturatesAt37Bits) {
+  const auto big = bn_transform(std::numeric_limits<std::int32_t>::max(),
+                                Q16x16::from_double(100.0), Q16x16::from_double(0.0));
+  EXPECT_EQ(big.raw(), Q32x5::kRawMax);
+  const auto small = bn_transform(std::numeric_limits<std::int32_t>::min(),
+                                  Q16x16::from_double(100.0), Q16x16::from_double(0.0));
+  EXPECT_EQ(small.raw(), Q32x5::kRawMin);
+}
+
+TEST(QuanTransform, RoundsToNearest) {
+  const auto one = Q16x16::from_double(1.0);
+  const auto zero = Q16x16::from_double(0.0);
+  // x = 2.5 in Q.5 (raw 80) rounds half-up to 3.
+  EXPECT_EQ(quan_transform(Q32x5(80), one, zero, 8, true), 3);
+  // x = 2.4 -> 2.
+  EXPECT_EQ(quan_transform(Q32x5::from_double(2.4), one, zero, 8, true), 2);
+  // Negative: -2.4 -> -2 (round to nearest).
+  EXPECT_EQ(quan_transform(Q32x5::from_double(-2.4), one, zero, 8, true), -2);
+}
+
+TEST(QuanTransform, AppliesScaleAndOffset) {
+  // q = round(0.25 * x + 3) at x = 8 -> 5.
+  EXPECT_EQ(quan_transform(Q32x5::from_double(8.0), Q16x16::from_double(0.25),
+                           Q16x16::from_double(3.0), 8, true),
+            5);
+}
+
+TEST(QuanTransform, SaturatesToPrecision) {
+  const auto one = Q16x16::from_double(1.0);
+  const auto zero = Q16x16::from_double(0.0);
+  EXPECT_EQ(quan_transform(Q32x5::from_double(1000.0), one, zero, 4, true), 7);
+  EXPECT_EQ(quan_transform(Q32x5::from_double(-1000.0), one, zero, 4, true), -8);
+  EXPECT_EQ(quan_transform(Q32x5::from_double(1000.0), one, zero, 4, false), 15);
+  EXPECT_EQ(quan_transform(Q32x5::from_double(-1000.0), one, zero, 4, false), 0);
+}
+
+}  // namespace
+}  // namespace netpu::common

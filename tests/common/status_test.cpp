@@ -1,0 +1,54 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netpu::common {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return make_error(ErrorCode::kInvalidArgument, "not positive");
+  return v;
+}
+
+TEST(Result, HoldsValue) {
+  auto r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Result, HoldsError) {
+  auto r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.error().to_string(), "invalid_argument: not positive");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, CarriesError) {
+  Status s = make_error(ErrorCode::kCapacityExceeded, "too big");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kCapacityExceeded);
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (const auto c :
+       {ErrorCode::kInvalidArgument, ErrorCode::kOutOfRange,
+        ErrorCode::kCapacityExceeded, ErrorCode::kMalformedStream,
+        ErrorCode::kUnsupported, ErrorCode::kInternal}) {
+    EXPECT_STRNE(error_code_name(c), "unknown");
+  }
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+}  // namespace
+}  // namespace netpu::common

@@ -1,0 +1,122 @@
+// Buffer reuse (Sec. V future work #2): mutually exclusive parameter types
+// share physical buffers — results stay bit-exact, BRAM shrinks, and the
+// aliasing never collides because the sharing pairs cannot co-occur in one
+// layer configuration.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "loadable/layer_setting.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::core {
+namespace {
+
+std::vector<std::uint8_t> random_image(std::size_t n, common::Xoshiro256& rng) {
+  std::vector<std::uint8_t> img(n);
+  for (auto& p : img) p = static_cast<std::uint8_t>(rng.next_below(256));
+  return img;
+}
+
+TEST(BufferReuse, SharingPairsNeverCoOccur) {
+  // The hardware invariant behind the aliasing: across every valid layer
+  // configuration, each sharing pair has at most one member active.
+  for (const auto kind : {hw::LayerKind::kInput, hw::LayerKind::kHidden,
+                          hw::LayerKind::kOutput}) {
+    for (int a = 0; a <= 5; ++a) {
+      for (const bool fold : {true, false}) {
+        loadable::LayerSetting s;
+        s.kind = kind;
+        s.activation = static_cast<hw::Activation>(a);
+        s.bn_fold = fold;
+        s.out_prec = {2, false};
+        EXPECT_FALSE(s.has_bias_section() && s.has_bn_section());
+        EXPECT_FALSE(s.has_sign_section() && s.has_quan_section());
+        EXPECT_FALSE(s.has_mt_section() && s.has_quan_section());
+      }
+    }
+  }
+}
+
+TEST(BufferReuse, BitExactAcrossActivationsAndFolding) {
+  common::Xoshiro256 rng(11);
+  NetpuConfig config;
+  config.lpu.buffer_reuse = true;
+  Accelerator reuse_acc(config);
+  Accelerator plain_acc(NetpuConfig::paper_instance());
+
+  for (const auto act : {hw::Activation::kSign, hw::Activation::kMultiThreshold,
+                         hw::Activation::kRelu}) {
+    for (const bool fold : {true, false}) {
+      nn::RandomMlpSpec spec;
+      spec.input_size = 26;
+      spec.hidden = {10, 8};
+      spec.outputs = 4;
+      spec.hidden_activation = act;
+      spec.bn_fold = fold;
+      spec.weight_bits = act == hw::Activation::kSign ? 1 : 2;
+      spec.activation_bits = spec.weight_bits;
+      const auto mlp = nn::random_quantized_mlp(spec, rng);
+      const auto image = random_image(26, rng);
+      const auto golden = mlp.infer(image);
+
+      auto reuse = reuse_acc.run(mlp, image);
+      auto plain = plain_acc.run(mlp, image);
+      ASSERT_TRUE(reuse.ok()) << reuse.error().to_string();
+      ASSERT_TRUE(plain.ok());
+      EXPECT_EQ(reuse.value().output_values, golden.output_values)
+          << hw::to_string(act) << " fold=" << fold;
+      // Same cycle count: reuse changes storage, not the schedule.
+      EXPECT_EQ(reuse.value().cycles, plain.value().cycles);
+    }
+  }
+}
+
+TEST(BufferReuse, SavesBram) {
+  NetpuConfig base = NetpuConfig::paper_instance();
+  NetpuConfig reuse = base;
+  reuse.lpu.buffer_reuse = true;
+  const auto rb = base.resources();
+  const auto rr = reuse.resources();
+  // Three merged buffers per LPU: Bias (2) + Sign thr (8) + MT (8) = 18
+  // BRAM36 per LPU.
+  EXPECT_DOUBLE_EQ(rb.bram36 - rr.bram36, 36.0);
+  // Three fewer buffer controllers per LPU (the model nets the mux cost
+  // against the removed FIFO control logic).
+  EXPECT_LT(rr.luts, rb.luts);
+  EXPECT_GE(rr.luts, rb.luts - 300);
+}
+
+TEST(BufferReuse, MixedNetworkAlternatingFoldModes) {
+  // A network whose layers alternate between the two members of each
+  // sharing pair stresses the per-physical-buffer cursor aliasing.
+  common::Xoshiro256 rng(12);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 24;
+  spec.hidden = {8, 8, 8, 8};
+  spec.outputs = 3;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  auto mlp = nn::random_quantized_mlp(spec, rng);
+  // Flip alternating hidden layers to the BN-stage path.
+  for (std::size_t l = 1; l + 1 < mlp.layers.size(); l += 2) {
+    auto& layer = mlp.layers[l];
+    layer.bn_fold = false;
+    layer.bias.clear();
+    for (int n = 0; n < layer.neurons; ++n) {
+      layer.bn_scale.push_back(common::Q16x16::from_double(rng.next_double(0.1, 1.0)));
+      layer.bn_offset.push_back(common::Q16x16::from_double(rng.next_double(-2.0, 2.0)));
+    }
+  }
+  ASSERT_TRUE(mlp.validate().ok()) << mlp.validate().error().to_string();
+
+  NetpuConfig config;
+  config.lpu.buffer_reuse = true;
+  Accelerator acc(config);
+  const auto image = random_image(24, rng);
+  auto run = acc.run(mlp, image);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  EXPECT_EQ(run.value().output_values, mlp.infer(image).output_values);
+}
+
+}  // namespace
+}  // namespace netpu::core

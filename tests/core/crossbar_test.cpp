@@ -1,0 +1,74 @@
+// Fig. 3: the five highlighted TNPU data-stream paths, plus the crossbar
+// bypass rules (BN skipped under folding, QUAN skipped for self-quantizing
+// activations).
+#include "core/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netpu::core {
+namespace {
+
+using hw::Activation;
+using hw::LayerKind;
+
+TEST(Crossbar, InputLayerBnnPath) {
+  // Fig. 3 yellow path (BNN): dataset input -> ACTIV (Sign).
+  const auto p = crossbar_path(LayerKind::kInput, Activation::kSign, true);
+  EXPECT_EQ(p, (std::vector<Stage>{Stage::kActiv}));
+}
+
+TEST(Crossbar, InputLayerQnnPath) {
+  // Fig. 3 yellow path (QNN, non-threshold activation): input -> QUAN.
+  const auto p = crossbar_path(LayerKind::kInput, Activation::kRelu, true);
+  EXPECT_EQ(p, (std::vector<Stage>{Stage::kQuan}));
+  // Multi-Threshold inputs go through ACTIV instead.
+  const auto pmt = crossbar_path(LayerKind::kInput, Activation::kMultiThreshold, true);
+  EXPECT_EQ(pmt, (std::vector<Stage>{Stage::kActiv}));
+}
+
+TEST(Crossbar, HiddenBnnFoldedPath) {
+  // Fig. 3 red path (BNN): MUL -> ACCU -> ACTIV (BN folded into the Sign
+  // threshold, QUAN bypassed).
+  const auto p = crossbar_path(LayerKind::kHidden, Activation::kSign, true);
+  EXPECT_EQ(p, (std::vector<Stage>{Stage::kMul, Stage::kAccu, Stage::kActiv}));
+}
+
+TEST(Crossbar, HiddenQnnUnfoldedPath) {
+  // Fig. 3 red path (QNN, BN enabled): MUL -> ACCU -> BN -> ACTIV -> QUAN.
+  const auto p = crossbar_path(LayerKind::kHidden, Activation::kSigmoid, false);
+  EXPECT_EQ(p, (std::vector<Stage>{Stage::kMul, Stage::kAccu, Stage::kBn,
+                                   Stage::kActiv, Stage::kQuan}));
+}
+
+TEST(Crossbar, HiddenMtSkipsQuan) {
+  const auto p = crossbar_path(LayerKind::kHidden, Activation::kMultiThreshold, false);
+  EXPECT_EQ(p, (std::vector<Stage>{Stage::kMul, Stage::kAccu, Stage::kBn,
+                                   Stage::kActiv}));
+}
+
+TEST(Crossbar, OutputLayerPaths) {
+  // Fig. 3 pink path: ACCU (or BN) output feeds MaxOut directly.
+  const auto folded = crossbar_path(LayerKind::kOutput, Activation::kNone, true);
+  EXPECT_EQ(folded, (std::vector<Stage>{Stage::kMul, Stage::kAccu, Stage::kMaxOut}));
+  const auto bn = crossbar_path(LayerKind::kOutput, Activation::kNone, false);
+  EXPECT_EQ(bn, (std::vector<Stage>{Stage::kMul, Stage::kAccu, Stage::kBn,
+                                    Stage::kMaxOut}));
+}
+
+TEST(Crossbar, BnBypassedExactlyWhenFolded) {
+  for (const auto act : {Activation::kRelu, Activation::kSign,
+                         Activation::kMultiThreshold, Activation::kTanh}) {
+    const auto folded = crossbar_path(LayerKind::kHidden, act, true);
+    const auto unfolded = crossbar_path(LayerKind::kHidden, act, false);
+    EXPECT_EQ(std::count(folded.begin(), folded.end(), Stage::kBn), 0);
+    EXPECT_EQ(std::count(unfolded.begin(), unfolded.end(), Stage::kBn), 1);
+  }
+}
+
+TEST(Crossbar, StageNames) {
+  EXPECT_STREQ(to_string(Stage::kMul), "MUL");
+  EXPECT_STREQ(to_string(Stage::kMaxOut), "MAXOUT");
+}
+
+}  // namespace
+}  // namespace netpu::core

@@ -1,0 +1,179 @@
+// The central correctness anchor (DESIGN.md Sec. 5): the cycle-accurate
+// simulator's outputs are bit-for-bit identical to the golden integer model
+// for every supported configuration — precisions 1-8, all activations, BN
+// folded and unfolded, fan-ins spanning multiple chunks and neuron batches.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "core/latency_model.hpp"
+#include "loadable/compiler.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu {
+namespace {
+
+struct Scenario {
+  const char* name;
+  nn::RandomMlpSpec spec;
+};
+
+std::vector<std::uint8_t> random_image(std::size_t n, common::Xoshiro256& rng) {
+  std::vector<std::uint8_t> img(n);
+  for (auto& p : img) p = static_cast<std::uint8_t>(rng.next_below(256));
+  return img;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(EquivalenceTest, CycleSimMatchesGoldenBitExactly) {
+  const auto& scenario = GetParam();
+  common::Xoshiro256 rng(0xC0FFEE ^ scenario.spec.hidden.size());
+
+  core::NetpuConfig config = core::NetpuConfig::paper_instance();
+  config.tnpu.max_mt_bits = 8;  // allow every precision in this sweep
+  core::Accelerator acc(config);
+
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto mlp = nn::random_quantized_mlp(scenario.spec, rng);
+    ASSERT_TRUE(mlp.validate().ok()) << mlp.validate().error().to_string();
+    const auto image = random_image(mlp.input_size(), rng);
+    const auto golden = mlp.infer(image);
+
+    auto run = acc.run(mlp, image);
+    ASSERT_TRUE(run.ok()) << run.error().to_string();
+    EXPECT_EQ(run.value().predicted, golden.predicted) << "trial " << trial;
+    ASSERT_EQ(run.value().output_values.size(), golden.output_values.size());
+    for (std::size_t i = 0; i < golden.output_values.size(); ++i) {
+      EXPECT_EQ(run.value().output_values[i], golden.output_values[i])
+          << "trial " << trial << " output " << i;
+    }
+    EXPECT_GT(run.value().cycles, 0u);
+  }
+}
+
+TEST_P(EquivalenceTest, FunctionalModeMatchesGolden) {
+  const auto& scenario = GetParam();
+  common::Xoshiro256 rng(0xBEEF ^ scenario.spec.hidden.size());
+
+  core::NetpuConfig config = core::NetpuConfig::paper_instance();
+  config.tnpu.max_mt_bits = 8;
+  core::Accelerator acc(config);
+
+  const auto mlp = nn::random_quantized_mlp(scenario.spec, rng);
+  const auto image = random_image(mlp.input_size(), rng);
+  const auto golden = mlp.infer(image);
+
+  core::RunOptions options;
+  options.mode = core::RunMode::kFunctional;
+  auto run = acc.run(mlp, image, options);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  EXPECT_EQ(run.value().predicted, golden.predicted);
+  EXPECT_EQ(run.value().output_values, golden.output_values);
+}
+
+Scenario scenarios[] = {
+    {"binary_sign_fold",
+     {.input_size = 96,
+      .hidden = {16, 16},
+      .outputs = 4,
+      .hidden_activation = hw::Activation::kSign,
+      .bn_fold = true,
+      .weight_bits = 1,
+      .activation_bits = 1}},
+    {"binary_sign_nofold",
+     {.input_size = 70,
+      .hidden = {12},
+      .outputs = 3,
+      .hidden_activation = hw::Activation::kSign,
+      .bn_fold = false,
+      .weight_bits = 1,
+      .activation_bits = 1}},
+    {"w2a2_mt_fold",
+     {.input_size = 40,
+      .hidden = {20, 12},
+      .outputs = 5,
+      .hidden_activation = hw::Activation::kMultiThreshold,
+      .bn_fold = true,
+      .weight_bits = 2,
+      .activation_bits = 2}},
+    {"w2a2_mt_nofold",
+     {.input_size = 33,
+      .hidden = {9, 9, 9},
+      .outputs = 4,
+      .hidden_activation = hw::Activation::kMultiThreshold,
+      .bn_fold = false,
+      .weight_bits = 2,
+      .activation_bits = 2}},
+    {"w4a4_mt",
+     {.input_size = 25,
+      .hidden = {10},
+      .outputs = 4,
+      .hidden_activation = hw::Activation::kMultiThreshold,
+      .bn_fold = true,
+      .weight_bits = 4,
+      .activation_bits = 4}},
+    {"w8a8_relu",
+     {.input_size = 19,
+      .hidden = {11, 7},
+      .outputs = 3,
+      .hidden_activation = hw::Activation::kRelu,
+      .bn_fold = true,
+      .weight_bits = 8,
+      .activation_bits = 8}},
+    {"w3a5_relu_nofold",
+     {.input_size = 21,
+      .hidden = {8},
+      .outputs = 3,
+      .hidden_activation = hw::Activation::kRelu,
+      .bn_fold = false,
+      .weight_bits = 3,
+      .activation_bits = 5}},
+    {"w4a4_sigmoid",
+     {.input_size = 17,
+      .hidden = {9, 6},
+      .outputs = 3,
+      .hidden_activation = hw::Activation::kSigmoid,
+      .bn_fold = false,
+      .weight_bits = 4,
+      .activation_bits = 4}},
+    {"w5a4_tanh",
+     {.input_size = 23,
+      .hidden = {7},
+      .outputs = 4,
+      .hidden_activation = hw::Activation::kTanh,
+      .bn_fold = false,
+      .weight_bits = 5,
+      .activation_bits = 4}},
+    {"w1a2_widened",
+     {.input_size = 130,
+      .hidden = {14, 10},
+      .outputs = 4,
+      .hidden_activation = hw::Activation::kMultiThreshold,
+      .bn_fold = true,
+      .weight_bits = 1,
+      .activation_bits = 2}},
+    {"deep_recycle_six_layers",
+     {.input_size = 30,
+      .hidden = {10, 10, 10, 10, 10, 10},
+      .outputs = 4,
+      .hidden_activation = hw::Activation::kMultiThreshold,
+      .bn_fold = true,
+      .weight_bits = 2,
+      .activation_bits = 2}},
+    {"wide_multibatch",
+     {.input_size = 64,
+      .hidden = {50},
+      .outputs = 6,
+      .hidden_activation = hw::Activation::kMultiThreshold,
+      .bn_fold = true,
+      .weight_bits = 2,
+      .activation_bits = 2}},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, EquivalenceTest, ::testing::ValuesIn(scenarios),
+                         [](const ::testing::TestParamInfo<Scenario>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace netpu

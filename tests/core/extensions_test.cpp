@@ -1,0 +1,216 @@
+// Sec. V "further work" extensions: dense multi-channel streaming and
+// overlapped (flow-through) weight loading. Both must stay bit-exact with
+// the golden model while changing only latency, and both are rejected by
+// instances that do not support them.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "core/latency_model.hpp"
+#include "loadable/compiler.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::core {
+namespace {
+
+std::vector<std::uint8_t> random_image(std::size_t n, common::Xoshiro256& rng) {
+  std::vector<std::uint8_t> img(n);
+  for (auto& p : img) p = static_cast<std::uint8_t>(rng.next_below(256));
+  return img;
+}
+
+nn::QuantizedMlp w2a2_mlp(common::Xoshiro256& rng, int hidden = 24) {
+  nn::RandomMlpSpec spec;
+  spec.input_size = 48;
+  spec.hidden = {hidden, hidden};
+  spec.outputs = 5;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  return nn::random_quantized_mlp(spec, rng);
+}
+
+TEST(DenseStream, EnableRequiresMatchingWidths) {
+  common::Xoshiro256 rng(1);
+  auto ok = w2a2_mlp(rng);
+  EXPECT_TRUE(nn::enable_dense_stream(ok).ok());
+  EXPECT_TRUE(ok.validate().ok()) << ok.validate().error().to_string();
+
+  nn::RandomMlpSpec spec;
+  spec.weight_bits = 3;
+  spec.activation_bits = 2;
+  auto mismatched = nn::random_quantized_mlp(spec, rng);
+  EXPECT_FALSE(nn::enable_dense_stream(mismatched).ok());
+}
+
+TEST(DenseStream, BitExactWithGolden) {
+  common::Xoshiro256 rng(2);
+  for (const int bits : {2, 3, 4}) {
+    nn::RandomMlpSpec spec;
+    spec.input_size = 40;
+    spec.hidden = {14, 10};
+    spec.outputs = 4;
+    spec.weight_bits = bits;
+    spec.activation_bits = bits;
+    auto mlp = nn::random_quantized_mlp(spec, rng);
+    ASSERT_TRUE(nn::enable_dense_stream(mlp).ok());
+    const auto image = random_image(40, rng);
+    const auto golden = mlp.infer(image);
+
+    NetpuConfig config;
+    config.tnpu.dense_support = true;
+    config.tnpu.max_mt_bits = 8;
+    Accelerator acc(config);
+    auto run = acc.run(mlp, image);
+    ASSERT_TRUE(run.ok()) << "bits=" << bits << ": " << run.error().to_string();
+    EXPECT_EQ(run.value().predicted, golden.predicted) << "bits=" << bits;
+    EXPECT_EQ(run.value().output_values, golden.output_values) << "bits=" << bits;
+  }
+}
+
+TEST(DenseStream, ShrinksStreamAndLatency) {
+  common::Xoshiro256 rng(3);
+  auto baseline = w2a2_mlp(rng, 32);
+  auto dense = baseline;
+  ASSERT_TRUE(nn::enable_dense_stream(dense).ok());
+  const auto image = random_image(48, rng);
+
+  NetpuConfig config;
+  config.tnpu.dense_support = true;
+  Accelerator acc(config);
+
+  auto base_stream = loadable::compile(baseline, image, config.compile_options());
+  auto dense_stream = loadable::compile(dense, image, config.compile_options());
+  ASSERT_TRUE(base_stream.ok());
+  ASSERT_TRUE(dense_stream.ok());
+  // 2-bit dense packs 32 values per word vs 8: weight sections shrink ~4x.
+  EXPECT_LT(dense_stream.value().size(), base_stream.value().size() * 2 / 3);
+
+  auto base_run = acc.run(base_stream.value());
+  auto dense_run = acc.run(dense_stream.value());
+  ASSERT_TRUE(base_run.ok());
+  ASSERT_TRUE(dense_run.ok());
+  EXPECT_LT(dense_run.value().cycles, base_run.value().cycles);
+  EXPECT_EQ(base_run.value().predicted, dense_run.value().predicted);
+}
+
+TEST(DenseStream, RejectedByPaperInstance) {
+  common::Xoshiro256 rng(4);
+  auto mlp = w2a2_mlp(rng);
+  ASSERT_TRUE(nn::enable_dense_stream(mlp).ok());
+  const auto image = random_image(48, rng);
+
+  Accelerator acc(NetpuConfig::paper_instance());  // dense_support = false
+  auto run = acc.run(mlp, image);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.error().code, common::ErrorCode::kUnsupported);
+
+  RunOptions opts;
+  opts.mode = RunMode::kFunctional;
+  auto frun = acc.run(mlp, image, opts);
+  ASSERT_FALSE(frun.ok());
+  EXPECT_EQ(frun.error().code, common::ErrorCode::kUnsupported);
+}
+
+TEST(DenseStream, OneBitModelsUnchanged) {
+  // 1-bit streams were already dense (64 values/word): cycle counts match.
+  common::Xoshiro256 rng(5);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 96;
+  spec.hidden = {16};
+  spec.outputs = 4;
+  spec.weight_bits = 1;
+  spec.activation_bits = 1;
+  auto baseline = nn::random_quantized_mlp(spec, rng);
+  auto dense = baseline;
+  ASSERT_TRUE(nn::enable_dense_stream(dense).ok());
+  const auto image = random_image(96, rng);
+
+  NetpuConfig config;
+  config.tnpu.dense_support = true;
+  Accelerator acc(config);
+  auto base_run = acc.run(baseline, image);
+  auto dense_run = acc.run(dense, image);
+  ASSERT_TRUE(base_run.ok());
+  ASSERT_TRUE(dense_run.ok());
+  EXPECT_EQ(base_run.value().cycles, dense_run.value().cycles);
+}
+
+TEST(OverlappedWeights, BitExactWithGolden) {
+  common::Xoshiro256 rng(6);
+  const auto mlp = w2a2_mlp(rng);
+  const auto image = random_image(48, rng);
+  const auto golden = mlp.infer(image);
+
+  NetpuConfig config;
+  config.overlapped_weight_stream = true;
+  Accelerator acc(config);
+  auto run = acc.run(mlp, image);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  EXPECT_EQ(run.value().predicted, golden.predicted);
+  EXPECT_EQ(run.value().output_values, golden.output_values);
+}
+
+TEST(OverlappedWeights, RemovesTheFillPhase) {
+  common::Xoshiro256 rng(7);
+  const auto mlp = w2a2_mlp(rng, 32);
+  const auto image = random_image(48, rng);
+
+  NetpuConfig baseline;
+  NetpuConfig overlapped;
+  overlapped.overlapped_weight_stream = true;
+  auto base_run = Accelerator(baseline).run(mlp, image);
+  auto over_run = Accelerator(overlapped).run(mlp, image);
+  ASSERT_TRUE(base_run.ok());
+  ASSERT_TRUE(over_run.ok());
+  EXPECT_LT(over_run.value().cycles, base_run.value().cycles);
+  EXPECT_EQ(over_run.value().stats.get("cycles_weight_fill"), 0u);
+  EXPECT_GT(base_run.value().stats.get("cycles_weight_fill"), 0u);
+}
+
+TEST(OverlappedWeights, LatencyModelTracksMode) {
+  common::Xoshiro256 rng(8);
+  const auto mlp = w2a2_mlp(rng, 32);
+  NetpuConfig config;
+  const auto base = estimate_latency(mlp, config).total();
+  config.overlapped_weight_stream = true;
+  const auto overlapped = estimate_latency(mlp, config).total();
+  EXPECT_LT(overlapped, base);
+
+  const auto image = random_image(48, rng);
+  auto run = Accelerator(config).run(mlp, image);
+  ASSERT_TRUE(run.ok());
+  const double ratio = static_cast<double>(overlapped) /
+                       static_cast<double>(run.value().cycles);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(Extensions, ComposeDensePlusOverlapped) {
+  common::Xoshiro256 rng(9);
+  auto mlp = w2a2_mlp(rng, 32);
+  const auto image = random_image(48, rng);
+  const auto golden = mlp.infer(image);
+  const auto base_cycles = [&] {
+    return Accelerator(NetpuConfig::paper_instance()).run(mlp, image).value().cycles;
+  }();
+
+  ASSERT_TRUE(nn::enable_dense_stream(mlp).ok());
+  NetpuConfig config;
+  config.tnpu.dense_support = true;
+  config.overlapped_weight_stream = true;
+  auto run = Accelerator(config).run(mlp, image);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().predicted, golden.predicted);
+  EXPECT_EQ(run.value().output_values, golden.output_values);
+  // 2-bit dense (4x fewer words) + flow-through (half the cycles per word).
+  EXPECT_LT(run.value().cycles, base_cycles / 2);
+}
+
+TEST(Extensions, DenseCostsLutsInTheResourceModel) {
+  NetpuConfig base = NetpuConfig::paper_instance();
+  NetpuConfig dense = base;
+  dense.tnpu.dense_support = true;
+  EXPECT_GT(dense.resources().luts, base.resources().luts);
+}
+
+}  // namespace
+}  // namespace netpu::core

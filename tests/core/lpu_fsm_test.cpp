@@ -1,0 +1,254 @@
+// LPU control FSM (Fig. 4): state progression, Input Reload reuse, neuron
+// batching, buffer-driven batch shrinking, and stall behavior when sections
+// arrive late.
+#include "core/lpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hpp"
+#include "loadable/compiler.hpp"
+#include "loadable/words.hpp"
+#include "nn/quantized_mlp.hpp"
+#include "sim/scheduler.hpp"
+
+namespace netpu::core {
+namespace {
+
+// Streams queued words into a FIFO one per cycle (stand-in for the NetPU
+// router, so tests can exceed FIFO depths safely).
+class Feeder : public sim::Component {
+ public:
+  Feeder(std::string name, sim::Fifo<Word>& target)
+      : sim::Component(std::move(name)), target_(target) {}
+  void queue(const std::vector<Word>& words) {
+    pending_.insert(pending_.end(), words.begin(), words.end());
+  }
+  void reset() override { pending_.clear(); }
+  void tick(Cycle) override {
+    if (pos_ < pending_.size() && target_.try_push(pending_[pos_])) ++pos_;
+  }
+  [[nodiscard]] bool idle() const override { return pos_ == pending_.size(); }
+
+ private:
+  sim::Fifo<Word>& target_;
+  std::vector<Word> pending_;
+  std::size_t pos_ = 0;
+};
+
+// Harness: one LPU fed by hand, draining into a capture FIFO.
+struct LpuHarness {
+  explicit LpuHarness(const NetpuConfig& config)
+      : lpu("lpu0", config),
+        out("out", 4096, 64),
+        weight_feeder("wfeed", lpu.weight_fifo()) {
+    lpu.connect(&out, &out);
+    scheduler.add(&weight_feeder);
+    scheduler.add(&lpu);
+  }
+
+  void feed_layer(const nn::QuantizedLayer& layer,
+                  const std::vector<std::int32_t>& inputs) {
+    const auto s = loadable::LayerSetting::from_layer(layer);
+    const auto enc = s.encode();
+    lpu.setting_fifo().push(enc[0]);
+    lpu.setting_fifo().push(enc[1]);
+    for (const auto w : loadable::pack_codes(inputs, s.in_prec)) {
+      lpu.input_fifo().push(w);
+    }
+    // Parameter sections, routed per type like the NetPU router does.
+    const auto push_values = [&](ParamType type,
+                                 const std::vector<std::int32_t>& values) {
+      for (const auto w : loadable::pack_params(values)) {
+        lpu.param_fifo(type).push(w);
+      }
+    };
+    if (s.has_bias_section()) push_values(ParamType::kBias, layer.bias);
+    if (s.has_bn_section()) {
+      std::vector<std::int32_t> v;
+      for (const auto q : layer.bn_scale) v.push_back(q.raw());
+      push_values(ParamType::kBnScale, v);
+      v.clear();
+      for (const auto q : layer.bn_offset) v.push_back(q.raw());
+      push_values(ParamType::kBnOffset, v);
+    }
+    if (s.has_sign_section()) {
+      std::vector<std::int32_t> v;
+      for (const auto t : layer.sign_thresholds) {
+        v.push_back(loadable::threshold_to_param(t));
+      }
+      push_values(ParamType::kSignThreshold, v);
+    }
+    if (s.has_mt_section()) {
+      std::vector<std::int32_t> v;
+      for (const auto t : layer.mt_thresholds) {
+        v.push_back(loadable::threshold_to_param(t));
+      }
+      push_values(ParamType::kMultiThreshold, v);
+    }
+    if (s.has_quan_section()) {
+      std::vector<std::int32_t> v;
+      for (const auto q : layer.quan_scale) v.push_back(q.raw());
+      push_values(ParamType::kQuanScale, v);
+      v.clear();
+      for (const auto q : layer.quan_offset) v.push_back(q.raw());
+      push_values(ParamType::kQuanOffset, v);
+    }
+    if (layer.kind != hw::LayerKind::kHidden &&
+        layer.kind != hw::LayerKind::kOutput) {
+      return;
+    }
+    std::vector<std::int32_t> row(static_cast<std::size_t>(layer.input_length));
+    for (int n = 0; n < layer.neurons; ++n) {
+      const auto wr = layer.weight_row(n);
+      for (std::size_t i = 0; i < wr.size(); ++i) row[i] = wr[i];
+      weight_feeder.queue(loadable::pack_codes(row, layer.w_prec));
+    }
+  }
+
+  std::vector<std::int32_t> run_and_collect(const nn::QuantizedLayer& layer,
+                                            Cycle max_cycles = 100000) {
+    const auto r = scheduler.run(max_cycles);
+    EXPECT_TRUE(r.finished) << "LPU did not go idle";
+    std::vector<Word> words;
+    while (!out.empty()) words.push_back(out.pop());
+    const auto s = loadable::LayerSetting::from_layer(layer);
+    return loadable::unpack_codes(words, static_cast<std::size_t>(layer.neurons),
+                                  s.out_prec);
+  }
+
+  NetpuConfig config;
+  Lpu lpu;
+  sim::Fifo<Word> out;
+  Feeder weight_feeder;
+  sim::Scheduler scheduler;
+};
+
+nn::QuantizedLayer mt_layer(int neurons, int inputs) {
+  common::Xoshiro256 rng(42);
+  nn::RandomMlpSpec spec;
+  spec.input_size = static_cast<std::size_t>(inputs);
+  spec.hidden = {neurons};
+  spec.outputs = 2;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  return nn::random_quantized_mlp(spec, rng).layers[1];
+}
+
+TEST(LpuFsm, SingleLayerMatchesGolden) {
+  const auto layer = mt_layer(6, 16);
+  std::vector<std::int32_t> inputs = {0, 1, 2, 3, 0, 1, 2, 3, 3, 2, 1, 0, 3, 2, 1, 0};
+
+  NetpuConfig config;
+  LpuHarness h(config);
+  h.feed_layer(layer, inputs);
+  const auto codes = h.run_and_collect(layer);
+  EXPECT_EQ(codes, nn::layer_forward_codes(layer, inputs));
+  EXPECT_EQ(h.lpu.layers_completed(), 1u);
+}
+
+TEST(LpuFsm, MultiBatchLayerMatchesGolden) {
+  // 20 neurons on 8 TNPUs: three batches.
+  const auto layer = mt_layer(20, 8);
+  std::vector<std::int32_t> inputs = {1, 2, 3, 0, 1, 2, 3, 0};
+  NetpuConfig config;
+  LpuHarness h(config);
+  h.feed_layer(layer, inputs);
+  const auto codes = h.run_and_collect(layer);
+  EXPECT_EQ(codes, nn::layer_forward_codes(layer, inputs));
+}
+
+TEST(LpuFsm, WeightBufferLimitsShrinkBatch) {
+  // chunks_per_neuron = 4; a 16-word weight buffer holds only 4 neurons'
+  // weights, so the batch shrinks below the TNPU count.
+  auto layer = mt_layer(8, 32);
+  NetpuConfig config;
+  config.lpu.buffers.layer_weight_words = 16;
+  std::vector<std::int32_t> inputs(32);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    inputs[i] = static_cast<std::int32_t>(i % 4);
+  }
+  LpuHarness h(config);
+  h.feed_layer(layer, inputs);
+  const auto codes = h.run_and_collect(layer);
+  EXPECT_EQ(codes, nn::layer_forward_codes(layer, inputs));
+  // More batches -> more drain phases than the unconstrained instance.
+  EXPECT_GT(h.lpu.stats().get("cycles_drain"), 0u);
+}
+
+TEST(LpuFsm, StallsUntilInputArrives) {
+  const auto layer = mt_layer(4, 8);
+  NetpuConfig config;
+  LpuHarness h(config);
+  // Feed everything except inputs.
+  nn::QuantizedLayer no_input = layer;
+  const auto s = loadable::LayerSetting::from_layer(layer);
+  const auto enc = s.encode();
+  h.lpu.setting_fifo().push(enc[0]);
+  h.lpu.setting_fifo().push(enc[1]);
+  h.scheduler.step(200);
+  EXPECT_EQ(h.lpu.state(), Lpu::State::kInputLoad);
+  EXPECT_GT(h.lpu.stats().get("stall_input_empty"), 0u);
+}
+
+TEST(LpuFsm, InputReloadLoadsInputsOncePerLayer) {
+  // Input words are pulled from the FIFO exactly once, however many neuron
+  // batches replay them (the paper's Input Reload Buffer).
+  const auto layer = mt_layer(24, 16);  // 3 batches
+  std::vector<std::int32_t> inputs(16, 1);
+  NetpuConfig config;
+  LpuHarness h(config);
+  h.feed_layer(layer, inputs);
+  h.run_and_collect(layer);
+  EXPECT_EQ(h.lpu.input_fifo().stats().pops,
+            loadable::LayerSetting::from_layer(layer).input_words());
+}
+
+TEST(LpuFsm, TwoCyclesPerWeightWord) {
+  // The fill+MAC discipline: weight-word traffic costs two cycles each,
+  // the dominant latency term (Sec. V bottleneck analysis).
+  const auto layer = mt_layer(16, 64);  // 8 words/neuron at 2-bit
+  std::vector<std::int32_t> inputs(64, 1);
+  NetpuConfig config;
+  LpuHarness h(config);
+  h.feed_layer(layer, inputs);
+  h.run_and_collect(layer);
+  const auto fill = h.lpu.stats().get("cycles_weight_fill");
+  const auto mac = h.lpu.stats().get("cycles_mac");
+  const auto words =
+      loadable::LayerSetting::from_layer(layer).weight_section_words();
+  EXPECT_GE(fill, words);
+  EXPECT_GE(mac, words);
+}
+
+TEST(LpuFsm, BinaryLayerUsesWideChunks) {
+  common::Xoshiro256 rng(11);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 128;
+  spec.hidden = {8};
+  spec.outputs = 2;
+  spec.weight_bits = 1;
+  spec.activation_bits = 1;
+  const auto layer = nn::random_quantized_mlp(spec, rng).layers[1];
+  std::vector<std::int32_t> inputs(128);
+  for (auto& v : inputs) v = rng.next_bool() ? 1 : -1;
+
+  NetpuConfig config;
+  LpuHarness h(config);
+  h.feed_layer(layer, inputs);
+  const auto codes = h.run_and_collect(layer);
+  EXPECT_EQ(codes, nn::layer_forward_codes(layer, inputs));
+  // 128 binary inputs = 2 words per neuron.
+  EXPECT_EQ(h.lpu.stats().get("mac_word_ops"), 16u);
+}
+
+TEST(LpuFsm, IdleAfterReset) {
+  NetpuConfig config;
+  LpuHarness h(config);
+  h.lpu.reset();
+  EXPECT_TRUE(h.lpu.idle());
+  EXPECT_EQ(h.lpu.state(), Lpu::State::kIdle);
+  EXPECT_EQ(h.lpu.layers_completed(), 0u);
+}
+
+}  // namespace
+}  // namespace netpu::core

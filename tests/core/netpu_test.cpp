@@ -1,0 +1,215 @@
+// NetPU top level: recycling ring depth, capability rejection, stream
+// router accounting, latency-model agreement, and configuration validation.
+#include "core/netpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "core/latency_model.hpp"
+#include "loadable/compiler.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/scheduler.hpp"
+
+namespace netpu::core {
+namespace {
+
+std::vector<std::uint8_t> random_image(std::size_t n, common::Xoshiro256& rng) {
+  std::vector<std::uint8_t> img(n);
+  for (auto& p : img) p = static_cast<std::uint8_t>(rng.next_below(256));
+  return img;
+}
+
+nn::QuantizedMlp deep_mlp(int hidden_layers, common::Xoshiro256& rng) {
+  nn::RandomMlpSpec spec;
+  spec.input_size = 24;
+  spec.hidden.assign(static_cast<std::size_t>(hidden_layers), 10);
+  spec.outputs = 4;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  return nn::random_quantized_mlp(spec, rng);
+}
+
+TEST(Netpu, RecyclesDeepNetworksOnTwoLpus) {
+  // Fig. 2 right: a 12-layer model runs on 2 physical LPUs, each executing
+  // every other layer.
+  common::Xoshiro256 rng(1);
+  const auto mlp = deep_mlp(10, rng);  // + input and output = 12 layers
+  const auto image = random_image(24, rng);
+  const auto golden = mlp.infer(image);
+
+  NetpuConfig config;
+  ASSERT_EQ(config.lpus, 2);
+  Accelerator acc(config);
+  auto run = acc.run(mlp, image);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  EXPECT_EQ(run.value().predicted, golden.predicted);
+
+  // Each LPU completed half the layers.
+  Netpu netpu(config);
+  netpu.reset();
+  auto stream = loadable::compile(mlp, image, config.compile_options());
+  ASSERT_TRUE(netpu.load(stream.value()).ok());
+  sim::Scheduler sched;
+  sched.add(&netpu);
+  for (int i = 0; i < netpu.lpu_count(); ++i) sched.add(&netpu.lpu(i));
+  ASSERT_TRUE(sched.run(1'000'000).finished);
+  EXPECT_EQ(netpu.lpu(0).layers_completed(), 6u);
+  EXPECT_EQ(netpu.lpu(1).layers_completed(), 6u);
+}
+
+TEST(Netpu, SingleLpuRingStillWorks) {
+  common::Xoshiro256 rng(2);
+  const auto mlp = deep_mlp(4, rng);
+  const auto image = random_image(24, rng);
+  NetpuConfig config;
+  config.lpus = 1;
+  Accelerator acc(config);
+  auto run = acc.run(mlp, image);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  EXPECT_EQ(run.value().predicted, mlp.infer(image).predicted);
+}
+
+TEST(Netpu, FourLpusMatchGolden) {
+  common::Xoshiro256 rng(3);
+  const auto mlp = deep_mlp(7, rng);
+  const auto image = random_image(24, rng);
+  NetpuConfig config;
+  config.lpus = 4;
+  Accelerator acc(config);
+  auto run = acc.run(mlp, image);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  EXPECT_EQ(run.value().predicted, mlp.infer(image).predicted);
+}
+
+TEST(Netpu, MoreLpusDoNotSlowDown) {
+  common::Xoshiro256 rng(4);
+  const auto mlp = deep_mlp(6, rng);
+  const auto image = random_image(24, rng);
+  Cycle cycles1 = 0, cycles2 = 0;
+  for (const int lpus : {1, 2}) {
+    NetpuConfig config;
+    config.lpus = lpus;
+    Accelerator acc(config);
+    auto run = acc.run(mlp, image);
+    ASSERT_TRUE(run.ok());
+    (lpus == 1 ? cycles1 : cycles2) = run.value().cycles;
+  }
+  EXPECT_LE(cycles2, cycles1);
+}
+
+TEST(Netpu, RejectsMtPrecisionBeyondInstanceCap) {
+  common::Xoshiro256 rng(5);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 12;
+  spec.hidden = {6};
+  spec.outputs = 3;
+  spec.weight_bits = 6;
+  spec.activation_bits = 6;  // needs 63 thresholds
+  const auto mlp = nn::random_quantized_mlp(spec, rng);
+  const auto image = random_image(12, rng);
+
+  NetpuConfig config;  // paper instance: MT capped at 4 bits
+  Accelerator acc(config);
+  auto run = acc.run(mlp, image);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.error().code, common::ErrorCode::kUnsupported);
+
+  // Functional mode enforces the same cap.
+  RunOptions opts;
+  opts.mode = RunMode::kFunctional;
+  auto frun = acc.run(mlp, image, opts);
+  ASSERT_FALSE(frun.ok());
+  EXPECT_EQ(frun.error().code, common::ErrorCode::kUnsupported);
+
+  // An 8-bit instance accepts it.
+  config.tnpu.max_mt_bits = 8;
+  Accelerator acc8(config);
+  EXPECT_TRUE(acc8.run(mlp, image).ok());
+}
+
+TEST(Netpu, RejectsBadMagic) {
+  NetpuConfig config;
+  Netpu netpu(config);
+  netpu.reset();
+  EXPECT_FALSE(netpu.load({0xdeadbeef, 2}).ok());
+}
+
+TEST(Netpu, RejectsExcessiveDepth) {
+  NetpuConfig config;
+  config.layer_setting_fifo_words = 4;  // 2 layers per LPU
+  common::Xoshiro256 rng(6);
+  const auto mlp = deep_mlp(8, rng);
+  const auto image = random_image(24, rng);
+  auto stream = loadable::compile(mlp, image, config.compile_options());
+  ASSERT_TRUE(stream.ok());
+  Netpu netpu(config);
+  netpu.reset();
+  auto s = netpu.load(stream.value());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, common::ErrorCode::kCapacityExceeded);
+}
+
+TEST(Netpu, StatsExposeRouterAndLpuActivity) {
+  common::Xoshiro256 rng(7);
+  const auto mlp = deep_mlp(2, rng);
+  const auto image = random_image(24, rng);
+  NetpuConfig config;
+  Accelerator acc(config);
+  auto run = acc.run(mlp, image);
+  ASSERT_TRUE(run.ok());
+  const auto& stats = run.value().stats;
+  EXPECT_GT(stats.get("router_words"), 0u);
+  EXPECT_GT(stats.get("cycles_mac"), 0u);
+  EXPECT_GT(stats.get("cycles_neuron_init"), 0u);
+  // Router streamed the whole loadable minus header words.
+  auto stream = loadable::compile(mlp, image, config.compile_options());
+  EXPECT_EQ(stats.get("router_words") + stats.get("router_header_words"),
+            stream.value().size());
+}
+
+TEST(LatencyModel, TracksSimulatorAcrossZooVariants) {
+  common::Xoshiro256 rng(8);
+  NetpuConfig config;
+  Accelerator acc(config);
+  for (const auto& variant : nn::paper_variants()) {
+    const auto mlp = nn::make_random_quantized_model(variant, true, rng);
+    const auto image = random_image(mlp.input_size(), rng);
+    auto run = acc.run(mlp, image);
+    ASSERT_TRUE(run.ok()) << variant.name();
+    const auto est = estimate_latency(mlp, config).total();
+    const double ratio = static_cast<double>(est) /
+                         static_cast<double>(run.value().cycles);
+    EXPECT_GT(ratio, 0.85) << variant.name() << " est=" << est
+                           << " sim=" << run.value().cycles;
+    EXPECT_LT(ratio, 1.15) << variant.name() << " est=" << est
+                           << " sim=" << run.value().cycles;
+  }
+}
+
+TEST(LatencyModel, BreakdownSumsToTotal) {
+  common::Xoshiro256 rng(9);
+  const auto mlp = deep_mlp(3, rng);
+  const auto b = estimate_latency(mlp, NetpuConfig{});
+  EXPECT_EQ(b.total(), b.header + b.layer_init + b.input_load + b.neuron_init +
+                           b.weight_traffic + b.drain_emit);
+  EXPECT_GT(b.weight_traffic, 0u);
+}
+
+TEST(NetpuConfig, ValidateCatchesBadConfigs) {
+  NetpuConfig config;
+  EXPECT_TRUE(config.validate().ok());
+  config.lpus = 0;
+  EXPECT_FALSE(config.validate().ok());
+  config = NetpuConfig{};
+  config.tnpu.lanes = 4;
+  EXPECT_FALSE(config.validate().ok());
+  config = NetpuConfig{};
+  config.tnpu.max_mt_bits = 9;
+  EXPECT_FALSE(config.validate().ok());
+  config = NetpuConfig{};
+  config.clock_mhz = 0.0;
+  EXPECT_FALSE(config.validate().ok());
+}
+
+}  // namespace
+}  // namespace netpu::core

@@ -1,0 +1,99 @@
+// Per-layer execution profiling: spans cover every layer in order, nest
+// inside the run, and attribute the dominant cost to the heaviest layer.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::core {
+namespace {
+
+TEST(Profile, SpansCoverAllLayersInOrder) {
+  common::Xoshiro256 rng(1);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 30;
+  spec.hidden = {12, 10, 8};
+  spec.outputs = 4;
+  const auto mlp = nn::random_quantized_mlp(spec, rng);
+  std::vector<std::uint8_t> image(30, 90);
+
+  Accelerator acc(NetpuConfig::paper_instance());
+  auto run = acc.run(mlp, image);
+  ASSERT_TRUE(run.ok());
+
+  const auto& layers = run.value().layers;
+  ASSERT_EQ(layers.size(), mlp.layers.size());
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    EXPECT_EQ(layers[i].layer, i);
+    EXPECT_LE(layers[i].queued, layers[i].active);
+    EXPECT_LT(layers[i].active, layers[i].end);
+    EXPECT_LE(layers[i].end, run.value().cycles);
+    if (i > 0) {
+      // A layer cannot finish before its predecessor produced its inputs.
+      EXPECT_GT(layers[i].end, layers[i - 1].end);
+      // ...and cannot start computing before them either.
+      EXPECT_GE(layers[i].active, layers[i - 1].active);
+    }
+  }
+}
+
+TEST(Profile, HeaviestLayerDominates) {
+  // LFC-like: the first hidden layer (784 x 1024 fan-in) dwarfs the rest.
+  common::Xoshiro256 rng(2);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 256;
+  spec.hidden = {128, 16};
+  spec.outputs = 4;
+  const auto mlp = nn::random_quantized_mlp(spec, rng);
+  std::vector<std::uint8_t> image(256, 50);
+
+  Accelerator acc(NetpuConfig::paper_instance());
+  auto run = acc.run(mlp, image);
+  ASSERT_TRUE(run.ok());
+  const auto& layers = run.value().layers;
+  ASSERT_EQ(layers.size(), 4u);
+  // layer 1 (256 -> 128) carries ~16x layer 2's weights (128 -> 16).
+  EXPECT_GT(layers[1].cycles(), 4 * layers[2].cycles());
+}
+
+TEST(Profile, EmptyInFunctionalMode) {
+  common::Xoshiro256 rng(3);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 12;
+  spec.hidden = {5};
+  spec.outputs = 3;
+  const auto mlp = nn::random_quantized_mlp(spec, rng);
+  std::vector<std::uint8_t> image(12, 10);
+  Accelerator acc(NetpuConfig::paper_instance());
+  RunOptions opts;
+  opts.mode = RunMode::kFunctional;
+  auto run = acc.run(mlp, image, opts);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.value().layers.empty());
+}
+
+TEST(Profile, ConsecutiveLayersOverlapAcrossLpus) {
+  // Layer k+1's parameter loading overlaps layer k's compute on the other
+  // LPU: spans of adjacent layers intersect.
+  common::Xoshiro256 rng(4);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 64;
+  spec.hidden = {48, 48};
+  spec.outputs = 4;
+  const auto mlp = nn::random_quantized_mlp(spec, rng);
+  std::vector<std::uint8_t> image(64, 77);
+  Accelerator acc(NetpuConfig::paper_instance());
+  auto run = acc.run(mlp, image);
+  ASSERT_TRUE(run.ok());
+  const auto& layers = run.value().layers;
+  bool any_overlap = false;
+  for (std::size_t i = 1; i < layers.size(); ++i) {
+    // The next layer is queued on the other LPU (settings + parameters
+    // loading) while its predecessor still computes.
+    if (layers[i].queued < layers[i - 1].end) any_overlap = true;
+  }
+  EXPECT_TRUE(any_overlap);
+}
+
+}  // namespace
+}  // namespace netpu::core

@@ -1,0 +1,103 @@
+// Systematic configuration sweep: golden == simulator across the full grid
+// of activation x precision x BN-folding x stream-mode combinations, plus
+// compiler/parser round-trips for each point. Complements the hand-picked
+// scenarios in equivalence_test.cpp with exhaustive coverage of the
+// supported configuration space.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "loadable/compiler.hpp"
+#include "loadable/parser.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::core {
+namespace {
+
+struct SweepPoint {
+  hw::Activation activation;
+  int bits;
+  bool bn_fold;
+  bool dense;
+  bool overlapped;
+};
+
+std::string point_name(const ::testing::TestParamInfo<SweepPoint>& info) {
+  const auto& p = info.param;
+  std::string name = hw::to_string(p.activation);
+  name += "_b" + std::to_string(p.bits);
+  name += p.bn_fold ? "_fold" : "_nofold";
+  if (p.dense) name += "_dense";
+  if (p.overlapped) name += "_overlap";
+  return name;
+}
+
+std::vector<SweepPoint> make_grid() {
+  std::vector<SweepPoint> grid;
+  const hw::Activation acts[] = {
+      hw::Activation::kSign, hw::Activation::kMultiThreshold,
+      hw::Activation::kRelu, hw::Activation::kSigmoid, hw::Activation::kTanh};
+  for (const auto act : acts) {
+    const bool sign = act == hw::Activation::kSign;
+    for (const int bits : sign ? std::vector<int>{1} : std::vector<int>{2, 3, 4, 5, 8}) {
+      for (const bool fold : {true, false}) {
+        grid.push_back({act, bits, fold, false, false});
+      }
+      // Stream-mode variants on the folded configuration.
+      grid.push_back({act, bits, true, true, false});
+      grid.push_back({act, bits, true, false, true});
+    }
+  }
+  return grid;
+}
+
+class SweepTest : public ::testing::TestWithParam<SweepPoint> {};
+
+TEST_P(SweepTest, GoldenSimulatorAndParserAgree) {
+  const auto& point = GetParam();
+  common::Xoshiro256 rng(static_cast<std::uint64_t>(point.bits) * 131 +
+                         static_cast<std::uint64_t>(point.activation) * 17 +
+                         (point.bn_fold ? 7 : 0) + (point.dense ? 3 : 0));
+
+  nn::RandomMlpSpec spec;
+  spec.input_size = 29;  // odd sizes exercise partial words everywhere
+  spec.hidden = {11, 9};
+  spec.outputs = 5;
+  spec.hidden_activation = point.activation;
+  spec.bn_fold = point.bn_fold;
+  spec.weight_bits = point.bits;
+  spec.activation_bits = point.bits;
+  auto mlp = nn::random_quantized_mlp(spec, rng);
+  if (point.dense) {
+    ASSERT_TRUE(nn::enable_dense_stream(mlp).ok());
+  }
+  ASSERT_TRUE(mlp.validate().ok()) << mlp.validate().error().to_string();
+
+  NetpuConfig config;
+  config.tnpu.max_mt_bits = 8;
+  config.tnpu.dense_support = point.dense;
+  config.overlapped_weight_stream = point.overlapped;
+  Accelerator acc(config);
+
+  std::vector<std::uint8_t> image(29);
+  for (auto& p : image) p = static_cast<std::uint8_t>(rng.next_below(256));
+  const auto golden = mlp.infer(image);
+
+  // Compiler -> parser round trip reproduces the network at this point.
+  auto stream = loadable::compile(mlp, image, config.compile_options());
+  ASSERT_TRUE(stream.ok()) << stream.error().to_string();
+  auto parsed = loadable::parse(stream.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().mlp.infer(image).output_values, golden.output_values);
+
+  // Cycle simulation is bit-exact.
+  auto run = acc.run(stream.value());
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  EXPECT_EQ(run.value().predicted, golden.predicted);
+  EXPECT_EQ(run.value().output_values, golden.output_values);
+}
+
+INSTANTIATE_TEST_SUITE_P(FullGrid, SweepTest, ::testing::ValuesIn(make_grid()),
+                         point_name);
+
+}  // namespace
+}  // namespace netpu::core

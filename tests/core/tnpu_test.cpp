@@ -1,0 +1,173 @@
+// TNPU: per-neuron datapath behaviors under runtime reconfiguration.
+#include "core/tnpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hpp"
+#include "loadable/words.hpp"
+
+namespace netpu::core {
+namespace {
+
+using common::Q16x16;
+using common::Q32x5;
+
+loadable::LayerSetting hidden_setting(hw::Activation act, bool fold, int in_bits,
+                                      int w_bits, int out_bits) {
+  loadable::LayerSetting s;
+  s.kind = hw::LayerKind::kHidden;
+  s.activation = act;
+  s.bn_fold = fold;
+  s.in_prec = {in_bits, in_bits == 1};
+  s.w_prec = {w_bits, true};
+  s.out_prec = {out_bits, act == hw::Activation::kSign};
+  s.neurons = 1;
+  s.input_length = 8;
+  return s;
+}
+
+TEST(Tnpu, ReluNeuronWithBias) {
+  Tnpu t(TnpuConfig{});
+  auto s = hidden_setting(hw::Activation::kRelu, true, 4, 4, 4);
+  t.configure_layer(s);
+  NeuronParams p;
+  p.bias = 3;
+  p.quan_scale = Q16x16::from_double(1.0);
+  p.quan_offset = Q16x16::from_double(0.0);
+  t.init_neuron(p);
+  // inputs (2, 1), weights (1, 1): acc = 3 + 2 + 1 = 6.
+  Word in = 0;
+  in = common::set_byte_lane(in, 0, 2);
+  in = common::set_byte_lane(in, 1, 1);
+  Word w = 0;
+  w = common::set_byte_lane(w, 0, 1);
+  w = common::set_byte_lane(w, 1, 1);
+  t.mac(in, w, 2);
+  EXPECT_EQ(t.accumulator(), 6);
+  EXPECT_EQ(t.finish_code(), 6);
+}
+
+TEST(Tnpu, ReluClampsNegativeAccumulator) {
+  Tnpu t(TnpuConfig{});
+  t.configure_layer(hidden_setting(hw::Activation::kRelu, true, 4, 4, 4));
+  NeuronParams p;
+  p.bias = -10;
+  p.quan_scale = Q16x16::from_double(1.0);
+  t.init_neuron(p);
+  EXPECT_EQ(t.finish_code(), 0);
+}
+
+TEST(Tnpu, SignNeuronThreshold) {
+  Tnpu t(TnpuConfig{});
+  t.configure_layer(hidden_setting(hw::Activation::kSign, true, 1, 1, 1));
+  NeuronParams p;
+  p.sign_threshold = Q32x5::from_double(2.0);
+  t.init_neuron(p);
+  // 8 binary channels, all +1 * +1: acc = 8 >= 2 -> +1.
+  t.mac(0xff, 0xff, 8);
+  EXPECT_EQ(t.accumulator(), 8);
+  EXPECT_EQ(t.finish_code(), 1);
+
+  t.init_neuron(p);
+  t.mac(0x00, 0xff, 8);  // all -1 * +1 = -8 < 2 -> -1.
+  EXPECT_EQ(t.finish_code(), -1);
+}
+
+TEST(Tnpu, MultiThresholdNeuron) {
+  Tnpu t(TnpuConfig{});
+  t.configure_layer(hidden_setting(hw::Activation::kMultiThreshold, true, 2, 2, 2));
+  NeuronParams p;
+  p.mt_thresholds = {Q32x5::from_double(1.0), Q32x5::from_double(3.0),
+                     Q32x5::from_double(5.0)};
+  t.init_neuron(p);
+  Word in = common::set_byte_lane(0, 0, 1);  // 1 (wait: 2-bit signed 1)
+  Word w = common::set_byte_lane(0, 0, 1);
+  t.mac(in, w, 1);
+  t.mac(in, w, 1);
+  t.mac(in, w, 1);
+  t.mac(in, w, 1);  // acc = 4 -> crosses thresholds 1 and 3.
+  EXPECT_EQ(t.finish_code(), 2);
+}
+
+TEST(Tnpu, BnStageWhenNotFolded) {
+  Tnpu t(TnpuConfig{});
+  t.configure_layer(hidden_setting(hw::Activation::kRelu, false, 4, 4, 4));
+  NeuronParams p;
+  p.bn_scale = Q16x16::from_double(0.5);
+  p.bn_offset = Q16x16::from_double(1.0);
+  p.quan_scale = Q16x16::from_double(1.0);
+  t.init_neuron(p);
+  Word in = common::set_byte_lane(0, 0, 4);
+  Word w = common::set_byte_lane(0, 0, 2);
+  t.mac(in, w, 1);  // acc = 8; BN: 0.5*8 + 1 = 5.
+  EXPECT_EQ(t.finish_code(), 5);
+}
+
+TEST(Tnpu, BiasIgnoredWhenBnActive) {
+  Tnpu t(TnpuConfig{});
+  t.configure_layer(hidden_setting(hw::Activation::kRelu, false, 4, 4, 4));
+  NeuronParams p;
+  p.bias = 100;  // must not be applied: BN stage carries the offset
+  p.bn_scale = Q16x16::from_double(1.0);
+  p.bn_offset = Q16x16::from_double(0.0);
+  p.quan_scale = Q16x16::from_double(1.0);
+  t.init_neuron(p);
+  EXPECT_EQ(t.accumulator(), 0);
+}
+
+TEST(Tnpu, BiasIgnoredForThresholdActivations) {
+  // Sign/MT folding absorbs the bias; the ACCU bias port stays idle.
+  Tnpu t(TnpuConfig{});
+  t.configure_layer(hidden_setting(hw::Activation::kSign, true, 1, 1, 1));
+  NeuronParams p;
+  p.bias = 55;
+  p.sign_threshold = Q32x5(0);
+  t.init_neuron(p);
+  EXPECT_EQ(t.accumulator(), 0);
+}
+
+TEST(Tnpu, OutputLayerRawValue) {
+  Tnpu t(TnpuConfig{});
+  auto s = hidden_setting(hw::Activation::kNone, true, 4, 4, 8);
+  s.kind = hw::LayerKind::kOutput;
+  t.configure_layer(s);
+  NeuronParams p;
+  p.bias = 7;
+  t.init_neuron(p);
+  // finish_raw returns the Q32.5 lift of the accumulator.
+  EXPECT_EQ(t.finish_raw(), 7 * 32);
+}
+
+TEST(Tnpu, InputLayerQuantizePixel) {
+  Tnpu t(TnpuConfig{});
+  loadable::LayerSetting s;
+  s.kind = hw::LayerKind::kInput;
+  s.activation = hw::Activation::kSign;
+  s.in_prec = {8, false};
+  s.out_prec = {1, true};
+  s.neurons = 1;
+  s.input_length = 1;
+  t.configure_layer(s);
+  NeuronParams p;
+  p.sign_threshold = Q32x5::from_double(127.5);
+  t.init_neuron(p);
+  EXPECT_EQ(t.input_quantize(200), 1);
+  EXPECT_EQ(t.input_quantize(100), -1);
+}
+
+TEST(Tnpu, SigmoidTanhPipeline) {
+  Tnpu t(TnpuConfig{});
+  auto s = hidden_setting(hw::Activation::kSigmoid, false, 8, 8, 4);
+  s.out_prec = {4, false};
+  t.configure_layer(s);
+  NeuronParams p;
+  p.bn_scale = Q16x16::from_double(1.0);
+  p.bn_offset = Q16x16::from_double(0.0);
+  p.quan_scale = Q16x16::from_double(15.0);  // [0,1] -> codes 0..15
+  t.init_neuron(p);
+  // acc = 0 -> sigmoid(0) = 0.5 -> code round(7.5) = 8.
+  EXPECT_EQ(t.finish_code(), 8);
+}
+
+}  // namespace
+}  // namespace netpu::core

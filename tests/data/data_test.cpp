@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <array>
+#include <filesystem>
+#include <fstream>
+
+#include "data/idx.hpp"
+#include "data/synthetic_mnist.hpp"
+
+namespace netpu::data {
+namespace {
+
+TEST(SyntheticMnist, ShapesAndRanges) {
+  const auto ds = make_synthetic_mnist(100, 1);
+  EXPECT_EQ(ds.size(), 100u);
+  EXPECT_EQ(ds.pixels(), 784u);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds.images[i].size(), 784u);
+    EXPECT_GE(ds.labels[i], 0);
+    EXPECT_LT(ds.labels[i], 10);
+  }
+}
+
+TEST(SyntheticMnist, DeterministicBySeed) {
+  const auto a = make_synthetic_mnist(20, 7);
+  const auto b = make_synthetic_mnist(20, 7);
+  const auto c = make_synthetic_mnist(20, 8);
+  EXPECT_EQ(a.images, b.images);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_NE(a.images, c.images);
+}
+
+TEST(SyntheticMnist, AllClassesAppear) {
+  const auto ds = make_synthetic_mnist(300, 3);
+  std::array<int, 10> counts{};
+  for (const auto l : ds.labels) ++counts[static_cast<std::size_t>(l)];
+  for (int d = 0; d < 10; ++d) {
+    EXPECT_GT(counts[static_cast<std::size_t>(d)], 5) << "digit " << d;
+  }
+}
+
+TEST(SyntheticMnist, DigitsHaveInk) {
+  const auto ds = make_synthetic_mnist(50, 4);
+  for (const auto& img : ds.images) {
+    int bright = 0;
+    for (const auto p : img) bright += p > 128 ? 1 : 0;
+    EXPECT_GT(bright, 20);   // strokes exist
+    EXPECT_LT(bright, 500);  // background dominates
+  }
+}
+
+TEST(SyntheticMnist, ClassesAreSeparable) {
+  // Nearest-centroid accuracy well above the 10% chance level — the task
+  // must be learnable for the accuracy experiments to be meaningful.
+  const auto train = make_synthetic_mnist(600, 5);
+  const auto test = make_synthetic_mnist(200, 6);
+  std::vector<std::vector<double>> centroids(10, std::vector<double>(784, 0.0));
+  std::array<int, 10> counts{};
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto label = static_cast<std::size_t>(train.labels[i]);
+    ++counts[label];
+    for (std::size_t p = 0; p < 784; ++p) {
+      centroids[label][p] += train.images[i][p];
+    }
+  }
+  for (std::size_t d = 0; d < 10; ++d) {
+    for (auto& v : centroids[d]) v /= std::max(1, counts[d]);
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    double best = 1e300;
+    std::size_t best_d = 0;
+    for (std::size_t d = 0; d < 10; ++d) {
+      double dist = 0.0;
+      for (std::size_t p = 0; p < 784; ++p) {
+        const double diff = centroids[d][p] - test.images[i][p];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_d = d;
+      }
+    }
+    if (best_d == static_cast<std::size_t>(test.labels[i])) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.size()), 0.7);
+}
+
+TEST(SyntheticMnist, TrainSampleNormalizesPixels) {
+  const auto ds = make_synthetic_mnist(5, 9);
+  const auto s = ds.to_train_sample(0);
+  EXPECT_EQ(s.x.size(), 784u);
+  for (const auto v : s.x) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  EXPECT_EQ(s.label, ds.labels[0]);
+}
+
+TEST(Idx, SaveLoadRoundTrip) {
+  const auto ds = make_synthetic_mnist(25, 10);
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto img_path = (dir / "netpu_test_images.idx3").string();
+  const auto lab_path = (dir / "netpu_test_labels.idx1").string();
+  ASSERT_TRUE(save_idx(ds, img_path, lab_path).ok());
+  auto loaded = load_idx(img_path, lab_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value().images, ds.images);
+  EXPECT_EQ(loaded.value().labels, ds.labels);
+  EXPECT_EQ(loaded.value().width, 28);
+  std::remove(img_path.c_str());
+  std::remove(lab_path.c_str());
+}
+
+TEST(Idx, RejectsMissingFiles) {
+  auto r = load_idx("/nonexistent/images", "/nonexistent/labels");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Idx, RejectsBadMagic) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "netpu_bad_magic").string();
+  {
+    std::ofstream f(path, std::ios::binary);
+    const char junk[16] = {0};
+    f.write(junk, sizeof(junk));
+  }
+  auto r = load_idx(path, path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, common::ErrorCode::kMalformedStream);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace netpu::data

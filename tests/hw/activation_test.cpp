@@ -1,0 +1,156 @@
+// ACTIV submodule: Eq. 4 piecewise-linear sigmoid (breakpoints, continuity,
+// approximation error against exp-based sigmoid), tanh identity, ReLU,
+// Sign thresholds (Eq. 3 semantics) and Multi-Threshold counting.
+#include "hw/activation_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.hpp"
+
+namespace netpu::hw {
+namespace {
+
+double exact_sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+TEST(SigmoidPwl, Eq4BreakpointValues) {
+  // Exactly at the Eq. 4 region boundaries (all representable in Q.5).
+  EXPECT_EQ(sigmoid_pwl(Q32x5::from_double(0.0)).raw(), 16);    // 0.5
+  EXPECT_EQ(sigmoid_pwl(Q32x5::from_double(5.0)).raw(), 32);    // 1.0
+  EXPECT_EQ(sigmoid_pwl(Q32x5::from_double(8.0)).raw(), 32);    // saturated
+  // x = 1.0: (32 >> 3) + 20 = 24 -> 0.75.
+  EXPECT_EQ(sigmoid_pwl(Q32x5::from_double(1.0)).raw(), 24);
+  // x = 2.375 (raw 76): (76 >> 5) + 27 = 29.
+  EXPECT_EQ(sigmoid_pwl(Q32x5(76)).raw(), 29);
+}
+
+TEST(SigmoidPwl, ContinuousAtRegionBoundaries) {
+  for (const std::int64_t b : {32, 76, 160}) {
+    const auto below = sigmoid_pwl(Q32x5(b - 1)).raw();
+    const auto at = sigmoid_pwl(Q32x5(b)).raw();
+    EXPECT_LE(std::abs(at - below), 1) << "boundary raw " << b;
+  }
+}
+
+TEST(SigmoidPwl, NegativeSymmetry) {
+  // Sigmoid_L(-x) = 1 - Sigmoid_L(x) (Eq. 4 second case).
+  for (std::int64_t raw = 0; raw <= 200; ++raw) {
+    EXPECT_EQ(sigmoid_pwl(Q32x5(-raw)).raw(), 32 - sigmoid_pwl(Q32x5(raw)).raw());
+  }
+}
+
+TEST(SigmoidPwl, MonotonicNondecreasing) {
+  std::int64_t prev = sigmoid_pwl(Q32x5(-300)).raw();
+  for (std::int64_t raw = -299; raw <= 300; ++raw) {
+    const auto cur = sigmoid_pwl(Q32x5(raw)).raw();
+    EXPECT_GE(cur, prev) << "raw " << raw;
+    prev = cur;
+  }
+}
+
+TEST(SigmoidPwl, ApproximationErrorBounded) {
+  // The PWL scheme approximates within a few percent plus Q.5 rounding.
+  double max_err = 0.0;
+  for (double x = -8.0; x <= 8.0; x += 1.0 / 32.0) {
+    const double approx = sigmoid_pwl(Q32x5::from_double(x)).to_double();
+    max_err = std::max(max_err, std::abs(approx - exact_sigmoid(x)));
+  }
+  EXPECT_LT(max_err, 0.06);
+}
+
+TEST(TanhPwl, IdentityWithSigmoid) {
+  // tanh(x) = 2*sigmoid(2x) - 1 is the implemented identity.
+  common::Xoshiro256 rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const auto x = Q32x5(rng.next_int(-400, 400));
+    const auto doubled = Q32x5::saturate(x.raw() * 2);
+    EXPECT_EQ(tanh_pwl(x).raw(), 2 * sigmoid_pwl(doubled).raw() - 32);
+  }
+}
+
+TEST(TanhPwl, RangeAndSignature) {
+  EXPECT_EQ(tanh_pwl(Q32x5::from_double(0.0)).raw(), 0);
+  EXPECT_EQ(tanh_pwl(Q32x5::from_double(8.0)).raw(), 32);    // +1
+  EXPECT_EQ(tanh_pwl(Q32x5::from_double(-8.0)).raw(), -32);  // -1
+  EXPECT_GT(tanh_pwl(Q32x5::from_double(0.5)).raw(), 0);
+  EXPECT_LT(tanh_pwl(Q32x5::from_double(-0.5)).raw(), 0);
+}
+
+TEST(TanhPwl, ApproximationErrorBounded) {
+  double max_err = 0.0;
+  for (double x = -4.0; x <= 4.0; x += 1.0 / 32.0) {
+    const double approx = tanh_pwl(Q32x5::from_double(x)).to_double();
+    max_err = std::max(max_err, std::abs(approx - std::tanh(x)));
+  }
+  EXPECT_LT(max_err, 0.13);
+}
+
+TEST(Relu, ClampsNegatives) {
+  EXPECT_EQ(relu(Q32x5(-1)).raw(), 0);
+  EXPECT_EQ(relu(Q32x5(0)).raw(), 0);
+  EXPECT_EQ(relu(Q32x5(77)).raw(), 77);
+}
+
+TEST(Sign, ThresholdComparison) {
+  const Q32x5 thr = Q32x5::from_double(3.0);
+  EXPECT_EQ(sign_activation(Q32x5::from_double(3.0), thr), 1);   // >= is +1
+  EXPECT_EQ(sign_activation(Q32x5::from_double(2.97), thr), -1);
+  EXPECT_EQ(sign_activation(Q32x5::from_double(100.0), thr), 1);
+  // Negative thresholds (folded BN with positive beta).
+  EXPECT_EQ(sign_activation(Q32x5::from_double(0.0), Q32x5::from_double(-1.0)), 1);
+}
+
+TEST(MultiThreshold, CountsCrossedThresholds) {
+  const std::vector<Q32x5> thr = {Q32x5::from_double(1.0), Q32x5::from_double(2.0),
+                                  Q32x5::from_double(3.0)};
+  EXPECT_EQ(multi_threshold(Q32x5::from_double(0.5), thr), 0);
+  EXPECT_EQ(multi_threshold(Q32x5::from_double(1.0), thr), 1);
+  EXPECT_EQ(multi_threshold(Q32x5::from_double(2.5), thr), 2);
+  EXPECT_EQ(multi_threshold(Q32x5::from_double(99.0), thr), 3);
+}
+
+TEST(MultiThreshold, MonotonicInInput) {
+  common::Xoshiro256 rng(8);
+  std::vector<Q32x5> thr;
+  for (int i = 0; i < 15; ++i) thr.push_back(Q32x5(rng.next_int(-500, 500)));
+  std::sort(thr.begin(), thr.end());
+  std::int32_t prev = multi_threshold(Q32x5(-600), thr);
+  for (std::int64_t raw = -600; raw <= 600; raw += 3) {
+    const auto cur = multi_threshold(Q32x5(raw), thr);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_EQ(multi_threshold(Q32x5(600), thr), 15);
+}
+
+TEST(MultiThreshold, HwgqOutputIsQuantizedCode) {
+  // With uniform thresholds at (k - 0.5)*s, the output equals
+  // clamp(round(x/s), 0, levels) — the HWGQ folding property (Sec. II-C).
+  const double s = 0.75;
+  std::vector<Q32x5> thr;
+  for (int k = 1; k <= 7; ++k) thr.push_back(Q32x5::from_double((k - 0.5) * s));
+  for (double x = -2.0; x < 8.0; x += 0.05) {
+    const int expected =
+        std::clamp(static_cast<int>(std::nearbyint(x / s)), 0, 7);
+    // Skip values within a Q.5 quantum of a threshold (rounding boundary).
+    bool near_boundary = false;
+    for (const auto& t : thr) {
+      if (std::abs(x - t.to_double()) < 1.0 / 16.0) near_boundary = true;
+    }
+    if (near_boundary) continue;
+    EXPECT_EQ(multi_threshold(Q32x5::from_double(x), thr), expected) << "x=" << x;
+  }
+}
+
+TEST(MaxOut, PicksMaximumLowestIndexOnTies) {
+  const std::vector<std::int64_t> v1 = {3, 9, 2, 9};
+  EXPECT_EQ(maxout(v1), 1u);
+  const std::vector<std::int64_t> v2 = {-5, -2, -9};
+  EXPECT_EQ(maxout(v2), 1u);
+  const std::vector<std::int64_t> v3 = {7};
+  EXPECT_EQ(maxout(v3), 0u);
+}
+
+}  // namespace
+}  // namespace netpu::hw

@@ -1,0 +1,97 @@
+// Dense multi-channel MUL mode (Sec. V future work #3): field decoding,
+// packing round trips and word-dot equivalence with the value-wise naive
+// product.
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hpp"
+#include "common/prng.hpp"
+#include "hw/multiplier.hpp"
+#include "loadable/words.hpp"
+#include "nn/quantization.hpp"
+
+namespace netpu::hw {
+namespace {
+
+TEST(Dense, ValuesPerWord) {
+  EXPECT_EQ(dense_values_per_word(1), 64);
+  EXPECT_EQ(dense_values_per_word(2), 32);
+  EXPECT_EQ(dense_values_per_word(3), 21);
+  EXPECT_EQ(dense_values_per_word(4), 16);
+  EXPECT_EQ(dense_values_per_word(8), 8);
+}
+
+TEST(Dense, DecodeFields) {
+  // Two 3-bit signed fields: 0b101 (-3) at index 0, 0b011 (3) at index 1.
+  const Word w = 0b011101;
+  EXPECT_EQ(decode_dense(w, 0, {3, true}), -3);
+  EXPECT_EQ(decode_dense(w, 1, {3, true}), 3);
+  EXPECT_EQ(decode_dense(w, 0, {3, false}), 5);
+}
+
+TEST(Dense, PackUnpackRoundTripAllWidths) {
+  common::Xoshiro256 rng(1);
+  for (int bits = 2; bits <= 8; ++bits) {
+    for (const bool is_signed : {true, false}) {
+      const Precision p{bits, is_signed};
+      std::vector<std::int32_t> codes(70);
+      for (auto& c : codes) {
+        c = static_cast<std::int32_t>(rng.next_int(nn::min_code(p), nn::max_code(p)));
+      }
+      const auto words = loadable::pack_codes_dense(codes, p);
+      EXPECT_EQ(words.size(),
+                common::ceil_div(codes.size(),
+                                 static_cast<std::uint64_t>(dense_values_per_word(bits))));
+      EXPECT_EQ(loadable::unpack_codes_dense(words, codes.size(), p), codes)
+          << "bits=" << bits << " signed=" << is_signed;
+    }
+  }
+}
+
+TEST(Dense, WordDotMatchesNaive) {
+  common::Xoshiro256 rng(2);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int bits = static_cast<int>(rng.next_int(2, 8));
+    const Precision in_p{bits, rng.next_bool()};
+    const Precision w_p{bits, true};
+    const int vpw = dense_values_per_word(bits);
+    const int active = static_cast<int>(rng.next_int(1, vpw));
+    const Word in = rng.next();
+    const Word w = rng.next();
+    std::int64_t naive = 0;
+    for (int i = 0; i < active; ++i) {
+      naive += static_cast<std::int64_t>(decode_dense(in, i, in_p)) *
+               decode_dense(w, i, w_p);
+    }
+    EXPECT_EQ(word_dot_dense(in, w, in_p, w_p, active), naive)
+        << "bits=" << bits << " active=" << active;
+  }
+}
+
+TEST(Dense, OneBitFallsBackToBinaryEncoding) {
+  // 1-bit dense packing equals the binary encoding (bit = +1/-1).
+  common::Xoshiro256 rng(3);
+  std::vector<std::int32_t> codes(64);
+  for (auto& c : codes) c = rng.next_bool() ? 1 : -1;
+  EXPECT_EQ(loadable::pack_codes_dense(codes, {1, true}),
+            loadable::pack_codes(codes, {1, true}));
+}
+
+TEST(Dense, DenseIsTighterThanLaneMode) {
+  std::vector<std::int32_t> codes(64, 1);
+  for (int bits = 2; bits <= 6; ++bits) {
+    const Precision p{bits, true};
+    EXPECT_LT(loadable::pack_codes_dense(codes, p).size(),
+              loadable::pack_codes(codes, p).size())
+        << "bits=" << bits;
+  }
+  // 7-bit (9 values/word on 64 codes) and 8-bit degenerate to lane-mode
+  // word counts.
+  for (int bits = 7; bits <= 8; ++bits) {
+    const Precision p{bits, true};
+    EXPECT_EQ(loadable::pack_codes_dense(codes, p).size(),
+              loadable::pack_codes(codes, p).size());
+  }
+}
+
+}  // namespace
+}  // namespace netpu::hw

@@ -1,0 +1,149 @@
+// MUL submodule: Table I XNOR truth table, popcount dot products, integer
+// lane decoding with placeholder bits, and the word-level dot product
+// against a naive reference.
+#include "hw/multiplier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hpp"
+#include "common/prng.hpp"
+
+namespace netpu::hw {
+namespace {
+
+TEST(Xnor, TableITruthTable) {
+  // Signed interpretation: bit 1 = +1, bit 0 = -1. One channel.
+  EXPECT_EQ(xnor_lane_dot(0b1, 0b1, 1), 1);    // +1 * +1 = +1
+  EXPECT_EQ(xnor_lane_dot(0b1, 0b0, 1), -1);   // +1 * -1 = -1
+  EXPECT_EQ(xnor_lane_dot(0b0, 0b1, 1), -1);   // -1 * +1 = -1
+  EXPECT_EQ(xnor_lane_dot(0b0, 0b0, 1), 1);    // -1 * -1 = +1
+}
+
+TEST(Xnor, EightChannelDotMatchesNaive) {
+  common::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto w = static_cast<std::uint8_t>(rng.next_below(256));
+    const int channels = static_cast<int>(rng.next_int(1, 8));
+    int naive = 0;
+    for (int b = 0; b < channels; ++b) {
+      const int av = ((a >> b) & 1) ? 1 : -1;
+      const int wv = ((w >> b) & 1) ? 1 : -1;
+      naive += av * wv;
+    }
+    EXPECT_EQ(xnor_lane_dot(a, w, channels), naive);
+  }
+}
+
+TEST(Xnor, ZeroChannelsIsZero) {
+  EXPECT_EQ(xnor_lane_dot(0xff, 0x00, 0), 0);
+}
+
+TEST(DecodeLane, SignedRespectsPrecision) {
+  // 2-bit signed: 0b10 = -2; placeholder bits above are ignored.
+  EXPECT_EQ(decode_lane(0b10, {2, true}), -2);
+  EXPECT_EQ(decode_lane(0b01, {2, true}), 1);
+  EXPECT_EQ(decode_lane(0b11111110, {2, true}), -2);
+  EXPECT_EQ(decode_lane(0x80, {8, true}), -128);
+}
+
+TEST(DecodeLane, UnsignedRespectsPrecision) {
+  EXPECT_EQ(decode_lane(0b11, {2, false}), 3);
+  EXPECT_EQ(decode_lane(0xff, {4, false}), 15);
+  EXPECT_EQ(decode_lane(0xff, {8, false}), 255);
+}
+
+TEST(IntWordProducts, LanewiseMultiply) {
+  // inputs: lanes 3, -2 (3-bit signed); weights: 2, 2.
+  Word in = 0;
+  in = common::set_byte_lane(in, 0, 0b011);
+  in = common::set_byte_lane(in, 1, 0b110);  // -2 in 3 bits
+  Word w = 0;
+  w = common::set_byte_lane(w, 0, 2);
+  w = common::set_byte_lane(w, 1, 2);
+  const auto p = int_word_products(in, w, {3, true}, {3, true}, 2);
+  EXPECT_EQ(p[0], 6);
+  EXPECT_EQ(p[1], -4);
+  EXPECT_EQ(p[2], 0);  // inactive lane
+}
+
+TEST(WordDot, IntegerModeMatchesNaive) {
+  common::Xoshiro256 rng(21);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int in_bits = static_cast<int>(rng.next_int(2, 8));
+    const int w_bits = static_cast<int>(rng.next_int(2, 8));
+    const bool in_signed = rng.next_bool();
+    const int active = static_cast<int>(rng.next_int(1, 8));
+    Word in = 0, w = 0;
+    std::int64_t naive = 0;
+    for (int lane = 0; lane < active; ++lane) {
+      const auto iv = static_cast<std::uint8_t>(rng.next_below(256));
+      const auto wv = static_cast<std::uint8_t>(rng.next_below(256));
+      in = common::set_byte_lane(in, lane, iv);
+      w = common::set_byte_lane(w, lane, wv);
+      naive += static_cast<std::int64_t>(decode_lane(iv, {in_bits, in_signed})) *
+               decode_lane(wv, {w_bits, true});
+    }
+    EXPECT_EQ(word_dot(in, w, {in_bits, in_signed}, {w_bits, true}, active), naive);
+  }
+}
+
+TEST(WordDot, BinaryModeSumsAllChannels) {
+  common::Xoshiro256 rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Word in = rng.next();
+    const Word w = rng.next();
+    const int active = static_cast<int>(rng.next_int(1, 64));
+    std::int64_t naive = 0;
+    for (int b = 0; b < active; ++b) {
+      const int av = ((in >> b) & 1) ? 1 : -1;
+      const int wv = ((w >> b) & 1) ? 1 : -1;
+      naive += av * wv;
+    }
+    EXPECT_EQ(word_dot(in, w, {1, true}, {1, true}, active), naive);
+  }
+}
+
+TEST(ValuesPerWord, BinaryVsLaneModes) {
+  EXPECT_EQ(values_per_word(1), 64);
+  for (int b = 2; b <= 8; ++b) EXPECT_EQ(values_per_word(b), 8);
+}
+
+TEST(Accumulator, SumsWithBias) {
+  Accumulator acc;
+  acc.reset(100);
+  acc.add(5);
+  acc.add(-30);
+  EXPECT_EQ(acc.value(), 75);
+}
+
+TEST(Accumulator, WrapsAtInt32LikeHardware) {
+  Accumulator acc;
+  acc.reset(std::numeric_limits<std::int32_t>::max());
+  acc.add(1);
+  EXPECT_EQ(acc.value(), std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(Accumulator, WrapIsChunkingInvariant) {
+  // Summing per-element or per-chunk gives the same wrapped value — the
+  // property that lets the golden model accumulate element-wise while the
+  // simulator accumulates word-dot partial sums.
+  common::Xoshiro256 rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::int64_t> terms(64);
+    for (auto& t : terms) t = rng.next_int(-1'000'000'000LL, 1'000'000'000LL);
+    Accumulator a, b;
+    a.reset(0);
+    b.reset(0);
+    for (const auto t : terms) a.add(t);
+    for (std::size_t i = 0; i < terms.size(); i += 8) {
+      std::int64_t chunk = 0;
+      for (std::size_t j = i; j < i + 8; ++j) chunk += terms[j];
+      b.add(chunk);
+    }
+    EXPECT_EQ(a.value(), b.value());
+  }
+}
+
+}  // namespace
+}  // namespace netpu::hw

@@ -1,0 +1,141 @@
+// Resource model: reproduces Table IV exactly for the four single-TNPU
+// instances and Table V for the full NetPU-M instance (LUT/DSP/FF exact,
+// BRAM within 3%).
+#include "hw/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "hw/power_model.hpp"
+
+namespace netpu::hw {
+namespace {
+
+TEST(ResourceModel, TableIvMt8DspBn) {
+  const auto r = ResourceModel::tnpu({8, 8, MulImpl::kDsp, MulImpl::kDsp});
+  EXPECT_EQ(r.luts, 19049);
+  EXPECT_EQ(r.dsps, 16);
+  EXPECT_EQ(r.ffs, 32);
+}
+
+TEST(ResourceModel, TableIvMt8LutBn) {
+  const auto r = ResourceModel::tnpu({8, 8, MulImpl::kDsp, MulImpl::kLut});
+  EXPECT_EQ(r.luts, 20138);
+  EXPECT_EQ(r.dsps, 12);
+  EXPECT_EQ(r.ffs, 32);
+}
+
+TEST(ResourceModel, TableIvMt4DspBn) {
+  const auto r = ResourceModel::tnpu({8, 4, MulImpl::kDsp, MulImpl::kDsp});
+  EXPECT_EQ(r.luts, 2705);
+  EXPECT_EQ(r.dsps, 16);
+  EXPECT_EQ(r.ffs, 32);
+}
+
+TEST(ResourceModel, TableIvMt4LutBn) {
+  const auto r = ResourceModel::tnpu({8, 4, MulImpl::kDsp, MulImpl::kLut});
+  EXPECT_EQ(r.luts, 3794);
+  EXPECT_EQ(r.dsps, 12);
+  EXPECT_EQ(r.ffs, 32);
+}
+
+TEST(ResourceModel, TableIvUtilizationRates) {
+  // The paper reports 27.00% / 28.54% / 3.83% / 5.38% LUT utilization.
+  const auto device = ultra96_v2();
+  const double rates[] = {0.2700, 0.2854, 0.0383, 0.0538};
+  const TnpuResourceParams params[] = {
+      {8, 8, MulImpl::kDsp, MulImpl::kDsp},
+      {8, 8, MulImpl::kDsp, MulImpl::kLut},
+      {8, 4, MulImpl::kDsp, MulImpl::kDsp},
+      {8, 4, MulImpl::kDsp, MulImpl::kLut},
+  };
+  for (int i = 0; i < 4; ++i) {
+    const auto u = utilization(ResourceModel::tnpu(params[i]), device);
+    EXPECT_NEAR(u.luts, rates[i], 0.0005) << "instance " << i;
+  }
+}
+
+TEST(ResourceModel, MultiThresholdBlowupIsTheDominantCost) {
+  // The paper's Table IV argument: the 8-bit Multi-Threshold bank costs
+  // ~7x the entire remaining TNPU.
+  const auto mt8 = ResourceModel::tnpu({8, 8, MulImpl::kDsp, MulImpl::kDsp});
+  const auto mt4 = ResourceModel::tnpu({8, 4, MulImpl::kDsp, MulImpl::kDsp});
+  EXPECT_GT(mt8.luts, 6 * mt4.luts);
+}
+
+TEST(ResourceModel, LutMulTradesDspForFabric) {
+  const auto dsp = ResourceModel::tnpu({8, 4, MulImpl::kDsp, MulImpl::kDsp});
+  const auto lut = ResourceModel::tnpu({8, 4, MulImpl::kLut, MulImpl::kDsp});
+  EXPECT_LT(lut.dsps, dsp.dsps);
+  EXPECT_GT(lut.luts, dsp.luts);
+}
+
+TEST(ResourceModel, TableVNetpuInstance) {
+  const auto config = netpu::core::NetpuConfig::paper_instance();
+  const auto r = config.resources();
+  EXPECT_EQ(r.luts, 59755);   // paper: 59755 (84.69%)
+  EXPECT_EQ(r.dsps, 256);     // paper: 256 (71.11%)
+  EXPECT_EQ(r.ffs, 14601);    // paper: 14601 (10.35%)
+  EXPECT_NEAR(r.bram36, 129.5, 4.0);  // paper: 129.5 (59.95%)
+
+  const auto u = utilization(r, ultra96_v2());
+  EXPECT_NEAR(u.luts, 0.8469, 0.0005);
+  EXPECT_NEAR(u.dsps, 0.7111, 0.0005);
+  EXPECT_NEAR(u.ffs, 0.1035, 0.0005);
+}
+
+TEST(ResourceModel, BufferBramTiling) {
+  // Table III buffers: 64b x 1024 = 2 BRAM36; 128b x 2048 = 8 BRAM36.
+  EXPECT_DOUBLE_EQ(ResourceModel::buffer_bram36({"a", 64, 1024}), 2.0);
+  EXPECT_DOUBLE_EQ(ResourceModel::buffer_bram36({"b", 128, 2048}), 8.0);
+  // A narrow FIFO fits one BRAM18.
+  EXPECT_DOUBLE_EQ(ResourceModel::buffer_bram36({"c", 16, 512}), 0.5);
+}
+
+TEST(ResourceModel, ScalesWithClusterSize) {
+  const netpu::core::NetpuConfig config = netpu::core::NetpuConfig::paper_instance();
+  const auto params = config.tnpu.resource_params();
+  const auto specs = config.lpu.buffer_specs();
+  const auto lpu1 = ResourceModel::lpu(params, 4, specs);
+  const auto lpu2 = ResourceModel::lpu(params, 8, specs);
+  EXPECT_GT(lpu2.luts, lpu1.luts);
+  EXPECT_EQ(lpu2.dsps - lpu1.dsps, 4 * 16);  // 4 more TNPUs at 16 DSPs each
+  EXPECT_DOUBLE_EQ(lpu1.bram36, lpu2.bram36);  // buffers are per-LPU fixed
+}
+
+TEST(PowerModel, OrderingMatchesTableVi) {
+  // NetPU-M (~7 W) < FINN-fix (~8 W) << FINN-max (~21-23 W).
+  const auto config = netpu::core::NetpuConfig::paper_instance();
+  PowerParams netpu_p{kUltra96StaticWatts, 0.45, 100.0};
+  const double netpu_w = estimate_power_watts(config.resources(), netpu_p);
+  EXPECT_NEAR(netpu_w, 7.0, 0.7);  // paper: 6.86-7.05 W
+
+  PowerParams finn_p{kZynq7000StaticWatts, 1.0, 200.0};
+  const double sfc_max_w = estimate_power_watts({91131, 0, 91131, 4.5}, finn_p);
+  EXPECT_NEAR(sfc_max_w, 21.2, 3.2);
+  const double sfc_fix_w = estimate_power_watts({5155, 0, 5155, 16.0}, finn_p);
+  EXPECT_NEAR(sfc_fix_w, 8.1, 1.3);
+  EXPECT_LT(netpu_w, sfc_fix_w);
+  EXPECT_LT(sfc_fix_w, sfc_max_w);
+}
+
+TEST(PowerModel, MonotoneInResourcesAndClock) {
+  PowerParams p{5.0, 0.5, 100.0};
+  const Resources small{1000, 10, 1000, 10};
+  const Resources big{50000, 200, 50000, 100};
+  EXPECT_LT(estimate_power_watts(small, p), estimate_power_watts(big, p));
+  PowerParams fast = p;
+  fast.clock_mhz = 300.0;
+  EXPECT_LT(estimate_power_watts(big, p), estimate_power_watts(big, fast));
+}
+
+TEST(Devices, PublishedTotals) {
+  const auto d = ultra96_v2();
+  EXPECT_EQ(d.luts, 70560);
+  EXPECT_EQ(d.dsps, 360);
+  EXPECT_EQ(d.ffs, 141120);
+  EXPECT_DOUBLE_EQ(d.bram36, 216.0);
+}
+
+}  // namespace
+}  // namespace netpu::hw

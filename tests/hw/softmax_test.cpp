@@ -1,0 +1,143 @@
+// SoftMax unit (extension completing the paper's MaxOut follow-up):
+// fixed-point correctness against float softmax and end-to-end behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.hpp"
+#include "core/accelerator.hpp"
+#include "hw/activation_unit.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu {
+namespace {
+
+std::vector<double> float_softmax(std::span<const std::int64_t> q5) {
+  double mx = -1e300;
+  for (const auto v : q5) mx = std::max(mx, static_cast<double>(v) / 32.0);
+  std::vector<double> p(q5.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < q5.size(); ++i) {
+    p[i] = std::exp(static_cast<double>(q5[i]) / 32.0 - mx);
+    sum += p[i];
+  }
+  for (auto& v : p) v /= sum;
+  return p;
+}
+
+TEST(SoftmaxUnit, UniformInputsGiveUniformProbabilities) {
+  const std::vector<std::int64_t> v(4, 100);
+  const auto p = hw::softmax_q15(v);
+  for (const auto q : p) {
+    EXPECT_NEAR(q, hw::kSoftmaxOne / 4, 2);
+  }
+}
+
+TEST(SoftmaxUnit, SumsToOneQ15) {
+  common::Xoshiro256 rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::int64_t> v(static_cast<std::size_t>(rng.next_int(2, 16)));
+    for (auto& x : v) x = rng.next_int(-500, 500);
+    const auto p = hw::softmax_q15(v);
+    std::int64_t sum = 0;
+    for (const auto q : p) {
+      EXPECT_GE(q, 0);
+      sum += q;
+    }
+    // Per-element truncation: sum within n ulps below 1.0.
+    EXPECT_LE(sum, hw::kSoftmaxOne);
+    EXPECT_GE(sum, hw::kSoftmaxOne - static_cast<std::int64_t>(p.size()));
+  }
+}
+
+TEST(SoftmaxUnit, MatchesFloatSoftmax) {
+  common::Xoshiro256 rng(2);
+  double max_err = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::int64_t> v(10);
+    for (auto& x : v) x = rng.next_int(-300, 300);
+    const auto p = hw::softmax_q15(v);
+    const auto ref = float_softmax(v);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      max_err = std::max(
+          max_err, std::abs(static_cast<double>(p[i]) / hw::kSoftmaxOne - ref[i]));
+    }
+  }
+  // 16-entry LUT + truncation: a couple of percent.
+  EXPECT_LT(max_err, 0.03);
+}
+
+TEST(SoftmaxUnit, PreservesOrdering) {
+  const std::vector<std::int64_t> v = {-50, 200, 10, 150};
+  const auto p = hw::softmax_q15(v);
+  EXPECT_GT(p[1], p[3]);
+  EXPECT_GT(p[3], p[2]);
+  EXPECT_GT(p[2], p[0]);
+  // Values inside one LUT quantum (1/32 here) may tie, but never invert.
+  const std::vector<std::int64_t> near = {200, 199};
+  const auto q = hw::softmax_q15(near);
+  EXPECT_GE(q[0], q[1]);
+}
+
+TEST(SoftmaxUnit, UnderflowsToZeroFarFromMax) {
+  const std::vector<std::int64_t> v = {0, -100000};
+  const auto p = hw::softmax_q15(v);
+  EXPECT_EQ(p[1], 0);
+  EXPECT_NEAR(p[0], hw::kSoftmaxOne, 2);
+}
+
+TEST(SoftmaxUnit, NetpuEmitsProbabilities) {
+  common::Xoshiro256 rng(3);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 20;
+  spec.hidden = {8};
+  spec.outputs = 5;
+  const auto mlp = nn::random_quantized_mlp(spec, rng);
+  std::vector<std::uint8_t> image(20);
+  for (auto& px : image) px = static_cast<std::uint8_t>(rng.next_below(256));
+
+  core::NetpuConfig config;
+  config.softmax_unit = true;
+  core::Accelerator acc(config);
+  auto run = acc.run(mlp, image);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  const auto golden = mlp.infer(image);
+  EXPECT_EQ(run.value().predicted, golden.predicted);
+  EXPECT_EQ(run.value().probabilities, hw::softmax_q15(golden.output_values));
+  // MaxOut and SoftMax argmax agree.
+  const auto& p = run.value().probabilities;
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::max_element(p.begin(), p.end()) - p.begin()),
+            run.value().predicted);
+
+  // The SoftMax post-stage costs extra cycles.
+  core::Accelerator plain(core::NetpuConfig::paper_instance());
+  auto base = plain.run(mlp, image);
+  ASSERT_TRUE(base.ok());
+  EXPECT_GT(run.value().cycles, base.value().cycles);
+  EXPECT_TRUE(base.value().probabilities.empty());
+}
+
+TEST(SoftmaxUnit, FunctionalModeMatchesCycleMode) {
+  common::Xoshiro256 rng(4);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 16;
+  spec.hidden = {6};
+  spec.outputs = 4;
+  const auto mlp = nn::random_quantized_mlp(spec, rng);
+  std::vector<std::uint8_t> image(16, 99);
+
+  core::NetpuConfig config;
+  config.softmax_unit = true;
+  core::Accelerator acc(config);
+  auto cyc = acc.run(mlp, image);
+  core::RunOptions opts;
+  opts.mode = core::RunMode::kFunctional;
+  auto fun = acc.run(mlp, image, opts);
+  ASSERT_TRUE(cyc.ok());
+  ASSERT_TRUE(fun.ok());
+  EXPECT_EQ(cyc.value().probabilities, fun.value().probabilities);
+}
+
+}  // namespace
+}  // namespace netpu

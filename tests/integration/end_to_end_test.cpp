@@ -1,0 +1,170 @@
+// Full-pipeline integration: synthetic data -> QAT training -> calibration
+// -> lowering -> model file -> loadable file -> NetPU router -> cycle
+// simulation -> MaxOut, with every representation agreeing along the way.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/accelerator.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "loadable/compiler.hpp"
+#include "loadable/parser.hpp"
+#include "loadable/stream_io.hpp"
+#include "nn/lowering.hpp"
+#include "nn/model_io.hpp"
+#include "nn/trainer.hpp"
+#include "runtime/driver.hpp"
+
+namespace netpu {
+namespace {
+
+// Shared trained model (training once keeps the suite fast).
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    train_ds_ = new data::Dataset(data::make_synthetic_mnist(1200, 21));
+    test_ds_ = new data::Dataset(data::make_synthetic_mnist(300, 22));
+    const auto train = train_ds_->to_train_samples();
+
+    nn::FloatMlp model(784);
+    for (int i = 0; i < 2; ++i) {
+      auto& h = model.add_layer(32, hw::Activation::kMultiThreshold, true);
+      h.quant.weight = {2, true};
+      h.quant.activation = {2, false};
+    }
+    auto& out = model.add_layer(10, hw::Activation::kNone, false);
+    out.quant.weight = {2, true};
+    out.quant.activation = {8, true};
+
+    nn::TrainConfig cfg;
+    cfg.epochs = 5;
+    cfg.qat = true;
+    cfg.seed = 5;
+    nn::Trainer trainer(model, cfg);
+    trainer.initialize_weights();
+    trainer.fit(train);
+    nn::Trainer::calibrate_activation_scales(
+        model, std::span<const nn::TrainSample>(train).subspan(0, 96));
+    nn::TrainConfig fine = cfg;
+    fine.learning_rate = 0.015f;
+    fine.epochs = 3;
+    nn::Trainer(model, fine).fit(train);
+
+    auto lowered = nn::lower(model, nn::LoweringOptions{});
+    ASSERT_TRUE(lowered.ok()) << lowered.error().to_string();
+    mlp_ = new nn::QuantizedMlp(std::move(lowered).value());
+  }
+  static void TearDownTestSuite() {
+    delete train_ds_;
+    delete test_ds_;
+    delete mlp_;
+  }
+
+  static data::Dataset* train_ds_;
+  static data::Dataset* test_ds_;
+  static nn::QuantizedMlp* mlp_;
+};
+data::Dataset* EndToEndTest::train_ds_ = nullptr;
+data::Dataset* EndToEndTest::test_ds_ = nullptr;
+nn::QuantizedMlp* EndToEndTest::mlp_ = nullptr;
+
+TEST_F(EndToEndTest, TrainedModelBeatsChanceByFar) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test_ds_->size(); ++i) {
+    if (mlp_->classify(test_ds_->images[i]) ==
+        static_cast<std::size_t>(test_ds_->labels[i])) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test_ds_->size()),
+            0.8);
+}
+
+TEST_F(EndToEndTest, CycleSimMatchesGoldenOnRealModel) {
+  core::Accelerator acc(core::NetpuConfig::paper_instance());
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto& img = test_ds_->images[i];
+    const auto golden = mlp_->infer(img);
+    auto run = acc.run(*mlp_, img);
+    ASSERT_TRUE(run.ok()) << run.error().to_string();
+    EXPECT_EQ(run.value().predicted, golden.predicted) << "image " << i;
+    EXPECT_EQ(run.value().output_values, golden.output_values) << "image " << i;
+  }
+}
+
+TEST_F(EndToEndTest, FileArtifactsRoundTripThroughTheWholeFlow) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto model_path = (dir / "e2e_model.netpum").string();
+  const auto stream_path = (dir / "e2e_inference.npl").string();
+
+  // Offline: model file.
+  ASSERT_TRUE(nn::save_model(*mlp_, model_path).ok());
+  auto model = nn::load_model(model_path);
+  ASSERT_TRUE(model.ok()) << model.error().to_string();
+
+  // Deployment: loadable file.
+  const auto& img = test_ds_->images[0];
+  auto stream = loadable::compile(model.value(), img, {});
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(loadable::save_stream(stream.value(), stream_path).ok());
+  auto loaded = loadable::load_stream(stream_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value(), stream.value());
+
+  // Execution: simulate the file-loaded stream.
+  core::Accelerator acc(core::NetpuConfig::paper_instance());
+  auto run = acc.run(loaded.value());
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  EXPECT_EQ(run.value().predicted, mlp_->infer(img).predicted);
+
+  std::remove(model_path.c_str());
+  std::remove(stream_path.c_str());
+}
+
+TEST_F(EndToEndTest, DriverBatchMatchesGoldenAccuracy) {
+  core::Accelerator acc(core::NetpuConfig::paper_instance());
+  runtime::Driver driver(acc);
+  const std::size_t n = 40;
+  std::size_t golden = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mlp_->classify(test_ds_->images[i]) ==
+        static_cast<std::size_t>(test_ds_->labels[i])) {
+      ++golden;
+    }
+  }
+  auto batch = driver.infer_batch(
+      *mlp_,
+      std::span<const std::vector<std::uint8_t>>(test_ds_->images.data(), n),
+      std::span<const int>(test_ds_->labels.data(), n), /*timed_samples=*/1);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch.value().correct, golden);
+}
+
+TEST_F(EndToEndTest, DenseAndOverlappedPreserveTrainedAccuracy) {
+  auto dense = *mlp_;
+  ASSERT_TRUE(nn::enable_dense_stream(dense).ok());
+  core::NetpuConfig config;
+  config.tnpu.dense_support = true;
+  config.overlapped_weight_stream = true;
+  core::Accelerator acc(config);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto& img = test_ds_->images[i];
+    auto run = acc.run(dense, img);
+    ASSERT_TRUE(run.ok()) << run.error().to_string();
+    EXPECT_EQ(run.value().predicted, mlp_->infer(img).predicted);
+  }
+}
+
+TEST_F(EndToEndTest, ParserReconstructsTheTrainedNetwork) {
+  const auto& img = test_ds_->images[1];
+  auto stream = loadable::compile(*mlp_, img, {});
+  ASSERT_TRUE(stream.ok());
+  auto parsed = loadable::parse(stream.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().mlp.infer(img).output_values,
+            mlp_->infer(img).output_values);
+}
+
+}  // namespace
+}  // namespace netpu

@@ -1,0 +1,264 @@
+// Loadable format: word packing, layer-setting codec, the Sec. III-B3
+// section order, compiler/parser round trips and capacity validation.
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "loadable/compiler.hpp"
+#include "loadable/parser.hpp"
+#include "loadable/words.hpp"
+#include "nn/quantization.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::loadable {
+namespace {
+
+TEST(Words, PackUnpackBinaryCodes) {
+  std::vector<std::int32_t> codes(70);
+  common::Xoshiro256 rng(1);
+  for (auto& c : codes) c = rng.next_bool() ? 1 : -1;
+  const auto words = pack_codes(codes, {1, true});
+  EXPECT_EQ(words.size(), 2u);  // 70 channels -> 2 words
+  EXPECT_EQ(unpack_codes(words, codes.size(), {1, true}), codes);
+}
+
+TEST(Words, PackUnpackLaneCodesAllPrecisions) {
+  common::Xoshiro256 rng(2);
+  for (int bits = 2; bits <= 8; ++bits) {
+    for (const bool is_signed : {true, false}) {
+      const hw::Precision p{bits, is_signed};
+      std::vector<std::int32_t> codes(19);
+      for (auto& c : codes) {
+        c = static_cast<std::int32_t>(
+            rng.next_int(nn::min_code(p), nn::max_code(p)));
+      }
+      const auto words = pack_codes(codes, p);
+      EXPECT_EQ(words.size(), 3u);  // 19 lanes -> 3 words
+      EXPECT_EQ(unpack_codes(words, codes.size(), p), codes)
+          << "bits=" << bits << " signed=" << is_signed;
+    }
+  }
+}
+
+TEST(Words, PlaceholderBitsAreZero) {
+  const std::vector<std::int32_t> codes = {-1, 1};  // 2-bit signed
+  const auto words = pack_codes(codes, {2, true});
+  // Lane bytes carry only the low 2 bits: 0b11 and 0b01.
+  EXPECT_EQ(common::byte_lane(words[0], 0), 0b11);
+  EXPECT_EQ(common::byte_lane(words[0], 1), 0b01);
+}
+
+TEST(Words, ParamsRoundTrip) {
+  std::vector<std::int32_t> values = {1, -1, 0x7fffffff, static_cast<std::int32_t>(0x80000000), 42};
+  const auto words = pack_params(values);
+  EXPECT_EQ(words.size(), 3u);
+  EXPECT_EQ(unpack_params(words, values.size()), values);
+}
+
+TEST(Words, ThresholdSaturatesToInt32) {
+  const common::Q32x5 big(std::int64_t{1} << 35);
+  EXPECT_EQ(threshold_to_param(big), std::numeric_limits<std::int32_t>::max());
+  const common::Q32x5 ok(-12345);
+  EXPECT_EQ(param_to_threshold(threshold_to_param(ok)).raw(), -12345);
+}
+
+TEST(LayerSetting, EncodeDecodeRoundTripRandom) {
+  common::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    LayerSetting s;
+    s.kind = static_cast<hw::LayerKind>(rng.next_below(3));
+    s.activation = static_cast<hw::Activation>(rng.next_below(6));
+    s.bn_fold = rng.next_bool();
+    s.in_prec = {static_cast<int>(rng.next_int(1, 8)), rng.next_bool()};
+    s.w_prec = {static_cast<int>(rng.next_int(1, 8)), rng.next_bool()};
+    s.out_prec = {static_cast<int>(rng.next_int(1, 8)), rng.next_bool()};
+    s.neurons = static_cast<std::uint32_t>(rng.next_int(1, 8192));
+    s.input_length = static_cast<std::uint32_t>(rng.next_int(1, 8192));
+    const auto enc = s.encode();
+    auto dec = LayerSetting::decode(enc[0], enc[1]);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(dec.value(), s);
+  }
+}
+
+TEST(LayerSetting, DecodeRejectsGarbage) {
+  EXPECT_FALSE(LayerSetting::decode(~Word{0}, ~Word{0}).ok());
+  EXPECT_FALSE(LayerSetting::decode(0, 0).ok());  // zero dims, zero precision
+}
+
+TEST(LayerSetting, StreamGeometry) {
+  LayerSetting s;
+  s.kind = hw::LayerKind::kHidden;
+  s.in_prec = {1, true};
+  s.w_prec = {1, true};
+  s.neurons = 64;
+  s.input_length = 784;
+  EXPECT_EQ(s.values_per_chunk(), 64);
+  EXPECT_EQ(s.chunks_per_neuron(), 13u);
+  EXPECT_EQ(s.input_words(), 13u);
+  EXPECT_EQ(s.weight_section_words(), 13u * 64u);
+
+  s.in_prec = {2, false};
+  s.w_prec = {2, true};
+  EXPECT_EQ(s.values_per_chunk(), 8);
+  EXPECT_EQ(s.chunks_per_neuron(), 98u);
+}
+
+TEST(LayerSetting, ParamSectionAccounting) {
+  LayerSetting s;
+  s.kind = hw::LayerKind::kHidden;
+  s.activation = hw::Activation::kMultiThreshold;
+  s.bn_fold = false;
+  s.out_prec = {2, false};
+  s.neurons = 10;
+  s.input_length = 8;
+  // BN scale+offset (2) + 3 MT thresholds = 5 values per neuron.
+  EXPECT_EQ(s.param_values_per_neuron(), 5u);
+  // Sections: bn_scale ceil(10/2)=5, bn_offset 5, mt ceil(30/2)=15.
+  EXPECT_EQ(s.param_section_words(), 25u);
+  EXPECT_FALSE(s.has_bias_section());
+
+  s.bn_fold = true;  // MT folding absorbs bias: still no bias section
+  EXPECT_FALSE(s.has_bias_section());
+  s.activation = hw::Activation::kRelu;
+  EXPECT_TRUE(s.has_bias_section());
+  EXPECT_TRUE(s.has_quan_section());
+}
+
+nn::QuantizedMlp sample_mlp(int seed = 1) {
+  common::Xoshiro256 rng(static_cast<std::uint64_t>(seed));
+  nn::RandomMlpSpec spec;
+  spec.input_size = 20;
+  spec.hidden = {9, 7};
+  spec.outputs = 4;
+  spec.weight_bits = 3;
+  spec.activation_bits = 3;
+  spec.hidden_activation = hw::Activation::kMultiThreshold;
+  return nn::random_quantized_mlp(spec, rng);
+}
+
+std::vector<std::uint8_t> sample_image(std::size_t n) {
+  std::vector<std::uint8_t> img(n);
+  for (std::size_t i = 0; i < n; ++i) img[i] = static_cast<std::uint8_t>(i * 13);
+  return img;
+}
+
+TEST(Compiler, HeaderLayout) {
+  const auto mlp = sample_mlp();
+  auto stream = compile(mlp, sample_image(20), {});
+  ASSERT_TRUE(stream.ok()) << stream.error().to_string();
+  const auto& w = stream.value();
+  EXPECT_EQ(w[0], kMagic);
+  EXPECT_EQ(w[1], 4u);  // input + 2 hidden + output
+  auto s0 = LayerSetting::decode(w[2], w[3]);
+  ASSERT_TRUE(s0.ok());
+  EXPECT_EQ(s0.value().kind, hw::LayerKind::kInput);
+  EXPECT_EQ(w[2 + 2 * 4], 1u);  // image count
+}
+
+TEST(Compiler, SizeMatchesPrediction) {
+  const auto mlp = sample_mlp();
+  auto stream = compile(mlp, sample_image(20), {});
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream.value().size(), compiled_size_words(mlp));
+}
+
+TEST(Compiler, ParserRoundTripsExactly) {
+  for (int seed = 1; seed <= 5; ++seed) {
+    const auto mlp = sample_mlp(seed);
+    const auto image = sample_image(20);
+    auto stream = compile(mlp, image, {});
+    ASSERT_TRUE(stream.ok());
+    auto parsed = parse(stream.value());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+    EXPECT_EQ(parsed.value().image, image);
+    const auto& m2 = parsed.value().mlp;
+    ASSERT_EQ(m2.layers.size(), mlp.layers.size());
+    for (std::size_t l = 0; l < mlp.layers.size(); ++l) {
+      EXPECT_EQ(m2.layers[l].weights, mlp.layers[l].weights) << "layer " << l;
+      EXPECT_EQ(m2.layers[l].bias, mlp.layers[l].bias) << "layer " << l;
+      EXPECT_EQ(m2.layers[l].mt_thresholds, mlp.layers[l].mt_thresholds);
+      EXPECT_EQ(m2.layers[l].bn_scale, mlp.layers[l].bn_scale);
+    }
+    // Same inference either way.
+    EXPECT_EQ(m2.infer(image).predicted, mlp.infer(image).predicted);
+  }
+}
+
+TEST(Compiler, RejectsWrongImageSize) {
+  const auto mlp = sample_mlp();
+  auto stream = compile(mlp, sample_image(19), {});
+  EXPECT_FALSE(stream.ok());
+}
+
+TEST(Compiler, RejectsOversizedLayer) {
+  auto mlp = sample_mlp();
+  CompileOptions opts;
+  opts.max_neurons_per_layer = 8;
+  auto stream = compile(mlp, sample_image(20), opts);
+  ASSERT_FALSE(stream.ok());
+  EXPECT_EQ(stream.error().code, common::ErrorCode::kCapacityExceeded);
+}
+
+TEST(Compiler, RejectsParamBufferOverflow) {
+  common::Xoshiro256 rng(9);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 8;
+  spec.hidden = {600};  // 600 neurons x 15 thresholds = 4500 words > 4096
+  spec.outputs = 2;
+  spec.weight_bits = 4;
+  spec.activation_bits = 4;
+  const auto mlp = nn::random_quantized_mlp(spec, rng);
+  auto stream = compile(mlp, sample_image(8), {});
+  ASSERT_FALSE(stream.ok());
+  EXPECT_EQ(stream.error().code, common::ErrorCode::kCapacityExceeded);
+}
+
+TEST(Parser, RejectsBadMagic) {
+  const auto mlp = sample_mlp();
+  auto stream = compile(mlp, sample_image(20), {});
+  ASSERT_TRUE(stream.ok());
+  auto words = stream.value();
+  words[0] ^= 1;
+  EXPECT_FALSE(parse(words).ok());
+}
+
+TEST(Parser, RejectsTruncation) {
+  const auto mlp = sample_mlp();
+  auto stream = compile(mlp, sample_image(20), {});
+  ASSERT_TRUE(stream.ok());
+  auto words = stream.value();
+  words.resize(words.size() - 3);
+  EXPECT_FALSE(parse(words).ok());
+}
+
+TEST(Parser, RejectsTrailingGarbage) {
+  const auto mlp = sample_mlp();
+  auto stream = compile(mlp, sample_image(20), {});
+  ASSERT_TRUE(stream.ok());
+  auto words = stream.value();
+  words.push_back(0xdead);
+  EXPECT_FALSE(parse(words).ok());
+}
+
+TEST(Compiler, SectionOrderFollowsPaper) {
+  // P0, P1, W0(empty for input), P2, W1, P3, W2, W3: verify by parsing a
+  // stream where each hidden layer has distinctive weights.
+  auto mlp = sample_mlp();
+  for (std::size_t l = 1; l < mlp.layers.size(); ++l) {
+    for (auto& w : mlp.layers[l].weights) {
+      w = static_cast<std::int8_t>(l);
+    }
+  }
+  auto stream = compile(mlp, sample_image(20), {});
+  ASSERT_TRUE(stream.ok());
+  auto parsed = parse(stream.value());
+  ASSERT_TRUE(parsed.ok());
+  for (std::size_t l = 1; l < mlp.layers.size(); ++l) {
+    for (const auto w : parsed.value().mlp.layers[l].weights) {
+      EXPECT_EQ(w, static_cast<std::int8_t>(l));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netpu::loadable

@@ -1,0 +1,84 @@
+#include "loadable/stream_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "loadable/compiler.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::loadable {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<Word> sample_stream() {
+  common::Xoshiro256 rng(3);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 12;
+  spec.hidden = {5};
+  spec.outputs = 3;
+  const auto mlp = nn::random_quantized_mlp(spec, rng);
+  std::vector<std::uint8_t> image(12, 55);
+  auto stream = compile(mlp, image, {});
+  EXPECT_TRUE(stream.ok());
+  return std::move(stream).value();
+}
+
+TEST(StreamIo, RoundTrip) {
+  const auto stream = sample_stream();
+  const auto path = temp_path("netpu_stream_io_test.npl");
+  ASSERT_TRUE(save_stream(stream, path).ok());
+  auto loaded = load_stream(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value(), stream);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIo, FileIsLittleEndianWords) {
+  const auto stream = sample_stream();
+  const auto path = temp_path("netpu_stream_io_le.npl");
+  ASSERT_TRUE(save_stream(stream, path).ok());
+  std::ifstream f(path, std::ios::binary);
+  std::uint8_t bytes[8];
+  f.read(reinterpret_cast<char*>(bytes), 8);
+  Word first = 0;
+  for (int i = 0; i < 8; ++i) first |= static_cast<Word>(bytes[i]) << (8 * i);
+  EXPECT_EQ(first, kMagic);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIo, RejectsMisalignedFile) {
+  const auto path = temp_path("netpu_stream_io_misaligned.npl");
+  {
+    std::ofstream f(path, std::ios::binary);
+    const char junk[13] = {0};
+    f.write(junk, sizeof(junk));
+  }
+  auto r = load_stream(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, common::ErrorCode::kMalformedStream);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIo, RejectsWrongMagic) {
+  const auto path = temp_path("netpu_stream_io_badmagic.npl");
+  {
+    std::ofstream f(path, std::ios::binary);
+    const char zeros[16] = {0};
+    f.write(zeros, sizeof(zeros));
+  }
+  EXPECT_FALSE(load_stream(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(StreamIo, RejectsMissingFile) {
+  EXPECT_FALSE(load_stream("/nonexistent/stream.npl").ok());
+}
+
+}  // namespace
+}  // namespace netpu::loadable

@@ -1,0 +1,130 @@
+// Eq. 1 (BN), Eq. 2 (fold into linear), Eq. 3 (fold into Sign threshold)
+// and the HWGQ multi-threshold derivation.
+#include "nn/batchnorm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.hpp"
+
+namespace netpu::nn {
+namespace {
+
+BatchNorm random_bn(std::size_t n, common::Xoshiro256& rng, bool positive_gamma) {
+  BatchNorm bn;
+  for (std::size_t i = 0; i < n; ++i) {
+    double g = rng.next_double(0.2, 2.0);
+    if (!positive_gamma && rng.next_bool()) g = -g;
+    bn.gamma.push_back(static_cast<float>(g));
+    bn.beta.push_back(static_cast<float>(rng.next_double(-1.5, 1.5)));
+    bn.mean.push_back(static_cast<float>(rng.next_double(-3.0, 3.0)));
+    bn.var.push_back(static_cast<float>(rng.next_double(0.1, 4.0)));
+  }
+  return bn;
+}
+
+TEST(BatchNorm, IdentityPassesThrough) {
+  const auto bn = BatchNorm::identity(4);
+  const Vector x = {1.0f, -2.0f, 0.5f, 100.0f};
+  const auto y = bn.apply(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-3f);
+}
+
+TEST(BatchNorm, Eq1Formula) {
+  BatchNorm bn;
+  bn.gamma = {2.0f};
+  bn.beta = {1.0f};
+  bn.mean = {3.0f};
+  bn.var = {4.0f - bn.eps};
+  const auto y = bn.apply(Vector{5.0f});
+  // y = 2 * (5 - 3) / 2 + 1 = 3.
+  EXPECT_NEAR(y[0], 3.0f, 1e-5f);
+}
+
+TEST(BatchNorm, Eq2FoldIntoLinearIsExact) {
+  common::Xoshiro256 rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 6, in = 9;
+    Matrix w(n, in);
+    Vector b(n);
+    for (auto& v : w.data()) v = static_cast<float>(rng.next_double(-1.0, 1.0));
+    for (auto& v : b) v = static_cast<float>(rng.next_double(-1.0, 1.0));
+    const auto bn = random_bn(n, rng, /*positive_gamma=*/false);
+
+    Matrix wf = w;
+    Vector bf = b;
+    fold_batchnorm_into_linear(bn, wf, bf);
+
+    Vector x(in);
+    for (auto& v : x) v = static_cast<float>(rng.next_double(-2.0, 2.0));
+    Vector z = matvec(w, x);
+    for (std::size_t i = 0; i < n; ++i) z[i] += b[i];
+    const Vector reference = bn.apply(z);
+    Vector folded = matvec(wf, x);
+    for (std::size_t i = 0; i < n; ++i) folded[i] += bf[i];
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(folded[i], reference[i], 1e-3f) << "trial " << trial;
+    }
+  }
+}
+
+TEST(BatchNorm, Eq3SignFoldMatchesSignOfBn) {
+  common::Xoshiro256 rng(202);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto bn = random_bn(5, rng, /*positive_gamma=*/false);
+    const auto fold = fold_batchnorm_into_sign(bn);
+    for (int k = 0; k < 200; ++k) {
+      const auto z = static_cast<float>(rng.next_double(-10.0, 10.0));
+      for (std::size_t i = 0; i < 5; ++i) {
+        const float y = bn.gamma[i] * (z - bn.mean[i]) / bn.sigma_hat(i) + bn.beta[i];
+        if (std::fabs(y) < 1e-4f) continue;  // comparator boundary
+        const bool bn_positive = y >= 0.0f;
+        // gamma > 0: y >= 0 <=> z >= T; gamma < 0: y >= 0 <=> z <= T.
+        const bool fold_positive = fold.negate[i]
+                                       ? z <= fold.thresholds[i]
+                                       : z >= fold.thresholds[i];
+        EXPECT_EQ(bn_positive, fold_positive)
+            << "trial " << trial << " channel " << i << " z " << z;
+      }
+    }
+  }
+}
+
+TEST(BatchNorm, HwgqThresholdsReproduceQuantizedBnOutput) {
+  common::Xoshiro256 rng(303);
+  const float step = 0.4f;
+  const int levels = 7;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto bn = random_bn(4, rng, /*positive_gamma=*/true);
+    const auto thresholds = fold_batchnorm_into_multithreshold(bn, step, levels);
+    for (int k = 0; k < 300; ++k) {
+      const auto z = static_cast<float>(rng.next_double(-12.0, 12.0));
+      for (std::size_t i = 0; i < 4; ++i) {
+        const float y = bn.gamma[i] * (z - bn.mean[i]) / bn.sigma_hat(i) + bn.beta[i];
+        // Skip near-boundary values (rounding ambiguity).
+        const float frac = y / step - std::floor(y / step);
+        if (std::fabs(frac - 0.5f) < 1e-3f) continue;
+        const int expected = std::clamp(
+            static_cast<int>(std::nearbyint(y / step)), 0, levels);
+        int count = 0;
+        for (const float t : thresholds[i]) {
+          if (z >= t) ++count;
+        }
+        EXPECT_EQ(count, expected) << "z=" << z << " y=" << y;
+      }
+    }
+  }
+}
+
+TEST(BatchNorm, HwgqThresholdsAscending) {
+  common::Xoshiro256 rng(404);
+  const auto bn = random_bn(3, rng, /*positive_gamma=*/true);
+  const auto thresholds = fold_batchnorm_into_multithreshold(bn, 0.25f, 15);
+  for (const auto& row : thresholds) {
+    for (std::size_t k = 1; k < row.size(); ++k) EXPECT_GT(row[k], row[k - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace netpu::nn

@@ -1,0 +1,191 @@
+// Lowering: trained float models map to integer networks whose golden
+// inference tracks the fake-quantized float forward, and BN folding choices
+// (Eq. 2/3 vs. the BN stage) agree with each other.
+#include "nn/lowering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "nn/trainer.hpp"
+
+namespace netpu::nn {
+namespace {
+
+// A small 3-class image-like task on 6x6 "images": class = which third of
+// the image holds the bright band.
+std::vector<TrainSample> make_band_task(std::size_t count, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<TrainSample> samples;
+  for (std::size_t i = 0; i < count; ++i) {
+    TrainSample s;
+    s.label = static_cast<int>(rng.next_below(3));
+    s.x.assign(36, 0.0f);
+    for (int r = s.label * 2; r < s.label * 2 + 2; ++r) {
+      for (int c = 0; c < 6; ++c) {
+        s.x[static_cast<std::size_t>(r * 6 + c)] =
+            0.7f + static_cast<float>(rng.next_double(0.0, 0.3));
+      }
+    }
+    for (auto& v : s.x) {
+      v = std::clamp(v + static_cast<float>(rng.next_double(0.0, 0.1)), 0.0f, 1.0f);
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+std::vector<std::uint8_t> to_pixels(const Vector& x) {
+  std::vector<std::uint8_t> img(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    img[i] = static_cast<std::uint8_t>(std::clamp(x[i], 0.0f, 1.0f) * 255.0f);
+  }
+  return img;
+}
+
+FloatMlp trained_model(hw::Activation act, int w_bits, int a_bits, bool bn,
+                       std::span<const TrainSample> train) {
+  FloatMlp model(36);
+  auto& h1 = model.add_layer(16, act, bn);
+  h1.quant.weight = {w_bits, true};
+  h1.quant.activation = {a_bits, a_bits == 1};
+  auto& h2 = model.add_layer(12, act, bn);
+  h2.quant.weight = {w_bits, true};
+  h2.quant.activation = {a_bits, a_bits == 1};
+  auto& o = model.add_layer(3, hw::Activation::kNone, false);
+  o.quant.weight = {w_bits, true};
+  o.quant.activation = {8, true};
+
+  TrainConfig cfg;
+  cfg.epochs = 12;
+  cfg.qat = true;
+  cfg.seed = 77;
+  Trainer trainer(model, cfg);
+  trainer.initialize_weights();
+  trainer.fit(train);
+  Trainer::calibrate_activation_scales(model, train.subspan(0, 64));
+  // Fine-tune with calibrated scales at a lower learning rate.
+  TrainConfig fine = cfg;
+  fine.learning_rate = 0.01f;
+  fine.epochs = 10;
+  Trainer(model, fine).fit(train);
+  return model;
+}
+
+class LoweringTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    train_ = new std::vector<TrainSample>(make_band_task(384, 1));
+    test_ = new std::vector<TrainSample>(make_band_task(128, 2));
+  }
+  static void TearDownTestSuite() {
+    delete train_;
+    delete test_;
+  }
+  static std::vector<TrainSample>* train_;
+  static std::vector<TrainSample>* test_;
+};
+std::vector<TrainSample>* LoweringTest::train_ = nullptr;
+std::vector<TrainSample>* LoweringTest::test_ = nullptr;
+
+double golden_accuracy(const QuantizedMlp& mlp,
+                       std::span<const TrainSample> samples) {
+  std::size_t correct = 0;
+  for (const auto& s : samples) {
+    if (mlp.classify(to_pixels(s.x)) == static_cast<std::size_t>(s.label)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+TEST_F(LoweringTest, BinarySignModelStaysAccurate) {
+  const auto model = trained_model(hw::Activation::kSign, 1, 1, true, *train_);
+  const double float_acc = Trainer::evaluate(model, *test_, true);
+  ASSERT_GT(float_acc, 0.8);
+
+  auto lowered = lower(model, LoweringOptions{});
+  ASSERT_TRUE(lowered.ok()) << lowered.error().to_string();
+  ASSERT_TRUE(lowered.value().validate().ok());
+  const double int_acc = golden_accuracy(lowered.value(), *test_);
+  EXPECT_GT(int_acc, float_acc - 0.15);
+}
+
+TEST_F(LoweringTest, MultiThresholdModelStaysAccurate) {
+  const auto model = trained_model(hw::Activation::kMultiThreshold, 2, 2, true,
+                                   *train_);
+  const double float_acc = Trainer::evaluate(model, *test_, true);
+  ASSERT_GT(float_acc, 0.85);
+
+  auto lowered = lower(model, LoweringOptions{});
+  ASSERT_TRUE(lowered.ok()) << lowered.error().to_string();
+  const double int_acc = golden_accuracy(lowered.value(), *test_);
+  EXPECT_GT(int_acc, float_acc - 0.12);
+}
+
+TEST_F(LoweringTest, FoldAndNoFoldAgree) {
+  const auto model = trained_model(hw::Activation::kMultiThreshold, 2, 2, true,
+                                   *train_);
+  LoweringOptions fold_opts;
+  fold_opts.bn_fold = true;
+  LoweringOptions nofold_opts;
+  nofold_opts.bn_fold = false;
+  auto folded = lower(model, fold_opts);
+  auto unfolded = lower(model, nofold_opts);
+  ASSERT_TRUE(folded.ok());
+  ASSERT_TRUE(unfolded.ok());
+  EXPECT_TRUE(folded.value().layers[1].bn_fold);
+  EXPECT_FALSE(unfolded.value().layers[1].bn_fold);
+
+  // Same classification on the vast majority of inputs (fixed-point
+  // rounding may flip near-ties).
+  std::size_t agree = 0;
+  for (const auto& s : *test_) {
+    const auto img = to_pixels(s.x);
+    if (folded.value().classify(img) == unfolded.value().classify(img)) ++agree;
+  }
+  EXPECT_GE(agree, test_->size() * 9 / 10);
+}
+
+TEST_F(LoweringTest, ReluModelLowers) {
+  const auto model = trained_model(hw::Activation::kRelu, 4, 4, true, *train_);
+  auto lowered = lower(model, LoweringOptions{});
+  ASSERT_TRUE(lowered.ok()) << lowered.error().to_string();
+  const double float_acc = Trainer::evaluate(model, *test_, true);
+  const double int_acc = golden_accuracy(lowered.value(), *test_);
+  EXPECT_GT(int_acc, float_acc - 0.15);
+}
+
+TEST_F(LoweringTest, W1A2WidensLoneBinaryWeights) {
+  const auto model = trained_model(hw::Activation::kMultiThreshold, 1, 2, true,
+                                   *train_);
+  auto lowered = lower(model, LoweringOptions{});
+  ASSERT_TRUE(lowered.ok()) << lowered.error().to_string();
+  // Hidden layers carry 2-bit {-1,+1} weight codes (pairing exception).
+  const auto& hidden = lowered.value().layers[1];
+  EXPECT_EQ(hidden.w_prec.bits, 2);
+  for (const auto w : hidden.weights) {
+    EXPECT_TRUE(w == 1 || w == -1);
+  }
+}
+
+TEST_F(LoweringTest, UncalibratedMtScaleFails) {
+  FloatMlp model(36);
+  auto& h = model.add_layer(8, hw::Activation::kMultiThreshold, false);
+  h.quant.weight = {2, true};
+  h.quant.activation = {2, false};
+  h.quant.activation_scale = 0.0f;  // not calibrated
+  model.add_layer(3, hw::Activation::kNone, false).quant.weight = {2, true};
+  auto lowered = lower(model, LoweringOptions{});
+  ASSERT_FALSE(lowered.ok());
+  EXPECT_EQ(lowered.error().code, common::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(LoweringTest, SigmoidAlwaysUsesBnStage) {
+  const auto model = trained_model(hw::Activation::kSigmoid, 4, 4, false, *train_);
+  LoweringOptions opts;
+  opts.bn_fold = true;  // requested, but sigmoid needs real-unit inputs
+  auto lowered = lower(model, opts);
+  ASSERT_TRUE(lowered.ok()) << lowered.error().to_string();
+  EXPECT_FALSE(lowered.value().layers[1].bn_fold);
+}
+
+}  // namespace
+}  // namespace netpu::nn

@@ -1,0 +1,111 @@
+#include "nn/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace netpu::nn {
+namespace {
+
+TEST(FloatMlp, AddLayerWiresShapes) {
+  FloatMlp m(10);
+  m.add_layer(6, hw::Activation::kRelu, true);
+  m.add_layer(3, hw::Activation::kNone, false);
+  EXPECT_EQ(m.layers()[0].inputs(), 10u);
+  EXPECT_EQ(m.layers()[0].neurons(), 6u);
+  EXPECT_EQ(m.layers()[1].inputs(), 6u);
+  EXPECT_EQ(m.output_size(), 3u);
+  EXPECT_TRUE(m.layers()[0].bn.has_value());
+  EXPECT_FALSE(m.layers()[1].bn.has_value());
+}
+
+TEST(FloatMlp, ForwardKnownValues) {
+  FloatMlp m(2);
+  auto& h = m.add_layer(2, hw::Activation::kRelu, false);
+  h.weights.data() = {1.0f, -1.0f, 2.0f, 0.5f};
+  h.bias = {0.5f, -1.0f};
+  auto& o = m.add_layer(1, hw::Activation::kNone, false);
+  o.weights.data() = {1.0f, 1.0f};
+  o.bias = {0.0f};
+
+  // x = (1, 2): z = (1*1 - 1*2 + 0.5, 2*1 + 0.5*2 - 1) = (-0.5, 2).
+  // relu -> (0, 2); output = 2.
+  const auto y = m.forward(Vector{1.0f, 2.0f});
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_NEAR(y[0], 2.0f, 1e-6f);
+}
+
+TEST(FloatMlp, ActivationVariantsProduceExpectedRanges) {
+  for (const auto act : {hw::Activation::kSigmoid, hw::Activation::kTanh,
+                         hw::Activation::kSign}) {
+    FloatMlp m(3);
+    auto& h = m.add_layer(4, act, false);
+    for (auto& w : h.weights.data()) w = 0.5f;
+    m.add_layer(2, hw::Activation::kNone, false);
+    const auto pre = m.pre_activations(Vector{1.0f, -1.0f, 0.5f}, 0);
+    EXPECT_EQ(pre.size(), 4u);
+  }
+}
+
+TEST(FloatMlp, SigmoidTanhReferences) {
+  EXPECT_NEAR(sigmoid_exact(0.0f), 0.5f, 1e-6f);
+  EXPECT_NEAR(sigmoid_exact(10.0f), 1.0f, 1e-4f);
+  EXPECT_NEAR(tanh_exact(0.5f), std::tanh(0.5f), 1e-6f);
+}
+
+TEST(FloatMlp, QuantizedForwardDiffersButClassifiesSimilarly) {
+  FloatMlp m(4);
+  auto& h = m.add_layer(5, hw::Activation::kRelu, false);
+  h.quant.weight = {3, true};
+  h.quant.activation = {3, false};
+  h.quant.activation_scale = 0.5f;
+  for (std::size_t i = 0; i < h.weights.size(); ++i) {
+    h.weights.data()[i] = 0.1f * static_cast<float>(i % 7) - 0.3f;
+  }
+  auto& o = m.add_layer(2, hw::Activation::kNone, false);
+  o.quant.weight = {3, true};
+  for (std::size_t i = 0; i < o.weights.size(); ++i) {
+    o.weights.data()[i] = i % 2 ? 0.4f : -0.2f;
+  }
+  const Vector x = {0.3f, 0.8f, 0.1f, 0.9f};
+  const auto exact = m.forward(x, false);
+  const auto quant = m.forward(x, true);
+  ASSERT_EQ(exact.size(), quant.size());
+  // Quantization perturbs but does not destroy the output.
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(quant[i], exact[i], 0.8f);
+  }
+}
+
+TEST(FloatMlp, PreActivationsMatchManualCompute) {
+  FloatMlp m(2);
+  auto& h = m.add_layer(1, hw::Activation::kRelu, false);
+  h.weights.data() = {2.0f, 3.0f};
+  h.bias = {1.0f};
+  const auto z = m.pre_activations(Vector{1.0f, 1.0f}, 0);
+  EXPECT_NEAR(z[0], 6.0f, 1e-6f);
+}
+
+TEST(FloatMlp, QuantizeInputBinarizesForSignModels) {
+  FloatMlp m(4);
+  auto& h = m.add_layer(2, hw::Activation::kSign, false);
+  h.quant.activation = {1, true};
+  m.add_layer(2, hw::Activation::kNone, false);
+  const auto q = m.quantize_input(Vector{0.1f, 0.5f, 0.49f, 0.9f});
+  EXPECT_EQ(q, (Vector{-1.0f, 1.0f, -1.0f, 1.0f}));
+}
+
+TEST(FloatMlp, QuantizeInputUniformLevelsOtherwise) {
+  FloatMlp m(3);
+  auto& h = m.add_layer(2, hw::Activation::kMultiThreshold, false);
+  h.quant.activation = {2, false};
+  m.add_layer(2, hw::Activation::kNone, false);
+  // 2-bit: levels {0, 1/3, 2/3, 1}.
+  const auto q = m.quantize_input(Vector{0.0f, 0.4f, 1.0f});
+  EXPECT_NEAR(q[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(q[1], 1.0f / 3.0f, 1e-6f);
+  EXPECT_NEAR(q[2], 1.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace netpu::nn

@@ -1,0 +1,123 @@
+#include "nn/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/prng.hpp"
+
+namespace netpu::nn {
+namespace {
+
+QuantizedMlp sample(int seed, hw::Activation act, bool fold) {
+  common::Xoshiro256 rng(static_cast<std::uint64_t>(seed));
+  RandomMlpSpec spec;
+  spec.input_size = 18;
+  spec.hidden = {7, 5};
+  spec.outputs = 3;
+  spec.hidden_activation = act;
+  spec.bn_fold = fold;
+  spec.weight_bits = act == hw::Activation::kSign ? 1 : 3;
+  spec.activation_bits = act == hw::Activation::kSign ? 1 : 3;
+  return random_quantized_mlp(spec, rng);
+}
+
+void expect_equal(const QuantizedMlp& a, const QuantizedMlp& b) {
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    const auto& x = a.layers[i];
+    const auto& y = b.layers[i];
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.activation, y.activation);
+    EXPECT_EQ(x.bn_fold, y.bn_fold);
+    EXPECT_EQ(x.dense, y.dense);
+    EXPECT_EQ(x.in_prec, y.in_prec);
+    EXPECT_EQ(x.w_prec, y.w_prec);
+    EXPECT_EQ(x.out_prec, y.out_prec);
+    EXPECT_EQ(x.weights, y.weights);
+    EXPECT_EQ(x.bias, y.bias);
+    EXPECT_EQ(x.bn_scale, y.bn_scale);
+    EXPECT_EQ(x.bn_offset, y.bn_offset);
+    EXPECT_EQ(x.sign_thresholds, y.sign_thresholds);
+    EXPECT_EQ(x.mt_thresholds, y.mt_thresholds);
+    EXPECT_EQ(x.quan_scale, y.quan_scale);
+    EXPECT_EQ(x.quan_offset, y.quan_offset);
+  }
+}
+
+TEST(ModelIo, RoundTripAllVariants) {
+  int seed = 1;
+  for (const auto act : {hw::Activation::kSign, hw::Activation::kMultiThreshold,
+                         hw::Activation::kRelu, hw::Activation::kSigmoid}) {
+    for (const bool fold : {true, false}) {
+      const auto mlp = sample(seed++, act, fold);
+      auto restored = deserialize_model(serialize_model(mlp));
+      ASSERT_TRUE(restored.ok())
+          << hw::to_string(act) << ": " << restored.error().to_string();
+      expect_equal(mlp, restored.value());
+    }
+  }
+}
+
+TEST(ModelIo, RoundTripPreservesInference) {
+  const auto mlp = sample(9, hw::Activation::kMultiThreshold, true);
+  auto restored = deserialize_model(serialize_model(mlp));
+  ASSERT_TRUE(restored.ok());
+  common::Xoshiro256 rng(3);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::uint8_t> img(18);
+    for (auto& p : img) p = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto a = mlp.infer(img);
+    const auto b = restored.value().infer(img);
+    EXPECT_EQ(a.predicted, b.predicted);
+    EXPECT_EQ(a.output_values, b.output_values);
+  }
+}
+
+TEST(ModelIo, DenseFlagSurvives) {
+  auto mlp = sample(10, hw::Activation::kMultiThreshold, true);
+  ASSERT_TRUE(enable_dense_stream(mlp).ok());
+  auto restored = deserialize_model(serialize_model(mlp));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored.value().layers[1].dense);
+}
+
+TEST(ModelIo, RejectsBadMagic) {
+  auto bytes = serialize_model(sample(11, hw::Activation::kRelu, true));
+  bytes[0] ^= 0xff;
+  EXPECT_FALSE(deserialize_model(bytes).ok());
+}
+
+TEST(ModelIo, RejectsTruncation) {
+  const auto bytes = serialize_model(sample(12, hw::Activation::kRelu, true));
+  for (const std::size_t cut : {bytes.size() - 1, bytes.size() / 2, std::size_t{5}}) {
+    auto r = deserialize_model(std::span<const std::uint8_t>(bytes.data(), cut));
+    EXPECT_FALSE(r.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(ModelIo, RejectsTrailingBytes) {
+  auto bytes = serialize_model(sample(13, hw::Activation::kRelu, true));
+  bytes.push_back(0);
+  EXPECT_FALSE(deserialize_model(bytes).ok());
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const auto mlp = sample(14, hw::Activation::kSign, true);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "netpu_model_io_test.netpum")
+          .string();
+  ASSERT_TRUE(save_model(mlp, path).ok());
+  auto loaded = load_model(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  expect_equal(mlp, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, LoadRejectsMissingFile) {
+  EXPECT_FALSE(load_model("/nonexistent/model.netpum").ok());
+}
+
+}  // namespace
+}  // namespace netpu::nn

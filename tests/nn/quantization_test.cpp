@@ -1,0 +1,87 @@
+#include "nn/quantization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.hpp"
+
+namespace netpu::nn {
+namespace {
+
+TEST(Quantization, CodeRanges) {
+  EXPECT_EQ(max_code({1, true}), 1);
+  EXPECT_EQ(min_code({1, true}), -1);
+  EXPECT_EQ(max_code({2, true}), 1);
+  EXPECT_EQ(min_code({2, true}), -2);
+  EXPECT_EQ(max_code({8, true}), 127);
+  EXPECT_EQ(min_code({8, true}), -128);
+  EXPECT_EQ(max_code({4, false}), 15);
+  EXPECT_EQ(min_code({4, false}), 0);
+}
+
+TEST(Quantization, QuantizeValueClampsAndRounds) {
+  const hw::Precision p{4, true};
+  EXPECT_EQ(quantize_value(0.49f, 1.0f, p), 0);
+  EXPECT_EQ(quantize_value(0.51f, 1.0f, p), 1);
+  EXPECT_EQ(quantize_value(100.0f, 1.0f, p), 7);
+  EXPECT_EQ(quantize_value(-100.0f, 1.0f, p), -8);
+  EXPECT_EQ(quantize_value(3.0f, 0.5f, p), 6);
+}
+
+TEST(Quantization, OneBitIsSign) {
+  const hw::Precision p{1, true};
+  EXPECT_EQ(quantize_value(0.3f, 1.0f, p), 1);
+  EXPECT_EQ(quantize_value(-0.3f, 1.0f, p), -1);
+  EXPECT_EQ(quantize_value(0.0f, 1.0f, p), 1);
+}
+
+TEST(Quantization, WeightScaleCoversMaxMagnitude) {
+  Matrix w(2, 3);
+  w.data() = {0.1f, -0.8f, 0.3f, 0.2f, 0.4f, -0.2f};
+  const hw::Precision p{4, true};
+  const float s = weight_scale(w, p);
+  EXPECT_NEAR(s, 0.8f / 7.0f, 1e-6f);
+  // Every quantized code stays in range.
+  const auto codes = quantize_weights(w, s, p);
+  for (const auto c : codes) {
+    EXPECT_GE(c, min_code(p));
+    EXPECT_LE(c, max_code(p));
+  }
+}
+
+TEST(Quantization, BinaryWeightScaleIsMeanMagnitude) {
+  Matrix w(1, 4);
+  w.data() = {0.5f, -1.5f, 1.0f, -1.0f};
+  EXPECT_NEAR(weight_scale(w, {1, true}), 1.0f, 1e-6f);
+}
+
+TEST(Quantization, FakeQuantizeRoundTripError) {
+  common::Xoshiro256 rng(55);
+  const hw::Precision p{6, true};
+  const float s = 0.03f;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = static_cast<float>(rng.next_double(-0.9, 0.9));
+    const float fq = fake_quantize(v, s, p);
+    EXPECT_NEAR(fq, v, s / 2.0f + 1e-6f);
+    // Idempotent: quantizing a quantized value is exact.
+    EXPECT_FLOAT_EQ(fake_quantize(fq, s, p), fq);
+  }
+}
+
+TEST(Quantization, CalibrationPercentiles) {
+  std::vector<float> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<float>(i));
+  EXPECT_FLOAT_EQ(calibrate_abs_percentile(samples, 1.0), 100.0f);
+  const float p50 = calibrate_abs_percentile(samples, 0.5);
+  EXPECT_GE(p50, 49.0f);
+  EXPECT_LE(p50, 52.0f);
+}
+
+TEST(Quantization, CalibrationUsesMagnitudes) {
+  const std::vector<float> samples = {-10.0f, 1.0f, 2.0f};
+  EXPECT_FLOAT_EQ(calibrate_abs_percentile(samples, 1.0), 10.0f);
+}
+
+}  // namespace
+}  // namespace netpu::nn

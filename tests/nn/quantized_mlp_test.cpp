@@ -1,0 +1,161 @@
+// Golden integer model: validation rules and datapath behaviors.
+#include "nn/quantized_mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "hw/activation_unit.hpp"
+
+namespace netpu::nn {
+namespace {
+
+QuantizedMlp tiny_valid() {
+  common::Xoshiro256 rng(1);
+  RandomMlpSpec spec;
+  spec.input_size = 8;
+  spec.hidden = {4};
+  spec.outputs = 3;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  return random_quantized_mlp(spec, rng);
+}
+
+TEST(QuantizedMlp, RandomModelsValidate) {
+  common::Xoshiro256 rng(2);
+  for (const int wb : {1, 2, 4, 8}) {
+    for (const bool fold : {true, false}) {
+      RandomMlpSpec spec;
+      spec.weight_bits = wb;
+      spec.activation_bits = wb;
+      spec.bn_fold = fold;
+      const auto mlp = random_quantized_mlp(spec, rng);
+      EXPECT_TRUE(mlp.validate().ok())
+          << "wb=" << wb << " fold=" << fold << ": "
+          << mlp.validate().error().to_string();
+    }
+  }
+}
+
+TEST(QuantizedMlp, ValidateRejectsEmpty) {
+  QuantizedMlp m;
+  EXPECT_FALSE(m.validate().ok());
+}
+
+TEST(QuantizedMlp, ValidateRejectsBrokenChaining) {
+  auto m = tiny_valid();
+  m.layers[1].input_length = 5;  // != previous neurons (8)
+  EXPECT_FALSE(m.validate().ok());
+}
+
+TEST(QuantizedMlp, ValidateRejectsPrecisionMismatch) {
+  auto m = tiny_valid();
+  m.layers[1].in_prec = {4, false};  // != input layer out_prec (2 bits)
+  EXPECT_FALSE(m.validate().ok());
+}
+
+TEST(QuantizedMlp, ValidateEnforcesOneBitPairing) {
+  auto m = tiny_valid();
+  m.layers[1].w_prec = {1, true};  // 1-bit weights vs 2-bit activations
+  EXPECT_FALSE(m.validate().ok());
+}
+
+TEST(QuantizedMlp, ValidateRejectsWrongThresholdCount) {
+  auto m = tiny_valid();
+  m.layers[1].mt_thresholds.pop_back();
+  EXPECT_FALSE(m.validate().ok());
+}
+
+TEST(QuantizedMlp, ValidateRejectsInputLayerWeights) {
+  auto m = tiny_valid();
+  m.layers[0].weights.assign(8, 1);
+  EXPECT_FALSE(m.validate().ok());
+}
+
+TEST(QuantizedMlp, ValidateRejectsActivationOnOutput) {
+  auto m = tiny_valid();
+  m.layers.back().activation = hw::Activation::kRelu;
+  EXPECT_FALSE(m.validate().ok());
+}
+
+TEST(QuantizedMlp, InferTraceShapesFollowLayers) {
+  const auto m = tiny_valid();
+  std::vector<std::uint8_t> img(8, 100);
+  const auto trace = m.infer_trace(img);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].size(), 8u);  // input layer codes
+  EXPECT_EQ(trace[1].size(), 4u);  // hidden codes
+  EXPECT_EQ(trace[2].size(), 3u);  // output values
+}
+
+TEST(QuantizedMlp, InferenceIsDeterministic) {
+  const auto m = tiny_valid();
+  std::vector<std::uint8_t> img = {0, 32, 64, 96, 128, 160, 192, 255};
+  const auto a = m.infer(img);
+  const auto b = m.infer(img);
+  EXPECT_EQ(a.predicted, b.predicted);
+  EXPECT_EQ(a.output_values, b.output_values);
+}
+
+TEST(QuantizedMlp, OutputCodesRespectPrecision) {
+  common::Xoshiro256 rng(3);
+  RandomMlpSpec spec;
+  spec.input_size = 12;
+  spec.hidden = {6, 6};
+  spec.weight_bits = 3;
+  spec.activation_bits = 3;
+  const auto m = random_quantized_mlp(spec, rng);
+  std::vector<std::uint8_t> img(12);
+  for (auto& p : img) p = static_cast<std::uint8_t>(rng.next_below(256));
+  const auto trace = m.infer_trace(img);
+  // Hidden MT codes fit 3 unsigned bits.
+  for (const auto c : trace[1]) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 7);
+  }
+}
+
+TEST(QuantizedMlp, BinaryCodesArePlusMinusOne) {
+  common::Xoshiro256 rng(4);
+  RandomMlpSpec spec;
+  spec.input_size = 70;  // spans two binary words
+  spec.hidden = {5};
+  spec.weight_bits = 1;
+  spec.activation_bits = 1;
+  const auto m = random_quantized_mlp(spec, rng);
+  std::vector<std::uint8_t> img(70);
+  for (auto& p : img) p = static_cast<std::uint8_t>(rng.next_below(256));
+  const auto trace = m.infer_trace(img);
+  for (const auto c : trace[0]) EXPECT_TRUE(c == 1 || c == -1);
+  for (const auto c : trace[1]) EXPECT_TRUE(c == 1 || c == -1);
+}
+
+TEST(QuantizedMlp, MaxOutSelectsLargestOutput) {
+  const auto m = tiny_valid();
+  std::vector<std::uint8_t> img(8, 200);
+  const auto r = m.infer(img);
+  const auto best = hw::maxout(r.output_values);
+  EXPECT_EQ(r.predicted, best);
+}
+
+TEST(QuantizedMlp, TotalWeightsCountsAllLayers) {
+  const auto m = tiny_valid();
+  // hidden 4x8 + output 3x4.
+  EXPECT_EQ(m.total_weights(), 32u + 12u);
+}
+
+TEST(QuantizedMlp, UsesBiasRule) {
+  const auto m = tiny_valid();  // MT + fold: thresholds absorb bias
+  EXPECT_FALSE(m.layers[1].uses_bias());
+  EXPECT_TRUE(m.layers.back().uses_bias());  // output layer with fold
+
+  QuantizedLayer relu_layer;
+  relu_layer.kind = hw::LayerKind::kHidden;
+  relu_layer.activation = hw::Activation::kRelu;
+  relu_layer.bn_fold = true;
+  EXPECT_TRUE(relu_layer.uses_bias());
+  relu_layer.bn_fold = false;
+  EXPECT_FALSE(relu_layer.uses_bias());
+}
+
+}  // namespace
+}  // namespace netpu::nn

@@ -1,0 +1,73 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netpu::nn {
+namespace {
+
+TEST(Matrix, ShapeAndIndexing) {
+  Matrix m(2, 3, 1.0f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  m(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(m(0, 0), 1.0f);
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  Matrix m(2, 2);
+  auto row = m.row(1);
+  row[0] = 9.0f;
+  EXPECT_FLOAT_EQ(m(1, 0), 9.0f);
+}
+
+TEST(Tensor, Matvec) {
+  Matrix m(2, 3);
+  m.data() = {1, 2, 3, 4, 5, 6};
+  const Vector x = {1, 0, -1};
+  const auto y = matvec(m, x);
+  EXPECT_FLOAT_EQ(y[0], -2.0f);
+  EXPECT_FLOAT_EQ(y[1], -2.0f);
+}
+
+TEST(Tensor, MatvecTransposed) {
+  Matrix m(2, 3);
+  m.data() = {1, 2, 3, 4, 5, 6};
+  const Vector x = {1, -1};
+  const auto y = matvec_transposed(m, x);
+  EXPECT_FLOAT_EQ(y[0], -3.0f);
+  EXPECT_FLOAT_EQ(y[1], -3.0f);
+  EXPECT_FLOAT_EQ(y[2], -3.0f);
+}
+
+TEST(Tensor, Dot) {
+  const Vector a = {1, 2, 3};
+  const Vector b = {4, -5, 6};
+  EXPECT_FLOAT_EQ(dot(a, b), 12.0f);
+}
+
+TEST(Tensor, SoftmaxNormalizesAndOrders) {
+  const Vector x = {1.0f, 3.0f, 2.0f};
+  const auto p = softmax(x);
+  float sum = 0.0f;
+  for (const auto v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(p[1], p[2]);
+  EXPECT_GT(p[2], p[0]);
+}
+
+TEST(Tensor, SoftmaxStableForLargeInputs) {
+  const Vector x = {1000.0f, 1001.0f};
+  const auto p = softmax(x);
+  EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-6f);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Tensor, Argmax) {
+  const Vector x = {0.1f, 0.9f, 0.9f, 0.3f};
+  EXPECT_EQ(argmax(x), 1u);  // lowest index on ties
+}
+
+}  // namespace
+}  // namespace netpu::nn

@@ -1,0 +1,196 @@
+// Trainer: gradient descent actually learns, with and without BN and QAT.
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace netpu::nn {
+namespace {
+
+// Two-Gaussian-blobs binary classification in 8 dimensions.
+std::vector<TrainSample> make_blobs(std::size_t count, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<TrainSample> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TrainSample s;
+    s.label = static_cast<int>(rng.next_below(2));
+    const float center = s.label == 0 ? -0.5f : 0.5f;
+    s.x.resize(8);
+    for (auto& v : s.x) {
+      v = center + static_cast<float>(rng.next_gaussian()) * 0.35f;
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+FloatMlp small_model(hw::Activation act, bool bn, int w_bits, int a_bits) {
+  FloatMlp model(8);
+  auto& h = model.add_layer(12, act, bn);
+  h.quant.weight = {w_bits, true};
+  h.quant.activation = {a_bits, a_bits == 1};
+  h.quant.activation_scale = act == hw::Activation::kSign ? 1.0f : 0.25f;
+  auto& o = model.add_layer(2, hw::Activation::kNone, false);
+  o.quant.weight = {w_bits, true};
+  o.quant.activation = {8, true};
+  return model;
+}
+
+TEST(Trainer, LossDecreasesOnBlobs) {
+  auto model = small_model(hw::Activation::kRelu, false, 8, 8);
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.seed = 5;
+  Trainer trainer(model, cfg);
+  trainer.initialize_weights();
+  const auto samples = make_blobs(256, 1);
+  const float first = trainer.train_epoch(samples);
+  float last = first;
+  for (int e = 0; e < 5; ++e) last = trainer.train_epoch(samples);
+  EXPECT_LT(last, first * 0.7f);
+}
+
+TEST(Trainer, LearnsBlobsToHighAccuracy) {
+  auto model = small_model(hw::Activation::kRelu, false, 8, 8);
+  TrainConfig cfg;
+  cfg.epochs = 15;
+  cfg.seed = 6;
+  Trainer trainer(model, cfg);
+  trainer.initialize_weights();
+  const auto train = make_blobs(512, 2);
+  const auto test = make_blobs(256, 3);
+  trainer.fit(train);
+  EXPECT_GT(Trainer::evaluate(model, test, false), 0.95);
+}
+
+TEST(Trainer, LearnsWithBatchNorm) {
+  auto model = small_model(hw::Activation::kRelu, true, 8, 8);
+  TrainConfig cfg;
+  cfg.epochs = 15;
+  cfg.seed = 7;
+  Trainer trainer(model, cfg);
+  trainer.initialize_weights();
+  const auto train = make_blobs(512, 4);
+  trainer.fit(train);
+  EXPECT_GT(Trainer::evaluate(model, train, false), 0.95);
+}
+
+TEST(Trainer, QatBinarySignStillLearns) {
+  auto model = small_model(hw::Activation::kSign, true, 1, 1);
+  TrainConfig cfg;
+  cfg.epochs = 25;
+  cfg.learning_rate = 0.02f;
+  cfg.qat = true;
+  cfg.seed = 8;
+  Trainer trainer(model, cfg);
+  trainer.initialize_weights();
+  const auto train = make_blobs(512, 5);
+  trainer.fit(train);
+  // Binarized weights and activations on an easy task: well above chance.
+  EXPECT_GT(Trainer::evaluate(model, train, true), 0.85);
+}
+
+TEST(Trainer, QatMultiThresholdLearns) {
+  auto model = small_model(hw::Activation::kMultiThreshold, true, 2, 2);
+  TrainConfig cfg;
+  cfg.epochs = 20;
+  cfg.qat = true;
+  cfg.seed = 9;
+  Trainer trainer(model, cfg);
+  trainer.initialize_weights();
+  const auto train = make_blobs(512, 6);
+  trainer.fit(train);
+  EXPECT_GT(Trainer::evaluate(model, train, true), 0.9);
+}
+
+TEST(Trainer, CalibrationSetsScales) {
+  auto model = small_model(hw::Activation::kMultiThreshold, true, 2, 2);
+  model.layers()[0].quant.activation_scale = 0.0f;
+  TrainConfig cfg;
+  Trainer trainer(model, cfg);
+  trainer.initialize_weights();
+  const auto samples = make_blobs(64, 10);
+  Trainer::calibrate_activation_scales(model, samples);
+  EXPECT_GT(model.layers()[0].quant.activation_scale, 0.0f);
+}
+
+TEST(Trainer, AdamLearnsBlobs) {
+  auto model = small_model(hw::Activation::kRelu, false, 8, 8);
+  TrainConfig cfg;
+  cfg.optimizer = Optimizer::kAdam;
+  cfg.learning_rate = 0.005f;
+  cfg.epochs = 12;
+  cfg.seed = 21;
+  Trainer trainer(model, cfg);
+  trainer.initialize_weights();
+  const auto train = make_blobs(512, 20);
+  trainer.fit(train);
+  EXPECT_GT(Trainer::evaluate(model, train, false), 0.95);
+}
+
+TEST(Trainer, AdamQatMultiThreshold) {
+  auto model = small_model(hw::Activation::kMultiThreshold, true, 2, 2);
+  TrainConfig cfg;
+  cfg.optimizer = Optimizer::kAdam;
+  cfg.learning_rate = 0.004f;
+  cfg.epochs = 20;
+  cfg.qat = true;
+  cfg.seed = 22;
+  Trainer trainer(model, cfg);
+  trainer.initialize_weights();
+  const auto train = make_blobs(512, 23);
+  trainer.fit(train);
+  EXPECT_GT(Trainer::evaluate(model, train, true), 0.9);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  const auto samples = make_blobs(128, 11);
+  auto run = [&](std::uint64_t seed) {
+    auto model = small_model(hw::Activation::kRelu, false, 8, 8);
+    TrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.seed = seed;
+    Trainer trainer(model, cfg);
+    trainer.initialize_weights();
+    trainer.fit(samples);
+    return model.layers()[0].weights.data();
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(ModelZoo, TopologiesAndNames) {
+  EXPECT_EQ((ModelVariant{Topology::kTfc, 1, 1}).name(), "TFC-w1a1");
+  EXPECT_EQ((ModelVariant{Topology::kLfc, 1, 2}).name(), "LFC-w1a2");
+  EXPECT_EQ((ModelVariant{Topology::kSfc, 2, 2}).hidden_width(), 256);
+  const auto variants = paper_variants();
+  EXPECT_EQ(variants.size(), 6u);
+
+  const auto model = make_float_model({Topology::kTfc, 2, 2});
+  EXPECT_EQ(model.input_size(), 784u);
+  ASSERT_EQ(model.layers().size(), 4u);
+  EXPECT_EQ(model.layers()[0].neurons(), 64u);
+  EXPECT_EQ(model.layers()[2].neurons(), 64u);
+  EXPECT_EQ(model.layers()[3].neurons(), 10u);
+  EXPECT_TRUE(model.layers()[0].bn.has_value());
+  EXPECT_EQ(model.layers()[0].activation, hw::Activation::kMultiThreshold);
+}
+
+TEST(ModelZoo, RandomQuantizedModelsValidate) {
+  common::Xoshiro256 rng(12);
+  for (const auto& variant : paper_variants()) {
+    for (const bool fold : {true, false}) {
+      const auto mlp = make_random_quantized_model(variant, fold, rng);
+      EXPECT_TRUE(mlp.validate().ok())
+          << variant.name() << ": " << mlp.validate().error().to_string();
+      EXPECT_EQ(mlp.input_size(), 784u);
+      EXPECT_EQ(mlp.output_size(), 10u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netpu::nn

@@ -1,0 +1,127 @@
+// Host runtime: DMA overhead accounting, driver inference/batch, and the
+// multi-FPGA pipeline scenario.
+#include <gtest/gtest.h>
+
+#include "runtime/driver.hpp"
+#include "runtime/multi_fpga.hpp"
+
+namespace netpu::runtime {
+namespace {
+
+nn::QuantizedMlp small_mlp(std::uint64_t seed = 1) {
+  common::Xoshiro256 rng(seed);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 36;
+  spec.hidden = {12, 10};
+  spec.outputs = 4;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  return nn::random_quantized_mlp(spec, rng);
+}
+
+std::vector<std::uint8_t> image(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> img(n);
+  for (auto& p : img) p = static_cast<std::uint8_t>(rng.next_below(256));
+  return img;
+}
+
+TEST(Dma, FixedOverheadDominatesSmallTransfers) {
+  DmaModel dma;
+  EXPECT_NEAR(dma.transfer_overhead_us(100), 5.9, 1e-9);
+  DmaModel with_rate{5.9, 0.5};
+  EXPECT_NEAR(with_rate.transfer_overhead_us(2048), 5.9 + 1.0, 1e-9);
+}
+
+TEST(Driver, MeasuredExceedsSimulatedByDmaOverhead) {
+  const auto mlp = small_mlp();
+  const auto img = image(36, 2);
+  core::Accelerator acc(core::NetpuConfig::paper_instance());
+  Driver driver(acc);
+  auto m = driver.infer(mlp, img);
+  ASSERT_TRUE(m.ok()) << m.error().to_string();
+  EXPECT_EQ(m.value().predicted, mlp.infer(img).predicted);
+  EXPECT_NEAR(m.value().measured_us - m.value().simulated_us, 5.9, 1e-6);
+  EXPECT_GT(m.value().cycles, 0u);
+}
+
+TEST(Driver, FunctionalModeSkipsTiming) {
+  const auto mlp = small_mlp();
+  const auto img = image(36, 3);
+  core::Accelerator acc(core::NetpuConfig::paper_instance());
+  Driver driver(acc);
+  auto m = driver.infer(mlp, img, core::RunMode::kFunctional);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().cycles, 0u);
+  EXPECT_EQ(m.value().predicted, mlp.infer(img).predicted);
+}
+
+TEST(Driver, BatchAccuracyMatchesGolden) {
+  const auto mlp = small_mlp();
+  std::vector<std::vector<std::uint8_t>> images;
+  std::vector<int> labels;
+  std::size_t golden_correct = 0;
+  for (int i = 0; i < 12; ++i) {
+    images.push_back(image(36, 100 + static_cast<std::uint64_t>(i)));
+    labels.push_back(i % 4);
+    if (mlp.infer(images.back()).predicted == static_cast<std::size_t>(i % 4)) {
+      ++golden_correct;
+    }
+  }
+  core::Accelerator acc(core::NetpuConfig::paper_instance());
+  Driver driver(acc);
+  auto batch = driver.infer_batch(mlp, images, labels, /*timed_samples=*/2);
+  ASSERT_TRUE(batch.ok()) << batch.error().to_string();
+  EXPECT_EQ(batch.value().total, 12u);
+  EXPECT_EQ(batch.value().correct, golden_correct);
+  EXPECT_GT(batch.value().mean_measured_us, 5.9);
+}
+
+TEST(MultiFpga, PartitionCoversAllLayersContiguously) {
+  const auto mlp = small_mlp();
+  MultiFpgaPipeline pipe(mlp, core::NetpuConfig::paper_instance(), 2);
+  const auto& stages = pipe.stages();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages.front().first_layer, 0u);
+  EXPECT_EQ(stages.back().last_layer, mlp.layers.size() - 1);
+  for (std::size_t s = 1; s < stages.size(); ++s) {
+    EXPECT_EQ(stages[s].first_layer, stages[s - 1].last_layer + 1);
+  }
+}
+
+TEST(MultiFpga, ClassificationMatchesGolden) {
+  const auto mlp = small_mlp();
+  MultiFpgaPipeline pipe(mlp, core::NetpuConfig::paper_instance(), 3);
+  for (int i = 0; i < 5; ++i) {
+    const auto img = image(36, 200 + static_cast<std::uint64_t>(i));
+    EXPECT_EQ(pipe.classify(img), mlp.infer(img).predicted);
+  }
+}
+
+TEST(MultiFpga, PipeliningTradesLatencyForThroughput) {
+  common::Xoshiro256 rng(9);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 128;
+  spec.hidden = {64, 64, 64, 64};
+  spec.outputs = 8;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  const auto mlp = nn::random_quantized_mlp(spec, rng);
+
+  MultiFpgaPipeline one(mlp, core::NetpuConfig::paper_instance(), 1);
+  MultiFpgaPipeline three(mlp, core::NetpuConfig::paper_instance(), 3);
+  // Single-image latency: more boards add hop overhead.
+  EXPECT_GE(three.single_image_latency_us(), one.single_image_latency_us());
+  // Steady-state throughput: the pipeline wins.
+  EXPECT_GT(three.throughput_images_per_s(), one.throughput_images_per_s());
+}
+
+TEST(MultiFpga, MoreBoardsThanLayersClamps) {
+  const auto mlp = small_mlp();  // 4 layers
+  MultiFpgaPipeline pipe(mlp, core::NetpuConfig::paper_instance(), 16);
+  EXPECT_LE(pipe.stages().size(), mlp.layers.size());
+  EXPECT_EQ(pipe.stages().back().last_layer, mlp.layers.size() - 1);
+}
+
+}  // namespace
+}  // namespace netpu::runtime

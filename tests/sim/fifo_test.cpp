@@ -1,0 +1,78 @@
+#include "sim/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netpu::sim {
+namespace {
+
+TEST(Fifo, PushPopOrder) {
+  Fifo<int> f("f", 4, 32);
+  f.push(1);
+  f.push(2);
+  f.push(3);
+  EXPECT_EQ(f.pop(), 1);
+  EXPECT_EQ(f.pop(), 2);
+  EXPECT_EQ(f.pop(), 3);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, BackpressureOnFull) {
+  Fifo<int> f("f", 2, 32);
+  EXPECT_TRUE(f.try_push(1));
+  EXPECT_TRUE(f.try_push(2));
+  EXPECT_TRUE(f.full());
+  EXPECT_FALSE(f.try_push(3));
+  EXPECT_EQ(f.stats().push_stalls, 1u);
+  int v = 0;
+  EXPECT_TRUE(f.try_pop(v));
+  EXPECT_TRUE(f.try_push(3));
+}
+
+TEST(Fifo, PopStallOnEmpty) {
+  Fifo<int> f("f", 2, 32);
+  int v = 0;
+  EXPECT_FALSE(f.try_pop(v));
+  EXPECT_EQ(f.stats().pop_stalls, 1u);
+}
+
+TEST(Fifo, TracksMaxOccupancy) {
+  Fifo<int> f("f", 8, 32);
+  for (int i = 0; i < 5; ++i) f.push(i);
+  for (int i = 0; i < 3; ++i) f.pop();
+  for (int i = 0; i < 2; ++i) f.push(i);
+  EXPECT_EQ(f.stats().max_occupancy, 5u);
+  EXPECT_EQ(f.stats().pushes, 7u);
+  EXPECT_EQ(f.stats().pops, 3u);
+}
+
+TEST(Fifo, FreeSlots) {
+  Fifo<int> f("f", 4, 32);
+  EXPECT_EQ(f.free_slots(), 4u);
+  f.push(1);
+  EXPECT_EQ(f.free_slots(), 3u);
+}
+
+TEST(Fifo, ResetClearsDataAndStats) {
+  Fifo<int> f("f", 4, 32);
+  f.push(1);
+  f.reset();
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.stats().pushes, 0u);
+}
+
+TEST(Fifo, MetadataPreserved) {
+  Fifo<int> f("layer_weight", 1024, 64);
+  EXPECT_EQ(f.name(), "layer_weight");
+  EXPECT_EQ(f.depth(), 1024u);
+  EXPECT_EQ(f.bit_width(), 64);
+}
+
+TEST(Fifo, FrontPeeksWithoutRemoving) {
+  Fifo<int> f("f", 4, 32);
+  f.push(9);
+  EXPECT_EQ(f.front(), 9);
+  EXPECT_EQ(f.size(), 1u);
+}
+
+}  // namespace
+}  // namespace netpu::sim

@@ -1,0 +1,112 @@
+// netpu-compile: model file + input image -> loadable word stream.
+//
+//   netpu-compile --model model.netpum --out inference.npl [options]
+//
+// Options:
+//   --image-index N   pick image N from a fresh synthetic MNIST set (default 0)
+//   --image-seed N    synthetic set seed (default 2)
+//   --idx-images P    take the image from an IDX file instead
+//   --idx-labels P
+//   --dense           enable dense multi-channel streaming (Sec. V ext.)
+#include <cstdio>
+#include <string>
+
+#include "data/idx.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "loadable/compiler.hpp"
+#include "loadable/stream_io.hpp"
+#include "nn/model_io.hpp"
+
+using namespace netpu;
+
+int main(int argc, char** argv) {
+  std::string model_path = "model.netpum";
+  std::string out_path = "inference.npl";
+  std::string idx_images, idx_labels;
+  std::size_t image_index = 0;
+  std::uint64_t image_seed = 2;
+  bool dense = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--model") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      model_path = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      out_path = v;
+    } else if (arg == "--image-index") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      image_index = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--image-seed") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      image_seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--idx-images") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      idx_images = v;
+    } else if (arg == "--idx-labels") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      idx_labels = v;
+    } else if (arg == "--dense") {
+      dense = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  auto model = nn::load_model(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n",
+                 model.error().to_string().c_str());
+    return 1;
+  }
+  if (dense) {
+    if (auto s = nn::enable_dense_stream(model.value()); !s.ok()) {
+      std::fprintf(stderr, "dense mode rejected: %s\n",
+                   s.error().to_string().c_str());
+      return 1;
+    }
+  }
+
+  data::Dataset ds;
+  if (!idx_images.empty()) {
+    auto loaded = data::load_idx(idx_images, idx_labels);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "IDX load failed: %s\n",
+                   loaded.error().to_string().c_str());
+      return 1;
+    }
+    ds = std::move(loaded).value();
+  } else {
+    ds = data::make_synthetic_mnist(image_index + 1, image_seed);
+  }
+  if (image_index >= ds.size()) {
+    std::fprintf(stderr, "image index %zu out of range (%zu images)\n",
+                 image_index, ds.size());
+    return 1;
+  }
+
+  auto stream = loadable::compile(model.value(), ds.images[image_index], {});
+  if (!stream.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n", stream.error().to_string().c_str());
+    return 1;
+  }
+  if (auto s = loadable::save_stream(stream.value(), out_path); !s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu words (%zu bytes), label of packed image: %d\n",
+              out_path.c_str(), stream.value().size(),
+              stream.value().size() * 8, ds.labels[image_index]);
+  return 0;
+}

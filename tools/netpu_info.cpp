@@ -1,0 +1,105 @@
+// netpu-info: inspect a model file or loadable — layer table, stream
+// section sizes, latency estimate and resource requirements.
+//
+//   netpu-info --model model.netpum
+//   netpu-info --stream inference.npl
+#include <cstdio>
+#include <string>
+
+#include "core/latency_model.hpp"
+#include "loadable/parser.hpp"
+#include "loadable/stream_io.hpp"
+#include "nn/model_io.hpp"
+
+using namespace netpu;
+
+namespace {
+
+void print_model(const nn::QuantizedMlp& mlp) {
+  std::printf("%5s %-7s %-16s %5s %7s %8s %6s %6s\n", "layer", "kind",
+              "activation", "fold", "dense", "neurons", "fan-in", "w/a");
+  for (std::size_t i = 0; i < mlp.layers.size(); ++i) {
+    const auto& l = mlp.layers[i];
+    std::printf("%5zu %-7s %-16s %5s %7s %8d %6d  w%da%d\n", i,
+                hw::to_string(l.kind), hw::to_string(l.activation),
+                l.bn_fold ? "yes" : "no", l.dense ? "yes" : "no", l.neurons,
+                l.input_length, l.w_prec.bits, l.in_prec.bits);
+  }
+  std::printf("total weights: %zu\n", mlp.total_weights());
+
+  const auto config = core::NetpuConfig::paper_instance();
+  const auto est = core::estimate_latency(mlp, config);
+  std::printf("estimated latency on the paper instance: %llu cycles = %.2f us\n",
+              static_cast<unsigned long long>(est.total()),
+              config.cycles_to_us(est.total()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_path, stream_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--model") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      model_path = v;
+    } else if (arg == "--stream") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      stream_path = v;
+    } else {
+      std::fprintf(stderr, "usage: netpu-info --model FILE | --stream FILE\n");
+      return 2;
+    }
+  }
+
+  if (!model_path.empty()) {
+    auto model = nn::load_model(model_path);
+    if (!model.ok()) {
+      std::fprintf(stderr, "model load failed: %s\n",
+                   model.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("model file: %s\n", model_path.c_str());
+    print_model(model.value());
+    return 0;
+  }
+  if (!stream_path.empty()) {
+    auto stream = loadable::load_stream(stream_path);
+    if (!stream.ok()) {
+      std::fprintf(stderr, "stream load failed: %s\n",
+                   stream.error().to_string().c_str());
+      return 1;
+    }
+    auto parsed = loadable::parse(stream.value());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "parse failed: %s\n",
+                   parsed.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("loadable: %s (%zu words)\n", stream_path.c_str(),
+                stream.value().size());
+    std::printf("section breakdown:\n");
+    std::uint64_t params = 0, weights = 0;
+    for (const auto& s : parsed.value().settings) {
+      params += s.param_section_words();
+      weights += s.weight_section_words();
+    }
+    const auto header = 3 + 2 * parsed.value().settings.size();
+    std::printf("  header+settings: %zu words\n", header);
+    std::printf("  dataset input:   %u words\n",
+                parsed.value().settings.front().input_words());
+    std::printf("  parameters:      %llu words\n",
+                static_cast<unsigned long long>(params));
+    std::printf("  weights:         %llu words\n",
+                static_cast<unsigned long long>(weights));
+    print_model(parsed.value().mlp);
+    return 0;
+  }
+  std::fprintf(stderr, "usage: netpu-info --model FILE | --stream FILE\n");
+  return 2;
+}

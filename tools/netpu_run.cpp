@@ -1,0 +1,136 @@
+// netpu-run: simulate a loadable on a NetPU-M instance.
+//
+//   netpu-run --stream inference.npl [options]
+//
+// Options:
+//   --lpus N / --tnpus N   instance geometry (default 2 x 8)
+//   --mt-bits N            Multi-Threshold cap (default 4)
+//   --clock MHZ            clock (default 100)
+//   --dense                dense-capable instance
+//   --overlapped           flow-through weight streaming
+//   --functional           skip timing (golden evaluation only)
+//   --stats                dump simulation counters
+//   --profile              per-layer cycle breakdown
+//   --vcd PATH             write an FSM waveform (GTKWave-loadable)
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/accelerator.hpp"
+#include "loadable/stream_io.hpp"
+#include "sim/trace.hpp"
+
+using namespace netpu;
+
+int main(int argc, char** argv) {
+  std::string stream_path = "inference.npl";
+  core::NetpuConfig config = core::NetpuConfig::paper_instance();
+  core::RunOptions options;
+  bool dump_stats = false;
+  bool profile = false;
+  std::string vcd_path;
+  sim::Trace trace;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--stream") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      stream_path = v;
+    } else if (arg == "--lpus") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      config.lpus = std::atoi(v);
+    } else if (arg == "--tnpus") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      config.lpu.tnpus = std::atoi(v);
+    } else if (arg == "--mt-bits") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      config.tnpu.max_mt_bits = std::atoi(v);
+    } else if (arg == "--clock") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      config.clock_mhz = std::atof(v);
+    } else if (arg == "--dense") {
+      config.tnpu.dense_support = true;
+    } else if (arg == "--overlapped") {
+      config.overlapped_weight_stream = true;
+    } else if (arg == "--functional") {
+      options.mode = core::RunMode::kFunctional;
+    } else if (arg == "--stats") {
+      dump_stats = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--vcd") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      vcd_path = v;
+      trace.enable(true);
+      options.trace = &trace;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (auto s = config.validate(); !s.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 s.error().to_string().c_str());
+    return 2;
+  }
+
+  auto stream = loadable::load_stream(stream_path);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "stream load failed: %s\n",
+                 stream.error().to_string().c_str());
+    return 1;
+  }
+
+  core::Accelerator acc(config);
+  auto run = acc.run(stream.value(), options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", run.error().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("predicted class: %zu\n", run.value().predicted);
+  std::printf("output values:");
+  for (const auto v : run.value().output_values) {
+    std::printf(" %lld", static_cast<long long>(v));
+  }
+  std::printf("\n");
+  if (options.mode == core::RunMode::kCycleAccurate) {
+    std::printf("latency: %llu cycles = %.2f us @ %.0f MHz\n",
+                static_cast<unsigned long long>(run.value().cycles),
+                run.value().latency_us(config), config.clock_mhz);
+  }
+  if (profile) {
+    std::printf("--- per-layer profile ---\n");
+    std::printf("%6s %10s %10s %10s %10s %10s\n", "layer", "queued",
+                "active", "end", "cycles", "wait");
+    for (const auto& l : run.value().layers) {
+      std::printf("%6zu %10llu %10llu %10llu %10llu %10llu\n", l.layer,
+                  static_cast<unsigned long long>(l.queued),
+                  static_cast<unsigned long long>(l.active),
+                  static_cast<unsigned long long>(l.end),
+                  static_cast<unsigned long long>(l.cycles()),
+                  static_cast<unsigned long long>(l.wait()));
+    }
+  }
+  if (dump_stats) {
+    std::printf("--- simulation counters ---\n%s",
+                run.value().stats.to_string().c_str());
+  }
+  if (!vcd_path.empty()) {
+    std::ofstream f(vcd_path);
+    f << trace.to_vcd();
+    std::printf("wrote %zu trace events to %s\n", trace.events().size(),
+                vcd_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,146 @@
+// netpu-train: train one of the paper's model variants on synthetic MNIST
+// (or an IDX dataset) with QAT, lower it, and write a .netpum model file.
+//
+//   netpu-train --variant TFC-w1a1 --out model.netpum [options]
+//
+// Options:
+//   --variant NAME     TFC|SFC|LFC - w{1,2}a{1,2} (default TFC-w1a1)
+//   --train N          synthetic training images (default 3000)
+//   --epochs N         QAT epochs (default 6)
+//   --lr F             learning rate (default 0.05)
+//   --seed N           RNG seed (default 1)
+//   --no-bn-fold       keep the BN stage active instead of folding (Eq. 2/3)
+//   --idx-images PATH  train on an IDX image file (with --idx-labels)
+//   --idx-labels PATH
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "data/idx.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "nn/lowering.hpp"
+#include "nn/model_io.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/trainer.hpp"
+
+using namespace netpu;
+
+namespace {
+
+bool parse_variant(const std::string& name, nn::ModelVariant& out) {
+  for (const auto& v : nn::paper_variants()) {
+    if (v.name() == name) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nn::ModelVariant variant{nn::Topology::kTfc, 1, 1};
+  std::string out_path = "model.netpum";
+  std::string idx_images, idx_labels;
+  std::size_t train_count = 3000;
+  nn::TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.qat = true;
+  cfg.learning_rate = 0.05f;
+  cfg.seed = 1;
+  nn::LoweringOptions lopts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--variant") {
+      const char* v = next();
+      if (v == nullptr || !parse_variant(v, variant)) {
+        std::fprintf(stderr, "unknown variant; use e.g. TFC-w1a1, SFC-w2a2\n");
+        return 2;
+      }
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      out_path = v;
+    } else if (arg == "--train") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      train_count = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--epochs") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cfg.epochs = std::atoi(v);
+    } else if (arg == "--lr") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cfg.learning_rate = static_cast<float>(std::atof(v));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--no-bn-fold") {
+      lopts.bn_fold = false;
+    } else if (arg == "--idx-images") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      idx_images = v;
+    } else if (arg == "--idx-labels") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      idx_labels = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  data::Dataset ds;
+  if (!idx_images.empty()) {
+    auto loaded = data::load_idx(idx_images, idx_labels);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "IDX load failed: %s\n",
+                   loaded.error().to_string().c_str());
+      return 1;
+    }
+    ds = std::move(loaded).value();
+    std::printf("loaded %zu IDX images\n", ds.size());
+  } else {
+    ds = data::make_synthetic_mnist(train_count, cfg.seed);
+    std::printf("generated %zu synthetic MNIST images\n", ds.size());
+  }
+  const auto train = ds.to_train_samples();
+
+  std::printf("training %s (%d epochs, lr %.3f, QAT)...\n",
+              variant.name().c_str(), cfg.epochs, cfg.learning_rate);
+  auto model = nn::make_float_model(variant);
+  nn::Trainer trainer(model, cfg);
+  trainer.initialize_weights();
+  trainer.fit(train);
+  const std::size_t calib = std::min<std::size_t>(128, train.size());
+  nn::Trainer::calibrate_activation_scales(
+      model, std::span<const nn::TrainSample>(train).subspan(0, calib));
+  nn::TrainConfig fine = cfg;
+  fine.learning_rate = cfg.learning_rate * 0.3f;
+  fine.epochs = std::max(1, cfg.epochs / 2);
+  nn::Trainer(model, fine).fit(train);
+  std::printf("QAT accuracy on the training set: %.1f%%\n",
+              100.0 * nn::Trainer::evaluate(model, train, true));
+
+  auto lowered = nn::lower(model, lopts);
+  if (!lowered.ok()) {
+    std::fprintf(stderr, "lowering failed: %s\n",
+                 lowered.error().to_string().c_str());
+    return 1;
+  }
+  if (auto s = nn::save_model(lowered.value(), out_path); !s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu layers, %zu weights)\n", out_path.c_str(),
+              lowered.value().layers.size(), lowered.value().total_weights());
+  return 0;
+}
