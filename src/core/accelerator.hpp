@@ -5,62 +5,45 @@
 //   auto loadable = loadable::compile(mlp, image, acc.config().compile_options());
 //   auto result = acc.run(loadable.value());
 //   result->predicted, result->cycles, acc.config().cycles_to_us(...)
+//
+// Since the session refactor the facade is a thin wrapper over a
+// single-context engine::Session: the NetPU context persists across run()
+// calls (reset, not reconstructed). For model-resident serving across many
+// inputs or parallel batches, use engine::Session / engine::InferenceEngine
+// directly.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/config.hpp"
-#include "core/netpu.hpp"
-#include "sim/stats.hpp"
-#include "sim/trace.hpp"
+#include "core/run_types.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::engine {
+class Session;
+}  // namespace netpu::engine
 
 namespace netpu::core {
 
-enum class RunMode {
-  kCycleAccurate,  // full TNPU/LPU/NetPU simulation, counts clock cycles
-  kFunctional,     // parse + golden integer evaluation (no timing)
-};
-
-struct RunOptions {
-  RunMode mode = RunMode::kCycleAccurate;
-  Cycle max_cycles = 500'000'000;  // runaway guard for the scheduler
-  // Optional caller-owned waveform trace (cycle-accurate mode only): the
-  // LPU control FSMs record their state transitions into it.
-  sim::Trace* trace = nullptr;
-};
-
-struct LayerProfile {
-  std::size_t layer = 0;
-  Cycle queued = 0;  // settings popped (layer assigned to its LPU)
-  Cycle active = 0;  // inputs complete, first neuron batch starts
-  Cycle end = 0;     // final result flushed
-  [[nodiscard]] Cycle cycles() const { return end - active; }
-  [[nodiscard]] Cycle wait() const { return active - queued; }
-};
-
-struct RunResult {
-  std::size_t predicted = 0;
-  std::vector<std::int64_t> output_values;  // raw Q32.5 output-layer values
-  // Q15 class probabilities (empty unless NetpuConfig::softmax_unit).
-  std::vector<std::int32_t> probabilities;
-  Cycle cycles = 0;                         // 0 in functional mode
-  // Per-layer execution spans (cycle-accurate mode only).
-  std::vector<LayerProfile> layers;
-  sim::Stats stats;
-
-  [[nodiscard]] double latency_us(const NetpuConfig& config) const {
-    return config.cycles_to_us(cycles);
-  }
-};
-
 class Accelerator {
  public:
+  // Requires a valid configuration; aborts (with a diagnostic) otherwise.
+  // Use create() when the configuration is untrusted.
   explicit Accelerator(NetpuConfig config);
+  ~Accelerator();
+  Accelerator(Accelerator&&) noexcept;
+  Accelerator& operator=(Accelerator&&) noexcept;
+
+  // Fallible construction: returns the configuration validation error
+  // instead of aborting.
+  [[nodiscard]] static common::Result<Accelerator> create(NetpuConfig config);
 
   [[nodiscard]] const NetpuConfig& config() const { return config_; }
 
-  // Run one inference from a compiled loadable.
+  // Run one inference from a compiled loadable. The stream span must stay
+  // alive for the duration of the call (the router reads from it directly).
   [[nodiscard]] common::Result<RunResult> run(std::span<const Word> stream,
                                               const RunOptions& options = {});
 
@@ -73,7 +56,10 @@ class Accelerator {
   [[nodiscard]] hw::Resources resources() const { return config_.resources(); }
 
  private:
+  Accelerator(NetpuConfig config, std::unique_ptr<engine::Session> session);
+
   NetpuConfig config_;
+  std::unique_ptr<engine::Session> session_;  // single persistent context
 };
 
 }  // namespace netpu::core

@@ -66,6 +66,7 @@ void Lpu::reset() {
   packer_.clear();
   cursors_.fill(ParamCursor{});
   stats_.clear();
+  state_cycles_.fill(0);
 }
 
 bool Lpu::idle() const {
@@ -240,9 +241,20 @@ void Lpu::flush_packer() {
   packer_.clear();
 }
 
+sim::Stats Lpu::stats() const {
+  sim::Stats s = stats_;
+  for (std::size_t i = 0; i < state_cycles_.size(); ++i) {
+    if (state_cycles_[i] > 0) {
+      s.add(std::string("cycles_") + state_name(static_cast<State>(i)),
+            state_cycles_[i]);
+    }
+  }
+  return s;
+}
+
 void Lpu::tick(Cycle cycle) {
   now_ = cycle;
-  stats_.add(std::string("cycles_") + state_name(state_));
+  ++state_cycles_[static_cast<std::size_t>(state_)];
   switch (state_) {
     case State::kIdle: {
       Word w = 0;

@@ -131,8 +131,9 @@ class Lpu : public sim::Component {
   [[nodiscard]] const std::vector<LayerSpan>& layer_spans() const {
     return layer_spans_;
   }
-  [[nodiscard]] const sim::Stats& stats() const { return stats_; }
-  [[nodiscard]] sim::Stats& stats() { return stats_; }
+  // Named counters plus the per-state cycle histogram (kept as a plain
+  // array on the tick path and folded in here, off the hot path).
+  [[nodiscard]] sim::Stats stats() const;
 
  private:
   struct ParamCursor {
@@ -203,6 +204,8 @@ class Lpu : public sim::Component {
   Cycle now_ = 0;
 
   sim::Stats stats_;
+  // One slot per State value; bumped every tick (cheaper than a map walk).
+  std::array<std::uint64_t, 9> state_cycles_{};
 };
 
 }  // namespace netpu::core

@@ -35,13 +35,62 @@ Netpu::Netpu(const NetpuConfig& config)
   }
 }
 
-Status Netpu::load(std::vector<Word> stream) {
-  stream_ = std::move(stream);
+Status Netpu::load(std::span<const Word> stream) {
+  owned_stream_.clear();
+  stream_ = stream;
   loaded_ = false;
+  resident_ = false;
   auto status = build_plan();
   if (!status.ok()) return status;
   loaded_ = true;
   return Status::ok_status();
+}
+
+Status Netpu::load(std::vector<Word> stream) {
+  owned_stream_ = std::move(stream);
+  stream_ = owned_stream_;
+  loaded_ = false;
+  resident_ = false;
+  auto status = build_plan();
+  if (!status.ok()) return status;
+  loaded_ = true;
+  return Status::ok_status();
+}
+
+// Decode + capability-check the Layer Setting block (shared by the fused
+// router plan and the resident-model plan). Expects stream[1] to hold the
+// layer count and settings to start at word 2.
+common::Result<std::vector<loadable::LayerSetting>> Netpu::decode_settings(
+    std::span<const Word> stream) const {
+  const auto n_layers = static_cast<std::size_t>(stream[1]);
+  if (n_layers < 2 || 2 + 2 * n_layers > stream.size()) {
+    return Error{ErrorCode::kMalformedStream, "bad layer count"};
+  }
+  const auto layers_per_lpu = common::ceil_div(n_layers, lpus_.size());
+  if (layers_per_lpu * 2 > config_.layer_setting_fifo_words) {
+    return Error{ErrorCode::kCapacityExceeded,
+                 "network depth exceeds the Layer Setting FIFO"};
+  }
+
+  std::vector<loadable::LayerSetting> settings;
+  settings.reserve(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    auto s = loadable::LayerSetting::decode(stream[2 + 2 * i], stream[3 + 2 * i]);
+    if (!s.ok()) return s.error();
+    // Instance capability checks (the stream reconfigures the hardware, but
+    // cannot exceed what was synthesized).
+    if (s.value().has_mt_section() &&
+        s.value().out_prec.bits > config_.tnpu.max_mt_bits) {
+      return Error{ErrorCode::kUnsupported,
+                   "Multi-Threshold precision exceeds this instance's cap"};
+    }
+    if (s.value().dense && !config_.tnpu.dense_support) {
+      return Error{ErrorCode::kUnsupported,
+                   "dense streaming requires a dense-capable instance"};
+    }
+    settings.push_back(s.value());
+  }
+  return settings;
 }
 
 Status Netpu::build_plan() {
@@ -58,34 +107,10 @@ Status Netpu::build_plan() {
   if (stream_.size() < 2 || stream_[0] != loadable::kMagic) {
     return Error{ErrorCode::kMalformedStream, "bad loadable magic"};
   }
-  const auto n_layers = static_cast<std::size_t>(stream_[1]);
-  if (n_layers < 2 || 2 + 2 * n_layers > stream_.size()) {
-    return Error{ErrorCode::kMalformedStream, "bad layer count"};
-  }
-  const auto layers_per_lpu = common::ceil_div(n_layers, lpus_.size());
-  if (layers_per_lpu * 2 > config_.layer_setting_fifo_words) {
-    return Error{ErrorCode::kCapacityExceeded,
-                 "network depth exceeds the Layer Setting FIFO"};
-  }
-
-  std::vector<loadable::LayerSetting> settings;
-  settings.reserve(n_layers);
-  for (std::size_t i = 0; i < n_layers; ++i) {
-    auto s = loadable::LayerSetting::decode(stream_[2 + 2 * i], stream_[3 + 2 * i]);
-    if (!s.ok()) return s.error();
-    // Instance capability checks (the stream reconfigures the hardware, but
-    // cannot exceed what was synthesized).
-    if (s.value().has_mt_section() &&
-        s.value().out_prec.bits > config_.tnpu.max_mt_bits) {
-      return Error{ErrorCode::kUnsupported,
-                   "Multi-Threshold precision exceeds this instance's cap"};
-    }
-    if (s.value().dense && !config_.tnpu.dense_support) {
-      return Error{ErrorCode::kUnsupported,
-                   "dense streaming requires a dense-capable instance"};
-    }
-    settings.push_back(s.value());
-  }
+  auto decoded = decode_settings(stream_);
+  if (!decoded.ok()) return decoded.error();
+  const auto settings = std::move(decoded).value();
+  const auto n_layers = settings.size();
   output_neurons_ = settings.back().neurons;
 
   const auto lpu_of = [&](std::size_t layer) -> Lpu& {
@@ -147,6 +172,153 @@ Status Netpu::build_plan() {
   return Status::ok_status();
 }
 
+Status Netpu::load_model_resident(std::span<const Word> model_stream) {
+  resident_ = false;
+  loaded_ = false;
+  channels_.clear();
+  input_stream_ = {};
+  input_set_ = false;
+  input_pos_ = 0;
+
+  if (model_stream.size() < 2 || model_stream[0] != loadable::kModelMagic) {
+    return Error{ErrorCode::kMalformedStream, "bad model stream magic"};
+  }
+  auto decoded = decode_settings(model_stream);
+  if (!decoded.ok()) return decoded.error();
+  const auto settings = std::move(decoded).value();
+  const auto n_layers = settings.size();
+  output_neurons_ = settings.back().neurons;
+  expected_input_words_ = settings.front().input_words();
+
+  const auto lpu_of = [&](std::size_t layer) -> Lpu& {
+    return *lpus_[layer % lpus_.size()];
+  };
+  // Append `words` stream words bound for `target` to its refill channel,
+  // creating the channel on first use (per-FIFO order follows stream order).
+  std::size_t offset = 2 + 2 * n_layers;
+  const auto append = [&](sim::Fifo<Word>* target,
+                          std::uint64_t words) -> Status {
+    if (offset + words > model_stream.size()) {
+      return Error{ErrorCode::kMalformedStream, "truncated model stream"};
+    }
+    ResidentChannel* channel = nullptr;
+    for (auto& c : channels_) {
+      if (c.target == target) channel = &c;
+    }
+    if (channel == nullptr) {
+      channels_.push_back(ResidentChannel{target, {}, 0});
+      channel = &channels_.back();
+    }
+    channel->words.insert(channel->words.end(), model_stream.begin() + offset,
+                          model_stream.begin() + offset + words);
+    offset += words;
+    return Status::ok_status();
+  };
+
+  // Settings live at the head of the model stream but are consumed per run
+  // like every other resident section: replay them into the setting FIFOs.
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    ResidentChannel* channel = nullptr;
+    for (auto& c : channels_) {
+      if (c.target == &lpu_of(i).setting_fifo()) channel = &c;
+    }
+    if (channel == nullptr) {
+      channels_.push_back(ResidentChannel{&lpu_of(i).setting_fifo(), {}, 0});
+      channel = &channels_.back();
+    }
+    channel->words.push_back(model_stream[2 + 2 * i]);
+    channel->words.push_back(model_stream[3 + 2 * i]);
+  }
+
+  // Parameter and weight sections in compiler order: P0, P1, then
+  // W(k), P(k+2) — same interleave as the fused stream, minus the input.
+  const auto push_params = [&](std::size_t layer) -> Status {
+    const auto& s = settings[layer];
+    Lpu& lpu = lpu_of(layer);
+    if (s.has_bias_section()) {
+      if (auto st = append(&lpu.param_fifo(ParamType::kBias), s.param_type_words(1));
+          !st.ok()) {
+        return st;
+      }
+    }
+    if (s.has_bn_section()) {
+      if (auto st = append(&lpu.param_fifo(ParamType::kBnScale), s.param_type_words(1));
+          !st.ok()) {
+        return st;
+      }
+      if (auto st = append(&lpu.param_fifo(ParamType::kBnOffset), s.param_type_words(1));
+          !st.ok()) {
+        return st;
+      }
+    }
+    if (s.has_sign_section()) {
+      if (auto st = append(&lpu.param_fifo(ParamType::kSignThreshold),
+                           s.param_type_words(1));
+          !st.ok()) {
+        return st;
+      }
+    }
+    if (s.has_mt_section()) {
+      if (auto st = append(&lpu.param_fifo(ParamType::kMultiThreshold),
+                           s.param_type_words(static_cast<std::uint32_t>(s.mt_levels())));
+          !st.ok()) {
+        return st;
+      }
+    }
+    if (s.has_quan_section()) {
+      if (auto st = append(&lpu.param_fifo(ParamType::kQuanScale), s.param_type_words(1));
+          !st.ok()) {
+        return st;
+      }
+      if (auto st = append(&lpu.param_fifo(ParamType::kQuanOffset), s.param_type_words(1));
+          !st.ok()) {
+        return st;
+      }
+    }
+    return Status::ok_status();
+  };
+
+  if (auto st = push_params(0); !st.ok()) return st;
+  if (n_layers > 1) {
+    if (auto st = push_params(1); !st.ok()) return st;
+  }
+  for (std::size_t k = 0; k < n_layers; ++k) {
+    if (settings[k].kind != hw::LayerKind::kInput) {
+      if (auto st = append(&lpu_of(k).weight_fifo(), settings[k].weight_section_words());
+          !st.ok()) {
+        return st;
+      }
+    }
+    if (k + 2 < n_layers) {
+      if (auto st = push_params(k + 2); !st.ok()) return st;
+    }
+  }
+  if (offset != model_stream.size()) {
+    return Error{ErrorCode::kMalformedStream, "model stream length mismatch"};
+  }
+  resident_ = true;
+  return Status::ok_status();
+}
+
+Status Netpu::set_input(std::span<const Word> input_stream) {
+  if (!resident_) {
+    return Error{ErrorCode::kInvalidArgument, "no resident model loaded"};
+  }
+  if (input_stream.size() < 2 || input_stream[0] != loadable::kInputMagic) {
+    return Error{ErrorCode::kMalformedStream, "bad input stream magic"};
+  }
+  if (input_stream[1] != 1) {
+    return Error{ErrorCode::kUnsupported, "input streams carry exactly one inference"};
+  }
+  if (input_stream.size() != 2 + static_cast<std::size_t>(expected_input_words_)) {
+    return Error{ErrorCode::kMalformedStream, "input stream length mismatch"};
+  }
+  input_stream_ = input_stream;
+  input_pos_ = 0;
+  input_set_ = true;
+  return Status::ok_status();
+}
+
 void Netpu::reset() {
   for (auto& l : lpus_) l->reset();
   network_output_fifo_.reset();
@@ -159,6 +331,12 @@ void Netpu::reset() {
   softmax_countdown_ = 0;
   finished_ = false;
   predicted_ = 0;
+  // Residency survives reset: rewind the refill channels, drop the staged
+  // input (the next request stages its own).
+  for (auto& c : channels_) c.pos = 0;
+  input_stream_ = {};
+  input_pos_ = 0;
+  input_set_ = false;
 }
 
 void Netpu::tick(Cycle) {
@@ -184,6 +362,36 @@ void Netpu::tick(Cycle) {
         finished_ = true;
       }
     }
+  }
+
+  // Resident mode: the host link carries only the input stream (one word
+  // per cycle); every resident buffer refills from its own on-chip copy.
+  // The backing BRAM feeds its FIFO at consumption bandwidth — the FIFO is
+  // a read window into the resident section, so the consumer never stalls
+  // on delivery (the FINN-style weight-residency benefit) and only the
+  // input stream remains on the per-request critical path.
+  if (resident_) {
+    if (input_set_ && input_pos_ < input_stream_.size()) {
+      if (input_pos_ < 2) {
+        // Input-stream header (magic + image count): router-consumed.
+        ++input_pos_;
+        stats_.add("router_header_words");
+      } else if (sim::Fifo<Word>& target = lpus_[0]->input_fifo(); !target.full()) {
+        target.push(input_stream_[input_pos_++]);
+        stats_.add("router_input_words");
+      } else {
+        stats_.add("router_stall_full");
+      }
+    }
+    if (input_set_) {
+      for (auto& c : channels_) {
+        while (c.pos < c.words.size() && !c.target->full()) {
+          c.target->push(c.words[c.pos++]);
+          stats_.add("router_resident_words");
+        }
+      }
+    }
+    return;
   }
 
   // Stream one word along the routing plan.
@@ -226,6 +434,19 @@ void Netpu::tick(Cycle) {
 }
 
 bool Netpu::idle() const {
+  if (resident_) {
+    if (!input_set_) return true;  // no request staged
+    if (softmax_countdown_ > 0) return false;
+    if (input_pos_ < input_stream_.size()) return false;
+    for (const auto& c : channels_) {
+      if (c.pos < c.words.size()) return false;
+    }
+    if (!network_output_fifo_.empty()) return false;
+    for (const auto& l : lpus_) {
+      if (!l->idle()) return false;
+    }
+    return finished_;
+  }
   if (!loaded_) return true;
   if (softmax_countdown_ > 0) return false;
   if (stream_pos_ < stream_.size()) return false;
@@ -258,6 +479,19 @@ sim::Stats Netpu::collect_stats() const {
     s.merge(lpus_[i]->stats());
   }
   return s;
+}
+
+RunResult collect_run_result(const Netpu& netpu, Cycle cycles) {
+  RunResult r;
+  r.predicted = netpu.predicted();
+  r.output_values = netpu.output_values();
+  r.probabilities = netpu.probabilities();
+  r.cycles = cycles;
+  for (const auto& p : netpu.layer_profile()) {
+    r.layers.push_back(LayerProfile{p.layer, p.queued, p.active, p.end});
+  }
+  r.stats = netpu.collect_stats();
+  return r;
 }
 
 }  // namespace netpu::core

@@ -13,10 +13,12 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/lpu.hpp"
+#include "core/run_types.hpp"
 #include "sim/component.hpp"
 #include "sim/fifo.hpp"
 #include "sim/stats.hpp"
@@ -31,7 +33,28 @@ class Netpu : public sim::Component {
   // Stage a loadable for streaming. Precomputes the section routing plan
   // from the header (the hardware derives the same plan on the fly from the
   // Layer Setting FIFO). Must be called after reset() and before ticking.
+  // The span is borrowed: the caller keeps the stream alive until the run
+  // finishes (the router reads words straight out of it, no copy).
+  [[nodiscard]] common::Status load(std::span<const Word> stream);
+  // Owning overload for callers whose buffer does not outlive the run.
   [[nodiscard]] common::Status load(std::vector<Word> stream);
+
+  // --- Weight residency (Sec. V future work #1, generalized) -------------
+  // Keep a *model stream* (loadable::compile_model output: settings, params,
+  // weights — no input section) resident on chip. Per request only the
+  // small input stream (loadable::compile_input output) crosses the host
+  // link; settings/params/weights refill their buffers from the resident
+  // copy, one word per cycle *per buffer* (each Data Buffer Cluster FIFO is
+  // backed by its own BRAM port), so weight traffic leaves the host
+  // streaming critical path entirely.
+  //
+  // Residency survives reset(): call load_model_resident() once, then per
+  // request reset() + set_input() + tick to completion.
+  [[nodiscard]] common::Status load_model_resident(std::span<const Word> model_stream);
+  // Stage one request's input stream (borrowed span; caller keeps it alive
+  // through the run). Requires a resident model.
+  [[nodiscard]] common::Status set_input(std::span<const Word> input_stream);
+  [[nodiscard]] bool model_resident() const { return resident_; }
 
   void reset() override;
   void tick(Cycle cycle) override;
@@ -84,19 +107,39 @@ class Netpu : public sim::Component {
     std::uint64_t words = 0;
   };
 
+  // Resident-mode refill channel: the model words bound for one buffer, in
+  // stream order, replayed from on-chip storage each request.
+  struct ResidentChannel {
+    sim::Fifo<Word>* target = nullptr;
+    std::vector<Word> words;
+    std::size_t pos = 0;
+  };
+
   [[nodiscard]] common::Status build_plan();
+  [[nodiscard]] common::Result<std::vector<loadable::LayerSetting>>
+  decode_settings(std::span<const Word> stream) const;
 
   NetpuConfig config_;
   std::vector<std::unique_ptr<Lpu>> lpus_;
   sim::Fifo<Word> network_output_fifo_;
 
-  std::vector<Word> stream_;
+  std::vector<Word> owned_stream_;
+  std::span<const Word> stream_;
   sim::Fifo<Word>* external_source_ = nullptr;
   std::vector<Section> plan_;
   std::size_t section_index_ = 0;
   std::uint64_t section_pos_ = 0;
   std::size_t stream_pos_ = 0;
   bool loaded_ = false;
+
+  // Resident-mode state. Channels persist across reset(); cursors and the
+  // staged input stream are per-request.
+  std::vector<ResidentChannel> channels_;
+  std::span<const Word> input_stream_;
+  std::size_t input_pos_ = 0;
+  std::uint32_t expected_input_words_ = 0;
+  bool resident_ = false;
+  bool input_set_ = false;
 
   std::uint32_t output_neurons_ = 0;
   std::vector<std::int64_t> output_values_;
@@ -107,5 +150,9 @@ class Netpu : public sim::Component {
 
   sim::Stats stats_;
 };
+
+// Assemble a RunResult from a finished simulation (shared by the session
+// contexts, the accelerator facade and the AXI DMA co-simulation).
+[[nodiscard]] RunResult collect_run_result(const Netpu& netpu, Cycle cycles);
 
 }  // namespace netpu::core

@@ -1,0 +1,53 @@
+// Shared inference-run vocabulary: run modes/options and the per-request
+// result record. Split out of accelerator.hpp so the persistent execution
+// contexts (core::Netpu, engine::Session) and the facade (core::Accelerator)
+// can all speak it without a header cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace netpu::core {
+
+enum class RunMode {
+  kCycleAccurate,  // full TNPU/LPU/NetPU simulation, counts clock cycles
+  kFunctional,     // parse + golden integer evaluation (no timing)
+};
+
+struct RunOptions {
+  RunMode mode = RunMode::kCycleAccurate;
+  Cycle max_cycles = 500'000'000;  // runaway guard for the scheduler
+  // Optional caller-owned waveform trace (cycle-accurate mode only): the
+  // LPU control FSMs record their state transitions into it.
+  sim::Trace* trace = nullptr;
+};
+
+struct LayerProfile {
+  std::size_t layer = 0;
+  Cycle queued = 0;  // settings popped (layer assigned to its LPU)
+  Cycle active = 0;  // inputs complete, first neuron batch starts
+  Cycle end = 0;     // final result flushed
+  [[nodiscard]] Cycle cycles() const { return end - active; }
+  [[nodiscard]] Cycle wait() const { return active - queued; }
+};
+
+struct RunResult {
+  std::size_t predicted = 0;
+  std::vector<std::int64_t> output_values;  // raw Q32.5 output-layer values
+  // Q15 class probabilities (empty unless NetpuConfig::softmax_unit).
+  std::vector<std::int32_t> probabilities;
+  Cycle cycles = 0;                         // 0 in functional mode
+  // Per-layer execution spans (cycle-accurate mode only).
+  std::vector<LayerProfile> layers;
+  sim::Stats stats;
+
+  [[nodiscard]] double latency_us(const NetpuConfig& config) const {
+    return config.cycles_to_us(cycles);
+  }
+};
+
+}  // namespace netpu::core

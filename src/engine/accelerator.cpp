@@ -1,0 +1,60 @@
+// core::Accelerator implementation. Lives in the engine library because the
+// facade delegates to a single-context engine::Session (the header stays at
+// core/accelerator.hpp for source compatibility).
+#include "core/accelerator.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/session.hpp"
+#include "loadable/compiler.hpp"
+
+namespace netpu::core {
+
+using common::Result;
+
+namespace {
+
+std::unique_ptr<engine::Session> make_session_or_die(const NetpuConfig& config) {
+  auto session = engine::Session::create(config, engine::SessionOptions{1});
+  if (!session.ok()) {
+    std::fprintf(stderr, "Accelerator: invalid configuration: %s\n",
+                 session.error().to_string().c_str());
+    std::abort();
+  }
+  return std::make_unique<engine::Session>(std::move(session).value());
+}
+
+}  // namespace
+
+Accelerator::Accelerator(NetpuConfig config)
+    : config_(std::move(config)), session_(make_session_or_die(config_)) {}
+
+Accelerator::Accelerator(NetpuConfig config, std::unique_ptr<engine::Session> session)
+    : config_(std::move(config)), session_(std::move(session)) {}
+
+Accelerator::~Accelerator() = default;
+Accelerator::Accelerator(Accelerator&&) noexcept = default;
+Accelerator& Accelerator::operator=(Accelerator&&) noexcept = default;
+
+Result<Accelerator> Accelerator::create(NetpuConfig config) {
+  auto session = engine::Session::create(config, engine::SessionOptions{1});
+  if (!session.ok()) return session.error();
+  return Accelerator(std::move(config),
+                     std::make_unique<engine::Session>(std::move(session).value()));
+}
+
+Result<RunResult> Accelerator::run(std::span<const Word> stream,
+                                   const RunOptions& options) {
+  return session_->run_fused(stream, options);
+}
+
+Result<RunResult> Accelerator::run(const nn::QuantizedMlp& mlp,
+                                   std::span<const std::uint8_t> image,
+                                   const RunOptions& options) {
+  auto stream = loadable::compile(mlp, image, config_.compile_options());
+  if (!stream.ok()) return stream.error();
+  return run(stream.value(), options);
+}
+
+}  // namespace netpu::core

@@ -1,0 +1,56 @@
+#include "engine/inference_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+namespace netpu::engine {
+
+using common::Result;
+
+InferenceEngine::InferenceEngine(Session& session, std::size_t threads)
+    : session_(session), pool_(threads) {}
+
+Result<BatchRunResult> InferenceEngine::run_batch(
+    std::span<const std::vector<std::uint8_t>> images,
+    const core::RunOptions& options) {
+  BatchRunResult batch;
+  batch.results.resize(images.size());
+  if (images.empty()) return batch;
+
+  std::vector<std::optional<common::Error>> errors(images.size());
+  const auto start = std::chrono::steady_clock::now();
+  pool_.parallel_for(images.size(), [&](std::size_t i) {
+    auto r = session_.run(images[i], options);
+    if (r.ok()) {
+      batch.results[i] = std::move(r).value();
+    } else {
+      errors[i] = r.error();
+    }
+  });
+  const auto wall = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+  // Deterministic error selection: the lowest-index failure wins.
+  for (const auto& e : errors) {
+    if (e.has_value()) return *e;
+  }
+
+  auto& stats = batch.stats;
+  stats.requests = images.size();
+  stats.wall_seconds = wall;
+  stats.images_per_second =
+      wall > 0.0 ? static_cast<double>(images.size()) / wall : 0.0;
+  for (const auto& r : batch.results) {
+    stats.total_cycles += r.cycles;
+    const double us = r.latency_us(session_.config());
+    stats.max_latency_us = std::max(stats.max_latency_us, us);
+  }
+  stats.mean_latency_us = static_cast<double>(stats.total_cycles) /
+                          static_cast<double>(images.size()) /
+                          session_.config().clock_mhz;
+  return batch;
+}
+
+}  // namespace netpu::engine

@@ -1,0 +1,57 @@
+// Parallel batch serving on top of a Session: fan a request batch out
+// across the session's persistent contexts with a common::ThreadPool.
+//
+// Each request's simulation is single-threaded and deterministic, and
+// requests are independent (one warm context each), so predictions, cycle
+// counts and per-request stats are identical whatever the thread count —
+// only the wall-clock aggregate changes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/run_types.hpp"
+#include "engine/session.hpp"
+
+namespace netpu::engine {
+
+// Aggregate serving statistics for one run_batch call. The cycle/latency
+// fields are deterministic; wall_seconds and images_per_second measure the
+// host, not the simulated hardware.
+struct BatchStats {
+  std::size_t requests = 0;
+  double wall_seconds = 0.0;
+  double images_per_second = 0.0;     // requests / wall_seconds
+  Cycle total_cycles = 0;             // sum of per-request simulated cycles
+  double mean_latency_us = 0.0;       // simulated, per request
+  double max_latency_us = 0.0;
+};
+
+struct BatchRunResult {
+  std::vector<core::RunResult> results;  // one per request, input order
+  BatchStats stats;
+};
+
+class InferenceEngine {
+ public:
+  // `threads == 0` selects the hardware concurrency. More threads than the
+  // session has contexts still works — surplus workers block in acquire.
+  explicit InferenceEngine(Session& session, std::size_t threads = 0);
+
+  [[nodiscard]] Session& session() { return session_; }
+  [[nodiscard]] std::size_t threads() const { return pool_.size(); }
+
+  // Run every image against the session's resident model. Results arrive in
+  // input order; on any request failure the first (lowest-index) error is
+  // returned.
+  [[nodiscard]] common::Result<BatchRunResult> run_batch(
+      std::span<const std::vector<std::uint8_t>> images,
+      const core::RunOptions& options = {});
+
+ private:
+  Session& session_;
+  common::ThreadPool pool_;
+};
+
+}  // namespace netpu::engine

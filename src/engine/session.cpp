@@ -1,0 +1,210 @@
+#include "engine/session.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "hw/activation_unit.hpp"
+#include "loadable/compiler.hpp"
+
+namespace netpu::engine {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+struct Session::Pool {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Context*> free_list;
+};
+
+Session::Context::Context(const core::NetpuConfig& config) : netpu(config) {
+  scheduler.add(&netpu);
+  for (int i = 0; i < netpu.lpu_count(); ++i) scheduler.add(&netpu.lpu(i));
+}
+
+Session::Session(core::NetpuConfig config, SessionOptions options)
+    : config_(std::move(config)), options_(options), pool_(std::make_unique<Pool>()) {
+  const std::size_t n = options_.contexts == 0 ? 1 : options_.contexts;
+  contexts_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    contexts_.push_back(std::make_unique<Context>(config_));
+    pool_->free_list.push_back(contexts_.back().get());
+  }
+}
+
+Session::~Session() = default;
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+
+Result<Session> Session::create(core::NetpuConfig config, SessionOptions options) {
+  if (auto s = config.validate(); !s.ok()) return s.error();
+  return Session(std::move(config), options);
+}
+
+Status Session::load_model(std::span<const Word> model_stream) {
+  // Parse first: this validates structure and yields the golden model for
+  // functional-mode requests.
+  auto parsed = loadable::parse_model(model_stream);
+  if (!parsed.ok()) return parsed.error();
+  // Enforce the instance's capacity limits (the same ones compile_model
+  // applies when the model originates here).
+  if (auto s = loadable::check_capacity(parsed.value().mlp, config_.compile_options());
+      !s.ok()) {
+    return s;
+  }
+
+  std::vector<Word> words(model_stream.begin(), model_stream.end());
+  // Make the model resident in every context; load_model_resident performs
+  // the instance capability checks (MT precision cap, dense support).
+  for (auto& context : contexts_) {
+    if (auto s = context->netpu.load_model_resident(words); !s.ok()) {
+      model_loaded_ = false;
+      return s;
+    }
+  }
+  model_words_ = std::move(words);
+  model_ = std::move(parsed).value().mlp;
+  settings_.clear();
+  for (const auto& layer : model_.layers) {
+    settings_.push_back(loadable::LayerSetting::from_layer(layer));
+  }
+  model_loaded_ = true;
+  return Status::ok_status();
+}
+
+Status Session::load_model(const nn::QuantizedMlp& mlp) {
+  auto stream = loadable::compile_model(mlp, config_.compile_options());
+  if (!stream.ok()) return stream.error();
+  return load_model(stream.value());
+}
+
+Session::Context* Session::acquire() {
+  std::unique_lock<std::mutex> lock(pool_->mutex);
+  pool_->cv.wait(lock, [this] { return !pool_->free_list.empty(); });
+  Context* context = pool_->free_list.back();
+  pool_->free_list.pop_back();
+  return context;
+}
+
+void Session::release(Context* context) {
+  {
+    std::lock_guard<std::mutex> lock(pool_->mutex);
+    pool_->free_list.push_back(context);
+  }
+  pool_->cv.notify_one();
+}
+
+Result<core::RunResult> Session::run(std::span<const std::uint8_t> image,
+                                     const core::RunOptions& options) {
+  if (!model_loaded_) {
+    return Error{ErrorCode::kInvalidArgument, "session has no model loaded"};
+  }
+  if (options.mode == core::RunMode::kFunctional) {
+    // Golden evaluation needs no context; capability checks happened at
+    // load_model.
+    if (image.size() != model_.input_size()) {
+      return Error{ErrorCode::kInvalidArgument, "input image size mismatch"};
+    }
+    const auto inference = model_.infer(image);
+    core::RunResult r;
+    r.predicted = inference.predicted;
+    r.output_values = inference.output_values;
+    if (config_.softmax_unit) {
+      r.probabilities = hw::softmax_q15(r.output_values);
+    }
+    r.cycles = 0;
+    return r;
+  }
+  auto input = loadable::compile_input(settings_.front(), image);
+  if (!input.ok()) return input.error();
+  return run_input_stream(input.value(), options);
+}
+
+Result<core::RunResult> Session::run_input_stream(std::span<const Word> input_stream,
+                                                  const core::RunOptions& options) {
+  if (!model_loaded_) {
+    return Error{ErrorCode::kInvalidArgument, "session has no model loaded"};
+  }
+  if (options.mode == core::RunMode::kFunctional) {
+    auto image = loadable::parse_input(settings_.front(), input_stream);
+    if (!image.ok()) return image.error();
+    return run(image.value(), options);
+  }
+  Context* context = acquire();
+  auto result = run_on_context(*context, input_stream, options);
+  release(context);
+  return result;
+}
+
+Result<core::RunResult> Session::run_on_context(Context& context,
+                                                std::span<const Word> input_stream,
+                                                const core::RunOptions& options) {
+  core::Netpu& netpu = context.netpu;
+  netpu.set_trace(options.trace);
+  context.scheduler.reset();  // rewinds resident channels, keeps the model
+  if (auto s = netpu.set_input(input_stream); !s.ok()) {
+    netpu.set_trace(nullptr);
+    return s.error();
+  }
+  const auto run = context.scheduler.run(options.max_cycles);
+  netpu.set_trace(nullptr);
+  if (!run.finished) {
+    return Error{ErrorCode::kInternal, "simulation hit the cycle limit"};
+  }
+  return core::collect_run_result(netpu, run.cycles);
+}
+
+Result<core::RunResult> Session::run_fused(std::span<const Word> stream,
+                                           const core::RunOptions& options) {
+  if (options.mode == core::RunMode::kFunctional) {
+    auto parsed = loadable::parse(stream);
+    if (!parsed.ok()) return parsed.error();
+    const auto& p = parsed.value();
+    // Enforce the same instance capability limits as the hardware router.
+    for (const auto& layer : p.mlp.layers) {
+      if (layer.activation == hw::Activation::kMultiThreshold &&
+          layer.out_prec.bits > config_.tnpu.max_mt_bits) {
+        return Error{ErrorCode::kUnsupported,
+                     "Multi-Threshold precision exceeds this instance's cap"};
+      }
+      if (layer.dense && !config_.tnpu.dense_support) {
+        return Error{ErrorCode::kUnsupported,
+                     "dense streaming requires a dense-capable instance"};
+      }
+    }
+    const auto inference = p.mlp.infer(p.image);
+    core::RunResult r;
+    r.predicted = inference.predicted;
+    r.output_values = inference.output_values;
+    if (config_.softmax_unit) {
+      r.probabilities = hw::softmax_q15(r.output_values);
+    }
+    r.cycles = 0;
+    return r;
+  }
+
+  Context* context = acquire();
+  core::Netpu& netpu = context->netpu;
+  netpu.set_trace(options.trace);
+  context->scheduler.reset();
+  Result<core::RunResult> result = [&]() -> Result<core::RunResult> {
+    if (auto s = netpu.load(stream); !s.ok()) return s.error();
+    const auto run = context->scheduler.run(options.max_cycles);
+    if (!run.finished) {
+      return Error{ErrorCode::kInternal, "simulation hit the cycle limit"};
+    }
+    return core::collect_run_result(netpu, run.cycles);
+  }();
+  netpu.set_trace(nullptr);
+  // A fused load evicts any resident model from this context; restore it so
+  // later session runs stay warm.
+  if (model_loaded_) {
+    (void)netpu.load_model_resident(model_words_);
+  }
+  release(context);
+  return result;
+}
+
+}  // namespace netpu::engine

@@ -1,0 +1,111 @@
+// Session-oriented inference: load a model once, stream many inputs.
+//
+// A Session owns a parsed model plus a pool of persistent NetPU contexts
+// (a core::Netpu + its sim::Scheduler). Contexts are *reset*, not
+// reconstructed, between requests, and the model stream stays resident in
+// each context's buffers' backing storage (Sec. V future work #1
+// generalized to weight residency): per request only the small input stream
+// crosses the simulated host link, so weight re-streaming disappears from
+// per-request cycle counts.
+//
+//   auto session = engine::Session::create(config, {.contexts = 8});
+//   session.value().load_model(mlp);                  // or a model stream
+//   auto r = session.value().run(image);              // warm, pooled context
+//
+// run_fused() keeps the pre-session compatibility path: one fused
+// Sec. III-B3 loadable, full streaming, bit- and cycle-exact with the
+// historical single-shot Accelerator::run.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/netpu.hpp"
+#include "core/run_types.hpp"
+#include "loadable/parser.hpp"
+#include "nn/quantized_mlp.hpp"
+#include "sim/scheduler.hpp"
+
+namespace netpu::engine {
+
+struct SessionOptions {
+  // Persistent NetPU contexts (serving channels). Requests beyond this many
+  // in flight block in acquire until a context frees up.
+  std::size_t contexts = 1;
+};
+
+class Session {
+ public:
+  // Fallible construction: validates the instance configuration and builds
+  // the context pool.
+  [[nodiscard]] static common::Result<Session> create(core::NetpuConfig config,
+                                                      SessionOptions options = {});
+
+  ~Session();
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] const core::NetpuConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t context_count() const { return contexts_.size(); }
+
+  // Load the session's model: parse it, capability/capacity-check it against
+  // this instance, and make its stream resident in every context. Replaces
+  // any previously loaded model.
+  [[nodiscard]] common::Status load_model(std::span<const Word> model_stream);
+  [[nodiscard]] common::Status load_model(const nn::QuantizedMlp& mlp);
+
+  [[nodiscard]] bool has_model() const { return model_loaded_; }
+  // Valid only while has_model().
+  [[nodiscard]] const nn::QuantizedMlp& model() const { return model_; }
+  [[nodiscard]] const std::vector<Word>& model_stream() const { return model_words_; }
+
+  // One request against the resident model: compile the input stream, run it
+  // through a pooled warm context. Thread-safe; blocks while all contexts
+  // are busy.
+  [[nodiscard]] common::Result<core::RunResult> run(
+      std::span<const std::uint8_t> image, const core::RunOptions& options = {});
+
+  // Pre-compiled input stream variant (loadable::compile_input output).
+  [[nodiscard]] common::Result<core::RunResult> run_input_stream(
+      std::span<const Word> input_stream, const core::RunOptions& options = {});
+
+  // Compatibility mode: run one fused loadable with full streaming — the
+  // exact pre-session cycle semantics — on a pooled persistent context.
+  // Independent of the loaded model (the stream carries its own).
+  [[nodiscard]] common::Result<core::RunResult> run_fused(
+      std::span<const Word> stream, const core::RunOptions& options = {});
+
+ private:
+  // One persistent execution context: constructed once per session, reset
+  // between requests. The scheduler's component wiring never changes.
+  struct Context {
+    explicit Context(const core::NetpuConfig& config);
+    core::Netpu netpu;
+    sim::Scheduler scheduler;
+  };
+  struct Pool;  // mutex/condvar guarded free list (defined in session.cpp)
+
+  Session(core::NetpuConfig config, SessionOptions options);
+
+  [[nodiscard]] Context* acquire();
+  void release(Context* context);
+  [[nodiscard]] common::Result<core::RunResult> run_on_context(
+      Context& context, std::span<const Word> input_stream,
+      const core::RunOptions& options);
+
+  core::NetpuConfig config_;
+  SessionOptions options_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::unique_ptr<Pool> pool_;
+
+  std::vector<Word> model_words_;
+  nn::QuantizedMlp model_;
+  std::vector<loadable::LayerSetting> settings_;
+  bool model_loaded_ = false;
+};
+
+}  // namespace netpu::engine

@@ -128,18 +128,29 @@ std::uint64_t compiled_size_words(const nn::QuantizedMlp& mlp) {
   return words;
 }
 
-Result<std::vector<Word>> compile(const nn::QuantizedMlp& mlp,
-                                  std::span<const std::uint8_t> image,
-                                  const CompileOptions& options) {
+std::uint64_t model_size_words(const nn::QuantizedMlp& mlp) {
+  std::uint64_t words = 2;  // magic + layer count
+  for (const auto& layer : mlp.layers) {
+    const auto s = LayerSetting::from_layer(layer);
+    words += 2;  // setting
+    words += s.param_section_words();
+    words += s.weight_section_words();
+  }
+  return words;
+}
+
+std::uint64_t input_size_words(const LayerSetting& first) {
+  return 2 + static_cast<std::uint64_t>(first.input_words());
+}
+
+Result<std::vector<Word>> compile_model(const nn::QuantizedMlp& mlp,
+                                        const CompileOptions& options) {
   if (auto s = mlp.validate(); !s.ok()) return s.error();
   if (auto s = check_capacity(mlp, options); !s.ok()) return s.error();
-  if (image.size() != mlp.input_size()) {
-    return Error{ErrorCode::kInvalidArgument, "input image size mismatch"};
-  }
 
   std::vector<Word> out;
-  out.reserve(compiled_size_words(mlp));
-  out.push_back(kMagic);
+  out.reserve(model_size_words(mlp));
+  out.push_back(kModelMagic);
   out.push_back(static_cast<Word>(mlp.layers.size()));
 
   std::vector<LayerSetting> settings;
@@ -149,15 +160,6 @@ Result<std::vector<Word>> compile(const nn::QuantizedMlp& mlp,
     const auto enc = settings.back().encode();
     out.push_back(enc[0]);
     out.push_back(enc[1]);
-  }
-
-  // Dataset input section: image count (currently always 1, the stream
-  // carries one inference) followed by the packed raw samples.
-  out.push_back(1);
-  {
-    std::vector<std::int32_t> pixels(image.begin(), image.end());
-    const auto words = pack_codes(pixels, settings.front().in_prec);
-    out.insert(out.end(), words.begin(), words.end());
   }
 
   // Sec. III-B3 interleave: P0, P1, then W(k) followed by P(k+2).
@@ -171,6 +173,88 @@ Result<std::vector<Word>> compile(const nn::QuantizedMlp& mlp,
     if (k + 2 < n_layers) emit_params(mlp.layers[k + 2], settings[k + 2], out);
   }
   return out;
+}
+
+Result<std::vector<Word>> compile_input(const LayerSetting& first,
+                                        std::span<const std::uint8_t> image) {
+  if (image.size() != first.input_length) {
+    return Error{ErrorCode::kInvalidArgument, "input image size mismatch"};
+  }
+  std::vector<Word> out;
+  out.reserve(input_size_words(first));
+  out.push_back(kInputMagic);
+  // Image count (currently always 1, the stream carries one inference).
+  out.push_back(1);
+  std::vector<std::int32_t> pixels(image.begin(), image.end());
+  const auto words = pack_codes(pixels, first.in_prec);
+  out.insert(out.end(), words.begin(), words.end());
+  return out;
+}
+
+Result<std::vector<Word>> fuse_streams(std::span<const Word> model_stream,
+                                       std::span<const Word> input_stream) {
+  if (model_stream.size() < 2 || model_stream[0] != kModelMagic) {
+    return Error{ErrorCode::kMalformedStream, "bad model stream magic"};
+  }
+  if (input_stream.size() < 2 || input_stream[0] != kInputMagic) {
+    return Error{ErrorCode::kMalformedStream, "bad input stream magic"};
+  }
+  const auto n_layers = static_cast<std::size_t>(model_stream[1]);
+  const std::size_t settings_end = 2 + 2 * n_layers;
+  if (settings_end > model_stream.size()) {
+    return Error{ErrorCode::kMalformedStream, "truncated model stream"};
+  }
+  std::vector<Word> out;
+  out.reserve(model_stream.size() + input_stream.size() - 1);
+  out.push_back(kMagic);
+  // Layer count + settings, then the input section (sans its magic), then
+  // the model's param/weight body.
+  out.insert(out.end(), model_stream.begin() + 1, model_stream.begin() + settings_end);
+  out.insert(out.end(), input_stream.begin() + 1, input_stream.end());
+  out.insert(out.end(), model_stream.begin() + settings_end, model_stream.end());
+  return out;
+}
+
+Result<SplitStreams> split_stream(std::span<const Word> fused) {
+  if (fused.size() < 3 || fused[0] != kMagic) {
+    return Error{ErrorCode::kMalformedStream, "bad loadable magic"};
+  }
+  const auto n_layers = static_cast<std::size_t>(fused[1]);
+  const std::size_t settings_end = 2 + 2 * n_layers;
+  if (n_layers < 1 || settings_end + 1 > fused.size()) {
+    return Error{ErrorCode::kMalformedStream, "truncated loadable"};
+  }
+  auto first = LayerSetting::decode(fused[2], fused[3]);
+  if (!first.ok()) return first.error();
+  const std::size_t input_words = first.value().input_words();
+  const std::size_t input_end = settings_end + 1 + input_words;
+  if (input_end > fused.size()) {
+    return Error{ErrorCode::kMalformedStream, "truncated input section"};
+  }
+  SplitStreams out;
+  out.model.reserve(fused.size() - input_words);
+  out.model.push_back(kModelMagic);
+  out.model.insert(out.model.end(), fused.begin() + 1, fused.begin() + settings_end);
+  out.model.insert(out.model.end(), fused.begin() + input_end, fused.end());
+  out.input.reserve(1 + input_words + 1);
+  out.input.push_back(kInputMagic);
+  out.input.insert(out.input.end(), fused.begin() + settings_end,
+                   fused.begin() + input_end);
+  return out;
+}
+
+Result<std::vector<Word>> compile(const nn::QuantizedMlp& mlp,
+                                  std::span<const std::uint8_t> image,
+                                  const CompileOptions& options) {
+  if (image.size() != mlp.input_size()) {
+    return Error{ErrorCode::kInvalidArgument, "input image size mismatch"};
+  }
+  auto model = compile_model(mlp, options);
+  if (!model.ok()) return model.error();
+  auto input =
+      compile_input(LayerSetting::from_layer(mlp.layers.front()), image);
+  if (!input.ok()) return input.error();
+  return fuse_streams(model.value(), input.value());
 }
 
 }  // namespace netpu::loadable

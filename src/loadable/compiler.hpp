@@ -24,7 +24,13 @@
 
 namespace netpu::loadable {
 
-inline constexpr Word kMagic = 0x4E45545055'4D3031ull;  // "NETPUM01"
+inline constexpr Word kMagic = 0x4E45545055'4D3031ull;  // "NETPUM01" (fused)
+// Session-mode stream split: the reusable *model stream* (layer count,
+// settings, params, weights) and the tiny per-request *input stream*.
+// fuse_streams() splices them back into the exact fused Sec. III-B3 order,
+// so the fused format stays the compatibility mode with round-trip parity.
+inline constexpr Word kModelMagic = 0x4E45545055'4D4430ull;  // "NETPUMD0"
+inline constexpr Word kInputMagic = 0x4E45545055'4D4930ull;  // "NETPUMI0"
 
 // Stream-capacity limits of the target Data Buffer Cluster, in 64-bit words
 // (defaults follow Table III: 64b x 1024 data buffers, 128b x 2048 parameter
@@ -38,16 +44,49 @@ struct CompileOptions {
   std::uint32_t param_buffer_words = 4096;
 };
 
-// Compile a network plus one raw input image into a loadable word stream.
+// Compile a network plus one raw input image into a fused loadable word
+// stream (compatibility mode). Implemented as compile_model + compile_input
+// + fuse_streams, so the split streams are bit-identical to the fused order
+// by construction.
 [[nodiscard]] common::Result<std::vector<Word>> compile(
     const nn::QuantizedMlp& mlp, std::span<const std::uint8_t> image,
     const CompileOptions& options = {});
+
+// Compile only the reusable model half: kModelMagic, layer count, all layer
+// settings, then the P0, P1, W(k)/P(k+2) interleave — no input section.
+// Load once per session, stream many inputs against it.
+[[nodiscard]] common::Result<std::vector<Word>> compile_model(
+    const nn::QuantizedMlp& mlp, const CompileOptions& options = {});
+
+// Compile one request's input stream: kInputMagic, image count (1), the
+// packed raw samples. `first` is the network's input-layer setting (it fixes
+// the packing precision and expected length).
+[[nodiscard]] common::Result<std::vector<Word>> compile_input(
+    const LayerSetting& first, std::span<const std::uint8_t> image);
+
+// Splice a model stream and an input stream into the fused Sec. III-B3
+// order (magic, layer count, settings, inputs, params/weights).
+[[nodiscard]] common::Result<std::vector<Word>> fuse_streams(
+    std::span<const Word> model_stream, std::span<const Word> input_stream);
+
+// Exact inverse of fuse_streams: split a fused loadable back into its model
+// and input streams.
+struct SplitStreams {
+  std::vector<Word> model;
+  std::vector<Word> input;
+};
+[[nodiscard]] common::Result<SplitStreams> split_stream(std::span<const Word> fused);
 
 // Validate `mlp` against the buffer-capacity limits without serializing.
 [[nodiscard]] common::Status check_capacity(const nn::QuantizedMlp& mlp,
                                             const CompileOptions& options);
 
-// Size (in words) the compiled stream will have, without building it.
+// Size (in words) the compiled fused stream will have, without building it.
 [[nodiscard]] std::uint64_t compiled_size_words(const nn::QuantizedMlp& mlp);
+
+// Sizes of the split halves (model: header + settings + params + weights;
+// input: header + packed samples).
+[[nodiscard]] std::uint64_t model_size_words(const nn::QuantizedMlp& mlp);
+[[nodiscard]] std::uint64_t input_size_words(const LayerSetting& first);
 
 }  // namespace netpu::loadable

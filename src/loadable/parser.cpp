@@ -111,6 +111,72 @@ common::Status parse_weights(Reader& reader, const LayerSetting& s,
   return common::Status::ok_status();
 }
 
+// Read + decode the layer-count word and the settings block.
+common::Result<std::vector<LayerSetting>> parse_settings(Reader& reader) {
+  auto count_w = reader.next();
+  if (!count_w.ok()) return count_w.error();
+  const auto n_layers = static_cast<std::size_t>(count_w.value());
+  if (n_layers < 2 || n_layers > 4096) {
+    return Error{ErrorCode::kMalformedStream, "implausible layer count"};
+  }
+  std::vector<LayerSetting> settings;
+  settings.reserve(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    auto w0 = reader.next();
+    if (!w0.ok()) return w0.error();
+    auto w1 = reader.next();
+    if (!w1.ok()) return w1.error();
+    auto s = LayerSetting::decode(w0.value(), w1.value());
+    if (!s.ok()) return s.error();
+    settings.push_back(s.value());
+  }
+  return settings;
+}
+
+// Materialize the layer skeletons from their settings, then consume the
+// P0, P1, W(k)/P(k+2) interleave filling parameters and weights.
+common::Status parse_body(Reader& reader, const std::vector<LayerSetting>& settings,
+                          nn::QuantizedMlp& mlp) {
+  const auto n_layers = settings.size();
+  mlp.layers.resize(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    const auto& s = settings[i];
+    auto& l = mlp.layers[i];
+    l.kind = s.kind;
+    l.activation = s.activation;
+    l.bn_fold = s.bn_fold;
+    l.dense = s.dense;
+    l.in_prec = s.in_prec;
+    l.w_prec = s.w_prec;
+    l.out_prec = s.out_prec;
+    l.neurons = static_cast<int>(s.neurons);
+    l.input_length = static_cast<int>(s.input_length);
+  }
+
+  const auto params_of = [&](std::size_t i) -> common::Status {
+    return parse_params(reader, settings[i], mlp.layers[i]);
+  };
+  if (auto s = params_of(0); !s.ok()) return s.error();
+  if (n_layers > 1) {
+    if (auto s = params_of(1); !s.ok()) return s.error();
+  }
+  for (std::size_t k = 0; k < n_layers; ++k) {
+    if (settings[k].kind != hw::LayerKind::kInput) {
+      if (auto s = parse_weights(reader, settings[k], mlp.layers[k]); !s.ok()) {
+        return s.error();
+      }
+    }
+    if (k + 2 < n_layers) {
+      if (auto s = params_of(k + 2); !s.ok()) return s.error();
+    }
+  }
+
+  if (!reader.exhausted()) {
+    return Error{ErrorCode::kMalformedStream, "trailing words after loadable"};
+  }
+  return mlp.validate();
+}
+
 }  // namespace
 
 Result<ParsedLoadable> parse(std::span<const Word> stream) {
@@ -122,24 +188,11 @@ Result<ParsedLoadable> parse(std::span<const Word> stream) {
     return Error{ErrorCode::kMalformedStream, "bad loadable magic"};
   }
 
-  auto count_w = reader.next();
-  if (!count_w.ok()) return count_w.error();
-  const auto n_layers = static_cast<std::size_t>(count_w.value());
-  if (n_layers < 2 || n_layers > 4096) {
-    return Error{ErrorCode::kMalformedStream, "implausible layer count"};
-  }
+  auto settings = parse_settings(reader);
+  if (!settings.ok()) return settings.error();
 
   ParsedLoadable out;
-  out.settings.reserve(n_layers);
-  for (std::size_t i = 0; i < n_layers; ++i) {
-    auto w0 = reader.next();
-    if (!w0.ok()) return w0.error();
-    auto w1 = reader.next();
-    if (!w1.ok()) return w1.error();
-    auto s = LayerSetting::decode(w0.value(), w1.value());
-    if (!s.ok()) return s.error();
-    out.settings.push_back(s.value());
-  }
+  out.settings = std::move(settings).value();
 
   auto image_count = reader.next();
   if (!image_count.ok()) return image_count.error();
@@ -156,45 +209,54 @@ Result<ParsedLoadable> parse(std::span<const Word> stream) {
     }
   }
 
-  // Materialize layers, then fill them in stream order.
-  out.mlp.layers.resize(n_layers);
-  for (std::size_t i = 0; i < n_layers; ++i) {
-    const auto& s = out.settings[i];
-    auto& l = out.mlp.layers[i];
-    l.kind = s.kind;
-    l.activation = s.activation;
-    l.bn_fold = s.bn_fold;
-    l.dense = s.dense;
-    l.in_prec = s.in_prec;
-    l.w_prec = s.w_prec;
-    l.out_prec = s.out_prec;
-    l.neurons = static_cast<int>(s.neurons);
-    l.input_length = static_cast<int>(s.input_length);
-  }
-
-  const auto params_of = [&](std::size_t i) -> common::Status {
-    return parse_params(reader, out.settings[i], out.mlp.layers[i]);
-  };
-  if (auto s = params_of(0); !s.ok()) return s.error();
-  if (n_layers > 1) {
-    if (auto s = params_of(1); !s.ok()) return s.error();
-  }
-  for (std::size_t k = 0; k < n_layers; ++k) {
-    if (out.settings[k].kind != hw::LayerKind::kInput) {
-      if (auto s = parse_weights(reader, out.settings[k], out.mlp.layers[k]); !s.ok()) {
-        return s.error();
-      }
-    }
-    if (k + 2 < n_layers) {
-      if (auto s = params_of(k + 2); !s.ok()) return s.error();
-    }
-  }
-
-  if (!reader.exhausted()) {
-    return Error{ErrorCode::kMalformedStream, "trailing words after loadable"};
-  }
-  if (auto s = out.mlp.validate(); !s.ok()) return s.error();
+  if (auto s = parse_body(reader, out.settings, out.mlp); !s.ok()) return s.error();
   return out;
+}
+
+Result<ParsedModel> parse_model(std::span<const Word> stream) {
+  Reader reader(stream);
+
+  auto magic = reader.next();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != kModelMagic) {
+    return Error{ErrorCode::kMalformedStream, "bad model stream magic"};
+  }
+
+  auto settings = parse_settings(reader);
+  if (!settings.ok()) return settings.error();
+
+  ParsedModel out;
+  out.settings = std::move(settings).value();
+  if (auto s = parse_body(reader, out.settings, out.mlp); !s.ok()) return s.error();
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> parse_input(const LayerSetting& first,
+                                              std::span<const Word> input_stream) {
+  Reader reader(input_stream);
+
+  auto magic = reader.next();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != kInputMagic) {
+    return Error{ErrorCode::kMalformedStream, "bad input stream magic"};
+  }
+  auto image_count = reader.next();
+  if (!image_count.ok()) return image_count.error();
+  if (image_count.value() != 1) {
+    return Error{ErrorCode::kUnsupported, "input streams carry exactly one inference"};
+  }
+  auto words = reader.take(first.input_words());
+  if (!words.ok()) return words.error();
+  if (!reader.exhausted()) {
+    return Error{ErrorCode::kMalformedStream, "trailing words after input stream"};
+  }
+  const auto codes = unpack_codes(words.value(), first.input_length, first.in_prec);
+  std::vector<std::uint8_t> image;
+  image.reserve(codes.size());
+  for (const auto c : codes) {
+    image.push_back(static_cast<std::uint8_t>(c));
+  }
+  return image;
 }
 
 }  // namespace netpu::loadable

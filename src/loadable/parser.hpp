@@ -22,4 +22,17 @@ struct ParsedLoadable {
 
 [[nodiscard]] common::Result<ParsedLoadable> parse(std::span<const Word> stream);
 
+// Session-mode streams: a model stream carries everything but the input.
+struct ParsedModel {
+  std::vector<LayerSetting> settings;
+  nn::QuantizedMlp mlp;
+};
+
+[[nodiscard]] common::Result<ParsedModel> parse_model(std::span<const Word> stream);
+
+// Decode one request's input stream against the network's input-layer
+// setting (which fixes the packing precision and expected length).
+[[nodiscard]] common::Result<std::vector<std::uint8_t>> parse_input(
+    const LayerSetting& first, std::span<const Word> input_stream);
+
 }  // namespace netpu::loadable

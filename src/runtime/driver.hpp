@@ -19,10 +19,23 @@ struct MeasuredInference {
   netpu::Cycle cycles = 0;
 };
 
+struct BatchOptions {
+  // How many images run cycle-accurately (clamped to the batch size); the
+  // rest run functionally against the golden model. 0 is valid: nothing is
+  // timed and mean_measured_us stays 0.
+  std::size_t timed_samples = 1;
+  // Serving channels: persistent NetPU contexts + worker threads fanning the
+  // batch out, each channel with its own DMA engine. 1 reproduces the
+  // serial order.
+  std::size_t threads = 1;
+};
+
 struct BatchResult {
   std::size_t correct = 0;
   std::size_t total = 0;
-  double mean_measured_us = 0.0;
+  std::size_t timed = 0;            // images that actually ran cycle-accurately
+  double mean_measured_us = 0.0;    // over the timed images; 0 when none
+  double images_per_second = 0.0;   // wall-clock serving rate of the batch
 
   [[nodiscard]] double accuracy() const {
     return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
@@ -34,20 +47,29 @@ class Driver {
   Driver(core::Accelerator& accelerator, DmaModel dma = {})
       : accelerator_(accelerator), dma_(dma) {}
 
-  // One inference: compile, stream, simulate, add transfer overhead.
+  // One inference: compile, stream, simulate, add transfer overhead. The
+  // cold path: the full fused loadable (weights included) crosses the DMA
+  // link every call.
   [[nodiscard]] common::Result<MeasuredInference> infer(
       const nn::QuantizedMlp& mlp, std::span<const std::uint8_t> image,
       core::RunMode mode = core::RunMode::kCycleAccurate);
 
-  // Batch of images: the accelerator holds no weights across inferences, so
-  // every image re-streams the full loadable (the honest cost of the
-  // overlay; FINN-style HSD instances keep weights on chip instead).
-  // `timed_samples` caps how many images run cycle-accurately; the rest run
-  // functionally and reuse the measured mean latency.
+  // Batch of images through the session engine: the model stream is loaded
+  // once and stays resident in every channel's contexts, so per-image DMA
+  // carries only the input stream and per-image cycles exclude weight
+  // re-streaming (contrast with infer()'s cold path).
   [[nodiscard]] common::Result<BatchResult> infer_batch(
       const nn::QuantizedMlp& mlp,
       std::span<const std::vector<std::uint8_t>> images, std::span<const int> labels,
-      std::size_t timed_samples = 1);
+      const BatchOptions& options);
+
+  // Compatibility overload: serial, `timed_samples` cycle-accurate images.
+  [[nodiscard]] common::Result<BatchResult> infer_batch(
+      const nn::QuantizedMlp& mlp,
+      std::span<const std::vector<std::uint8_t>> images, std::span<const int> labels,
+      std::size_t timed_samples = 1) {
+    return infer_batch(mlp, images, labels, BatchOptions{timed_samples, 1});
+  }
 
  private:
   core::Accelerator& accelerator_;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "common/types.hpp"
 
@@ -12,14 +13,24 @@ namespace netpu::sim {
 
 class Stats {
  public:
-  void add(const std::string& key, std::uint64_t delta = 1) { counters_[key] += delta; }
+  // Heterogeneous lookup: counters are bumped tens of thousands of times per
+  // simulated inference, so the hot path must not materialize a std::string.
+  void add(std::string_view key, std::uint64_t delta = 1) {
+    const auto it = counters_.find(key);
+    if (it != counters_.end()) {
+      it->second += delta;
+    } else {
+      counters_.emplace(std::string(key), delta);
+    }
+  }
 
-  [[nodiscard]] std::uint64_t get(const std::string& key) const {
+  [[nodiscard]] std::uint64_t get(std::string_view key) const {
     const auto it = counters_.find(key);
     return it == counters_.end() ? 0 : it->second;
   }
 
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>& counters()
+      const {
     return counters_;
   }
 
@@ -33,7 +44,7 @@ class Stats {
   [[nodiscard]] std::string to_string() const;
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
 };
 
 }  // namespace netpu::sim

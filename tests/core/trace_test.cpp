@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/accelerator.hpp"
+#include "core/lpu.hpp"
 #include "nn/quantized_mlp.hpp"
 #include "sim/trace.hpp"
 

@@ -1,0 +1,135 @@
+// Engine layer, batch side: fanning a batch across the context pool with
+// 1, 2 or 8 worker threads is bit- and cycle-identical to a serial loop —
+// every context is pre-warmed at load_model, so thread scheduling cannot
+// leak into results.
+#include <gtest/gtest.h>
+
+#include "data/synthetic_mnist.hpp"
+#include "engine/inference_engine.hpp"
+#include "engine/session.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace netpu::engine {
+namespace {
+
+struct Reference {
+  std::vector<std::size_t> predicted;
+  std::vector<Cycle> cycles;
+  std::vector<std::string> stats;
+};
+
+TEST(InferenceEngine, ParallelBatchMatchesSerialExactly) {
+  common::Xoshiro256 rng(17);
+  const auto mlp =
+      nn::make_random_quantized_model({nn::Topology::kTfc, 1, 1}, true, rng);
+  const auto dataset = data::make_synthetic_mnist(64, 3);
+  ASSERT_GE(dataset.images.size(), 64u);
+
+  const auto config = core::NetpuConfig::paper_instance();
+
+  // Serial reference: one-context session, plain loop.
+  Reference reference;
+  {
+    auto session = Session::create(config);
+    ASSERT_TRUE(session.ok()) << session.error().to_string();
+    ASSERT_TRUE(session.value().load_model(mlp).ok());
+    for (const auto& img : dataset.images) {
+      auto r = session.value().run(img);
+      ASSERT_TRUE(r.ok()) << r.error().to_string();
+      reference.predicted.push_back(r.value().predicted);
+      reference.cycles.push_back(r.value().cycles);
+      reference.stats.push_back(r.value().stats.to_string());
+    }
+  }
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    auto session = Session::create(config, {.contexts = threads});
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(session.value().load_model(mlp).ok());
+    EXPECT_EQ(session.value().context_count(), threads);
+
+    InferenceEngine engine(session.value(), threads);
+    auto batch = engine.run_batch(dataset.images);
+    ASSERT_TRUE(batch.ok()) << batch.error().to_string();
+    const auto& results = batch.value().results;
+    ASSERT_EQ(results.size(), dataset.images.size());
+
+    Cycle total = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].predicted, reference.predicted[i])
+          << threads << " threads, image " << i;
+      EXPECT_EQ(results[i].cycles, reference.cycles[i])
+          << threads << " threads, image " << i;
+      EXPECT_EQ(results[i].stats.to_string(), reference.stats[i])
+          << threads << " threads, image " << i;
+      total += results[i].cycles;
+    }
+
+    const auto& stats = batch.value().stats;
+    EXPECT_EQ(stats.requests, dataset.images.size());
+    EXPECT_EQ(stats.total_cycles, total);
+    EXPECT_GT(stats.images_per_second, 0.0);
+    EXPECT_GT(stats.mean_latency_us, 0.0);
+    EXPECT_GE(stats.max_latency_us, stats.mean_latency_us);
+  }
+}
+
+TEST(InferenceEngine, FunctionalBatchMatchesGolden) {
+  common::Xoshiro256 rng(18);
+  const auto mlp =
+      nn::make_random_quantized_model({nn::Topology::kTfc, 1, 1}, true, rng);
+  const auto dataset = data::make_synthetic_mnist(16, 4);
+
+  auto session = Session::create(core::NetpuConfig::paper_instance(),
+                                 {.contexts = 2});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().load_model(mlp).ok());
+
+  InferenceEngine engine(session.value(), 2);
+  core::RunOptions options;
+  options.mode = core::RunMode::kFunctional;
+  auto batch = engine.run_batch(dataset.images, options);
+  ASSERT_TRUE(batch.ok()) << batch.error().to_string();
+  for (std::size_t i = 0; i < dataset.images.size(); ++i) {
+    EXPECT_EQ(batch.value().results[i].predicted,
+              mlp.infer(dataset.images[i]).predicted);
+    EXPECT_EQ(batch.value().results[i].cycles, 0u);
+  }
+}
+
+TEST(InferenceEngine, EmptyBatchIsWellDefined) {
+  common::Xoshiro256 rng(19);
+  const auto mlp =
+      nn::make_random_quantized_model({nn::Topology::kTfc, 1, 1}, true, rng);
+  auto session = Session::create(core::NetpuConfig::paper_instance());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().load_model(mlp).ok());
+
+  InferenceEngine engine(session.value(), 2);
+  auto batch = engine.run_batch({});
+  ASSERT_TRUE(batch.ok()) << batch.error().to_string();
+  EXPECT_TRUE(batch.value().results.empty());
+  EXPECT_EQ(batch.value().stats.requests, 0u);
+  EXPECT_EQ(batch.value().stats.mean_latency_us, 0.0);
+}
+
+TEST(InferenceEngine, FirstErrorWinsOnBadRequest) {
+  common::Xoshiro256 rng(20);
+  const auto mlp =
+      nn::make_random_quantized_model({nn::Topology::kTfc, 1, 1}, true, rng);
+  auto session = Session::create(core::NetpuConfig::paper_instance(),
+                                 {.contexts = 2});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().load_model(mlp).ok());
+
+  const auto dataset = data::make_synthetic_mnist(4, 5);
+  std::vector<std::vector<std::uint8_t>> images = dataset.images;
+  images[1] = {1, 2, 3};  // wrong input size
+
+  InferenceEngine engine(session.value(), 2);
+  auto batch = engine.run_batch(images);
+  EXPECT_FALSE(batch.ok());
+}
+
+}  // namespace
+}  // namespace netpu::engine

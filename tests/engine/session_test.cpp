@@ -1,0 +1,253 @@
+// Engine layer, session side: model/input stream split round-trips with the
+// fused Sec. III-B3 format, sessions serve warm requests bit-exactly equal
+// to the golden model and to the historical single-shot fused path, and
+// weight words leave the per-request host link entirely.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "engine/session.hpp"
+#include "loadable/compiler.hpp"
+#include "loadable/parser.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::engine {
+namespace {
+
+nn::QuantizedMlp test_mlp(std::uint64_t seed = 1) {
+  common::Xoshiro256 rng(seed);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 48;
+  spec.hidden = {16, 12};
+  spec.outputs = 5;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  return nn::random_quantized_mlp(spec, rng);
+}
+
+std::vector<std::uint8_t> image(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> img(n);
+  for (auto& p : img) p = static_cast<std::uint8_t>(rng.next_below(256));
+  return img;
+}
+
+loadable::LayerSetting first_setting(const nn::QuantizedMlp& mlp) {
+  return loadable::LayerSetting::from_layer(mlp.layers.front());
+}
+
+TEST(StreamSplit, FusedStreamEqualsModelPlusInput) {
+  const auto mlp = test_mlp();
+  const auto img = image(mlp.input_size(), 2);
+
+  auto fused = loadable::compile(mlp, img);
+  ASSERT_TRUE(fused.ok()) << fused.error().to_string();
+  auto model = loadable::compile_model(mlp);
+  ASSERT_TRUE(model.ok()) << model.error().to_string();
+  auto input = loadable::compile_input(first_setting(mlp), img);
+  ASSERT_TRUE(input.ok()) << input.error().to_string();
+
+  auto refused = loadable::fuse_streams(model.value(), input.value());
+  ASSERT_TRUE(refused.ok()) << refused.error().to_string();
+  EXPECT_EQ(refused.value(), fused.value());
+
+  // Size helpers agree with the streams they describe.
+  EXPECT_EQ(model.value().size(), loadable::model_size_words(mlp));
+  EXPECT_EQ(input.value().size(), loadable::input_size_words(first_setting(mlp)));
+  EXPECT_EQ(fused.value().size(), loadable::compiled_size_words(mlp));
+  EXPECT_EQ(model.value().front(), loadable::kModelMagic);
+  EXPECT_EQ(input.value().front(), loadable::kInputMagic);
+  EXPECT_EQ(fused.value().front(), loadable::kMagic);
+}
+
+TEST(StreamSplit, SplitStreamInvertsFuse) {
+  const auto mlp = test_mlp();
+  const auto img = image(mlp.input_size(), 3);
+
+  auto fused = loadable::compile(mlp, img);
+  ASSERT_TRUE(fused.ok());
+  auto split = loadable::split_stream(fused.value());
+  ASSERT_TRUE(split.ok()) << split.error().to_string();
+
+  auto model = loadable::compile_model(mlp);
+  auto input = loadable::compile_input(first_setting(mlp), img);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(input.ok());
+  EXPECT_EQ(split.value().model, model.value());
+  EXPECT_EQ(split.value().input, input.value());
+}
+
+TEST(StreamSplit, ParseModelRoundTrips) {
+  const auto mlp = test_mlp();
+  auto model = loadable::compile_model(mlp);
+  ASSERT_TRUE(model.ok());
+
+  auto parsed = loadable::parse_model(model.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_TRUE(parsed.value().mlp.validate().ok());
+  ASSERT_EQ(parsed.value().settings.size(), mlp.layers.size());
+
+  // The reconstructed model is functionally the original.
+  const auto img = image(mlp.input_size(), 4);
+  const auto golden = mlp.infer(img);
+  const auto redone = parsed.value().mlp.infer(img);
+  EXPECT_EQ(redone.predicted, golden.predicted);
+  EXPECT_EQ(redone.output_values, golden.output_values);
+}
+
+TEST(StreamSplit, ParseInputRecoversImage) {
+  const auto mlp = test_mlp();
+  const auto img = image(mlp.input_size(), 5);
+  auto input = loadable::compile_input(first_setting(mlp), img);
+  ASSERT_TRUE(input.ok());
+  auto back = loadable::parse_input(first_setting(mlp), input.value());
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back.value(), img);
+}
+
+TEST(Session, RunMatchesGoldenAndHistoricalFusedPath) {
+  const auto mlp = test_mlp();
+  const auto config = core::NetpuConfig::paper_instance();
+
+  auto session = Session::create(config);
+  ASSERT_TRUE(session.ok()) << session.error().to_string();
+  ASSERT_TRUE(session.value().load_model(mlp).ok());
+
+  core::Accelerator acc(config);
+  for (std::uint64_t seed = 10; seed < 15; ++seed) {
+    const auto img = image(mlp.input_size(), seed);
+    const auto golden = mlp.infer(img);
+
+    auto warm = session.value().run(img);
+    ASSERT_TRUE(warm.ok()) << warm.error().to_string();
+    EXPECT_EQ(warm.value().predicted, golden.predicted);
+    EXPECT_EQ(warm.value().output_values, golden.output_values);
+
+    // The pre-session single-shot path (fused stream through the
+    // accelerator facade) yields the same bits.
+    auto cold = acc.run(mlp, img);
+    ASSERT_TRUE(cold.ok()) << cold.error().to_string();
+    EXPECT_EQ(warm.value().predicted, cold.value().predicted);
+    EXPECT_EQ(warm.value().output_values, cold.value().output_values);
+    EXPECT_GT(warm.value().cycles, 0u);
+  }
+}
+
+TEST(Session, WarmRunStreamsNoWeightWordsOverHostLink) {
+  const auto mlp = test_mlp();
+  const auto config = core::NetpuConfig::paper_instance();
+
+  auto session = Session::create(config);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().load_model(mlp).ok());
+
+  const auto img = image(mlp.input_size(), 20);
+  auto warm = session.value().run(img);
+  ASSERT_TRUE(warm.ok()) << warm.error().to_string();
+
+  // Host link carried the input stream only: header + packed pixels. The
+  // fused-path router counter stays untouched; the model words refilled
+  // from the on-chip resident copies.
+  const auto input_words = loadable::input_size_words(first_setting(mlp));
+  EXPECT_EQ(warm.value().stats.get("router_words"), 0u);
+  EXPECT_EQ(warm.value().stats.get("router_header_words"), 2u);
+  EXPECT_EQ(warm.value().stats.get("router_input_words"), input_words - 2);
+  EXPECT_GT(warm.value().stats.get("router_resident_words"), 0u);
+
+  // And the warm run is never slower than the full fused stream.
+  core::Accelerator acc(config);
+  auto cold = acc.run(mlp, img);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_LE(warm.value().cycles, cold.value().cycles);
+}
+
+TEST(Session, RunFusedIsCycleExactWithAcceleratorAndRestoresResidency) {
+  const auto mlp = test_mlp();
+  const auto config = core::NetpuConfig::paper_instance();
+  const auto img = image(mlp.input_size(), 30);
+
+  auto fused = loadable::compile(mlp, img);
+  ASSERT_TRUE(fused.ok());
+
+  core::Accelerator acc(config);
+  auto reference = acc.run(fused.value());
+  ASSERT_TRUE(reference.ok());
+
+  auto session = Session::create(config);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().load_model(mlp).ok());
+
+  auto compat = session.value().run_fused(fused.value());
+  ASSERT_TRUE(compat.ok()) << compat.error().to_string();
+  EXPECT_EQ(compat.value().cycles, reference.value().cycles);
+  EXPECT_EQ(compat.value().output_values, reference.value().output_values);
+
+  // The fused run borrowed a context; the session must still serve warm
+  // requests afterwards.
+  auto warm = session.value().run(img);
+  ASSERT_TRUE(warm.ok()) << warm.error().to_string();
+  EXPECT_EQ(warm.value().predicted, reference.value().predicted);
+  EXPECT_EQ(warm.value().stats.get("router_words"), 0u);
+}
+
+TEST(Session, InputStreamVariantAndRepeatedRequestsAreDeterministic) {
+  const auto mlp = test_mlp();
+  auto session = Session::create(core::NetpuConfig::paper_instance());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().load_model(mlp).ok());
+
+  const auto img = image(mlp.input_size(), 40);
+  auto input = loadable::compile_input(first_setting(mlp), img);
+  ASSERT_TRUE(input.ok());
+
+  auto a = session.value().run(img);
+  auto b = session.value().run_input_stream(input.value());
+  auto c = session.value().run(img);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a.value().output_values, b.value().output_values);
+  EXPECT_EQ(a.value().cycles, b.value().cycles);
+  EXPECT_EQ(a.value().cycles, c.value().cycles);
+  EXPECT_EQ(a.value().stats.to_string(), c.value().stats.to_string());
+}
+
+TEST(Session, ErrorsAreReported) {
+  auto session = Session::create(core::NetpuConfig::paper_instance());
+  ASSERT_TRUE(session.ok());
+
+  // No model loaded yet.
+  EXPECT_FALSE(session.value().run(image(48, 1)).ok());
+
+  const auto mlp = test_mlp();
+  ASSERT_TRUE(session.value().load_model(mlp).ok());
+  // Wrong image size.
+  EXPECT_FALSE(session.value().run(image(7, 1)).ok());
+  // Not a model stream.
+  auto fused = loadable::compile(mlp, image(mlp.input_size(), 2));
+  ASSERT_TRUE(fused.ok());
+  EXPECT_FALSE(session.value().load_model(fused.value()).ok());
+
+  // Invalid instance configuration.
+  core::NetpuConfig bad = core::NetpuConfig::paper_instance();
+  bad.lpus = 0;
+  EXPECT_FALSE(Session::create(bad).ok());
+}
+
+TEST(AcceleratorFacade, CreateRejectsInvalidConfigs) {
+  core::NetpuConfig bad = core::NetpuConfig::paper_instance();
+  bad.lpus = 0;
+  auto acc = core::Accelerator::create(bad);
+  EXPECT_FALSE(acc.ok());
+
+  auto good = core::Accelerator::create(core::NetpuConfig::paper_instance());
+  ASSERT_TRUE(good.ok()) << good.error().to_string();
+
+  const auto mlp = test_mlp();
+  const auto img = image(mlp.input_size(), 50);
+  auto run = good.value().run(mlp, img);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  EXPECT_EQ(run.value().predicted, mlp.infer(img).predicted);
+}
+
+}  // namespace
+}  // namespace netpu::engine

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/accelerator.hpp"
+#include "core/netpu.hpp"
 #include "loadable/compiler.hpp"
 #include "loadable/parser.hpp"
 #include "nn/quantized_mlp.hpp"

@@ -12,11 +12,18 @@
 //   --stats                dump simulation counters
 //   --profile              per-layer cycle breakdown
 //   --vcd PATH             write an FSM waveform (GTKWave-loadable)
+//   --batch N              serve N copies of the request through a session
+//                          (model loaded once, inputs streamed per request)
+//   --threads T            serving channels/threads for --batch (default 1)
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
 
 #include "core/accelerator.hpp"
+#include "engine/inference_engine.hpp"
+#include "engine/session.hpp"
+#include "loadable/compiler.hpp"
 #include "loadable/stream_io.hpp"
 #include "sim/trace.hpp"
 
@@ -30,6 +37,8 @@ int main(int argc, char** argv) {
   bool profile = false;
   std::string vcd_path;
   sim::Trace trace;
+  std::size_t batch = 1;
+  std::size_t threads = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -72,6 +81,14 @@ int main(int argc, char** argv) {
       vcd_path = v;
       trace.enable(true);
       options.trace = &trace;
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      batch = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      threads = static_cast<std::size_t>(std::atoll(v));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
@@ -131,6 +148,68 @@ int main(int argc, char** argv) {
     f << trace.to_vcd();
     std::printf("wrote %zu trace events to %s\n", trace.events().size(),
                 vcd_path.c_str());
+  }
+
+  if (batch > 1) {
+    // Serving mode: split the fused loadable into model + input streams,
+    // load the model once into a session (one persistent context per
+    // thread), then serve `batch` copies of the input through the engine.
+    auto split = loadable::split_stream(stream.value());
+    if (!split.ok()) {
+      std::fprintf(stderr, "stream split failed: %s\n",
+                   split.error().to_string().c_str());
+      return 1;
+    }
+    if (threads == 0) threads = 1;
+    auto session = engine::Session::create(config, {.contexts = threads});
+    if (!session.ok()) {
+      std::fprintf(stderr, "session create failed: %s\n",
+                   session.error().to_string().c_str());
+      return 1;
+    }
+    if (auto s = session.value().load_model(split.value().model); !s.ok()) {
+      std::fprintf(stderr, "model load failed: %s\n",
+                   s.error().to_string().c_str());
+      return 1;
+    }
+    // Decode the request's image from the input stream, then serve `batch`
+    // copies of it through the engine.
+    const auto first_setting = loadable::LayerSetting::from_layer(
+        session.value().model().layers.front());
+    auto image = loadable::parse_input(first_setting, split.value().input);
+    if (!image.ok()) {
+      std::fprintf(stderr, "input decode failed: %s\n",
+                   image.error().to_string().c_str());
+      return 1;
+    }
+    std::vector<std::vector<std::uint8_t>> images(batch, image.value());
+    engine::InferenceEngine eng(session.value(), threads);
+    core::RunOptions serve_options = options;
+    serve_options.trace = nullptr;  // tracing is per-context; single-run only
+    auto served = eng.run_batch(images, serve_options);
+    if (!served.ok()) {
+      std::fprintf(stderr, "batch serving failed: %s\n",
+                   served.error().to_string().c_str());
+      return 1;
+    }
+    const auto& stats = served.value().stats;
+    std::printf("--- batch serving (%zu requests, %zu threads) ---\n", batch,
+                eng.threads());
+    std::printf("model stream: %zu words (loaded once, resident)\n",
+                split.value().model.size());
+    std::printf("input stream: %zu words per request\n",
+                split.value().input.size());
+    if (options.mode == core::RunMode::kCycleAccurate) {
+      const double warm_cycles = static_cast<double>(stats.total_cycles) /
+                                 static_cast<double>(stats.requests);
+      std::printf("cold fused run: %llu cycles; warm resident run: %.0f cycles\n",
+                  static_cast<unsigned long long>(run.value().cycles),
+                  warm_cycles);
+      std::printf("mean latency: %.2f us @ %.0f MHz\n", stats.mean_latency_us,
+                  config.clock_mhz);
+    }
+    std::printf("throughput: %.0f images/s (wall %.3f s)\n",
+                stats.images_per_second, stats.wall_seconds);
   }
   return 0;
 }
