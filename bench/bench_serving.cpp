@@ -10,6 +10,9 @@
 //    per-request critical path);
 //  * simulator wall-clock throughput scales with threads (each request's
 //    simulation is single-threaded and independent).
+//
+// Per-request model latency (simulated µs) feeds the serving-layer
+// histogram, so each row also reports p50/p95/p99 alongside throughput.
 #include <cstdio>
 #include <chrono>
 #include <vector>
@@ -21,6 +24,7 @@
 #include "loadable/compiler.hpp"
 #include "nn/model_zoo.hpp"
 #include "runtime/driver.hpp"
+#include "serve/server_stats.hpp"
 
 using namespace netpu;
 
@@ -43,6 +47,7 @@ int main() {
   core::Accelerator acc(config);
   runtime::Driver driver(acc);
   Cycle cold_cycles = 0;
+  serve::LatencyHistogram serial_latency;
   const auto serial_start = std::chrono::steady_clock::now();
   for (const auto& image : images) {
     auto m = driver.infer(mlp, image);
@@ -52,6 +57,7 @@ int main() {
       return 1;
     }
     cold_cycles = m.value().cycles;
+    serial_latency.record(m.value().measured_us);
   }
   const double serial_wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -68,10 +74,11 @@ int main() {
       loadable::model_size_words(mlp) + loadable::input_size_words(first) - 2;
   const std::size_t input_words = loadable::input_size_words(first);
 
-  std::printf("%-22s %12s %12s %10s\n", "path", "images/s", "speedup",
-              "host w/req");
-  std::printf("%-22s %12.1f %12s %10zu\n", "serial driver (cold)", serial_ips,
-              "1.00x", fused_words);
+  std::printf("%-22s %12s %12s %10s %9s %9s %9s\n", "path", "images/s",
+              "speedup", "host w/req", "p50 us", "p95 us", "p99 us");
+  std::printf("%-22s %12.1f %12s %10zu %9.2f %9.2f %9.2f\n",
+              "serial driver (cold)", serial_ips, "1.00x", fused_words,
+              serial_latency.p50(), serial_latency.p95(), serial_latency.p99());
 
   // --- engine: warm resident contexts, 1/2/4/8 threads ------------------
   Cycle warm_cycles = 0;
@@ -92,12 +99,18 @@ int main() {
     }
     const auto& stats = batch.value().stats;
     warm_cycles = batch.value().results.front().cycles;
+    serve::LatencyHistogram warm_latency;
+    for (const auto& r : batch.value().results) {
+      warm_latency.record(r.latency_us(config));
+    }
     char label[64];
     std::snprintf(label, sizeof label, "engine, %zu thread%s", threads,
                   threads == 1 ? "" : "s");
-    std::printf("%-22s %12.1f %11.2fx %10zu\n", label, stats.images_per_second,
+    std::printf("%-22s %12.1f %11.2fx %10zu %9.2f %9.2f %9.2f\n", label,
+                stats.images_per_second,
                 serial_ips > 0.0 ? stats.images_per_second / serial_ips : 0.0,
-                input_words);
+                input_words, warm_latency.p50(), warm_latency.p95(),
+                warm_latency.p99());
   }
 
   std::printf(

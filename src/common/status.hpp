@@ -20,6 +20,11 @@ enum class ErrorCode {
   kMalformedStream,
   kUnsupported,
   kInternal,
+  // Serving-layer vocabulary: transient conditions a client is expected to
+  // react to (back off, retry, drop) rather than treat as bugs.
+  kUnavailable,        // admission refused: queue full or server shut down
+  kDeadlineExceeded,   // request deadline passed before completion
+  kCancelled,          // request cancelled by its submitter
 };
 
 [[nodiscard]] constexpr const char* error_code_name(ErrorCode c) noexcept {
@@ -30,6 +35,9 @@ enum class ErrorCode {
     case ErrorCode::kMalformedStream: return "malformed_stream";
     case ErrorCode::kUnsupported: return "unsupported";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kCancelled: return "cancelled";
   }
   return "unknown";
 }

@@ -51,6 +51,10 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
+  // Wait for every chunk before surfacing any exception: rethrowing early
+  // would unwind past `fn` (and the caller's captures) while other chunks
+  // still reference them.
+  for (auto& f : futures) f.wait();
   for (auto& f : futures) f.get();
 }
 

@@ -34,7 +34,8 @@ common::Result<std::vector<Word>> load_stream(const std::string& path) {
   if (f.gcount() != 0) {
     return Error{ErrorCode::kMalformedStream, "file is not word-aligned"};
   }
-  if (stream.empty() || stream[0] != kMagic) {
+  if (stream.empty() || (stream[0] != kMagic && stream[0] != kModelMagic &&
+                         stream[0] != kInputMagic)) {
     return Error{ErrorCode::kMalformedStream, "not a NetPU-M loadable"};
   }
   return stream;

@@ -1,6 +1,7 @@
 // Loadable file I/O: the compiled word stream as a binary artifact the host
 // DMA engine reads (little-endian 64-bit words; the in-stream magic word
-// doubles as the file signature).
+// doubles as the file signature). Accepts any of the three stream kinds:
+// fused loadables, split model streams and split input streams.
 #pragma once
 
 #include <string>

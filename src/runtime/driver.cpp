@@ -6,6 +6,7 @@
 #include "engine/inference_engine.hpp"
 #include "engine/session.hpp"
 #include "loadable/compiler.hpp"
+#include "serve/server.hpp"
 
 namespace netpu::runtime {
 
@@ -89,6 +90,72 @@ Result<BatchResult> Driver::infer_batch(
   batch.images_per_second =
       wall > 0.0 ? static_cast<double>(batch.total) / wall : 0.0;
   return batch;
+}
+
+Result<Driver::ServeResult> Driver::serve_batch(
+    const nn::QuantizedMlp& mlp, std::span<const std::vector<std::uint8_t>> images,
+    std::span<const int> labels, const ServeOptions& options) {
+  if (labels.size() != images.size()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "serve_batch: labels/images size mismatch"};
+  }
+  ServeResult result;
+  result.batch.total = images.size();
+  if (images.empty()) return result;
+
+  const std::size_t channels = std::max<std::size_t>(1, options.channels);
+  serve::ModelRegistry registry(
+      accelerator_.config(),
+      {.resident_cap = 1, .contexts_per_model = channels});
+  static constexpr const char* kModel = "model";
+  if (auto s = registry.add_model(kModel, mlp); !s.ok()) return s.error();
+
+  serve::ServerOptions server_options;
+  server_options.queue_capacity =
+      std::max(options.queue_capacity, images.size());  // lossless admission
+  server_options.policy = options.policy;
+  server_options.dispatch_threads = channels;
+  serve::Server server(registry, server_options);
+  server.start();
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<serve::RequestHandle> handles;
+  handles.reserve(images.size());
+  for (const auto& image : images) {
+    auto h = server.submit(kModel, image);
+    if (!h.ok()) return h.error();
+    handles.push_back(std::move(h).value());
+  }
+
+  const std::size_t input_words = loadable::input_size_words(
+      loadable::LayerSetting::from_layer(mlp.layers.front()));
+  double latency_sum = 0.0;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    auto r = handles[i].wait();
+    if (!r.ok()) return r.error();
+    latency_sum += r.value().latency_us(accelerator_.config()) +
+                   dma_.transfer_overhead_us(input_words);
+    if (static_cast<int>(r.value().predicted) == labels[i]) {
+      ++result.batch.correct;
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  server.stop();
+
+  result.batch.timed = images.size();
+  result.batch.mean_measured_us = latency_sum / static_cast<double>(images.size());
+  result.batch.images_per_second =
+      wall > 0.0 ? static_cast<double>(images.size()) / wall : 0.0;
+
+  const auto stats = server.stats().model(kModel);
+  result.p50_us = stats.latency.p50();
+  result.p95_us = stats.latency.p95();
+  result.p99_us = stats.latency.p99();
+  result.micro_batches = stats.counters.batches;
+  result.mean_batch_size = stats.counters.mean_batch_size();
+  return result;
 }
 
 }  // namespace netpu::runtime

@@ -9,6 +9,7 @@
 
 #include "core/accelerator.hpp"
 #include "runtime/dma.hpp"
+#include "serve/dynamic_batcher.hpp"
 
 namespace netpu::runtime {
 
@@ -70,6 +71,37 @@ class Driver {
       std::size_t timed_samples = 1) {
     return infer_batch(mlp, images, labels, BatchOptions{timed_samples, 1});
   }
+
+  // Online-serving options: how the batch is pushed through the serving
+  // front-end (queue -> dynamic batcher -> registry -> engine) rather than
+  // handed to the engine as one pre-formed batch.
+  struct ServeOptions {
+    serve::BatcherPolicy policy;
+    std::size_t queue_capacity = 256;
+    // Serving channels: persistent contexts in the resident session and
+    // intra-batch dispatch threads.
+    std::size_t channels = 1;
+  };
+
+  struct ServeResult {
+    BatchResult batch;  // every image cycle-accurate (timed == total)
+    // End-to-end host latency percentiles (submit -> completion) from the
+    // server's histogram.
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    std::uint64_t micro_batches = 0;
+    double mean_batch_size = 0.0;
+  };
+
+  // Serve the batch online through serve::Server against a single-model
+  // registry: requests are admitted one by one and micro-batched by policy.
+  // Predictions are bit-identical to infer_batch; per-request DMA accounting
+  // matches it too (input-stream words only — the model is resident).
+  [[nodiscard]] common::Result<ServeResult> serve_batch(
+      const nn::QuantizedMlp& mlp,
+      std::span<const std::vector<std::uint8_t>> images, std::span<const int> labels,
+      const ServeOptions& options);
 
  private:
   core::Accelerator& accelerator_;

@@ -1,0 +1,114 @@
+#include "serve/dynamic_batcher.hpp"
+
+#include <chrono>
+#include <map>
+#include <utility>
+
+namespace netpu::serve {
+
+using common::Error;
+using common::ErrorCode;
+
+namespace {
+
+double elapsed_us(ServeClock::time_point from, ServeClock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+DynamicBatcher::DynamicBatcher(RequestQueue& queue, ModelRegistry& registry,
+                               ServerStats& stats, BatcherPolicy policy,
+                               std::size_t dispatch_threads,
+                               core::RunOptions run_options)
+    : queue_(queue),
+      registry_(registry),
+      stats_(stats),
+      policy_(policy),
+      run_options_(run_options),
+      dispatch_pool_(dispatch_threads == 0 ? 1 : dispatch_threads) {
+  if (policy_.max_batch_size == 0) policy_.max_batch_size = 1;
+}
+
+DynamicBatcher::~DynamicBatcher() {
+  // The owner is expected to close the queue before destruction; closing
+  // here too makes a bare batcher safe to drop.
+  queue_.close();
+  join();
+}
+
+void DynamicBatcher::start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { batcher_loop(); });
+}
+
+void DynamicBatcher::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void DynamicBatcher::complete_error(Request& request, Error error) {
+  request.promise.set_value(std::move(error));
+}
+
+void DynamicBatcher::batcher_loop() {
+  const std::chrono::microseconds wait{policy_.max_wait_us};
+  for (;;) {
+    auto batch = queue_.pop_batch(policy_.max_batch_size, wait);
+    if (batch.empty()) return;  // queue closed and drained
+
+    // Cull before dispatch: cancelled and expired requests complete with
+    // their terminal Status here and never reach a NetPU context.
+    const auto now = ServeClock::now();
+    std::map<std::string, std::vector<Request>> groups;
+    for (auto& request : batch) {
+      if (request.is_cancelled()) {
+        stats_.record_cancelled(request.model);
+        complete_error(request, Error{ErrorCode::kCancelled,
+                                      "request cancelled before dispatch"});
+        continue;
+      }
+      if (request.expired(now)) {
+        stats_.record_expired(request.model);
+        complete_error(request,
+                       Error{ErrorCode::kDeadlineExceeded,
+                             "request deadline passed while queued"});
+        continue;
+      }
+      groups[request.model].push_back(std::move(request));
+    }
+    for (auto& [model, group] : groups) {
+      dispatch_group(model, std::move(group));
+    }
+  }
+}
+
+void DynamicBatcher::dispatch_group(const std::string& model,
+                                    std::vector<Request> group) {
+  auto session = registry_.acquire(model);
+  if (!session.ok()) {
+    for (auto& request : group) {
+      stats_.record_failed(model);
+      complete_error(request, session.error());
+    }
+    return;
+  }
+  stats_.record_batch(model, group.size());
+
+  // Fan the group across the session's persistent contexts. Each request is
+  // an independent warm run, so results are bit-identical to serial
+  // dispatch; the pool only compresses wall-clock time.
+  engine::Session& s = *session.value();
+  dispatch_pool_.parallel_for(group.size(), [&](std::size_t i) {
+    auto& request = group[i];
+    auto result = s.run(request.image, run_options_);
+    const auto done = ServeClock::now();
+    if (result.ok()) {
+      stats_.record_completed(model, elapsed_us(request.submitted, done));
+    } else {
+      stats_.record_failed(model);
+    }
+    request.promise.set_value(std::move(result));
+  });
+}
+
+}  // namespace netpu::serve

@@ -1,0 +1,73 @@
+// Serving front-end, stage 2: the dynamic micro-batcher.
+//
+// A single batcher thread drains the request queue into micro-batches under
+// a (max_batch_size, max_wait_us) policy, culls cancelled and
+// deadline-expired requests (completing them with the matching Status error
+// — they never touch a NetPU context), groups the survivors by model name,
+// routes each group through the ModelRegistry and fans its requests across
+// the session's persistent context pool with a common::ThreadPool.
+//
+// Determinism: each request runs alone on a warm context (engine::Session
+// semantics), so predictions/cycles are bit-identical to a direct
+// Session::run whatever the batching policy or thread count — batching only
+// changes queueing delay and host throughput, never results.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "core/run_types.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server_stats.hpp"
+
+namespace netpu::serve {
+
+struct BatcherPolicy {
+  // Upper bound on requests per micro-batch (across models; the per-model
+  // dispatch groups can be smaller).
+  std::size_t max_batch_size = 8;
+  // How long the batcher holds an incomplete batch open waiting for more
+  // arrivals, measured from the first request taken. 0 = greedy (dispatch
+  // whatever is already queued).
+  std::uint64_t max_wait_us = 1000;
+};
+
+class DynamicBatcher {
+ public:
+  // `dispatch_threads` sizes the intra-batch fan-out pool; requests beyond
+  // the session's context count block in the engine's context pool.
+  DynamicBatcher(RequestQueue& queue, ModelRegistry& registry, ServerStats& stats,
+                 BatcherPolicy policy, std::size_t dispatch_threads = 1,
+                 core::RunOptions run_options = {});
+  ~DynamicBatcher();
+
+  DynamicBatcher(const DynamicBatcher&) = delete;
+  DynamicBatcher& operator=(const DynamicBatcher&) = delete;
+
+  // Launch the batcher thread (idempotent). Requests queued before start()
+  // are served after it — tests use this to stage deterministic scenarios.
+  void start();
+  // Blocks until the queue is closed AND drained, then joins. The owner
+  // (serve::Server) closes the queue first.
+  void join();
+
+  [[nodiscard]] bool running() const { return thread_.joinable(); }
+  [[nodiscard]] const BatcherPolicy& policy() const { return policy_; }
+
+ private:
+  void batcher_loop();
+  void dispatch_group(const std::string& model, std::vector<Request> group);
+  static void complete_error(Request& request, common::Error error);
+
+  RequestQueue& queue_;
+  ModelRegistry& registry_;
+  ServerStats& stats_;
+  BatcherPolicy policy_;
+  core::RunOptions run_options_;
+  common::ThreadPool dispatch_pool_;
+  std::thread thread_;
+};
+
+}  // namespace netpu::serve

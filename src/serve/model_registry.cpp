@@ -1,0 +1,120 @@
+#include "serve/model_registry.hpp"
+
+#include <algorithm>
+
+#include "loadable/compiler.hpp"
+#include "loadable/parser.hpp"
+
+namespace netpu::serve {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+ModelRegistry::ModelRegistry(core::NetpuConfig config, RegistryOptions options)
+    : config_(std::move(config)), options_(options) {
+  if (options_.resident_cap == 0) options_.resident_cap = 1;
+  if (options_.contexts_per_model == 0) options_.contexts_per_model = 1;
+}
+
+Status ModelRegistry::add_model(const std::string& name,
+                                std::vector<Word> model_stream) {
+  if (name.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "model name must be non-empty"};
+  }
+  // Pre-checks outside the lock: structural parse, then the same
+  // buffer-capacity limits a session load would enforce.
+  auto parsed = loadable::parse_model(model_stream);
+  if (!parsed.ok()) return parsed.error();
+  if (auto s = loadable::check_capacity(parsed.value().mlp, config_.compile_options());
+      !s.ok()) {
+    return s;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (models_.contains(name)) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "model '" + name + "' is already registered"};
+  }
+  models_.emplace(name, Entry{std::move(model_stream), nullptr});
+  return Status::ok_status();
+}
+
+Status ModelRegistry::add_model(const std::string& name, const nn::QuantizedMlp& mlp) {
+  auto stream = loadable::compile_model(mlp, config_.compile_options());
+  if (!stream.ok()) return stream.error();
+  return add_model(name, std::move(stream).value());
+}
+
+void ModelRegistry::touch(const std::string& name) {
+  const auto it = std::find(lru_.begin(), lru_.end(), name);
+  if (it != lru_.end()) lru_.erase(it);
+  lru_.push_front(name);
+}
+
+Result<std::shared_ptr<engine::Session>> ModelRegistry::acquire(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "model '" + name + "' is not registered"};
+  }
+  if (it->second.session != nullptr) {
+    counters_.hits += 1;
+    touch(name);
+    return it->second.session;
+  }
+
+  // Not resident: make room, then load. In-flight requests holding the
+  // evicted shared_ptr finish on it; the registry just forgets it.
+  if (lru_.size() >= options_.resident_cap) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    models_.at(victim).session = nullptr;
+    counters_.evictions += 1;
+  }
+  auto session =
+      engine::Session::create(config_, {.contexts = options_.contexts_per_model});
+  if (!session.ok()) return session.error();
+  auto shared = std::make_shared<engine::Session>(std::move(session).value());
+  if (auto s = shared->load_model(it->second.stream); !s.ok()) return s.error();
+  it->second.session = shared;
+  counters_.loads += 1;
+  touch(name);
+  return shared;
+}
+
+bool ModelRegistry::has_model(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.contains(name);
+}
+
+bool ModelRegistry::resident(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(name);
+  return it != models_.end() && it->second.session != nullptr;
+}
+
+std::size_t ModelRegistry::model_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.size();
+}
+
+std::size_t ModelRegistry::resident_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::vector<std::string> ModelRegistry::resident_models() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {lru_.begin(), lru_.end()};
+}
+
+ModelRegistry::Counters ModelRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace netpu::serve

@@ -1,0 +1,97 @@
+// Serving front-end, stage 3: the multi-model registry.
+//
+// NetPU-M's core claim (PAPER.md Sec. II) is that one hardware instance
+// serves many MLPs with no regeneration — only the data stream changes. The
+// registry is the host-side realization: it holds many named compiled model
+// streams against ONE instance configuration, and keeps at most
+// `resident_cap` of them loaded as engine::Sessions (each a pool of warm
+// NetPU contexts with the model's weights resident on-chip). Routing a
+// request to a non-resident model evicts the least-recently-used session —
+// the simulated analogue of re-streaming a different model into the same
+// bitstream — and every load/eviction/hit is counted so scheduling policy
+// changes are measurable.
+//
+// Registration pre-checks the model against the instance's buffer
+// capacities (loadable::check_capacity), so admission failures happen at
+// registry-add time, never mid-serving.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/config.hpp"
+#include "engine/session.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::serve {
+
+struct RegistryOptions {
+  // Max sessions resident at once. More registered models than this is
+  // fine: residency is managed LRU.
+  std::size_t resident_cap = 2;
+  // Persistent NetPU contexts per resident session (serving channels).
+  std::size_t contexts_per_model = 1;
+};
+
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(core::NetpuConfig config, RegistryOptions options = {});
+
+  // Register a model under `name`. The stream is parsed and
+  // capacity-checked against this registry's instance configuration, but no
+  // session is created yet (residency is demand-driven). Duplicate names
+  // are rejected.
+  [[nodiscard]] common::Status add_model(const std::string& name,
+                                         std::vector<Word> model_stream);
+  [[nodiscard]] common::Status add_model(const std::string& name,
+                                         const nn::QuantizedMlp& mlp);
+
+  // Route by name: return the model's resident session, loading it first
+  // (and evicting the LRU session if the residency cap is reached) when
+  // necessary. The returned shared_ptr keeps the session alive across a
+  // concurrent eviction, so in-flight batches never dangle.
+  [[nodiscard]] common::Result<std::shared_ptr<engine::Session>> acquire(
+      const std::string& name);
+
+  [[nodiscard]] bool has_model(const std::string& name) const;
+  [[nodiscard]] bool resident(const std::string& name) const;
+  [[nodiscard]] std::size_t model_count() const;
+  [[nodiscard]] std::size_t resident_count() const;
+  // Resident model names, most-recently-used first.
+  [[nodiscard]] std::vector<std::string> resident_models() const;
+
+  struct Counters {
+    std::uint64_t hits = 0;       // acquire() found the session resident
+    std::uint64_t loads = 0;      // sessions created + model made resident
+    std::uint64_t evictions = 0;  // LRU sessions dropped to make room
+  };
+  [[nodiscard]] Counters counters() const;
+
+  [[nodiscard]] const core::NetpuConfig& config() const { return config_; }
+  [[nodiscard]] const RegistryOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::vector<Word> stream;
+    std::shared_ptr<engine::Session> session;  // null while not resident
+  };
+
+  // Requires mutex_ held. Moves `name` to the MRU position.
+  void touch(const std::string& name);
+
+  core::NetpuConfig config_;
+  RegistryOptions options_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> models_;
+  std::list<std::string> lru_;  // resident names, front = MRU
+  Counters counters_;
+};
+
+}  // namespace netpu::serve

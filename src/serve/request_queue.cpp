@@ -1,0 +1,79 @@
+#include "serve/request_queue.hpp"
+
+namespace netpu::serve {
+
+using common::Error;
+using common::ErrorCode;
+using common::Status;
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+Status RequestQueue::push(Request&& request) {
+  if (request.expired(ServeClock::now())) {
+    return Error{ErrorCode::kDeadlineExceeded,
+                 "request deadline passed before admission"};
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return Error{ErrorCode::kUnavailable, "request queue is closed"};
+    }
+    if (queue_.size() >= capacity_) {
+      return Error{ErrorCode::kUnavailable,
+                   "request queue is full (" + std::to_string(capacity_) +
+                       " requests); back off and retry"};
+    }
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return Status::ok_status();
+}
+
+std::vector<Request> RequestQueue::pop_batch(std::size_t max_batch,
+                                             std::chrono::microseconds max_wait) {
+  if (max_batch == 0) max_batch = 1;
+  std::vector<Request> batch;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return batch;  // closed and drained: shutdown signal
+
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  // Batching window: measured from the first request taken, so an idle
+  // queue never delays a lone request by more than max_wait.
+  const auto window_end = ServeClock::now() + max_wait;
+  while (batch.size() < max_batch) {
+    if (queue_.empty()) {
+      if (closed_) break;
+      if (!cv_.wait_until(lock, window_end,
+                          [this] { return closed_ || !queue_.empty(); })) {
+        break;  // window elapsed with no more arrivals
+      }
+      if (queue_.empty()) break;  // woken by close()
+    }
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace netpu::serve

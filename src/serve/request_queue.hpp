@@ -1,0 +1,90 @@
+// Serving front-end, stage 1: the bounded multi-producer/multi-consumer
+// request queue.
+//
+// Admission control is explicit and lossless for the caller: push() either
+// accepts the request or returns a Status error (queue full -> kUnavailable,
+// deadline already passed -> kDeadlineExceeded, queue closed ->
+// kUnavailable) — nothing is silently dropped, so rejected/expired counts
+// are exact. Consumers drain micro-batches with pop_batch(), which
+// implements the dynamic-batching wait policy: block for the first request,
+// then collect more until the batch is full or max_wait elapses.
+//
+// Cancellation and deadline *expiry after admission* are cooperative: the
+// queue hands expired/cancelled requests to the consumer unchanged, and the
+// batcher completes them with the right error before any NetPU context is
+// touched (tested in tests/serve/).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/run_types.hpp"
+
+namespace netpu::serve {
+
+using ServeClock = std::chrono::steady_clock;
+
+// One in-flight inference request. Move-only: the promise is fulfilled
+// exactly once, by whichever stage terminates the request.
+struct Request {
+  std::uint64_t id = 0;
+  std::string model;
+  std::vector<std::uint8_t> image;
+  ServeClock::time_point submitted{};
+  ServeClock::time_point deadline = ServeClock::time_point::max();
+  std::shared_ptr<std::atomic<bool>> cancelled;
+  std::promise<common::Result<core::RunResult>> promise;
+
+  [[nodiscard]] bool has_deadline() const {
+    return deadline != ServeClock::time_point::max();
+  }
+  [[nodiscard]] bool expired(ServeClock::time_point now) const {
+    return now > deadline;
+  }
+  [[nodiscard]] bool is_cancelled() const {
+    return cancelled != nullptr && cancelled->load(std::memory_order_relaxed);
+  }
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  // Admission control. On error the request is returned untouched inside
+  // the caller's copy (the argument is only consumed on success).
+  [[nodiscard]] common::Status push(Request&& request);
+
+  // Drain up to `max_batch` requests: blocks until at least one request is
+  // available (or the queue is closed), then keeps collecting until the
+  // batch fills or `max_wait` has elapsed since the first request was
+  // taken. Returns an empty vector only when the queue is closed and empty
+  // — the consumer's shutdown signal.
+  [[nodiscard]] std::vector<Request> pop_batch(std::size_t max_batch,
+                                               std::chrono::microseconds max_wait);
+
+  // Close the queue: subsequent pushes fail with kUnavailable; consumers
+  // drain the remainder and then observe the empty-batch shutdown signal.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace netpu::serve

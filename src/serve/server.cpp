@@ -1,0 +1,65 @@
+#include "serve/server.hpp"
+
+namespace netpu::serve {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+
+Server::Server(ModelRegistry& registry, ServerOptions options)
+    : registry_(registry),
+      options_(options),
+      queue_(options.queue_capacity),
+      batcher_(queue_, registry_, stats_, options.policy, options.dispatch_threads,
+               options.run_options) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() { batcher_.start(); }
+
+void Server::stop() {
+  queue_.close();
+  // Without a running batcher the close alone would strand queued promises;
+  // start it so the drain path always completes every admitted request.
+  batcher_.start();
+  batcher_.join();
+}
+
+Result<RequestHandle> Server::submit(const std::string& model,
+                                     std::vector<std::uint8_t> image,
+                                     const RequestOptions& options) {
+  if (!registry_.has_model(model)) {
+    stats_.record_rejected(model);
+    return Error{ErrorCode::kInvalidArgument,
+                 "model '" + model + "' is not registered"};
+  }
+
+  Request request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.model = model;
+  request.image = std::move(image);
+  request.submitted = ServeClock::now();
+  if (options.deadline_us > 0) {
+    request.deadline =
+        request.submitted + std::chrono::microseconds(options.deadline_us);
+  }
+  request.cancelled = std::make_shared<std::atomic<bool>>(false);
+
+  RequestHandle handle;
+  handle.id_ = request.id;
+  handle.cancelled_ = request.cancelled;
+  handle.future_ = request.promise.get_future();
+
+  if (auto s = queue_.push(std::move(request)); !s.ok()) {
+    if (s.error().code == ErrorCode::kDeadlineExceeded) {
+      stats_.record_expired(model);
+    } else {
+      stats_.record_rejected(model);
+    }
+    return s.error();
+  }
+  stats_.record_admitted(model);
+  return handle;
+}
+
+}  // namespace netpu::serve

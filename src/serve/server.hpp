@@ -1,0 +1,106 @@
+// Serving front-end façade: queue -> batcher -> registry -> engine.
+//
+//   serve::ModelRegistry registry(config, {.resident_cap = 2});
+//   registry.add_model("tfc-w1a1", mlp);
+//   serve::Server server(registry, {.policy = {.max_batch_size = 8}});
+//   server.start();
+//   auto handle = server.submit("tfc-w1a1", image, {.deadline_us = 5000});
+//   auto result = handle.value().wait();   // Result<core::RunResult>
+//
+// submit() is the admission point: unknown model, full queue or
+// already-expired deadline come back as an immediate Status error (counted
+// in ServerStats as rejected/expired). Admitted requests resolve through
+// the handle's future with either a RunResult or the terminal serving error
+// (kDeadlineExceeded / kCancelled / an engine error).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/dynamic_batcher.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server_stats.hpp"
+
+namespace netpu::serve {
+
+// Caller-side view of one admitted request.
+class RequestHandle {
+ public:
+  RequestHandle() = default;
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] bool valid() const { return future_.valid(); }
+
+  // Cooperative cancel: effective until the batcher dispatches the request;
+  // a request already running completes normally.
+  void cancel() {
+    if (cancelled_) cancelled_->store(true, std::memory_order_relaxed);
+  }
+
+  // Block until the request terminates. Consumes the handle's future.
+  [[nodiscard]] common::Result<core::RunResult> wait() { return future_.get(); }
+
+ private:
+  friend class Server;
+  std::uint64_t id_ = 0;
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+  std::future<common::Result<core::RunResult>> future_;
+};
+
+struct RequestOptions {
+  // Deadline relative to submission; 0 = none. A request whose deadline
+  // passes while queued terminates with kDeadlineExceeded and never reaches
+  // a NetPU context.
+  std::uint64_t deadline_us = 0;
+};
+
+struct ServerOptions {
+  std::size_t queue_capacity = 256;
+  BatcherPolicy policy;
+  // Intra-batch fan-out threads (pairs naturally with the registry's
+  // contexts_per_model).
+  std::size_t dispatch_threads = 1;
+  core::RunOptions run_options;
+};
+
+class Server {
+ public:
+  Server(ModelRegistry& registry, ServerOptions options = {});
+  ~Server();  // stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Launch the batcher. Requests may be submitted before start(); they wait
+  // in the queue (subject to its capacity) until the batcher runs.
+  void start();
+  // Close admission, drain every queued request, join the batcher.
+  // Idempotent; the destructor calls it.
+  void stop();
+
+  // Admission: validates the model name, stamps the deadline, enqueues.
+  // Errors (unknown model, queue full/closed, expired deadline) are
+  // returned immediately and counted in stats().
+  [[nodiscard]] common::Result<RequestHandle> submit(const std::string& model,
+                                                     std::vector<std::uint8_t> image,
+                                                     const RequestOptions& options = {});
+
+  [[nodiscard]] ServerStats& stats() { return stats_; }
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] ModelRegistry& registry() { return registry_; }
+  [[nodiscard]] const RequestQueue& queue() const { return queue_; }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+ private:
+  ModelRegistry& registry_;
+  ServerOptions options_;
+  ServerStats stats_;
+  RequestQueue queue_;
+  DynamicBatcher batcher_;
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+}  // namespace netpu::serve

@@ -1,0 +1,119 @@
+// Serving-layer observability: per-model request counters plus latency
+// histograms with percentile exposition.
+//
+// The histogram is log-bucketed (geometric bucket boundaries at ~5%
+// resolution from 1 us to ~10^7 us), so recording is O(log buckets), memory
+// is fixed, and percentiles are deterministic functions of the recorded
+// multiset — good enough for p50/p95/p99 reporting without keeping every
+// sample. Counter updates are totals a test can assert exactly: every
+// admitted request ends in exactly one of completed / failed / rejected /
+// expired / cancelled.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace netpu::serve {
+
+// Fixed-memory latency histogram over microseconds. Not thread-safe on its
+// own; ServerStats serializes access.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(double us);
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_us_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_us_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_us_; }
+
+  // Value below which `p` percent of recorded samples fall (p in [0, 100]),
+  // reported as the upper boundary of the containing bucket (clamped to the
+  // exact max). 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] double p50() const { return percentile(50.0); }
+  [[nodiscard]] double p95() const { return percentile(95.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
+
+ private:
+  // Geometric boundaries: boundary[i] = kFirstBoundaryUs * kGrowth^i.
+  static constexpr std::size_t kBuckets = 340;
+  static constexpr double kFirstBoundaryUs = 1.0;
+  static constexpr double kGrowth = 1.05;
+  [[nodiscard]] static std::size_t bucket_index(double us);
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_us_ = 0.0;
+  double min_us_ = 0.0;
+  double max_us_ = 0.0;
+};
+
+// Terminal outcomes of one request's lifecycle. Admission increments
+// `admitted` or `rejected`; every admitted request later lands in exactly
+// one of completed / failed / expired / cancelled.
+struct ModelCounters {
+  std::uint64_t admitted = 0;    // accepted into the queue
+  std::uint64_t rejected = 0;    // refused at admission (queue full/closed)
+  std::uint64_t completed = 0;   // inference ran and succeeded
+  std::uint64_t failed = 0;      // inference ran (or routing) and errored
+  std::uint64_t expired = 0;     // deadline passed before dispatch
+  std::uint64_t cancelled = 0;   // cancelled before dispatch
+  std::uint64_t batches = 0;     // micro-batches dispatched for this model
+  std::uint64_t batched_requests = 0;  // requests across those batches
+
+  [[nodiscard]] double mean_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_requests) /
+                              static_cast<double>(batches);
+  }
+};
+
+struct ModelStatsSnapshot {
+  std::string model;
+  ModelCounters counters;
+  LatencyHistogram latency;  // end-to-end (submit -> completion), completed only
+};
+
+// Thread-safe per-model serving statistics. Models are keyed by name; the
+// empty name aggregates requests rejected before model resolution.
+class ServerStats {
+ public:
+  void record_admitted(const std::string& model);
+  void record_rejected(const std::string& model);
+  void record_completed(const std::string& model, double latency_us);
+  void record_failed(const std::string& model);
+  void record_expired(const std::string& model);
+  void record_cancelled(const std::string& model);
+  void record_batch(const std::string& model, std::size_t requests);
+
+  [[nodiscard]] ModelStatsSnapshot model(const std::string& name) const;
+  // All models, name order (deterministic).
+  [[nodiscard]] std::vector<ModelStatsSnapshot> snapshot() const;
+  // Sum over models plus one merged histogram.
+  [[nodiscard]] ModelStatsSnapshot totals() const;
+
+  // Pretty table for the CLI/bench exposition: one row per model with
+  // request counts, mean batch size and p50/p95/p99.
+  [[nodiscard]] std::string to_table() const;
+
+ private:
+  struct Entry {
+    ModelCounters counters;
+    LatencyHistogram latency;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> models_;
+};
+
+}  // namespace netpu::serve

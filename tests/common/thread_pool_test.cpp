@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 
 namespace netpu::common {
 namespace {
@@ -42,6 +46,58 @@ TEST(ThreadPool, ManyTasksComplete) {
 TEST(ThreadPool, SizeReflectsWorkers) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);
+}
+
+// Shutdown-while-busy: destroying the pool with work still queued must run
+// every queued task to completion (workers drain the queue before exiting),
+// so no future is ever abandoned with a broken promise.
+TEST(ThreadPool, ShutdownWhileBusyDrainsQueuedTasks) {
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        completed.fetch_add(1);
+      }));
+    }
+    // Destructor runs here with most tasks still queued.
+  }
+  EXPECT_EQ(completed.load(), 64);
+  for (auto& f : futures) {
+    EXPECT_NO_THROW(f.get());  // all promises fulfilled, none broken
+  }
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+// A throwing task must not take its worker down: later submissions still run.
+TEST(ThreadPool, PoolSurvivesThrowingTask) {
+  ThreadPool pool(1);  // single worker: it must survive the throw
+  auto bad = pool.submit([] { throw std::logic_error("first"); });
+  EXPECT_THROW(bad.get(), std::logic_error);
+  auto good = pool.submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, ParallelForPropagatesIterationException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&ran](std::size_t i) {
+                          ran.fetch_add(1);
+                          if (i == 37) throw std::runtime_error("iteration 37");
+                        }),
+      std::runtime_error);
+  // parallel_for waits for every chunk before rethrowing, so no iteration
+  // is left running against destroyed caller state.
+  EXPECT_GE(ran.load(), 1);
 }
 
 }  // namespace

@@ -161,6 +161,51 @@ TEST(Driver, ThreadedBatchMatchesSerialCorrectCount) {
                    threaded.value().mean_measured_us);
 }
 
+TEST(Driver, ServeBatchMatchesInferBatch) {
+  const auto mlp = small_mlp();
+  std::vector<std::vector<std::uint8_t>> images;
+  std::vector<int> labels;
+  for (int i = 0; i < 10; ++i) {
+    images.push_back(image(36, 700 + static_cast<std::uint64_t>(i)));
+    labels.push_back(i % 4);
+  }
+  core::Accelerator acc(core::NetpuConfig::paper_instance());
+  Driver driver(acc);
+  auto offline = driver.infer_batch(mlp, images, labels, BatchOptions{10, 2});
+  ASSERT_TRUE(offline.ok());
+
+  Driver::ServeOptions options;
+  options.policy = {4, 500};
+  options.channels = 2;
+  auto served = driver.serve_batch(mlp, images, labels, options);
+  ASSERT_TRUE(served.ok()) << served.error().to_string();
+  // Serving is an online path over the same engine: accuracy and simulated
+  // per-request latency are identical; only queueing/host timing differ.
+  EXPECT_EQ(served.value().batch.correct, offline.value().correct);
+  EXPECT_EQ(served.value().batch.timed, images.size());
+  EXPECT_DOUBLE_EQ(served.value().batch.mean_measured_us,
+                   offline.value().mean_measured_us);
+  // Percentile exposition is populated and ordered.
+  EXPECT_GT(served.value().p50_us, 0.0);
+  EXPECT_LE(served.value().p50_us, served.value().p95_us);
+  EXPECT_LE(served.value().p95_us, served.value().p99_us);
+  EXPECT_GE(served.value().micro_batches, 1u);
+  EXPECT_GT(served.value().mean_batch_size, 0.0);
+}
+
+TEST(Driver, ServeBatchEmptyAndMismatch) {
+  const auto mlp = small_mlp();
+  core::Accelerator acc(core::NetpuConfig::paper_instance());
+  Driver driver(acc);
+  auto empty = driver.serve_batch(mlp, {}, {}, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().batch.total, 0u);
+
+  std::vector<std::vector<std::uint8_t>> images{image(36, 1)};
+  std::vector<int> labels{0, 1};
+  EXPECT_FALSE(driver.serve_batch(mlp, images, labels, {}).ok());
+}
+
 TEST(MultiFpga, PartitionCoversAllLayersContiguously) {
   const auto mlp = small_mlp();
   MultiFpgaPipeline pipe(mlp, core::NetpuConfig::paper_instance(), 2);

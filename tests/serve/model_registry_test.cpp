@@ -1,0 +1,134 @@
+// ModelRegistry: capacity pre-checks at registration, demand-driven
+// residency with LRU eviction, and exact load/eviction/hit accounting.
+#include "serve/model_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "loadable/compiler.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::serve {
+namespace {
+
+nn::QuantizedMlp small_mlp(std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 32;
+  spec.hidden = {12};
+  spec.outputs = 4;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  return nn::random_quantized_mlp(spec, rng);
+}
+
+core::NetpuConfig config() { return core::NetpuConfig::paper_instance(); }
+
+TEST(ModelRegistry, RegistersAndRoutesByName) {
+  ModelRegistry registry(config(), {.resident_cap = 2});
+  ASSERT_TRUE(registry.add_model("a", small_mlp(1)).ok());
+  ASSERT_TRUE(registry.add_model("b", small_mlp(2)).ok());
+  EXPECT_EQ(registry.model_count(), 2u);
+  EXPECT_TRUE(registry.has_model("a"));
+  EXPECT_FALSE(registry.has_model("c"));
+  // Registration alone loads nothing.
+  EXPECT_EQ(registry.resident_count(), 0u);
+  EXPECT_FALSE(registry.resident("a"));
+
+  auto a = registry.acquire("a");
+  ASSERT_TRUE(a.ok()) << a.error().to_string();
+  EXPECT_TRUE(a.value()->has_model());
+  EXPECT_TRUE(registry.resident("a"));
+  EXPECT_EQ(registry.resident_count(), 1u);
+
+  auto missing = registry.acquire("c");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, common::ErrorCode::kInvalidArgument);
+}
+
+TEST(ModelRegistry, RejectsDuplicateNamesAndEmptyName) {
+  ModelRegistry registry(config());
+  ASSERT_TRUE(registry.add_model("a", small_mlp(1)).ok());
+  EXPECT_FALSE(registry.add_model("a", small_mlp(2)).ok());
+  EXPECT_FALSE(registry.add_model("", small_mlp(3)).ok());
+  EXPECT_EQ(registry.model_count(), 1u);
+}
+
+TEST(ModelRegistry, CapacityPreCheckRejectsOversizedModel) {
+  // A model compiled fine for the paper instance must still be refused by a
+  // registry whose instance has tighter limits — at add time, not serve time.
+  auto cfg = config();
+  cfg.max_neurons_per_layer = 8;
+  auto stream = loadable::compile_model(small_mlp(1));  // 12-neuron hidden layer
+  ASSERT_TRUE(stream.ok());
+  ModelRegistry registry(cfg);
+  auto s = registry.add_model("big", std::move(stream).value());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(registry.model_count(), 0u);
+}
+
+TEST(ModelRegistry, MalformedStreamRejected) {
+  ModelRegistry registry(config());
+  EXPECT_FALSE(registry.add_model("junk", std::vector<Word>{1, 2, 3}).ok());
+}
+
+TEST(ModelRegistry, LruEvictionOrder) {
+  ModelRegistry registry(config(), {.resident_cap = 2});
+  ASSERT_TRUE(registry.add_model("a", small_mlp(1)).ok());
+  ASSERT_TRUE(registry.add_model("b", small_mlp(2)).ok());
+  ASSERT_TRUE(registry.add_model("c", small_mlp(3)).ok());
+
+  ASSERT_TRUE(registry.acquire("a").ok());  // resident: [a]
+  ASSERT_TRUE(registry.acquire("b").ok());  // resident: [b, a]
+  EXPECT_EQ(registry.resident_models(), (std::vector<std::string>{"b", "a"}));
+
+  // Touch `a` so `b` becomes the LRU victim.
+  ASSERT_TRUE(registry.acquire("a").ok());  // resident: [a, b]
+  ASSERT_TRUE(registry.acquire("c").ok());  // evicts b -> [c, a]
+  EXPECT_EQ(registry.resident_models(), (std::vector<std::string>{"c", "a"}));
+  EXPECT_TRUE(registry.resident("a"));
+  EXPECT_FALSE(registry.resident("b"));
+  EXPECT_TRUE(registry.resident("c"));
+
+  // Reload of an evicted model evicts the current LRU (`a`).
+  ASSERT_TRUE(registry.acquire("b").ok());  // evicts a -> [b, c]
+  EXPECT_EQ(registry.resident_models(), (std::vector<std::string>{"b", "c"}));
+
+  const auto counters = registry.counters();
+  EXPECT_EQ(counters.loads, 4u);      // a, b, c, b-again
+  EXPECT_EQ(counters.evictions, 2u);  // b then a
+  EXPECT_EQ(counters.hits, 1u);       // the `a` touch
+}
+
+TEST(ModelRegistry, EvictedSessionSurvivesWhileHeld) {
+  ModelRegistry registry(config(), {.resident_cap = 1});
+  ASSERT_TRUE(registry.add_model("a", small_mlp(1)).ok());
+  ASSERT_TRUE(registry.add_model("b", small_mlp(2)).ok());
+
+  auto a = registry.acquire("a");
+  ASSERT_TRUE(a.ok());
+  auto held = a.value();  // in-flight batch keeps the session alive
+
+  ASSERT_TRUE(registry.acquire("b").ok());  // evicts a from the registry
+  EXPECT_FALSE(registry.resident("a"));
+  // The held session still serves.
+  EXPECT_TRUE(held->has_model());
+  std::vector<std::uint8_t> image(32, 7);
+  auto r = held->run(image);
+  EXPECT_TRUE(r.ok()) << r.error().to_string();
+}
+
+TEST(ModelRegistry, AcquireIsWarmAfterLoad) {
+  ModelRegistry registry(config(), {.resident_cap = 2, .contexts_per_model = 2});
+  ASSERT_TRUE(registry.add_model("a", small_mlp(1)).ok());
+  auto first = registry.acquire("a");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value()->context_count(), 2u);
+  auto second = registry.acquire("a");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().get(), second.value().get());  // same session object
+  EXPECT_EQ(registry.counters().loads, 1u);
+  EXPECT_EQ(registry.counters().hits, 1u);
+}
+
+}  // namespace
+}  // namespace netpu::serve

@@ -1,0 +1,128 @@
+// RequestQueue: bounded admission, batching window semantics, deadline
+// rejection at the door, and close/drain shutdown.
+#include "serve/request_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace netpu::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+Request make_request(std::uint64_t id, const std::string& model = "m") {
+  Request r;
+  r.id = id;
+  r.model = model;
+  r.submitted = ServeClock::now();
+  return r;
+}
+
+TEST(RequestQueue, PushPopRoundTrips) {
+  RequestQueue queue(4);
+  EXPECT_EQ(queue.capacity(), 4u);
+  ASSERT_TRUE(queue.push(make_request(1)).ok());
+  ASSERT_TRUE(queue.push(make_request(2)).ok());
+  EXPECT_EQ(queue.size(), 2u);
+
+  auto batch = queue.pop_batch(8, 0us);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, 1u);  // FIFO order
+  EXPECT_EQ(batch[1].id, 2u);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(RequestQueue, RejectsWhenFull) {
+  RequestQueue queue(2);
+  ASSERT_TRUE(queue.push(make_request(1)).ok());
+  ASSERT_TRUE(queue.push(make_request(2)).ok());
+  auto s = queue.push(make_request(3));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, common::ErrorCode::kUnavailable);
+  EXPECT_EQ(queue.size(), 2u);  // the rejected request was not enqueued
+}
+
+TEST(RequestQueue, RejectsExpiredDeadlineAtAdmission) {
+  RequestQueue queue(4);
+  auto r = make_request(1);
+  r.deadline = ServeClock::now() - 1ms;
+  auto s = queue.push(std::move(r));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, common::ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(RequestQueue, PopBatchHonorsMaxBatchSize) {
+  RequestQueue queue(8);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(queue.push(make_request(i)).ok());
+  }
+  auto batch = queue.pop_batch(3, 0us);
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(RequestQueue, PopBatchWaitsForLateArrivals) {
+  RequestQueue queue(8);
+  ASSERT_TRUE(queue.push(make_request(1)).ok());
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(5ms);
+    (void)queue.push(make_request(2)).ok();
+  });
+  // A generous window collects the late second request into the same batch.
+  auto batch = queue.pop_batch(2, 2s);
+  producer.join();
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(RequestQueue, ClosedQueueRejectsPushAndSignalsShutdown) {
+  RequestQueue queue(4);
+  ASSERT_TRUE(queue.push(make_request(1)).ok());
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+
+  auto s = queue.push(make_request(2));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, common::ErrorCode::kUnavailable);
+
+  // Remaining requests drain, then the empty batch signals shutdown.
+  auto batch = queue.pop_batch(8, 0us);
+  EXPECT_EQ(batch.size(), 1u);
+  auto empty = queue.pop_batch(8, 0us);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(RequestQueue, CloseWakesBlockedConsumer) {
+  RequestQueue queue(4);
+  std::thread consumer([&queue] {
+    auto batch = queue.pop_batch(4, 1s);
+    EXPECT_TRUE(batch.empty());
+  });
+  std::this_thread::sleep_for(2ms);
+  queue.close();
+  consumer.join();
+}
+
+TEST(RequestQueue, CancellationFlagTravelsWithRequest) {
+  RequestQueue queue(4);
+  auto r = make_request(7);
+  r.cancelled = std::make_shared<std::atomic<bool>>(false);
+  auto flag = r.cancelled;
+  ASSERT_TRUE(queue.push(std::move(r)).ok());
+
+  flag->store(true);  // handle-side cancel after admission
+  auto batch = queue.pop_batch(1, 0us);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch[0].is_cancelled());
+}
+
+TEST(RequestQueue, ZeroCapacityClampsToOne) {
+  RequestQueue queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  ASSERT_TRUE(queue.push(make_request(1)).ok());
+  EXPECT_FALSE(queue.push(make_request(2)).ok());
+}
+
+}  // namespace
+}  // namespace netpu::serve

@@ -1,0 +1,109 @@
+// ServerStats: histogram percentile exposition and per-model counter
+// bookkeeping used by the serving front-end and benches.
+#include "serve/server_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netpu::serve {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleEveryPercentile) {
+  LatencyHistogram h;
+  h.record(123.0);
+  EXPECT_EQ(h.count(), 1u);
+  // Percentiles are clamped to the observed extremes, so a lone sample
+  // reports itself exactly.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 123.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 123.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 123.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 123.0);
+}
+
+TEST(LatencyHistogram, PercentilesOrderedAndBracketed) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  const double p50 = h.p50(), p95 = h.p95(), p99 = h.p99();
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Bucket resolution is ~5%, so the reported value lands near the true
+  // rank statistic.
+  EXPECT_NEAR(p50, 500.0, 500.0 * 0.06);
+  EXPECT_NEAR(p95, 950.0, 950.0 * 0.06);
+  EXPECT_NEAR(p99, 990.0, 990.0 * 0.06);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(LatencyHistogram, MergeSumsDistributions) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(10.0);
+  for (int i = 0; i < 100; ++i) b.record(1000.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_LE(a.p50(), 11.0);
+  EXPECT_GE(a.p99(), 900.0);
+  EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(a.min(), 10.0);
+}
+
+TEST(ServerStats, CountersArePerModel) {
+  ServerStats stats;
+  stats.record_admitted("a");
+  stats.record_admitted("a");
+  stats.record_admitted("b");
+  stats.record_rejected("b");
+  stats.record_completed("a", 100.0);
+  stats.record_completed("a", 200.0);
+  stats.record_expired("b");
+  stats.record_cancelled("a");
+  stats.record_batch("a", 2);
+
+  const auto a = stats.model("a");
+  EXPECT_EQ(a.counters.admitted, 2u);
+  EXPECT_EQ(a.counters.completed, 2u);
+  EXPECT_EQ(a.counters.cancelled, 1u);
+  EXPECT_EQ(a.counters.rejected, 0u);
+  EXPECT_EQ(a.counters.batches, 1u);
+  EXPECT_DOUBLE_EQ(a.counters.mean_batch_size(), 2.0);
+  EXPECT_EQ(a.latency.count(), 2u);
+
+  const auto b = stats.model("b");
+  EXPECT_EQ(b.counters.admitted, 1u);
+  EXPECT_EQ(b.counters.rejected, 1u);
+  EXPECT_EQ(b.counters.expired, 1u);
+  EXPECT_EQ(b.latency.count(), 0u);
+
+  const auto totals = stats.totals();
+  EXPECT_EQ(totals.counters.admitted, 3u);
+  EXPECT_EQ(totals.counters.completed, 2u);
+  EXPECT_EQ(totals.latency.count(), 2u);
+
+  const auto all = stats.snapshot();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].model, "a");  // name order, deterministic
+  EXPECT_EQ(all[1].model, "b");
+
+  // The table renderer includes every model row plus the totals row.
+  const auto table = stats.to_table();
+  EXPECT_NE(table.find("a"), std::string::npos);
+  EXPECT_NE(table.find("(all)"), std::string::npos);
+}
+
+TEST(ServerStats, UnknownModelSnapshotIsZero) {
+  ServerStats stats;
+  const auto snap = stats.model("nope");
+  EXPECT_EQ(snap.counters.admitted, 0u);
+  EXPECT_EQ(snap.latency.count(), 0u);
+}
+
+}  // namespace
+}  // namespace netpu::serve

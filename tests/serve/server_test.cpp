@@ -1,0 +1,290 @@
+// The serving front-end end to end: bit-exact predictions under every
+// batching policy, deterministic admission/expiry/rejection accounting, and
+// the guarantee that terminated requests never touch a NetPU context.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "engine/inference_engine.hpp"
+#include "engine/session.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+nn::QuantizedMlp test_mlp(std::uint64_t seed = 1) {
+  common::Xoshiro256 rng(seed);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 48;
+  spec.hidden = {16, 12};
+  spec.outputs = 5;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  return nn::random_quantized_mlp(spec, rng);
+}
+
+std::vector<std::vector<std::uint8_t>> test_images(std::size_t n, std::size_t size,
+                                                   std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<std::vector<std::uint8_t>> images(n);
+  for (auto& img : images) {
+    img.resize(size);
+    for (auto& p : img) p = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  return images;
+}
+
+core::NetpuConfig config() { return core::NetpuConfig::paper_instance(); }
+
+TEST(Server, BitExactAcrossBatchingPolicies) {
+  const auto mlp = test_mlp();
+  const auto images = test_images(12, mlp.input_size(), 3);
+
+  // Reference: direct engine batch on a plain session.
+  auto session = engine::Session::create(config(), {.contexts = 2});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().load_model(mlp).ok());
+  engine::InferenceEngine engine(session.value(), 2);
+  auto reference = engine.run_batch(images);
+  ASSERT_TRUE(reference.ok());
+
+  struct Policy {
+    std::size_t max_batch;
+    std::uint64_t max_wait_us;
+    std::size_t threads;
+  };
+  for (const auto& p : {Policy{1, 0, 1}, Policy{4, 0, 2}, Policy{8, 2000, 4},
+                        Policy{64, 500, 3}}) {
+    ModelRegistry registry(config(), {.resident_cap = 1, .contexts_per_model = p.threads});
+    ASSERT_TRUE(registry.add_model("m", mlp).ok());
+    ServerOptions options;
+    options.policy = {p.max_batch, p.max_wait_us};
+    options.dispatch_threads = p.threads;
+    Server server(registry, options);
+    server.start();
+
+    std::vector<RequestHandle> handles;
+    for (const auto& image : images) {
+      auto h = server.submit("m", image);
+      ASSERT_TRUE(h.ok()) << h.error().to_string();
+      handles.push_back(std::move(h).value());
+    }
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      auto r = handles[i].wait();
+      ASSERT_TRUE(r.ok()) << r.error().to_string();
+      const auto& want = reference.value().results[i];
+      EXPECT_EQ(r.value().predicted, want.predicted);
+      EXPECT_EQ(r.value().output_values, want.output_values);
+      EXPECT_EQ(r.value().cycles, want.cycles);
+    }
+    server.stop();
+
+    const auto stats = server.stats().model("m");
+    EXPECT_EQ(stats.counters.admitted, images.size());
+    EXPECT_EQ(stats.counters.completed, images.size());
+    EXPECT_EQ(stats.counters.batched_requests, images.size());
+    EXPECT_EQ(stats.counters.rejected, 0u);
+    EXPECT_EQ(stats.counters.expired, 0u);
+    EXPECT_EQ(stats.latency.count(), images.size());
+  }
+}
+
+TEST(Server, QueueFullRejectsDeterministically) {
+  const auto mlp = test_mlp();
+  const auto images = test_images(6, mlp.input_size(), 4);
+
+  ModelRegistry registry(config());
+  ASSERT_TRUE(registry.add_model("m", mlp).ok());
+  ServerOptions options;
+  options.queue_capacity = 3;
+  Server server(registry, options);
+  // Batcher intentionally not started: the queue fills and the overflow is
+  // rejected with a Status error at admission.
+  std::vector<RequestHandle> handles;
+  std::size_t rejected = 0;
+  for (const auto& image : images) {
+    auto h = server.submit("m", image);
+    if (h.ok()) {
+      handles.push_back(std::move(h).value());
+    } else {
+      EXPECT_EQ(h.error().code, common::ErrorCode::kUnavailable);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(handles.size(), 3u);
+  EXPECT_EQ(rejected, 3u);
+
+  server.stop();  // drains the three admitted requests
+  for (auto& h : handles) EXPECT_TRUE(h.wait().ok());
+
+  const auto stats = server.stats().model("m");
+  EXPECT_EQ(stats.counters.admitted, 3u);
+  EXPECT_EQ(stats.counters.rejected, 3u);
+  EXPECT_EQ(stats.counters.completed, 3u);
+}
+
+TEST(Server, UnknownModelRejectedAtAdmission) {
+  const auto mlp = test_mlp();
+  ModelRegistry registry(config());
+  ASSERT_TRUE(registry.add_model("m", mlp).ok());
+  Server server(registry);
+  auto h = server.submit("ghost", std::vector<std::uint8_t>(48, 0));
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.error().code, common::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(server.stats().model("ghost").counters.rejected, 1u);
+  EXPECT_EQ(registry.counters().loads, 0u);  // no context was ever built
+}
+
+TEST(Server, ExpiredRequestsNeverReachAContext) {
+  const auto mlp = test_mlp();
+  const auto images = test_images(4, mlp.input_size(), 5);
+
+  ModelRegistry registry(config());
+  ASSERT_TRUE(registry.add_model("m", mlp).ok());
+  Server server(registry);
+  // Queue while the batcher is down, with deadlines that will pass before
+  // it comes up.
+  std::vector<RequestHandle> handles;
+  for (const auto& image : images) {
+    auto h = server.submit("m", image, {.deadline_us = 1000});
+    ASSERT_TRUE(h.ok());
+    handles.push_back(std::move(h).value());
+  }
+  std::this_thread::sleep_for(20ms);  // all deadlines pass
+  server.start();
+  for (auto& h : handles) {
+    auto r = h.wait();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, common::ErrorCode::kDeadlineExceeded);
+  }
+  server.stop();
+
+  const auto stats = server.stats().model("m");
+  EXPECT_EQ(stats.counters.admitted, images.size());
+  EXPECT_EQ(stats.counters.expired, images.size());
+  EXPECT_EQ(stats.counters.completed, 0u);
+  EXPECT_EQ(stats.counters.batches, 0u);
+  // The registry never loaded the model: no session, no NetPU context.
+  EXPECT_EQ(registry.counters().loads, 0u);
+  EXPECT_FALSE(registry.resident("m"));
+}
+
+TEST(Server, CancelledRequestsNeverReachAContext) {
+  const auto mlp = test_mlp();
+  const auto images = test_images(3, mlp.input_size(), 6);
+
+  ModelRegistry registry(config());
+  ASSERT_TRUE(registry.add_model("m", mlp).ok());
+  Server server(registry);
+  std::vector<RequestHandle> handles;
+  for (const auto& image : images) {
+    auto h = server.submit("m", image);
+    ASSERT_TRUE(h.ok());
+    handles.push_back(std::move(h).value());
+  }
+  for (auto& h : handles) h.cancel();
+  server.start();
+  for (auto& h : handles) {
+    auto r = h.wait();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, common::ErrorCode::kCancelled);
+  }
+  server.stop();
+
+  const auto stats = server.stats().model("m");
+  EXPECT_EQ(stats.counters.cancelled, images.size());
+  EXPECT_EQ(stats.counters.completed, 0u);
+  EXPECT_EQ(registry.counters().loads, 0u);
+}
+
+TEST(Server, MultiModelRoutingWithEviction) {
+  const auto mlp_a = test_mlp(1);
+  const auto mlp_b = test_mlp(2);
+  const auto images = test_images(8, mlp_a.input_size(), 7);
+
+  // Golden per-model predictions.
+  std::vector<std::size_t> want_a, want_b;
+  for (const auto& image : images) {
+    want_a.push_back(mlp_a.infer(image).predicted);
+    want_b.push_back(mlp_b.infer(image).predicted);
+  }
+
+  // resident_cap 1 forces an eviction whenever the batcher switches models.
+  ModelRegistry registry(config(), {.resident_cap = 1});
+  ASSERT_TRUE(registry.add_model("a", mlp_a).ok());
+  ASSERT_TRUE(registry.add_model("b", mlp_b).ok());
+  ServerOptions options;
+  options.policy = {16, 1000};
+  Server server(registry, options);
+  server.start();
+
+  std::vector<RequestHandle> handles_a, handles_b;
+  for (const auto& image : images) {
+    auto ha = server.submit("a", image);
+    auto hb = server.submit("b", image);
+    ASSERT_TRUE(ha.ok());
+    ASSERT_TRUE(hb.ok());
+    handles_a.push_back(std::move(ha).value());
+    handles_b.push_back(std::move(hb).value());
+  }
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    auto ra = handles_a[i].wait();
+    auto rb = handles_b[i].wait();
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(ra.value().predicted, want_a[i]);
+    EXPECT_EQ(rb.value().predicted, want_b[i]);
+  }
+  server.stop();
+
+  EXPECT_EQ(server.stats().model("a").counters.completed, images.size());
+  EXPECT_EQ(server.stats().model("b").counters.completed, images.size());
+  // One resident slot + two models in play = at least one eviction+reload.
+  const auto counters = registry.counters();
+  EXPECT_GE(counters.evictions, 1u);
+  EXPECT_GE(counters.loads, 2u);
+  EXPECT_EQ(registry.resident_count(), 1u);
+}
+
+TEST(Server, SubmitAfterStopIsRejected) {
+  const auto mlp = test_mlp();
+  ModelRegistry registry(config());
+  ASSERT_TRUE(registry.add_model("m", mlp).ok());
+  Server server(registry);
+  server.start();
+  server.stop();
+  auto h = server.submit("m", std::vector<std::uint8_t>(48, 0));
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.error().code, common::ErrorCode::kUnavailable);
+  EXPECT_EQ(server.stats().model("m").counters.rejected, 1u);
+}
+
+TEST(Server, FunctionalModeServesWithoutContexts) {
+  const auto mlp = test_mlp();
+  const auto images = test_images(4, mlp.input_size(), 8);
+  ModelRegistry registry(config());
+  ASSERT_TRUE(registry.add_model("m", mlp).ok());
+  ServerOptions options;
+  options.run_options.mode = core::RunMode::kFunctional;
+  Server server(registry, options);
+  server.start();
+  std::vector<RequestHandle> handles;
+  for (const auto& image : images) {
+    auto h = server.submit("m", image);
+    ASSERT_TRUE(h.ok());
+    handles.push_back(std::move(h).value());
+  }
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    auto r = handles[i].wait();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().predicted, mlp.infer(images[i]).predicted);
+    EXPECT_EQ(r.value().cycles, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace netpu::serve

@@ -8,6 +8,8 @@
 //   --idx-images P    take the image from an IDX file instead
 //   --idx-labels P
 //   --dense           enable dense multi-channel streaming (Sec. V ext.)
+//   --split PREFIX    also write the split halves (PR 1 session-mode
+//                     streams) as PREFIX.npm (model) and PREFIX.npi (input)
 #include <cstdio>
 #include <string>
 
@@ -23,6 +25,7 @@ int main(int argc, char** argv) {
   std::string model_path = "model.netpum";
   std::string out_path = "inference.npl";
   std::string idx_images, idx_labels;
+  std::string split_prefix;
   std::size_t image_index = 0;
   std::uint64_t image_seed = 2;
   bool dense = false;
@@ -56,6 +59,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return 2;
       idx_labels = v;
+    } else if (arg == "--split") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      split_prefix = v;
     } else if (arg == "--dense") {
       dense = true;
     } else {
@@ -108,5 +115,28 @@ int main(int argc, char** argv) {
   std::printf("wrote %s: %zu words (%zu bytes), label of packed image: %d\n",
               out_path.c_str(), stream.value().size(),
               stream.value().size() * 8, ds.labels[image_index]);
+
+  if (!split_prefix.empty()) {
+    auto halves = loadable::split_stream(stream.value());
+    if (!halves.ok()) {
+      std::fprintf(stderr, "split failed: %s\n",
+                   halves.error().to_string().c_str());
+      return 1;
+    }
+    const std::string model_out = split_prefix + ".npm";
+    const std::string input_out = split_prefix + ".npi";
+    if (auto s = loadable::save_stream(halves.value().model, model_out); !s.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", s.error().to_string().c_str());
+      return 1;
+    }
+    if (auto s = loadable::save_stream(halves.value().input, input_out); !s.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", s.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %s: %zu words (model stream)\n", model_out.c_str(),
+                halves.value().model.size());
+    std::printf("wrote %s: %zu words (input stream)\n", input_out.c_str(),
+                halves.value().input.size());
+  }
   return 0;
 }

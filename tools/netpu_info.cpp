@@ -2,11 +2,18 @@
 // section sizes, latency estimate and resource requirements.
 //
 //   netpu-info --model model.netpum
-//   netpu-info --stream inference.npl
+//   netpu-info --stream inference.npl     (fused loadable)
+//   netpu-info --stream model.npm         (split model stream)
+//   netpu-info --stream input.npi         (split input stream)
+//
+// --stream dispatches on the leading magic word, so all three PR 1 stream
+// kinds (fused, model-only, input-only) get a per-section word breakdown.
 #include <cstdio>
+#include <span>
 #include <string>
 
 #include "core/latency_model.hpp"
+#include "loadable/compiler.hpp"
 #include "loadable/parser.hpp"
 #include "loadable/stream_io.hpp"
 #include "nn/model_io.hpp"
@@ -32,6 +39,80 @@ void print_model(const nn::QuantizedMlp& mlp) {
   std::printf("estimated latency on the paper instance: %llu cycles = %.2f us\n",
               static_cast<unsigned long long>(est.total()),
               config.cycles_to_us(est.total()));
+}
+
+int print_fused(const std::string& path, std::span<const Word> stream) {
+  auto parsed = loadable::parse(stream);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", parsed.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("fused loadable: %s (%zu words)\n", path.c_str(), stream.size());
+  std::printf("section breakdown:\n");
+  std::uint64_t params = 0, weights = 0;
+  for (const auto& s : parsed.value().settings) {
+    params += s.param_section_words();
+    weights += s.weight_section_words();
+  }
+  const auto header = 3 + 2 * parsed.value().settings.size();
+  std::printf("  header+settings: %zu words\n", header);
+  std::printf("  dataset input:   %u words\n",
+              parsed.value().settings.front().input_words());
+  std::printf("  parameters:      %llu words\n",
+              static_cast<unsigned long long>(params));
+  std::printf("  weights:         %llu words\n",
+              static_cast<unsigned long long>(weights));
+  print_model(parsed.value().mlp);
+  return 0;
+}
+
+int print_model_stream(const std::string& path,
+                       std::span<const Word> stream) {
+  auto parsed = loadable::parse_model(stream);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", parsed.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("model stream: %s (%zu words) — load once, stream inputs\n",
+              path.c_str(), stream.size());
+  std::printf("section breakdown:\n");
+  std::uint64_t params = 0, weights = 0;
+  for (const auto& s : parsed.value().settings) {
+    params += s.param_section_words();
+    weights += s.weight_section_words();
+  }
+  const auto header = 2 + 2 * parsed.value().settings.size();
+  std::printf("  header+settings: %zu words\n", header);
+  std::printf("  parameters:      %llu words\n",
+              static_cast<unsigned long long>(params));
+  std::printf("  weights:         %llu words\n",
+              static_cast<unsigned long long>(weights));
+  std::printf("  per-request input stream: %llu words\n",
+              static_cast<unsigned long long>(
+                  loadable::input_size_words(parsed.value().settings.front())));
+  print_model(parsed.value().mlp);
+  return 0;
+}
+
+int print_input_stream(const std::string& path,
+                       std::span<const Word> stream) {
+  // An input stream alone does not carry the packing precision — decoding
+  // the samples needs the companion model stream's input-layer setting. The
+  // header and payload word counts are still self-describing.
+  if (stream.size() < 2) {
+    std::fprintf(stderr, "parse failed: truncated input stream\n");
+    return 1;
+  }
+  std::printf("input stream: %s (%zu words)\n", path.c_str(), stream.size());
+  std::printf("section breakdown:\n");
+  std::printf("  header:          2 words (magic + image count)\n");
+  std::printf("  packed samples:  %zu words\n", stream.size() - 2);
+  std::printf("  image count:     %llu\n",
+              static_cast<unsigned long long>(stream[1]));
+  std::printf(
+      "decode the samples against the companion model stream's input-layer "
+      "setting (netpu-info --stream model.npm).\n");
+  return 0;
 }
 
 }  // namespace
@@ -75,30 +156,17 @@ int main(int argc, char** argv) {
                    stream.error().to_string().c_str());
       return 1;
     }
-    auto parsed = loadable::parse(stream.value());
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "parse failed: %s\n",
-                   parsed.error().to_string().c_str());
-      return 1;
+    switch (stream.value().front()) {
+      case loadable::kMagic:
+        return print_fused(stream_path, stream.value());
+      case loadable::kModelMagic:
+        return print_model_stream(stream_path, stream.value());
+      case loadable::kInputMagic:
+        return print_input_stream(stream_path, stream.value());
+      default:
+        std::fprintf(stderr, "unknown stream magic\n");  // unreachable
+        return 1;
     }
-    std::printf("loadable: %s (%zu words)\n", stream_path.c_str(),
-                stream.value().size());
-    std::printf("section breakdown:\n");
-    std::uint64_t params = 0, weights = 0;
-    for (const auto& s : parsed.value().settings) {
-      params += s.param_section_words();
-      weights += s.weight_section_words();
-    }
-    const auto header = 3 + 2 * parsed.value().settings.size();
-    std::printf("  header+settings: %zu words\n", header);
-    std::printf("  dataset input:   %u words\n",
-                parsed.value().settings.front().input_words());
-    std::printf("  parameters:      %llu words\n",
-                static_cast<unsigned long long>(params));
-    std::printf("  weights:         %llu words\n",
-                static_cast<unsigned long long>(weights));
-    print_model(parsed.value().mlp);
-    return 0;
   }
   std::fprintf(stderr, "usage: netpu-info --model FILE | --stream FILE\n");
   return 2;

@@ -1,0 +1,252 @@
+// netpu-serve: online multi-model serving demo over the serving front-end
+// (request queue -> dynamic micro-batcher -> LRU model registry -> engine).
+//
+//   netpu-serve [--models TFC-w1a1,TFC-w2a2] [--requests 64] [options]
+//
+// Load generation:
+//   --mode closed|open   closed-loop clients (default) or Poisson open loop
+//   --clients C          concurrent closed-loop clients (default 4)
+//   --rate R             open-loop arrival rate, requests/s (default 2000)
+//   --deadline-us D      per-request deadline (0 = none; open loop only)
+//
+// Serving policy:
+//   --batch-size B       micro-batch cap (default 8)
+//   --max-wait-us W      batching window (default 1000)
+//   --queue-capacity Q   admission bound (default 256)
+//   --resident-cap K     models resident at once (default 2)
+//   --contexts N         NetPU contexts per resident model (default 2)
+//
+// Misc: --seed S, --functional (golden evaluation, no cycle simulation)
+//
+// Prints the ServerStats table: per-model admitted/rejected/expired counts,
+// mean micro-batch size and p50/p95/p99 end-to-end latency, plus per-model
+// throughput and registry load/eviction counters.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "nn/model_zoo.hpp"
+#include "serve/server.hpp"
+
+using namespace netpu;
+
+namespace {
+
+bool parse_variant(const std::string& name, nn::ModelVariant& out) {
+  for (const auto& v : nn::paper_variants()) {
+    if (v.name() == name) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    const auto end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string models_csv = "TFC-w1a1,TFC-w2a2";
+  std::size_t requests = 64;
+  std::string mode = "closed";
+  std::size_t clients = 4;
+  double rate = 2000.0;
+  std::uint64_t deadline_us = 0;
+  serve::ServerOptions server_options;
+  server_options.policy = {8, 1000};
+  serve::RegistryOptions registry_options{.resident_cap = 2, .contexts_per_model = 2};
+  server_options.dispatch_threads = 2;
+  std::uint64_t seed = 11;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--models" && (v = next())) {
+      models_csv = v;
+    } else if (arg == "--requests" && (v = next())) {
+      requests = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--mode" && (v = next())) {
+      mode = v;
+    } else if (arg == "--clients" && (v = next())) {
+      clients = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--rate" && (v = next())) {
+      rate = std::atof(v);
+    } else if (arg == "--deadline-us" && (v = next())) {
+      deadline_us = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--batch-size" && (v = next())) {
+      server_options.policy.max_batch_size = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--max-wait-us" && (v = next())) {
+      server_options.policy.max_wait_us = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--queue-capacity" && (v = next())) {
+      server_options.queue_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--resident-cap" && (v = next())) {
+      registry_options.resident_cap = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--contexts" && (v = next())) {
+      registry_options.contexts_per_model = static_cast<std::size_t>(std::atoll(v));
+      server_options.dispatch_threads = registry_options.contexts_per_model;
+    } else if (arg == "--seed" && (v = next())) {
+      seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--functional") {
+      server_options.run_options.mode = core::RunMode::kFunctional;
+    } else {
+      std::fprintf(stderr,
+                   "usage: netpu-serve [--models CSV] [--requests N] "
+                   "[--mode closed|open] [--clients C] [--rate R] "
+                   "[--deadline-us D] [--batch-size B] [--max-wait-us W] "
+                   "[--queue-capacity Q] [--resident-cap K] [--contexts N] "
+                   "[--seed S] [--functional]\n");
+      return 2;
+    }
+  }
+  if (mode != "closed" && mode != "open") {
+    std::fprintf(stderr, "--mode must be 'closed' or 'open'\n");
+    return 2;
+  }
+
+  // Build the model zoo entries into the registry.
+  const auto model_names = split_csv(models_csv);
+  if (model_names.empty()) {
+    std::fprintf(stderr, "no models given\n");
+    return 2;
+  }
+  const auto config = core::NetpuConfig::paper_instance();
+  serve::ModelRegistry registry(config, registry_options);
+  common::Xoshiro256 rng(seed);
+  for (const auto& name : model_names) {
+    nn::ModelVariant variant;
+    if (!parse_variant(name, variant)) {
+      std::fprintf(stderr, "unknown variant '%s'; use e.g. TFC-w1a1, SFC-w2a2\n",
+                   name.c_str());
+      return 2;
+    }
+    const auto mlp = nn::make_random_quantized_model(variant, true, rng);
+    if (auto s = registry.add_model(name, mlp); !s.ok()) {
+      std::fprintf(stderr, "register '%s' failed: %s\n", name.c_str(),
+                   s.error().to_string().c_str());
+      return 1;
+    }
+  }
+
+  const auto dataset = data::make_synthetic_mnist(requests, seed + 1);
+  serve::Server server(registry, server_options);
+  server.start();
+
+  std::printf(
+      "netpu-serve: %zu requests over %zu models (%s loop), "
+      "batch<=%zu wait<=%llu us, queue %zu, resident cap %zu, %zu contexts/model\n\n",
+      requests, model_names.size(), mode.c_str(),
+      server_options.policy.max_batch_size,
+      static_cast<unsigned long long>(server_options.policy.max_wait_us),
+      server_options.queue_capacity, registry_options.resident_cap,
+      registry_options.contexts_per_model);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t submit_failures = 0;
+
+  if (mode == "closed") {
+    // Closed loop: C clients, each submits and waits before the next
+    // request — concurrency is bounded by the client count.
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> failures{0};
+    std::vector<std::thread> threads;
+    const std::size_t c = clients == 0 ? 1 : clients;
+    threads.reserve(c);
+    for (std::size_t t = 0; t < c; ++t) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = cursor.fetch_add(1);
+          if (i >= requests) return;
+          const auto& model = model_names[i % model_names.size()];
+          serve::RequestOptions ro;
+          ro.deadline_us = deadline_us;
+          auto h = server.submit(model, dataset.images[i], ro);
+          if (!h.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          (void)h.value().wait();  // outcome lands in ServerStats
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    submit_failures = failures.load();
+  } else {
+    // Open loop: Poisson arrivals at `rate` req/s; requests are submitted
+    // without waiting, so queue pressure (and rejections/expiry under a
+    // deadline) reflect the arrival process, not client think time.
+    common::Xoshiro256 arrivals(seed + 2);
+    std::vector<serve::RequestHandle> handles;
+    handles.reserve(requests);
+    auto next_arrival = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < requests; ++i) {
+      const double u = 1.0 - arrivals.next_double();  // (0, 1]
+      next_arrival += std::chrono::microseconds(
+          static_cast<std::uint64_t>(-std::log(u) / rate * 1e6));
+      std::this_thread::sleep_until(next_arrival);
+      const auto& model = model_names[i % model_names.size()];
+      serve::RequestOptions ro;
+      ro.deadline_us = deadline_us;
+      auto h = server.submit(model, dataset.images[i], ro);
+      if (!h.ok()) {
+        ++submit_failures;
+        continue;
+      }
+      handles.push_back(std::move(h).value());
+    }
+    for (auto& h : handles) (void)h.wait();
+  }
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  server.stop();
+
+  std::printf("%s\n", server.stats().to_table().c_str());
+  const auto totals = server.stats().totals();
+  std::printf("per-model throughput:\n");
+  for (const auto& snap : server.stats().snapshot()) {
+    std::printf("  %-12s %8.1f req/s (%llu completed)\n", snap.model.c_str(),
+                wall > 0.0 ? static_cast<double>(snap.counters.completed) / wall
+                           : 0.0,
+                static_cast<unsigned long long>(snap.counters.completed));
+  }
+  std::printf("aggregate: %.1f req/s over %.3f s; %zu submit failures\n",
+              wall > 0.0 ? static_cast<double>(totals.counters.completed) / wall
+                         : 0.0,
+              wall, submit_failures);
+
+  const auto counters = registry.counters();
+  std::printf(
+      "registry: %llu loads, %llu evictions, %llu hits; resident now:",
+      static_cast<unsigned long long>(counters.loads),
+      static_cast<unsigned long long>(counters.evictions),
+      static_cast<unsigned long long>(counters.hits));
+  for (const auto& name : registry.resident_models()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+
+  // A serving demo that completed nothing is a failure, not a quiet exit.
+  return totals.counters.completed > 0 ? 0 : 1;
+}
