@@ -1,7 +1,11 @@
 // Serving-policy sweep: push one request burst through the serving
 // front-end (queue -> dynamic batcher -> registry -> engine) under a grid
 // of (max_batch_size, max_wait_us) policies and report throughput, mean
-// micro-batch size and p50/p95/p99 end-to-end latency per policy.
+// micro-batch size and p50/p95/p99 latency per policy — end-to-end and
+// split per stage (queue-wait / batch-form / execute). The three stages
+// partition submit -> completion, so their means must sum to the
+// end-to-end mean (checked below); percentile sums only approximate the
+// end-to-end percentiles and are reported for eyeballing.
 //
 // The burst pattern isolates the batcher: every request is queued before
 // the batcher starts, so batch formation depends only on the policy, and
@@ -10,6 +14,7 @@
 // `bench_server --smoke` runs a tiny request count — the CI Release job
 // uses it to exercise the serving path with optimizations on.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -51,6 +56,11 @@ int main(int argc, char** argv) {
       requests, names.size(), contexts);
   std::printf("%-24s %10s %10s %10s %10s %10s %8s\n", "policy", "req/s",
               "batches", "mean sz", "p50 us", "p95 us", "p99 us");
+  const auto print_stage = [](const char* name,
+                              const serve::LatencyHistogram& h) {
+    std::printf("  %-22s %10s %10s %10s %10.1f %10.1f %8.1f\n", name, "", "",
+                "", h.p50(), h.p95(), h.p99());
+  };
 
   struct Policy {
     std::size_t max_batch;
@@ -122,6 +132,37 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(totals.counters.batches),
                 totals.counters.mean_batch_size(), totals.latency.p50(),
                 totals.latency.p95(), totals.latency.p99());
+    print_stage("queue-wait", totals.queue_wait);
+    print_stage("batch-form", totals.batch_form);
+    print_stage("execute", totals.execute);
+
+    // The stages partition submit -> completion per request, so their exact
+    // means must sum to the end-to-end mean (slack: duration_cast truncation
+    // of up to 1 us per stage per request). Percentile sums are only
+    // approximate — distributions don't add — so those get a loose sanity
+    // band rather than an equality.
+    const double stage_mean_sum = totals.queue_wait.mean() +
+                                  totals.batch_form.mean() +
+                                  totals.execute.mean();
+    const double e2e_mean = totals.latency.mean();
+    if (std::abs(stage_mean_sum - e2e_mean) > 0.05 * e2e_mean + 4.0) {
+      std::fprintf(stderr,
+                   "stage means (%.1f us) do not sum to end-to-end mean "
+                   "(%.1f us) — stage accounting is broken\n",
+                   stage_mean_sum, e2e_mean);
+      return 1;
+    }
+    const double stage_p50_sum = totals.queue_wait.p50() +
+                                 totals.batch_form.p50() +
+                                 totals.execute.p50();
+    if (stage_p50_sum < 0.25 * totals.latency.p50() ||
+        stage_p50_sum > 4.0 * totals.latency.p99() + 4.0) {
+      std::fprintf(stderr,
+                   "stage p50 sum (%.1f us) wildly off the end-to-end p50 "
+                   "(%.1f us)\n",
+                   stage_p50_sum, totals.latency.p50());
+      return 1;
+    }
   }
 
   std::printf(

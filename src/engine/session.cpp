@@ -1,5 +1,6 @@
 #include "engine/session.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
 
@@ -17,6 +18,11 @@ struct Session::Pool {
   std::mutex mutex;
   std::condition_variable cv;
   std::vector<Context*> free_list;
+  // Occupancy accounting (guarded by mutex).
+  std::size_t total = 0;
+  std::size_t peak_in_use = 0;
+  std::uint64_t acquires = 0;
+  std::uint64_t waits = 0;
 };
 
 Session::Context::Context(const core::NetpuConfig& config) : netpu(config) {
@@ -32,6 +38,7 @@ Session::Session(core::NetpuConfig config, SessionOptions options)
     contexts_.push_back(std::make_unique<Context>(config_));
     pool_->free_list.push_back(contexts_.back().get());
   }
+  pool_->total = contexts_.size();
 }
 
 Session::~Session() = default;
@@ -82,9 +89,13 @@ Status Session::load_model(const nn::QuantizedMlp& mlp) {
 
 Session::Context* Session::acquire() {
   std::unique_lock<std::mutex> lock(pool_->mutex);
+  pool_->acquires += 1;
+  if (pool_->free_list.empty()) pool_->waits += 1;
   pool_->cv.wait(lock, [this] { return !pool_->free_list.empty(); });
   Context* context = pool_->free_list.back();
   pool_->free_list.pop_back();
+  pool_->peak_in_use =
+      std::max(pool_->peak_in_use, pool_->total - pool_->free_list.size());
   return context;
 }
 
@@ -94,6 +105,17 @@ void Session::release(Context* context) {
     pool_->free_list.push_back(context);
   }
   pool_->cv.notify_one();
+}
+
+Session::PoolStats Session::pool_stats() const {
+  std::lock_guard<std::mutex> lock(pool_->mutex);
+  PoolStats s;
+  s.contexts = pool_->total;
+  s.in_use = pool_->total - pool_->free_list.size();
+  s.peak_in_use = pool_->peak_in_use;
+  s.acquires = pool_->acquires;
+  s.waits = pool_->waits;
+  return s;
 }
 
 Result<core::RunResult> Session::run(std::span<const std::uint8_t> image,

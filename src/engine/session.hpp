@@ -52,6 +52,18 @@ class Session {
   [[nodiscard]] const core::NetpuConfig& config() const { return config_; }
   [[nodiscard]] std::size_t context_count() const { return contexts_.size(); }
 
+  // Context-pool occupancy, exported by the serving metrics surface. A
+  // `waits` much smaller than `acquires` means the pool is sized right; a
+  // high `peak_in_use` with waits means requests queue on contexts.
+  struct PoolStats {
+    std::size_t contexts = 0;     // pool size
+    std::size_t in_use = 0;       // busy right now
+    std::size_t peak_in_use = 0;  // high-water mark
+    std::uint64_t acquires = 0;   // total acquisitions
+    std::uint64_t waits = 0;      // acquisitions that blocked
+  };
+  [[nodiscard]] PoolStats pool_stats() const;
+
   // Load the session's model: parse it, capability/capacity-check it against
   // this instance, and make its stream resident in every context. Replaces
   // any previously loaded model.

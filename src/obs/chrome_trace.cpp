@@ -1,0 +1,194 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace netpu::obs {
+
+using common::Error;
+using common::ErrorCode;
+using common::Status;
+
+namespace {
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_us(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<SpanEvent>& events,
+                              const std::vector<std::string>& model_names) {
+  // Reassemble per-request chains (events arrive globally ordered by seq,
+  // so per-request order is preserved by a stable partition).
+  struct Chain {
+    std::uint32_t model_id = 0;
+    std::map<SpanStage, std::chrono::steady_clock::time_point> stamps;
+    std::vector<SpanStage> terminals;
+  };
+  std::map<std::uint64_t, Chain> chains;
+  auto t0 = std::chrono::steady_clock::time_point::max();
+  for (const auto& e : events) {
+    auto& chain = chains[e.request_id];
+    chain.model_id = e.model_id;
+    chain.stamps[e.stage] = e.at;
+    if (is_terminal(e.stage)) chain.terminals.push_back(e.stage);
+    t0 = std::min(t0, e.at);
+  }
+
+  const auto rel_us = [&](std::chrono::steady_clock::time_point at) {
+    return std::chrono::duration<double, std::micro>(at - t0).count();
+  };
+  const auto model_name = [&](std::uint32_t id) -> std::string {
+    return id < model_names.size() ? model_names[id]
+                                   : "model-" + std::to_string(id);
+  };
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& event_json) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n" + event_json;
+  };
+
+  // One process per model, named after it.
+  std::set<std::uint32_t> models_seen;
+  for (const auto& [id, chain] : chains) models_seen.insert(chain.model_id);
+  for (const auto id : models_seen) {
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(id) +
+         ",\"tid\":0,\"args\":{\"name\":\"model " +
+         escape_json(model_name(id)) + "\"}}");
+  }
+
+  for (const auto& [request_id, chain] : chains) {
+    const std::string ids = "\"pid\":" + std::to_string(chain.model_id) +
+                            ",\"tid\":" + std::to_string(request_id);
+    const auto slice = [&](const char* name, SpanStage from, SpanStage to) {
+      const auto a = chain.stamps.find(from);
+      const auto b = chain.stamps.find(to);
+      if (a == chain.stamps.end() || b == chain.stamps.end()) return;
+      const double ts = rel_us(a->second);
+      const double dur = std::max(0.0, rel_us(b->second) - ts);
+      emit("{\"name\":\"" + std::string(name) + "\",\"ph\":\"X\",\"ts\":" +
+           format_us(ts) + ",\"dur\":" + format_us(dur) + "," + ids +
+           ",\"args\":{\"request\":" + std::to_string(request_id) + "}}");
+    };
+    slice("queue-wait", SpanStage::kAdmitted, SpanStage::kDequeued);
+    slice("batch-form", SpanStage::kDequeued, SpanStage::kContextAcquired);
+    slice("execute", SpanStage::kContextAcquired, SpanStage::kExecuted);
+    for (const auto terminal : chain.terminals) {
+      const auto at = chain.stamps.find(terminal);
+      if (at == chain.stamps.end()) continue;
+      emit("{\"name\":\"" + std::string(to_string(terminal)) +
+           "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" + format_us(rel_us(at->second)) +
+           "," + ids + ",\"args\":{}}");
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status validate_chrome_trace(const std::string& json) {
+  const auto fail = [](const std::string& what) -> Status {
+    return Error{ErrorCode::kMalformedStream, "chrome trace: " + what};
+  };
+  const auto events_pos = json.find("\"traceEvents\"");
+  if (json.empty() || json[0] != '{' || events_pos == std::string::npos) {
+    return fail("document is not a {\"traceEvents\": [...]} object");
+  }
+
+  // Structural scan: balanced braces/brackets outside strings, and per
+  // top-level event object the required keys.
+  int brace = 0, bracket = 0;
+  bool in_string = false, escaped = false;
+  std::size_t events = 0;
+  std::size_t object_start = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '[': ++bracket; break;
+      case ']': --bracket; break;
+      case '{':
+        if (++brace == 2 && bracket == 1) object_start = i;  // an event object
+        break;
+      case '}':
+        if (brace == 2 && bracket == 1 && i > events_pos) {
+          const std::string event = json.substr(object_start, i - object_start + 1);
+          ++events;
+          for (const char* key : {"\"name\"", "\"ph\""}) {
+            if (event.find(key) == std::string::npos) {
+              return fail("event " + std::to_string(events) + " lacks " + key);
+            }
+          }
+          const auto ph = event.find("\"ph\":\"");
+          if (ph == std::string::npos || ph + 6 >= event.size()) {
+            return fail("event " + std::to_string(events) + " has malformed ph");
+          }
+          const char phase = event[ph + 6];
+          static constexpr const char* kKnown = "XBEiIMbens";
+          if (std::string(kKnown).find(phase) == std::string::npos) {
+            return fail("unknown phase '" + std::string(1, phase) + "'");
+          }
+          if (phase == 'X' || phase == 'i') {
+            if (event.find("\"ts\":") == std::string::npos) {
+              return fail("event " + std::to_string(events) + " lacks ts");
+            }
+          }
+          // Non-finite numbers appear as bare tokens after a colon (string
+          // values are quoted, so model names can't false-positive).
+          for (const char* bad : {":nan", ":inf", ":-nan", ":-inf"}) {
+            if (event.find(bad) != std::string::npos) {
+              return fail("non-finite number in event " + std::to_string(events));
+            }
+          }
+        }
+        --brace;
+        break;
+      default: break;
+    }
+    if (brace < 0 || bracket < 0) return fail("unbalanced structure");
+  }
+  if (brace != 0 || bracket != 0 || in_string) return fail("unbalanced structure");
+  if (events == 0) return fail("no events");
+  return Status::ok_status();
+}
+
+}  // namespace netpu::obs

@@ -1,0 +1,33 @@
+// Chrome trace_event JSON exposition of Tracer span events.
+//
+// Renders one `{"traceEvents": [...]}` document loadable in
+// chrome://tracing (or Perfetto's legacy importer). Per request the span
+// chain becomes three complete ("ph":"X") slices on the request's own
+// track — queue-wait (admitted -> dequeued), batch-form (dequeued ->
+// context-acquired) and execute (context-acquired -> executed) — plus an
+// instant ("ph":"i") marker for the terminal stage. Requests are grouped
+// into one process per model (process_name metadata carries the model
+// name), with the request id as the thread id, so a serving run reads as a
+// swim-lane per request under its model.
+//
+// validate_chrome_trace() is the CI-side schema check: document shape,
+// balanced structure, every event carries name/ph/ts, and only known phase
+// types appear.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/tracer.hpp"
+
+namespace netpu::obs {
+
+// `model_names` indexes Tracer model ids (Tracer::model_names()).
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<SpanEvent>& events,
+    const std::vector<std::string>& model_names);
+
+[[nodiscard]] common::Status validate_chrome_trace(const std::string& json);
+
+}  // namespace netpu::obs

@@ -1,0 +1,69 @@
+#include "obs/latency_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netpu::obs {
+
+LatencyHistogram::LatencyHistogram() = default;
+
+std::size_t LatencyHistogram::bucket_index(double us) {
+  if (us <= kFirstBoundaryUs) return 0;
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(std::log(us / kFirstBoundaryUs) / std::log(kGrowth)));
+  return std::min(idx, kBuckets - 1);
+}
+
+void LatencyHistogram::record(double us) {
+  us = std::max(us, 0.0);
+  counts_[bucket_index(us)] += 1;
+  if (count_ == 0) {
+    min_us_ = max_us_ = us;
+  } else {
+    min_us_ = std::min(min_us_, us);
+    max_us_ = std::max(max_us_, us);
+  }
+  sum_us_ += us;
+  count_ += 1;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  min_us_ = count_ == 0 ? other.min_us_ : std::min(min_us_, other.min_us_);
+  max_us_ = count_ == 0 ? other.max_us_ : std::max(max_us_, other.max_us_);
+  sum_us_ += other.sum_us_;
+  count_ += other.count_;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the sample that covers the p-th percentile (nearest-rank).
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      // Interpolate within the bucket by rank position, treating the
+      // bucket's samples as spread uniformly across (lower, upper]: the
+      // k-th of n samples sits at the (k - 0.5)/n point. A lone sample
+      // reports the bucket midpoint, not the upper boundary.
+      const double upper =
+          kFirstBoundaryUs * std::pow(kGrowth, static_cast<double>(i));
+      const double lower =
+          i == 0 ? 0.0
+                 : kFirstBoundaryUs * std::pow(kGrowth, static_cast<double>(i) - 1.0);
+      const std::uint64_t before = cumulative - counts_[i];
+      const double within =
+          (static_cast<double>(rank - before) - 0.5) / static_cast<double>(counts_[i]);
+      const double value = lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+      // Never report beyond the observed extremes.
+      return std::clamp(value, min_us_, max_us_);
+    }
+  }
+  return max_us_;
+}
+
+}  // namespace netpu::obs

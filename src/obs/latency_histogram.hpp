@@ -1,0 +1,60 @@
+// Fixed-memory log-bucketed latency histogram (microseconds).
+//
+// Geometric bucket boundaries at ~5% resolution from 1 us to ~10^7 us, so
+// recording is O(log buckets), memory is fixed, and percentiles are
+// deterministic functions of the recorded multiset. Percentiles interpolate
+// linearly *within* the containing bucket by rank position (and are clamped
+// to the observed extremes), so the worst-case bias is half a bucket
+// (~2.5%) instead of the full bucket width the upper-boundary convention
+// used to pay.
+//
+// Shared vocabulary for every latency surface in the repo: the serving
+// layer's end-to-end and per-stage (queue-wait / batch-form / execute)
+// distributions, the benches, and the Prometheus summary exposition.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace netpu::obs {
+
+// Not thread-safe on its own; owners (e.g. serve::ServerStats) serialize.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(double us);
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_us_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_us_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_us_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_us_; }
+
+  // Value below which `p` percent of recorded samples fall (p in [0, 100]),
+  // interpolated within the containing bucket and clamped to the exact
+  // observed [min, max]. 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] double p50() const { return percentile(50.0); }
+  [[nodiscard]] double p95() const { return percentile(95.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
+
+ private:
+  // Geometric boundaries: boundary[i] = kFirstBoundaryUs * kGrowth^i.
+  static constexpr std::size_t kBuckets = 340;
+  static constexpr double kFirstBoundaryUs = 1.0;
+  static constexpr double kGrowth = 1.05;
+  [[nodiscard]] static std::size_t bucket_index(double us);
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_us_ = 0.0;
+  double min_us_ = 0.0;
+  double max_us_ = 0.0;
+};
+
+}  // namespace netpu::obs

@@ -1,0 +1,214 @@
+#include "obs/metrics_exporter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace netpu::obs {
+
+using common::Error;
+using common::ErrorCode;
+using common::Status;
+
+namespace {
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string render_labels(const MetricsExporter::Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + escape_label_value(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string render_value(double value) {
+  // Integral values (the common case for counters) print exactly.
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  return std::all_of(name.begin() + 1, name.end(), [&](char c) {
+    return head(c) || (c >= '0' && c <= '9');
+  });
+}
+
+}  // namespace
+
+MetricsExporter::Family& MetricsExporter::family(const std::string& name,
+                                                 const std::string& type,
+                                                 const std::string& help) {
+  for (auto& f : families_) {
+    if (f.name == name) return f;  // type/help fixed by the first call
+  }
+  families_.push_back(Family{name, type, help, {}});
+  return families_.back();
+}
+
+void MetricsExporter::counter(const std::string& name, const std::string& help,
+                              double value, const Labels& labels) {
+  family(name, "counter", help).samples.push_back(Sample{"", labels, value});
+}
+
+void MetricsExporter::gauge(const std::string& name, const std::string& help,
+                            double value, const Labels& labels) {
+  family(name, "gauge", help).samples.push_back(Sample{"", labels, value});
+}
+
+void MetricsExporter::summary(const std::string& name, const std::string& help,
+                              const LatencyHistogram& histogram,
+                              const Labels& labels) {
+  auto& f = family(name, "summary", help);
+  for (const double q : {0.5, 0.95, 0.99}) {
+    Labels with_quantile = labels;
+    char qbuf[16];
+    std::snprintf(qbuf, sizeof qbuf, "%g", q);
+    with_quantile.emplace_back("quantile", qbuf);
+    f.samples.push_back(Sample{"", with_quantile, histogram.percentile(q * 100.0)});
+  }
+  f.samples.push_back(Sample{"_sum", labels, histogram.sum()});
+  f.samples.push_back(
+      Sample{"_count", labels, static_cast<double>(histogram.count())});
+}
+
+std::string MetricsExporter::render() const {
+  std::string out;
+  for (const auto& f : families_) {
+    out += "# HELP " + f.name + " " + f.help + "\n";
+    out += "# TYPE " + f.name + " " + f.type + "\n";
+    for (const auto& s : f.samples) {
+      out += f.name + s.suffix + render_labels(s.labels) + " " +
+             render_value(s.value) + "\n";
+    }
+  }
+  return out;
+}
+
+Status validate_prometheus(const std::string& text) {
+  std::map<std::string, std::string> declared;  // family -> type
+  std::set<std::string> seen_samples;           // "name{labels}" uniqueness
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t samples = 0;
+  const auto fail = [&](const std::string& what) -> Status {
+    return Error{ErrorCode::kMalformedStream,
+                 "metrics line " + std::to_string(line_no) + ": " + what};
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string name, type;
+      if (!(fields >> name >> type)) return fail("malformed TYPE line");
+      if (!valid_metric_name(name)) return fail("bad family name '" + name + "'");
+      if (declared.contains(name)) {
+        return fail("family '" + name + "' declared twice");
+      }
+      if (type != "counter" && type != "gauge" && type != "summary" &&
+          type != "histogram" && type != "untyped") {
+        return fail("unknown type '" + type + "'");
+      }
+      declared.emplace(name, type);
+      continue;
+    }
+    if (line[0] == '#') continue;  // other comments
+
+    // Sample line: name[{labels}] value
+    const auto brace = line.find('{');
+    const auto space = line.find(' ');
+    if (space == std::string::npos) return fail("sample without value");
+    std::string name;
+    std::string key;
+    if (brace != std::string::npos && brace < space) {
+      const auto close = line.find('}', brace);
+      if (close == std::string::npos || close + 1 >= line.size() ||
+          line[close + 1] != ' ') {
+        return fail("malformed label set");
+      }
+      name = line.substr(0, brace);
+      key = line.substr(0, close + 1);
+    } else {
+      name = line.substr(0, space);
+      key = name;
+    }
+    if (!valid_metric_name(name)) return fail("bad sample name '" + name + "'");
+
+    // Resolve the owning family: exact, or name minus a summary suffix.
+    std::string base = name;
+    if (!declared.contains(base)) {
+      for (const char* suffix : {"_sum", "_count", "_bucket"}) {
+        const std::string s = suffix;
+        if (base.size() > s.size() &&
+            base.compare(base.size() - s.size(), s.size(), s) == 0) {
+          const std::string stripped = base.substr(0, base.size() - s.size());
+          if (declared.contains(stripped)) {
+            base = stripped;
+            break;
+          }
+        }
+      }
+    }
+    if (!declared.contains(base)) {
+      return fail("sample '" + name + "' has no TYPE declaration");
+    }
+
+    if (!seen_samples.insert(key).second) {
+      return fail("duplicate sample '" + key + "'");
+    }
+
+    const std::string value_str = line.substr(
+        key.size() == name.size() ? space + 1 : line.find('}') + 2);
+    char* end = nullptr;
+    const double value = std::strtod(value_str.c_str(), &end);
+    if (end == value_str.c_str() || *end != '\0') {
+      return fail("unparseable value '" + value_str + "'");
+    }
+    if (!std::isfinite(value)) return fail("non-finite value in '" + name + "'");
+    if (declared.at(base) == "counter" && value < 0.0) {
+      return fail("negative counter '" + name + "'");
+    }
+    ++samples;
+  }
+  if (samples == 0) {
+    return Error{ErrorCode::kMalformedStream, "metrics output has no samples"};
+  }
+  return Status::ok_status();
+}
+
+}  // namespace netpu::obs

@@ -1,0 +1,64 @@
+// Prometheus text-format (version 0.0.4) metrics exposition.
+//
+// The exporter is a write-once builder: the serving layer registers
+// counters/gauges from its snapshots plus latency summaries straight from
+// LatencyHistograms, then render() emits the canonical text format —
+// `# HELP` / `# TYPE` once per metric family, one sample line per label
+// set, quantile labels for summaries. No background scrape server: the
+// output goes to a file (`netpu-serve --metrics-out`) or a test string.
+//
+// validate_prometheus() is the matching checker the CI smoke runs against
+// real exporter output: family names unique and well-formed, samples only
+// for declared families, all values finite, counters non-negative, no
+// duplicate (name, labels) sample.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/latency_histogram.hpp"
+
+namespace netpu::obs {
+
+class MetricsExporter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  // Register one sample. The first call for a family fixes its HELP text
+  // and TYPE; later calls add label sets to the same family.
+  void counter(const std::string& name, const std::string& help, double value,
+               const Labels& labels = {});
+  void gauge(const std::string& name, const std::string& help, double value,
+             const Labels& labels = {});
+  // Emits p50/p95/p99 quantile samples plus `_sum` and `_count`.
+  void summary(const std::string& name, const std::string& help,
+               const LatencyHistogram& histogram, const Labels& labels = {});
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Sample {
+    std::string suffix;  // "", "_sum", "_count"
+    Labels labels;
+    double value = 0.0;
+  };
+  struct Family {
+    std::string name;
+    std::string type;
+    std::string help;
+    std::vector<Sample> samples;
+  };
+
+  Family& family(const std::string& name, const std::string& type,
+                 const std::string& help);
+
+  std::vector<Family> families_;  // insertion order
+};
+
+// Lightweight structural validation of Prometheus text output (see header
+// comment). Returns the first problem found.
+[[nodiscard]] common::Status validate_prometheus(const std::string& text);
+
+}  // namespace netpu::obs

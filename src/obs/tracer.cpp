@@ -1,0 +1,93 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+
+namespace netpu::obs {
+
+const char* to_string(SpanStage stage) {
+  switch (stage) {
+    case SpanStage::kAdmitted: return "admitted";
+    case SpanStage::kDequeued: return "dequeued";
+    case SpanStage::kBatched: return "batched";
+    case SpanStage::kContextAcquired: return "context-acquired";
+    case SpanStage::kExecuted: return "executed";
+    case SpanStage::kCompleted: return "completed";
+    case SpanStage::kExpired: return "expired";
+    case SpanStage::kCancelled: return "cancelled";
+    case SpanStage::kFailed: return "failed";
+    case SpanStage::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+bool is_terminal(SpanStage stage) {
+  switch (stage) {
+    case SpanStage::kCompleted:
+    case SpanStage::kExpired:
+    case SpanStage::kCancelled:
+    case SpanStage::kFailed:
+    case SpanStage::kRejected:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Tracer::Tracer(std::size_t capacity) {
+  // Round up to a power of two so the slot index is a mask, and keep a sane
+  // floor so wrap-around bookkeeping stays valid.
+  std::size_t n = 64;
+  while (n < capacity) n <<= 1;
+  slots_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) slots_.push_back(std::make_unique<Slot>());
+}
+
+std::uint32_t Tracer::intern(const std::string& model) {
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  if (const auto it = model_ids_.find(model); it != model_ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(model_names_.size());
+  model_ids_.emplace(model, id);
+  model_names_.push_back(model);
+  return id;
+}
+
+std::vector<std::string> Tracer::model_names() const {
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  return model_names_;
+}
+
+void Tracer::record(std::uint64_t request_id, std::uint32_t model_id,
+                    SpanStage stage) {
+  if (!enabled()) return;
+  const auto seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = *slots_[seq & (slots_.size() - 1)];
+  // Seqlock write: readers that observe an odd state (or a state change
+  // across their copy) discard the slot.
+  slot.state.store(2 * seq + 1, std::memory_order_relaxed);
+  slot.event.seq = seq + 1;
+  slot.event.request_id = request_id;
+  slot.event.model_id = model_id;
+  slot.event.stage = stage;
+  slot.event.at = std::chrono::steady_clock::now();
+  slot.state.store(2 * (seq + 1), std::memory_order_release);
+}
+
+std::vector<SpanEvent> Tracer::snapshot() const {
+  std::vector<SpanEvent> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    const auto before = slot->state.load(std::memory_order_acquire);
+    if (before == 0 || before % 2 == 1) continue;  // empty or mid-write
+    SpanEvent event = slot->event;
+    const auto after = slot->state.load(std::memory_order_acquire);
+    if (after != before) continue;  // overwritten while copying
+    out.push_back(event);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) { return a.seq < b.seq; });
+  return out;
+}
+
+}  // namespace netpu::obs

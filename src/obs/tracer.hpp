@@ -1,0 +1,112 @@
+// Per-request span tracing for the serving path.
+//
+// Every request walks a fixed span lifecycle:
+//
+//   admitted -> dequeued -> batched -> context-acquired -> executed
+//            -> completed | expired | cancelled | failed      (terminal)
+//   rejected                                                  (terminal, at
+//                                                              admission)
+//
+// The Tracer stamps (request id, model id, stage, steady-clock time) events
+// into a fixed-capacity ring buffer. Recording is lock-free on the hot path
+// (one fetch_add plus a per-slot seqlock write); when the ring wraps, the
+// oldest events are overwritten and counted as dropped — tracing never
+// blocks or unboundedly grows while serving. Model names are interned once
+// (mutex-guarded cold path) so events carry a 4-byte id, not a string.
+//
+// snapshot() is meant for after-the-fact exposition (Chrome trace export,
+// tests): it reconstructs the surviving events in record order.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace netpu::obs {
+
+enum class SpanStage : std::uint8_t {
+  kAdmitted = 0,
+  kDequeued,
+  kBatched,
+  kContextAcquired,
+  kExecuted,
+  kCompleted,
+  kExpired,
+  kCancelled,
+  kFailed,
+  kRejected,
+};
+
+[[nodiscard]] const char* to_string(SpanStage stage);
+
+// True for the stages that end a request's span chain.
+[[nodiscard]] bool is_terminal(SpanStage stage);
+
+struct SpanEvent {
+  std::uint64_t seq = 0;  // global record order (1-based)
+  std::uint64_t request_id = 0;
+  std::uint32_t model_id = 0;
+  SpanStage stage = SpanStage::kAdmitted;
+  std::chrono::steady_clock::time_point at{};
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1 << 14);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Recording is a no-op while disabled (the default): the serving layer
+  // can call record() unconditionally.
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Map a model name to a stable small id (idempotent; cold path).
+  [[nodiscard]] std::uint32_t intern(const std::string& model);
+  // Interned names, indexed by model id.
+  [[nodiscard]] std::vector<std::string> model_names() const;
+
+  void record(std::uint64_t request_id, std::uint32_t model_id, SpanStage stage);
+
+  // Surviving events in record order. Concurrent recording may drop a
+  // handful of in-flight events from the snapshot; callers snapshot after
+  // serving quiesces.
+  [[nodiscard]] std::vector<SpanEvent> snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  // Total record() calls that actually stamped an event.
+  [[nodiscard]] std::uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  // Events lost to ring wrap-around.
+  [[nodiscard]] std::uint64_t dropped() const {
+    const auto n = recorded();
+    return n > slots_.size() ? n - slots_.size() : 0;
+  }
+
+ private:
+  // Per-slot seqlock: 0 = empty, odd = write in progress, even = 2*(seq+1)
+  // of the resident event.
+  struct Slot {
+    std::atomic<std::uint64_t> state{0};
+    SpanEvent event;
+  };
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex models_mutex_;
+  std::map<std::string, std::uint32_t> model_ids_;
+  std::vector<std::string> model_names_;
+};
+
+}  // namespace netpu::obs

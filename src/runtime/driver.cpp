@@ -155,6 +155,12 @@ Result<Driver::ServeResult> Driver::serve_batch(
   result.p99_us = stats.latency.p99();
   result.micro_batches = stats.counters.batches;
   result.mean_batch_size = stats.counters.mean_batch_size();
+  const auto summarize = [](const serve::LatencyHistogram& h) {
+    return LatencySummary{h.p50(), h.p95(), h.p99(), h.mean()};
+  };
+  result.queue_wait = summarize(stats.queue_wait);
+  result.batch_form = summarize(stats.batch_form);
+  result.execute = summarize(stats.execute);
   return result;
 }
 

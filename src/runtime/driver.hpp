@@ -83,6 +83,14 @@ class Driver {
     std::size_t channels = 1;
   };
 
+  // One latency distribution's exposition (end-to-end or a single stage).
+  struct LatencySummary {
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double mean_us = 0.0;
+  };
+
   struct ServeResult {
     BatchResult batch;  // every image cycle-accurate (timed == total)
     // End-to-end host latency percentiles (submit -> completion) from the
@@ -92,6 +100,12 @@ class Driver {
     double p99_us = 0.0;
     std::uint64_t micro_batches = 0;
     double mean_batch_size = 0.0;
+    // Per-stage splits of the same completed-request population; the stage
+    // means sum exactly to the end-to-end mean (the stages partition
+    // submit -> completion), percentiles approximately.
+    LatencySummary queue_wait;
+    LatencySummary batch_form;
+    LatencySummary execute;
   };
 
   // Serve the batch online through serve::Server against a single-model

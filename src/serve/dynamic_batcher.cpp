@@ -8,6 +8,7 @@ namespace netpu::serve {
 
 using common::Error;
 using common::ErrorCode;
+using obs::SpanStage;
 
 namespace {
 
@@ -20,12 +21,13 @@ double elapsed_us(ServeClock::time_point from, ServeClock::time_point to) {
 DynamicBatcher::DynamicBatcher(RequestQueue& queue, ModelRegistry& registry,
                                ServerStats& stats, BatcherPolicy policy,
                                std::size_t dispatch_threads,
-                               core::RunOptions run_options)
+                               core::RunOptions run_options, obs::Tracer* tracer)
     : queue_(queue),
       registry_(registry),
       stats_(stats),
       policy_(policy),
       run_options_(run_options),
+      tracer_(tracer),
       dispatch_pool_(dispatch_threads == 0 ? 1 : dispatch_threads) {
   if (policy_.max_batch_size == 0) policy_.max_batch_size = 1;
 }
@@ -54,25 +56,45 @@ void DynamicBatcher::batcher_loop() {
   const std::chrono::microseconds wait{policy_.max_wait_us};
   for (;;) {
     auto batch = queue_.pop_batch(policy_.max_batch_size, wait);
-    if (batch.empty()) return;  // queue closed and drained
+    if (batch.empty()) {
+      // Either the idle wait timed out (queue still open: poll again) or
+      // the queue is closed and drained (shutdown).
+      if (queue_.closed() && queue_.size() == 0) return;
+      continue;
+    }
 
     // Cull before dispatch: cancelled and expired requests complete with
     // their terminal Status here and never reach a NetPU context.
+    obs::Tracer* const trc =
+        tracer_ != nullptr && tracer_->enabled() ? tracer_ : nullptr;
     const auto now = ServeClock::now();
     std::map<std::string, std::vector<Request>> groups;
     for (auto& request : batch) {
+      const std::uint32_t mid = trc != nullptr ? trc->intern(request.model) : 0;
+      if (trc != nullptr) {
+        trc->record(request.id, mid, SpanStage::kDequeued);
+      }
       if (request.is_cancelled()) {
         stats_.record_cancelled(request.model);
+        if (trc != nullptr) {
+          trc->record(request.id, mid, SpanStage::kCancelled);
+        }
         complete_error(request, Error{ErrorCode::kCancelled,
                                       "request cancelled before dispatch"});
         continue;
       }
       if (request.expired(now)) {
         stats_.record_expired(request.model);
+        if (trc != nullptr) {
+          trc->record(request.id, mid, SpanStage::kExpired);
+        }
         complete_error(request,
                        Error{ErrorCode::kDeadlineExceeded,
                              "request deadline passed while queued"});
         continue;
+      }
+      if (trc != nullptr) {
+        trc->record(request.id, mid, SpanStage::kBatched);
       }
       groups[request.model].push_back(std::move(request));
     }
@@ -84,10 +106,16 @@ void DynamicBatcher::batcher_loop() {
 
 void DynamicBatcher::dispatch_group(const std::string& model,
                                     std::vector<Request> group) {
+  obs::Tracer* const trc =
+      tracer_ != nullptr && tracer_->enabled() ? tracer_ : nullptr;
+  const std::uint32_t mid = trc != nullptr ? trc->intern(model) : 0;
   auto session = registry_.acquire(model);
   if (!session.ok()) {
     for (auto& request : group) {
       stats_.record_failed(model);
+      if (trc != nullptr) {
+        trc->record(request.id, mid, SpanStage::kFailed);
+      }
       complete_error(request, session.error());
     }
     return;
@@ -100,12 +128,32 @@ void DynamicBatcher::dispatch_group(const std::string& model,
   engine::Session& s = *session.value();
   dispatch_pool_.parallel_for(group.size(), [&](std::size_t i) {
     auto& request = group[i];
+    // The execute stage starts when a dispatch worker picks the request up;
+    // everything since dequeue (window, grouping, worker hand-off) is
+    // batch formation.
+    const auto exec_start = ServeClock::now();
+    if (trc != nullptr) {
+      trc->record(request.id, mid, SpanStage::kContextAcquired);
+    }
     auto result = s.run(request.image, run_options_);
     const auto done = ServeClock::now();
+    if (trc != nullptr) {
+      trc->record(request.id, mid, SpanStage::kExecuted);
+    }
     if (result.ok()) {
-      stats_.record_completed(model, elapsed_us(request.submitted, done));
+      const StageLatency stages{elapsed_us(request.submitted, request.dequeued),
+                                elapsed_us(request.dequeued, exec_start),
+                                elapsed_us(exec_start, done)};
+      stats_.record_completed(model, elapsed_us(request.submitted, done), stages);
+      stats_.record_sim_stats(model, result.value().stats);
+      if (trc != nullptr) {
+        trc->record(request.id, mid, SpanStage::kCompleted);
+      }
     } else {
       stats_.record_failed(model);
+      if (trc != nullptr) {
+        trc->record(request.id, mid, SpanStage::kFailed);
+      }
     }
     request.promise.set_value(std::move(result));
   });

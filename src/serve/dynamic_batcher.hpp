@@ -18,6 +18,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/run_types.hpp"
+#include "obs/tracer.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/server_stats.hpp"
@@ -38,9 +39,11 @@ class DynamicBatcher {
  public:
   // `dispatch_threads` sizes the intra-batch fan-out pool; requests beyond
   // the session's context count block in the engine's context pool.
+  // `tracer` (optional) receives the per-request span events; stage
+  // latencies land in `stats` regardless.
   DynamicBatcher(RequestQueue& queue, ModelRegistry& registry, ServerStats& stats,
                  BatcherPolicy policy, std::size_t dispatch_threads = 1,
-                 core::RunOptions run_options = {});
+                 core::RunOptions run_options = {}, obs::Tracer* tracer = nullptr);
   ~DynamicBatcher();
 
   DynamicBatcher(const DynamicBatcher&) = delete;
@@ -66,6 +69,7 @@ class DynamicBatcher {
   ServerStats& stats_;
   BatcherPolicy policy_;
   core::RunOptions run_options_;
+  obs::Tracer* tracer_;  // may be null (tracing disabled)
   common::ThreadPool dispatch_pool_;
   std::thread thread_;
 };

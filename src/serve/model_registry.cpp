@@ -112,6 +112,20 @@ std::vector<std::string> ModelRegistry::resident_models() const {
   return {lru_.begin(), lru_.end()};
 }
 
+std::vector<std::pair<std::string, std::shared_ptr<engine::Session>>>
+ModelRegistry::resident_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::shared_ptr<engine::Session>>> out;
+  out.reserve(lru_.size());
+  for (const auto& name : lru_) {
+    if (const auto it = models_.find(name);
+        it != models_.end() && it->second.session != nullptr) {
+      out.emplace_back(name, it->second.session);
+    }
+  }
+  return out;
+}
+
 ModelRegistry::Counters ModelRegistry::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_;

@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -65,6 +66,11 @@ class ModelRegistry {
   [[nodiscard]] std::size_t resident_count() const;
   // Resident model names, most-recently-used first.
   [[nodiscard]] std::vector<std::string> resident_models() const;
+  // Resident (name, session) pairs, most-recently-used first, without
+  // touching the LRU order or the hit/load counters — the metrics surface
+  // reads pool occupancy through this.
+  [[nodiscard]] std::vector<std::pair<std::string, std::shared_ptr<engine::Session>>>
+  resident_sessions() const;
 
   struct Counters {
     std::uint64_t hits = 0;       // acquire() found the session resident

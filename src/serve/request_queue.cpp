@@ -1,5 +1,7 @@
 #include "serve/request_queue.hpp"
 
+#include <algorithm>
+
 namespace netpu::serve {
 
 using common::Error;
@@ -35,11 +37,24 @@ std::vector<Request> RequestQueue::pop_batch(std::size_t max_batch,
   if (max_batch == 0) max_batch = 1;
   std::vector<Request> batch;
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  // The initial wait is deadline-aware: a producer that simply stops
+  // pushing (without close()) can no longer strand the consumer forever.
+  // Greedy policies (max_wait == 0) get a floor so an empty queue is
+  // re-polled, not busy-spun.
+  const auto idle_deadline =
+      ServeClock::now() + std::max(max_wait, std::chrono::microseconds(1000));
+  if (!cv_.wait_until(lock, idle_deadline,
+                      [this] { return closed_ || !queue_.empty(); })) {
+    return batch;  // timed out idle; caller re-polls (queue stays open)
+  }
   if (queue_.empty()) return batch;  // closed and drained: shutdown signal
 
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
+  const auto take = [&] {
+    queue_.front().dequeued = ServeClock::now();
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  };
+  take();
   // Batching window: measured from the first request taken, so an idle
   // queue never delays a lone request by more than max_wait.
   const auto window_end = ServeClock::now() + max_wait;
@@ -52,8 +67,7 @@ std::vector<Request> RequestQueue::pop_batch(std::size_t max_batch,
       }
       if (queue_.empty()) break;  // woken by close()
     }
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+    take();
   }
   return batch;
 }

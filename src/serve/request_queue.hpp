@@ -40,6 +40,10 @@ struct Request {
   std::string model;
   std::vector<std::uint8_t> image;
   ServeClock::time_point submitted{};
+  // Stamped by pop_batch the moment the request leaves the queue, so
+  // queue-wait (submitted -> dequeued) and batch-form (dequeued -> dispatch)
+  // attribute the batching window to the right stage.
+  ServeClock::time_point dequeued{};
   ServeClock::time_point deadline = ServeClock::time_point::max();
   std::shared_ptr<std::atomic<bool>> cancelled;
   std::promise<common::Result<core::RunResult>> promise;
@@ -63,11 +67,15 @@ class RequestQueue {
   // the caller's copy (the argument is only consumed on success).
   [[nodiscard]] common::Status push(Request&& request);
 
-  // Drain up to `max_batch` requests: blocks until at least one request is
-  // available (or the queue is closed), then keeps collecting until the
-  // batch fills or `max_wait` has elapsed since the first request was
-  // taken. Returns an empty vector only when the queue is closed and empty
-  // — the consumer's shutdown signal.
+  // Drain up to `max_batch` requests: waits up to `max_wait` (a floor of
+  // 1 ms applies to this *initial* wait so a greedy max_wait of 0 cannot
+  // busy-spin) for the first request, then keeps collecting until the batch
+  // fills or `max_wait` has elapsed since the first request was taken.
+  // Returns an empty vector when the queue is closed and drained (the
+  // consumer's shutdown signal) or when the initial wait times out with
+  // nothing queued — consumers distinguish the two via closed(). The
+  // bounded initial wait means a consumer is never stranded forever by a
+  // producer that stops pushing without ever calling close().
   [[nodiscard]] std::vector<Request> pop_batch(std::size_t max_batch,
                                                std::chrono::microseconds max_wait);
 

@@ -1,17 +1,24 @@
 #include "serve/server.hpp"
 
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics_exporter.hpp"
+
 namespace netpu::serve {
 
 using common::Error;
 using common::ErrorCode;
 using common::Result;
+using obs::SpanStage;
 
 Server::Server(ModelRegistry& registry, ServerOptions options)
     : registry_(registry),
       options_(options),
+      tracer_(options.trace_capacity),
       queue_(options.queue_capacity),
       batcher_(queue_, registry_, stats_, options.policy, options.dispatch_threads,
-               options.run_options) {}
+               options.run_options, &tracer_) {
+  tracer_.enable(options_.trace);
+}
 
 Server::~Server() { stop(); }
 
@@ -28,14 +35,17 @@ void Server::stop() {
 Result<RequestHandle> Server::submit(const std::string& model,
                                      std::vector<std::uint8_t> image,
                                      const RequestOptions& options) {
+  const auto id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const auto model_id = tracer_.enabled() ? tracer_.intern(model) : 0;
   if (!registry_.has_model(model)) {
     stats_.record_rejected(model);
+    tracer_.record(id, model_id, SpanStage::kRejected);
     return Error{ErrorCode::kInvalidArgument,
                  "model '" + model + "' is not registered"};
   }
 
   Request request;
-  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.id = id;
   request.model = model;
   request.image = std::move(image);
   request.submitted = ServeClock::now();
@@ -53,13 +63,120 @@ Result<RequestHandle> Server::submit(const std::string& model,
   if (auto s = queue_.push(std::move(request)); !s.ok()) {
     if (s.error().code == ErrorCode::kDeadlineExceeded) {
       stats_.record_expired(model);
+      tracer_.record(id, model_id, SpanStage::kExpired);
     } else {
       stats_.record_rejected(model);
+      tracer_.record(id, model_id, SpanStage::kRejected);
     }
     return s.error();
   }
   stats_.record_admitted(model);
+  tracer_.record(id, model_id, SpanStage::kAdmitted);
   return handle;
+}
+
+std::string Server::prometheus_text() const {
+  obs::MetricsExporter exporter;
+  const auto rows = stats_.snapshot();
+
+  for (const auto& row : rows) {
+    const obs::MetricsExporter::Labels model{{"model", row.model}};
+    const auto outcome = [&](const char* name, std::uint64_t value) {
+      obs::MetricsExporter::Labels labels = model;
+      labels.emplace_back("outcome", name);
+      exporter.counter("netpu_requests_total",
+                       "Requests by model and terminal outcome",
+                       static_cast<double>(value), labels);
+    };
+    outcome("admitted", row.counters.admitted);
+    outcome("rejected", row.counters.rejected);
+    outcome("completed", row.counters.completed);
+    outcome("failed", row.counters.failed);
+    outcome("expired", row.counters.expired);
+    outcome("cancelled", row.counters.cancelled);
+    exporter.counter("netpu_batches_total", "Micro-batches dispatched",
+                     static_cast<double>(row.counters.batches), model);
+    exporter.counter("netpu_batched_requests_total",
+                     "Requests across dispatched micro-batches",
+                     static_cast<double>(row.counters.batched_requests), model);
+
+    const auto stage_summary = [&](const char* stage,
+                                   const LatencyHistogram& histogram) {
+      obs::MetricsExporter::Labels labels = model;
+      labels.emplace_back("stage", stage);
+      exporter.summary("netpu_request_latency_us",
+                       "Host latency by stage (e2e = queue_wait + batch_form "
+                       "+ execute)",
+                       histogram, labels);
+    };
+    stage_summary("e2e", row.latency);
+    stage_summary("queue_wait", row.queue_wait);
+    stage_summary("batch_form", row.batch_form);
+    stage_summary("execute", row.execute);
+
+    for (const auto& [key, value] : row.sim_stats.counters()) {
+      if (key.find("stall") == std::string::npos) continue;
+      obs::MetricsExporter::Labels labels = model;
+      labels.emplace_back("kind", key);
+      exporter.counter("netpu_sim_stall_total",
+                       "Simulated FIFO/router stall cycles across completed "
+                       "runs",
+                       static_cast<double>(value), labels);
+    }
+  }
+
+  exporter.gauge("netpu_queue_depth", "Requests waiting in the admission queue",
+                 static_cast<double>(queue_.size()));
+  exporter.gauge("netpu_queue_capacity", "Admission queue capacity",
+                 static_cast<double>(queue_.capacity()));
+
+  const auto registry_counters = registry_.counters();
+  exporter.counter("netpu_registry_events_total", "Model registry activity",
+                   static_cast<double>(registry_counters.hits),
+                   {{"event", "hit"}});
+  exporter.counter("netpu_registry_events_total", "Model registry activity",
+                   static_cast<double>(registry_counters.loads),
+                   {{"event", "load"}});
+  exporter.counter("netpu_registry_events_total", "Model registry activity",
+                   static_cast<double>(registry_counters.evictions),
+                   {{"event", "eviction"}});
+  exporter.gauge("netpu_registry_models", "Registered models",
+                 static_cast<double>(registry_.model_count()));
+  exporter.gauge("netpu_registry_resident", "Resident sessions",
+                 static_cast<double>(registry_.resident_count()));
+
+  for (const auto& [name, session] : registry_.resident_sessions()) {
+    const auto pool = session->pool_stats();
+    const obs::MetricsExporter::Labels model{{"model", name}};
+    exporter.gauge("netpu_session_contexts", "NetPU contexts in the session pool",
+                   static_cast<double>(pool.contexts), model);
+    exporter.gauge("netpu_session_contexts_in_use",
+                   "Contexts currently executing a request",
+                   static_cast<double>(pool.in_use), model);
+    exporter.gauge("netpu_session_contexts_peak",
+                   "High-water mark of concurrently busy contexts",
+                   static_cast<double>(pool.peak_in_use), model);
+    exporter.counter("netpu_session_acquires_total",
+                     "Context acquisitions (one per cycle-accurate run)",
+                     static_cast<double>(pool.acquires), model);
+    exporter.counter("netpu_session_acquire_waits_total",
+                     "Acquisitions that had to wait for a free context",
+                     static_cast<double>(pool.waits), model);
+  }
+
+  if (tracer_.enabled()) {
+    exporter.counter("netpu_trace_events_total", "Span events recorded",
+                     static_cast<double>(tracer_.recorded()));
+    exporter.counter("netpu_trace_events_dropped_total",
+                     "Span events lost to ring wrap-around",
+                     static_cast<double>(tracer_.dropped()));
+  }
+
+  return exporter.render();
+}
+
+std::string Server::chrome_trace_json() const {
+  return obs::chrome_trace_json(tracer_.snapshot(), tracer_.model_names());
 }
 
 }  // namespace netpu::serve

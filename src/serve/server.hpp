@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/tracer.hpp"
 #include "serve/dynamic_batcher.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request_queue.hpp"
@@ -64,6 +65,11 @@ struct ServerOptions {
   // contexts_per_model).
   std::size_t dispatch_threads = 1;
   core::RunOptions run_options;
+  // Per-request span tracing (admitted -> ... -> terminal) into a fixed
+  // ring buffer; export with chrome_trace_json(). Off by default — the
+  // stage histograms in ServerStats are always on.
+  bool trace = false;
+  std::size_t trace_capacity = 1 << 14;
 };
 
 class Server {
@@ -93,11 +99,23 @@ class Server {
   [[nodiscard]] ModelRegistry& registry() { return registry_; }
   [[nodiscard]] const RequestQueue& queue() const { return queue_; }
   [[nodiscard]] const ServerOptions& options() const { return options_; }
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return tracer_; }
+
+  // Prometheus text-format snapshot of the whole serving surface: request
+  // counters and per-stage latency summaries (ServerStats), queue depth,
+  // registry hit/load/eviction counters, per-resident-model context-pool
+  // occupancy and aggregated simulator FIFO stall counts.
+  [[nodiscard]] std::string prometheus_text() const;
+  // Chrome trace_event JSON of the recorded span events (requires
+  // ServerOptions::trace); load the output in chrome://tracing.
+  [[nodiscard]] std::string chrome_trace_json() const;
 
  private:
   ModelRegistry& registry_;
   ServerOptions options_;
   ServerStats stats_;
+  obs::Tracer tracer_;
   RequestQueue queue_;
   DynamicBatcher batcher_;
   std::atomic<std::uint64_t> next_id_{1};

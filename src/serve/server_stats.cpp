@@ -1,59 +1,8 @@
 #include "serve/server_stats.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 
 namespace netpu::serve {
-
-LatencyHistogram::LatencyHistogram() = default;
-
-std::size_t LatencyHistogram::bucket_index(double us) {
-  if (us <= kFirstBoundaryUs) return 0;
-  const auto idx = static_cast<std::size_t>(
-      std::ceil(std::log(us / kFirstBoundaryUs) / std::log(kGrowth)));
-  return std::min(idx, kBuckets - 1);
-}
-
-void LatencyHistogram::record(double us) {
-  us = std::max(us, 0.0);
-  counts_[bucket_index(us)] += 1;
-  if (count_ == 0) {
-    min_us_ = max_us_ = us;
-  } else {
-    min_us_ = std::min(min_us_, us);
-    max_us_ = std::max(max_us_, us);
-  }
-  sum_us_ += us;
-  count_ += 1;
-}
-
-void LatencyHistogram::merge(const LatencyHistogram& other) {
-  if (other.count_ == 0) return;
-  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
-  min_us_ = count_ == 0 ? other.min_us_ : std::min(min_us_, other.min_us_);
-  max_us_ = count_ == 0 ? other.max_us_ : std::max(max_us_, other.max_us_);
-  sum_us_ += other.sum_us_;
-  count_ += other.count_;
-}
-
-double LatencyHistogram::percentile(double p) const {
-  if (count_ == 0) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
-  // Rank of the sample that covers the p-th percentile (nearest-rank).
-  const auto rank = static_cast<std::uint64_t>(
-      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(count_))));
-  std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    cumulative += counts_[i];
-    if (cumulative >= rank) {
-      const double upper = kFirstBoundaryUs * std::pow(kGrowth, static_cast<double>(i));
-      // Never report beyond the observed extremes.
-      return std::clamp(upper, min_us_, max_us_);
-    }
-  }
-  return max_us_;
-}
 
 void ServerStats::record_admitted(const std::string& model) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -65,11 +14,15 @@ void ServerStats::record_rejected(const std::string& model) {
   models_[model].counters.rejected += 1;
 }
 
-void ServerStats::record_completed(const std::string& model, double latency_us) {
+void ServerStats::record_completed(const std::string& model, double latency_us,
+                                   const StageLatency& stages) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& entry = models_[model];
   entry.counters.completed += 1;
   entry.latency.record(latency_us);
+  entry.queue_wait.record(stages.queue_wait_us);
+  entry.batch_form.record(stages.batch_form_us);
+  entry.execute.record(stages.execute_us);
 }
 
 void ServerStats::record_failed(const std::string& model) {
@@ -94,6 +47,12 @@ void ServerStats::record_batch(const std::string& model, std::size_t requests) {
   entry.counters.batched_requests += requests;
 }
 
+void ServerStats::record_sim_stats(const std::string& model,
+                                   const sim::Stats& stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  models_[model].sim_stats.merge(stats);
+}
+
 ModelStatsSnapshot ServerStats::model(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   ModelStatsSnapshot snap;
@@ -101,6 +60,10 @@ ModelStatsSnapshot ServerStats::model(const std::string& name) const {
   if (const auto it = models_.find(name); it != models_.end()) {
     snap.counters = it->second.counters;
     snap.latency = it->second.latency;
+    snap.queue_wait = it->second.queue_wait;
+    snap.batch_form = it->second.batch_form;
+    snap.execute = it->second.execute;
+    snap.sim_stats = it->second.sim_stats;
   }
   return snap;
 }
@@ -110,7 +73,9 @@ std::vector<ModelStatsSnapshot> ServerStats::snapshot() const {
   std::vector<ModelStatsSnapshot> out;
   out.reserve(models_.size());
   for (const auto& [name, entry] : models_) {
-    out.push_back(ModelStatsSnapshot{name, entry.counters, entry.latency});
+    out.push_back(ModelStatsSnapshot{name, entry.counters, entry.latency,
+                                     entry.queue_wait, entry.batch_form,
+                                     entry.execute, entry.sim_stats});
   }
   return out;
 }
@@ -130,6 +95,10 @@ ModelStatsSnapshot ServerStats::totals() const {
     total.counters.batches += c.batches;
     total.counters.batched_requests += c.batched_requests;
     total.latency.merge(entry.latency);
+    total.queue_wait.merge(entry.queue_wait);
+    total.batch_form.merge(entry.batch_form);
+    total.execute.merge(entry.execute);
+    total.sim_stats.merge(entry.sim_stats);
   }
   return total;
 }
@@ -138,17 +107,20 @@ std::string ServerStats::to_table() const {
   const auto rows = snapshot();
   std::string out;
   char line[256];
-  std::snprintf(line, sizeof line, "%-12s %8s %8s %8s %8s %8s %6s %9s %9s %9s\n",
-                "model", "admitted", "rejected", "done", "expired", "cancel",
+  std::snprintf(line, sizeof line,
+                "%-12s %8s %8s %8s %8s %8s %8s %6s %9s %9s %9s\n", "model",
+                "admitted", "rejected", "done", "failed", "expired", "cancel",
                 "batch", "p50 us", "p95 us", "p99 us");
   out += line;
   auto emit = [&](const ModelStatsSnapshot& s) {
     std::snprintf(line, sizeof line,
-                  "%-12s %8llu %8llu %8llu %8llu %8llu %6.2f %9.1f %9.1f %9.1f\n",
+                  "%-12s %8llu %8llu %8llu %8llu %8llu %8llu %6.2f %9.1f %9.1f "
+                  "%9.1f\n",
                   s.model.c_str(),
                   static_cast<unsigned long long>(s.counters.admitted),
                   static_cast<unsigned long long>(s.counters.rejected),
                   static_cast<unsigned long long>(s.counters.completed),
+                  static_cast<unsigned long long>(s.counters.failed),
                   static_cast<unsigned long long>(s.counters.expired),
                   static_cast<unsigned long long>(s.counters.cancelled),
                   s.counters.mean_batch_size(), s.latency.p50(), s.latency.p95(),

@@ -1,61 +1,36 @@
-// Serving-layer observability: per-model request counters plus latency
-// histograms with percentile exposition.
+// Serving-layer statistics: per-model request counters, end-to-end and
+// per-stage latency histograms, and aggregated simulator stall counters.
 //
-// The histogram is log-bucketed (geometric bucket boundaries at ~5%
-// resolution from 1 us to ~10^7 us), so recording is O(log buckets), memory
-// is fixed, and percentiles are deterministic functions of the recorded
-// multiset — good enough for p50/p95/p99 reporting without keeping every
-// sample. Counter updates are totals a test can assert exactly: every
-// admitted request ends in exactly one of completed / failed / rejected /
-// expired / cancelled.
+// The histogram lives in obs::LatencyHistogram (log-bucketed, fixed
+// memory); this layer adds the serving semantics. Counter updates are
+// totals a test can assert exactly: every admitted request ends in exactly
+// one of completed / failed / expired / cancelled, and completed requests
+// additionally contribute one sample to each stage histogram
+// (queue-wait + batch-form + execute == end-to-end by construction).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/latency_histogram.hpp"
+#include "sim/stats.hpp"
+
 namespace netpu::serve {
 
-// Fixed-memory latency histogram over microseconds. Not thread-safe on its
-// own; ServerStats serializes access.
-class LatencyHistogram {
- public:
-  LatencyHistogram();
+using LatencyHistogram = obs::LatencyHistogram;
 
-  void record(double us);
-  void merge(const LatencyHistogram& other);
-
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] double mean() const {
-    return count_ == 0 ? 0.0 : sum_us_ / static_cast<double>(count_);
-  }
-  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_us_; }
-  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_us_; }
-
-  // Value below which `p` percent of recorded samples fall (p in [0, 100]),
-  // reported as the upper boundary of the containing bucket (clamped to the
-  // exact max). 0 when empty.
-  [[nodiscard]] double percentile(double p) const;
-
-  [[nodiscard]] double p50() const { return percentile(50.0); }
-  [[nodiscard]] double p95() const { return percentile(95.0); }
-  [[nodiscard]] double p99() const { return percentile(99.0); }
-
- private:
-  // Geometric boundaries: boundary[i] = kFirstBoundaryUs * kGrowth^i.
-  static constexpr std::size_t kBuckets = 340;
-  static constexpr double kFirstBoundaryUs = 1.0;
-  static constexpr double kGrowth = 1.05;
-  [[nodiscard]] static std::size_t bucket_index(double us);
-
-  std::array<std::uint64_t, kBuckets> counts_{};
-  std::uint64_t count_ = 0;
-  double sum_us_ = 0.0;
-  double min_us_ = 0.0;
-  double max_us_ = 0.0;
+// Per-stage breakdown of one completed request's host latency. The stages
+// partition submit -> completion: queue-wait (submit -> dequeued by the
+// batcher), batch-form (dequeued -> dispatch thread picks it up, i.e. the
+// batching window plus grouping and worker hand-off) and execute (input
+// compile + context run, including any wait for a free context).
+struct StageLatency {
+  double queue_wait_us = 0.0;
+  double batch_form_us = 0.0;
+  double execute_us = 0.0;
 };
 
 // Terminal outcomes of one request's lifecycle. Admission increments
@@ -81,7 +56,12 @@ struct ModelCounters {
 struct ModelStatsSnapshot {
   std::string model;
   ModelCounters counters;
-  LatencyHistogram latency;  // end-to-end (submit -> completion), completed only
+  LatencyHistogram latency;     // end-to-end (submit -> completion), completed only
+  LatencyHistogram queue_wait;  // per-stage splits of the same population
+  LatencyHistogram batch_form;
+  LatencyHistogram execute;
+  sim::Stats sim_stats;  // accelerator counters (FIFO stalls, router words)
+                         // merged across this model's completed runs
 };
 
 // Thread-safe per-model serving statistics. Models are keyed by name; the
@@ -90,26 +70,34 @@ class ServerStats {
  public:
   void record_admitted(const std::string& model);
   void record_rejected(const std::string& model);
-  void record_completed(const std::string& model, double latency_us);
+  void record_completed(const std::string& model, double latency_us,
+                        const StageLatency& stages = {});
   void record_failed(const std::string& model);
   void record_expired(const std::string& model);
   void record_cancelled(const std::string& model);
   void record_batch(const std::string& model, std::size_t requests);
+  // Merge one completed run's simulator counters (cycle-accurate mode).
+  void record_sim_stats(const std::string& model, const sim::Stats& stats);
 
   [[nodiscard]] ModelStatsSnapshot model(const std::string& name) const;
   // All models, name order (deterministic).
   [[nodiscard]] std::vector<ModelStatsSnapshot> snapshot() const;
-  // Sum over models plus one merged histogram.
+  // Sum over models plus merged histograms/sim counters.
   [[nodiscard]] ModelStatsSnapshot totals() const;
 
   // Pretty table for the CLI/bench exposition: one row per model with
-  // request counts, mean batch size and p50/p95/p99.
+  // request counts (every terminal outcome, failures included), mean batch
+  // size and p50/p95/p99.
   [[nodiscard]] std::string to_table() const;
 
  private:
   struct Entry {
     ModelCounters counters;
     LatencyHistogram latency;
+    LatencyHistogram queue_wait;
+    LatencyHistogram batch_form;
+    LatencyHistogram execute;
+    sim::Stats sim_stats;
   };
 
   mutable std::mutex mutex_;

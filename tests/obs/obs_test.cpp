@@ -1,0 +1,264 @@
+// Observability subsystem: span tracer ring buffer, Prometheus exposition
+// (renderer + validator) and Chrome trace_event export (renderer +
+// validator). The validators double as the CI-side artifact checks
+// (netpu-obs-check), so the rejection cases here pin down exactly what CI
+// treats as a corrupt artifact.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/latency_histogram.hpp"
+#include "obs/metrics_exporter.hpp"
+#include "obs/tracer.hpp"
+
+namespace netpu::obs {
+namespace {
+
+// ---------------------------------------------------------------- Tracer --
+
+TEST(Tracer, DisabledByDefaultRecordsNothing) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.record(1, 0, SpanStage::kAdmitted);
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Tracer, RecordsSpanChainInOrder) {
+  Tracer tracer;
+  tracer.enable(true);
+  const auto model = tracer.intern("tfc");
+  const std::vector<SpanStage> chain = {
+      SpanStage::kAdmitted,        SpanStage::kDequeued,
+      SpanStage::kBatched,         SpanStage::kContextAcquired,
+      SpanStage::kExecuted,        SpanStage::kCompleted};
+  for (const auto stage : chain) tracer.record(42, model, stage);
+
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), chain.size());
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 1);  // record order, 1-based
+    EXPECT_EQ(events[i].request_id, 42u);
+    EXPECT_EQ(events[i].model_id, model);
+    EXPECT_EQ(events[i].stage, chain[i]);
+    if (i > 0) {
+      EXPECT_GE(events[i].at, events[i - 1].at);
+    }
+  }
+  EXPECT_EQ(tracer.recorded(), chain.size());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, InternIsIdempotentAndDense) {
+  Tracer tracer;
+  const auto a = tracer.intern("a");
+  const auto b = tracer.intern("b");
+  EXPECT_EQ(tracer.intern("a"), a);
+  EXPECT_NE(a, b);
+  const auto names = tracer.model_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[a], "a");
+  EXPECT_EQ(names[b], "b");
+}
+
+TEST(Tracer, CapacityRoundsUpWithFloor) {
+  EXPECT_EQ(Tracer(0).capacity(), 64u);
+  EXPECT_EQ(Tracer(64).capacity(), 64u);
+  EXPECT_EQ(Tracer(65).capacity(), 128u);
+}
+
+TEST(Tracer, RingWrapDropsOldestAndCounts) {
+  Tracer tracer(64);
+  tracer.enable(true);
+  const auto model = tracer.intern("m");
+  const std::uint64_t total = 100;
+  for (std::uint64_t i = 1; i <= total; ++i) {
+    tracer.record(i, model, SpanStage::kAdmitted);
+  }
+  EXPECT_EQ(tracer.recorded(), total);
+  EXPECT_EQ(tracer.dropped(), total - 64);
+
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 64u);
+  // The survivors are exactly the newest 64, still in record order.
+  EXPECT_EQ(events.front().seq, total - 64 + 1);
+  EXPECT_EQ(events.back().seq, total);
+}
+
+TEST(Tracer, ConcurrentRecordingLosesNothingWithinCapacity) {
+  Tracer tracer(1 << 12);  // 4096 slots >= 4 threads * 512 events
+  tracer.enable(true);
+  const auto model = tracer.intern("m");
+  constexpr int kThreads = 4, kPerThread = 512;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, model, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.record(static_cast<std::uint64_t>(t) * kPerThread + i, model,
+                      SpanStage::kAdmitted);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.recorded(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.snapshot().size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(SpanStageMeta, TerminalsAndNames) {
+  EXPECT_TRUE(is_terminal(SpanStage::kCompleted));
+  EXPECT_TRUE(is_terminal(SpanStage::kRejected));
+  EXPECT_TRUE(is_terminal(SpanStage::kFailed));
+  EXPECT_FALSE(is_terminal(SpanStage::kAdmitted));
+  EXPECT_FALSE(is_terminal(SpanStage::kExecuted));
+  EXPECT_STREQ(to_string(SpanStage::kContextAcquired), "context-acquired");
+  EXPECT_STREQ(to_string(SpanStage::kCompleted), "completed");
+}
+
+// ------------------------------------------------------- MetricsExporter --
+
+TEST(MetricsExporter, RendersFamiliesOnceWithSamples) {
+  MetricsExporter exporter;
+  exporter.counter("netpu_requests_total", "Requests", 3,
+                   {{"model", "a"}, {"outcome", "completed"}});
+  exporter.counter("netpu_requests_total", "Requests", 1,
+                   {{"model", "b"}, {"outcome", "failed"}});
+  exporter.gauge("netpu_queue_depth", "Queue depth", 7);
+
+  const auto text = exporter.render();
+  // One HELP/TYPE per family even with multiple samples.
+  EXPECT_EQ(text.find("# TYPE netpu_requests_total counter"),
+            text.rfind("# TYPE netpu_requests_total counter"));
+  EXPECT_NE(text.find("netpu_requests_total{model=\"a\",outcome=\"completed\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("netpu_queue_depth 7"), std::string::npos);
+  EXPECT_TRUE(validate_prometheus(text).ok());
+}
+
+TEST(MetricsExporter, SummaryEmitsQuantilesSumCount) {
+  MetricsExporter exporter;
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  exporter.summary("netpu_latency_us", "Latency", h, {{"stage", "e2e"}});
+
+  const auto text = exporter.render();
+  EXPECT_NE(text.find("# TYPE netpu_latency_us summary"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("netpu_latency_us_sum{stage=\"e2e\"} 5050"),
+            std::string::npos);
+  EXPECT_NE(text.find("netpu_latency_us_count{stage=\"e2e\"} 100"),
+            std::string::npos);
+  EXPECT_TRUE(validate_prometheus(text).ok());
+}
+
+TEST(MetricsExporter, EscapesLabelValues) {
+  MetricsExporter exporter;
+  exporter.counter("c_total", "c", 1, {{"model", "a\"b\\c\nd"}});
+  const auto text = exporter.render();
+  EXPECT_NE(text.find("model=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+  EXPECT_TRUE(validate_prometheus(text).ok());
+}
+
+TEST(ValidatePrometheus, RejectsCorruptExpositions) {
+  // Each case is a distinct corruption CI must catch.
+  const auto rejects = [](const std::string& text) {
+    return !validate_prometheus(text).ok();
+  };
+  EXPECT_TRUE(rejects(""));  // no samples at all
+  EXPECT_TRUE(rejects("# TYPE a counter\n"));
+  EXPECT_TRUE(rejects("orphan_metric 1\n"));  // sample without TYPE
+  EXPECT_TRUE(rejects("# TYPE a counter\n# TYPE a counter\na 1\n"));
+  EXPECT_TRUE(rejects("# TYPE a counter\na 1\na 2\n"));  // duplicate sample
+  EXPECT_TRUE(rejects("# TYPE a counter\na nan\n"));
+  EXPECT_TRUE(rejects("# TYPE a counter\na inf\n"));
+  EXPECT_TRUE(rejects("# TYPE a counter\na -1\n"));  // negative counter
+  EXPECT_TRUE(rejects("# TYPE a bogus\na 1\n"));     // unknown type
+  EXPECT_TRUE(rejects("# TYPE 9bad counter\n9bad 1\n"));
+  EXPECT_TRUE(rejects("# TYPE a counter\na{x=\"1\"\n"));  // malformed labels
+}
+
+TEST(ValidatePrometheus, AcceptsNegativeGaugeAndSummarySuffixes) {
+  EXPECT_TRUE(validate_prometheus("# TYPE g gauge\ng -5\n").ok());
+  EXPECT_TRUE(validate_prometheus("# TYPE s summary\n"
+                                  "s{quantile=\"0.5\"} 10\n"
+                                  "s_sum 20\n"
+                                  "s_count 2\n")
+                  .ok());
+}
+
+// ----------------------------------------------------------- ChromeTrace --
+
+std::vector<SpanEvent> record_full_chain(Tracer& tracer, std::uint64_t id,
+                                         std::uint32_t model,
+                                         SpanStage terminal) {
+  for (const auto stage :
+       {SpanStage::kAdmitted, SpanStage::kDequeued, SpanStage::kBatched,
+        SpanStage::kContextAcquired, SpanStage::kExecuted}) {
+    tracer.record(id, model, stage);
+  }
+  tracer.record(id, model, terminal);
+  return tracer.snapshot();
+}
+
+TEST(ChromeTrace, FullChainRendersThreeSlicesAndTerminal) {
+  Tracer tracer;
+  tracer.enable(true);
+  const auto model = tracer.intern("tfc-w1a1");
+  const auto events = record_full_chain(tracer, 7, model, SpanStage::kCompleted);
+
+  const auto json = chrome_trace_json(events, tracer.model_names());
+  EXPECT_TRUE(validate_chrome_trace(json).ok());
+  EXPECT_NE(json.find("\"name\":\"queue-wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"batch-form\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"completed\""), std::string::npos);
+  EXPECT_NE(json.find("model tfc-w1a1"), std::string::npos);  // process name
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);       // request track
+}
+
+TEST(ChromeTrace, RejectedRequestGetsInstantOnly) {
+  Tracer tracer;
+  tracer.enable(true);
+  const auto model = tracer.intern("m");
+  tracer.record(9, model, SpanStage::kRejected);
+
+  const auto json = chrome_trace_json(tracer.snapshot(), tracer.model_names());
+  EXPECT_TRUE(validate_chrome_trace(json).ok());
+  EXPECT_NE(json.find("\"name\":\"rejected\""), std::string::npos);
+  EXPECT_EQ(json.find("\"name\":\"queue-wait\""), std::string::npos);
+}
+
+TEST(ValidateChromeTrace, RejectsMalformedDocuments) {
+  const auto rejects = [](const std::string& json) {
+    return !validate_chrome_trace(json).ok();
+  };
+  EXPECT_TRUE(rejects(""));
+  EXPECT_TRUE(rejects("[]"));  // not a traceEvents object
+  EXPECT_TRUE(rejects("{\"traceEvents\":[]}"));  // no events
+  EXPECT_TRUE(rejects("{\"traceEvents\":[{\"ph\":\"X\",\"ts\":0}]}"));  // no name
+  EXPECT_TRUE(rejects("{\"traceEvents\":[{\"name\":\"a\",\"ts\":0}]}"));  // no ph
+  EXPECT_TRUE(
+      rejects("{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"Z\",\"ts\":0}]}"));
+  EXPECT_TRUE(
+      rejects("{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\"}]}"));  // no ts
+  EXPECT_TRUE(rejects(
+      "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":nan}]}"));
+  EXPECT_TRUE(rejects("{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":0}"));
+}
+
+TEST(ValidateChromeTrace, StringContentCannotFalsePositive) {
+  // "inf"/"nan" inside quoted strings (say, a model named "infnet") must not
+  // trip the non-finite check — only bare numeric tokens count.
+  const std::string json =
+      "{\"traceEvents\":[{\"name\":\"infnet\",\"ph\":\"M\",\"pid\":0,"
+      "\"tid\":0,\"args\":{\"name\":\"model inf nan\"}}]}";
+  EXPECT_TRUE(validate_chrome_trace(json).ok());
+}
+
+}  // namespace
+}  // namespace netpu::obs

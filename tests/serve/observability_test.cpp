@@ -1,0 +1,262 @@
+// Observability through the live serving path: counter conservation across
+// random batching policies and request mixes, complete span chains per
+// completed request, stage/end-to-end latency consistency, and the
+// Prometheus / Chrome-trace expositions of a real run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "nn/quantized_mlp.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics_exporter.hpp"
+#include "serve/server.hpp"
+
+namespace netpu::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+nn::QuantizedMlp test_mlp(std::uint64_t seed = 1) {
+  common::Xoshiro256 rng(seed);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 48;
+  spec.hidden = {16, 12};
+  spec.outputs = 5;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  return nn::random_quantized_mlp(spec, rng);
+}
+
+std::vector<std::vector<std::uint8_t>> test_images(std::size_t n, std::size_t size,
+                                                   std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<std::vector<std::uint8_t>> images(n);
+  for (auto& img : images) {
+    img.resize(size);
+    for (auto& p : img) p = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  return images;
+}
+
+core::NetpuConfig config() { return core::NetpuConfig::paper_instance(); }
+
+// Property: every admitted request ends in exactly one terminal counter, so
+// after stop() the books balance: admitted == completed + failed + expired
+// + cancelled (nothing in flight once the batcher has drained). Exercised
+// across random policies with a request mix that includes cancellations and
+// already-tight deadlines.
+TEST(Observability, CounterConservationAcrossRandomPolicies) {
+  const auto mlp = test_mlp();
+  const auto images = test_images(16, mlp.input_size(), 3);
+  common::Xoshiro256 rng(2026);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    ModelRegistry registry(config(), {.resident_cap = 1, .contexts_per_model = 2});
+    ASSERT_TRUE(registry.add_model("m", mlp).ok());
+
+    ServerOptions options;
+    options.policy = {1 + rng.next_below(8), rng.next_below(1500)};
+    options.dispatch_threads = 1 + rng.next_below(3);
+    options.queue_capacity = 4 + rng.next_below(32);
+    options.run_options.mode = core::RunMode::kFunctional;
+    options.trace = true;
+    Server server(registry, options);
+    if (rng.next_below(2) == 0) server.start();  // pre-start submissions too
+
+    // Admission failures land in `rejected` (queue full, unknown model) or
+    // `expired` (deadline dead on arrival) without bumping `admitted`; track
+    // them on the caller side so the law below can subtract them.
+    std::vector<RequestHandle> handles;
+    std::size_t submitted = 0, admission_rejected = 0, admission_expired = 0;
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      RequestOptions request;
+      if (rng.next_below(4) == 0) request.deadline_us = 1;  // near-certain expiry
+      auto h = server.submit("m", images[i], request);
+      if (!h.ok()) {
+        if (h.error().code == common::ErrorCode::kDeadlineExceeded) {
+          ++admission_expired;
+        } else {
+          ++admission_rejected;
+        }
+        continue;
+      }
+      ++submitted;
+      if (rng.next_below(4) == 0) h.value().cancel();
+      handles.push_back(std::move(h).value());
+    }
+    (void)server.submit("nope", images[0]);  // unknown model: pure rejection
+    ++admission_rejected;
+    server.start();  // idempotent if already started
+    for (auto& h : handles) (void)h.wait();  // outcome irrelevant, only counts
+    server.stop();
+
+    const auto t = server.stats().totals();
+    EXPECT_EQ(t.counters.admitted, submitted) << "trial " << trial;
+    EXPECT_EQ(t.counters.rejected, admission_rejected) << "trial " << trial;
+    EXPECT_GE(t.counters.expired, admission_expired) << "trial " << trial;
+    // Conservation: every admitted request terminated in exactly one bucket.
+    EXPECT_EQ(t.counters.admitted,
+              t.counters.completed + t.counters.failed +
+                  (t.counters.expired - admission_expired) +
+                  t.counters.cancelled)
+        << "trial " << trial;
+  }
+}
+
+// The same conservation law, stated directly on a clean run (no admission
+// rejections muddying which `expired` bump belongs to which side).
+TEST(Observability, CleanRunBooksBalanceExactly) {
+  const auto mlp = test_mlp();
+  const auto images = test_images(12, mlp.input_size(), 5);
+
+  ModelRegistry registry(config(), {.resident_cap = 1, .contexts_per_model = 2});
+  ASSERT_TRUE(registry.add_model("m", mlp).ok());
+  ServerOptions options;
+  options.policy = {4, 500};
+  options.dispatch_threads = 2;
+  options.run_options.mode = core::RunMode::kFunctional;
+  Server server(registry, options);
+  server.start();
+
+  std::vector<RequestHandle> handles;
+  for (const auto& image : images) {
+    auto h = server.submit("m", image);
+    ASSERT_TRUE(h.ok());
+    handles.push_back(std::move(h).value());
+  }
+  handles[3].cancel();
+  handles[7].cancel();
+  for (auto& h : handles) (void)h.wait();
+  server.stop();
+
+  const auto t = server.stats().totals();
+  EXPECT_EQ(t.counters.admitted, images.size());
+  EXPECT_EQ(t.counters.rejected, 0u);
+  EXPECT_EQ(t.counters.admitted, t.counters.completed + t.counters.failed +
+                                     t.counters.expired + t.counters.cancelled);
+  // Stage histograms cover exactly the completed population, and the stage
+  // sums reconstruct the end-to-end sum (the stages partition it).
+  EXPECT_EQ(t.queue_wait.count(), t.counters.completed);
+  EXPECT_EQ(t.batch_form.count(), t.counters.completed);
+  EXPECT_EQ(t.execute.count(), t.counters.completed);
+  EXPECT_NEAR(t.queue_wait.sum() + t.batch_form.sum() + t.execute.sum(),
+              t.latency.sum(), 3.0 * static_cast<double>(t.counters.completed));
+}
+
+// Every completed request must leave one complete span chain in the tracer:
+// admitted -> dequeued -> batched -> context-acquired -> executed ->
+// completed, in time order.
+TEST(Observability, CompletedRequestsHaveFullSpanChains) {
+  const auto mlp = test_mlp();
+  const auto images = test_images(10, mlp.input_size(), 7);
+
+  ModelRegistry registry(config(), {.resident_cap = 1, .contexts_per_model = 2});
+  ASSERT_TRUE(registry.add_model("m", mlp).ok());
+  ServerOptions options;
+  options.policy = {4, 200};
+  options.dispatch_threads = 2;
+  options.run_options.mode = core::RunMode::kFunctional;
+  options.trace = true;
+  Server server(registry, options);
+  server.start();
+
+  std::vector<RequestHandle> handles;
+  for (const auto& image : images) {
+    auto h = server.submit("m", image);
+    ASSERT_TRUE(h.ok());
+    handles.push_back(std::move(h).value());
+  }
+  std::size_t completed = 0;
+  for (auto& h : handles) {
+    if (h.wait().ok()) ++completed;
+  }
+  server.stop();
+  ASSERT_EQ(completed, images.size());
+
+  const auto events = server.tracer().snapshot();
+  EXPECT_EQ(server.tracer().dropped(), 0u);
+  std::map<std::uint64_t, std::vector<obs::SpanStage>> chains;
+  std::map<std::uint64_t, std::vector<std::chrono::steady_clock::time_point>>
+      stamps;
+  for (const auto& e : events) {
+    chains[e.request_id].push_back(e.stage);
+    stamps[e.request_id].push_back(e.at);
+  }
+  ASSERT_EQ(chains.size(), images.size());
+  const std::vector<obs::SpanStage> want = {
+      obs::SpanStage::kAdmitted,        obs::SpanStage::kDequeued,
+      obs::SpanStage::kBatched,         obs::SpanStage::kContextAcquired,
+      obs::SpanStage::kExecuted,        obs::SpanStage::kCompleted};
+  for (const auto& [id, chain] : chains) {
+    EXPECT_EQ(chain, want) << "request " << id;
+    EXPECT_TRUE(std::is_sorted(stamps[id].begin(), stamps[id].end()))
+        << "request " << id;
+  }
+
+  // The exported artifacts of this run validate.
+  const auto json = server.chrome_trace_json();
+  EXPECT_TRUE(obs::validate_chrome_trace(json).ok());
+  for (const char* name : {"queue-wait", "batch-form", "execute", "completed"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  const auto metrics = server.prometheus_text();
+  EXPECT_TRUE(obs::validate_prometheus(metrics).ok())
+      << obs::validate_prometheus(metrics).error().to_string();
+  EXPECT_NE(metrics.find("netpu_requests_total"), std::string::npos);
+  EXPECT_NE(metrics.find("stage=\"queue_wait\""), std::string::npos);
+  EXPECT_NE(metrics.find("netpu_trace_events_total"), std::string::npos);
+}
+
+// Terminal-only spans: expired and cancelled requests still close their
+// chains with the right terminal stage and never record kExecuted.
+TEST(Observability, TerminatedRequestsCloseChainsWithoutExecuting) {
+  const auto mlp = test_mlp();
+  const auto images = test_images(4, mlp.input_size(), 9);
+
+  ModelRegistry registry(config(), {.resident_cap = 1, .contexts_per_model = 1});
+  ASSERT_TRUE(registry.add_model("m", mlp).ok());
+  ServerOptions options;
+  options.policy = {4, 0};
+  options.run_options.mode = core::RunMode::kFunctional;
+  options.trace = true;
+  Server server(registry, options);  // not started: requests sit in the queue
+
+  auto cancelled = server.submit("m", images[0]);
+  ASSERT_TRUE(cancelled.ok());
+  cancelled.value().cancel();
+  auto expiring = server.submit("m", images[1], {.deadline_us = 1});
+  // The tight deadline may already be rejected at admission; both paths are
+  // legitimate terminals.
+  std::this_thread::sleep_for(2ms);
+
+  server.start();
+  (void)cancelled.value().wait();
+  if (expiring.ok()) (void)expiring.value().wait();
+  server.stop();
+
+  std::map<std::uint64_t, std::vector<obs::SpanStage>> chains;
+  for (const auto& e : server.tracer().snapshot()) {
+    chains[e.request_id].push_back(e.stage);
+  }
+  std::size_t terminated = 0;
+  for (const auto& [id, chain] : chains) {
+    ASSERT_FALSE(chain.empty());
+    EXPECT_TRUE(obs::is_terminal(chain.back())) << "request " << id;
+    if (chain.back() == obs::SpanStage::kCancelled ||
+        chain.back() == obs::SpanStage::kExpired ||
+        chain.back() == obs::SpanStage::kRejected) {
+      ++terminated;
+      EXPECT_EQ(std::count(chain.begin(), chain.end(),
+                           obs::SpanStage::kExecuted),
+                0)
+          << "request " << id;
+    }
+  }
+  EXPECT_GE(terminated, 1u);  // at least the cancelled request
+}
+
+}  // namespace
+}  // namespace netpu::serve

@@ -76,6 +76,55 @@ TEST(RequestQueue, PopBatchWaitsForLateArrivals) {
   EXPECT_EQ(batch.size(), 2u);
 }
 
+TEST(RequestQueue, FirstWaitIsBoundedOnOpenEmptyQueue) {
+  // Regression: the first wait used to be unbounded, so a consumer blocked
+  // on an idle queue could never time out — it woke only on push or close.
+  // Now the initial wait is deadline-aware: an empty batch returns after
+  // roughly max(max_wait, 1ms) with the queue still open.
+  RequestQueue queue(4);
+  const auto start = ServeClock::now();
+  auto batch = queue.pop_batch(4, 10ms);
+  const auto waited = ServeClock::now() - start;
+  EXPECT_TRUE(batch.empty());
+  EXPECT_FALSE(queue.closed());  // timeout, not shutdown
+  EXPECT_GE(waited, 9ms);        // honored the window...
+  EXPECT_LT(waited, 5s);         // ...but did not block forever
+}
+
+TEST(RequestQueue, TinyWaitStillBoundedAndFloored) {
+  // A zero batching window still gets the 1 ms floor on the first wait, so
+  // polling loops don't spin at 100% CPU, and still returns empty promptly.
+  RequestQueue queue(4);
+  const auto start = ServeClock::now();
+  auto batch = queue.pop_batch(4, 0us);
+  const auto waited = ServeClock::now() - start;
+  EXPECT_TRUE(batch.empty());
+  EXPECT_GE(waited, 1ms);
+  EXPECT_LT(waited, 5s);
+}
+
+TEST(RequestQueue, ConsumerRecoversAfterTimedOutWait) {
+  // An empty timeout return must leave the queue fully usable: a later push
+  // is picked up by the next pop_batch.
+  RequestQueue queue(4);
+  EXPECT_TRUE(queue.pop_batch(4, 1ms).empty());
+  ASSERT_TRUE(queue.push(make_request(1)).ok());
+  auto batch = queue.pop_batch(4, 0us);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, 1u);
+}
+
+TEST(RequestQueue, PopBatchStampsDequeueTime) {
+  RequestQueue queue(4);
+  ASSERT_TRUE(queue.push(make_request(1)).ok());
+  auto batch = queue.pop_batch(1, 0us);
+  ASSERT_EQ(batch.size(), 1u);
+  // The dequeue timestamp (queue-wait stage boundary) is stamped on pop and
+  // never precedes submission.
+  EXPECT_NE(batch[0].dequeued, ServeClock::time_point{});
+  EXPECT_GE(batch[0].dequeued, batch[0].submitted);
+}
+
 TEST(RequestQueue, ClosedQueueRejectsPushAndSignalsShutdown) {
   RequestQueue queue(4);
   ASSERT_TRUE(queue.push(make_request(1)).ok());

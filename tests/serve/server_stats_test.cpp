@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace netpu::serve {
 namespace {
 
@@ -41,6 +43,64 @@ TEST(LatencyHistogram, PercentilesOrderedAndBracketed) {
   EXPECT_NEAR(p99, 990.0, 990.0 * 0.06);
   EXPECT_DOUBLE_EQ(h.min(), 1.0);
   EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(LatencyHistogram, InterpolationBoundsBucketBias) {
+  // Uniform 1..1000 us: within-bucket interpolation must keep the reported
+  // rank statistic within about half a bucket (~2.5%) of the true value —
+  // the old upper-boundary convention sat a full bucket (~5%) high.
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  EXPECT_NEAR(h.p50(), 500.0, 500.0 * 0.03);
+  EXPECT_NEAR(h.p95(), 950.0, 950.0 * 0.03);
+  EXPECT_NEAR(h.p99(), 990.0, 990.0 * 0.03);
+  EXPECT_NEAR(h.percentile(25.0), 250.0, 250.0 * 0.03);
+  EXPECT_NEAR(h.percentile(75.0), 750.0, 750.0 * 0.03);
+}
+
+TEST(LatencyHistogram, RepeatedValueStaysWithinBucket) {
+  // Identical samples: every percentile is clamped to the observed extremes,
+  // so the answer is exact regardless of which bucket 777 us lands in.
+  LatencyHistogram h;
+  for (int i = 0; i < 64; ++i) h.record(777.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 777.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 777.0);
+}
+
+TEST(LatencyHistogram, ZeroLatencySamples) {
+  // Sub-microsecond (and exactly zero) samples land in the first bucket and
+  // must not produce negative or NaN percentiles.
+  LatencyHistogram h;
+  h.record(0.0);
+  h.record(0.0);
+  h.record(0.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_GE(h.p50(), 0.0);
+  EXPECT_LE(h.p50(), 0.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.5);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5);
+}
+
+TEST(LatencyHistogram, MergeEmptyIsIdentity) {
+  LatencyHistogram a, empty;
+  a.record(42.0);
+  a.merge(empty);  // empty right-hand side: no change
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(a.min(), 42.0);
+  EXPECT_DOUBLE_EQ(a.max(), 42.0);
+
+  LatencyHistogram b;
+  b.merge(a);  // empty left-hand side adopts the other's extremes
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.min(), 42.0);
+  EXPECT_DOUBLE_EQ(b.max(), 42.0);
+
+  LatencyHistogram c, d;
+  c.merge(d);  // both empty stays empty
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.p99(), 0.0);
 }
 
 TEST(LatencyHistogram, MergeSumsDistributions) {
@@ -96,6 +156,76 @@ TEST(ServerStats, CountersArePerModel) {
   const auto table = stats.to_table();
   EXPECT_NE(table.find("a"), std::string::npos);
   EXPECT_NE(table.find("(all)"), std::string::npos);
+}
+
+TEST(ServerStats, TableReportsFailedColumn) {
+  // Regression: to_table() used to omit the failed counter entirely, so a
+  // serving run with errors rendered as if everything succeeded.
+  ServerStats stats;
+  stats.record_admitted("m");
+  stats.record_admitted("m");
+  stats.record_admitted("m");
+  stats.record_completed("m", 100.0);
+  stats.record_failed("m");
+  stats.record_failed("m");
+
+  const auto table = stats.to_table();
+  EXPECT_NE(table.find("failed"), std::string::npos);
+
+  // The model row renders every terminal counter, failures included. Column
+  // order is admitted rejected done failed expired cancel.
+  const auto row_start = table.find("m ");
+  ASSERT_NE(row_start, std::string::npos);
+  const auto row = table.substr(row_start, table.find('\n', row_start) - row_start);
+  std::istringstream fields(row);
+  std::string name;
+  std::uint64_t admitted = 0, rejected = 0, done = 0, failed = 0;
+  ASSERT_TRUE(fields >> name >> admitted >> rejected >> done >> failed);
+  EXPECT_EQ(admitted, 3u);
+  EXPECT_EQ(done, 1u);
+  EXPECT_EQ(failed, 2u);
+}
+
+TEST(ServerStats, StageHistogramsRecordCompletedOnly) {
+  ServerStats stats;
+  stats.record_completed("m", 100.0, StageLatency{60.0, 30.0, 10.0});
+  stats.record_completed("m", 200.0, StageLatency{120.0, 60.0, 20.0});
+  stats.record_failed("m");  // failures contribute no latency samples
+
+  const auto m = stats.model("m");
+  EXPECT_EQ(m.latency.count(), 2u);
+  EXPECT_EQ(m.queue_wait.count(), 2u);
+  EXPECT_EQ(m.batch_form.count(), 2u);
+  EXPECT_EQ(m.execute.count(), 2u);
+  // The stages partition the end-to-end latency, so the exact sums agree.
+  EXPECT_DOUBLE_EQ(m.queue_wait.sum() + m.batch_form.sum() + m.execute.sum(),
+                   m.latency.sum());
+  EXPECT_DOUBLE_EQ(m.queue_wait.max(), 120.0);
+  EXPECT_DOUBLE_EQ(m.execute.min(), 10.0);
+
+  // totals() merges the stage histograms across models too.
+  stats.record_completed("other", 50.0, StageLatency{10.0, 20.0, 20.0});
+  const auto totals = stats.totals();
+  EXPECT_EQ(totals.queue_wait.count(), 3u);
+  EXPECT_DOUBLE_EQ(totals.queue_wait.sum() + totals.batch_form.sum() +
+                       totals.execute.sum(),
+                   totals.latency.sum());
+}
+
+TEST(ServerStats, SimStatsAggregatePerModel) {
+  ServerStats stats;
+  sim::Stats a;
+  a.add("stall_input", 3);
+  a.add("router_words", 10);
+  sim::Stats b;
+  b.add("stall_input", 2);
+  stats.record_sim_stats("m", a);
+  stats.record_sim_stats("m", b);
+
+  const auto m = stats.model("m");
+  EXPECT_EQ(m.sim_stats.get("stall_input"), 5u);
+  EXPECT_EQ(m.sim_stats.get("router_words"), 10u);
+  EXPECT_EQ(stats.totals().sim_stats.get("stall_input"), 5u);
 }
 
 TEST(ServerStats, UnknownModelSnapshotIsZero) {

@@ -1,0 +1,83 @@
+// netpu-obs-check: validate observability artifacts written by netpu-serve.
+//
+//   netpu-obs-check --metrics metrics.prom   Prometheus text format 0.0.4
+//   netpu-obs-check --trace trace.json       Chrome trace_event JSON
+//
+// Exits nonzero (with the offending line/event on stderr) if a file fails
+// validation: duplicate TYPE declarations or samples, undeclared families,
+// NaN/inf values, negative counters for metrics; structural JSON errors,
+// missing name/ph/ts fields or unknown phases for traces. CI runs this
+// against a fresh netpu-serve run so exposition regressions fail the build
+// instead of silently corrupting dashboards.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics_exporter.hpp"
+
+using namespace netpu;
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: netpu-obs-check [--metrics FILE] [--trace FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = [&](const char* flag, std::string& out) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) return false;
+      out = argv[++i];
+      return true;
+    };
+    if (arg("--metrics", metrics_path) || arg("--trace", trace_path)) continue;
+    return usage();
+  }
+  if (metrics_path.empty() && trace_path.empty()) return usage();
+
+  if (!metrics_path.empty()) {
+    std::string text;
+    if (!read_file(metrics_path, text)) {
+      std::fprintf(stderr, "cannot read %s\n", metrics_path.c_str());
+      return 1;
+    }
+    if (auto s = obs::validate_prometheus(text); !s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", metrics_path.c_str(),
+                   s.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s: valid Prometheus exposition\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::string json;
+    if (!read_file(trace_path, json)) {
+      std::fprintf(stderr, "cannot read %s\n", trace_path.c_str());
+      return 1;
+    }
+    if (auto s = obs::validate_chrome_trace(json); !s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", trace_path.c_str(),
+                   s.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s: valid Chrome trace_event JSON\n", trace_path.c_str());
+  }
+  return 0;
+}

@@ -16,6 +16,11 @@
 //   --resident-cap K     models resident at once (default 2)
 //   --contexts N         NetPU contexts per resident model (default 2)
 //
+// Observability:
+//   --metrics-out F      write a Prometheus text-format metrics snapshot
+//   --trace-out F        record per-request spans, write Chrome trace JSON
+//                        (open in chrome://tracing)
+//
 // Misc: --seed S, --functional (golden evaluation, no cycle simulation)
 //
 // Prints the ServerStats table: per-model admitted/rejected/expired counts,
@@ -32,6 +37,8 @@
 #include "common/prng.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "nn/model_zoo.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics_exporter.hpp"
 #include "serve/server.hpp"
 
 using namespace netpu;
@@ -75,6 +82,8 @@ int main(int argc, char** argv) {
   serve::RegistryOptions registry_options{.resident_cap = 2, .contexts_per_model = 2};
   server_options.dispatch_threads = 2;
   std::uint64_t seed = 11;
+  std::string metrics_out;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,6 +116,11 @@ int main(int argc, char** argv) {
       server_options.dispatch_threads = registry_options.contexts_per_model;
     } else if (arg == "--seed" && (v = next())) {
       seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--metrics-out" && (v = next())) {
+      metrics_out = v;
+    } else if (arg == "--trace-out" && (v = next())) {
+      trace_out = v;
+      server_options.trace = true;
     } else if (arg == "--functional") {
       server_options.run_options.mode = core::RunMode::kFunctional;
     } else {
@@ -115,7 +129,8 @@ int main(int argc, char** argv) {
                    "[--mode closed|open] [--clients C] [--rate R] "
                    "[--deadline-us D] [--batch-size B] [--max-wait-us W] "
                    "[--queue-capacity Q] [--resident-cap K] [--contexts N] "
-                   "[--seed S] [--functional]\n");
+                   "[--metrics-out F] [--trace-out F] [--seed S] "
+                   "[--functional]\n");
       return 2;
     }
   }
@@ -224,6 +239,21 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n", server.stats().to_table().c_str());
   const auto totals = server.stats().totals();
+  if (totals.counters.completed > 0) {
+    std::printf("stage latency (all models, completed requests):\n");
+    std::printf("  %-12s %9s %9s %9s %9s\n", "stage", "mean us", "p50 us",
+                "p95 us", "p99 us");
+    const auto stage_row = [](const char* name,
+                              const serve::LatencyHistogram& h) {
+      std::printf("  %-12s %9.1f %9.1f %9.1f %9.1f\n", name, h.mean(), h.p50(),
+                  h.p95(), h.p99());
+    };
+    stage_row("queue-wait", totals.queue_wait);
+    stage_row("batch-form", totals.batch_form);
+    stage_row("execute", totals.execute);
+    stage_row("end-to-end", totals.latency);
+    std::printf("\n");
+  }
   std::printf("per-model throughput:\n");
   for (const auto& snap : server.stats().snapshot()) {
     std::printf("  %-12s %8.1f req/s (%llu completed)\n", snap.model.c_str(),
@@ -246,6 +276,43 @@ int main(int argc, char** argv) {
     std::printf(" %s", name.c_str());
   }
   std::printf("\n");
+
+  // Observability artifacts: the metrics snapshot and span trace are
+  // validated before writing so CI catches exposition regressions here.
+  const auto write_file = [](const std::string& path, const std::string& body,
+                             const char* what) {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for %s\n", path.c_str(), what);
+      return false;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("%s written to %s\n", what, path.c_str());
+    return true;
+  };
+  if (!metrics_out.empty()) {
+    const auto text = server.prometheus_text();
+    if (auto s = obs::validate_prometheus(text); !s.ok()) {
+      std::fprintf(stderr, "metrics validation failed: %s\n",
+                   s.error().to_string().c_str());
+      return 1;
+    }
+    if (!write_file(metrics_out, text, "metrics")) return 1;
+  }
+  if (!trace_out.empty()) {
+    const auto json = server.chrome_trace_json();
+    if (auto s = obs::validate_chrome_trace(json); !s.ok()) {
+      std::fprintf(stderr, "trace validation failed: %s\n",
+                   s.error().to_string().c_str());
+      return 1;
+    }
+    if (!write_file(trace_out, json, "trace")) return 1;
+    std::printf("  %llu span events recorded (%llu dropped); open in "
+                "chrome://tracing\n",
+                static_cast<unsigned long long>(server.tracer().recorded()),
+                static_cast<unsigned long long>(server.tracer().dropped()));
+  }
 
   // A serving demo that completed nothing is a failure, not a quiet exit.
   return totals.counters.completed > 0 ? 0 : 1;
