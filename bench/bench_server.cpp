@@ -11,8 +11,13 @@
 // the batcher starts, so batch formation depends only on the policy, and
 // predictions stay bit-identical across the whole grid (asserted below).
 //
+// The grid runs once per execution backend (cycle-accurate simulator and
+// the functional fast path), with a backend column; predictions must be
+// bit-identical across every (policy, backend) combination.
+//
 // `bench_server --smoke` runs a tiny request count — the CI Release job
-// uses it to exercise the serving path with optimizations on.
+// uses it to exercise the serving path (both backends) with optimizations
+// on.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -54,12 +59,12 @@ int main(int argc, char** argv) {
   std::printf(
       "Serving a %zu-request burst over %zu models, %zu contexts/model:\n\n",
       requests, names.size(), contexts);
-  std::printf("%-24s %10s %10s %10s %10s %10s %8s\n", "policy", "req/s",
-              "batches", "mean sz", "p50 us", "p95 us", "p99 us");
+  std::printf("%-24s %8s %10s %10s %10s %10s %10s %8s\n", "policy", "backend",
+              "req/s", "batches", "mean sz", "p50 us", "p95 us", "p99 us");
   const auto print_stage = [](const char* name,
                               const serve::LatencyHistogram& h) {
-    std::printf("  %-22s %10s %10s %10s %10.1f %10.1f %8.1f\n", name, "", "",
-                "", h.p50(), h.p95(), h.p99());
+    std::printf("  %-22s %8s %10s %10s %10s %10.1f %10.1f %8.1f\n", name, "",
+                "", "", "", h.p50(), h.p95(), h.p99());
   };
 
   struct Policy {
@@ -69,8 +74,20 @@ int main(int argc, char** argv) {
   const std::vector<Policy> grid = {{1, 0},  {4, 0},    {8, 0},
                                     {8, 500}, {16, 500}, {32, 2000}};
 
-  std::vector<std::size_t> reference;  // predictions from the first policy
-  for (const auto& policy : grid) {
+  struct Combo {
+    Policy policy;
+    core::Backend backend;
+  };
+  std::vector<Combo> combos;
+  for (const auto backend : {core::Backend::kCycle, core::Backend::kFast}) {
+    for (const auto& policy : grid) combos.push_back({policy, backend});
+  }
+
+  // Predictions from the first (policy, backend) combination; every other
+  // combination — including the fast functional backend — must reproduce
+  // them exactly.
+  std::vector<std::size_t> reference;
+  for (const auto& [policy, backend] : combos) {
     serve::ModelRegistry registry(
         config, {.resident_cap = names.size(), .contexts_per_model = contexts});
     for (std::size_t m = 0; m < names.size(); ++m) {
@@ -83,6 +100,7 @@ int main(int argc, char** argv) {
     options.queue_capacity = requests;
     options.policy = {policy.max_batch, policy.max_wait_us};
     options.dispatch_threads = contexts;
+    options.run_options.backend = backend;
     serve::Server server(registry, options);
 
     // Queue the whole burst, then start the batcher: batch formation is a
@@ -114,11 +132,15 @@ int main(int argc, char** argv) {
             .count();
     server.stop();
 
-    // Batching policy must never change results.
+    // Neither the batching policy nor the execution backend may change
+    // results.
     if (reference.empty()) {
       reference = predictions;
     } else if (predictions != reference) {
-      std::fprintf(stderr, "policy changed predictions — serving is broken\n");
+      std::fprintf(stderr,
+                   "(policy, backend=%s) changed predictions — serving is "
+                   "broken\n",
+                   core::to_string(backend));
       return 1;
     }
 
@@ -127,7 +149,8 @@ int main(int argc, char** argv) {
     std::snprintf(label, sizeof label, "batch<=%zu wait<=%llu us",
                   policy.max_batch,
                   static_cast<unsigned long long>(policy.max_wait_us));
-    std::printf("%-24s %10.1f %10llu %10.2f %10.1f %10.1f %8.1f\n", label,
+    std::printf("%-24s %8s %10.1f %10llu %10.2f %10.1f %10.1f %8.1f\n", label,
+                core::to_string(backend),
                 wall > 0.0 ? static_cast<double>(requests) / wall : 0.0,
                 static_cast<unsigned long long>(totals.counters.batches),
                 totals.counters.mean_batch_size(), totals.latency.p50(),
@@ -166,8 +189,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "\npredictions bit-identical across all %zu policies; batching trades "
-      "per-request queueing delay for dispatch efficiency only.\n",
+      "\npredictions bit-identical across all %zu policies and both "
+      "backends; batching trades per-request queueing delay for dispatch "
+      "efficiency only.\n",
       grid.size());
   return 0;
 }

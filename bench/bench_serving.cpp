@@ -113,6 +113,68 @@ int main() {
                 warm_latency.p99());
   }
 
+  // --- execution backends: cycle sim vs. functional fast path -----------
+  // Same engine, same 4-thread fan-out; only RunOptions::backend changes.
+  // The fast path must stay bit-identical to the simulator while clearing
+  // the >=5x images/s bar (it skips FIFO ticking entirely, so in practice
+  // the margin is orders of magnitude).
+  std::printf("\nexecution backends (engine, 4 threads):\n");
+  std::printf("%-26s %12s %12s %14s\n", "backend", "images/s", "speedup",
+              "cycles/req");
+  auto session = engine::Session::create(config, {.contexts = 4});
+  if (!session.ok()) return 1;
+  if (!session.value().load_model(mlp).ok()) return 1;
+  engine::InferenceEngine eng(session.value(), 4);
+
+  double cycle_ips = 0.0, fast_ips = 0.0;
+  std::vector<int> cycle_predictions;
+  for (const auto backend : {core::Backend::kCycle, core::Backend::kFast,
+                             core::Backend::kFastLatencyModel}) {
+    core::RunOptions options;
+    options.backend = backend;
+    auto batch = eng.run_batch(images, options);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "backend %s failed: %s\n", core::to_string(backend),
+                   batch.error().to_string().c_str());
+      return 1;
+    }
+    const auto& results = batch.value().results;
+    if (backend == core::Backend::kCycle) {
+      cycle_ips = batch.value().stats.images_per_second;
+      cycle_predictions.reserve(results.size());
+      for (const auto& r : results) cycle_predictions.push_back(r.predicted);
+    } else {
+      if (backend == core::Backend::kFast) {
+        fast_ips = batch.value().stats.images_per_second;
+      }
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].predicted != cycle_predictions[i]) {
+          std::fprintf(stderr,
+                       "BACKEND MISMATCH: %s predicted %d, cycle %d (image %zu)\n",
+                       core::to_string(backend), results[i].predicted,
+                       cycle_predictions[i], i);
+          return 1;
+        }
+      }
+    }
+    std::printf("%-26s %12.1f %11.2fx %14llu\n", core::to_string(backend),
+                batch.value().stats.images_per_second,
+                cycle_ips > 0.0
+                    ? batch.value().stats.images_per_second / cycle_ips
+                    : 0.0,
+                static_cast<unsigned long long>(results.front().cycles));
+  }
+  if (fast_ips < 5.0 * cycle_ips) {
+    std::fprintf(stderr,
+                 "FAIL: fast backend %.1f images/s < 5x cycle backend %.1f\n",
+                 fast_ips, cycle_ips);
+    return 1;
+  }
+  std::printf(
+      "fast backend: %.1fx the cycle simulator, predictions bit-identical "
+      "(>=5x required)\n",
+      cycle_ips > 0.0 ? fast_ips / cycle_ips : 0.0);
+
   std::printf(
       "\ncold fused run: %llu cycles/request; warm resident run: %llu "
       "cycles/request\n",

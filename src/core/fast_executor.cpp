@@ -1,0 +1,192 @@
+#include "core/fast_executor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "hw/activation_unit.hpp"
+#include "hw/multiplier.hpp"
+#include "loadable/words.hpp"
+
+namespace netpu::core {
+namespace {
+
+using common::Error;
+using common::ErrorCode;
+using common::Q32x5;
+
+// Post-accumulator ACTIV + QUAN path of one neuron (the Tnpu::activate
+// pipeline, parameterized by the layer's per-neuron vectors).
+std::int32_t activate_code(const nn::QuantizedLayer& layer, int neuron, Q32x5 q5) {
+  const auto n = static_cast<std::size_t>(neuron);
+  switch (layer.activation) {
+    case hw::Activation::kSign:
+      return hw::sign_activation(q5, layer.sign_thresholds[n]);
+    case hw::Activation::kMultiThreshold:
+      return hw::multi_threshold(q5, layer.mt_row(neuron));
+    case hw::Activation::kRelu:
+      q5 = hw::relu(q5);
+      break;
+    case hw::Activation::kSigmoid:
+      q5 = hw::sigmoid_pwl(q5);
+      break;
+    case hw::Activation::kTanh:
+      q5 = hw::tanh_pwl(q5);
+      break;
+    case hw::Activation::kNone:
+      break;
+  }
+  return static_cast<std::int32_t>(common::quan_transform(
+      q5, layer.quan_scale[n], layer.quan_offset[n], layer.out_prec.bits,
+      layer.out_prec.is_signed));
+}
+
+// Pack one code vector the way the producing stage would have: the
+// compiler for weights, the LPU emit path for inter-layer activations.
+std::vector<Word> pack_stream_words(std::span<const std::int32_t> codes,
+                                    hw::Precision prec, bool dense) {
+  return dense ? loadable::pack_codes_dense(codes, prec)
+               : loadable::pack_codes(codes, prec);
+}
+
+// Pre-activation Q32.5 value of one neuron from packed operand words: the
+// LPU MAC loop (word_dot per chunk, LPU tail masking) plus BN-or-bypass.
+Q32x5 neuron_preactivation_words(const nn::QuantizedLayer& layer,
+                                 const loadable::LayerSetting& setting,
+                                 std::span<const Word> input_words,
+                                 std::span<const Word> weight_row, int neuron) {
+  const auto n = static_cast<std::size_t>(neuron);
+  const bool binary = setting.in_prec.bits == 1 && setting.w_prec.bits == 1;
+  const int vpc = setting.values_per_chunk();
+  hw::Accumulator acc;
+  acc.reset(layer.uses_bias() ? layer.bias[n] : 0);
+  for (std::size_t c = 0; c < weight_row.size(); ++c) {
+    const int active = static_cast<int>(std::min<std::int64_t>(
+        vpc, static_cast<std::int64_t>(setting.input_length) -
+                 static_cast<std::int64_t>(c) * vpc));
+    if (setting.dense && !binary) {
+      acc.add(hw::word_dot_dense(input_words[c], weight_row[c], setting.in_prec,
+                                 setting.w_prec, active));
+    } else {
+      acc.add(hw::word_dot(input_words[c], weight_row[c], setting.in_prec,
+                           setting.w_prec, active));
+    }
+  }
+  if (layer.bn_fold) return Q32x5::from_int32(acc.value());
+  return common::bn_transform(acc.value(), layer.bn_scale[n], layer.bn_offset[n]);
+}
+
+}  // namespace
+
+FastExecutor::FastExecutor(nn::QuantizedMlp mlp, const NetpuConfig& config)
+    : config_(config), mlp_(std::move(mlp)) {
+  latency_ = estimate_latency(mlp_, config_);
+  plans_.reserve(mlp_.layers.size());
+  for (const auto& layer : mlp_.layers) {
+    LayerPlan plan;
+    plan.setting = loadable::LayerSetting::from_layer(layer);
+    if (layer.kind != hw::LayerKind::kInput) {
+      // Neuron-major packed rows, exactly the weight BRAM layout the
+      // compiler emits (chunks_per_neuron words per neuron).
+      const auto n = static_cast<std::size_t>(layer.neurons);
+      plan.weight_words.reserve(n * plan.setting.chunks_per_neuron());
+      for (int neuron = 0; neuron < layer.neurons; ++neuron) {
+        const auto row = layer.weight_row(neuron);
+        std::vector<std::int32_t> codes(row.begin(), row.end());
+        const auto words =
+            pack_stream_words(codes, plan.setting.w_prec, layer.dense);
+        plan.weight_words.insert(plan.weight_words.end(), words.begin(),
+                                 words.end());
+      }
+    }
+    plans_.push_back(std::move(plan));
+  }
+}
+
+common::Result<FastExecutor> FastExecutor::create(nn::QuantizedMlp mlp,
+                                                  const NetpuConfig& config) {
+  if (auto s = mlp.validate(); !s.ok()) return s.error();
+  // The stream reconfigures the hardware but cannot exceed what was
+  // synthesized: same capability gates as Netpu::decode_settings.
+  for (const auto& layer : mlp.layers) {
+    if (layer.activation == hw::Activation::kMultiThreshold &&
+        layer.out_prec.bits > config.tnpu.max_mt_bits) {
+      return Error{ErrorCode::kUnsupported,
+                   "Multi-Threshold precision exceeds this instance's cap"};
+    }
+    if (layer.dense && !config.tnpu.dense_support) {
+      return Error{ErrorCode::kUnsupported,
+                   "dense streaming requires a dense-capable instance"};
+    }
+  }
+  return FastExecutor(std::move(mlp), config);
+}
+
+common::Result<RunResult> FastExecutor::run(std::span<const std::uint8_t> image,
+                                            bool stamp_latency) const {
+  if (image.size() != mlp_.input_size()) {
+    return Error{ErrorCode::kInvalidArgument, "input image size mismatch"};
+  }
+  RunResult r;
+  std::uint64_t mac_word_ops = 0;
+
+  // Input layer: elementwise ACTIV/QUAN of the raw samples (the crossbar
+  // bypasses MUL/ACCU for input layers).
+  const auto& input_layer = mlp_.layers.front();
+  std::vector<std::int32_t> codes(static_cast<std::size_t>(input_layer.neurons));
+  for (int n = 0; n < input_layer.neurons; ++n) {
+    codes[static_cast<std::size_t>(n)] = activate_code(
+        input_layer, n, Q32x5::from_int32(image[static_cast<std::size_t>(n)]));
+  }
+
+  // Weighted layers: blocked word_dot kernels over the packed operands.
+  for (std::size_t l = 1; l < mlp_.layers.size(); ++l) {
+    const auto& layer = mlp_.layers[l];
+    const auto& plan = plans_[l];
+    const auto chunks = plan.setting.chunks_per_neuron();
+    const auto input_words =
+        pack_stream_words(codes, plan.setting.in_prec, layer.dense);
+    mac_word_ops +=
+        static_cast<std::uint64_t>(chunks) * static_cast<std::uint64_t>(layer.neurons);
+
+    if (layer.kind == hw::LayerKind::kOutput) {
+      r.output_values.resize(static_cast<std::size_t>(layer.neurons));
+      for (int n = 0; n < layer.neurons; ++n) {
+        const auto row = std::span<const Word>(plan.weight_words)
+                             .subspan(static_cast<std::size_t>(n) * chunks, chunks);
+        r.output_values[static_cast<std::size_t>(n)] =
+            neuron_preactivation_words(layer, plan.setting, input_words, row, n)
+                .raw();
+      }
+      break;
+    }
+    std::vector<std::int32_t> next(static_cast<std::size_t>(layer.neurons));
+    for (int n = 0; n < layer.neurons; ++n) {
+      const auto row = std::span<const Word>(plan.weight_words)
+                           .subspan(static_cast<std::size_t>(n) * chunks, chunks);
+      next[static_cast<std::size_t>(n)] = activate_code(
+          layer, n,
+          neuron_preactivation_words(layer, plan.setting, input_words, row, n));
+    }
+    codes = std::move(next);
+  }
+
+  r.predicted = hw::maxout(r.output_values);
+  if (config_.softmax_unit) {
+    r.probabilities = hw::softmax_q15(r.output_values);
+  }
+  r.stats.add("mac_word_ops", mac_word_ops);
+  if (stamp_latency) {
+    // Analytical LPU-discipline estimate instead of simulated cycles, so
+    // latency-derived stats stay populated on the fast path.
+    r.cycles = latency_.total();
+    r.stats.add("estimate_header_cycles", latency_.header);
+    r.stats.add("estimate_layer_init_cycles", latency_.layer_init);
+    r.stats.add("estimate_input_load_cycles", latency_.input_load);
+    r.stats.add("estimate_neuron_init_cycles", latency_.neuron_init);
+    r.stats.add("estimate_weight_traffic_cycles", latency_.weight_traffic);
+    r.stats.add("estimate_drain_emit_cycles", latency_.drain_emit);
+  }
+  return r;
+}
+
+}  // namespace netpu::core

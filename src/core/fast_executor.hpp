@@ -1,0 +1,70 @@
+// Functional fast-path backend: evaluate a compiled model layer-by-layer
+// with blocked integer kernels on the bit-true hw:: primitives — no
+// Scheduler, no FIFO ticking, no per-cycle FSM bookkeeping.
+//
+// The executor consumes exactly the words the hardware would see: weights
+// are packed once at construction with the compiler's pack_codes /
+// pack_codes_dense, inter-layer codes are re-packed with the same
+// functions the LPU emit path uses, and every MAC chunk runs through
+// hw::word_dot / word_dot_dense into the 32-bit wrap-around
+// hw::Accumulator with the LPU's exact `active = min(vpc, len - c*vpc)`
+// tail handling. Post-accumulation (BN-or-bypass, ACTIV, QUAN, MaxOut,
+// SoftMax) calls the same units as core::Tnpu. The result is therefore
+// bit-identical to the cycle-accurate simulator (enforced by
+// tests/core/backend_equivalence_test.cpp across the full option sweep
+// and the model zoo) while running at native arithmetic speed.
+//
+// Timing: run() reports cycles = 0 (kFast) or stamps the closed-form
+// core::estimate_latency breakdown (kFastLatencyModel) so latency-derived
+// stats stay populated without simulation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/config.hpp"
+#include "core/latency_model.hpp"
+#include "core/run_types.hpp"
+#include "loadable/layer_setting.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::core {
+
+class FastExecutor {
+ public:
+  // Build the per-layer execution plan (packed weight words + settings)
+  // from a parsed model. Applies the same instance capability checks as
+  // the hardware router (Multi-Threshold cap, dense support).
+  [[nodiscard]] static common::Result<FastExecutor> create(
+      nn::QuantizedMlp mlp, const NetpuConfig& config);
+
+  // One inference. `stamp_latency` selects Backend::kFastLatencyModel
+  // semantics: cycles and stats carry the analytical estimate instead
+  // of zero.
+  [[nodiscard]] common::Result<RunResult> run(
+      std::span<const std::uint8_t> image, bool stamp_latency = false) const;
+
+  [[nodiscard]] const nn::QuantizedMlp& model() const { return mlp_; }
+  [[nodiscard]] const LatencyBreakdown& latency_estimate() const {
+    return latency_;
+  }
+
+ private:
+  struct LayerPlan {
+    loadable::LayerSetting setting;
+    // neurons x chunks_per_neuron packed weight words, neuron-major (the
+    // weight BRAM's per-neuron row layout). Empty for the input layer.
+    std::vector<Word> weight_words;
+  };
+
+  FastExecutor(nn::QuantizedMlp mlp, const NetpuConfig& config);
+
+  NetpuConfig config_;
+  nn::QuantizedMlp mlp_;
+  std::vector<LayerPlan> plans_;
+  LatencyBreakdown latency_;
+};
+
+}  // namespace netpu::core

@@ -63,7 +63,9 @@ Status Netpu::load(std::vector<Word> stream) {
 common::Result<std::vector<loadable::LayerSetting>> Netpu::decode_settings(
     std::span<const Word> stream) const {
   const auto n_layers = static_cast<std::size_t>(stream[1]);
-  if (n_layers < 2 || 2 + 2 * n_layers > stream.size()) {
+  // Divide instead of multiplying: `2 + 2 * n_layers` wraps for a corrupted
+  // 64-bit count word, letting the settings loop read past the stream.
+  if (n_layers < 2 || n_layers > (stream.size() - 2) / 2) {
     return Error{ErrorCode::kMalformedStream, "bad layer count"};
   }
   const auto layers_per_lpu = common::ceil_div(n_layers, lpus_.size());

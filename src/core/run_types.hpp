@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/config.hpp"
@@ -18,8 +19,47 @@ enum class RunMode {
   kFunctional,     // parse + golden integer evaluation (no timing)
 };
 
+// Execution backend for cycle-accurate-mode requests. The functional mode
+// above predates the selector and keeps its golden-evaluation semantics;
+// the backend chooses how a *hardware-path* request is evaluated:
+//  * kCycle: the FIFO-ticking simulator — authoritative timing.
+//  * kFast: core::FastExecutor blocked word kernels — bit-identical
+//    predictions/outputs, cycles = 0 (no timing claim).
+//  * kFastLatencyModel: the fast path with core::estimate_latency cycle
+//    counts stamped into the result, so latency-derived stats stay
+//    populated without simulation (estimate, not measurement).
+enum class Backend {
+  kCycle,
+  kFast,
+  kFastLatencyModel,
+};
+
+[[nodiscard]] constexpr const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kCycle: return "cycle";
+    case Backend::kFast: return "fast";
+    case Backend::kFastLatencyModel: return "fast-with-latency-model";
+  }
+  return "?";
+}
+
+// Parse a `--backend` flag value; returns false on an unknown name.
+[[nodiscard]] inline bool parse_backend(std::string_view name, Backend& out) {
+  if (name == "cycle") {
+    out = Backend::kCycle;
+  } else if (name == "fast") {
+    out = Backend::kFast;
+  } else if (name == "fast-with-latency-model") {
+    out = Backend::kFastLatencyModel;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 struct RunOptions {
   RunMode mode = RunMode::kCycleAccurate;
+  Backend backend = Backend::kCycle;
   Cycle max_cycles = 500'000'000;  // runaway guard for the scheduler
   // Optional caller-owned waveform trace (cycle-accurate mode only): the
   // LPU control FSMs record their state transitions into it.

@@ -77,6 +77,15 @@ Status Session::load_model(std::span<const Word> model_stream) {
   for (const auto& layer : model_.layers) {
     settings_.push_back(loadable::LayerSetting::from_layer(layer));
   }
+  // Build the resident fast-path executor (packs weight words once); its
+  // capability checks duplicate load_model_resident's, so a failure here
+  // would be an internal inconsistency, not a user error.
+  auto fast = core::FastExecutor::create(model_, config_);
+  if (!fast.ok()) {
+    model_loaded_ = false;
+    return fast.error();
+  }
+  fast_ = std::make_unique<core::FastExecutor>(std::move(fast).value());
   model_loaded_ = true;
   return Status::ok_status();
 }
@@ -139,6 +148,12 @@ Result<core::RunResult> Session::run(std::span<const std::uint8_t> image,
     r.cycles = 0;
     return r;
   }
+  if (options.backend != core::Backend::kCycle) {
+    // Fast path: blocked word kernels against the resident executor. No
+    // context acquisition — requests evaluate concurrently.
+    return fast_->run(image,
+                      options.backend == core::Backend::kFastLatencyModel);
+  }
   auto input = loadable::compile_input(settings_.front(), image);
   if (!input.ok()) return input.error();
   return run_input_stream(input.value(), options);
@@ -149,7 +164,10 @@ Result<core::RunResult> Session::run_input_stream(std::span<const Word> input_st
   if (!model_loaded_) {
     return Error{ErrorCode::kInvalidArgument, "session has no model loaded"};
   }
-  if (options.mode == core::RunMode::kFunctional) {
+  if (options.mode == core::RunMode::kFunctional ||
+      options.backend != core::Backend::kCycle) {
+    // Decode the image and dispatch through run(), which picks the golden
+    // evaluation or the fast executor; neither needs a context.
     auto image = loadable::parse_input(settings_.front(), input_stream);
     if (!image.ok()) return image.error();
     return run(image.value(), options);
@@ -205,6 +223,18 @@ Result<core::RunResult> Session::run_fused(std::span<const Word> stream,
     }
     r.cycles = 0;
     return r;
+  }
+  if (options.backend != core::Backend::kCycle) {
+    // Fast backend on a fused stream: the stream carries its own model, so
+    // build a one-shot executor (FastExecutor::create applies the instance
+    // capability checks the router would).
+    auto parsed = loadable::parse(stream);
+    if (!parsed.ok()) return parsed.error();
+    auto& p = parsed.value();
+    auto fast = core::FastExecutor::create(std::move(p.mlp), config_);
+    if (!fast.ok()) return fast.error();
+    return fast.value().run(p.image,
+                            options.backend == core::Backend::kFastLatencyModel);
   }
 
   Context* context = acquire();

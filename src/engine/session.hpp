@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/fast_executor.hpp"
 #include "core/netpu.hpp"
 #include "core/run_types.hpp"
 #include "loadable/parser.hpp"
@@ -78,6 +79,11 @@ class Session {
   // One request against the resident model: compile the input stream, run it
   // through a pooled warm context. Thread-safe; blocks while all contexts
   // are busy.
+  //
+  // Backend selection (RunOptions::backend, cycle-accurate mode only):
+  // Backend::kFast / kFastLatencyModel route the request to the resident
+  // core::FastExecutor instead of a simulated context — bit-identical
+  // outputs, no context acquisition, no FIFO ticking.
   [[nodiscard]] common::Result<core::RunResult> run(
       std::span<const std::uint8_t> image, const core::RunOptions& options = {});
 
@@ -117,6 +123,10 @@ class Session {
   std::vector<Word> model_words_;
   nn::QuantizedMlp model_;
   std::vector<loadable::LayerSetting> settings_;
+  // Resident fast-path executor, built once at load_model. Requests on
+  // Backend::kFast / kFastLatencyModel evaluate against it concurrently
+  // (const, no shared mutable state).
+  std::unique_ptr<core::FastExecutor> fast_;
   bool model_loaded_ = false;
 };
 

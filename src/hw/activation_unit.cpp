@@ -103,8 +103,30 @@ std::vector<std::int32_t> softmax_q15(std::span<const std::int64_t> values) {
   }
   std::vector<std::int32_t> probs(values.size());
   if (sum == 0) return probs;  // all-underflow degenerate case
+  // Floor division alone loses up to 1 ulp per class, so the Q15 outputs
+  // would sum short of one. Largest-remainder apportionment: hand the
+  // shortfall back one ulp at a time to the classes with the largest
+  // truncated remainders (ties broken toward the lower index), making the
+  // distribution sum to exactly kSoftmaxOne.
+  std::vector<std::int64_t> remainders(values.size());
+  std::int64_t floor_sum = 0;
   for (std::size_t i = 0; i < values.size(); ++i) {
-    probs[i] = static_cast<std::int32_t>((exps[i] << kSoftmaxFracBits) / sum);
+    const std::int64_t scaled = exps[i] << kSoftmaxFracBits;
+    probs[i] = static_cast<std::int32_t>(scaled / sum);
+    remainders[i] = scaled % sum;
+    floor_sum += probs[i];
+  }
+  std::int64_t shortfall = kSoftmaxOne - floor_sum;
+  assert(shortfall >= 0 &&
+         shortfall <= static_cast<std::int64_t>(values.size()));
+  while (shortfall > 0) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < remainders.size(); ++i) {
+      if (remainders[i] > remainders[best]) best = i;
+    }
+    probs[best] += 1;
+    remainders[best] = -1;  // each class corrected at most once
+    --shortfall;
   }
   return probs;
 }

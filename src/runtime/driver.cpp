@@ -59,7 +59,9 @@ Result<BatchResult> Driver::infer_batch(
   double latency_sum = 0.0;
   if (timed > 0) {
     engine::InferenceEngine eng(session.value(), threads);
-    auto timed_batch = eng.run_batch(images.subspan(0, timed));
+    core::RunOptions timed_options;
+    timed_options.backend = options.backend;
+    auto timed_batch = eng.run_batch(images.subspan(0, timed), timed_options);
     if (!timed_batch.ok()) return timed_batch.error();
     // Per-request DMA carries only the input stream (the model is resident),
     // so the transfer overhead is charged on input words, not the fused
@@ -115,6 +117,7 @@ Result<Driver::ServeResult> Driver::serve_batch(
       std::max(options.queue_capacity, images.size());  // lossless admission
   server_options.policy = options.policy;
   server_options.dispatch_threads = channels;
+  server_options.run_options.backend = options.backend;
   serve::Server server(registry, server_options);
   server.start();
 

@@ -21,14 +21,18 @@ struct MeasuredInference {
 };
 
 struct BatchOptions {
-  // How many images run cycle-accurately (clamped to the batch size); the
-  // rest run functionally against the golden model. 0 is valid: nothing is
-  // timed and mean_measured_us stays 0.
+  // How many images run through the hardware path (clamped to the batch
+  // size); the rest run functionally against the golden model. 0 is valid:
+  // nothing is timed and mean_measured_us stays 0.
   std::size_t timed_samples = 1;
   // Serving channels: persistent NetPU contexts + worker threads fanning the
   // batch out, each channel with its own DMA engine. 1 reproduces the
   // serial order.
   std::size_t threads = 1;
+  // Execution backend for the timed prefix: the cycle-accurate simulator
+  // (authoritative timing), the fast functional executor (cycles = 0), or
+  // the fast executor with analytical latency stamped.
+  core::Backend backend = core::Backend::kCycle;
 };
 
 struct BatchResult {
@@ -81,6 +85,8 @@ class Driver {
     // Serving channels: persistent contexts in the resident session and
     // intra-batch dispatch threads.
     std::size_t channels = 1;
+    // Execution backend requests run on (see BatchOptions::backend).
+    core::Backend backend = core::Backend::kCycle;
   };
 
   // One latency distribution's exposition (end-to-end or a single stage).

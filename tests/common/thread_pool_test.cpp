@@ -32,6 +32,17 @@ TEST(ThreadPool, ParallelForEmptyIsNoop) {
   pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
 }
 
+// Fewer iterations than workers: the chunking must not hand out empty
+// chunks, deadlock waiting on them, or run any index twice.
+TEST(ThreadPool, ParallelForSmallerThanWorkerCount) {
+  ThreadPool pool(8);
+  for (const std::size_t n : {1u, 2u, 3u, 7u}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
 TEST(ThreadPool, ManyTasksComplete) {
   ThreadPool pool(3);
   std::atomic<int> counter{0};

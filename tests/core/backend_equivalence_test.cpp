@@ -1,0 +1,215 @@
+// Differential backend-equivalence harness: the functional fast path
+// (core::FastExecutor, Backend::kFast / kFastLatencyModel) must be
+// bit-identical — predicted class, raw Q32.5 output values, Q15 softmax
+// probabilities — to both the cycle-accurate simulator and the golden
+// nn::QuantizedMlp reference, across the full option sweep (activations x
+// precisions x BN folding x dense/overlapped streaming x softmax unit) and
+// every model-zoo variant. A kernel regression in either backend breaks
+// the three-way agreement and is caught here, in tier-1.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/latency_model.hpp"
+#include "engine/session.hpp"
+#include "loadable/compiler.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::core {
+namespace {
+
+struct BackendPoint {
+  hw::Activation activation;
+  int bits;
+  bool bn_fold;
+  bool dense;
+  bool overlapped;
+  bool softmax;
+};
+
+std::string point_name(const ::testing::TestParamInfo<BackendPoint>& info) {
+  const auto& p = info.param;
+  std::string name = hw::to_string(p.activation);
+  name += "_b" + std::to_string(p.bits);
+  name += p.bn_fold ? "_fold" : "_nofold";
+  if (p.dense) name += "_dense";
+  if (p.overlapped) name += "_overlap";
+  if (p.softmax) name += "_softmax";
+  return name;
+}
+
+std::vector<BackendPoint> make_grid() {
+  std::vector<BackendPoint> grid;
+  const hw::Activation acts[] = {
+      hw::Activation::kSign, hw::Activation::kMultiThreshold,
+      hw::Activation::kRelu, hw::Activation::kSigmoid, hw::Activation::kTanh};
+  for (const auto act : acts) {
+    const bool sign = act == hw::Activation::kSign;
+    for (const int bits : sign ? std::vector<int>{1} : std::vector<int>{2, 3, 4, 5, 8}) {
+      for (const bool fold : {true, false}) {
+        grid.push_back({act, bits, fold, false, false, false});
+      }
+      // Stream-mode variants on the folded configuration, and a softmax
+      // point so the Q15 probability path is compared too.
+      grid.push_back({act, bits, true, true, false, false});
+      grid.push_back({act, bits, true, false, true, false});
+      grid.push_back({act, bits, true, false, false, true});
+    }
+  }
+  return grid;
+}
+
+class BackendEquivalenceTest : public ::testing::TestWithParam<BackendPoint> {};
+
+TEST_P(BackendEquivalenceTest, FastPathMatchesCycleSimAndGolden) {
+  const auto& point = GetParam();
+  common::Xoshiro256 rng(static_cast<std::uint64_t>(point.bits) * 251 +
+                         static_cast<std::uint64_t>(point.activation) * 29 +
+                         (point.bn_fold ? 13 : 0) + (point.dense ? 5 : 0) +
+                         (point.softmax ? 3 : 0));
+
+  nn::RandomMlpSpec spec;
+  spec.input_size = 29;  // odd sizes exercise partial words everywhere
+  spec.hidden = {11, 9};
+  spec.outputs = 5;
+  spec.hidden_activation = point.activation;
+  spec.bn_fold = point.bn_fold;
+  spec.weight_bits = point.bits;
+  spec.activation_bits = point.bits;
+  auto mlp = nn::random_quantized_mlp(spec, rng);
+  if (point.dense) {
+    ASSERT_TRUE(nn::enable_dense_stream(mlp).ok());
+  }
+
+  NetpuConfig config;
+  config.tnpu.max_mt_bits = 8;
+  config.tnpu.dense_support = point.dense;
+  config.overlapped_weight_stream = point.overlapped;
+  config.softmax_unit = point.softmax;
+
+  auto session = engine::Session::create(config, {.contexts = 1});
+  ASSERT_TRUE(session.ok()) << session.error().to_string();
+  ASSERT_TRUE(session.value().load_model(mlp).ok());
+  const auto estimate = estimate_latency(mlp, config).total();
+
+  for (int i = 0; i < 4; ++i) {
+    std::vector<std::uint8_t> image(29);
+    for (auto& p : image) p = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto golden = mlp.infer(image);
+
+    auto cycle = session.value().run(image);  // default backend: simulator
+    ASSERT_TRUE(cycle.ok()) << cycle.error().to_string();
+    RunOptions fast_options;
+    fast_options.backend = Backend::kFast;
+    auto fast = session.value().run(image, fast_options);
+    ASSERT_TRUE(fast.ok()) << fast.error().to_string();
+    RunOptions stamped_options;
+    stamped_options.backend = Backend::kFastLatencyModel;
+    auto stamped = session.value().run(image, stamped_options);
+    ASSERT_TRUE(stamped.ok()) << stamped.error().to_string();
+
+    // Three-way bit identity: golden == cycle sim == fast path.
+    EXPECT_EQ(cycle.value().predicted, golden.predicted);
+    EXPECT_EQ(cycle.value().output_values, golden.output_values);
+    EXPECT_EQ(fast.value().predicted, cycle.value().predicted);
+    EXPECT_EQ(fast.value().output_values, cycle.value().output_values);
+    EXPECT_EQ(fast.value().probabilities, cycle.value().probabilities);
+    if (point.softmax) {
+      EXPECT_FALSE(fast.value().probabilities.empty());
+    }
+    EXPECT_EQ(stamped.value().predicted, cycle.value().predicted);
+    EXPECT_EQ(stamped.value().output_values, cycle.value().output_values);
+    EXPECT_EQ(stamped.value().probabilities, cycle.value().probabilities);
+
+    // Timing semantics: the simulator measures, fast claims nothing, the
+    // latency-model variant stamps the analytical estimate.
+    EXPECT_GT(cycle.value().cycles, 0u);
+    EXPECT_EQ(fast.value().cycles, 0u);
+    EXPECT_EQ(stamped.value().cycles, estimate);
+  }
+
+  // Fused compatibility path: a one-shot executor built from the stream
+  // itself must agree with the fused cycle run.
+  std::vector<std::uint8_t> image(29);
+  for (auto& p : image) p = static_cast<std::uint8_t>(rng.next_below(256));
+  auto fused = loadable::compile(mlp, image, config.compile_options());
+  ASSERT_TRUE(fused.ok()) << fused.error().to_string();
+  auto fused_cycle = session.value().run_fused(fused.value());
+  ASSERT_TRUE(fused_cycle.ok()) << fused_cycle.error().to_string();
+  RunOptions fast_options;
+  fast_options.backend = Backend::kFast;
+  auto fused_fast = session.value().run_fused(fused.value(), fast_options);
+  ASSERT_TRUE(fused_fast.ok()) << fused_fast.error().to_string();
+  EXPECT_EQ(fused_fast.value().predicted, fused_cycle.value().predicted);
+  EXPECT_EQ(fused_fast.value().output_values, fused_cycle.value().output_values);
+  EXPECT_EQ(fused_fast.value().probabilities, fused_cycle.value().probabilities);
+}
+
+INSTANTIATE_TEST_SUITE_P(FullGrid, BackendEquivalenceTest,
+                         ::testing::ValuesIn(make_grid()), point_name);
+
+// Every zoo variant (TFC/SFC/LFC x w1a1/w2a2/w1a2): fast path bit-identical
+// to the simulator and the golden model on the paper instance.
+TEST(BackendEquivalence, ModelZooBitIdentical) {
+  common::Xoshiro256 rng(77);
+  const auto config = NetpuConfig::paper_instance();
+  for (const auto& variant : nn::paper_variants()) {
+    const auto mlp = nn::make_random_quantized_model(variant, true, rng);
+    auto session = engine::Session::create(config, {.contexts = 1});
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(session.value().load_model(mlp).ok()) << variant.name();
+
+    std::vector<std::uint8_t> image(
+        static_cast<std::size_t>(mlp.input_size()));
+    for (auto& p : image) p = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto golden = mlp.infer(image);
+
+    auto cycle = session.value().run(image);
+    ASSERT_TRUE(cycle.ok()) << variant.name();
+    RunOptions fast_options;
+    fast_options.backend = Backend::kFast;
+    auto fast = session.value().run(image, fast_options);
+    ASSERT_TRUE(fast.ok()) << variant.name();
+
+    EXPECT_EQ(cycle.value().predicted, golden.predicted) << variant.name();
+    EXPECT_EQ(cycle.value().output_values, golden.output_values)
+        << variant.name();
+    EXPECT_EQ(fast.value().predicted, cycle.value().predicted)
+        << variant.name();
+    EXPECT_EQ(fast.value().output_values, cycle.value().output_values)
+        << variant.name();
+    EXPECT_EQ(fast.value().probabilities, cycle.value().probabilities)
+        << variant.name();
+  }
+}
+
+// The instance capability gates apply on the fast path exactly as on the
+// router: a stream the hardware would reject must not silently execute.
+TEST(BackendEquivalence, FastExecutorEnforcesInstanceCapabilities) {
+  common::Xoshiro256 rng(78);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 12;
+  spec.hidden = {6};
+  spec.outputs = 3;
+  spec.hidden_activation = hw::Activation::kMultiThreshold;
+  spec.weight_bits = 8;
+  spec.activation_bits = 8;  // exceeds a 4-bit MT instance
+  const auto mlp = nn::random_quantized_mlp(spec, rng);
+
+  NetpuConfig capped;
+  capped.tnpu.max_mt_bits = 4;
+  EXPECT_FALSE(FastExecutor::create(mlp, capped).ok());
+
+  auto dense_mlp = mlp;
+  ASSERT_TRUE(nn::enable_dense_stream(dense_mlp).ok());
+  NetpuConfig no_dense;
+  no_dense.tnpu.max_mt_bits = 8;
+  no_dense.tnpu.dense_support = false;
+  EXPECT_FALSE(FastExecutor::create(dense_mlp, no_dense).ok());
+}
+
+}  // namespace
+}  // namespace netpu::core

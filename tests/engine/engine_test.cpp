@@ -4,6 +4,7 @@
 // leak into results.
 #include <gtest/gtest.h>
 
+#include "core/latency_model.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "engine/inference_engine.hpp"
 #include "engine/session.hpp"
@@ -111,6 +112,76 @@ TEST(InferenceEngine, EmptyBatchIsWellDefined) {
   EXPECT_TRUE(batch.value().results.empty());
   EXPECT_EQ(batch.value().stats.requests, 0u);
   EXPECT_EQ(batch.value().stats.mean_latency_us, 0.0);
+  // An empty batch must not touch the context pool at all.
+  EXPECT_EQ(session.value().pool_stats().acquires, 0u);
+}
+
+// A batch smaller than the thread count must complete (no worker may block
+// on a never-arriving chunk) and acquire exactly one context per request.
+TEST(InferenceEngine, BatchSmallerThanThreadCount) {
+  common::Xoshiro256 rng(21);
+  const auto mlp =
+      nn::make_random_quantized_model({nn::Topology::kTfc, 1, 1}, true, rng);
+  auto session = Session::create(core::NetpuConfig::paper_instance(),
+                                 {.contexts = 8});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().load_model(mlp).ok());
+
+  const auto dataset = data::make_synthetic_mnist(3, 6);
+  InferenceEngine engine(session.value(), 8);
+  auto batch = engine.run_batch(dataset.images);
+  ASSERT_TRUE(batch.ok()) << batch.error().to_string();
+  ASSERT_EQ(batch.value().results.size(), 3u);
+  for (std::size_t i = 0; i < dataset.images.size(); ++i) {
+    EXPECT_EQ(batch.value().results[i].predicted,
+              mlp.infer(dataset.images[i]).predicted);
+  }
+  const auto pool = session.value().pool_stats();
+  EXPECT_EQ(pool.acquires, 3u);
+  EXPECT_EQ(pool.waits, 0u);
+  EXPECT_EQ(pool.in_use, 0u);
+}
+
+// Fast backends: bit-identical batch results without touching the context
+// pool; the latency-model variant stamps the analytical estimate.
+TEST(InferenceEngine, FastBackendMatchesCycleBackend) {
+  common::Xoshiro256 rng(22);
+  const auto mlp =
+      nn::make_random_quantized_model({nn::Topology::kTfc, 1, 1}, true, rng);
+  const auto dataset = data::make_synthetic_mnist(8, 7);
+  const auto config = core::NetpuConfig::paper_instance();
+
+  auto session = Session::create(config, {.contexts = 2});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().load_model(mlp).ok());
+  InferenceEngine engine(session.value(), 2);
+
+  auto cycle = engine.run_batch(dataset.images);
+  ASSERT_TRUE(cycle.ok());
+  const auto acquires_after_cycle = session.value().pool_stats().acquires;
+  EXPECT_EQ(acquires_after_cycle, dataset.images.size());
+
+  core::RunOptions fast_options;
+  fast_options.backend = core::Backend::kFast;
+  auto fast = engine.run_batch(dataset.images, fast_options);
+  ASSERT_TRUE(fast.ok());
+
+  core::RunOptions stamped_options;
+  stamped_options.backend = core::Backend::kFastLatencyModel;
+  auto stamped = engine.run_batch(dataset.images, stamped_options);
+  ASSERT_TRUE(stamped.ok());
+
+  const auto estimate = core::estimate_latency(mlp, config).total();
+  for (std::size_t i = 0; i < dataset.images.size(); ++i) {
+    EXPECT_EQ(fast.value().results[i].predicted,
+              cycle.value().results[i].predicted);
+    EXPECT_EQ(fast.value().results[i].output_values,
+              cycle.value().results[i].output_values);
+    EXPECT_EQ(fast.value().results[i].cycles, 0u);
+    EXPECT_EQ(stamped.value().results[i].cycles, estimate);
+  }
+  // Neither fast run acquired a context.
+  EXPECT_EQ(session.value().pool_stats().acquires, acquires_after_cycle);
 }
 
 TEST(InferenceEngine, FirstErrorWinsOnBadRequest) {

@@ -44,9 +44,57 @@ TEST(SoftmaxUnit, SumsToOneQ15) {
       EXPECT_GE(q, 0);
       sum += q;
     }
-    // Per-element truncation: sum within n ulps below 1.0.
-    EXPECT_LE(sum, hw::kSoftmaxOne);
-    EXPECT_GE(sum, hw::kSoftmaxOne - static_cast<std::int64_t>(p.size()));
+    // Largest-remainder correction: the distribution sums to exactly 1.0.
+    EXPECT_EQ(sum, hw::kSoftmaxOne);
+  }
+}
+
+// Property test of the largest-remainder apportionment: against a
+// truncation-only reference, every output is the floor quotient plus at
+// most one ulp, the correction preserves ordering, and the sum is exact.
+TEST(SoftmaxUnit, LargestRemainderStaysWithinOneUlpOfFloor) {
+  common::Xoshiro256 rng(21);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::int64_t> v(static_cast<std::size_t>(rng.next_int(2, 12)));
+    for (auto& x : v) x = rng.next_int(-2000, 2000);
+    const auto p = hw::softmax_q15(v);
+
+    // Recompute the floor quotients the pre-correction unit produced.
+    std::int64_t max_raw = v[0];
+    for (const auto x : v) max_raw = std::max(max_raw, x);
+    const auto q15 = [&](std::int64_t x) {
+      const std::int64_t d_q5 = max_raw - x;
+      const std::int64_t x_q16 = (d_q5 * 94548) >> 5;  // log2(e) in Q16.16
+      const std::int64_t int_part = x_q16 >> 16;
+      if (int_part >= hw::kSoftmaxFracBits + 1) return std::int64_t{0};
+      static constexpr std::int32_t lut[16] = {
+          32768, 31379, 30048, 28774, 27554, 26386, 25268, 24196,
+          23170, 22188, 21247, 20347, 19484, 18658, 17867, 17109};
+      return static_cast<std::int64_t>(
+          lut[static_cast<std::size_t>((x_q16 >> 12) & 0xF)] >> int_part);
+    };
+    std::int64_t sum_exp = 0;
+    std::vector<std::int64_t> exps(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      exps[i] = q15(v[i]);
+      sum_exp += exps[i];
+    }
+    ASSERT_GT(sum_exp, 0);
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const std::int64_t floor_q = (exps[i] << hw::kSoftmaxFracBits) / sum_exp;
+      EXPECT_GE(p[i], floor_q);
+      EXPECT_LE(p[i], floor_q + 1);
+      sum += p[i];
+    }
+    EXPECT_EQ(sum, hw::kSoftmaxOne);
+    // Ordering survives the correction: a strictly larger exponent never
+    // ends up with a strictly smaller probability.
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      for (std::size_t j = 0; j < v.size(); ++j) {
+        if (exps[i] > exps[j]) EXPECT_GE(p[i], p[j]);
+      }
+    }
   }
 }
 

@@ -100,6 +100,93 @@ TEST(Robustness, RouterRejectsWhatTheParserRejects) {
   }
 }
 
+// --- Split-stream (model / input magic) negative coverage -----------------
+
+std::vector<Word> valid_model_stream(nn::QuantizedMlp* mlp_out = nullptr) {
+  common::Xoshiro256 rng(43);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 22;
+  spec.hidden = {9, 7};
+  spec.outputs = 4;
+  auto mlp = nn::random_quantized_mlp(spec, rng);
+  auto stream = compile_model(mlp, {});
+  EXPECT_TRUE(stream.ok());
+  if (mlp_out != nullptr) *mlp_out = std::move(mlp);
+  return std::move(stream).value();
+}
+
+TEST(Robustness, ModelParserSurvivesRandomTruncations) {
+  const auto base = valid_model_stream();
+  common::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto keep = rng.next_below(base.size());
+    auto truncated = std::vector<Word>(base.begin(),
+                                       base.begin() + static_cast<long>(keep));
+    EXPECT_FALSE(parse_model(truncated).ok());
+  }
+}
+
+TEST(Robustness, ModelParserSurvivesRandomBitFlips) {
+  const auto base = valid_model_stream();
+  common::Xoshiro256 rng(12);
+  int rejected = 0, accepted = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    auto mutated = base;
+    const auto idx = rng.next_below(mutated.size());
+    mutated[idx] ^= Word{1} << rng.next_below(64);
+    auto parsed = parse_model(mutated);  // must not crash or read OOB
+    if (parsed.ok()) {
+      // A surviving stream must still be a structurally valid network.
+      EXPECT_TRUE(parsed.value().mlp.validate().ok());
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(accepted, 0);
+}
+
+TEST(Robustness, InputParserSurvivesTruncationsAndBitFlips) {
+  nn::QuantizedMlp mlp;
+  (void)valid_model_stream(&mlp);
+  const auto first = LayerSetting::from_layer(mlp.layers.front());
+  std::vector<std::uint8_t> image(22, 77);
+  auto input = compile_input(first, image);
+  ASSERT_TRUE(input.ok());
+  const auto& base = input.value();
+
+  for (std::size_t keep = 0; keep < base.size(); ++keep) {
+    auto truncated = std::vector<Word>(base.begin(),
+                                       base.begin() + static_cast<long>(keep));
+    EXPECT_FALSE(parse_input(first, truncated).ok());
+  }
+  common::Xoshiro256 rng(13);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto mutated = base;
+    const auto idx = rng.next_below(mutated.size());
+    mutated[idx] ^= Word{1} << rng.next_below(64);
+    auto parsed = parse_input(first, mutated);  // must not crash
+    if (parsed.ok()) {
+      EXPECT_EQ(parsed.value().size(), image.size());
+    }
+  }
+}
+
+// Regression: a corrupted 64-bit layer-count word used to overflow the
+// `2 + 2 * n_layers` bound check in Netpu::decode_settings, sending the
+// settings loop past the end of the stream. Both the fused and the
+// resident-model load paths share that check.
+TEST(Robustness, RouterRejectsOverflowingLayerCount) {
+  core::Netpu netpu(core::NetpuConfig::paper_instance());
+  for (const auto count : {Word{1} << 63, ~Word{0}, (~Word{0} - 2) / 2}) {
+    const std::vector<Word> fused = {kMagic, count, 0, 0, 0, 0};
+    EXPECT_FALSE(netpu.load(fused).ok());
+    const std::vector<Word> model = {kModelMagic, count, 0, 0, 0, 0};
+    EXPECT_FALSE(netpu.load_model_resident(model).ok());
+  }
+}
+
 TEST(Robustness, PayloadCorruptionChangesOnlyValues) {
   nn::QuantizedMlp mlp;
   auto base = valid_stream(&mlp);

@@ -9,6 +9,8 @@
 //   --dense                dense-capable instance
 //   --overlapped           flow-through weight streaming
 //   --functional           skip timing (golden evaluation only)
+//   --backend B            cycle | fast | fast-with-latency-model
+//                          (hardware-path executor; default cycle)
 //   --stats                dump simulation counters
 //   --profile              per-layer cycle breakdown
 //   --vcd PATH             write an FSM waveform (GTKWave-loadable)
@@ -71,6 +73,13 @@ int main(int argc, char** argv) {
       config.overlapped_weight_stream = true;
     } else if (arg == "--functional") {
       options.mode = core::RunMode::kFunctional;
+    } else if (arg == "--backend") {
+      const char* v = next();
+      if (v == nullptr || !core::parse_backend(v, options.backend)) {
+        std::fprintf(stderr,
+                     "--backend takes cycle | fast | fast-with-latency-model\n");
+        return 2;
+      }
     } else if (arg == "--stats") {
       dump_stats = true;
     } else if (arg == "--profile") {
@@ -122,9 +131,17 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   if (options.mode == core::RunMode::kCycleAccurate) {
-    std::printf("latency: %llu cycles = %.2f us @ %.0f MHz\n",
-                static_cast<unsigned long long>(run.value().cycles),
-                run.value().latency_us(config), config.clock_mhz);
+    if (options.backend == core::Backend::kFast) {
+      std::printf("backend: fast (functional; no timing claim)\n");
+    } else {
+      std::printf("latency: %llu cycles = %.2f us @ %.0f MHz (%s backend%s)\n",
+                  static_cast<unsigned long long>(run.value().cycles),
+                  run.value().latency_us(config), config.clock_mhz,
+                  core::to_string(options.backend),
+                  options.backend == core::Backend::kFastLatencyModel
+                      ? ", analytical estimate"
+                      : "");
+    }
   }
   if (profile) {
     std::printf("--- per-layer profile ---\n");

@@ -21,7 +21,9 @@
 //   --trace-out F        record per-request spans, write Chrome trace JSON
 //                        (open in chrome://tracing)
 //
-// Misc: --seed S, --functional (golden evaluation, no cycle simulation)
+// Misc: --seed S, --functional (golden evaluation, no cycle simulation),
+//       --backend cycle|fast|fast-with-latency-model (hardware-path
+//       executor; fast skips FIFO ticking but stays bit-identical)
 //
 // Prints the ServerStats table: per-model admitted/rejected/expired counts,
 // mean micro-batch size and p50/p95/p99 end-to-end latency, plus per-model
@@ -123,6 +125,12 @@ int main(int argc, char** argv) {
       server_options.trace = true;
     } else if (arg == "--functional") {
       server_options.run_options.mode = core::RunMode::kFunctional;
+    } else if (arg == "--backend" && (v = next())) {
+      if (!core::parse_backend(v, server_options.run_options.backend)) {
+        std::fprintf(stderr,
+                     "--backend takes cycle | fast | fast-with-latency-model\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: netpu-serve [--models CSV] [--requests N] "
@@ -130,7 +138,7 @@ int main(int argc, char** argv) {
                    "[--deadline-us D] [--batch-size B] [--max-wait-us W] "
                    "[--queue-capacity Q] [--resident-cap K] [--contexts N] "
                    "[--metrics-out F] [--trace-out F] [--seed S] "
-                   "[--functional]\n");
+                   "[--functional] [--backend B]\n");
       return 2;
     }
   }
@@ -169,12 +177,16 @@ int main(int argc, char** argv) {
 
   std::printf(
       "netpu-serve: %zu requests over %zu models (%s loop), "
-      "batch<=%zu wait<=%llu us, queue %zu, resident cap %zu, %zu contexts/model\n\n",
+      "batch<=%zu wait<=%llu us, queue %zu, resident cap %zu, "
+      "%zu contexts/model, %s backend\n\n",
       requests, model_names.size(), mode.c_str(),
       server_options.policy.max_batch_size,
       static_cast<unsigned long long>(server_options.policy.max_wait_us),
       server_options.queue_capacity, registry_options.resident_cap,
-      registry_options.contexts_per_model);
+      registry_options.contexts_per_model,
+      server_options.run_options.mode == core::RunMode::kFunctional
+          ? "functional"
+          : core::to_string(server_options.run_options.backend));
 
   const auto start = std::chrono::steady_clock::now();
   std::size_t submit_failures = 0;
