@@ -127,7 +127,7 @@ int main() {
   engine::InferenceEngine eng(session.value(), 4);
 
   double cycle_ips = 0.0, fast_ips = 0.0;
-  std::vector<int> cycle_predictions;
+  std::vector<std::size_t> cycle_predictions;
   for (const auto backend : {core::Backend::kCycle, core::Backend::kFast,
                              core::Backend::kFastLatencyModel}) {
     core::RunOptions options;
@@ -150,7 +150,7 @@ int main() {
       for (std::size_t i = 0; i < results.size(); ++i) {
         if (results[i].predicted != cycle_predictions[i]) {
           std::fprintf(stderr,
-                       "BACKEND MISMATCH: %s predicted %d, cycle %d (image %zu)\n",
+                       "BACKEND MISMATCH: %s predicted %zu, cycle %zu (image %zu)\n",
                        core::to_string(backend), results[i].predicted,
                        cycle_predictions[i], i);
           return 1;

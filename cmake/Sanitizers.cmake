@@ -1,0 +1,30 @@
+# Single switch for the sanitizer matrix: every CI leg (and local repro)
+# configures with -DNETPU_SANITIZE=<mode> instead of hand-rolling
+# CMAKE_CXX_FLAGS, so the flag set lives in exactly one place.
+#
+#   none              (default) no instrumentation
+#   address           AddressSanitizer
+#   undefined         UndefinedBehaviorSanitizer
+#   address,undefined combined asan+ubsan (the historical CI leg)
+#   thread            ThreadSanitizer (mutually exclusive with address)
+#
+# All modes use -fno-sanitize-recover=all so the first report fails the
+# process (and therefore the test) instead of scrolling past.
+
+set(NETPU_SANITIZE "none" CACHE STRING
+    "Sanitizer instrumentation: none | address | undefined | address,undefined | thread")
+set_property(CACHE NETPU_SANITIZE PROPERTY STRINGS
+             none address undefined "address,undefined" thread)
+
+if(NOT NETPU_SANITIZE STREQUAL "none" AND NOT NETPU_SANITIZE STREQUAL "")
+  set(_netpu_valid_sanitizers "address" "undefined" "address,undefined" "thread")
+  if(NOT NETPU_SANITIZE IN_LIST _netpu_valid_sanitizers)
+    message(FATAL_ERROR
+            "NETPU_SANITIZE='${NETPU_SANITIZE}' is not one of: none, address, "
+            "undefined, address,undefined, thread")
+  endif()
+  set(_netpu_san_flags "-fsanitize=${NETPU_SANITIZE}" "-fno-sanitize-recover=all")
+  add_compile_options(${_netpu_san_flags})
+  add_link_options(${_netpu_san_flags})
+  message(STATUS "NetPU: sanitizer instrumentation enabled (${NETPU_SANITIZE})")
+endif()

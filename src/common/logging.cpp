@@ -8,7 +8,7 @@ namespace netpu::common {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
+std::mutex g_mutex;  // guards stderr interleaving across threads
 
 const char* level_tag(LogLevel level) {
   switch (level) {

@@ -52,8 +52,10 @@ struct Error {
 };
 
 // A value-or-error sum type (a deliberately small std::expected stand-in).
+// Class-level [[nodiscard]]: any call returning a Result must be consumed —
+// an ignored error is a bug, and tools/lint.py re-checks this attribute.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}             // NOLINT(google-explicit-constructor)
   Result(Error error) : v_(std::move(error)) {}         // NOLINT(google-explicit-constructor)
@@ -83,8 +85,9 @@ class Result {
   std::variant<T, Error> v_;
 };
 
-// Result<void> analogue.
-class Status {
+// Result<void> analogue. Class-level [[nodiscard]]: silently dropping a
+// Status hides the only failure signal a fallible call emits.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(Error error) : error_(std::move(error)), has_error_(true) {}  // NOLINT

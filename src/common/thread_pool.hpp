@@ -49,7 +49,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  std::mutex mutex_;  // guards tasks_ and stop_
   std::condition_variable cv_;
   bool stop_ = false;
 };

@@ -15,7 +15,7 @@ using common::Result;
 using common::Status;
 
 struct Session::Pool {
-  std::mutex mutex;
+  std::mutex mutex;  // guards free_list and the occupancy counters below
   std::condition_variable cv;
   std::vector<Context*> free_list;
   // Occupancy accounting (guarded by mutex).

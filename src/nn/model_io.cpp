@@ -261,6 +261,7 @@ Status save_model(const QuantizedMlp& mlp, const std::string& path) {
   const auto bytes = serialize_model(mlp);
   std::ofstream f(path, std::ios::binary);
   if (!f) return Error{ErrorCode::kInvalidArgument, "cannot create " + path};
+  // lint:allow reinterpret_cast — byte-stream file I/O of an owned buffer
   f.write(reinterpret_cast<const char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));
   if (!f) return Error{ErrorCode::kInternal, "short write to " + path};

@@ -1,6 +1,7 @@
 #include "obs/tracer.hpp"
 
 #include <algorithm>
+#include <thread>
 
 namespace netpu::obs {
 
@@ -63,14 +64,32 @@ void Tracer::record(std::uint64_t request_id, std::uint32_t model_id,
   if (!enabled()) return;
   const auto seq = next_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = *slots_[seq & (slots_.size() - 1)];
-  // Seqlock write: readers that observe an odd state (or a state change
-  // across their copy) discard the slot.
-  slot.state.store(2 * seq + 1, std::memory_order_relaxed);
-  slot.event.seq = seq + 1;
-  slot.event.request_id = request_id;
-  slot.event.model_id = model_id;
-  slot.event.stage = stage;
-  slot.event.at = std::chrono::steady_clock::now();
+  // Claim the slot: CAS from an even (quiescent) state to our odd
+  // write-in-progress marker. Another writer mid-write (odd state) makes us
+  // spin briefly; a *newer* event already resident (even state beyond ours,
+  // possible when this thread stalls a full ring lap between fetch_add and
+  // here) means our event is stale — drop it rather than regress the slot.
+  const std::uint64_t claimed = 2 * seq + 1;
+  std::uint64_t observed = slot.state.load(std::memory_order_relaxed);
+  for (;;) {
+    if (observed % 2 == 0 && observed > claimed) return;  // superseded
+    if (observed % 2 == 0 &&
+        slot.state.compare_exchange_weak(observed, claimed,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      break;
+    }
+    std::this_thread::yield();
+    observed = slot.state.load(std::memory_order_relaxed);
+  }
+  slot.seq.store(seq + 1, std::memory_order_relaxed);
+  slot.request_id.store(request_id, std::memory_order_relaxed);
+  slot.model_id.store(model_id, std::memory_order_relaxed);
+  slot.stage.store(static_cast<std::uint8_t>(stage), std::memory_order_relaxed);
+  slot.at_ns.store(
+      std::chrono::steady_clock::now().time_since_epoch().count(),
+      std::memory_order_relaxed);
+  // Publish: even state, paired with the readers' acquire fence.
   slot.state.store(2 * (seq + 1), std::memory_order_release);
 }
 
@@ -80,9 +99,20 @@ std::vector<SpanEvent> Tracer::snapshot() const {
   for (const auto& slot : slots_) {
     const auto before = slot->state.load(std::memory_order_acquire);
     if (before == 0 || before % 2 == 1) continue;  // empty or mid-write
-    SpanEvent event = slot->event;
-    const auto after = slot->state.load(std::memory_order_acquire);
-    if (after != before) continue;  // overwritten while copying
+    SpanEvent event;
+    event.seq = slot->seq.load(std::memory_order_relaxed);
+    event.request_id = slot->request_id.load(std::memory_order_relaxed);
+    event.model_id = slot->model_id.load(std::memory_order_relaxed);
+    event.stage = static_cast<SpanStage>(slot->stage.load(std::memory_order_relaxed));
+    event.at = std::chrono::steady_clock::time_point(
+        std::chrono::steady_clock::duration(
+            slot->at_ns.load(std::memory_order_relaxed)));
+    // Order the payload loads before the validation re-read: if the state
+    // moved (or the resident seq disagrees with it), a writer raced us and
+    // the copy may be torn — discard it.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const auto after = slot->state.load(std::memory_order_relaxed);
+    if (after != before || event.seq * 2 != before) continue;
     out.push_back(event);
   }
   std::sort(out.begin(), out.end(),

@@ -93,18 +93,31 @@ class Tracer {
   }
 
  private:
-  // Per-slot seqlock: 0 = empty, odd = write in progress, even = 2*(seq+1)
-  // of the resident event.
+  // Per-slot seqlock: state 0 = empty, odd = write in progress, even =
+  // 2*(seq+1) of the resident event.
+  //
+  // Every field is an atomic (relaxed on the payload, acquire/release on
+  // `state`) so concurrent record()/snapshot() is race-free by the C++
+  // memory model — not just "benign" — and ThreadSanitizer agrees. Writers
+  // claim a slot by CAS-ing its state from even to odd, so two writers whose
+  // sequence numbers collide on one slot after ring wrap-around serialize
+  // instead of interleaving field stores: a reader can never assemble a
+  // torn event from two half-written spans (tests/stress/tracer hammers
+  // exactly this).
   struct Slot {
     std::atomic<std::uint64_t> state{0};
-    SpanEvent event;
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> request_id{0};
+    std::atomic<std::uint32_t> model_id{0};
+    std::atomic<std::uint8_t> stage{0};
+    std::atomic<std::int64_t> at_ns{0};  // steady_clock epoch offset
   };
 
   std::vector<std::unique_ptr<Slot>> slots_;
   std::atomic<std::uint64_t> next_{0};
   std::atomic<bool> enabled_{false};
 
-  mutable std::mutex models_mutex_;
+  mutable std::mutex models_mutex_;  // guards model_ids_ and model_names_
   std::map<std::string, std::uint32_t> model_ids_;
   std::vector<std::string> model_names_;
 };

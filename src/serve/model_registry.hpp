@@ -94,7 +94,7 @@ class ModelRegistry {
   core::NetpuConfig config_;
   RegistryOptions options_;
 
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // guards models_, lru_, counters_
   std::map<std::string, Entry> models_;
   std::list<std::string> lru_;  // resident names, front = MRU
   Counters counters_;

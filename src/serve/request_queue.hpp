@@ -89,7 +89,7 @@ class RequestQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // guards queue_ and closed_
   std::condition_variable cv_;
   std::deque<Request> queue_;
   bool closed_ = false;

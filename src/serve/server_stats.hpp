@@ -100,7 +100,7 @@ class ServerStats {
     sim::Stats sim_stats;
   };
 
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // guards models_ (counters + histograms)
   std::map<std::string, Entry> models_;
 };
 

@@ -92,7 +92,9 @@ TEST(SoftmaxUnit, LargestRemainderStaysWithinOneUlpOfFloor) {
     // ends up with a strictly smaller probability.
     for (std::size_t i = 0; i < v.size(); ++i) {
       for (std::size_t j = 0; j < v.size(); ++j) {
-        if (exps[i] > exps[j]) EXPECT_GE(p[i], p[j]);
+        if (exps[i] > exps[j]) {
+          EXPECT_GE(p[i], p[j]);
+        }
       }
     }
   }

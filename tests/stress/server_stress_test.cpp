@@ -1,0 +1,179 @@
+// The full serving stack under ThreadSanitizer: concurrent clients
+// submitting/cancelling across multiple models with tight deadlines, a
+// resident cap of one forcing registry load/evict races against in-flight
+// batches, tracing enabled for wrap pressure, and a reporting thread
+// scraping the whole metrics surface (stats, registry counters, pool
+// occupancy, Prometheus text) while the workers are writing.
+//
+// Functional mode keeps each request cheap — the point is schedule
+// diversity, not simulated cycles — and outcome conservation is asserted
+// exactly: every admitted request terminates in exactly one of
+// completed/failed/expired/cancelled.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "stress_env.hpp"
+
+namespace netpu::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+nn::QuantizedMlp stress_mlp(std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 32;
+  spec.hidden = {12};
+  spec.outputs = 4;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  return nn::random_quantized_mlp(spec, rng);
+}
+
+TEST(ServerStress, ClientsEvictionsCancelsAndLiveScrape) {
+  const std::size_t per_client = test::stress_iters(60);
+  constexpr std::size_t kClients = 4;
+  const std::vector<std::string> models{"a", "b", "c"};
+
+  const auto config = core::NetpuConfig::paper_instance();
+  // resident_cap 1 with three models in play: nearly every model switch is a
+  // load+evict racing the batches already running on the evicted session.
+  ModelRegistry registry(config, {.resident_cap = 1, .contexts_per_model = 2});
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    ASSERT_TRUE(registry.add_model(models[m], stress_mlp(m + 1)).ok());
+  }
+
+  ServerOptions options;
+  options.queue_capacity = 64;
+  options.policy = {8, 500};
+  options.dispatch_threads = 2;
+  options.run_options.mode = core::RunMode::kFunctional;
+  options.trace = true;
+  options.trace_capacity = 256;  // small ring: snapshot races wrap
+  Server server(registry, options);
+  server.start();
+
+  std::atomic<std::size_t> admitted{0};
+  std::atomic<std::size_t> rejected{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      common::Xoshiro256 rng(test::stress_seed() + c);
+      std::vector<std::uint8_t> image(32);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        for (auto& p : image) p = static_cast<std::uint8_t>(rng.next_below(256));
+        const auto& model = models[rng.next_below(models.size())];
+        RequestOptions ro;
+        const auto dice = rng.next_below(4);
+        if (dice == 0) ro.deadline_us = 200;  // tight: often expires queued
+        auto handle = server.submit(model, image, ro);
+        if (!handle.ok()) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        admitted.fetch_add(1, std::memory_order_relaxed);
+        if (dice == 1) handle.value().cancel();  // race the batcher's cull
+        auto result = handle.value().wait();
+        if (!result.ok()) {
+          EXPECT_TRUE(result.error().code == common::ErrorCode::kCancelled ||
+                      result.error().code == common::ErrorCode::kDeadlineExceeded)
+              << result.error().to_string();
+        }
+      }
+    });
+  }
+
+  // Reporting thread: reads every concurrent surface while serving is hot.
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto text = server.prometheus_text();
+      EXPECT_FALSE(text.empty());
+      (void)server.stats().totals();
+      (void)server.stats().to_table();
+      (void)registry.counters();
+      (void)registry.resident_models();
+      for (const auto& [name, session] : registry.resident_sessions()) {
+        (void)name;
+        (void)session->pool_stats();
+      }
+      (void)server.tracer().snapshot();
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : clients) t.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  server.stop();
+
+  // Conservation: submissions all accounted for, and every admitted request
+  // reached exactly one terminal outcome.
+  EXPECT_EQ(admitted.load() + rejected.load(), kClients * per_client);
+  const auto totals = server.stats().totals();
+  EXPECT_EQ(totals.counters.admitted, admitted.load());
+  EXPECT_EQ(totals.counters.completed + totals.counters.failed +
+                totals.counters.expired + totals.counters.cancelled,
+            totals.counters.admitted);
+  EXPECT_GT(totals.counters.completed, 0u);
+  // Three models through one resident slot: evictions must have happened.
+  EXPECT_GT(registry.counters().evictions, 0u);
+}
+
+TEST(ServerStress, StopRacesInFlightSubmitters) {
+  const std::size_t rounds = test::stress_iters(8);
+  const auto config = core::NetpuConfig::paper_instance();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    ModelRegistry registry(config, {.resident_cap = 1, .contexts_per_model = 1});
+    ASSERT_TRUE(registry.add_model("m", stress_mlp(round + 1)).ok());
+    ServerOptions options;
+    options.policy = {4, 200};
+    options.run_options.mode = core::RunMode::kFunctional;
+    Server server(registry, options);
+    server.start();
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> submitters;
+    submitters.reserve(2);
+    for (int t = 0; t < 2; ++t) {
+      submitters.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        std::vector<std::uint8_t> image(32, 7);
+        for (int i = 0; i < 32; ++i) {
+          auto handle = server.submit("m", image);
+          if (!handle.ok()) {
+            EXPECT_EQ(handle.error().code, common::ErrorCode::kUnavailable);
+            continue;
+          }
+          // Admitted requests must terminate even when stop() lands next.
+          (void)handle.value().wait();
+        }
+      });
+    }
+    std::thread stopper([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      server.stop();
+    });
+
+    go.store(true, std::memory_order_release);
+    for (auto& t : submitters) t.join();
+    stopper.join();
+
+    const auto totals = server.stats().totals();
+    EXPECT_EQ(totals.counters.completed + totals.counters.failed +
+                  totals.counters.expired + totals.counters.cancelled,
+              totals.counters.admitted);
+  }
+}
+
+}  // namespace
+}  // namespace netpu::serve

@@ -1,0 +1,35 @@
+// Shared knobs for the race-stress suite (tests/stress/).
+//
+// The suite exists to hand ThreadSanitizer interesting schedules, so the
+// interesting axis is iteration count, not assertions: tier-1 runs keep the
+// defaults small (the whole suite stays well under 10 s), while the CI tsan
+// leg exports NETPU_STRESS_ITERS to soak the same tests on longer schedules.
+// Seeds are fixed (override with NETPU_STRESS_SEED) so a failing schedule is
+// replayable up to OS scheduling nondeterminism.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace netpu::test {
+
+// Scale factor applied to each test's base iteration count.
+// NETPU_STRESS_ITERS, when set, *replaces* the base count outright so CI can
+// pick one soak length for the whole suite.
+inline std::size_t stress_iters(std::size_t base) {
+  if (const char* env = std::getenv("NETPU_STRESS_ITERS")) {
+    const auto v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return base;
+}
+
+// Deterministic default seed; NETPU_STRESS_SEED overrides for exploration.
+inline std::uint64_t stress_seed() {
+  if (const char* env = std::getenv("NETPU_STRESS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0x9e3779b97f4a7c15ULL;
+}
+
+}  // namespace netpu::test

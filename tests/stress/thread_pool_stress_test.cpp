@@ -1,0 +1,81 @@
+// ThreadPool under ThreadSanitizer: shutdown while work is still queued and
+// while external threads keep submitting. The pool's contract is that the
+// destructor drains every queued task before joining, so the completion
+// counters must be exact whatever the schedule.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "stress_env.hpp"
+
+namespace netpu::common {
+namespace {
+
+TEST(ThreadPoolStress, ShutdownDrainsQueuedWork) {
+  const std::size_t rounds = test::stress_iters(40);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::atomic<std::size_t> ran{0};
+    const std::size_t tasks = 64;
+    {
+      ThreadPool pool(4);
+      for (std::size_t i = 0; i < tasks; ++i) {
+        // Futures intentionally dropped: completion is observed through the
+        // counter, and the destructor must still run every task.
+        (void)pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+      // Destructor races the workers against the still-filling queue.
+    }
+    EXPECT_EQ(ran.load(), tasks) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolStress, ConcurrentSubmittersAndParallelFor) {
+  const std::size_t rounds = test::stress_iters(10);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    ThreadPool pool(3);
+    std::atomic<std::size_t> ran{0};
+    std::atomic<std::size_t> iterations{0};
+
+    std::vector<std::thread> submitters;
+    submitters.reserve(3);
+    for (int t = 0; t < 2; ++t) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 32; ++i) {
+          (void)pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    }
+    // parallel_for from a third external thread, overlapping the submitters:
+    // its chunks interleave with their tasks on the same worker set.
+    submitters.emplace_back([&] {
+      pool.parallel_for(100, [&iterations](std::size_t) {
+        iterations.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+    for (auto& t : submitters) t.join();
+
+    EXPECT_EQ(iterations.load(), 100u);
+    // The submitters' tasks may still be queued; destruction drains them.
+  }
+}
+
+TEST(ThreadPoolStress, FuturesObserveValuesAcrossThreads) {
+  ThreadPool pool(4);
+  const std::size_t n = test::stress_iters(40) * 8;
+  std::vector<std::future<std::size_t>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([i] { return i * 2; }));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(futures[i].get(), i * 2);
+  }
+}
+
+}  // namespace
+}  // namespace netpu::common

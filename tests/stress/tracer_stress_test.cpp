@@ -1,0 +1,161 @@
+// Tracer seqlock under ThreadSanitizer: record() hammered from many threads
+// against concurrent snapshot() readers, with a ring small enough that every
+// schedule wraps it many times over.
+//
+// Torn-span detection: each writer derives every event field from one value
+// (request_id encodes writer and iteration; model_id and stage are pure
+// functions of it). A reader that ever assembles a "span" whose fields
+// disagree has observed a torn slot — the seqlock's one job is that this
+// never happens, even mid-wrap.
+#include "obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "stress_env.hpp"
+
+namespace netpu::obs {
+namespace {
+
+constexpr std::uint32_t kModels = 5;
+
+// Field derivations shared by writers and validators.
+std::uint64_t make_request_id(std::uint64_t writer, std::uint64_t i) {
+  return (writer << 32) | (i + 1);
+}
+std::uint32_t model_of(std::uint64_t request_id) {
+  return static_cast<std::uint32_t>(request_id % kModels);
+}
+SpanStage stage_of(std::uint64_t request_id) {
+  return static_cast<SpanStage>(request_id % 9);  // any non-terminal mix is fine
+}
+
+void expect_consistent(const SpanEvent& event) {
+  ASSERT_NE(event.request_id, 0u);
+  EXPECT_EQ(event.model_id, model_of(event.request_id))
+      << "torn span: model_id from a different write than request_id";
+  EXPECT_EQ(event.stage, stage_of(event.request_id))
+      << "torn span: stage from a different write than request_id";
+}
+
+TEST(TracerStress, RecordVersusSnapshotHammer) {
+  Tracer tracer(/*capacity=*/64);  // tiny ring: constant wrap pressure
+  tracer.enable(true);
+
+  const std::size_t per_writer = test::stress_iters(200) * 25;
+  constexpr std::uint64_t kWriters = 4;
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (std::uint64_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::uint64_t i = 0; i < per_writer; ++i) {
+        const auto rid = make_request_id(w, i);
+        tracer.record(rid, model_of(rid), stage_of(rid));
+      }
+    });
+  }
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (const auto& event : tracer.snapshot()) {
+        expect_consistent(event);
+      }
+    }
+  });
+
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  // Quiescent snapshot: every surviving event consistent, seqs unique and
+  // bounded by the record count, survivors bounded by the ring.
+  const auto events = tracer.snapshot();
+  EXPECT_LE(events.size(), tracer.capacity());
+  std::set<std::uint64_t> seqs;
+  for (const auto& event : events) {
+    expect_consistent(event);
+    EXPECT_TRUE(seqs.insert(event.seq).second) << "duplicate seq in snapshot";
+    EXPECT_LE(event.seq, tracer.recorded());
+  }
+  EXPECT_EQ(tracer.recorded(), kWriters * per_writer);
+  EXPECT_EQ(tracer.dropped(), tracer.recorded() - tracer.capacity());
+}
+
+// Satellite: snapshot-during-wrap. A single writer laps the ring while a
+// reader snapshots continuously; beyond per-event consistency, record order
+// must survive — the surviving seqs are a strictly increasing window and
+// every snapshot is internally sorted.
+TEST(TracerStress, SnapshotDuringWrapSeesNoTornOrReorderedSpans) {
+  Tracer tracer(/*capacity=*/64);
+  tracer.enable(true);
+
+  const std::uint64_t laps = test::stress_iters(100);
+  const std::uint64_t records = laps * tracer.capacity() + 7;
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (std::uint64_t i = 0; i < records; ++i) {
+      const auto rid = make_request_id(1, i);
+      tracer.record(rid, model_of(rid), stage_of(rid));
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::uint64_t snapshots = 0;
+  do {
+    const auto events = tracer.snapshot();
+    std::uint64_t prev_seq = 0;
+    for (const auto& event : events) {
+      expect_consistent(event);
+      EXPECT_GT(event.seq, prev_seq) << "snapshot not in record order";
+      prev_seq = event.seq;
+      // Single writer: iteration order and seq order must agree.
+      const std::uint64_t iteration = event.request_id & 0xffffffffu;
+      EXPECT_EQ(event.seq, iteration)
+          << "wrapped slot published a stale event under a fresh seq";
+    }
+    ++snapshots;
+  } while (!done.load(std::memory_order_acquire));
+  writer.join();
+  EXPECT_GT(snapshots, 0u);
+
+  const auto events = tracer.snapshot();
+  ASSERT_FALSE(events.empty());
+  // After quiesce the ring holds exactly the newest `capacity` events.
+  EXPECT_EQ(events.size(), tracer.capacity());
+  EXPECT_EQ(events.back().seq, records);
+  EXPECT_EQ(events.front().seq, records - tracer.capacity() + 1);
+}
+
+TEST(TracerStress, InternRacesWithRecordAndModelNames) {
+  Tracer tracer(/*capacity=*/256);
+  tracer.enable(true);
+  const std::size_t per_thread = test::stress_iters(200);
+
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        const auto id = tracer.intern("model-" + std::to_string(i % 7));
+        tracer.record(make_request_id(static_cast<std::uint64_t>(t), i), id,
+                      SpanStage::kAdmitted);
+        if (i % 16 == 0) {
+          EXPECT_LE(tracer.model_names().size(), 7u);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.model_names().size(), 7u);
+}
+
+}  // namespace
+}  // namespace netpu::obs

@@ -1,0 +1,401 @@
+#!/usr/bin/env python3
+"""Project-invariant lint for the NetPU-M repo.
+
+Enforces the handful of repo rules clang-tidy has no checks for. Runs as a
+tier-1 ctest (`repo_lint`), so a violation fails the ordinary test run; the
+`repo_lint_selftest` entry seeds one violation per rule into a scratch tree
+and asserts the lint rejects each, so the lint itself cannot rot silently.
+
+Rules
+-----
+nodiscard-status     src/common/status.hpp must keep class-level
+                     [[nodiscard]] on Status and Result.
+status-discard       A call to a function returning common::Status or
+                     common::Result must not be a bare discarded statement.
+                     (The compiler enforces this too via the class attribute;
+                     the lint catches it without a build, e.g. in code that
+                     is conditionally compiled out.)
+mutex-annotation     Every `std::mutex` declaration carries a lock-annotation
+                     comment (same line or the line above) saying what it
+                     guards — the word "guard" is the marker.
+reinterpret-cast     No reinterpret_cast outside the serialization layers
+                     (src/loadable/, src/data/) unless the line carries a
+                     `lint:allow reinterpret_cast` waiver with a reason.
+pragma-once          Every header under src/ opens with #pragma once (before
+                     any non-comment line).
+
+Usage
+-----
+  tools/lint.py [--root REPO_ROOT]   # lint the tree (default: repo root)
+  tools/lint.py --self-test          # prove each rule still fires
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+SRC_DIRS = ("src", "tools", "bench")
+WAIVER = "lint:allow"
+
+
+def find_files(root, subdirs, exts):
+    out = []
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if os.path.splitext(name)[1] in exts:
+                    out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def strip_comments_keep_lines(text):
+    """Remove // and /* */ comment bodies while preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif ch in "\"'":
+            quote = ch
+            out.append(ch)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append(text[i : i + 2])
+                    i += 2
+                    continue
+                out.append(text[i])
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+# --- rule: nodiscard-status -------------------------------------------------
+
+def check_nodiscard_status(root):
+    path = os.path.join(root, "src", "common", "status.hpp")
+    if not os.path.isfile(path):
+        return []
+    text = open(path, encoding="utf-8").read()
+    findings = []
+    for cls in ("Status", "Result"):
+        if not re.search(r"class\s+\[\[nodiscard\]\]\s+" + cls + r"\b", text):
+            findings.append(
+                (path, 1, "nodiscard-status",
+                 f"class {cls} must be declared `class [[nodiscard]] {cls}`"))
+    return findings
+
+
+# --- rule: status-discard ---------------------------------------------------
+
+# Function/method names declared to return common::Status or common::Result.
+DECL_RE = re.compile(
+    r"(?:^|[\s\]])(?:static\s+)?"
+    r"(?:common::)?(?:Status|Result<[^;=]*?>)\s+"
+    r"([A-Za-z_]\w*)\s*\(", re.M)
+
+# A bare discarded call statement: optional object expression (no spaces or
+# parens — a paren would mean the name is an argument to an outer call, which
+# consumes the value) followed by the call, closing `);` at statement end.
+def _call_re(name):
+    return re.compile(
+        r"^\s*(?:[A-Za-z_][\w.\->:\[\]]*(?:\.|->|::))?"
+        + re.escape(name) + r"\s*\(")
+
+
+def collect_status_returning_names(root):
+    names = set()
+    for path in find_files(root, ("src",), {".hpp", ".h"}):
+        text = strip_comments_keep_lines(open(path, encoding="utf-8").read())
+        for m in DECL_RE.finditer(text):
+            names.add(m.group(1))
+    # Names too generic to scan by text alone — they collide with unrelated
+    # methods (`condition_variable::wait`, `sim::Fifo::push`, ...). The
+    # compiler's class-level [[nodiscard]] still covers the real ones.
+    for generic in ("run", "load", "wait", "push"):
+        names.discard(generic)
+    return names
+
+
+def logical_statements(text):
+    """Yield (line_number, statement) with parens balanced across lines."""
+    statements = []
+    buf = []
+    depth = 0
+    start_line = 1
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if not buf:
+            start_line = lineno
+        buf.append(line)
+        depth += line.count("(") - line.count(")")
+        stripped = line.strip()
+        if depth <= 0 and (stripped.endswith(";") or stripped.endswith("{")
+                           or stripped.endswith("}") or not stripped):
+            statements.append((start_line, "\n".join(buf)))
+            buf = []
+            depth = 0
+    if buf:
+        statements.append((start_line, "\n".join(buf)))
+    return statements
+
+
+def check_status_discard(root, names=None):
+    if names is None:
+        names = collect_status_returning_names(root)
+    if not names:
+        return []
+    call_res = {name: _call_re(name) for name in names}
+    findings = []
+    for path in find_files(root, SRC_DIRS, {".cpp", ".hpp", ".h"}):
+        raw = open(path, encoding="utf-8").read()
+        if WAIVER + " status-discard" in raw:
+            continue
+        text = strip_comments_keep_lines(raw)
+        for lineno, stmt in logical_statements(text):
+            flat = stmt.strip()
+            if not flat.endswith(";"):
+                continue
+            # Assignments, returns, casts and control flow consume the value.
+            if re.match(r"^(return|if|while|for|switch|case|auto|const|else)\b",
+                        flat):
+                continue
+            if "(void)" in flat or "=" in flat.split("(", 1)[0]:
+                continue
+            for name, call_re in call_res.items():
+                m = call_re.match(flat)
+                if not m:
+                    continue
+                # Consuming the result via a member call (e.g. `.ok()`,
+                # `.value()`) leaves a suffix after the final `)`.
+                tail = flat[flat.rfind(")") + 1:].rstrip(";").strip()
+                if tail:
+                    continue
+                findings.append(
+                    (path, lineno, "status-discard",
+                     f"result of '{name}(...)' (returns Status/Result) is "
+                     f"discarded; check it or cast to (void) with a reason"))
+                break
+    return findings
+
+
+# --- rule: mutex-annotation -------------------------------------------------
+
+MUTEX_DECL_RE = re.compile(r"^\s*(?:mutable\s+)?std::mutex\s+\w+\s*;")
+
+
+def check_mutex_annotation(root):
+    findings = []
+    for path in find_files(root, ("src",), {".cpp", ".hpp", ".h"}):
+        lines = open(path, encoding="utf-8").read().split("\n")
+        for idx, line in enumerate(lines):
+            if not MUTEX_DECL_RE.match(line):
+                continue
+            here = line.lower()
+            above = lines[idx - 1].lower() if idx > 0 else ""
+            if "guard" in here or "guard" in above:
+                continue
+            findings.append(
+                (path, idx + 1, "mutex-annotation",
+                 "std::mutex declaration needs a lock-annotation comment "
+                 "(same line or line above) saying what it guards, e.g. "
+                 "`// guards foo_, bar_`"))
+    return findings
+
+
+# --- rule: reinterpret-cast -------------------------------------------------
+
+CAST_ALLOWED_PREFIXES = (
+    os.path.join("src", "loadable") + os.sep,
+    os.path.join("src", "data") + os.sep,
+)
+
+
+def check_reinterpret_cast(root):
+    findings = []
+    for path in find_files(root, ("src",), {".cpp", ".hpp", ".h"}):
+        rel = os.path.relpath(path, root)
+        if rel.startswith(CAST_ALLOWED_PREFIXES):
+            continue
+        lines = open(path, encoding="utf-8").read().split("\n")
+        for idx, line in enumerate(lines):
+            if "reinterpret_cast" not in line:
+                continue
+            code = line.split("//", 1)[0]
+            if "reinterpret_cast" not in code:
+                continue  # only mentioned in a comment
+            context = line + (lines[idx - 1] if idx > 0 else "")
+            if WAIVER + " reinterpret_cast" in context:
+                continue
+            findings.append(
+                (path, idx + 1, "reinterpret-cast",
+                 "reinterpret_cast outside src/loadable/ and src/data/ "
+                 "stream I/O; use a typed accessor, or waive with "
+                 "`// lint:allow reinterpret_cast — <reason>`"))
+    return findings
+
+
+# --- rule: pragma-once ------------------------------------------------------
+
+def check_pragma_once(root):
+    findings = []
+    for path in find_files(root, ("src",), {".hpp", ".h"}):
+        ok = False
+        for line in strip_comments_keep_lines(
+                open(path, encoding="utf-8").read()).split("\n"):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            ok = stripped == "#pragma once"
+            break
+        if not ok:
+            findings.append(
+                (path, 1, "pragma-once",
+                 "header must open with #pragma once before any code"))
+    return findings
+
+
+ALL_CHECKS = (
+    check_nodiscard_status,
+    check_status_discard,
+    check_mutex_annotation,
+    check_reinterpret_cast,
+    check_pragma_once,
+)
+
+
+def run_lint(root):
+    findings = []
+    for check in ALL_CHECKS:
+        findings.extend(check(root))
+    for path, lineno, rule, message in findings:
+        rel = os.path.relpath(path, root)
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+    return len(findings)
+
+
+# --- self-test --------------------------------------------------------------
+
+def _write(root, rel, text):
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+
+
+def self_test():
+    failures = []
+
+    def expect(label, findings, rule, count=1):
+        hits = [f for f in findings if f[2] == rule]
+        if len(hits) != count:
+            failures.append(
+                f"{label}: expected {count} '{rule}' finding(s), got "
+                f"{len(hits)}: {hits}")
+
+    with tempfile.TemporaryDirectory() as root:
+        # Seed: status.hpp without the class attribute.
+        _write(root, "src/common/status.hpp",
+               "#pragma once\nclass Status {};\n"
+               "template <typename T> class Result {};\n")
+        expect("nodiscard seeded", check_nodiscard_status(root),
+               "nodiscard-status", 2)
+
+        # Seed: a discarded Status call (and a checked one that must pass).
+        _write(root, "src/x/api.hpp",
+               "#pragma once\nnamespace n {\n"
+               "[[nodiscard]] common::Status frobnicate(int v);\n}\n")
+        _write(root, "src/x/use.cpp",
+               "#include \"api.hpp\"\n"
+               "void good() { if (auto s = n::frobnicate(1); !s.ok()) {} }\n"
+               "void also_good() { (void)n::frobnicate(2); }\n"
+               "void bad() {\n"
+               "  n::frobnicate(3);\n"
+               "}\n")
+        expect("status-discard seeded", check_status_discard(root),
+               "status-discard", 1)
+
+        # Seed: one annotated mutex (passes), one bare mutex (fails).
+        _write(root, "src/x/locks.hpp",
+               "#pragma once\n#include <mutex>\nclass A {\n"
+               "  std::mutex good_;  // guards table_\n"
+               "  // guards the free list and counters\n"
+               "  std::mutex also_good_;\n"
+               "  std::mutex bad_;\n};\n")
+        expect("mutex seeded", check_mutex_annotation(root),
+               "mutex-annotation", 1)
+
+        # Seed: reinterpret_cast outside the serialization layers, one waived,
+        # one inside src/data (allowed).
+        _write(root, "src/x/casts.cpp",
+               "void f(char* p) {\n"
+               "  auto* a = reinterpret_cast<int*>(p);\n"
+               "  // lint:allow reinterpret_cast — mmap'd register window\n"
+               "  auto* b = reinterpret_cast<int*>(p);\n"
+               "  (void)a; (void)b;\n}\n")
+        _write(root, "src/data/io.cpp",
+               "void g(char* p) { (void)reinterpret_cast<int*>(p); }\n")
+        expect("cast seeded", check_reinterpret_cast(root),
+               "reinterpret-cast", 1)
+
+        # Seed: header missing #pragma once (a comment prefix must not count
+        # as the opening line; the other seeded headers all carry the pragma).
+        _write(root, "src/x/no_guard.hpp", "// comment\nint x();\n")
+        findings = check_pragma_once(root)
+        expect("pragma seeded", findings, "pragma-once", 1)
+        hits = sorted(os.path.basename(f[0]) for f in findings)
+        if hits and hits != ["no_guard.hpp"]:
+            failures.append(f"pragma seeded: expected [no_guard.hpp], got {hits}")
+
+    if failures:
+        for f in failures:
+            print("SELF-TEST FAIL:", f)
+        return 1
+    print("lint self-test: all rules fire on seeded violations")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="seed violations and assert every rule fires")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    count = run_lint(root)
+    if count:
+        print(f"lint: {count} finding(s)")
+        sys.exit(1)
+    print("lint: clean")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
