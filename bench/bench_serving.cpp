@@ -13,8 +13,16 @@
 //
 // Per-request model latency (simulated µs) feeds the serving-layer
 // histogram, so each row also reports p50/p95/p99 alongside throughput.
+//
+// The final section sweeps --devices 1..4 (layer-pipeline execution plans)
+// and the whole run is emitted as BENCH_serving.json — images/s and p50/p99
+// per backend and per device count plus the plan's modeled pipeline
+// throughput — so serving regressions diff as JSON. The modeled 1->2
+// scaling on the swept zoo model is asserted >= 1.7x.
 #include <cstdio>
 #include <chrono>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/accelerator.hpp"
@@ -27,6 +35,40 @@
 #include "serve/server_stats.hpp"
 
 using namespace netpu;
+
+namespace {
+
+// One emitted measurement row (section/backends/devices discriminate).
+struct BenchRow {
+  std::string section;
+  std::string label;
+  std::size_t devices = 1;
+  double images_per_s = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double modeled_images_per_s = 0.0;  // device sweep only
+};
+
+void write_json(const std::string& path, const std::string& model,
+                std::size_t images, const std::vector<BenchRow>& rows,
+                double pipeline_scaling_1_to_2) {
+  std::ofstream f(path);
+  f << "{\n  \"model\": \"" << model << "\",\n  \"images\": " << images
+    << ",\n  \"pipeline_scaling_1_to_2\": " << pipeline_scaling_1_to_2
+    << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    f << "    {\"section\": \"" << r.section << "\", \"label\": \"" << r.label
+      << "\", \"devices\": " << r.devices
+      << ", \"images_per_s\": " << r.images_per_s << ", \"p50_us\": " << r.p50_us
+      << ", \"p99_us\": " << r.p99_us
+      << ", \"modeled_images_per_s\": " << r.modeled_images_per_s << "}"
+      << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+}
+
+}  // namespace
 
 int main() {
   common::Xoshiro256 rng(7);
@@ -65,6 +107,10 @@ int main() {
           .count();
   const double serial_ips =
       serial_wall > 0.0 ? static_cast<double>(images.size()) / serial_wall : 0.0;
+
+  std::vector<BenchRow> rows;
+  rows.push_back({"driver", "serial cold", 1, serial_ips, serial_latency.p50(),
+                  serial_latency.p99(), 0.0});
 
   // Host traffic per request, both ways.
   auto model_stream = loadable::compile_model(mlp, config.compile_options());
@@ -111,6 +157,8 @@ int main() {
                 serial_ips > 0.0 ? stats.images_per_second / serial_ips : 0.0,
                 input_words, warm_latency.p50(), warm_latency.p95(),
                 warm_latency.p99());
+    rows.push_back({"engine_threads", label, 1, stats.images_per_second,
+                    warm_latency.p50(), warm_latency.p99(), 0.0});
   }
 
   // --- execution backends: cycle sim vs. functional fast path -----------
@@ -163,6 +211,11 @@ int main() {
                     ? batch.value().stats.images_per_second / cycle_ips
                     : 0.0,
                 static_cast<unsigned long long>(results.front().cycles));
+    serve::LatencyHistogram backend_latency;
+    for (const auto& r : results) backend_latency.record(r.latency_us(config));
+    rows.push_back({"backend", core::to_string(backend), 1,
+                    batch.value().stats.images_per_second,
+                    backend_latency.p50(), backend_latency.p99(), 0.0});
   }
   if (fast_ips < 5.0 * cycle_ips) {
     std::fprintf(stderr,
@@ -175,6 +228,85 @@ int main() {
       "(>=5x required)\n",
       cycle_ips > 0.0 ? fast_ips / cycle_ips : 0.0);
 
+  // --- device sweep: layer-pipeline execution plans ---------------------
+  // TFC-w1a1: its per-layer time profile splits evenly enough that the
+  // greedy stage assignment balances a two-stage pipeline, and the modeled
+  // 1->2 scaling must clear 1.7x. Wall images/s barely moves (the fast
+  // kernels do the same arithmetic either way) — the modeled pipeline
+  // throughput is the figure of merit; the wall numbers and the
+  // device-count-invariant predictions guard plan-execution overhead and
+  // correctness.
+  const nn::ModelVariant sweep_variant{nn::Topology::kTfc, 1, 1};
+  const auto sweep_mlp =
+      nn::make_random_quantized_model(sweep_variant, true, rng);
+  std::printf("\ndevice sweep (%s, engine, fast-latency backend):\n",
+              sweep_variant.name().c_str());
+  std::printf("%-10s %14s %16s %10s %10s %10s\n", "devices", "wall img/s",
+              "modeled img/s", "scaling", "p50 us", "p99 us");
+  double modeled_one = 0.0, modeled_two = 0.0;
+  std::vector<std::size_t> single_device_predictions;
+  for (const std::size_t d : {1u, 2u, 3u, 4u}) {
+    auto sweep_session =
+        engine::Session::create(config, {.contexts = 2, .devices = d});
+    if (!sweep_session.ok()) return 1;
+    if (auto s = sweep_session.value().load_model(sweep_mlp); !s.ok()) {
+      std::fprintf(stderr, "sweep model load failed: %s\n",
+                   s.error().to_string().c_str());
+      return 1;
+    }
+    engine::InferenceEngine sweep_eng(sweep_session.value(), 2);
+    core::RunOptions options;
+    options.backend = core::Backend::kFastLatencyModel;
+    auto batch = sweep_eng.run_batch(images, options);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "device sweep (%zu devices) failed: %s\n", d,
+                   batch.error().to_string().c_str());
+      return 1;
+    }
+    const auto& results = batch.value().results;
+    if (d == 1) {
+      single_device_predictions.reserve(results.size());
+      for (const auto& r : results) {
+        single_device_predictions.push_back(r.predicted);
+      }
+    } else {
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].predicted != single_device_predictions[i]) {
+          std::fprintf(
+              stderr,
+              "DEVICE MISMATCH: %zu devices predicted %zu, one device %zu "
+              "(image %zu)\n",
+              d, results[i].predicted, single_device_predictions[i], i);
+          return 1;
+        }
+      }
+    }
+    const double modeled =
+        sweep_session.value().plan().modeled_throughput_images_per_s();
+    if (d == 1) modeled_one = modeled;
+    if (d == 2) modeled_two = modeled;
+    serve::LatencyHistogram sweep_latency;
+    for (const auto& r : results) sweep_latency.record(r.latency_us(config));
+    std::printf("%-10zu %14.1f %16.1f %9.2fx %10.2f %10.2f\n", d,
+                batch.value().stats.images_per_second, modeled,
+                modeled_one > 0.0 ? modeled / modeled_one : 0.0,
+                sweep_latency.p50(), sweep_latency.p99());
+    rows.push_back({"device_sweep", std::to_string(d) + " device(s)", d,
+                    batch.value().stats.images_per_second, sweep_latency.p50(),
+                    sweep_latency.p99(), modeled});
+  }
+  const double scaling = modeled_one > 0.0 ? modeled_two / modeled_one : 0.0;
+  if (scaling < 1.7) {
+    std::fprintf(stderr,
+                 "FAIL: modeled pipeline scaling 1->2 devices %.2fx < 1.7x\n",
+                 scaling);
+    return 1;
+  }
+  std::printf(
+      "pipeline 1->2 devices: %.2fx modeled throughput (>=1.7x required), "
+      "predictions device-count invariant\n",
+      scaling);
+
   std::printf(
       "\ncold fused run: %llu cycles/request; warm resident run: %llu "
       "cycles/request\n",
@@ -185,5 +317,9 @@ int main() {
       "after that each request ships %zu input words instead of the %zu-word "
       "fused loadable.\n",
       model_stream.value().size(), input_words, fused_words);
+
+  write_json("BENCH_serving.json", variant.name() + " + " + sweep_variant.name(),
+             images.size(), rows, scaling);
+  std::printf("wrote BENCH_serving.json (%zu rows)\n", rows.size());
   return 0;
 }

@@ -121,6 +121,126 @@ common::Result<FastExecutor> FastExecutor::create(nn::QuantizedMlp mlp,
   return FastExecutor(std::move(mlp), config);
 }
 
+std::vector<std::int32_t> FastExecutor::input_layer_codes(
+    std::span<const std::uint8_t> image) const {
+  const auto& input_layer = mlp_.layers.front();
+  std::vector<std::int32_t> codes(static_cast<std::size_t>(input_layer.neurons));
+  for (int n = 0; n < input_layer.neurons; ++n) {
+    codes[static_cast<std::size_t>(n)] = activate_code(
+        input_layer, n, Q32x5::from_int32(image[static_cast<std::size_t>(n)]));
+  }
+  return codes;
+}
+
+std::vector<std::int32_t> FastExecutor::forward_layer(
+    std::size_t layer, std::span<const std::int32_t> in_codes) const {
+  const auto& l = mlp_.layers[layer];
+  const auto& plan = plans_[layer];
+  const auto chunks = plan.setting.chunks_per_neuron();
+  const auto input_words = pack_stream_words(in_codes, plan.setting.in_prec, l.dense);
+  std::vector<std::int32_t> out(static_cast<std::size_t>(l.neurons));
+  for (int n = 0; n < l.neurons; ++n) {
+    const auto row = std::span<const Word>(plan.weight_words)
+                         .subspan(static_cast<std::size_t>(n) * chunks, chunks);
+    out[static_cast<std::size_t>(n)] = activate_code(
+        l, n, neuron_preactivation_words(l, plan.setting, input_words, row, n));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> FastExecutor::output_values(
+    std::span<const std::int32_t> in_codes) const {
+  const std::size_t layer = mlp_.layers.size() - 1;
+  const auto& l = mlp_.layers[layer];
+  const auto& plan = plans_[layer];
+  const auto chunks = plan.setting.chunks_per_neuron();
+  const auto input_words = pack_stream_words(in_codes, plan.setting.in_prec, l.dense);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(l.neurons));
+  for (int n = 0; n < l.neurons; ++n) {
+    const auto row = std::span<const Word>(plan.weight_words)
+                         .subspan(static_cast<std::size_t>(n) * chunks, chunks);
+    out[static_cast<std::size_t>(n)] =
+        neuron_preactivation_words(l, plan.setting, input_words, row, n).raw();
+  }
+  return out;
+}
+
+std::vector<std::int32_t> FastExecutor::partial_sums(
+    std::size_t layer, std::span<const std::int32_t> in_codes, int neuron_begin,
+    int neuron_count, int input_begin, int input_length, bool with_bias) const {
+  const auto& l = mlp_.layers[layer];
+  const auto& plan = plans_[layer];
+  const int vpc = plan.setting.values_per_chunk();
+  const bool binary = plan.setting.in_prec.bits == 1 && plan.setting.w_prec.bits == 1;
+  // Shard word boundaries must coincide with the full row's chunk grid.
+  const std::size_t chunk_begin = static_cast<std::size_t>(input_begin / vpc);
+  const std::size_t window_chunks = static_cast<std::size_t>(
+      (input_length + vpc - 1) / vpc);
+  const auto row_chunks = plan.setting.chunks_per_neuron();
+  const auto window_codes =
+      in_codes.subspan(static_cast<std::size_t>(input_begin),
+                       static_cast<std::size_t>(input_length));
+  const auto input_words =
+      pack_stream_words(window_codes, plan.setting.in_prec, l.dense);
+
+  std::vector<std::int32_t> sums(static_cast<std::size_t>(neuron_count));
+  for (int j = 0; j < neuron_count; ++j) {
+    const int n = neuron_begin + j;
+    const auto row =
+        std::span<const Word>(plan.weight_words)
+            .subspan(static_cast<std::size_t>(n) * row_chunks + chunk_begin,
+                     window_chunks);
+    hw::Accumulator acc;
+    acc.reset(with_bias && l.uses_bias() ? l.bias[static_cast<std::size_t>(n)] : 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const int active = static_cast<int>(std::min<std::int64_t>(
+          vpc, static_cast<std::int64_t>(input_length) -
+                   static_cast<std::int64_t>(c) * vpc));
+      if (plan.setting.dense && !binary) {
+        acc.add(hw::word_dot_dense(input_words[c], row[c], plan.setting.in_prec,
+                                   plan.setting.w_prec, active));
+      } else {
+        acc.add(hw::word_dot(input_words[c], row[c], plan.setting.in_prec,
+                             plan.setting.w_prec, active));
+      }
+    }
+    sums[static_cast<std::size_t>(j)] = acc.value();
+  }
+  return sums;
+}
+
+std::vector<std::int32_t> FastExecutor::finalize_codes(
+    std::size_t layer, int neuron_begin, std::span<const std::int32_t> sums) const {
+  const auto& l = mlp_.layers[layer];
+  std::vector<std::int32_t> out(sums.size());
+  for (std::size_t j = 0; j < sums.size(); ++j) {
+    const int n = neuron_begin + static_cast<int>(j);
+    const auto q5 = l.bn_fold
+                        ? Q32x5::from_int32(sums[j])
+                        : common::bn_transform(sums[j],
+                                               l.bn_scale[static_cast<std::size_t>(n)],
+                                               l.bn_offset[static_cast<std::size_t>(n)]);
+    out[j] = activate_code(l, n, q5);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> FastExecutor::finalize_output_values(
+    std::size_t layer, int neuron_begin, std::span<const std::int32_t> sums) const {
+  const auto& l = mlp_.layers[layer];
+  std::vector<std::int64_t> out(sums.size());
+  for (std::size_t j = 0; j < sums.size(); ++j) {
+    const int n = neuron_begin + static_cast<int>(j);
+    const auto q5 = l.bn_fold
+                        ? Q32x5::from_int32(sums[j])
+                        : common::bn_transform(sums[j],
+                                               l.bn_scale[static_cast<std::size_t>(n)],
+                                               l.bn_offset[static_cast<std::size_t>(n)]);
+    out[j] = q5.raw();
+  }
+  return out;
+}
+
 common::Result<RunResult> FastExecutor::run(std::span<const std::uint8_t> image,
                                             bool stamp_latency) const {
   if (image.size() != mlp_.input_size()) {

@@ -46,6 +46,49 @@ class FastExecutor {
   [[nodiscard]] common::Result<RunResult> run(
       std::span<const std::uint8_t> image, bool stamp_latency = false) const;
 
+  // --- Stage entry points for multi-device execution plans. -------------
+  //
+  // A runtime::ExecutionPlan slices the network across simulated devices;
+  // each stage/shard runs through these, which are exactly the kernels
+  // run() composes — same packed weight words, same word_dot/tail-masked
+  // MAC, same Tnpu post-accumulation — so a staged evaluation is
+  // bit-identical to a single-device run by construction.
+
+  // ACTIV/QUAN of the raw input samples (layer 0; the crossbar bypasses
+  // MUL/ACCU for input layers).
+  [[nodiscard]] std::vector<std::int32_t> input_layer_codes(
+      std::span<const std::uint8_t> image) const;
+  // Forward one weighted hidden layer: producer codes in, this layer's
+  // output codes out.
+  [[nodiscard]] std::vector<std::int32_t> forward_layer(
+      std::size_t layer, std::span<const std::int32_t> in_codes) const;
+  // Output layer: producer codes in, raw Q32.5 pre-MaxOut values out.
+  [[nodiscard]] std::vector<std::int64_t> output_values(
+      std::span<const std::int32_t> in_codes) const;
+
+  // --- Sharded execution of one weighted layer. -------------------------
+  //
+  // A shard computes the raw 32-bit wrap-around ACCU sums of a contiguous
+  // neuron window over a contiguous fan-in window. `input_begin` must be a
+  // multiple of the layer's values_per_chunk() so shard word boundaries
+  // coincide with the full row's chunk boundaries; int32 wrap-around
+  // addition is associative, so reducing shard sums before BN -> ACTIV ->
+  // QUAN (finalize_*) reproduces the unsharded accumulation bit for bit.
+  // `with_bias` loads the ACCU bias port on exactly one fan-in shard.
+  [[nodiscard]] std::vector<std::int32_t> partial_sums(
+      std::size_t layer, std::span<const std::int32_t> in_codes,
+      int neuron_begin, int neuron_count, int input_begin, int input_length,
+      bool with_bias) const;
+  // Reduce-side finalization of summed shard accumulators: BN-or-bypass,
+  // then ACTIV + QUAN (hidden layers) or the raw Q32.5 values (output
+  // layer). `neuron_begin` anchors the per-neuron parameter vectors.
+  [[nodiscard]] std::vector<std::int32_t> finalize_codes(
+      std::size_t layer, int neuron_begin,
+      std::span<const std::int32_t> sums) const;
+  [[nodiscard]] std::vector<std::int64_t> finalize_output_values(
+      std::size_t layer, int neuron_begin,
+      std::span<const std::int32_t> sums) const;
+
   [[nodiscard]] const nn::QuantizedMlp& model() const { return mlp_; }
   [[nodiscard]] const LatencyBreakdown& latency_estimate() const {
     return latency_;

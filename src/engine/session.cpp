@@ -1,10 +1,9 @@
 #include "engine/session.hpp"
 
-#include <algorithm>
-#include <condition_variable>
-#include <mutex>
+#include <utility>
 
 #include "hw/activation_unit.hpp"
+#include "hw/multiplier.hpp"
 #include "loadable/compiler.hpp"
 
 namespace netpu::engine {
@@ -14,32 +13,11 @@ using common::ErrorCode;
 using common::Result;
 using common::Status;
 
-struct Session::Pool {
-  std::mutex mutex;  // guards free_list and the occupancy counters below
-  std::condition_variable cv;
-  std::vector<Context*> free_list;
-  // Occupancy accounting (guarded by mutex).
-  std::size_t total = 0;
-  std::size_t peak_in_use = 0;
-  std::uint64_t acquires = 0;
-  std::uint64_t waits = 0;
-};
-
-Session::Context::Context(const core::NetpuConfig& config) : netpu(config) {
-  scheduler.add(&netpu);
-  for (int i = 0; i < netpu.lpu_count(); ++i) scheduler.add(&netpu.lpu(i));
-}
-
-Session::Session(core::NetpuConfig config, SessionOptions options)
-    : config_(std::move(config)), options_(options), pool_(std::make_unique<Pool>()) {
-  const std::size_t n = options_.contexts == 0 ? 1 : options_.contexts;
-  contexts_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    contexts_.push_back(std::make_unique<Context>(config_));
-    pool_->free_list.push_back(contexts_.back().get());
-  }
-  pool_->total = contexts_.size();
-}
+Session::Session(core::NetpuConfig config, SessionOptions options,
+                 std::vector<std::unique_ptr<runtime::Device>> devices)
+    : config_(std::move(config)),
+      options_(options),
+      devices_(std::move(devices)) {}
 
 Session::~Session() = default;
 Session::Session(Session&&) noexcept = default;
@@ -47,7 +25,35 @@ Session& Session::operator=(Session&&) noexcept = default;
 
 Result<Session> Session::create(core::NetpuConfig config, SessionOptions options) {
   if (auto s = config.validate(); !s.ok()) return s.error();
-  return Session(std::move(config), options);
+  const std::size_t n_devices = options.devices == 0 ? 1 : options.devices;
+  std::vector<std::unique_ptr<runtime::Device>> devices;
+  devices.reserve(n_devices);
+  for (std::size_t i = 0; i < n_devices; ++i) {
+    auto device = runtime::Device::create(config, options.contexts);
+    if (!device.ok()) return device.error();
+    devices.push_back(std::move(device).value());
+  }
+  return Session(std::move(config), options, std::move(devices));
+}
+
+Session::PoolStats Session::pool_stats() const {
+  PoolStats s;
+  for (const auto& device : devices_) {
+    const auto d = device->stats();
+    s.contexts += d.contexts;
+    s.in_use += d.in_use;
+    s.peak_in_use += d.peak_in_use;
+    s.acquires += d.acquires;
+    s.waits += d.waits;
+  }
+  return s;
+}
+
+std::vector<runtime::DeviceStats> Session::device_stats() const {
+  std::vector<runtime::DeviceStats> stats;
+  stats.reserve(devices_.size());
+  for (const auto& device : devices_) stats.push_back(device->stats());
+  return stats;
 }
 
 Status Session::load_model(std::span<const Word> model_stream) {
@@ -55,18 +61,24 @@ Status Session::load_model(std::span<const Word> model_stream) {
   // functional-mode requests.
   auto parsed = loadable::parse_model(model_stream);
   if (!parsed.ok()) return parsed.error();
-  // Enforce the instance's capacity limits (the same ones compile_model
-  // applies when the model originates here).
-  if (auto s = loadable::check_capacity(parsed.value().mlp, config_.compile_options());
-      !s.ok()) {
-    return s;
+  // Plan the model across the device set. This subsumes the historical
+  // check_capacity call: a model that fits one device plans as
+  // single-device/pipeline, an oversized one gets sharded, and a model no
+  // assignment fits fails with the same kCapacityExceeded the compiler
+  // reports.
+  auto plan = runtime::Partitioner::plan(parsed.value().mlp, config_,
+                                         devices_.size());
+  if (!plan.ok()) {
+    model_loaded_ = false;
+    return plan.error();
   }
 
   std::vector<Word> words(model_stream.begin(), model_stream.end());
-  // Make the model resident in every context; load_model_resident performs
-  // the instance capability checks (MT precision cap, dense support).
-  for (auto& context : contexts_) {
-    if (auto s = context->netpu.load_model_resident(words); !s.ok()) {
+  if (plan.value().kind() == runtime::PlanKind::kSingleDevice) {
+    // Make the model resident in every context of device 0;
+    // load_model_resident performs the instance capability checks (MT
+    // precision cap, dense support).
+    if (auto s = devices_.front()->load_resident(words); !s.ok()) {
       model_loaded_ = false;
       return s;
     }
@@ -78,53 +90,48 @@ Status Session::load_model(std::span<const Word> model_stream) {
     settings_.push_back(loadable::LayerSetting::from_layer(layer));
   }
   // Build the resident fast-path executor (packs weight words once); its
-  // capability checks duplicate load_model_resident's, so a failure here
-  // would be an internal inconsistency, not a user error.
+  // capability checks duplicate the plan's, so a failure here would be an
+  // internal inconsistency, not a user error.
   auto fast = core::FastExecutor::create(model_, config_);
   if (!fast.ok()) {
     model_loaded_ = false;
     return fast.error();
   }
   fast_ = std::make_unique<core::FastExecutor>(std::move(fast).value());
+  plan_ = std::move(plan).value();
   model_loaded_ = true;
   return Status::ok_status();
 }
 
 Status Session::load_model(const nn::QuantizedMlp& mlp) {
   auto stream = loadable::compile_model(mlp, config_.compile_options());
-  if (!stream.ok()) return stream.error();
-  return load_model(stream.value());
-}
-
-Session::Context* Session::acquire() {
-  std::unique_lock<std::mutex> lock(pool_->mutex);
-  pool_->acquires += 1;
-  if (pool_->free_list.empty()) pool_->waits += 1;
-  pool_->cv.wait(lock, [this] { return !pool_->free_list.empty(); });
-  Context* context = pool_->free_list.back();
-  pool_->free_list.pop_back();
-  pool_->peak_in_use =
-      std::max(pool_->peak_in_use, pool_->total - pool_->free_list.size());
-  return context;
-}
-
-void Session::release(Context* context) {
-  {
-    std::lock_guard<std::mutex> lock(pool_->mutex);
-    pool_->free_list.push_back(context);
+  if (stream.ok()) return load_model(stream.value());
+  if (stream.error().code != ErrorCode::kCapacityExceeded || devices_.size() < 2) {
+    return stream.error();
   }
-  pool_->cv.notify_one();
-}
-
-Session::PoolStats Session::pool_stats() const {
-  std::lock_guard<std::mutex> lock(pool_->mutex);
-  PoolStats s;
-  s.contexts = pool_->total;
-  s.in_use = pool_->total - pool_->free_list.size();
-  s.peak_in_use = pool_->peak_in_use;
-  s.acquires = pool_->acquires;
-  s.waits = pool_->waits;
-  return s;
+  // The fused single-device encoding rejected the model for capacity; a
+  // multi-device session may still fit it by sharding. Plan straight from
+  // the in-memory model — sharded plans never touch a loadable stream.
+  auto plan = runtime::Partitioner::plan(mlp, config_, devices_.size());
+  if (!plan.ok()) {
+    model_loaded_ = false;
+    return plan.error();
+  }
+  model_words_.clear();
+  model_ = mlp;
+  settings_.clear();
+  for (const auto& layer : model_.layers) {
+    settings_.push_back(loadable::LayerSetting::from_layer(layer));
+  }
+  auto fast = core::FastExecutor::create(model_, config_);
+  if (!fast.ok()) {
+    model_loaded_ = false;
+    return fast.error();
+  }
+  fast_ = std::make_unique<core::FastExecutor>(std::move(fast).value());
+  plan_ = std::move(plan).value();
+  model_loaded_ = true;
+  return Status::ok_status();
 }
 
 Result<core::RunResult> Session::run(std::span<const std::uint8_t> image,
@@ -148,6 +155,11 @@ Result<core::RunResult> Session::run(std::span<const std::uint8_t> image,
     r.cycles = 0;
     return r;
   }
+  if (plan_.kind() != runtime::PlanKind::kSingleDevice) {
+    // Multi-device plans execute on the fast kernels under per-device
+    // leases; kCycle and kFastLatencyModel carry the analytical estimate.
+    return run_plan(image, options.backend != core::Backend::kFast);
+  }
   if (options.backend != core::Backend::kCycle) {
     // Fast path: blocked word kernels against the resident executor. No
     // context acquisition — requests evaluate concurrently.
@@ -165,35 +177,16 @@ Result<core::RunResult> Session::run_input_stream(std::span<const Word> input_st
     return Error{ErrorCode::kInvalidArgument, "session has no model loaded"};
   }
   if (options.mode == core::RunMode::kFunctional ||
-      options.backend != core::Backend::kCycle) {
+      options.backend != core::Backend::kCycle ||
+      plan_.kind() != runtime::PlanKind::kSingleDevice) {
     // Decode the image and dispatch through run(), which picks the golden
-    // evaluation or the fast executor; neither needs a context.
+    // evaluation, the fast executor, or the multi-device plan; none of
+    // those consumes the raw stream.
     auto image = loadable::parse_input(settings_.front(), input_stream);
     if (!image.ok()) return image.error();
     return run(image.value(), options);
   }
-  Context* context = acquire();
-  auto result = run_on_context(*context, input_stream, options);
-  release(context);
-  return result;
-}
-
-Result<core::RunResult> Session::run_on_context(Context& context,
-                                                std::span<const Word> input_stream,
-                                                const core::RunOptions& options) {
-  core::Netpu& netpu = context.netpu;
-  netpu.set_trace(options.trace);
-  context.scheduler.reset();  // rewinds resident channels, keeps the model
-  if (auto s = netpu.set_input(input_stream); !s.ok()) {
-    netpu.set_trace(nullptr);
-    return s.error();
-  }
-  const auto run = context.scheduler.run(options.max_cycles);
-  netpu.set_trace(nullptr);
-  if (!run.finished) {
-    return Error{ErrorCode::kInternal, "simulation hit the cycle limit"};
-  }
-  return core::collect_run_result(netpu, run.cycles);
+  return devices_.front()->run_cycle(input_stream, options);
 }
 
 Result<core::RunResult> Session::run_fused(std::span<const Word> stream,
@@ -236,27 +229,102 @@ Result<core::RunResult> Session::run_fused(std::span<const Word> stream,
     return fast.value().run(p.image,
                             options.backend == core::Backend::kFastLatencyModel);
   }
+  // Restore residency afterwards only when a single-device model stream is
+  // actually resident (multi-device plans keep no residency).
+  const bool resident =
+      model_loaded_ && plan_.kind() == runtime::PlanKind::kSingleDevice;
+  return devices_.front()->run_fused(
+      stream, options,
+      resident ? std::span<const Word>(model_words_) : std::span<const Word>());
+}
 
-  Context* context = acquire();
-  core::Netpu& netpu = context->netpu;
-  netpu.set_trace(options.trace);
-  context->scheduler.reset();
-  Result<core::RunResult> result = [&]() -> Result<core::RunResult> {
-    if (auto s = netpu.load(stream); !s.ok()) return s.error();
-    const auto run = context->scheduler.run(options.max_cycles);
-    if (!run.finished) {
-      return Error{ErrorCode::kInternal, "simulation hit the cycle limit"};
-    }
-    return core::collect_run_result(netpu, run.cycles);
-  }();
-  netpu.set_trace(nullptr);
-  // A fused load evicts any resident model from this context; restore it so
-  // later session runs stay warm.
-  if (model_loaded_) {
-    (void)netpu.load_model_resident(model_words_);
+Result<core::RunResult> Session::run_plan(std::span<const std::uint8_t> image,
+                                          bool stamp_latency) {
+  if (image.size() != model_.input_size()) {
+    return Error{ErrorCode::kInvalidArgument, "input image size mismatch"};
   }
-  release(context);
-  return result;
+  const std::size_t last_layer = model_.layers.size() - 1;
+  core::RunResult r;
+  std::vector<std::int32_t> codes;
+  for (const auto& step : plan_.steps()) {
+    if (!step.sharded) {
+      auto lease = devices_[step.device]->acquire_stage();
+      lease.charge(step.estimated_us);
+      for (std::size_t l = step.first_layer; l <= step.last_layer; ++l) {
+        if (l == 0) {
+          codes = fast_->input_layer_codes(image);
+        } else if (l == last_layer) {
+          r.output_values = fast_->output_values(codes);
+        } else {
+          codes = fast_->forward_layer(l, codes);
+        }
+      }
+      continue;
+    }
+    // Sharded steps cover exactly one weighted layer.
+    const std::size_t l = step.first_layer;
+    const auto& layer = model_.layers[l];
+    if (step.dim == runtime::ShardDim::kNeurons) {
+      // Scatter by neuron window (full fan-in each), finalize locally on
+      // each shard's device, gather codes/values in neuron order.
+      std::vector<std::int32_t> next;
+      for (const auto& part : step.parts) {
+        auto lease = devices_[part.device]->acquire_stage();
+        lease.charge(part.estimated_us);
+        const auto sums =
+            fast_->partial_sums(l, codes, part.neuron_begin, part.neuron_count,
+                                0, layer.input_length, /*with_bias=*/true);
+        if (l == last_layer) {
+          const auto values =
+              fast_->finalize_output_values(l, part.neuron_begin, sums);
+          r.output_values.insert(r.output_values.end(), values.begin(),
+                                 values.end());
+        } else {
+          const auto part_codes = fast_->finalize_codes(l, part.neuron_begin, sums);
+          next.insert(next.end(), part_codes.begin(), part_codes.end());
+        }
+      }
+      if (l != last_layer) codes = std::move(next);
+    } else {
+      // Fan-in shards: every shard owns all neurons over a chunk-aligned
+      // input window. Reduce the raw 32-bit wrap-around partial sums with
+      // the ACCU's own arithmetic (associative mod 2^32, so the merged
+      // total is bit-identical to the unsharded accumulation), then run
+      // BN -> ACTIV -> QUAN once.
+      std::vector<std::int32_t> totals(static_cast<std::size_t>(layer.neurons), 0);
+      for (const auto& part : step.parts) {
+        auto lease = devices_[part.device]->acquire_stage();
+        lease.charge(part.estimated_us);
+        const auto partials =
+            fast_->partial_sums(l, codes, 0, layer.neurons, part.input_begin,
+                                part.input_length, part.carries_bias);
+        hw::Accumulator acc;
+        for (std::size_t j = 0; j < totals.size(); ++j) {
+          acc.reset(totals[j]);
+          acc.add(partials[j]);
+          totals[j] = acc.value();
+        }
+      }
+      if (l == last_layer) {
+        r.output_values = fast_->finalize_output_values(l, 0, totals);
+      } else {
+        codes = fast_->finalize_codes(l, 0, totals);
+      }
+    }
+  }
+
+  r.predicted = hw::maxout(r.output_values);
+  if (config_.softmax_unit) {
+    r.probabilities = hw::softmax_q15(r.output_values);
+  }
+  r.stats.add("plan_devices", plan_.device_count());
+  r.stats.add("plan_steps", plan_.steps().size());
+  if (stamp_latency) {
+    // The analytical single-image estimate; simulated cycles are not
+    // available for plan slices (the loadable format has no slice streams).
+    r.cycles = fast_->latency_estimate().total();
+  }
+  return r;
 }
 
 }  // namespace netpu::engine

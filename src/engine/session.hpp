@@ -1,16 +1,27 @@
 // Session-oriented inference: load a model once, stream many inputs.
 //
-// A Session owns a parsed model plus a pool of persistent NetPU contexts
-// (a core::Netpu + its sim::Scheduler). Contexts are *reset*, not
-// reconstructed, between requests, and the model stream stays resident in
-// each context's buffers' backing storage (Sec. V future work #1
-// generalized to weight residency): per request only the small input stream
-// crosses the simulated host link, so weight re-streaming disappears from
-// per-request cycle counts.
+// A Session owns a parsed model plus a set of runtime::Devices (each a
+// simulated NetPU-M board with its own pool of persistent contexts) and a
+// runtime::ExecutionPlan mapping the model onto them. With the default
+// single device the behavior is the historical one: contexts are *reset*,
+// not reconstructed, between requests and the model stream stays resident
+// in each context's buffers (Sec. V future work #1 generalized to weight
+// residency), so per request only the small input stream crosses the
+// simulated host link.
 //
 //   auto session = engine::Session::create(config, {.contexts = 8});
 //   session.value().load_model(mlp);                  // or a model stream
 //   auto r = session.value().run(image);              // warm, pooled context
+//
+// With `devices > 1` the Partitioner chooses a layer pipeline or — when a
+// layer exceeds one device's buffer capacity — neuron/fan-in sharding with
+// partial-sum reduction before BN -> ACTIV -> QUAN. Multi-device stages
+// execute on the bit-true core::FastExecutor kernels under per-device
+// exclusivity (the loadable format has no slice streams for the cycle
+// simulator), so Backend::kCycle requests on a multi-device session carry
+// the analytical latency estimate instead of simulated cycles; outputs
+// stay bit-identical to the single-device path (enforced by the
+// backend-equivalence differential sweep over device counts).
 //
 // run_fused() keeps the pre-session compatibility path: one fused
 // Sec. III-B3 loadable, full streaming, bit- and cycle-exact with the
@@ -23,24 +34,27 @@
 
 #include "core/config.hpp"
 #include "core/fast_executor.hpp"
-#include "core/netpu.hpp"
 #include "core/run_types.hpp"
 #include "loadable/parser.hpp"
 #include "nn/quantized_mlp.hpp"
-#include "sim/scheduler.hpp"
+#include "runtime/device.hpp"
+#include "runtime/execution_plan.hpp"
 
 namespace netpu::engine {
 
 struct SessionOptions {
-  // Persistent NetPU contexts (serving channels). Requests beyond this many
-  // in flight block in acquire until a context frees up.
+  // Persistent NetPU contexts per device (serving channels). Requests
+  // beyond this many in flight block in acquire until a context frees up.
   std::size_t contexts = 1;
+  // Simulated NetPU-M devices the model is planned across. 1 keeps the
+  // historical single-instance semantics.
+  std::size_t devices = 1;
 };
 
 class Session {
  public:
   // Fallible construction: validates the instance configuration and builds
-  // the context pool.
+  // the device set.
   [[nodiscard]] static common::Result<Session> create(core::NetpuConfig config,
                                                       SessionOptions options = {});
 
@@ -51,11 +65,17 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   [[nodiscard]] const core::NetpuConfig& config() const { return config_; }
-  [[nodiscard]] std::size_t context_count() const { return contexts_.size(); }
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+  [[nodiscard]] std::size_t context_count() const {
+    std::size_t n = 0;
+    for (const auto& d : devices_) n += d->context_count();
+    return n;
+  }
 
-  // Context-pool occupancy, exported by the serving metrics surface. A
-  // `waits` much smaller than `acquires` means the pool is sized right; a
-  // high `peak_in_use` with waits means requests queue on contexts.
+  // Aggregated context-pool occupancy across the device set, exported by
+  // the serving metrics surface (single device: exactly that device's
+  // pool). A `waits` much smaller than `acquires` means the pools are
+  // sized right.
   struct PoolStats {
     std::size_t contexts = 0;     // pool size
     std::size_t in_use = 0;       // busy right now
@@ -64,10 +84,13 @@ class Session {
     std::uint64_t waits = 0;      // acquisitions that blocked
   };
   [[nodiscard]] PoolStats pool_stats() const;
+  // Per-device occupancy and modeled stage busy time (index = device id).
+  [[nodiscard]] std::vector<runtime::DeviceStats> device_stats() const;
 
-  // Load the session's model: parse it, capability/capacity-check it against
-  // this instance, and make its stream resident in every context. Replaces
-  // any previously loaded model.
+  // Load the session's model: parse it, plan it across the device set
+  // (capability/capacity-checking each slice against one device), and —
+  // single-device plans only — make its stream resident in every context.
+  // Replaces any previously loaded model.
   [[nodiscard]] common::Status load_model(std::span<const Word> model_stream);
   [[nodiscard]] common::Status load_model(const nn::QuantizedMlp& mlp);
 
@@ -75,6 +98,7 @@ class Session {
   // Valid only while has_model().
   [[nodiscard]] const nn::QuantizedMlp& model() const { return model_; }
   [[nodiscard]] const std::vector<Word>& model_stream() const { return model_words_; }
+  [[nodiscard]] const runtime::ExecutionPlan& plan() const { return plan_; }
 
   // One request against the resident model: compile the input stream, run it
   // through a pooled warm context. Thread-safe; blocks while all contexts
@@ -83,7 +107,9 @@ class Session {
   // Backend selection (RunOptions::backend, cycle-accurate mode only):
   // Backend::kFast / kFastLatencyModel route the request to the resident
   // core::FastExecutor instead of a simulated context — bit-identical
-  // outputs, no context acquisition, no FIFO ticking.
+  // outputs, no context acquisition, no FIFO ticking. On a multi-device
+  // plan every backend executes the plan on the fast kernels (kCycle and
+  // kFastLatencyModel stamp the analytical estimate).
   [[nodiscard]] common::Result<core::RunResult> run(
       std::span<const std::uint8_t> image, const core::RunOptions& options = {});
 
@@ -92,40 +118,32 @@ class Session {
       std::span<const Word> input_stream, const core::RunOptions& options = {});
 
   // Compatibility mode: run one fused loadable with full streaming — the
-  // exact pre-session cycle semantics — on a pooled persistent context.
-  // Independent of the loaded model (the stream carries its own).
+  // exact pre-session cycle semantics — on a pooled persistent context of
+  // device 0. Independent of the loaded model (the stream carries its own).
   [[nodiscard]] common::Result<core::RunResult> run_fused(
       std::span<const Word> stream, const core::RunOptions& options = {});
 
  private:
-  // One persistent execution context: constructed once per session, reset
-  // between requests. The scheduler's component wiring never changes.
-  struct Context {
-    explicit Context(const core::NetpuConfig& config);
-    core::Netpu netpu;
-    sim::Scheduler scheduler;
-  };
-  struct Pool;  // mutex/condvar guarded free list (defined in session.cpp)
+  Session(core::NetpuConfig config, SessionOptions options,
+          std::vector<std::unique_ptr<runtime::Device>> devices);
 
-  Session(core::NetpuConfig config, SessionOptions options);
-
-  [[nodiscard]] Context* acquire();
-  void release(Context* context);
-  [[nodiscard]] common::Result<core::RunResult> run_on_context(
-      Context& context, std::span<const Word> input_stream,
-      const core::RunOptions& options);
+  // Execute the multi-device plan on the fast kernels: pipeline stages and
+  // shard scatter/gather with wrap-around partial-sum reduction.
+  [[nodiscard]] common::Result<core::RunResult> run_plan(
+      std::span<const std::uint8_t> image, bool stamp_latency);
 
   core::NetpuConfig config_;
   SessionOptions options_;
-  std::vector<std::unique_ptr<Context>> contexts_;
-  std::unique_ptr<Pool> pool_;
+  std::vector<std::unique_ptr<runtime::Device>> devices_;
 
   std::vector<Word> model_words_;
   nn::QuantizedMlp model_;
   std::vector<loadable::LayerSetting> settings_;
+  runtime::ExecutionPlan plan_;
   // Resident fast-path executor, built once at load_model. Requests on
   // Backend::kFast / kFastLatencyModel evaluate against it concurrently
-  // (const, no shared mutable state).
+  // (const, no shared mutable state); multi-device plan stages run its
+  // kernels under device leases.
   std::unique_ptr<core::FastExecutor> fast_;
   bool model_loaded_ = false;
 };

@@ -70,45 +70,52 @@ void emit_weights(const nn::QuantizedLayer& layer, std::vector<Word>& out) {
 
 }  // namespace
 
+Status check_layer_capacity(const LayerSetting& s, const CompileOptions& options) {
+  const auto fail = [](const char* what) -> Status {
+    return Error{ErrorCode::kCapacityExceeded, what};
+  };
+  if (s.neurons > options.max_neurons_per_layer) {
+    return fail("neuron count exceeds the supported maximum");
+  }
+  if (s.input_length > options.max_input_length) {
+    return fail("input length exceeds the supported maximum");
+  }
+  if (s.input_words() > options.input_buffer_words) {
+    return fail("layer input does not fit the Layer Input buffer");
+  }
+  if (s.chunks_per_neuron() > options.weight_buffer_words) {
+    return fail("one neuron's weights do not fit the Layer Weight buffer");
+  }
+  // Per-type parameter sections must fit their FIFOs.
+  if (s.has_bias_section() && s.param_type_words(1) > options.bias_buffer_words) {
+    return fail("bias section exceeds the Bias buffer");
+  }
+  if (s.has_bn_section() && s.param_type_words(1) > options.param_buffer_words) {
+    return fail("BN section exceeds the BN buffers");
+  }
+  if (s.has_sign_section() &&
+      s.param_type_words(1) > options.param_buffer_words) {
+    return fail("Sign threshold section exceeds its buffer");
+  }
+  if (s.has_mt_section() &&
+      s.param_type_words(static_cast<std::uint32_t>(s.mt_levels())) >
+          options.param_buffer_words) {
+    return fail("Multi-Threshold section exceeds its buffer");
+  }
+  if (s.has_quan_section() &&
+      s.param_type_words(1) > options.param_buffer_words) {
+    return fail("QUAN section exceeds its buffers");
+  }
+  return Status::ok_status();
+}
+
 Status check_capacity(const nn::QuantizedMlp& mlp, const CompileOptions& options) {
   for (std::size_t i = 0; i < mlp.layers.size(); ++i) {
     const auto s = LayerSetting::from_layer(mlp.layers[i]);
-    const auto fail = [&](const std::string& what) -> Status {
+    if (auto status = check_layer_capacity(s, options); !status.ok()) {
       std::ostringstream os;
-      os << "layer " << i << ": " << what;
+      os << "layer " << i << ": " << status.error().message;
       return Error{ErrorCode::kCapacityExceeded, os.str()};
-    };
-    if (s.neurons > options.max_neurons_per_layer) {
-      return fail("neuron count exceeds the supported maximum");
-    }
-    if (s.input_length > options.max_input_length) {
-      return fail("input length exceeds the supported maximum");
-    }
-    if (s.input_words() > options.input_buffer_words) {
-      return fail("layer input does not fit the Layer Input buffer");
-    }
-    if (s.chunks_per_neuron() > options.weight_buffer_words) {
-      return fail("one neuron's weights do not fit the Layer Weight buffer");
-    }
-    // Per-type parameter sections must fit their FIFOs.
-    if (s.has_bias_section() && s.param_type_words(1) > options.bias_buffer_words) {
-      return fail("bias section exceeds the Bias buffer");
-    }
-    if (s.has_bn_section() && s.param_type_words(1) > options.param_buffer_words) {
-      return fail("BN section exceeds the BN buffers");
-    }
-    if (s.has_sign_section() &&
-        s.param_type_words(1) > options.param_buffer_words) {
-      return fail("Sign threshold section exceeds its buffer");
-    }
-    if (s.has_mt_section() &&
-        s.param_type_words(static_cast<std::uint32_t>(s.mt_levels())) >
-            options.param_buffer_words) {
-      return fail("Multi-Threshold section exceeds its buffer");
-    }
-    if (s.has_quan_section() &&
-        s.param_type_words(1) > options.param_buffer_words) {
-      return fail("QUAN section exceeds its buffers");
     }
   }
   return Status::ok_status();

@@ -81,6 +81,14 @@ struct SplitStreams {
 [[nodiscard]] common::Status check_capacity(const nn::QuantizedMlp& mlp,
                                             const CompileOptions& options);
 
+// Capacity check of a single layer geometry (the per-layer half of
+// check_capacity). Public so the runtime partitioner can probe whether a
+// *slice* of a layer — a reduced neuron window or fan-in window expressed
+// as an adjusted LayerSetting — fits one device, instead of rejecting the
+// whole model.
+[[nodiscard]] common::Status check_layer_capacity(const LayerSetting& setting,
+                                                  const CompileOptions& options);
+
 // Size (in words) the compiled fused stream will have, without building it.
 [[nodiscard]] std::uint64_t compiled_size_words(const nn::QuantizedMlp& mlp);
 

@@ -1,0 +1,155 @@
+#include "runtime/device.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+namespace netpu::runtime {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+struct Device::Context {
+  explicit Context(const core::NetpuConfig& config) : netpu(config) {
+    scheduler.add(&netpu);
+    for (int i = 0; i < netpu.lpu_count(); ++i) scheduler.add(&netpu.lpu(i));
+  }
+  core::Netpu netpu;
+  sim::Scheduler scheduler;
+};
+
+struct Device::Pool {
+  std::mutex mutex;  // guards free_list and the occupancy/stage counters below
+  std::condition_variable cv;
+  std::vector<Context*> free_list;
+  // Occupancy and stage accounting (guarded by mutex).
+  std::size_t total = 0;
+  std::size_t peak_in_use = 0;
+  std::uint64_t acquires = 0;
+  std::uint64_t waits = 0;
+  std::uint64_t stage_runs = 0;
+  double busy_us = 0.0;
+};
+
+Device::Device(const core::NetpuConfig& config, std::size_t contexts)
+    : config_(config), pool_(std::make_unique<Pool>()) {
+  const std::size_t n = contexts == 0 ? 1 : contexts;
+  contexts_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    contexts_.push_back(std::make_unique<Context>(config_));
+    pool_->free_list.push_back(contexts_.back().get());
+  }
+  pool_->total = contexts_.size();
+}
+
+Device::~Device() = default;
+
+Result<std::unique_ptr<Device>> Device::create(const core::NetpuConfig& config,
+                                               std::size_t contexts) {
+  if (auto s = config.validate(); !s.ok()) return s.error();
+  return std::unique_ptr<Device>(new Device(config, contexts));
+}
+
+Device::Context* Device::acquire() {
+  std::unique_lock<std::mutex> lock(pool_->mutex);
+  pool_->acquires += 1;
+  if (pool_->free_list.empty()) pool_->waits += 1;
+  pool_->cv.wait(lock, [this] { return !pool_->free_list.empty(); });
+  Context* context = pool_->free_list.back();
+  pool_->free_list.pop_back();
+  pool_->peak_in_use =
+      std::max(pool_->peak_in_use, pool_->total - pool_->free_list.size());
+  return context;
+}
+
+void Device::release(Context* context) {
+  {
+    std::lock_guard<std::mutex> lock(pool_->mutex);
+    pool_->free_list.push_back(context);
+  }
+  pool_->cv.notify_one();
+}
+
+void Device::finish_stage(double us) {
+  std::lock_guard<std::mutex> lock(pool_->mutex);
+  pool_->stage_runs += 1;
+  pool_->busy_us += us;
+}
+
+DeviceStats Device::stats() const {
+  std::lock_guard<std::mutex> lock(pool_->mutex);
+  DeviceStats s;
+  s.contexts = pool_->total;
+  s.in_use = pool_->total - pool_->free_list.size();
+  s.peak_in_use = pool_->peak_in_use;
+  s.acquires = pool_->acquires;
+  s.waits = pool_->waits;
+  s.stage_runs = pool_->stage_runs;
+  s.busy_us = pool_->busy_us;
+  return s;
+}
+
+Status Device::load_resident(std::span<const Word> model_stream) {
+  for (auto& context : contexts_) {
+    if (auto s = context->netpu.load_model_resident(model_stream); !s.ok()) {
+      return s;
+    }
+  }
+  return Status::ok_status();
+}
+
+Result<core::RunResult> Device::run_cycle(std::span<const Word> input_stream,
+                                          const core::RunOptions& options) {
+  Context* context = acquire();
+  core::Netpu& netpu = context->netpu;
+  netpu.set_trace(options.trace);
+  context->scheduler.reset();  // rewinds resident channels, keeps the model
+  Result<core::RunResult> result = [&]() -> Result<core::RunResult> {
+    if (auto s = netpu.set_input(input_stream); !s.ok()) return s.error();
+    const auto run = context->scheduler.run(options.max_cycles);
+    if (!run.finished) {
+      return Error{ErrorCode::kInternal, "simulation hit the cycle limit"};
+    }
+    return core::collect_run_result(netpu, run.cycles);
+  }();
+  netpu.set_trace(nullptr);
+  release(context);
+  return result;
+}
+
+Result<core::RunResult> Device::run_fused(std::span<const Word> stream,
+                                          const core::RunOptions& options,
+                                          std::span<const Word> resident_model) {
+  Context* context = acquire();
+  core::Netpu& netpu = context->netpu;
+  netpu.set_trace(options.trace);
+  context->scheduler.reset();
+  Result<core::RunResult> result = [&]() -> Result<core::RunResult> {
+    if (auto s = netpu.load(stream); !s.ok()) return s.error();
+    const auto run = context->scheduler.run(options.max_cycles);
+    if (!run.finished) {
+      return Error{ErrorCode::kInternal, "simulation hit the cycle limit"};
+    }
+    return core::collect_run_result(netpu, run.cycles);
+  }();
+  netpu.set_trace(nullptr);
+  // A fused load evicts any resident model from this context; restore it so
+  // later runs stay warm.
+  if (!resident_model.empty()) {
+    (void)netpu.load_model_resident(resident_model);
+  }
+  release(context);
+  return result;
+}
+
+Device::StageLease Device::acquire_stage() { return StageLease(this, acquire()); }
+
+Device::StageLease::~StageLease() {
+  if (device_ == nullptr) return;
+  device_->release(context_);
+  device_->finish_stage(us_);
+}
+
+}  // namespace netpu::runtime

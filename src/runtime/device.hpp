@@ -1,0 +1,120 @@
+// runtime::Device: one simulated NetPU-M board.
+//
+// A Device owns a pool of persistent execution contexts (a core::Netpu plus
+// its sim::Scheduler, reset — not reconstructed — between requests) and the
+// occupancy accounting the serving metrics surface exports. It is the unit
+// the Partitioner places ExecutionPlan steps on: a single-device session
+// uses one Device exactly the way engine::Session historically used its
+// context pool (behavior-identical), while multi-device plans acquire a
+// device exclusively per stage/shard and charge the stage's modeled
+// microseconds to it, so per-device occupancy and stall counts reflect the
+// pipeline's balance.
+//
+// Execution backends:
+//  * cycle-accurate runs (run_cycle / run_fused) tick a pooled context's
+//    scheduler — only possible against a full resident model (the loadable
+//    format has no slice streams), i.e. on single-device plans;
+//  * multi-device stages run on the bit-true core::FastExecutor kernels
+//    owned by the session; the Device contributes exclusivity (acquire /
+//    release) and accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/netpu.hpp"
+#include "core/run_types.hpp"
+#include "sim/scheduler.hpp"
+
+namespace netpu::runtime {
+
+// Context-pool occupancy plus the multi-device stage accounting. A `waits`
+// much smaller than `acquires` means the pool is sized right; `busy_us`
+// across the device set shows how evenly the partitioner balanced stages.
+struct DeviceStats {
+  std::size_t contexts = 0;      // pool size
+  std::size_t in_use = 0;        // busy right now
+  std::size_t peak_in_use = 0;   // high-water mark
+  std::uint64_t acquires = 0;    // total acquisitions
+  std::uint64_t waits = 0;       // acquisitions that blocked
+  std::uint64_t stage_runs = 0;  // plan stages/shards executed here
+  double busy_us = 0.0;          // modeled microseconds of those stages
+};
+
+class Device {
+  struct Context;  // one persistent Netpu + Scheduler (defined in device.cpp)
+  struct Pool;     // mutex/condvar guarded free list (defined in device.cpp)
+
+ public:
+  // Fallible construction: validates the instance configuration and builds
+  // `contexts` persistent execution contexts.
+  [[nodiscard]] static common::Result<std::unique_ptr<Device>> create(
+      const core::NetpuConfig& config, std::size_t contexts);
+
+  ~Device();
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const core::NetpuConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t context_count() const { return contexts_.size(); }
+  [[nodiscard]] DeviceStats stats() const;
+
+  // Make a compiled model stream resident in every context (performs the
+  // instance capability checks). Single-device plans only — a slice of a
+  // model has no loadable encoding.
+  [[nodiscard]] common::Status load_resident(std::span<const Word> model_stream);
+
+  // One cycle-accurate request against the resident model on a pooled warm
+  // context. Thread-safe; blocks while all contexts are busy.
+  [[nodiscard]] common::Result<core::RunResult> run_cycle(
+      std::span<const Word> input_stream, const core::RunOptions& options);
+
+  // Compatibility mode: one fused loadable with full streaming on a pooled
+  // context. `resident_model` (may be empty) is restored afterwards — a
+  // fused load evicts whatever was resident.
+  [[nodiscard]] common::Result<core::RunResult> run_fused(
+      std::span<const Word> stream, const core::RunOptions& options,
+      std::span<const Word> resident_model);
+
+  // Exclusive occupancy for one plan stage/shard executed on the session's
+  // fast kernels: holds a context for the scope and charges `us` of modeled
+  // busy time at release.
+  class StageLease {
+   public:
+    StageLease(StageLease&& o) noexcept
+        : device_(o.device_), context_(o.context_), us_(o.us_) {
+      o.device_ = nullptr;
+      o.context_ = nullptr;
+    }
+    StageLease& operator=(StageLease&&) = delete;
+    StageLease(const StageLease&) = delete;
+    StageLease& operator=(const StageLease&) = delete;
+    ~StageLease();
+    void charge(double us) { us_ += us; }
+
+   private:
+    friend class Device;
+    StageLease(Device* device, Context* context)
+        : device_(device), context_(context) {}
+    Device* device_;
+    Context* context_;
+    double us_ = 0.0;
+  };
+  [[nodiscard]] StageLease acquire_stage();
+
+ private:
+  Device(const core::NetpuConfig& config, std::size_t contexts);
+
+  [[nodiscard]] Context* acquire();
+  void release(Context* context);
+  void finish_stage(double us);
+
+  core::NetpuConfig config_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::unique_ptr<Pool> pool_;
+};
+
+}  // namespace netpu::runtime

@@ -49,8 +49,9 @@ Result<BatchResult> Driver::infer_batch(
   // One serving channel per thread; the model stream is loaded once and stays
   // resident in every channel.
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
-  auto session =
-      engine::Session::create(accelerator_.config(), {.contexts = threads});
+  auto session = engine::Session::create(
+      accelerator_.config(),
+      {.contexts = threads, .devices = std::max<std::size_t>(1, options.devices)});
   if (!session.ok()) return session.error();
   if (auto s = session.value().load_model(mlp); !s.ok()) return s.error();
 
@@ -108,7 +109,9 @@ Result<Driver::ServeResult> Driver::serve_batch(
   const std::size_t channels = std::max<std::size_t>(1, options.channels);
   serve::ModelRegistry registry(
       accelerator_.config(),
-      {.resident_cap = 1, .contexts_per_model = channels});
+      {.resident_cap = 1,
+       .contexts_per_model = channels,
+       .devices = std::max<std::size_t>(1, options.devices)});
   static constexpr const char* kModel = "model";
   if (auto s = registry.add_model(kModel, mlp); !s.ok()) return s.error();
 

@@ -33,6 +33,10 @@ struct BatchOptions {
   // (authoritative timing), the fast functional executor (cycles = 0), or
   // the fast executor with analytical latency stamped.
   core::Backend backend = core::Backend::kCycle;
+  // Simulated NetPU-M devices the model is planned across (layer pipeline /
+  // neuron sharding; see runtime::Partitioner). 1 keeps the historical
+  // single-instance path.
+  std::size_t devices = 1;
 };
 
 struct BatchResult {
@@ -87,6 +91,9 @@ class Driver {
     std::size_t channels = 1;
     // Execution backend requests run on (see BatchOptions::backend).
     core::Backend backend = core::Backend::kCycle;
+    // Devices the resident session plans its model across (see
+    // BatchOptions::devices).
+    std::size_t devices = 1;
   };
 
   // One latency distribution's exposition (end-to-end or a single stage).

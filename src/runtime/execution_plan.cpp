@@ -1,0 +1,315 @@
+#include "runtime/execution_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/latency_model.hpp"
+#include "loadable/compiler.hpp"
+#include "loadable/layer_setting.hpp"
+
+namespace netpu::runtime {
+namespace {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+
+// Latency-model estimate of one layer slice in isolation. Only the
+// geometry fields feed the estimate, so a shallow copy with an adjusted
+// neuron/fan-in window prices a shard without materializing its weights.
+double slice_us(const nn::QuantizedLayer& layer, const core::NetpuConfig& config,
+                int neurons, int input_length) {
+  nn::QuantizedMlp one;
+  one.layers.push_back(layer);
+  one.layers.back().neurons = neurons;
+  one.layers.back().input_length = input_length;
+  const auto b = core::estimate_latency(one, config);
+  return config.cycles_to_us(b.total());
+}
+
+double layer_us(const nn::QuantizedLayer& layer, const core::NetpuConfig& config) {
+  return slice_us(layer, config, layer.neurons, layer.input_length);
+}
+
+// Capacity probe of a layer slice: the full layer's setting with the
+// shard's geometry substituted.
+common::Status slice_fits(const nn::QuantizedLayer& layer,
+                          const loadable::CompileOptions& options, int neurons,
+                          int input_length) {
+  auto s = loadable::LayerSetting::from_layer(layer);
+  s.neurons = static_cast<std::uint32_t>(neurons);
+  s.input_length = static_cast<std::uint32_t>(input_length);
+  return loadable::check_layer_capacity(s, options);
+}
+
+Result<PlanStep> shard_layer(const nn::QuantizedMlp& mlp, std::size_t index,
+                             const core::NetpuConfig& config,
+                             const loadable::CompileOptions& options,
+                             std::size_t devices) {
+  const auto& layer = mlp.layers[index];
+  const auto s = loadable::LayerSetting::from_layer(layer);
+  const auto fail = [&](const std::string& what) -> Error {
+    std::ostringstream os;
+    os << "layer " << index << ": " << what;
+    return Error{ErrorCode::kCapacityExceeded, os.str()};
+  };
+  if (index == 0) {
+    return fail(
+        "the input layer exceeds one device's capacity and cannot be sharded");
+  }
+
+  // Which dimension overflows decides the shard axis. Fan-in overflow
+  // (input/weight buffers, max input length) splits the input window;
+  // neuron overflow (neuron cap, parameter FIFOs) splits the neuron range.
+  const bool need_fan_in = s.input_length > options.max_input_length ||
+                           s.input_words() > options.input_buffer_words ||
+                           s.chunks_per_neuron() > options.weight_buffer_words;
+  // Probe the neuron-dimension constraints (neuron cap, parameter FIFOs)
+  // with the fan-in collapsed to one value, so the two axes separate.
+  const bool need_neurons = !slice_fits(layer, options, layer.neurons, 1).ok();
+
+  PlanStep step;
+  step.first_layer = index;
+  step.last_layer = index;
+  step.sharded = true;
+
+  if (need_fan_in && need_neurons) {
+    return fail(
+        "exceeds one device's capacity along both the neuron and fan-in "
+        "dimensions; no supported shard assignment fits");
+  }
+
+  if (need_fan_in) {
+    step.dim = ShardDim::kFanIn;
+    const int vpc = s.values_per_chunk();
+    const auto total_chunks = static_cast<int>(s.chunks_per_neuron());
+    // Largest chunk-aligned window one device can hold.
+    const std::int64_t by_len = options.max_input_length;
+    const std::int64_t by_input = static_cast<std::int64_t>(options.input_buffer_words) *
+                                  s.values_per_input_word();
+    const std::int64_t by_weights =
+        static_cast<std::int64_t>(options.weight_buffer_words) * vpc;
+    const std::int64_t max_window =
+        (std::min({by_len, by_input, by_weights}) / vpc) * vpc;
+    if (max_window < vpc) {
+      return fail("one MAC chunk exceeds a device's buffers; no fan-in shard fits");
+    }
+    const int max_chunks = static_cast<int>(max_window / vpc);
+    const int parts = (total_chunks + max_chunks - 1) / max_chunks;
+    if (static_cast<std::size_t>(parts) > devices) {
+      std::ostringstream os;
+      os << "fan-in sharding needs " << parts << " devices, only " << devices
+         << " available";
+      return fail(os.str());
+    }
+    const int base_chunks = (total_chunks + parts - 1) / parts;
+    for (int p = 0; p < parts; ++p) {
+      ShardPart part;
+      part.device = static_cast<std::size_t>(p);
+      part.neuron_begin = 0;
+      part.neuron_count = layer.neurons;
+      part.input_begin = p * base_chunks * vpc;
+      part.input_length = std::min(layer.input_length - part.input_begin,
+                                   base_chunks * vpc);
+      part.carries_bias = p == 0;
+      if (auto ok = slice_fits(layer, options, part.neuron_count, part.input_length);
+          !ok.ok()) {
+        return fail("fan-in shard still exceeds capacity: " + ok.error().message);
+      }
+      part.estimated_us = slice_us(layer, config, part.neuron_count, part.input_length);
+      step.estimated_us = std::max(step.estimated_us, part.estimated_us);
+      step.parts.push_back(part);
+    }
+    return step;
+  }
+
+  step.dim = ShardDim::kNeurons;
+  // Largest fitting neuron window (capacity is monotone in the count).
+  int lo = 1, hi = layer.neurons, best = 0;
+  while (lo <= hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (slice_fits(layer, options, mid, layer.input_length).ok()) {
+      best = mid;
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  if (best == 0) {
+    return fail("a single neuron exceeds a device's buffers; no neuron shard fits");
+  }
+  const int parts = (layer.neurons + best - 1) / best;
+  if (static_cast<std::size_t>(parts) > devices) {
+    std::ostringstream os;
+    os << "neuron sharding needs " << parts << " devices, only " << devices
+       << " available";
+    return fail(os.str());
+  }
+  const int base = (layer.neurons + parts - 1) / parts;
+  for (int p = 0; p < parts; ++p) {
+    ShardPart part;
+    part.device = static_cast<std::size_t>(p);
+    part.neuron_begin = p * base;
+    part.neuron_count = std::min(layer.neurons - part.neuron_begin, base);
+    part.input_begin = 0;
+    part.input_length = layer.input_length;
+    part.carries_bias = true;  // full fan-in: each shard owns its neurons' bias
+    part.estimated_us = slice_us(layer, config, part.neuron_count, part.input_length);
+    step.estimated_us = std::max(step.estimated_us, part.estimated_us);
+    step.parts.push_back(part);
+  }
+  return step;
+}
+
+}  // namespace
+
+double ExecutionPlan::single_image_latency_us(const DmaModel& dma) const {
+  double us = 0.0;
+  for (const auto& step : steps_) {
+    us += step.estimated_us;
+    // One stream-setup hop per device touched by the step (sharded steps
+    // scatter to every part and gather the partial sums back).
+    us += dma.setup_overhead_us *
+          static_cast<double>(step.sharded ? step.parts.size() : 1);
+  }
+  return us;
+}
+
+std::vector<double> ExecutionPlan::per_device_us() const {
+  std::vector<double> busy(devices_, 0.0);
+  for (const auto& step : steps_) {
+    if (step.sharded) {
+      for (const auto& part : step.parts) busy[part.device] += part.estimated_us;
+    } else {
+      busy[step.device] += step.estimated_us;
+    }
+  }
+  return busy;
+}
+
+double ExecutionPlan::modeled_throughput_images_per_s(const DmaModel& dma) const {
+  double slowest = 0.0;
+  for (const auto us : per_device_us()) {
+    if (us > 0.0) slowest = std::max(slowest, us + dma.setup_overhead_us);
+  }
+  return slowest > 0.0 ? 1e6 / slowest : 0.0;
+}
+
+std::string ExecutionPlan::describe() const {
+  std::ostringstream os;
+  os << to_string(kind_) << " plan, " << devices_ << " device"
+     << (devices_ == 1 ? "" : "s") << ":\n";
+  for (const auto& step : steps_) {
+    if (!step.sharded) {
+      os << "  L" << step.first_layer << "-L" << step.last_layer << " -> device "
+         << step.device << " (" << step.estimated_us << " us)\n";
+      continue;
+    }
+    os << "  L" << step.first_layer << " sharded along "
+       << (step.dim == ShardDim::kNeurons ? "neurons" : "fan-in") << ":\n";
+    for (const auto& part : step.parts) {
+      os << "    device " << part.device << ": neurons [" << part.neuron_begin
+         << ", " << part.neuron_begin + part.neuron_count << "), fan-in ["
+         << part.input_begin << ", " << part.input_begin + part.input_length
+         << ") (" << part.estimated_us << " us)\n";
+    }
+  }
+  return os.str();
+}
+
+ExecutionPlan Partitioner::plan_pipeline(const nn::QuantizedMlp& mlp,
+                                         const core::NetpuConfig& config,
+                                         std::size_t devices) {
+  ExecutionPlan plan;
+  const std::size_t n = mlp.layers.size();
+  const std::size_t stages = std::max<std::size_t>(1, std::min(devices, n));
+  plan.devices_ = std::max<std::size_t>(1, devices);
+  plan.kind_ = stages > 1 ? PlanKind::kLayerPipeline : PlanKind::kSingleDevice;
+
+  std::vector<double> cost(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cost[i] = layer_us(mlp.layers[i], config);
+    total += cost[i];
+  }
+
+  // Greedy contiguous partition: close a stage once it reaches the ideal
+  // share, keeping enough layers for the remaining stages.
+  const double ideal = total / static_cast<double>(stages);
+  std::size_t layer = 0;
+  for (std::size_t s = 0; s < stages; ++s) {
+    PlanStep step;
+    step.first_layer = layer;
+    step.device = s;
+    double acc = 0.0;
+    const std::size_t must_leave = stages - s - 1;
+    while (layer < n - must_leave &&
+           (acc == 0.0 || acc + cost[layer] / 2.0 <= ideal || s + 1 == stages)) {
+      acc += cost[layer];
+      ++layer;
+      if (acc >= ideal && s + 1 < stages) break;
+    }
+    step.last_layer = layer - 1;
+    step.estimated_us = acc;
+    plan.steps_.push_back(step);
+  }
+  return plan;
+}
+
+Result<ExecutionPlan> Partitioner::plan(const nn::QuantizedMlp& mlp,
+                                        const core::NetpuConfig& config,
+                                        std::size_t devices) {
+  if (mlp.layers.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "cannot plan an empty model"};
+  }
+  devices = std::max<std::size_t>(1, devices);
+  const auto options = config.compile_options();
+
+  std::vector<bool> fits(mlp.layers.size());
+  bool all_fit = true;
+  for (std::size_t i = 0; i < mlp.layers.size(); ++i) {
+    fits[i] = loadable::check_layer_capacity(
+                  loadable::LayerSetting::from_layer(mlp.layers[i]), options)
+                  .ok();
+    all_fit = all_fit && fits[i];
+  }
+
+  if (all_fit) return plan_pipeline(mlp, config, devices);
+
+  // At least one layer exceeds one device's capacity. On a single device
+  // that is exactly the compiler's capacity rejection; with more devices
+  // the oversized layers are sharded and the fitting runs pipelined.
+  if (devices == 1) {
+    if (auto s = loadable::check_capacity(mlp, options); !s.ok()) return s.error();
+  }
+
+  ExecutionPlan plan;
+  plan.kind_ = PlanKind::kNeuronSharded;
+  plan.devices_ = devices;
+  std::size_t next_device = 0;
+  std::size_t i = 0;
+  while (i < mlp.layers.size()) {
+    if (!fits[i]) {
+      auto step = shard_layer(mlp, i, config, options, devices);
+      if (!step.ok()) return step.error();
+      plan.steps_.push_back(std::move(step).value());
+      ++i;
+      continue;
+    }
+    PlanStep step;
+    step.first_layer = i;
+    while (i < mlp.layers.size() && fits[i]) ++i;
+    step.last_layer = i - 1;
+    step.device = next_device;
+    next_device = (next_device + 1) % devices;
+    double us = 0.0;
+    for (std::size_t l = step.first_layer; l <= step.last_layer; ++l) {
+      us += layer_us(mlp.layers[l], config);
+    }
+    step.estimated_us = us;
+    plan.steps_.push_back(step);
+  }
+  return plan;
+}
+
+}  // namespace netpu::runtime

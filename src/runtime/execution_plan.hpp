@@ -1,0 +1,126 @@
+// Execution plans: how one inference maps onto a set of simulated NetPU-M
+// devices (Sec. I-B scale-out, generalized).
+//
+// A runtime::Partitioner turns (model, instance config, device count) into
+// one of three plan kinds:
+//  * kSingleDevice — every layer on device 0; behavior-identical to the
+//    historical single-instance path.
+//  * kLayerPipeline — contiguous layer slices across devices, balanced on
+//    the per-layer latency estimate (the Sec. I-B multi-FPGA pipeline:
+//    device N runs slice L on image i while device N+1 runs L+1 on i-1).
+//  * kNeuronSharded — at least one layer exceeds a single device's buffer
+//    capacity and is split across devices, either along the neuron
+//    dimension (each shard owns a neuron window with full fan-in) or along
+//    the fan-in dimension (each shard owns a chunk-aligned input window of
+//    every neuron; the raw 32-bit wrap-around ACCU partial sums are reduced
+//    before BN -> ACTIV -> QUAN, so the result stays bit-exact).
+//
+// The partitioner *fits* oversized models by querying the same per-layer
+// capacity limits the compiler enforces (loadable::check_layer_capacity on
+// sliced settings) instead of rejecting them; a model no shard assignment
+// can fit comes back as a clean kCapacityExceeded Status.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/config.hpp"
+#include "nn/quantized_mlp.hpp"
+#include "runtime/dma.hpp"
+
+namespace netpu::runtime {
+
+enum class PlanKind {
+  kSingleDevice,
+  kLayerPipeline,
+  kNeuronSharded,
+};
+
+[[nodiscard]] constexpr const char* to_string(PlanKind k) {
+  switch (k) {
+    case PlanKind::kSingleDevice: return "single-device";
+    case PlanKind::kLayerPipeline: return "layer-pipeline";
+    case PlanKind::kNeuronSharded: return "neuron-sharded";
+  }
+  return "?";
+}
+
+// Which dimension a sharded layer is split along.
+enum class ShardDim {
+  kNeurons,  // neuron windows, full fan-in each
+  kFanIn,    // chunk-aligned fan-in windows, all neurons each
+};
+
+// One shard of a sharded layer, pinned to one device.
+struct ShardPart {
+  std::size_t device = 0;
+  int neuron_begin = 0;
+  int neuron_count = 0;
+  int input_begin = 0;   // fan-in window start (multiple of values_per_chunk)
+  int input_length = 0;  // fan-in window length
+  // Exactly one fan-in shard loads the ACCU bias port; the reduction would
+  // otherwise count the bias once per shard.
+  bool carries_bias = true;
+  double estimated_us = 0.0;  // latency-model estimate of this shard alone
+};
+
+// One step of the plan: a contiguous, inclusive layer range on one device,
+// or a single sharded layer spread over several.
+struct PlanStep {
+  std::size_t first_layer = 0;
+  std::size_t last_layer = 0;
+  std::size_t device = 0;  // meaningful when !sharded
+  bool sharded = false;
+  ShardDim dim = ShardDim::kNeurons;
+  std::vector<ShardPart> parts;  // non-empty iff sharded
+  double estimated_us = 0.0;     // unsharded: slice total; sharded: max part
+};
+
+class ExecutionPlan {
+ public:
+  [[nodiscard]] PlanKind kind() const { return kind_; }
+  [[nodiscard]] std::size_t device_count() const { return devices_; }
+  [[nodiscard]] const std::vector<PlanStep>& steps() const { return steps_; }
+
+  // Latency of one image through every step in order, plus one DMA hop per
+  // device-to-device handoff (sharded steps pay one scatter hop per part).
+  [[nodiscard]] double single_image_latency_us(const DmaModel& dma = {}) const;
+
+  // Modeled steady-state throughput: consecutive images overlap across
+  // devices, so the busiest device paces the pipeline. This is the latency
+  // model's projection (deterministic), not a wall-clock measurement.
+  [[nodiscard]] double modeled_throughput_images_per_s(const DmaModel& dma = {}) const;
+
+  // Estimated busy microseconds per device for one image.
+  [[nodiscard]] std::vector<double> per_device_us() const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  friend class Partitioner;
+  PlanKind kind_ = PlanKind::kSingleDevice;
+  std::size_t devices_ = 1;
+  std::vector<PlanStep> steps_;
+};
+
+class Partitioner {
+ public:
+  // Plan `mlp` onto `devices` instances of `config`. Chooses single-device,
+  // layer pipeline, or (when a layer exceeds one device's capacity) neuron/
+  // fan-in sharding. Fails with kCapacityExceeded when no assignment fits —
+  // the same error single-device loading reports today.
+  [[nodiscard]] static common::Result<ExecutionPlan> plan(
+      const nn::QuantizedMlp& mlp, const core::NetpuConfig& config,
+      std::size_t devices);
+
+  // The greedy latency-balanced contiguous-layer pipeline on its own, with
+  // no capacity logic (never fails; stages clamp to the layer count).
+  // MultiFpgaPipeline wraps this directly for API compatibility.
+  [[nodiscard]] static ExecutionPlan plan_pipeline(const nn::QuantizedMlp& mlp,
+                                                   const core::NetpuConfig& config,
+                                                   std::size_t devices);
+};
+
+}  // namespace netpu::runtime

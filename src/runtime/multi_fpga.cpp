@@ -4,83 +4,54 @@
 #include <cassert>
 
 #include "hw/activation_unit.hpp"
-#include "loadable/layer_setting.hpp"
 
 namespace netpu::runtime {
-namespace {
-
-// Estimated cycles of one layer in isolation (the slice estimator reuses
-// the whole-network model on single-layer granularity).
-double layer_us(const nn::QuantizedLayer& layer, const core::NetpuConfig& config) {
-  nn::QuantizedMlp one;
-  one.layers.push_back(layer);
-  const auto b = core::estimate_latency(one, config);
-  return config.cycles_to_us(b.total());
-}
-
-}  // namespace
 
 MultiFpgaPipeline::MultiFpgaPipeline(nn::QuantizedMlp mlp,
                                      const core::NetpuConfig& config, int boards,
                                      DmaModel dma)
     : mlp_(std::move(mlp)), config_(config), dma_(dma) {
   assert(boards >= 1);
-  const std::size_t n = mlp_.layers.size();
-  const auto stages = static_cast<std::size_t>(
-      std::min<std::size_t>(static_cast<std::size_t>(boards), n));
-
-  std::vector<double> cost(n);
-  double total = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    cost[i] = layer_us(mlp_.layers[i], config_);
-    total += cost[i];
+  plan_ = Partitioner::plan_pipeline(mlp_, config_,
+                                     static_cast<std::size_t>(boards));
+  for (const auto& step : plan_.steps()) {
+    stages_.push_back(PipelineStage{step.first_layer, step.last_layer,
+                                    step.estimated_us});
   }
-
-  // Greedy contiguous partition: close a stage once it reaches the ideal
-  // share, keeping enough layers for the remaining stages.
-  const double ideal = total / static_cast<double>(stages);
-  std::size_t layer = 0;
-  for (std::size_t s = 0; s < stages; ++s) {
-    PipelineStage st;
-    st.first_layer = layer;
-    double acc = 0.0;
-    const std::size_t must_leave = stages - s - 1;
-    while (layer < n - must_leave &&
-           (acc == 0.0 || acc + cost[layer] / 2.0 <= ideal || s + 1 == stages)) {
-      acc += cost[layer];
-      ++layer;
-      if (acc >= ideal && s + 1 < stages) break;
-    }
-    st.last_layer = layer - 1;
-    st.stage_us = acc;
-    stages_.push_back(st);
+  if (auto fast = core::FastExecutor::create(mlp_, config_); fast.ok()) {
+    fast_ = std::make_unique<core::FastExecutor>(std::move(fast).value());
   }
-  assert(stages_.back().last_layer == n - 1);
 }
 
 double MultiFpgaPipeline::single_image_latency_us() const {
-  double us = 0.0;
-  for (const auto& s : stages_) {
-    us += s.stage_us;
-    us += dma_.setup_overhead_us;  // per-board stream setup / hop transfer
-  }
-  return us;
+  return plan_.single_image_latency_us(dma_);
 }
 
 double MultiFpgaPipeline::throughput_images_per_s() const {
-  double slowest = 0.0;
-  for (const auto& s : stages_) {
-    slowest = std::max(slowest, s.stage_us + dma_.setup_overhead_us);
-  }
-  return slowest > 0.0 ? 1e6 / slowest : 0.0;
+  return plan_.modeled_throughput_images_per_s(dma_);
 }
 
 std::size_t MultiFpgaPipeline::classify(std::span<const std::uint8_t> image) const {
-  std::vector<std::int32_t> codes(image.begin(), image.end());
-  for (std::size_t l = 0; l + 1 < mlp_.layers.size(); ++l) {
-    codes = nn::layer_forward_codes(mlp_.layers[l], codes);
+  if (fast_ == nullptr) {
+    // Model exceeds this instance's capabilities — golden evaluation only.
+    return mlp_.infer(image).predicted;
   }
-  const auto values = nn::output_layer_values(mlp_.layers.back(), codes);
+  // Walk the pipeline slice by slice, exactly the codes each board would
+  // hand to the next one.
+  const std::size_t last = mlp_.layers.size() - 1;
+  std::vector<std::int32_t> codes;
+  std::vector<std::int64_t> values;
+  for (const auto& stage : stages_) {
+    for (std::size_t l = stage.first_layer; l <= stage.last_layer; ++l) {
+      if (l == 0) {
+        codes = fast_->input_layer_codes(image);
+      } else if (l == last) {
+        values = fast_->output_values(codes);
+      } else {
+        codes = fast_->forward_layer(l, codes);
+      }
+    }
+  }
   return hw::maxout(values);
 }
 

@@ -6,18 +6,25 @@
 // concurrently across *different* images — throughput is set by the slowest
 // stage while single-image latency gains the inter-board transfer overhead.
 //
-// Functionality uses the golden layer evaluation (each stage computes its
-// slice exactly as one NetPU-M would); timing uses the per-stage latency
-// model plus per-hop DMA overhead.
+// This class is a compatibility wrapper over runtime::Partitioner's
+// layer-pipeline plan (the partition algorithm lives there now, shared with
+// engine::Session's --devices path). Functionality stages the image through
+// the bit-true core::FastExecutor kernels slice by slice — exactly what
+// each board computes — instead of the earlier golden shortcut, which fed
+// the raw image to the weighted-layer evaluator and so skipped the input
+// layer's ACTIV/QUAN; timing uses the per-stage latency model plus per-hop
+// DMA overhead.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/config.hpp"
-#include "core/latency_model.hpp"
+#include "core/fast_executor.hpp"
 #include "nn/quantized_mlp.hpp"
 #include "runtime/dma.hpp"
+#include "runtime/execution_plan.hpp"
 
 namespace netpu::runtime {
 
@@ -35,6 +42,7 @@ class MultiFpgaPipeline {
                     int boards, DmaModel dma = {});
 
   [[nodiscard]] const std::vector<PipelineStage>& stages() const { return stages_; }
+  [[nodiscard]] const ExecutionPlan& plan() const { return plan_; }
 
   // Latency of one image through all stages (including per-hop transfers).
   [[nodiscard]] double single_image_latency_us() const;
@@ -42,14 +50,19 @@ class MultiFpgaPipeline {
   // Steady-state throughput: the slowest stage paces the pipeline.
   [[nodiscard]] double throughput_images_per_s() const;
 
-  // Exact (golden) classification through the staged layers.
+  // Bit-true classification through the staged layers.
   [[nodiscard]] std::size_t classify(std::span<const std::uint8_t> image) const;
 
  private:
   nn::QuantizedMlp mlp_;
   core::NetpuConfig config_;
   DmaModel dma_;
+  ExecutionPlan plan_;
   std::vector<PipelineStage> stages_;
+  // Bit-true stage kernels; null when the model exceeds the instance's
+  // capabilities (MT cap, dense support), in which case classify falls back
+  // to the golden model evaluation.
+  std::unique_ptr<core::FastExecutor> fast_;
 };
 
 }  // namespace netpu::runtime

@@ -4,6 +4,7 @@
 
 #include "loadable/compiler.hpp"
 #include "loadable/parser.hpp"
+#include "runtime/execution_plan.hpp"
 
 namespace netpu::serve {
 
@@ -16,6 +17,7 @@ ModelRegistry::ModelRegistry(core::NetpuConfig config, RegistryOptions options)
     : config_(std::move(config)), options_(options) {
   if (options_.resident_cap == 0) options_.resident_cap = 1;
   if (options_.contexts_per_model == 0) options_.contexts_per_model = 1;
+  if (options_.devices == 0) options_.devices = 1;
 }
 
 Status ModelRegistry::add_model(const std::string& name,
@@ -23,13 +25,17 @@ Status ModelRegistry::add_model(const std::string& name,
   if (name.empty()) {
     return Error{ErrorCode::kInvalidArgument, "model name must be non-empty"};
   }
-  // Pre-checks outside the lock: structural parse, then the same
-  // buffer-capacity limits a session load would enforce.
+  // Pre-checks outside the lock: structural parse, then the same admission
+  // check a session load would run — the partitioner plans the model across
+  // this registry's device set (one device: exactly the compiler's
+  // buffer-capacity limits), so admission failures happen here, never
+  // mid-serving.
   auto parsed = loadable::parse_model(model_stream);
   if (!parsed.ok()) return parsed.error();
-  if (auto s = loadable::check_capacity(parsed.value().mlp, config_.compile_options());
-      !s.ok()) {
-    return s;
+  if (auto plan = runtime::Partitioner::plan(parsed.value().mlp, config_,
+                                             options_.devices);
+      !plan.ok()) {
+    return plan.error();
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
@@ -37,14 +43,33 @@ Status ModelRegistry::add_model(const std::string& name,
     return Error{ErrorCode::kInvalidArgument,
                  "model '" + name + "' is already registered"};
   }
-  models_.emplace(name, Entry{std::move(model_stream), nullptr});
+  models_.emplace(name, Entry{std::move(model_stream), nullptr, nullptr});
   return Status::ok_status();
 }
 
 Status ModelRegistry::add_model(const std::string& name, const nn::QuantizedMlp& mlp) {
   auto stream = loadable::compile_model(mlp, config_.compile_options());
-  if (!stream.ok()) return stream.error();
-  return add_model(name, std::move(stream).value());
+  if (stream.ok()) return add_model(name, std::move(stream).value());
+  if (stream.error().code != ErrorCode::kCapacityExceeded || options_.devices < 2) {
+    return stream.error();
+  }
+  // No fused single-device encoding exists for this model, but the device
+  // set may still fit it sharded; admit it from the parsed form.
+  if (name.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "model name must be non-empty"};
+  }
+  if (auto plan = runtime::Partitioner::plan(mlp, config_, options_.devices);
+      !plan.ok()) {
+    return plan.error();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (models_.contains(name)) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "model '" + name + "' is already registered"};
+  }
+  models_.emplace(name,
+                  Entry{{}, std::make_shared<const nn::QuantizedMlp>(mlp), nullptr});
+  return Status::ok_status();
 }
 
 void ModelRegistry::touch(const std::string& name) {
@@ -75,11 +100,17 @@ Result<std::shared_ptr<engine::Session>> ModelRegistry::acquire(
     models_.at(victim).session = nullptr;
     counters_.evictions += 1;
   }
-  auto session =
-      engine::Session::create(config_, {.contexts = options_.contexts_per_model});
+  auto session = engine::Session::create(
+      config_,
+      {.contexts = options_.contexts_per_model, .devices = options_.devices});
   if (!session.ok()) return session.error();
   auto shared = std::make_shared<engine::Session>(std::move(session).value());
-  if (auto s = shared->load_model(it->second.stream); !s.ok()) return s.error();
+  if (auto s = it->second.mlp != nullptr
+                   ? shared->load_model(*it->second.mlp)
+                   : shared->load_model(it->second.stream);
+      !s.ok()) {
+    return s.error();
+  }
   it->second.session = shared;
   counters_.loads += 1;
   touch(name);

@@ -38,6 +38,10 @@ struct RegistryOptions {
   std::size_t resident_cap = 2;
   // Persistent NetPU contexts per resident session (serving channels).
   std::size_t contexts_per_model = 1;
+  // Simulated NetPU-M devices each resident session plans its model across
+  // (runtime::Partitioner). With >1, models too large for one device are
+  // admitted and served sharded.
+  std::size_t devices = 1;
 };
 
 class ModelRegistry {
@@ -85,6 +89,10 @@ class ModelRegistry {
  private:
   struct Entry {
     std::vector<Word> stream;
+    // Set instead of `stream` for models only a multi-device plan can fit:
+    // the fused single-device encoding rejects them, so residency loads
+    // from the parsed model directly.
+    std::shared_ptr<const nn::QuantizedMlp> mlp;
     std::shared_ptr<engine::Session> session;  // null while not resident
   };
 

@@ -162,6 +162,30 @@ std::string Server::prometheus_text() const {
     exporter.counter("netpu_session_acquire_waits_total",
                      "Acquisitions that had to wait for a free context",
                      static_cast<double>(pool.waits), model);
+    const auto devices = session->device_stats();
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      const auto& stats = devices[d];
+      const obs::MetricsExporter::Labels labels{{"model", name},
+                                                {"device", std::to_string(d)}};
+      exporter.gauge("netpu_device_contexts_in_use",
+                     "Contexts currently busy on this device",
+                     static_cast<double>(stats.in_use), labels);
+      exporter.gauge("netpu_device_contexts_peak",
+                     "High-water mark of concurrently busy contexts per device",
+                     static_cast<double>(stats.peak_in_use), labels);
+      exporter.counter("netpu_device_acquires_total",
+                       "Context acquisitions on this device",
+                       static_cast<double>(stats.acquires), labels);
+      exporter.counter("netpu_device_acquire_waits_total",
+                       "Acquisitions that stalled waiting for this device",
+                       static_cast<double>(stats.waits), labels);
+      exporter.counter("netpu_device_stage_runs_total",
+                       "Execution-plan stages/shards run on this device",
+                       static_cast<double>(stats.stage_runs), labels);
+      exporter.counter("netpu_device_busy_us_total",
+                       "Modeled busy microseconds of plan stages on this device",
+                       stats.busy_us, labels);
+    }
   }
 
   if (tracer_.enabled()) {

@@ -14,9 +14,11 @@
 #include "core/accelerator.hpp"
 #include "core/latency_model.hpp"
 #include "engine/session.hpp"
+#include "hw/activation_unit.hpp"
 #include "loadable/compiler.hpp"
 #include "nn/model_zoo.hpp"
 #include "nn/quantized_mlp.hpp"
+#include "runtime/execution_plan.hpp"
 
 namespace netpu::core {
 namespace {
@@ -183,6 +185,91 @@ TEST(BackendEquivalence, ModelZooBitIdentical) {
         << variant.name();
     EXPECT_EQ(fast.value().probabilities, cycle.value().probabilities)
         << variant.name();
+  }
+}
+
+// Device-count differential sweep: the same model planned across 1..4
+// devices (layer pipeline) must produce bit-identical predicted class, raw
+// Q32.5 output values and Q15 probabilities to the golden model and the
+// single-device run, on every backend a multi-device session accepts.
+TEST(BackendEquivalence, DeviceCountSweepBitIdentical) {
+  common::Xoshiro256 rng(91);
+  auto config = NetpuConfig::paper_instance();
+  config.softmax_unit = true;  // compare the probability path too
+  const auto mlp = nn::make_random_quantized_model(
+      nn::ModelVariant{nn::Topology::kSfc, 1, 1}, true, rng);
+
+  std::vector<std::vector<std::uint8_t>> images;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<std::uint8_t> image(static_cast<std::size_t>(mlp.input_size()));
+    for (auto& p : image) p = static_cast<std::uint8_t>(rng.next_below(256));
+    images.push_back(std::move(image));
+  }
+
+  for (const std::size_t devices : {1u, 2u, 3u, 4u}) {
+    auto session =
+        engine::Session::create(config, {.contexts = 1, .devices = devices});
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(session.value().load_model(mlp).ok());
+    if (devices > 1) {
+      EXPECT_EQ(session.value().plan().kind(),
+                runtime::PlanKind::kLayerPipeline);
+    }
+    for (const auto& image : images) {
+      const auto golden = mlp.infer(image);
+      for (const auto backend :
+           {Backend::kFast, Backend::kFastLatencyModel, Backend::kCycle}) {
+        if (backend == Backend::kCycle && devices == 1) continue;  // slow sim
+        RunOptions options;
+        options.backend = backend;
+        auto run = session.value().run(image, options);
+        ASSERT_TRUE(run.ok()) << run.error().to_string();
+        EXPECT_EQ(run.value().predicted, golden.predicted)
+            << devices << " devices";
+        EXPECT_EQ(run.value().output_values, golden.output_values)
+            << devices << " devices";
+        EXPECT_EQ(run.value().probabilities, hw::softmax_q15(golden.output_values))
+            << devices << " devices";
+      }
+    }
+  }
+}
+
+// Same sweep with sharding forced: a capacity-capped instance splits the
+// wide hidden layer along the neuron dimension, and the reduce-then-
+// finalize path must stay bit-identical to the golden model for every
+// viable device count.
+TEST(BackendEquivalence, ShardedDeviceSweepBitIdentical) {
+  common::Xoshiro256 rng(92);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 29;
+  spec.hidden = {90, 11};
+  spec.outputs = 5;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  const auto mlp = nn::random_quantized_mlp(spec, rng);
+
+  auto config = NetpuConfig::paper_instance();
+  config.max_neurons_per_layer = 32;  // 90-neuron layer -> >= 3 shards
+
+  for (const std::size_t devices : {3u, 4u}) {
+    auto session =
+        engine::Session::create(config, {.contexts = 1, .devices = devices});
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(session.value().load_model(mlp).ok())
+        << devices << " devices";
+    EXPECT_EQ(session.value().plan().kind(), runtime::PlanKind::kNeuronSharded);
+    for (int i = 0; i < 4; ++i) {
+      std::vector<std::uint8_t> image(29);
+      for (auto& p : image) p = static_cast<std::uint8_t>(rng.next_below(256));
+      const auto golden = mlp.infer(image);
+      RunOptions options;
+      options.backend = Backend::kFast;
+      auto run = session.value().run(image, options);
+      ASSERT_TRUE(run.ok()) << run.error().to_string();
+      EXPECT_EQ(run.value().predicted, golden.predicted) << devices;
+      EXPECT_EQ(run.value().output_values, golden.output_values) << devices;
+    }
   }
 }
 

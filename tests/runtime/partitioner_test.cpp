@@ -1,0 +1,248 @@
+// runtime::Partitioner edge cases: plan shape on one device and many, the
+// clamp when devices outnumber layers, forced neuron- and fan-in sharding
+// on capacity-capped instances (bit-exact against the golden model through
+// engine::Session), and clean kCapacityExceeded admission errors for models
+// no shard assignment can fit.
+#include "runtime/execution_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/latency_model.hpp"
+#include "engine/session.hpp"
+#include "loadable/compiler.hpp"
+#include "nn/quantized_mlp.hpp"
+#include "serve/model_registry.hpp"
+
+namespace netpu::runtime {
+namespace {
+
+nn::QuantizedMlp make_mlp(std::uint64_t seed, int input, std::vector<int> hidden,
+                          int outputs, int bits = 2) {
+  common::Xoshiro256 rng(seed);
+  nn::RandomMlpSpec spec;
+  spec.input_size = input;
+  spec.hidden = std::move(hidden);
+  spec.outputs = outputs;
+  spec.weight_bits = bits;
+  spec.activation_bits = bits;
+  return nn::random_quantized_mlp(spec, rng);
+}
+
+std::vector<std::uint8_t> make_image(std::uint64_t seed, std::size_t n) {
+  common::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> image(n);
+  for (auto& p : image) p = static_cast<std::uint8_t>(rng.next_below(256));
+  return image;
+}
+
+// Every layer exactly once, in order, across the plan's steps.
+void expect_covers_all_layers(const ExecutionPlan& plan, std::size_t layers) {
+  std::size_t next = 0;
+  for (const auto& step : plan.steps()) {
+    EXPECT_EQ(step.first_layer, next);
+    EXPECT_LE(step.first_layer, step.last_layer);
+    next = step.last_layer + 1;
+  }
+  EXPECT_EQ(next, layers);
+}
+
+TEST(Partitioner, OneDeviceIsSingleStepSingleKind) {
+  const auto mlp = make_mlp(3, 32, {16, 12}, 5);
+  const auto config = core::NetpuConfig::paper_instance();
+  auto plan = Partitioner::plan(mlp, config, 1);
+  ASSERT_TRUE(plan.ok()) << plan.error().to_string();
+  EXPECT_EQ(plan.value().kind(), PlanKind::kSingleDevice);
+  EXPECT_EQ(plan.value().device_count(), 1u);
+  ASSERT_EQ(plan.value().steps().size(), 1u);
+  expect_covers_all_layers(plan.value(), mlp.layers.size());
+  EXPECT_FALSE(plan.value().steps().front().sharded);
+  EXPECT_GT(plan.value().single_image_latency_us(), 0.0);
+}
+
+TEST(Partitioner, MoreDevicesThanLayersClampsToLayerCount) {
+  const auto mlp = make_mlp(4, 32, {16, 12}, 5);  // 4 layers incl. input
+  const auto config = core::NetpuConfig::paper_instance();
+  auto plan = Partitioner::plan(mlp, config, 16);
+  ASSERT_TRUE(plan.ok()) << plan.error().to_string();
+  EXPECT_EQ(plan.value().kind(), PlanKind::kLayerPipeline);
+  EXPECT_EQ(plan.value().device_count(), 16u);
+  EXPECT_LE(plan.value().steps().size(), mlp.layers.size());
+  EXPECT_GT(plan.value().steps().size(), 1u);
+  expect_covers_all_layers(plan.value(), mlp.layers.size());
+  // Pipelining helps throughput, costs per-image latency (one hop/stage).
+  auto serial = Partitioner::plan(mlp, config, 1);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_GT(plan.value().modeled_throughput_images_per_s(),
+            serial.value().modeled_throughput_images_per_s());
+  EXPECT_GE(plan.value().single_image_latency_us(),
+            serial.value().single_image_latency_us());
+}
+
+TEST(Partitioner, WideLayerForcesNeuronShardingBitExact) {
+  // 100 neurons against a 48-neuron device cap: the hidden layer must be
+  // split along the neuron dimension (3 shards), everything else pipelines.
+  const auto mlp = make_mlp(5, 40, {100}, 10);
+  auto config = core::NetpuConfig::paper_instance();
+  config.max_neurons_per_layer = 48;
+
+  auto plan = Partitioner::plan(mlp, config, 3);
+  ASSERT_TRUE(plan.ok()) << plan.error().to_string();
+  EXPECT_EQ(plan.value().kind(), PlanKind::kNeuronSharded);
+  const PlanStep* sharded = nullptr;
+  for (const auto& step : plan.value().steps()) {
+    if (step.sharded) sharded = &step;
+  }
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->dim, ShardDim::kNeurons);
+  ASSERT_EQ(sharded->parts.size(), 3u);
+  int covered = 0;
+  for (const auto& part : sharded->parts) {
+    EXPECT_EQ(part.neuron_begin, covered);
+    EXPECT_EQ(part.input_length, 40);
+    EXPECT_TRUE(part.carries_bias);
+    covered += part.neuron_count;
+  }
+  EXPECT_EQ(covered, 100);
+  expect_covers_all_layers(plan.value(), mlp.layers.size());
+
+  // Bit-exact against the golden model through a 3-device session.
+  auto session = engine::Session::create(config, {.contexts = 1, .devices = 3});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().load_model(mlp).ok());
+  EXPECT_EQ(session.value().plan().kind(), PlanKind::kNeuronSharded);
+  for (int i = 0; i < 4; ++i) {
+    const auto image = make_image(100 + static_cast<std::uint64_t>(i), 40);
+    const auto golden = mlp.infer(image);
+    core::RunOptions fast;
+    fast.backend = core::Backend::kFast;
+    auto run = session.value().run(image, fast);
+    ASSERT_TRUE(run.ok()) << run.error().to_string();
+    EXPECT_EQ(run.value().predicted, golden.predicted);
+    EXPECT_EQ(run.value().output_values, golden.output_values);
+  }
+}
+
+TEST(Partitioner, DeepFanInForcesFanInShardingBitExact) {
+  // 2-bit codes pack 8 values/chunk; a 8-word weight buffer holds 64 fan-in
+  // values, so the 256-input hidden layer needs 4 chunk-aligned windows.
+  const auto mlp = make_mlp(6, 256, {24, 12}, 5);
+  auto config = core::NetpuConfig::paper_instance();
+  config.lpu.buffers.layer_weight_words = 8;
+
+  auto plan = Partitioner::plan(mlp, config, 4);
+  ASSERT_TRUE(plan.ok()) << plan.error().to_string();
+  EXPECT_EQ(plan.value().kind(), PlanKind::kNeuronSharded);
+  const PlanStep* sharded = nullptr;
+  for (const auto& step : plan.value().steps()) {
+    if (step.sharded) sharded = &step;
+  }
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->dim, ShardDim::kFanIn);
+  ASSERT_EQ(sharded->parts.size(), 4u);
+  int covered = 0;
+  std::size_t with_bias = 0;
+  for (const auto& part : sharded->parts) {
+    EXPECT_EQ(part.input_begin, covered);
+    EXPECT_EQ(part.input_begin % 8, 0);  // chunk-aligned windows
+    EXPECT_EQ(part.neuron_count, 24);
+    covered += part.input_length;
+    if (part.carries_bias) ++with_bias;
+  }
+  EXPECT_EQ(covered, 256);
+  EXPECT_EQ(with_bias, 1u);  // the bias is loaded on exactly one shard
+
+  auto session = engine::Session::create(config, {.contexts = 1, .devices = 4});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().load_model(mlp).ok());
+  for (int i = 0; i < 4; ++i) {
+    const auto image = make_image(200 + static_cast<std::uint64_t>(i), 256);
+    const auto golden = mlp.infer(image);
+    core::RunOptions fast;
+    fast.backend = core::Backend::kFast;
+    auto run = session.value().run(image, fast);
+    ASSERT_TRUE(run.ok()) << run.error().to_string();
+    EXPECT_EQ(run.value().predicted, golden.predicted);
+    EXPECT_EQ(run.value().output_values, golden.output_values);
+    // kCycle on a multi-device plan: same bits, analytical latency stamped.
+    auto stamped = session.value().run(image);
+    ASSERT_TRUE(stamped.ok());
+    EXPECT_EQ(stamped.value().output_values, golden.output_values);
+    EXPECT_EQ(stamped.value().cycles,
+              core::estimate_latency(mlp, config).total());
+  }
+}
+
+TEST(Partitioner, SingleDeviceOversizedModelKeepsCompilerError) {
+  const auto mlp = make_mlp(7, 40, {100}, 10);
+  auto config = core::NetpuConfig::paper_instance();
+  config.max_neurons_per_layer = 48;
+
+  auto plan = Partitioner::plan(mlp, config, 1);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, common::ErrorCode::kCapacityExceeded);
+  // Exactly the compiler's rejection, layer index included.
+  const auto direct = loadable::check_capacity(mlp, config.compile_options());
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(plan.error().message, direct.error().message);
+
+  auto session = engine::Session::create(config, {.contexts = 1, .devices = 1});
+  ASSERT_TRUE(session.ok());
+  const auto load = session.value().load_model(mlp);
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.error().code, common::ErrorCode::kCapacityExceeded);
+}
+
+TEST(Partitioner, UnfittableModelsFailCleanly) {
+  auto config = core::NetpuConfig::paper_instance();
+  config.max_neurons_per_layer = 48;
+
+  // The input layer itself exceeds the cap: no shard assignment exists.
+  const auto big_input = make_mlp(8, 100, {20}, 10);
+  auto plan = Partitioner::plan(big_input, config, 4);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, common::ErrorCode::kCapacityExceeded);
+  EXPECT_NE(plan.error().message.find("input layer"), std::string::npos);
+
+  // Shardable, but needing more devices than the set has.
+  const auto wide = make_mlp(9, 40, {200}, 10);  // 200/48 -> 5 shards
+  auto starved = Partitioner::plan(wide, config, 2);
+  ASSERT_FALSE(starved.ok());
+  EXPECT_EQ(starved.error().code, common::ErrorCode::kCapacityExceeded);
+  EXPECT_NE(starved.error().message.find("devices"), std::string::npos);
+
+  // Same model with enough devices plans fine.
+  EXPECT_TRUE(Partitioner::plan(wide, config, 5).ok());
+}
+
+TEST(Partitioner, RegistryAdmitsOversizedModelsOnMultiDeviceSets) {
+  const auto mlp = make_mlp(10, 40, {100}, 10);
+  auto config = core::NetpuConfig::paper_instance();
+  config.max_neurons_per_layer = 48;
+
+  // One device: admission fails exactly like the compiler.
+  serve::ModelRegistry one(config, {.resident_cap = 1, .devices = 1});
+  EXPECT_EQ(one.add_model("m", mlp).error().code,
+            common::ErrorCode::kCapacityExceeded);
+
+  // Three devices: admitted, served, bit-exact.
+  serve::ModelRegistry registry(config, {.resident_cap = 1, .devices = 3});
+  ASSERT_TRUE(registry.add_model("m", mlp).ok());
+  auto session = registry.acquire("m");
+  ASSERT_TRUE(session.ok()) << session.error().to_string();
+  EXPECT_EQ(session.value()->device_count(), 3u);
+  const auto image = make_image(300, 40);
+  core::RunOptions fast;
+  fast.backend = core::Backend::kFast;
+  auto run = session.value()->run(image, fast);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  EXPECT_EQ(run.value().output_values, mlp.infer(image).output_values);
+  // The sharded stages charged busy time across the device set.
+  const auto stats = session.value()->device_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  std::uint64_t stage_runs = 0;
+  for (const auto& d : stats) stage_runs += d.stage_runs;
+  EXPECT_GT(stage_runs, 0u);
+}
+
+}  // namespace
+}  // namespace netpu::runtime

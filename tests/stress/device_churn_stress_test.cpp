@@ -1,0 +1,100 @@
+// Multi-device serving under ThreadSanitizer: a registry with a resident
+// cap of one and two-device sessions, so every model switch tears down a
+// device set while clients still hold the evicted session and race plan
+// stages (device acquire/charge/release) against each other. A scraper
+// reads the per-device stats surface the whole time. Outcomes are checked
+// bit-exactly against the golden model — a torn shard gather or a lost
+// partial-sum reduction shows up as a wrong answer, not just a race report.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "serve/model_registry.hpp"
+#include "stress_env.hpp"
+
+namespace netpu::serve {
+namespace {
+
+nn::QuantizedMlp churn_mlp(std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 24;
+  // Wide enough to shard on the capped instance below (40 > 24-neuron cap).
+  spec.hidden = {40, 10};
+  spec.outputs = 4;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  return nn::random_quantized_mlp(spec, rng);
+}
+
+TEST(DeviceChurnStress, EvictionsRacePlanStagesAndStatsScrape) {
+  const std::size_t per_client = test::stress_iters(40);
+  constexpr std::size_t kClients = 4;
+  const std::vector<std::string> models{"a", "b"};
+
+  auto config = core::NetpuConfig::paper_instance();
+  config.max_neurons_per_layer = 24;  // forces neuron sharding across devices
+  ModelRegistry registry(
+      config, {.resident_cap = 1, .contexts_per_model = 2, .devices = 2});
+  std::vector<nn::QuantizedMlp> mlps;
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    mlps.push_back(churn_mlp(m + 1));
+    ASSERT_TRUE(registry.add_model(models[m], mlps.back()).ok());
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> mismatches{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      common::Xoshiro256 rng(test::stress_seed() + c);
+      std::vector<std::uint8_t> image(24);
+      core::RunOptions fast;
+      fast.backend = core::Backend::kFast;
+      for (std::size_t i = 0; i < per_client; ++i) {
+        for (auto& p : image) p = static_cast<std::uint8_t>(rng.next_below(256));
+        // Alternating models against a resident cap of one: nearly every
+        // switch evicts the session the other clients are still running on.
+        const auto m = rng.next_below(models.size());
+        auto session = registry.acquire(models[m]);
+        ASSERT_TRUE(session.ok()) << session.error().to_string();
+        auto run = session.value()->run(image, fast);
+        ASSERT_TRUE(run.ok()) << run.error().to_string();
+        if (run.value().output_values != mlps[m].infer(image).output_values) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Scraper: per-device occupancy/stage counters while stages are running.
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (const auto& [name, session] : registry.resident_sessions()) {
+        (void)name;
+        (void)session->pool_stats();
+        for (const auto& d : session->device_stats()) {
+          EXPECT_LE(d.in_use, d.contexts);
+        }
+      }
+      (void)registry.counters();
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : clients) t.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  // Two models through one resident slot: device sets were churned.
+  EXPECT_GT(registry.counters().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace netpu::serve

@@ -17,6 +17,9 @@
 //   --batch N              serve N copies of the request through a session
 //                          (model loaded once, inputs streamed per request)
 //   --threads T            serving channels/threads for --batch (default 1)
+//   --devices N            simulated devices the --batch session plans the
+//                          model across (layer pipeline / neuron sharding;
+//                          default 1)
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -41,6 +44,7 @@ int main(int argc, char** argv) {
   sim::Trace trace;
   std::size_t batch = 1;
   std::size_t threads = 1;
+  std::size_t devices = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,6 +102,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return 2;
       threads = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--devices") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      devices = static_cast<std::size_t>(std::atoll(v));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
@@ -178,7 +186,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (threads == 0) threads = 1;
-    auto session = engine::Session::create(config, {.contexts = threads});
+    if (devices == 0) devices = 1;
+    auto session = engine::Session::create(
+        config, {.contexts = threads, .devices = devices});
     if (!session.ok()) {
       std::fprintf(stderr, "session create failed: %s\n",
                    session.error().to_string().c_str());
@@ -212,6 +222,9 @@ int main(int argc, char** argv) {
     const auto& stats = served.value().stats;
     std::printf("--- batch serving (%zu requests, %zu threads) ---\n", batch,
                 eng.threads());
+    if (devices > 1) {
+      std::printf("%s", session.value().plan().describe().c_str());
+    }
     std::printf("model stream: %zu words (loaded once, resident)\n",
                 split.value().model.size());
     std::printf("input stream: %zu words per request\n",

@@ -15,6 +15,8 @@
 //   --queue-capacity Q   admission bound (default 256)
 //   --resident-cap K     models resident at once (default 2)
 //   --contexts N         NetPU contexts per resident model (default 2)
+//   --devices N          simulated devices each resident model is planned
+//                        across (layer pipeline / neuron sharding; default 1)
 //
 // Observability:
 //   --metrics-out F      write a Prometheus text-format metrics snapshot
@@ -116,6 +118,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--contexts" && (v = next())) {
       registry_options.contexts_per_model = static_cast<std::size_t>(std::atoll(v));
       server_options.dispatch_threads = registry_options.contexts_per_model;
+    } else if (arg == "--devices" && (v = next())) {
+      registry_options.devices = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--seed" && (v = next())) {
       seed = static_cast<std::uint64_t>(std::atoll(v));
     } else if (arg == "--metrics-out" && (v = next())) {
@@ -137,7 +141,7 @@ int main(int argc, char** argv) {
                    "[--mode closed|open] [--clients C] [--rate R] "
                    "[--deadline-us D] [--batch-size B] [--max-wait-us W] "
                    "[--queue-capacity Q] [--resident-cap K] [--contexts N] "
-                   "[--metrics-out F] [--trace-out F] [--seed S] "
+                   "[--devices N] [--metrics-out F] [--trace-out F] [--seed S] "
                    "[--functional] [--backend B]\n");
       return 2;
     }
@@ -178,12 +182,12 @@ int main(int argc, char** argv) {
   std::printf(
       "netpu-serve: %zu requests over %zu models (%s loop), "
       "batch<=%zu wait<=%llu us, queue %zu, resident cap %zu, "
-      "%zu contexts/model, %s backend\n\n",
+      "%zu contexts/model, %zu device(s), %s backend\n\n",
       requests, model_names.size(), mode.c_str(),
       server_options.policy.max_batch_size,
       static_cast<unsigned long long>(server_options.policy.max_wait_us),
       server_options.queue_capacity, registry_options.resident_cap,
-      registry_options.contexts_per_model,
+      registry_options.contexts_per_model, registry_options.devices,
       server_options.run_options.mode == core::RunMode::kFunctional
           ? "functional"
           : core::to_string(server_options.run_options.backend));
