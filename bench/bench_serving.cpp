@@ -19,10 +19,12 @@
 // per backend and per device count plus the plan's modeled pipeline
 // throughput — so serving regressions diff as JSON. The modeled 1->2
 // scaling on the swept zoo model is asserted >= 1.7x.
+#include <atomic>
 #include <cstdio>
 #include <chrono>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/accelerator.hpp"
@@ -30,8 +32,11 @@
 #include "engine/inference_engine.hpp"
 #include "engine/session.hpp"
 #include "loadable/compiler.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "nn/model_zoo.hpp"
 #include "runtime/driver.hpp"
+#include "serve/server.hpp"
 #include "serve/server_stats.hpp"
 
 using namespace netpu;
@@ -306,6 +311,132 @@ int main() {
       "pipeline 1->2 devices: %.2fx modeled throughput (>=1.7x required), "
       "predictions device-count invariant\n",
       scaling);
+
+  // --- RPC overhead: in-process submission vs. the loopback socket ------
+  // Same serving stack (queue -> batcher -> registry -> engine, fast
+  // backend so transport cost is not hidden under simulation time), same
+  // closed-loop client count; the only difference is whether requests enter
+  // through serve::Server::submit or through the network front door
+  // (NPWF frames over a loopback TCP socket, 4-connection client pool).
+  {
+    serve::ModelRegistry rpc_registry(config,
+                                      {.resident_cap = 1, .contexts_per_model = 4});
+    if (auto s = rpc_registry.add_model("m", mlp); !s.ok()) {
+      std::fprintf(stderr, "rpc model load failed: %s\n",
+                   s.error().to_string().c_str());
+      return 1;
+    }
+    serve::ServerOptions rpc_server_options;
+    rpc_server_options.dispatch_threads = 4;
+    rpc_server_options.run_options.backend = core::Backend::kFast;
+    serve::Server rpc_server(rpc_registry, rpc_server_options);
+    rpc_server.start();
+
+    const std::size_t rpc_clients = 4;
+    const std::size_t rpc_requests = 4 * images.size();
+
+    // In-process closed loop.
+    serve::LatencyHistogram local_latency;
+    std::mutex local_latency_mutex;  // guards local_latency
+    std::atomic<std::size_t> cursor{0};
+    const auto local_start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> threads;
+      for (std::size_t t = 0; t < rpc_clients; ++t) {
+        threads.emplace_back([&] {
+          for (;;) {
+            const std::size_t i = cursor.fetch_add(1);
+            if (i >= rpc_requests) return;
+            const auto t0 = std::chrono::steady_clock::now();
+            auto h = rpc_server.submit("m", images[i % images.size()]);
+            if (!h.ok() || !h.value().wait().ok()) std::abort();
+            const double us = std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+            std::lock_guard<std::mutex> lock(local_latency_mutex);
+            local_latency.record(us);
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    const double local_wall = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - local_start)
+                                  .count();
+    const double local_ips =
+        local_wall > 0.0 ? static_cast<double>(rpc_requests) / local_wall : 0.0;
+
+    // Loopback socket closed loop: identical load through the front door.
+    net::NetServer net_server(rpc_server, {});
+    if (!net_server.start().ok()) {
+      std::fprintf(stderr, "net server start failed\n");
+      return 1;
+    }
+    net::ClientPoolOptions pool_options;
+    pool_options.client.port = net_server.port();
+    pool_options.connections = rpc_clients;
+    auto pool = net::ClientPool::connect(pool_options);
+    if (!pool.ok()) {
+      std::fprintf(stderr, "client pool connect failed: %s\n",
+                   pool.error().to_string().c_str());
+      return 1;
+    }
+    std::vector<std::vector<Word>> rpc_streams;
+    rpc_streams.reserve(images.size());
+    for (const auto& image : images) {
+      auto words = loadable::compile_input(first, image);
+      if (!words.ok()) return 1;
+      rpc_streams.push_back(std::move(words).value());
+    }
+    serve::LatencyHistogram remote_latency;
+    std::mutex remote_latency_mutex;  // guards remote_latency
+    cursor.store(0);
+    const auto remote_start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> threads;
+      for (std::size_t t = 0; t < rpc_clients; ++t) {
+        threads.emplace_back([&] {
+          for (;;) {
+            const std::size_t i = cursor.fetch_add(1);
+            if (i >= rpc_requests) return;
+            const auto t0 = std::chrono::steady_clock::now();
+            auto r = pool.value()->infer("m", rpc_streams[i % images.size()]);
+            if (!r.ok()) std::abort();
+            const double us = std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+            std::lock_guard<std::mutex> lock(remote_latency_mutex);
+            remote_latency.record(us);
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    const double remote_wall = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - remote_start)
+                                   .count();
+    const double remote_ips =
+        remote_wall > 0.0 ? static_cast<double>(rpc_requests) / remote_wall : 0.0;
+    net_server.stop();
+    rpc_server.stop();
+
+    std::printf("\nrpc overhead (%zu requests, %zu closed-loop clients, fast "
+                "backend):\n",
+                rpc_requests, rpc_clients);
+    std::printf("%-22s %12s %10s %10s\n", "path", "images/s", "p50 us", "p99 us");
+    std::printf("%-22s %12.1f %10.2f %10.2f\n", "in-process submit", local_ips,
+                local_latency.p50(), local_latency.p99());
+    std::printf("%-22s %12.1f %10.2f %10.2f\n", "loopback socket", remote_ips,
+                remote_latency.p50(), remote_latency.p99());
+    std::printf("loopback retains %.0f%% of in-process throughput; p50 adds "
+                "%.1f us of wire + framing\n",
+                local_ips > 0.0 ? 100.0 * remote_ips / local_ips : 0.0,
+                remote_latency.p50() - local_latency.p50());
+    rows.push_back({"rpc", "in-process submit", 1, local_ips,
+                    local_latency.p50(), local_latency.p99(), 0.0});
+    rows.push_back({"rpc", "loopback socket", 1, remote_ips,
+                    remote_latency.p50(), remote_latency.p99(), 0.0});
+  }
 
   std::printf(
       "\ncold fused run: %llu cycles/request; warm resident run: %llu "

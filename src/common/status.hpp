@@ -25,6 +25,7 @@ enum class ErrorCode {
   kUnavailable,        // admission refused: queue full or server shut down
   kDeadlineExceeded,   // request deadline passed before completion
   kCancelled,          // request cancelled by its submitter
+  kTransportError,     // network connection lost/refused mid-request
 };
 
 [[nodiscard]] constexpr const char* error_code_name(ErrorCode c) noexcept {
@@ -38,6 +39,7 @@ enum class ErrorCode {
     case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kTransportError: return "transport_error";
   }
   return "unknown";
 }

@@ -1,0 +1,299 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace netpu::net {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+namespace {
+
+Error transport_error(const std::string& what) {
+  return Error{ErrorCode::kTransportError, what};
+}
+
+// Write the whole buffer to a blocking socket.
+Status write_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return transport_error(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::ok_status();
+}
+
+}  // namespace
+
+// One connection generation. The reader thread holds a shared_ptr and works
+// exclusively on this state, never on the Client — so teardown can never
+// deadlock between the reader and a submitter, and a stale reader can never
+// corrupt a newer connection.
+struct Client::ConnState {
+  Fd socket;
+  std::mutex mutex;  // guards alive, pending
+  bool alive = true;
+  std::map<std::uint64_t, std::promise<Result<RemoteResult>>> pending;
+  std::mutex write_mutex;  // guards socket writes (frame interleaving)
+
+  // Fail every outstanding request and mark the generation dead. Returns
+  // false if it was already dead (teardown raced).
+  bool kill(const std::string& reason) {
+    std::map<std::uint64_t, std::promise<Result<RemoteResult>>> orphans;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!alive) return false;
+      alive = false;
+      orphans.swap(pending);
+    }
+    // Unblock a reader stuck in recv(); the fd itself closes with the
+    // shared state.
+    if (socket.valid()) ::shutdown(socket.get(), SHUT_RDWR);
+    for (auto& [id, promise] : orphans) {
+      promise.set_value(transport_error("connection lost: " + reason));
+    }
+    return true;
+  }
+};
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {}
+
+Client::~Client() {
+  std::shared_ptr<ConnState> conn;
+  std::thread reader;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    conn = std::move(conn_);
+    reader = std::move(reader_);
+  }
+  if (conn != nullptr) (void)conn->kill("client destroyed");
+  if (reader.joinable()) reader.join();
+}
+
+Result<std::unique_ptr<Client>> Client::connect(const ClientOptions& options) {
+  std::unique_ptr<Client> client(new Client(options));
+  std::lock_guard<std::mutex> lock(client->state_mutex_);
+  if (auto s = client->connect_locked(); !s.ok()) return s.error();
+  return client;
+}
+
+Status Client::connect_locked() {
+  auto socket = connect_tcp(options_.host, options_.port, options_.connect_timeout_ms);
+  if (!socket.ok()) return socket.error();
+
+  if (reader_.joinable()) reader_.join();  // reaps the previous generation
+  auto conn = std::make_shared<ConnState>();
+  conn->socket = std::move(socket).value();
+  conn_ = conn;
+  connects_.fetch_add(1, std::memory_order_relaxed);
+  reader_ = std::thread([this, conn] { reader_loop(conn); });
+  return Status::ok_status();
+}
+
+Status Client::reconnect_with_backoff_locked() {
+  auto last = Status(transport_error("not connected (reconnection disabled)"));
+  std::uint64_t backoff_ms = options_.backoff_initial_ms;
+  for (std::size_t attempt = 1; attempt <= options_.max_reconnect_attempts;
+       ++attempt) {
+    last = connect_locked();
+    if (last.ok()) return last;
+    if (attempt < options_.max_reconnect_attempts) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
+    }
+  }
+  return last;
+}
+
+void Client::reader_loop(std::shared_ptr<ConnState> conn) {
+  FrameDecoder decoder;
+  std::uint8_t buffer[64 * 1024];
+  const int fd = conn->socket.get();
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      (void)conn->kill(n == 0 ? "server closed the connection"
+                              : std::string("recv: ") + std::strerror(errno));
+      return;
+    }
+    if (auto s = decoder.feed(
+            std::span<const std::uint8_t>(buffer, static_cast<std::size_t>(n)));
+        !s.ok()) {
+      (void)conn->kill("undecodable bytes from server: " + s.error().to_string());
+      return;
+    }
+    while (auto raw = decoder.next()) {
+      std::optional<std::promise<Result<RemoteResult>>> promise;
+      Result<RemoteResult> outcome = transport_error("unset");
+      if (raw->type == FrameType::kResponse) {
+        auto response = decode_response(*raw);
+        if (!response.ok()) {
+          (void)conn->kill("bad response body: " + response.error().to_string());
+          return;
+        }
+        RemoteResult result;
+        result.predicted = response.value().predicted;
+        result.cycles = response.value().cycles;
+        result.output_values = std::move(response.value().output_values);
+        result.probabilities = std::move(response.value().probabilities);
+        outcome = std::move(result);
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        const auto it = conn->pending.find(response.value().request_id);
+        if (it != conn->pending.end()) {
+          promise = std::move(it->second);
+          conn->pending.erase(it);
+        }
+      } else if (raw->type == FrameType::kError) {
+        auto error = decode_error(*raw);
+        if (!error.ok()) {
+          (void)conn->kill("bad error body: " + error.error().to_string());
+          return;
+        }
+        // Keep the wire status name in the message so callers (and tests)
+        // can tell queue_full from shed_load, which share an ErrorCode.
+        outcome = Error{error_code_from_wire(error.value().status),
+                        std::string("[") + to_string(error.value().status) +
+                            "] " + error.value().message};
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        const auto it = conn->pending.find(error.value().request_id);
+        if (it != conn->pending.end()) {
+          promise = std::move(it->second);
+          conn->pending.erase(it);
+        }
+      } else {
+        (void)conn->kill("server sent a request frame");
+        return;
+      }
+      // Unmatched ids are tolerated: a request that already failed locally
+      // may still get a late response after reconnect.
+      if (promise.has_value()) promise->set_value(std::move(outcome));
+    }
+  }
+}
+
+std::future<Result<RemoteResult>> Client::submit(const std::string& model,
+                                                 std::vector<Word> input_stream,
+                                                 const SubmitOptions& options) {
+  std::promise<Result<RemoteResult>> promise;
+  auto future = promise.get_future();
+
+  // Snapshot (or revive) the current connection generation.
+  std::shared_ptr<ConnState> conn;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    conn = conn_;
+    bool alive = false;
+    if (conn != nullptr) {
+      std::lock_guard<std::mutex> conn_lock(conn->mutex);
+      alive = conn->alive;
+    }
+    if (!alive) {
+      if (auto s = reconnect_with_backoff_locked(); !s.ok()) {
+        promise.set_value(s.error());
+        return future;
+      }
+      conn = conn_;
+    }
+  }
+
+  RequestFrame frame;
+  frame.request_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  frame.deadline_us = options.deadline_us;
+  frame.backend = to_wire_backend(options.backend);
+  frame.model = model;
+  frame.input_stream = std::move(input_stream);
+  const auto bytes = encode_request(frame);
+
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (!conn->alive) {
+      promise.set_value(transport_error("connection lost before send"));
+      return future;
+    }
+    conn->pending.emplace(frame.request_id, std::move(promise));
+  }
+  Status written = Status::ok_status();
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    written = write_all(conn->socket.get(), bytes);
+  }
+  if (!written.ok()) {
+    // kill() fails every pending request on this generation, including the
+    // one just registered — the future resolves with kTransportError.
+    (void)conn->kill(written.error().message);
+  }
+  return future;
+}
+
+Result<RemoteResult> Client::infer(const std::string& model,
+                                   std::vector<Word> input_stream,
+                                   const SubmitOptions& options) {
+  return submit(model, std::move(input_stream), options).get();
+}
+
+bool Client::connected() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (conn_ == nullptr) return false;
+  std::lock_guard<std::mutex> conn_lock(conn_->mutex);
+  return conn_->alive;
+}
+
+std::size_t Client::outstanding() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (conn_ == nullptr) return 0;
+  std::lock_guard<std::mutex> conn_lock(conn_->mutex);
+  return conn_->pending.size();
+}
+
+// --- pool ------------------------------------------------------------------
+
+Result<std::unique_ptr<ClientPool>> ClientPool::connect(
+    const ClientPoolOptions& options) {
+  const std::size_t n = options.connections == 0 ? 1 : options.connections;
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto client = Client::connect(options.client);
+    if (!client.ok()) return client.error();
+    clients.push_back(std::move(client).value());
+  }
+  return std::unique_ptr<ClientPool>(new ClientPool(std::move(clients)));
+}
+
+std::future<Result<RemoteResult>> ClientPool::submit(
+    const std::string& model, std::vector<Word> input_stream,
+    const SubmitOptions& options) {
+  const auto i = cursor_.fetch_add(1, std::memory_order_relaxed) % clients_.size();
+  return clients_[i]->submit(model, std::move(input_stream), options);
+}
+
+Result<RemoteResult> ClientPool::infer(const std::string& model,
+                                       std::vector<Word> input_stream,
+                                       const SubmitOptions& options) {
+  return submit(model, std::move(input_stream), options).get();
+}
+
+std::uint64_t ClientPool::connects() const {
+  std::uint64_t total = 0;
+  for (const auto& client : clients_) total += client->connects();
+  return total;
+}
+
+}  // namespace netpu::net

@@ -1,0 +1,152 @@
+// Network front door, stage 3: the C++ client library.
+//
+// net::Client is one pipelined connection: submit() assigns a request id,
+// registers a pending slot, writes the frame (caller thread, serialized by
+// a write mutex) and returns a future. A dedicated reader thread reassembles
+// response/error frames and completes pending slots by id — multiple
+// requests can be outstanding on one connection, and responses may return
+// in any order.
+//
+// Failure semantics are explicit: when the connection dies (EOF, write
+// error, undecodable bytes), every outstanding request fails with
+// ErrorCode::kTransportError and the client flips to disconnected. The next
+// submit() runs reconnect-with-backoff (exponential, capped, bounded
+// attempts) before accepting work again, so a restarted server picks the
+// retried requests up transparently.
+//
+// net::ClientPool stripes submits over N independent connections
+// round-robin — the multi-connection analogue of the engine's context pool.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/run_types.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace netpu::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint64_t connect_timeout_ms = 2000;
+  // Reconnect-with-backoff schedule: attempts beyond the first wait
+  // backoff_initial_ms, doubling up to backoff_max_ms. 0 attempts disables
+  // reconnection (a dead connection stays dead).
+  std::size_t max_reconnect_attempts = 5;
+  std::uint64_t backoff_initial_ms = 10;
+  std::uint64_t backoff_max_ms = 500;
+};
+
+// What a remote inference returns (the RunResult surface that crosses the
+// wire).
+struct RemoteResult {
+  std::size_t predicted = 0;
+  Cycle cycles = 0;
+  std::vector<std::int64_t> output_values;
+  std::vector<std::int32_t> probabilities;
+};
+
+struct SubmitOptions {
+  std::uint64_t deadline_us = 0;  // relative budget, stamped server-side
+  std::optional<core::Backend> backend;  // nullopt = server default
+};
+
+class Client {
+ public:
+  // Connect eagerly so configuration errors surface at construction.
+  [[nodiscard]] static common::Result<std::unique_ptr<Client>> connect(
+      const ClientOptions& options);
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Pipeline one request; thread-safe. The future resolves with the remote
+  // result, a typed protocol error (mapped back to common::ErrorCode), or
+  // kTransportError if the connection dies first. A disconnected client
+  // attempts reconnect-with-backoff inline before giving up.
+  [[nodiscard]] std::future<common::Result<RemoteResult>> submit(
+      const std::string& model, std::vector<Word> input_stream,
+      const SubmitOptions& options = {});
+
+  // Synchronous convenience wrapper.
+  [[nodiscard]] common::Result<RemoteResult> infer(
+      const std::string& model, std::vector<Word> input_stream,
+      const SubmitOptions& options = {});
+
+  [[nodiscard]] bool connected() const;
+  // Cumulative successful (re)connects; 1 after the initial connect.
+  [[nodiscard]] std::uint64_t connects() const {
+    return connects_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t outstanding() const;
+
+ private:
+  // One connection generation: socket, pending map and liveness flag shared
+  // between submitters and the reader thread. Defined in client.cpp.
+  struct ConnState;
+
+  explicit Client(ClientOptions options);
+
+  // Requires state_mutex_ held. (Re)establishes the socket and reader.
+  [[nodiscard]] common::Status connect_locked();
+  // Requires state_mutex_ held. connect_locked with the backoff schedule.
+  [[nodiscard]] common::Status reconnect_with_backoff_locked();
+
+  void reader_loop(std::shared_ptr<ConnState> conn);
+
+  ClientOptions options_;
+
+  mutable std::mutex state_mutex_;  // guards conn_, reader_
+  std::shared_ptr<ConnState> conn_;
+  std::thread reader_;
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> connects_{0};
+};
+
+struct ClientPoolOptions {
+  ClientOptions client;
+  std::size_t connections = 4;
+};
+
+// Round-robin stripe over independent pipelined connections.
+class ClientPool {
+ public:
+  [[nodiscard]] static common::Result<std::unique_ptr<ClientPool>> connect(
+      const ClientPoolOptions& options);
+
+  [[nodiscard]] std::future<common::Result<RemoteResult>> submit(
+      const std::string& model, std::vector<Word> input_stream,
+      const SubmitOptions& options = {});
+  [[nodiscard]] common::Result<RemoteResult> infer(
+      const std::string& model, std::vector<Word> input_stream,
+      const SubmitOptions& options = {});
+
+  [[nodiscard]] std::size_t size() const { return clients_.size(); }
+  [[nodiscard]] Client& client(std::size_t i) { return *clients_[i]; }
+  // Total successful (re)connects across the pool.
+  [[nodiscard]] std::uint64_t connects() const;
+
+ private:
+  explicit ClientPool(std::vector<std::unique_ptr<Client>> clients)
+      : clients_(std::move(clients)) {}
+
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::atomic<std::uint64_t> cursor_{0};
+};
+
+}  // namespace netpu::net

@@ -1,0 +1,148 @@
+#include "net/poller.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+namespace netpu::net {
+
+using common::Error;
+using common::ErrorCode;
+using common::Status;
+
+namespace {
+
+Error sys_error(const char* what) {
+  return Error{ErrorCode::kTransportError,
+               std::string(what) + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+Poller::Poller(PollerOptions options) {
+#if defined(__linux__)
+  if (!options.force_poll) {
+    epoll_fd_ = Fd(::epoll_create1(0));
+    // On failure fall through to the poll backend (epoll_fd_ stays invalid).
+  }
+#else
+  (void)options;
+#endif
+}
+
+#if defined(__linux__)
+namespace {
+std::uint32_t to_epoll(std::uint32_t events) {
+  std::uint32_t out = 0;
+  if ((events & kPollRead) != 0) out |= EPOLLIN;
+  if ((events & kPollWrite) != 0) out |= EPOLLOUT;
+  return out;
+}
+}  // namespace
+#endif
+
+Status Poller::add(int fd, std::uint32_t events) {
+#if defined(__linux__)
+  if (epoll_fd_.valid()) {
+    epoll_event ev{};
+    ev.events = to_epoll(events);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+      return sys_error("epoll_ctl(ADD)");
+    }
+    return Status::ok_status();
+  }
+#endif
+  interests_.push_back({fd, events});
+  return Status::ok_status();
+}
+
+Status Poller::modify(int fd, std::uint32_t events) {
+#if defined(__linux__)
+  if (epoll_fd_.valid()) {
+    epoll_event ev{};
+    ev.events = to_epoll(events);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+      return sys_error("epoll_ctl(MOD)");
+    }
+    return Status::ok_status();
+  }
+#endif
+  for (auto& interest : interests_) {
+    if (interest.fd == fd) {
+      interest.events = events;
+      return Status::ok_status();
+    }
+  }
+  return Error{ErrorCode::kInvalidArgument, "modify: fd not registered"};
+}
+
+void Poller::remove(int fd) {
+#if defined(__linux__)
+  if (epoll_fd_.valid()) {
+    epoll_event ev{};  // ignored, but required pre-2.6.9
+    (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, &ev);
+    return;
+  }
+#endif
+  interests_.erase(
+      std::remove_if(interests_.begin(), interests_.end(),
+                     [fd](const Interest& i) { return i.fd == fd; }),
+      interests_.end());
+}
+
+Status Poller::wait(int timeout_ms, std::vector<Event>& out) {
+  out.clear();
+#if defined(__linux__)
+  if (epoll_fd_.valid()) {
+    epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd_.get(), events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status::ok_status();
+      return sys_error("epoll_wait");
+    }
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Event ev;
+      ev.fd = events[i].data.fd;
+      ev.readable = (events[i].events & EPOLLIN) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.closed = (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+      out.push_back(ev);
+    }
+    return Status::ok_status();
+  }
+#endif
+  std::vector<pollfd> pfds;
+  pfds.reserve(interests_.size());
+  for (const auto& interest : interests_) {
+    short events = 0;
+    if ((interest.events & kPollRead) != 0) events |= POLLIN;
+    if ((interest.events & kPollWrite) != 0) events |= POLLOUT;
+    pfds.push_back({interest.fd, events, 0});
+  }
+  const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return Status::ok_status();
+    return sys_error("poll");
+  }
+  for (const auto& pfd : pfds) {
+    if (pfd.revents == 0) continue;
+    Event ev;
+    ev.fd = pfd.fd;
+    ev.readable = (pfd.revents & POLLIN) != 0;
+    ev.writable = (pfd.revents & POLLOUT) != 0;
+    ev.closed = (pfd.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+    out.push_back(ev);
+  }
+  return Status::ok_status();
+}
+
+}  // namespace netpu::net

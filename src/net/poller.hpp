@@ -1,0 +1,60 @@
+// Readiness-notification abstraction for the NetServer event loop: epoll on
+// Linux, poll(2) everywhere else — and poll is selectable at runtime
+// (PollerOptions::force_poll) so both code paths stay tested on the same
+// machine instead of rotting behind an #ifdef.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/socket.hpp"
+
+namespace netpu::net {
+
+inline constexpr std::uint32_t kPollRead = 1u << 0;
+inline constexpr std::uint32_t kPollWrite = 1u << 1;
+
+struct PollerOptions {
+  bool force_poll = false;  // skip epoll even where it is available
+};
+
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    // Hang-up or error condition; the owner should close the fd.
+    bool closed = false;
+  };
+
+  explicit Poller(PollerOptions options = {});
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  [[nodiscard]] common::Status add(int fd, std::uint32_t events);
+  [[nodiscard]] common::Status modify(int fd, std::uint32_t events);
+  void remove(int fd);
+
+  // Block up to timeout_ms (-1 = indefinitely) and append ready events to
+  // `out` (cleared first). Interruption by a signal is not an error.
+  [[nodiscard]] common::Status wait(int timeout_ms, std::vector<Event>& out);
+
+  // Which backend this instance actually uses (for logs/tests).
+  [[nodiscard]] bool using_epoll() const { return epoll_fd_.valid(); }
+
+ private:
+  Fd epoll_fd_;  // invalid => poll(2) backend
+  // poll(2) backend state: interest list mirrored into a pollfd array per
+  // wait. Small connection counts make the O(n) rebuild irrelevant next to
+  // the syscall itself.
+  struct Interest {
+    int fd = -1;
+    std::uint32_t events = 0;
+  };
+  std::vector<Interest> interests_;
+};
+
+}  // namespace netpu::net

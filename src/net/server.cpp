@@ -1,0 +1,494 @@
+#include "net/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "loadable/parser.hpp"
+
+namespace netpu::net {
+
+using common::Error;
+using common::ErrorCode;
+using common::Status;
+
+namespace {
+constexpr int kLoopTickMs = 200;      // re-check stop flags at least this often
+constexpr std::uint64_t kFlushBudgetMs = 1000;  // outbuf flush cap after drain
+}  // namespace
+
+NetServer::NetServer(serve::Server& server, NetServerOptions options)
+    : server_(server),
+      options_(std::move(options)),
+      poller_(PollerOptions{options_.force_poll}) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.pending_cap == 0) options_.pending_cap = 1;
+  if (options_.max_connections == 0) options_.max_connections = 1;
+}
+
+NetServer::~NetServer() { stop(); }
+
+Status NetServer::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Error{ErrorCode::kInvalidArgument, "NetServer already started"};
+  }
+  auto listener = listen_tcp(options_.host, options_.port, options_.backlog);
+  if (!listener.ok()) return listener.error();
+  auto pipe = make_wakeup_pipe();
+  if (!pipe.ok()) return pipe.error();
+
+  listener_ = std::move(listener.value().first);
+  port_ = listener.value().second;
+  wake_read_ = std::move(pipe.value().first);
+  wake_write_ = std::move(pipe.value().second);
+
+  if (auto s = poller_.add(listener_.get(), kPollRead); !s.ok()) return s;
+  if (auto s = poller_.add(wake_read_.get(), kPollRead); !s.ok()) return s;
+
+  stopping_.store(false, std::memory_order_release);
+  flush_and_exit_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { event_loop(); });
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return Status::ok_status();
+}
+
+void NetServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  wake();
+
+  // Phase 1: let the bridge drain — every decoded request reaches a
+  // terminal response (or the timeout gives up on it).
+  {
+    std::unique_lock<std::mutex> lock(work_mutex_);
+    (void)drain_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.drain_timeout_ms),
+        [this] { return work_.empty() && inflight_ == 0; });
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  // Phase 2: flush buffered responses, then tear the loop down.
+  flush_and_exit_.store(true, std::memory_order_release);
+  wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void NetServer::wake() {
+  const std::uint8_t byte = 1;
+  // EAGAIN means a wakeup is already pending — exactly what we want.
+  (void)::write(wake_write_.get(), &byte, 1);
+}
+
+// --- bridge workers --------------------------------------------------------
+
+void NetServer::worker_loop() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(work_mutex_);
+      work_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !work_.empty();
+      });
+      if (work_.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      item = std::move(work_.front());
+      work_.pop_front();
+      ++inflight_;
+    }
+    process(item);
+    {
+      std::lock_guard<std::mutex> lock(work_mutex_);
+      --inflight_;
+      if (work_.empty() && inflight_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void NetServer::process(const WorkItem& item) {
+  const RequestFrame& frame = item.frame;
+  const auto fail = [&](WireStatus status, std::string message) {
+    responses_error_.fetch_add(1, std::memory_order_relaxed);
+    post_response(item.conn_id,
+                  encode_error({frame.request_id, status, std::move(message)}));
+  };
+
+  auto& registry = server_.registry();
+  auto setting = registry.input_setting(frame.model);
+  if (!setting.ok()) {
+    fail(WireStatus::kModelNotFound,
+         "model '" + frame.model + "' is not registered");
+    return;
+  }
+  auto image = loadable::parse_input(setting.value(), frame.input_stream);
+  if (!image.ok()) {
+    fail(WireStatus::kMalformedRequest,
+         "input stream: " + image.error().to_string());
+    return;
+  }
+
+  serve::RequestOptions request_options;
+  request_options.deadline_us = frame.deadline_us;
+  request_options.backend = to_run_backend(frame.backend);
+  auto handle = server_.submit(frame.model, std::move(image).value(),
+                               request_options);
+  if (!handle.ok()) {
+    fail(wire_status_from_error(handle.error()), handle.error().to_string());
+    return;
+  }
+  auto result = handle.value().wait();
+  if (!result.ok()) {
+    fail(wire_status_from_error(result.error()), result.error().to_string());
+    return;
+  }
+
+  const core::RunResult& run = result.value();
+  ResponseFrame response;
+  response.request_id = frame.request_id;
+  response.predicted = static_cast<std::uint32_t>(run.predicted);
+  response.cycles = run.cycles;
+  response.output_values = run.output_values;
+  response.probabilities = run.probabilities;
+  responses_ok_.fetch_add(1, std::memory_order_relaxed);
+  post_response(item.conn_id, encode_response(response));
+}
+
+void NetServer::post_response(std::uint64_t conn_id,
+                              std::vector<std::uint8_t> bytes) {
+  {
+    std::lock_guard<std::mutex> lock(out_mutex_);
+    outbound_.emplace_back(conn_id, std::move(bytes));
+  }
+  wake();
+}
+
+// --- event loop ------------------------------------------------------------
+
+void NetServer::event_loop() {
+  std::vector<Poller::Event> events;
+  bool listener_closed = false;
+  std::chrono::steady_clock::time_point flush_deadline{};
+
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire) && !listener_closed &&
+        listener_.valid()) {
+      poller_.remove(listener_.get());
+      listener_.reset();
+      listener_closed = true;
+    }
+    if (flush_and_exit_.load(std::memory_order_acquire)) {
+      if (flush_deadline == std::chrono::steady_clock::time_point{}) {
+        flush_deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(kFlushBudgetMs);
+      }
+      drain_outbound();
+      bool pending_writes = false;
+      for (const auto& [fd, conn] : conns_) {
+        if (conn.out_off < conn.outbuf.size()) {
+          pending_writes = true;
+          break;
+        }
+      }
+      if (!pending_writes || std::chrono::steady_clock::now() > flush_deadline) {
+        break;
+      }
+    }
+
+    if (auto s = poller_.wait(kLoopTickMs, events); !s.ok()) {
+      break;  // poller failure is unrecoverable; drop all connections
+    }
+    for (const auto& event : events) {
+      if (listener_.valid() && event.fd == listener_.get()) {
+        accept_ready();
+        continue;
+      }
+      if (event.fd == wake_read_.get()) {
+        std::uint8_t scratch[256];
+        while (::read(wake_read_.get(), scratch, sizeof(scratch)) > 0) {
+        }
+        drain_outbound();
+        continue;
+      }
+      const auto it = conns_.find(event.fd);
+      if (it == conns_.end()) continue;  // closed earlier this iteration
+      if (event.closed) {
+        close_conn(event.fd);
+        continue;
+      }
+      if (event.readable) {
+        read_ready(it->second);  // may close the connection; re-find below
+      }
+      if (event.writable) {
+        const auto again = conns_.find(event.fd);
+        if (again != conns_.end()) write_ready(again->second);
+      }
+    }
+  }
+
+  // Teardown: close whatever is left.
+  std::vector<int> open_fds;
+  open_fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) open_fds.push_back(fd);
+  for (const int fd : open_fds) close_conn(fd);
+  if (listener_.valid()) {
+    poller_.remove(listener_.get());
+    listener_.reset();
+  }
+}
+
+void NetServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    Fd conn_fd(fd);
+    if (stopping_.load(std::memory_order_acquire) ||
+        conns_.size() >= options_.max_connections) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // conn_fd closes on scope exit
+    }
+    if (auto s = set_nonblocking(fd); !s.ok()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    set_nodelay(fd);
+    if (auto s = poller_.add(fd, kPollRead); !s.ok()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Connection conn;
+    conn.id = next_conn_id_++;
+    conn.fd = std::move(conn_fd);
+    conn_fd_by_id_[conn.id] = fd;
+    conns_.emplace(fd, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_.store(conns_.size(), std::memory_order_relaxed);
+  }
+}
+
+void NetServer::read_ready(Connection& conn) {
+  std::uint8_t buffer[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd.get(), buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      if (auto s = conn.decoder.feed(
+              std::span<const std::uint8_t>(buffer, static_cast<std::size_t>(n)));
+          !s.ok()) {
+        // Stream integrity is gone: count the cause, finish sending whatever
+        // is already queued, and drop the connection. No error frame — the
+        // peer is not speaking the protocol.
+        const auto cause = conn.decoder.poison_cause().value_or(DecodeCause::kBadMagic);
+        decode_rejects_[static_cast<std::size_t>(cause)].fetch_add(
+            1, std::memory_order_relaxed);
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        conn.draining = true;
+      }
+      while (auto frame = conn.decoder.next()) {
+        handle_frame(conn, *frame);
+      }
+      if (conn.draining) {
+        // Close now if nothing is queued; otherwise write_ready closes the
+        // connection once the remaining frames flush.
+        if (conn.out_off >= conn.outbuf.size()) close_conn(conn.fd.get());
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // orderly EOF
+      close_conn(conn.fd.get());
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_conn(conn.fd.get());
+    return;
+  }
+}
+
+void NetServer::handle_frame(Connection& conn, const RawFrame& raw) {
+  frames_in_.fetch_add(1, std::memory_order_relaxed);
+  if (raw.type != FrameType::kRequest) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_bytes(conn, encode_error({0, WireStatus::kMalformedRequest,
+                                      "server accepts request frames only"}));
+    conn.draining = true;
+    return;
+  }
+  auto request = decode_request(raw);
+  if (!request.ok()) {
+    // Framing is intact (the length prefix matched), so the connection can
+    // survive a malformed body; only this request dies.
+    decode_rejects_[static_cast<std::size_t>(DecodeCause::kBadBody)].fetch_add(
+        1, std::memory_order_relaxed);
+    enqueue_bytes(conn, encode_error({0, WireStatus::kMalformedRequest,
+                                      request.error().to_string()}));
+    return;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    responses_error_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_bytes(conn,
+                  encode_error({request.value().request_id,
+                                WireStatus::kShuttingDown, "server draining"}));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    if (work_.size() >= options_.pending_cap) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      enqueue_bytes(conn, encode_error({request.value().request_id,
+                                        WireStatus::kShedLoad,
+                                        "server in-flight bound reached"}));
+      return;
+    }
+    work_.push_back(WorkItem{conn.id, std::move(request).value()});
+  }
+  work_cv_.notify_one();
+}
+
+void NetServer::enqueue_bytes(Connection& conn, std::vector<std::uint8_t> bytes) {
+  frames_out_.fetch_add(1, std::memory_order_relaxed);
+  // Compact the consumed prefix before growing the buffer.
+  if (conn.out_off > 0) {
+    conn.outbuf.erase(conn.outbuf.begin(),
+                      conn.outbuf.begin() + static_cast<std::ptrdiff_t>(conn.out_off));
+    conn.out_off = 0;
+  }
+  conn.outbuf.insert(conn.outbuf.end(), bytes.begin(), bytes.end());
+  // No eager write here: flushing can close the connection, and callers
+  // still hold a reference. Arm write interest; the (level-triggered) loop
+  // flushes on the next wait, which returns immediately for a writable fd.
+  if ((conn.events & kPollWrite) == 0) {
+    conn.events = kPollRead | kPollWrite;
+    (void)poller_.modify(conn.fd.get(), conn.events);
+  }
+}
+
+void NetServer::write_ready(Connection& conn) {
+  while (conn.out_off < conn.outbuf.size()) {
+    const ssize_t n =
+        ::send(conn.fd.get(), conn.outbuf.data() + conn.out_off,
+               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(conn.fd.get());
+    return;
+  }
+  const bool flushed = conn.out_off >= conn.outbuf.size();
+  if (flushed) {
+    conn.outbuf.clear();
+    conn.out_off = 0;
+  }
+  const std::uint32_t wanted = flushed ? kPollRead : (kPollRead | kPollWrite);
+  if (wanted != conn.events) {
+    conn.events = wanted;
+    (void)poller_.modify(conn.fd.get(), wanted);
+  }
+  if (flushed && conn.draining) close_conn(conn.fd.get());
+}
+
+void NetServer::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  poller_.remove(fd);
+  conn_fd_by_id_.erase(it->second.id);
+  conns_.erase(it);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  active_.store(conns_.size(), std::memory_order_relaxed);
+}
+
+void NetServer::drain_outbound() {
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> batch;
+  {
+    std::lock_guard<std::mutex> lock(out_mutex_);
+    batch.swap(outbound_);
+  }
+  for (auto& [conn_id, bytes] : batch) {
+    const auto it = conn_fd_by_id_.find(conn_id);
+    if (it == conn_fd_by_id_.end()) continue;  // connection died meanwhile
+    const auto conn_it = conns_.find(it->second);
+    if (conn_it == conns_.end()) continue;
+    enqueue_bytes(conn_it->second, std::move(bytes));
+  }
+}
+
+// --- metrics ---------------------------------------------------------------
+
+NetServerCounters NetServer::counters() const {
+  NetServerCounters out;
+  out.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  out.connections_rejected = rejected_.load(std::memory_order_relaxed);
+  out.connections_closed = closed_.load(std::memory_order_relaxed);
+  out.connections_active = active_.load(std::memory_order_relaxed);
+  out.frames_in = frames_in_.load(std::memory_order_relaxed);
+  out.frames_out = frames_out_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  out.responses_ok = responses_ok_.load(std::memory_order_relaxed);
+  out.responses_error = responses_error_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kDecodeCauseCount; ++i) {
+    out.decode_rejects[i] = decode_rejects_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void NetServer::export_metrics(obs::MetricsExporter& exporter) const {
+  const auto c = counters();
+  const auto event = [&](const char* name, std::uint64_t value) {
+    exporter.counter("netpu_net_connections_total",
+                     "TCP connections by lifecycle event",
+                     static_cast<double>(value), {{"event", name}});
+  };
+  event("accepted", c.connections_accepted);
+  event("rejected", c.connections_rejected);
+  event("closed", c.connections_closed);
+  exporter.gauge("netpu_net_connections_active", "Open TCP connections",
+                 static_cast<double>(c.connections_active));
+  exporter.counter("netpu_net_frames_total", "Protocol frames by direction",
+                   static_cast<double>(c.frames_in), {{"direction", "in"}});
+  exporter.counter("netpu_net_frames_total", "Protocol frames by direction",
+                   static_cast<double>(c.frames_out), {{"direction", "out"}});
+  for (std::size_t i = 0; i < kDecodeCauseCount; ++i) {
+    exporter.counter("netpu_net_decode_rejects_total",
+                     "Rejected wire bytes/frames by decode failure cause",
+                     static_cast<double>(c.decode_rejects[i]),
+                     {{"cause", to_string(static_cast<DecodeCause>(i))}});
+  }
+  exporter.counter("netpu_net_shed_requests_total",
+                   "Requests shed at the network in-flight bound",
+                   static_cast<double>(c.shed));
+  exporter.counter("netpu_net_protocol_errors_total",
+                   "Connections that violated the framing protocol",
+                   static_cast<double>(c.protocol_errors));
+  exporter.counter("netpu_net_responses_total", "Responses by outcome",
+                   static_cast<double>(c.responses_ok), {{"outcome", "ok"}});
+  exporter.counter("netpu_net_responses_total", "Responses by outcome",
+                   static_cast<double>(c.responses_error), {{"outcome", "error"}});
+}
+
+std::string NetServer::prometheus_text() const {
+  obs::MetricsExporter exporter;
+  export_metrics(exporter);
+  return server_.prometheus_text() + exporter.render();
+}
+
+}  // namespace netpu::net

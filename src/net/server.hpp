@@ -1,0 +1,178 @@
+// Network front door, stage 2: the TCP server.
+//
+// One event-loop thread owns every socket: it accepts connections, reads
+// bytes into per-connection FrameDecoders, and flushes per-connection write
+// buffers — non-blocking fds on a Poller (epoll on Linux, poll fallback).
+// Decoded request frames hop to a small pool of bridge workers that drive
+// the in-process serving facade (serve::Server::submit + handle.wait());
+// finished responses hop back to the event loop through an outbound queue
+// plus a self-pipe wakeup, so the loop never blocks and a slow client never
+// stalls another connection.
+//
+// Admission is bounded twice: the bridge work queue (pending_cap) sheds
+// excess frames with kShedLoad *before* they cost any decode/submit work,
+// and serve::RequestQueue's own capacity surfaces as kQueueFull — the
+// protocol's two distinguishable backpressure signals.
+//
+// stop() drains gracefully: the listener closes, in-flight requests finish,
+// responses flush, then connections close. Per-connection and protocol
+// counters export through obs::MetricsExporter (see export_metrics).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/poller.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics_exporter.hpp"
+#include "serve/server.hpp"
+
+namespace netpu::net {
+
+struct NetServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = pick an ephemeral port (see port())
+  int backlog = 64;
+  std::size_t max_connections = 64;
+  // Bound on requests decoded but not yet terminal. Above it the server
+  // sheds with kShedLoad instead of queueing unboundedly.
+  std::size_t pending_cap = 256;
+  // Bridge threads between the event loop and serve::Server. Each worker
+  // carries one in-flight request through submit + wait, so this bounds
+  // RPC concurrency into the serving stack.
+  std::size_t workers = 4;
+  bool force_poll = false;  // exercise the poll(2) backend even on Linux
+  std::uint64_t drain_timeout_ms = 5000;
+};
+
+// Monotonic counter snapshot (see export_metrics for the Prometheus names).
+struct NetServerCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  // at max_connections
+  std::uint64_t connections_closed = 0;
+  std::uint64_t connections_active = 0;  // gauge
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t responses_ok = 0;
+  std::uint64_t responses_error = 0;
+  std::uint64_t decode_rejects[kDecodeCauseCount] = {};
+};
+
+class NetServer {
+ public:
+  // The serve::Server must outlive this object and be start()ed by the
+  // owner (the daemon owns both lifecycles).
+  NetServer(serve::Server& server, NetServerOptions options = {});
+  ~NetServer();  // stop()
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Bind, listen and launch the event loop + bridge workers. Fails (and
+  // leaves the object inert) if the address cannot be bound.
+  [[nodiscard]] common::Status start();
+  // Graceful drain; idempotent. Safe to call from any thread except the
+  // event loop itself.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+  // The actual bound port (resolves an ephemeral request). Valid after a
+  // successful start().
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] NetServerCounters counters() const;
+  // Register the netpu_net_* families onto an exporter.
+  void export_metrics(obs::MetricsExporter& exporter) const;
+  // The serving facade's full Prometheus snapshot plus the netpu_net_*
+  // families, one exposition document.
+  [[nodiscard]] std::string prometheus_text() const;
+
+ private:
+  struct Connection {
+    std::uint64_t id = 0;
+    Fd fd;
+    FrameDecoder decoder;
+    std::vector<std::uint8_t> outbuf;
+    std::size_t out_off = 0;
+    std::uint32_t events = kPollRead;
+    bool draining = false;  // close once outbuf flushes
+  };
+
+  struct WorkItem {
+    std::uint64_t conn_id = 0;
+    RequestFrame frame;
+  };
+
+  void event_loop();
+  void worker_loop();
+  void process(const WorkItem& item);
+
+  // Event-loop-thread-only helpers.
+  void accept_ready();
+  void read_ready(Connection& conn);
+  void handle_frame(Connection& conn, const RawFrame& raw);
+  void write_ready(Connection& conn);
+  void enqueue_bytes(Connection& conn, std::vector<std::uint8_t> bytes);
+  void close_conn(int fd);
+  void drain_outbound();
+
+  // Any-thread helpers.
+  void post_response(std::uint64_t conn_id, std::vector<std::uint8_t> bytes);
+  void wake();
+
+  serve::Server& server_;
+  NetServerOptions options_;
+  std::uint16_t port_ = 0;
+
+  Fd listener_;
+  Fd wake_read_;
+  Fd wake_write_;
+  Poller poller_;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};     // drain requested
+  std::atomic<bool> flush_and_exit_{false};  // leave loop once outbufs empty
+
+  // Event-loop-thread-only state (no lock needed).
+  std::map<int, Connection> conns_;           // by fd
+  std::map<std::uint64_t, int> conn_fd_by_id_;
+  std::uint64_t next_conn_id_ = 1;
+
+  std::mutex work_mutex_;  // guards work_, inflight_
+  std::condition_variable work_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<WorkItem> work_;
+  std::size_t inflight_ = 0;
+
+  std::mutex out_mutex_;  // guards outbound_
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> outbound_;
+
+  // Counters (relaxed atomics: monotonic telemetry, no ordering needed).
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> active_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_out_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> responses_ok_{0};
+  std::atomic<std::uint64_t> responses_error_{0};
+  std::atomic<std::uint64_t> decode_rejects_[kDecodeCauseCount] = {};
+};
+
+}  // namespace netpu::net

@@ -1,0 +1,138 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace netpu::net {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+namespace {
+
+Error sys_error(const std::string& what) {
+  return Error{ErrorCode::kTransportError, what + ": " + std::strerror(errno)};
+}
+
+Status resolve_ipv4(const std::string& host, std::uint16_t port,
+                    sockaddr_in& out) {
+  std::memset(&out, 0, sizeof(out));
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  const std::string addr = host.empty() || host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, addr.c_str(), &out.sin_addr) != 1) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "not an IPv4 address: '" + addr + "'"};
+  }
+  return Status::ok_status();
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return sys_error("fcntl(O_NONBLOCK)");
+  }
+  return Status::ok_status();
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best-effort: a socket without TCP_NODELAY still works, just slower.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Result<std::pair<Fd, std::uint16_t>> listen_tcp(const std::string& host,
+                                                std::uint16_t port, int backlog) {
+  sockaddr_in addr{};
+  if (auto s = resolve_ipv4(host, port, addr); !s.ok()) return s.error();
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return sys_error("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    return sys_error("setsockopt(SO_REUSEADDR)");
+  }
+  // lint:allow reinterpret_cast (sockaddr_in -> sockaddr, required by the BSD socket API)
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return sys_error("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) < 0) return sys_error("listen");
+  if (auto s = set_nonblocking(fd.get()); !s.ok()) return s.error();
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  // lint:allow reinterpret_cast (sockaddr_in -> sockaddr, required by the BSD socket API)
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    return sys_error("getsockname");
+  }
+  return std::make_pair(std::move(fd), ntohs(bound.sin_port));
+}
+
+Result<Fd> connect_tcp(const std::string& host, std::uint16_t port,
+                       std::uint64_t timeout_ms) {
+  sockaddr_in addr{};
+  if (auto s = resolve_ipv4(host, port, addr); !s.ok()) return s.error();
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return sys_error("socket");
+  // Connect non-blocking so the timeout is enforceable, then flip the
+  // socket back to blocking for the reader thread.
+  if (auto s = set_nonblocking(fd.get()); !s.ok()) return s.error();
+  // lint:allow reinterpret_cast (sockaddr_in -> sockaddr, required by the BSD socket API)
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      return sys_error("connect " + host + ":" + std::to_string(port));
+    }
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    const int n = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (n == 0) {
+      return Error{ErrorCode::kTransportError,
+                   "connect " + host + ":" + std::to_string(port) + ": timeout"};
+    }
+    if (n < 0) return sys_error("poll(connect)");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      return sys_error("connect " + host + ":" + std::to_string(port));
+    }
+  }
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) < 0) {
+    return sys_error("fcntl(blocking)");
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+Result<std::pair<Fd, Fd>> make_wakeup_pipe() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) < 0) return sys_error("pipe");
+  Fd read_end(fds[0]);
+  Fd write_end(fds[1]);
+  if (auto s = set_nonblocking(read_end.get()); !s.ok()) return s.error();
+  if (auto s = set_nonblocking(write_end.get()); !s.ok()) return s.error();
+  return std::make_pair(std::move(read_end), std::move(write_end));
+}
+
+}  // namespace netpu::net

@@ -1,0 +1,63 @@
+// Thin RAII + error-mapping layer over BSD sockets, shared by NetServer and
+// net::Client. Everything returns Status/Result; errno is folded into the
+// message. IPv4 only (the serving front door binds loopback or a LAN
+// address; nothing here precludes adding AF_INET6 later).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace netpu::net {
+
+// Owning file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Create a non-blocking listening TCP socket bound to host:port
+// (SO_REUSEADDR so restart-on-same-port tests work). Returns the socket and
+// the actual bound port (meaningful when port == 0 asked for an ephemeral
+// one).
+[[nodiscard]] common::Result<std::pair<Fd, std::uint16_t>> listen_tcp(
+    const std::string& host, std::uint16_t port, int backlog);
+
+// Blocking connect with a timeout, returning a *blocking* connected socket
+// (the client library uses blocking reads on a dedicated reader thread).
+[[nodiscard]] common::Result<Fd> connect_tcp(const std::string& host,
+                                             std::uint16_t port,
+                                             std::uint64_t timeout_ms);
+
+[[nodiscard]] common::Status set_nonblocking(int fd);
+
+// Non-blocking self-pipe for cross-thread event-loop wakeups.
+[[nodiscard]] common::Result<std::pair<Fd, Fd>> make_wakeup_pipe();
+
+// Disable Nagle: request/response frames are small and latency-bound.
+void set_nodelay(int fd);
+
+}  // namespace netpu::net

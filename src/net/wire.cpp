@@ -1,0 +1,355 @@
+#include "net/wire.hpp"
+
+#include <algorithm>
+
+namespace netpu::net {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+namespace {
+
+// --- little-endian scalar packing (memcpy only; see header) ---------------
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  static_assert(std::is_integral_v<T>);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<std::uint8_t>(
+        static_cast<std::make_unsigned_t<T>>(value) >> (8 * i)));
+  }
+}
+
+// Bounds-checked little-endian reader over a frame body.
+class BodyReader {
+ public:
+  explicit BodyReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  [[nodiscard]] bool read(T& out) {
+    static_assert(std::is_integral_v<T>);
+    if (bytes_.size() - pos_ < sizeof(T)) return false;
+    std::make_unsigned_t<T> v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<std::make_unsigned_t<T>>(bytes_[pos_ + i]) << (8 * i);
+    }
+    out = static_cast<T>(v);
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  [[nodiscard]] bool read_bytes(std::size_t n, std::string& out) {
+    if (bytes_.size() - pos_ < n) return false;
+    out.assign(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::uint8_t> with_header(FrameType type, WireStatus status,
+                                      std::vector<std::uint8_t> body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + body.size());
+  put<std::uint32_t>(out, kFrameMagic);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(type));
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(status));
+  put<std::uint16_t>(out, 0);  // reserved
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Error bad_body(const char* what) {
+  return Error{ErrorCode::kMalformedStream, std::string("frame body: ") + what};
+}
+
+}  // namespace
+
+WireStatus wire_status_from_error(const common::Error& error) {
+  switch (error.code) {
+    case ErrorCode::kUnavailable:
+      // Admission refusal: a full queue and a closed (draining) server both
+      // surface as kUnavailable from serve::Server; disambiguate by message
+      // so clients can distinguish "back off" from "go away".
+      return error.message.find("closed") != std::string::npos
+                 ? WireStatus::kShuttingDown
+                 : WireStatus::kQueueFull;
+    case ErrorCode::kDeadlineExceeded: return WireStatus::kDeadlineExceeded;
+    case ErrorCode::kCancelled: return WireStatus::kCancelled;
+    case ErrorCode::kInvalidArgument:
+      return error.message.find("not registered") != std::string::npos
+                 ? WireStatus::kModelNotFound
+                 : WireStatus::kMalformedRequest;
+    case ErrorCode::kMalformedStream: return WireStatus::kMalformedRequest;
+    case ErrorCode::kOutOfRange:
+    case ErrorCode::kCapacityExceeded:
+    case ErrorCode::kUnsupported:
+    case ErrorCode::kTransportError:
+    case ErrorCode::kInternal: return WireStatus::kInternal;
+  }
+  return WireStatus::kInternal;
+}
+
+common::ErrorCode error_code_from_wire(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return ErrorCode::kInternal;  // not an error
+    case WireStatus::kQueueFull: return ErrorCode::kUnavailable;
+    case WireStatus::kDeadlineExceeded: return ErrorCode::kDeadlineExceeded;
+    case WireStatus::kModelNotFound: return ErrorCode::kInvalidArgument;
+    case WireStatus::kShedLoad: return ErrorCode::kUnavailable;
+    case WireStatus::kMalformedRequest: return ErrorCode::kMalformedStream;
+    case WireStatus::kCancelled: return ErrorCode::kCancelled;
+    case WireStatus::kShuttingDown: return ErrorCode::kUnavailable;
+    case WireStatus::kInternal: return ErrorCode::kInternal;
+  }
+  return ErrorCode::kInternal;
+}
+
+std::optional<core::Backend> to_run_backend(WireBackend b) {
+  switch (b) {
+    case WireBackend::kServerDefault: return std::nullopt;
+    case WireBackend::kCycle: return core::Backend::kCycle;
+    case WireBackend::kFast: return core::Backend::kFast;
+    case WireBackend::kFastLatencyModel: return core::Backend::kFastLatencyModel;
+  }
+  return std::nullopt;
+}
+
+WireBackend to_wire_backend(std::optional<core::Backend> b) {
+  if (!b.has_value()) return WireBackend::kServerDefault;
+  switch (*b) {
+    case core::Backend::kCycle: return WireBackend::kCycle;
+    case core::Backend::kFast: return WireBackend::kFast;
+    case core::Backend::kFastLatencyModel: return WireBackend::kFastLatencyModel;
+  }
+  return WireBackend::kServerDefault;
+}
+
+std::vector<std::uint8_t> encode_request(const RequestFrame& frame) {
+  std::vector<std::uint8_t> body;
+  body.reserve(8 + 8 + 1 + 2 + frame.model.size() + 4 +
+               frame.input_stream.size() * sizeof(Word));
+  put<std::uint64_t>(body, frame.request_id);
+  put<std::uint64_t>(body, frame.deadline_us);
+  put<std::uint8_t>(body, static_cast<std::uint8_t>(frame.backend));
+  put<std::uint16_t>(body, static_cast<std::uint16_t>(frame.model.size()));
+  for (const char c : frame.model) {
+    body.push_back(static_cast<std::uint8_t>(c));
+  }
+  put<std::uint32_t>(body, static_cast<std::uint32_t>(frame.input_stream.size()));
+  for (const Word w : frame.input_stream) {
+    put<std::uint64_t>(body, w);
+  }
+  return with_header(FrameType::kRequest, WireStatus::kOk, std::move(body));
+}
+
+std::vector<std::uint8_t> encode_response(const ResponseFrame& frame) {
+  std::vector<std::uint8_t> body;
+  body.reserve(8 + 4 + 8 + 4 + frame.output_values.size() * 8 + 4 +
+               frame.probabilities.size() * 4);
+  put<std::uint64_t>(body, frame.request_id);
+  put<std::uint32_t>(body, frame.predicted);
+  put<std::uint64_t>(body, frame.cycles);
+  put<std::uint32_t>(body, static_cast<std::uint32_t>(frame.output_values.size()));
+  for (const std::int64_t v : frame.output_values) {
+    put<std::int64_t>(body, v);
+  }
+  put<std::uint32_t>(body, static_cast<std::uint32_t>(frame.probabilities.size()));
+  for (const std::int32_t v : frame.probabilities) {
+    put<std::int32_t>(body, v);
+  }
+  return with_header(FrameType::kResponse, WireStatus::kOk, std::move(body));
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorFrame& frame) {
+  std::vector<std::uint8_t> body;
+  body.reserve(8 + 2 + frame.message.size());
+  put<std::uint64_t>(body, frame.request_id);
+  const auto len =
+      static_cast<std::uint16_t>(std::min<std::size_t>(frame.message.size(), 1024));
+  put<std::uint16_t>(body, len);
+  for (std::size_t i = 0; i < len; ++i) {
+    body.push_back(static_cast<std::uint8_t>(frame.message[i]));
+  }
+  return with_header(FrameType::kError, frame.status, std::move(body));
+}
+
+Result<RequestFrame> decode_request(const RawFrame& raw) {
+  if (raw.type != FrameType::kRequest) {
+    return bad_body("not a request frame");
+  }
+  BodyReader reader(raw.body);
+  RequestFrame out;
+  std::uint8_t backend = 0;
+  std::uint16_t name_len = 0;
+  if (!reader.read(out.request_id) || !reader.read(out.deadline_us) ||
+      !reader.read(backend) || !reader.read(name_len)) {
+    return bad_body("truncated request header");
+  }
+  if (backend > static_cast<std::uint8_t>(WireBackend::kFastLatencyModel)) {
+    return bad_body("unknown backend selector");
+  }
+  out.backend = static_cast<WireBackend>(backend);
+  if (name_len == 0 || name_len > kMaxModelNameBytes) {
+    return bad_body("model name length out of range");
+  }
+  if (!reader.read_bytes(name_len, out.model)) {
+    return bad_body("truncated model name");
+  }
+  std::uint32_t word_count = 0;
+  if (!reader.read(word_count)) {
+    return bad_body("missing input word count");
+  }
+  if (static_cast<std::size_t>(word_count) * sizeof(Word) != reader.remaining()) {
+    return bad_body("input word count disagrees with body length");
+  }
+  out.input_stream.reserve(word_count);
+  for (std::uint32_t i = 0; i < word_count; ++i) {
+    Word w = 0;
+    if (!reader.read(w)) return bad_body("truncated input words");
+    out.input_stream.push_back(w);
+  }
+  if (!reader.exhausted()) return bad_body("trailing bytes after request");
+  return out;
+}
+
+Result<ResponseFrame> decode_response(const RawFrame& raw) {
+  if (raw.type != FrameType::kResponse) {
+    return bad_body("not a response frame");
+  }
+  BodyReader reader(raw.body);
+  ResponseFrame out;
+  if (!reader.read(out.request_id) || !reader.read(out.predicted) ||
+      !reader.read(out.cycles)) {
+    return bad_body("truncated response header");
+  }
+  std::uint32_t n_outputs = 0;
+  if (!reader.read(n_outputs)) return bad_body("missing output count");
+  if (static_cast<std::size_t>(n_outputs) * 8 > reader.remaining()) {
+    return bad_body("output count disagrees with body length");
+  }
+  out.output_values.reserve(n_outputs);
+  for (std::uint32_t i = 0; i < n_outputs; ++i) {
+    std::int64_t v = 0;
+    if (!reader.read(v)) return bad_body("truncated output values");
+    out.output_values.push_back(v);
+  }
+  std::uint32_t n_probs = 0;
+  if (!reader.read(n_probs)) return bad_body("missing probability count");
+  if (static_cast<std::size_t>(n_probs) * 4 != reader.remaining()) {
+    return bad_body("probability count disagrees with body length");
+  }
+  out.probabilities.reserve(n_probs);
+  for (std::uint32_t i = 0; i < n_probs; ++i) {
+    std::int32_t v = 0;
+    if (!reader.read(v)) return bad_body("truncated probabilities");
+    out.probabilities.push_back(v);
+  }
+  return out;
+}
+
+Result<ErrorFrame> decode_error(const RawFrame& raw) {
+  if (raw.type != FrameType::kError) {
+    return bad_body("not an error frame");
+  }
+  BodyReader reader(raw.body);
+  ErrorFrame out;
+  out.status = raw.status;
+  std::uint16_t msg_len = 0;
+  if (!reader.read(out.request_id) || !reader.read(msg_len)) {
+    return bad_body("truncated error header");
+  }
+  if (!reader.read_bytes(msg_len, out.message)) {
+    return bad_body("truncated error message");
+  }
+  if (!reader.exhausted()) return bad_body("trailing bytes after error");
+  return out;
+}
+
+Status FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned_) {
+    return Error{ErrorCode::kMalformedStream,
+                 std::string("decoder poisoned: ") + to_string(*cause_)};
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+
+  const auto poison = [&](DecodeCause cause, const char* what) -> Status {
+    poisoned_ = true;
+    cause_ = cause;
+    buffer_.clear();
+    return Error{ErrorCode::kMalformedStream, what};
+  };
+
+  // Consume every complete frame currently buffered. Header fields are
+  // validated as soon as the 12 header bytes exist, before the declared
+  // body length influences anything.
+  // Explicit little-endian reads (matching put<>), independent of host
+  // endianness.
+  const auto read_u16 = [&](std::size_t at) {
+    return static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(buffer_[at]) |
+        static_cast<std::uint16_t>(buffer_[at + 1]) << 8);
+  };
+  const auto read_u32 = [&](std::size_t at) {
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(buffer_[at + i]) << (8 * i);
+    }
+    return v;
+  };
+
+  std::size_t pos = 0;
+  while (buffer_.size() - pos >= kHeaderBytes) {
+    const std::uint32_t magic = read_u32(pos);
+    if (magic != kFrameMagic) {
+      return poison(DecodeCause::kBadMagic, "bad frame magic");
+    }
+    const std::uint8_t type = buffer_[pos + 4];
+    if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
+        type > static_cast<std::uint8_t>(FrameType::kError)) {
+      return poison(DecodeCause::kBadType, "unknown frame type");
+    }
+    const std::uint8_t status = buffer_[pos + 5];
+    if (status > static_cast<std::uint8_t>(WireStatus::kInternal)) {
+      return poison(DecodeCause::kBadType, "unknown status code");
+    }
+    if (read_u16(pos + 6) != 0) {
+      return poison(DecodeCause::kBadReserved, "reserved field must be zero");
+    }
+    const std::uint32_t body_len = read_u32(pos + 8);
+    if (body_len > kMaxBodyBytes) {
+      return poison(DecodeCause::kOversizedLength, "declared body length too large");
+    }
+    if (buffer_.size() - pos - kHeaderBytes < body_len) break;  // partial frame
+
+    RawFrame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.status = static_cast<WireStatus>(status);
+    frame.body.assign(
+        buffer_.begin() + static_cast<std::ptrdiff_t>(pos + kHeaderBytes),
+        buffer_.begin() + static_cast<std::ptrdiff_t>(pos + kHeaderBytes + body_len));
+    ready_.push_back(std::move(frame));
+    pos += kHeaderBytes + body_len;
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return Status::ok_status();
+}
+
+std::optional<RawFrame> FrameDecoder::next() {
+  if (ready_.empty()) return std::nullopt;
+  RawFrame frame = std::move(ready_.front());
+  ready_.pop_front();
+  return frame;
+}
+
+}  // namespace netpu::net

@@ -1,0 +1,203 @@
+// Network front door, stage 1: the binary wire protocol.
+//
+// Everything that crosses the socket is a length-prefixed *frame*:
+//
+//   offset  size  field
+//   0       4     frame magic 0x4E505746 ("NPWF"), little-endian
+//   4       1     frame type (FrameType)
+//   5       1     status code (WireStatus; kOk in requests)
+//   6       2     reserved, must be zero
+//   8       4     body length in bytes (bounded by kMaxBodyBytes)
+//   12      n     body (layout depends on the frame type)
+//
+// Request bodies carry the model name, request id, relative deadline, a
+// backend selector and the input stream words *verbatim* in the existing
+// kInputMagic loadable word format (src/loadable/) — the host->accelerator
+// payload is byte-identical to what the in-process engine streams, so a
+// remote request costs exactly one input stream plus this fixed header.
+// Response bodies carry the RunResult surface (prediction, raw Q32.5
+// outputs, Q15 probabilities, cycles); error frames carry the typed status
+// plus a human-readable detail string.
+//
+// All integers are little-endian. Encoding uses std::memcpy only — no
+// reinterpret_cast, no struct punning — so the format is identical across
+// compilers and the decoder can never perform an unaligned read.
+//
+// FrameDecoder reassembles frames from an arbitrary byte stream (partial
+// frames, multiple frames per read). It is deliberately unforgiving: a bad
+// magic, unknown type, nonzero reserved field or oversized declared length
+// poisons the connection (DecodeCause says why, for the reject counters) —
+// resynchronizing inside a corrupt binary stream is guesswork, and the
+// client library only ever writes well-formed frames.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/run_types.hpp"
+
+namespace netpu::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4E505746u;  // "NPWF"
+inline constexpr std::size_t kHeaderBytes = 12;
+// Upper bound on a declared body length. Input streams for the paper
+// instance are a few hundred words and responses a few KiB; 4 MiB leaves
+// room for deep models while keeping a hostile length field harmless.
+inline constexpr std::size_t kMaxBodyBytes = 4u << 20;
+// Bound on the model-name field inside a request body.
+inline constexpr std::size_t kMaxModelNameBytes = 256;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kError = 3,
+};
+
+// Protocol-level status codes. The serving layer's admission/terminal
+// vocabulary (common::ErrorCode) maps onto these so a remote client can
+// react (back off, retry, re-route) without parsing message strings.
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+  kQueueFull = 1,         // serve::RequestQueue admission refused
+  kDeadlineExceeded = 2,  // deadline passed before completion
+  kModelNotFound = 3,     // model name not registered on the server
+  kShedLoad = 4,          // server's network in-flight bound hit
+  kMalformedRequest = 5,  // undecodable input stream / bad field
+  kCancelled = 6,
+  kShuttingDown = 7,      // server draining: connection-level go-away
+  kInternal = 8,
+};
+
+[[nodiscard]] constexpr const char* to_string(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kQueueFull: return "queue_full";
+    case WireStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case WireStatus::kModelNotFound: return "model_not_found";
+    case WireStatus::kShedLoad: return "shed_load";
+    case WireStatus::kMalformedRequest: return "malformed_request";
+    case WireStatus::kCancelled: return "cancelled";
+    case WireStatus::kShuttingDown: return "shutting_down";
+    case WireStatus::kInternal: return "internal";
+  }
+  return "?";
+}
+
+// Serving-error -> wire-status mapping (server side) and its inverse
+// (client side). The round trip is lossy only where the serving vocabulary
+// is richer than a remote client can act on.
+[[nodiscard]] WireStatus wire_status_from_error(const common::Error& error);
+[[nodiscard]] common::ErrorCode error_code_from_wire(WireStatus status);
+
+// Per-request backend selector on the wire. kServerDefault defers to the
+// daemon's configured RunOptions; the others override per request (each
+// request runs independently inside a micro-batch, so a mixed batch stays
+// bit-identical per request).
+enum class WireBackend : std::uint8_t {
+  kServerDefault = 0,
+  kCycle = 1,
+  kFast = 2,
+  kFastLatencyModel = 3,
+};
+
+[[nodiscard]] std::optional<core::Backend> to_run_backend(WireBackend b);
+[[nodiscard]] WireBackend to_wire_backend(std::optional<core::Backend> b);
+
+struct RequestFrame {
+  std::uint64_t request_id = 0;
+  // Relative deadline in microseconds, stamped on arrival at the server
+  // (0 = none). Propagating a *relative* budget sidesteps clock skew.
+  std::uint64_t deadline_us = 0;
+  WireBackend backend = WireBackend::kServerDefault;
+  std::string model;
+  // The kInputMagic input stream, words verbatim.
+  std::vector<Word> input_stream;
+};
+
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  std::uint32_t predicted = 0;
+  Cycle cycles = 0;
+  std::vector<std::int64_t> output_values;
+  std::vector<std::int32_t> probabilities;
+};
+
+struct ErrorFrame {
+  std::uint64_t request_id = 0;
+  WireStatus status = WireStatus::kInternal;
+  std::string message;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const RequestFrame& frame);
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const ResponseFrame& frame);
+[[nodiscard]] std::vector<std::uint8_t> encode_error(const ErrorFrame& frame);
+
+// A reassembled frame, body still encoded; decode_* parses the body.
+struct RawFrame {
+  FrameType type = FrameType::kRequest;
+  WireStatus status = WireStatus::kOk;
+  std::vector<std::uint8_t> body;
+};
+
+[[nodiscard]] common::Result<RequestFrame> decode_request(const RawFrame& raw);
+[[nodiscard]] common::Result<ResponseFrame> decode_response(const RawFrame& raw);
+[[nodiscard]] common::Result<ErrorFrame> decode_error(const RawFrame& raw);
+
+// Why a byte stream was rejected — the label set of the server's
+// netpu_net_decode_rejects_total counter.
+enum class DecodeCause : std::uint8_t {
+  kBadMagic = 0,
+  kBadType = 1,
+  kBadReserved = 2,
+  kOversizedLength = 3,
+  kBadBody = 4,  // header fine, body failed its type-specific parse
+};
+inline constexpr std::size_t kDecodeCauseCount = 5;
+
+[[nodiscard]] constexpr const char* to_string(DecodeCause c) {
+  switch (c) {
+    case DecodeCause::kBadMagic: return "bad_magic";
+    case DecodeCause::kBadType: return "bad_type";
+    case DecodeCause::kBadReserved: return "bad_reserved";
+    case DecodeCause::kOversizedLength: return "oversized_length";
+    case DecodeCause::kBadBody: return "bad_body";
+  }
+  return "?";
+}
+
+// Incremental frame reassembly over a TCP byte stream.
+//
+//   FrameDecoder decoder;
+//   if (auto s = decoder.feed(bytes); !s.ok()) { /* poison: close conn */ }
+//   while (auto frame = decoder.next()) { ... }
+//
+// feed() buffers partial frames across calls and validates headers as soon
+// as kHeaderBytes have arrived, so a hostile length field is rejected
+// before any allocation sized by it. After a failed feed() the decoder is
+// poisoned: further feeds fail with the same error, next() yields nothing.
+class FrameDecoder {
+ public:
+  [[nodiscard]] common::Status feed(std::span<const std::uint8_t> bytes);
+  // Pop the next fully reassembled frame, if any.
+  [[nodiscard]] std::optional<RawFrame> next();
+
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+  [[nodiscard]] std::optional<DecodeCause> poison_cause() const { return cause_; }
+  // Bytes buffered toward an incomplete frame (test/diagnostic surface).
+  [[nodiscard]] std::size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::deque<RawFrame> ready_;
+  bool poisoned_ = false;
+  std::optional<DecodeCause> cause_;
+};
+
+}  // namespace netpu::net

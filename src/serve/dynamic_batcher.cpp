@@ -135,7 +135,9 @@ void DynamicBatcher::dispatch_group(const std::string& model,
     if (trc != nullptr) {
       trc->record(request.id, mid, SpanStage::kContextAcquired);
     }
-    auto result = s.run(request.image, run_options_);
+    core::RunOptions options = run_options_;
+    if (request.backend.has_value()) options.backend = *request.backend;
+    auto result = s.run(request.image, options);
     const auto done = ServeClock::now();
     if (trc != nullptr) {
       trc->record(request.id, mid, SpanStage::kExecuted);

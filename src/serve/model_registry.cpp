@@ -43,7 +43,8 @@ Status ModelRegistry::add_model(const std::string& name,
     return Error{ErrorCode::kInvalidArgument,
                  "model '" + name + "' is already registered"};
   }
-  models_.emplace(name, Entry{std::move(model_stream), nullptr, nullptr});
+  models_.emplace(name, Entry{parsed.value().settings.front(),
+                              std::move(model_stream), nullptr, nullptr});
   return Status::ok_status();
 }
 
@@ -68,8 +69,22 @@ Status ModelRegistry::add_model(const std::string& name, const nn::QuantizedMlp&
                  "model '" + name + "' is already registered"};
   }
   models_.emplace(name,
-                  Entry{{}, std::make_shared<const nn::QuantizedMlp>(mlp), nullptr});
+                  Entry{loadable::LayerSetting::from_layer(mlp.layers.front()),
+                        {},
+                        std::make_shared<const nn::QuantizedMlp>(mlp),
+                        nullptr});
   return Status::ok_status();
+}
+
+Result<loadable::LayerSetting> ModelRegistry::input_setting(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "model '" + name + "' is not registered"};
+  }
+  return it->second.input_setting;
 }
 
 void ModelRegistry::touch(const std::string& name) {

@@ -28,6 +28,7 @@
 #include "common/status.hpp"
 #include "core/config.hpp"
 #include "engine/session.hpp"
+#include "loadable/layer_setting.hpp"
 #include "nn/quantized_mlp.hpp"
 
 namespace netpu::serve {
@@ -64,6 +65,13 @@ class ModelRegistry {
   [[nodiscard]] common::Result<std::shared_ptr<engine::Session>> acquire(
       const std::string& name);
 
+  // The registered model's input-layer setting — it fixes the packing
+  // precision and expected length of a kInputMagic input stream, which the
+  // network front door needs to decode wire payloads without making the
+  // model resident. Captured at add_model() time.
+  [[nodiscard]] common::Result<loadable::LayerSetting> input_setting(
+      const std::string& name) const;
+
   [[nodiscard]] bool has_model(const std::string& name) const;
   [[nodiscard]] bool resident(const std::string& name) const;
   [[nodiscard]] std::size_t model_count() const;
@@ -88,6 +96,7 @@ class ModelRegistry {
 
  private:
   struct Entry {
+    loadable::LayerSetting input_setting;
     std::vector<Word> stream;
     // Set instead of `stream` for models only a multi-device plan can fit:
     // the fused single-device encoding rejects them, so residency loads

@@ -23,6 +23,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,11 @@ struct Request {
   // attribute the batching window to the right stage.
   ServeClock::time_point dequeued{};
   ServeClock::time_point deadline = ServeClock::time_point::max();
+  // Per-request execution-backend override (nullopt = the server's
+  // configured RunOptions::backend). Requests run independently inside a
+  // micro-batch, so a mixed-backend batch stays bit-identical per request;
+  // the network front door uses this to honor the wire backend selector.
+  std::optional<core::Backend> backend;
   std::shared_ptr<std::atomic<bool>> cancelled;
   std::promise<common::Result<core::RunResult>> promise;
 

@@ -53,6 +53,7 @@ Result<RequestHandle> Server::submit(const std::string& model,
     request.deadline =
         request.submitted + std::chrono::microseconds(options.deadline_us);
   }
+  request.backend = options.backend;
   request.cancelled = std::make_shared<std::atomic<bool>>(false);
 
   RequestHandle handle;

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,8 @@ struct RequestOptions {
   // passes while queued terminates with kDeadlineExceeded and never reaches
   // a NetPU context.
   std::uint64_t deadline_us = 0;
+  // Execution-backend override for this request (nullopt = server default).
+  std::optional<core::Backend> backend = std::nullopt;
 };
 
 struct ServerOptions {

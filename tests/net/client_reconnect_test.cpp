@@ -1,0 +1,185 @@
+// Client failure semantics: a server that dies mid-pipeline fails every
+// outstanding request with kTransportError, and a server restarted on the
+// same port picks retried requests up through reconnect-with-backoff —
+// bit-identically, because the serving stack is deterministic.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "common/prng.hpp"
+#include "loadable/compiler.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace netpu::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+nn::QuantizedMlp test_mlp() {
+  common::Xoshiro256 rng(1);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 48;
+  spec.hidden = {16, 12};
+  spec.outputs = 5;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  return nn::random_quantized_mlp(spec, rng);
+}
+
+// A server that accepts one connection, swallows whatever arrives for
+// `linger`, then slams the connection shut without ever responding.
+class BlackholeServer {
+ public:
+  explicit BlackholeServer(std::chrono::milliseconds linger) {
+    auto listener = listen_tcp("127.0.0.1", 0, 4);
+    EXPECT_TRUE(listener.ok());
+    port_ = listener.value().second;
+    thread_ = std::thread([fd = std::move(listener.value().first),
+                           linger]() mutable {
+      int conn = -1;
+      for (int i = 0; i < 5000 && conn < 0; ++i) {
+        conn = ::accept(fd.get(), nullptr, nullptr);
+        if (conn < 0) std::this_thread::sleep_for(1ms);
+      }
+      if (conn < 0) return;
+      const auto deadline = std::chrono::steady_clock::now() + linger;
+      std::uint8_t sink[4096];
+      while (std::chrono::steady_clock::now() < deadline) {
+        const ssize_t n = ::recv(conn, sink, sizeof(sink), MSG_DONTWAIT);
+        if (n == 0) break;
+        std::this_thread::sleep_for(1ms);
+      }
+      ::close(conn);  // EOF to the client with requests still outstanding
+    });
+  }
+  ~BlackholeServer() {
+    if (thread_.joinable()) thread_.join();
+  }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+TEST(ClientReconnect, ServerDeathFailsOutstandingWithTransportError) {
+  BlackholeServer blackhole(100ms);
+  ClientOptions options;
+  options.port = blackhole.port();
+  options.max_reconnect_attempts = 0;  // isolate the failure semantics
+  auto client = Client::connect(options);
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client.value()->connected());
+
+  std::vector<std::future<common::Result<RemoteResult>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(client.value()->submit("m", {1, 2, 3}));
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(5s), std::future_status::ready);
+    auto r = f.get();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, common::ErrorCode::kTransportError);
+  }
+  EXPECT_FALSE(client.value()->connected());
+  EXPECT_EQ(client.value()->outstanding(), 0u);
+
+  // Reconnection disabled: the dead client refuses further work.
+  auto refused = client.value()->infer("m", {1});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, common::ErrorCode::kTransportError);
+  EXPECT_EQ(client.value()->connects(), 1u);
+}
+
+TEST(ClientReconnect, RestartedServerServesRetriesBitIdentically) {
+  const auto mlp = test_mlp();
+  const auto setting = loadable::LayerSetting::from_layer(mlp.layers.front());
+  common::Xoshiro256 rng(3);
+  std::vector<std::uint8_t> image(mlp.input_size());
+  for (auto& p : image) p = static_cast<std::uint8_t>(rng.next_below(256));
+  auto words = loadable::compile_input(setting, image);
+  ASSERT_TRUE(words.ok());
+
+  // Phase 1: connect to a blackhole, lose the pipeline.
+  std::uint16_t port = 0;
+  std::unique_ptr<Client> client;
+  {
+    BlackholeServer blackhole(50ms);
+    port = blackhole.port();
+    ClientOptions options;
+    options.port = port;
+    options.max_reconnect_attempts = 8;
+    options.backoff_initial_ms = 20;
+    auto connected = Client::connect(options);
+    ASSERT_TRUE(connected.ok());
+    client = std::move(connected).value();
+    auto lost = client->infer("m", words.value());
+    ASSERT_FALSE(lost.ok());
+    EXPECT_EQ(lost.error().code, common::ErrorCode::kTransportError);
+  }  // blackhole fully gone; its listener released the port
+
+  // Reference prediction from a plain in-process run.
+  serve::ModelRegistry registry(core::NetpuConfig::paper_instance(),
+                                {.resident_cap = 2, .contexts_per_model = 2});
+  ASSERT_TRUE(registry.add_model("m", mlp).ok());
+  serve::Server server(registry);
+  server.start();
+  auto local = server.submit("m", image);
+  ASSERT_TRUE(local.ok());
+  auto local_result = local.value().wait();
+  ASSERT_TRUE(local_result.ok());
+
+  // Phase 2: a real server appears on the SAME port; the next submit must
+  // reconnect with backoff and serve the retry bit-identically.
+  NetServerOptions net_options;
+  net_options.port = port;
+  NetServer net(server, net_options);
+  ASSERT_TRUE(net.start().ok());
+  ASSERT_EQ(net.port(), port);
+
+  auto retry = client->infer("m", words.value());
+  ASSERT_TRUE(retry.ok()) << retry.error().to_string();
+  EXPECT_EQ(retry.value().predicted, local_result.value().predicted);
+  EXPECT_EQ(retry.value().output_values, local_result.value().output_values);
+  EXPECT_EQ(retry.value().probabilities, local_result.value().probabilities);
+  EXPECT_EQ(retry.value().cycles, local_result.value().cycles);
+  EXPECT_EQ(client->connects(), 2u);  // initial connect + one reconnect
+}
+
+TEST(ClientReconnect, BackoffGivesUpAfterMaxAttempts) {
+  // Connect, let the server die, and point reconnection at a dead port.
+  std::uint16_t port = 0;
+  std::unique_ptr<Client> client;
+  {
+    BlackholeServer blackhole(10ms);
+    port = blackhole.port();
+    ClientOptions options;
+    options.port = port;
+    options.max_reconnect_attempts = 2;
+    options.backoff_initial_ms = 5;
+    options.backoff_max_ms = 10;
+    options.connect_timeout_ms = 200;
+    auto connected = Client::connect(options);
+    ASSERT_TRUE(connected.ok());
+    client = std::move(connected).value();
+    auto lost = client->infer("m", {1, 2});
+    ASSERT_FALSE(lost.ok());
+  }
+  // Nothing listens on the port now: bounded attempts, then a typed error.
+  auto failed = client->infer("m", {1, 2});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, common::ErrorCode::kTransportError);
+  EXPECT_EQ(client->connects(), 1u);
+}
+
+}  // namespace
+}  // namespace netpu::net

@@ -1,0 +1,385 @@
+// The network front door end to end, loopback-socket in-process: remote
+// inference must be bit-identical to driving serve::Server directly, every
+// serving failure must surface as its typed wire status, drain must be
+// graceful, and the netpu_net_* metrics must validate.
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "common/prng.hpp"
+#include "loadable/compiler.hpp"
+#include "net/client.hpp"
+#include "nn/quantized_mlp.hpp"
+#include "obs/metrics_exporter.hpp"
+
+namespace netpu::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+nn::QuantizedMlp test_mlp(std::uint64_t seed = 1) {
+  common::Xoshiro256 rng(seed);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 48;
+  spec.hidden = {16, 12};
+  spec.outputs = 5;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  return nn::random_quantized_mlp(spec, rng);
+}
+
+std::vector<std::vector<std::uint8_t>> test_images(std::size_t n, std::size_t size,
+                                                   std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<std::vector<std::uint8_t>> images(n);
+  for (auto& img : images) {
+    img.resize(size);
+    for (auto& p : img) p = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  return images;
+}
+
+// serve::Server + NetServer + registered test model, on an ephemeral port.
+struct Stack {
+  serve::ModelRegistry registry;
+  serve::Server server;
+  NetServer net;
+  nn::QuantizedMlp mlp;
+  loadable::LayerSetting input_setting;
+
+  explicit Stack(NetServerOptions net_options = {},
+                 serve::ServerOptions server_options = {})
+      : registry(core::NetpuConfig::paper_instance(),
+                 {.resident_cap = 2, .contexts_per_model = 2}),
+        server(registry, server_options),
+        net(server, net_options),
+        mlp(test_mlp()),
+        input_setting(loadable::LayerSetting::from_layer(mlp.layers.front())) {
+    EXPECT_TRUE(registry.add_model("m", mlp).ok());
+    server.start();
+    EXPECT_TRUE(net.start().ok());
+  }
+
+  [[nodiscard]] std::vector<Word> input_words(const std::vector<std::uint8_t>& image) {
+    auto words = loadable::compile_input(input_setting, image);
+    EXPECT_TRUE(words.ok());
+    return std::move(words).value();
+  }
+
+  [[nodiscard]] std::unique_ptr<Client> client(ClientOptions options = {}) {
+    options.port = net.port();
+    auto c = Client::connect(options);
+    EXPECT_TRUE(c.ok());
+    return std::move(c).value();
+  }
+};
+
+TEST(NetServer, RemoteBitIdenticalToInProcess) {
+  Stack stack;
+  const auto images = test_images(12, stack.mlp.input_size(), 3);
+  auto client = stack.client();
+
+  for (const auto& image : images) {
+    auto local = stack.server.submit("m", image);
+    ASSERT_TRUE(local.ok());
+    auto local_result = local.value().wait();
+    ASSERT_TRUE(local_result.ok());
+
+    auto remote = client->infer("m", stack.input_words(image));
+    ASSERT_TRUE(remote.ok()) << remote.error().to_string();
+    EXPECT_EQ(remote.value().predicted, local_result.value().predicted);
+    EXPECT_EQ(remote.value().cycles, local_result.value().cycles);
+    EXPECT_EQ(remote.value().output_values, local_result.value().output_values);
+    EXPECT_EQ(remote.value().probabilities, local_result.value().probabilities);
+  }
+}
+
+TEST(NetServer, PipelinedRequestsAllComplete) {
+  Stack stack;
+  const auto images = test_images(16, stack.mlp.input_size(), 4);
+  auto client = stack.client();
+
+  // Reference predictions first (in-process).
+  std::vector<std::size_t> expected;
+  for (const auto& image : images) {
+    auto h = stack.server.submit("m", image);
+    ASSERT_TRUE(h.ok());
+    auto r = h.value().wait();
+    ASSERT_TRUE(r.ok());
+    expected.push_back(r.value().predicted);
+  }
+
+  // Pipeline all 16 on one connection before waiting on any.
+  std::vector<std::future<common::Result<RemoteResult>>> futures;
+  for (const auto& image : images) {
+    futures.push_back(client->submit("m", stack.input_words(image)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    auto r = futures[i].get();
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_EQ(r.value().predicted, expected[i]);
+  }
+  EXPECT_EQ(client->outstanding(), 0u);
+}
+
+TEST(NetServer, PollFallbackBitIdentical) {
+  NetServerOptions epoll_options;
+  NetServerOptions poll_options;
+  poll_options.force_poll = true;
+  Stack with_epoll(epoll_options);
+  Stack with_poll(poll_options);
+
+  const auto images = test_images(6, with_epoll.mlp.input_size(), 5);
+  auto client_a = with_epoll.client();
+  auto client_b = with_poll.client();
+  for (const auto& image : images) {
+    auto a = client_a->infer("m", with_epoll.input_words(image));
+    auto b = client_b->infer("m", with_poll.input_words(image));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().predicted, b.value().predicted);
+    EXPECT_EQ(a.value().output_values, b.value().output_values);
+  }
+}
+
+TEST(NetServer, PerRequestBackendSelector) {
+  Stack stack;
+  const auto images = test_images(4, stack.mlp.input_size(), 6);
+  auto client = stack.client();
+  for (const auto& image : images) {
+    SubmitOptions cycle_options;
+    cycle_options.backend = core::Backend::kCycle;
+    SubmitOptions fast_options;
+    fast_options.backend = core::Backend::kFast;
+    auto cycle = client->infer("m", stack.input_words(image), cycle_options);
+    auto fast = client->infer("m", stack.input_words(image), fast_options);
+    ASSERT_TRUE(cycle.ok());
+    ASSERT_TRUE(fast.ok());
+    // Bit-identical predictions/outputs; the fast backend makes no timing
+    // claim (cycles = 0) while the simulator counts real cycles.
+    EXPECT_EQ(fast.value().predicted, cycle.value().predicted);
+    EXPECT_EQ(fast.value().output_values, cycle.value().output_values);
+    EXPECT_EQ(fast.value().cycles, 0u);
+    EXPECT_GT(cycle.value().cycles, 0u);
+  }
+}
+
+TEST(NetServer, ModelNotFoundStatus) {
+  Stack stack;
+  auto client = stack.client();
+  const auto images = test_images(1, stack.mlp.input_size(), 7);
+  auto r = client->infer("nope", stack.input_words(images[0]));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, common::ErrorCode::kInvalidArgument);
+  EXPECT_NE(r.error().message.find("model_not_found"), std::string::npos)
+      << r.error().message;
+}
+
+TEST(NetServer, MalformedInputStreamStatusAndConnectionSurvives) {
+  Stack stack;
+  auto client = stack.client();
+  // A syntactically valid frame whose input words are not a kInputMagic
+  // stream: the request fails typed, the connection stays usable.
+  auto r = client->infer("m", {0x1234, 0x5678});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, common::ErrorCode::kMalformedStream);
+  EXPECT_NE(r.error().message.find("malformed_request"), std::string::npos);
+
+  const auto images = test_images(1, stack.mlp.input_size(), 8);
+  auto ok = client->infer("m", stack.input_words(images[0]));
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(client->connected());
+  EXPECT_EQ(client->connects(), 1u);  // same connection, no reconnect
+}
+
+TEST(NetServer, QueueFullMapsOnWire) {
+  // A serve::Server that is *not started* queues but never drains, so a
+  // capacity-1 queue makes the second admission fail deterministically.
+  serve::ServerOptions server_options;
+  server_options.queue_capacity = 1;
+  serve::ModelRegistry registry(core::NetpuConfig::paper_instance(),
+                                {.resident_cap = 2, .contexts_per_model = 2});
+  const auto mlp = test_mlp();
+  ASSERT_TRUE(registry.add_model("m", mlp).ok());
+  serve::Server server(registry, server_options);  // deliberately not started
+  NetServer net(server, {});
+  ASSERT_TRUE(net.start().ok());
+
+  ClientOptions client_options;
+  client_options.port = net.port();
+  auto client = Client::connect(client_options);
+  ASSERT_TRUE(client.ok());
+
+  const auto setting = loadable::LayerSetting::from_layer(mlp.layers.front());
+  const auto images = test_images(1, mlp.input_size(), 9);
+  auto words = loadable::compile_input(setting, images[0]);
+  ASSERT_TRUE(words.ok());
+
+  // First request occupies the queue; later ones must be refused. Futures
+  // for the occupant resolve only at drain, so collect, don't wait yet.
+  std::vector<std::future<common::Result<RemoteResult>>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(client.value()->submit("m", words.value()));
+  }
+  // The tail requests fail with [queue_full] while the server never runs.
+  std::size_t queue_full = 0;
+  std::vector<std::size_t> undecided;
+  for (std::size_t i = 1; i < futures.size(); ++i) {
+    auto r = futures[i].get();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, common::ErrorCode::kUnavailable);
+    if (r.error().message.find("queue_full") != std::string::npos) ++queue_full;
+  }
+  EXPECT_EQ(queue_full, 3u);
+
+  // Start + drain: the occupant finally executes and succeeds.
+  server.start();
+  auto first = futures[0].get();
+  EXPECT_TRUE(first.ok());
+}
+
+TEST(NetServer, DeadlinePropagatesOverTheWire) {
+  Stack stack;
+  auto client = stack.client();
+  const auto images = test_images(9, stack.mlp.input_size(), 10);
+
+  // Fill the pipeline with no-deadline work, then submit a request whose
+  // 1 us relative deadline must expire while it queues behind them.
+  std::vector<std::future<common::Result<RemoteResult>>> filler;
+  for (int i = 0; i < 8; ++i) {
+    filler.push_back(client->submit("m", stack.input_words(images[i])));
+  }
+  SubmitOptions tight;
+  tight.deadline_us = 1;
+  auto doomed = client->infer("m", stack.input_words(images[8]), tight);
+  ASSERT_FALSE(doomed.ok());
+  EXPECT_EQ(doomed.error().code, common::ErrorCode::kDeadlineExceeded);
+  EXPECT_NE(doomed.error().message.find("deadline_exceeded"), std::string::npos);
+  for (auto& f : filler) EXPECT_TRUE(f.get().ok());
+}
+
+TEST(NetServer, ShedLoadAtPendingCap) {
+  NetServerOptions net_options;
+  net_options.pending_cap = 1;
+  net_options.workers = 1;
+  Stack stack(net_options);
+  auto client = stack.client();
+  const auto images = test_images(1, stack.mlp.input_size(), 11);
+  const auto words = stack.input_words(images[0]);
+
+  // One pipelined burst: with a single bridge worker and a pending cap of
+  // one, a 32-deep burst must shed at least part of its tail.
+  std::vector<std::future<common::Result<RemoteResult>>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(client->submit("m", words));
+  }
+  std::size_t ok = 0, shed = 0;
+  for (auto& f : futures) {
+    auto r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.error().code, common::ErrorCode::kUnavailable);
+      EXPECT_NE(r.error().message.find("shed_load"), std::string::npos);
+      ++shed;
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(stack.net.counters().shed, shed);
+}
+
+TEST(NetServer, GracefulDrainCompletesInFlight) {
+  Stack stack;
+  const auto images = test_images(8, stack.mlp.input_size(), 12);
+  auto client = stack.client();
+  std::vector<std::future<common::Result<RemoteResult>>> futures;
+  for (const auto& image : images) {
+    futures.push_back(client->submit("m", stack.input_words(image)));
+  }
+  // Anchor: the head of the pipeline completes before the drain begins, so
+  // at least one request is genuinely in flight when stop() lands.
+  auto head = futures.front().get();
+  ASSERT_TRUE(head.ok());
+  stack.net.stop();
+  // Every outstanding request resolves: completed before the drain, refused
+  // with the shutdown status, or failed by the closing connection — never
+  // hung, never silently dropped.
+  for (std::size_t i = 1; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(5s), std::future_status::ready);
+    auto r = futures[i].get();
+    if (!r.ok()) {
+      EXPECT_TRUE(r.error().code == common::ErrorCode::kUnavailable ||
+                  r.error().code == common::ErrorCode::kTransportError)
+          << r.error().to_string();
+    }
+  }
+  EXPECT_FALSE(stack.net.running());
+
+  // New work after the drain fails client-side (reconnect refused).
+  ClientOptions no_retry;
+  no_retry.port = stack.net.port();
+  no_retry.max_reconnect_attempts = 0;
+  no_retry.connect_timeout_ms = 200;
+  auto late = Client::connect(no_retry);
+  EXPECT_FALSE(late.ok());
+}
+
+TEST(NetServer, ProtocolGarbageCountsAndCloses) {
+  Stack stack;
+  auto garbage_conn = connect_tcp("127.0.0.1", stack.net.port(), 2000);
+  ASSERT_TRUE(garbage_conn.ok());
+  const std::uint8_t junk[16] = {0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4,
+                                 5,    6,    7,    8,    9, 10, 11, 12};
+  ASSERT_GT(::send(garbage_conn.value().get(), junk, sizeof(junk), 0), 0);
+  // The server rejects the stream and closes; recv sees EOF.
+  std::uint8_t buf[8];
+  const ssize_t n = ::recv(garbage_conn.value().get(), buf, sizeof(buf), 0);
+  EXPECT_LE(n, 0);
+
+  const auto counters = stack.net.counters();
+  EXPECT_EQ(counters.protocol_errors, 1u);
+  EXPECT_EQ(counters.decode_rejects[static_cast<std::size_t>(DecodeCause::kBadMagic)], 1u);
+
+  // A well-formed client on a fresh connection is unaffected.
+  auto client = stack.client();
+  const auto images = test_images(1, stack.mlp.input_size(), 13);
+  EXPECT_TRUE(client->infer("m", stack.input_words(images[0])).ok());
+}
+
+TEST(NetServer, MetricsExportValidates) {
+  Stack stack;
+  auto client = stack.client();
+  const auto images = test_images(4, stack.mlp.input_size(), 14);
+  for (const auto& image : images) {
+    ASSERT_TRUE(client->infer("m", stack.input_words(image)).ok());
+  }
+  (void)client->infer("nope", stack.input_words(images[0]));
+
+  const auto text = stack.net.prometheus_text();
+  EXPECT_TRUE(obs::validate_prometheus(text).ok());
+  // Front-door families present next to the serving families.
+  for (const char* family :
+       {"netpu_net_connections_total", "netpu_net_connections_active",
+        "netpu_net_frames_total", "netpu_net_decode_rejects_total",
+        "netpu_net_shed_requests_total", "netpu_net_protocol_errors_total",
+        "netpu_net_responses_total", "netpu_requests_total"}) {
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+  }
+
+  const auto counters = stack.net.counters();
+  EXPECT_EQ(counters.frames_in, 5u);
+  EXPECT_EQ(counters.frames_out, 5u);
+  EXPECT_EQ(counters.responses_ok, 4u);
+  EXPECT_EQ(counters.responses_error, 1u);
+  EXPECT_EQ(counters.connections_accepted, 1u);
+}
+
+}  // namespace
+}  // namespace netpu::net

@@ -1,0 +1,344 @@
+// The wire protocol: encode/decode round trips, incremental reassembly
+// under arbitrary packetization, and the negative/fuzz surface — truncated
+// frames, oversized declared lengths, bit-flipped headers, interleaved
+// garbage. The decoder must reject cleanly (poison, typed cause), never
+// crash, never allocate from a hostile length field.
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/prng.hpp"
+
+namespace netpu::net {
+namespace {
+
+RequestFrame sample_request() {
+  RequestFrame frame;
+  frame.request_id = 0x1122334455667788ull;
+  frame.deadline_us = 2500;
+  frame.backend = WireBackend::kFast;
+  frame.model = "TFC-w1a1";
+  frame.input_stream = {0xDEADBEEFull, 0, ~0ull, 42};
+  return frame;
+}
+
+TEST(Wire, RequestRoundTrip) {
+  const auto frame = sample_request();
+  const auto bytes = encode_request(frame);
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(bytes).ok());
+  auto raw = decoder.next();
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_EQ(raw->type, FrameType::kRequest);
+  EXPECT_EQ(raw->status, WireStatus::kOk);
+  EXPECT_FALSE(decoder.next().has_value());
+
+  auto decoded = decode_request(*raw);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().request_id, frame.request_id);
+  EXPECT_EQ(decoded.value().deadline_us, frame.deadline_us);
+  EXPECT_EQ(decoded.value().backend, frame.backend);
+  EXPECT_EQ(decoded.value().model, frame.model);
+  EXPECT_EQ(decoded.value().input_stream, frame.input_stream);
+}
+
+TEST(Wire, ResponseRoundTrip) {
+  ResponseFrame frame;
+  frame.request_id = 7;
+  frame.predicted = 3;
+  frame.cycles = 123456789;
+  frame.output_values = {-1, 0, 1, std::numeric_limits<std::int64_t>::max(),
+                         std::numeric_limits<std::int64_t>::min()};
+  frame.probabilities = {0, 32767, -1};
+  const auto bytes = encode_response(frame);
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(bytes).ok());
+  auto raw = decoder.next();
+  ASSERT_TRUE(raw.has_value());
+  auto decoded = decode_response(*raw);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().request_id, frame.request_id);
+  EXPECT_EQ(decoded.value().predicted, frame.predicted);
+  EXPECT_EQ(decoded.value().cycles, frame.cycles);
+  EXPECT_EQ(decoded.value().output_values, frame.output_values);
+  EXPECT_EQ(decoded.value().probabilities, frame.probabilities);
+}
+
+TEST(Wire, ErrorRoundTrip) {
+  ErrorFrame frame;
+  frame.request_id = 99;
+  frame.status = WireStatus::kQueueFull;
+  frame.message = "request queue is full";
+  const auto bytes = encode_error(frame);
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(bytes).ok());
+  auto raw = decoder.next();
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_EQ(raw->status, WireStatus::kQueueFull);
+  auto decoded = decode_error(*raw);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().request_id, frame.request_id);
+  EXPECT_EQ(decoded.value().status, frame.status);
+  EXPECT_EQ(decoded.value().message, frame.message);
+}
+
+TEST(Wire, StatusMappingRoundTrips) {
+  // Every non-ok wire status maps to a serving error code; the codes that
+  // matter for client retry policy survive the round trip.
+  using common::Error;
+  using common::ErrorCode;
+  EXPECT_EQ(wire_status_from_error(Error{ErrorCode::kUnavailable, "request queue is full"}),
+            WireStatus::kQueueFull);
+  EXPECT_EQ(wire_status_from_error(Error{ErrorCode::kUnavailable, "request queue is closed"}),
+            WireStatus::kShuttingDown);
+  EXPECT_EQ(wire_status_from_error(Error{ErrorCode::kDeadlineExceeded, ""}),
+            WireStatus::kDeadlineExceeded);
+  EXPECT_EQ(wire_status_from_error(Error{ErrorCode::kInvalidArgument,
+                                         "model 'x' is not registered"}),
+            WireStatus::kModelNotFound);
+  EXPECT_EQ(wire_status_from_error(Error{ErrorCode::kMalformedStream, ""}),
+            WireStatus::kMalformedRequest);
+  EXPECT_EQ(wire_status_from_error(Error{ErrorCode::kCancelled, ""}),
+            WireStatus::kCancelled);
+
+  EXPECT_EQ(error_code_from_wire(WireStatus::kQueueFull), ErrorCode::kUnavailable);
+  EXPECT_EQ(error_code_from_wire(WireStatus::kShedLoad), ErrorCode::kUnavailable);
+  EXPECT_EQ(error_code_from_wire(WireStatus::kDeadlineExceeded),
+            ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(error_code_from_wire(WireStatus::kModelNotFound),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(error_code_from_wire(WireStatus::kMalformedRequest),
+            ErrorCode::kMalformedStream);
+}
+
+TEST(Wire, BackendSelectorRoundTrips) {
+  for (const auto b : {WireBackend::kServerDefault, WireBackend::kCycle,
+                       WireBackend::kFast, WireBackend::kFastLatencyModel}) {
+    EXPECT_EQ(to_wire_backend(to_run_backend(b)), b);
+  }
+  EXPECT_FALSE(to_run_backend(WireBackend::kServerDefault).has_value());
+  EXPECT_EQ(to_run_backend(WireBackend::kFast), core::Backend::kFast);
+}
+
+TEST(Wire, DecoderReassemblesByteAtATime) {
+  const auto frame = sample_request();
+  const auto bytes = encode_request(frame);
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    ASSERT_TRUE(decoder.feed({&bytes[i], 1}).ok());
+    if (i + 1 < bytes.size()) {
+      EXPECT_FALSE(decoder.next().has_value()) << "frame surfaced early at " << i;
+    }
+  }
+  auto raw = decoder.next();
+  ASSERT_TRUE(raw.has_value());
+  ASSERT_TRUE(decode_request(*raw).ok());
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(Wire, DecoderHandlesMultipleFramesPerFeed) {
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 5; ++i) {
+    auto frame = sample_request();
+    frame.request_id = static_cast<std::uint64_t>(i);
+    const auto bytes = encode_request(frame);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(stream).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto raw = decoder.next();
+    ASSERT_TRUE(raw.has_value());
+    auto decoded = decode_request(*raw);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().request_id, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Wire, TruncatedFrameNeverSurfaces) {
+  const auto bytes = encode_request(sample_request());
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    FrameDecoder decoder;
+    ASSERT_TRUE(decoder.feed({bytes.data(), keep}).ok());
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_FALSE(decoder.poisoned());
+  }
+}
+
+TEST(Wire, BadMagicPoisons) {
+  auto bytes = encode_request(sample_request());
+  bytes[0] ^= 0x01;
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.feed(bytes).ok());
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_EQ(decoder.poison_cause(), DecodeCause::kBadMagic);
+  EXPECT_FALSE(decoder.next().has_value());
+  // A poisoned decoder stays poisoned, even for valid bytes.
+  EXPECT_FALSE(decoder.feed(encode_request(sample_request())).ok());
+}
+
+TEST(Wire, BadTypePoisons) {
+  auto bytes = encode_request(sample_request());
+  bytes[4] = 0;  // below kRequest
+  {
+    FrameDecoder decoder;
+    EXPECT_FALSE(decoder.feed(bytes).ok());
+    EXPECT_EQ(decoder.poison_cause(), DecodeCause::kBadType);
+  }
+  bytes[4] = 200;  // above kError
+  {
+    FrameDecoder decoder;
+    EXPECT_FALSE(decoder.feed(bytes).ok());
+    EXPECT_EQ(decoder.poison_cause(), DecodeCause::kBadType);
+  }
+}
+
+TEST(Wire, NonzeroReservedPoisons) {
+  auto bytes = encode_request(sample_request());
+  bytes[6] = 0xAB;
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.feed(bytes).ok());
+  EXPECT_EQ(decoder.poison_cause(), DecodeCause::kBadReserved);
+}
+
+TEST(Wire, OversizedLengthRejectedBeforeAllocation) {
+  auto bytes = encode_request(sample_request());
+  // Declare a 4 GiB-ish body; the decoder must reject from the 12 header
+  // bytes alone without ever waiting for (or reserving) that much.
+  bytes[8] = 0xFF;
+  bytes[9] = 0xFF;
+  bytes[10] = 0xFF;
+  bytes[11] = 0xFF;
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.feed({bytes.data(), kHeaderBytes}).ok());
+  EXPECT_EQ(decoder.poison_cause(), DecodeCause::kOversizedLength);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(Wire, GarbageAfterValidFramePoisonsButKeepsFrame) {
+  const auto good = encode_request(sample_request());
+  std::vector<std::uint8_t> stream = good;
+  for (int i = 0; i < 32; ++i) stream.push_back(static_cast<std::uint8_t>(i * 37));
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.feed(stream).ok());  // trailing garbage: bad magic
+  // The complete frame decoded before the garbage is still delivered.
+  auto raw = decoder.next();
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_TRUE(decode_request(*raw).ok());
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(Wire, FuzzRandomGarbageNeverCrashes) {
+  common::Xoshiro256 rng(0xF00D);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> garbage(rng.next_below(256) + 1);
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next_below(256));
+    FrameDecoder decoder;
+    const auto s = decoder.feed(garbage);  // must not crash
+    while (auto raw = decoder.next()) {
+      // Whatever survives header validation must still body-parse safely.
+      (void)decode_request(*raw);
+      (void)decode_response(*raw);
+      (void)decode_error(*raw);
+    }
+    (void)s;
+  }
+}
+
+TEST(Wire, FuzzBitFlippedFramesRejectCleanly) {
+  const auto base = encode_request(sample_request());
+  common::Xoshiro256 rng(0xBEEF);
+  int poisoned = 0, body_rejected = 0, surfaced = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto mutated = base;
+    const auto idx = rng.next_below(mutated.size());
+    mutated[idx] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    FrameDecoder decoder;
+    const auto s = decoder.feed(mutated);
+    if (!s.ok()) {
+      ++poisoned;
+      EXPECT_TRUE(decoder.poisoned());
+      continue;
+    }
+    while (auto raw = decoder.next()) {
+      ++surfaced;
+      auto decoded = decode_request(*raw);
+      if (!decoded.ok()) ++body_rejected;
+    }
+  }
+  // All three outcomes occur across 2000 single-bit flips: header flips
+  // poison, body-structure flips reject in decode, payload flips survive.
+  EXPECT_GT(poisoned, 0);
+  EXPECT_GT(body_rejected, 0);
+  EXPECT_GT(surfaced, body_rejected);
+}
+
+TEST(Wire, FuzzInterleavedGarbageBetweenFrames) {
+  // Valid frame, then garbage, then another valid frame: the stream poisons
+  // at the garbage and the second frame is (correctly) never trusted.
+  const auto good = encode_request(sample_request());
+  common::Xoshiro256 rng(0xCAFE);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> stream = good;
+    const auto n = rng.next_below(24) + kHeaderBytes;
+    for (std::size_t i = 0; i < n; ++i) {
+      stream.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+    }
+    stream.insert(stream.end(), good.begin(), good.end());
+    FrameDecoder decoder;
+    const auto s = decoder.feed(stream);
+    int frames = 0;
+    while (decoder.next().has_value()) ++frames;
+    if (!s.ok()) {
+      EXPECT_EQ(frames, 1);  // only the pre-garbage frame
+    } else {
+      // Astronomically unlikely (garbage formed a valid header + body), but
+      // if it parses it must still be bounded by what was fed.
+      EXPECT_LE(frames, 3);
+    }
+  }
+}
+
+TEST(Wire, RequestBodyRejectsStructuralLies) {
+  // Hand-build raw frames whose bodies lie about their own structure.
+  const auto good = encode_request(sample_request());
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(good).ok());
+  auto raw = decoder.next();
+  ASSERT_TRUE(raw.has_value());
+
+  {  // word count disagrees with remaining bytes
+    RawFrame lie = *raw;
+    lie.body[8 + 8 + 1 + 2 + 8] ^= 0x01;  // word-count field (after name "TFC-w1a1")
+    EXPECT_FALSE(decode_request(lie).ok());
+  }
+  {  // zero-length model name
+    RawFrame lie = *raw;
+    lie.body[8 + 8 + 1] = 0;
+    lie.body[8 + 8 + 1 + 1] = 0;
+    EXPECT_FALSE(decode_request(lie).ok());
+  }
+  {  // truncated body
+    RawFrame lie = *raw;
+    lie.body.resize(lie.body.size() / 2);
+    EXPECT_FALSE(decode_request(lie).ok());
+  }
+  {  // trailing bytes
+    RawFrame lie = *raw;
+    lie.body.push_back(0);
+    EXPECT_FALSE(decode_request(lie).ok());
+  }
+  {  // wrong frame type for the decode function
+    EXPECT_FALSE(decode_response(*raw).ok());
+    EXPECT_FALSE(decode_error(*raw).ok());
+  }
+}
+
+}  // namespace
+}  // namespace netpu::net

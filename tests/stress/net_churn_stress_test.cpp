@@ -1,0 +1,144 @@
+// Race-stress the network front door: client pools churning (connect,
+// pipeline, destroy mid-flight) against servers draining concurrently with
+// submission. Assertions are deliberately weak — the payload is the
+// schedule handed to ThreadSanitizer (event loop vs bridge workers vs
+// client readers vs destructors).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "loadable/compiler.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "nn/quantized_mlp.hpp"
+#include "stress_env.hpp"
+
+namespace netpu::net {
+namespace {
+
+nn::QuantizedMlp tiny_mlp() {
+  common::Xoshiro256 rng(5);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 16;
+  spec.hidden = {8};
+  spec.outputs = 4;
+  spec.weight_bits = 2;
+  spec.activation_bits = 2;
+  return nn::random_quantized_mlp(spec, rng);
+}
+
+TEST(NetChurnStress, PoolChurnRacesServerDrain) {
+  const auto mlp = tiny_mlp();
+  const auto setting = loadable::LayerSetting::from_layer(mlp.layers.front());
+  std::vector<std::uint8_t> image(mlp.input_size(), 77);
+  auto words = loadable::compile_input(setting, image);
+  ASSERT_TRUE(words.ok());
+
+  serve::ModelRegistry registry(core::NetpuConfig::paper_instance(),
+                                {.resident_cap = 1, .contexts_per_model = 2});
+  ASSERT_TRUE(registry.add_model("m", mlp).ok());
+  serve::ServerOptions server_options;
+  server_options.run_options.backend = core::Backend::kFast;  // keep iters cheap
+  serve::Server server(registry, server_options);
+  server.start();
+
+  const std::size_t iters = test::stress_iters(4);
+  common::Xoshiro256 rng(test::stress_seed());
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> failed{0};
+
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    NetServerOptions net_options;
+    net_options.workers = 2;
+    net_options.drain_timeout_ms = 2000;
+    net_options.force_poll = (iter % 2) == 1;  // alternate poller backends
+    NetServer net(server, net_options);
+    ASSERT_TRUE(net.start().ok());
+
+    ClientPoolOptions pool_options;
+    pool_options.client.port = net.port();
+    pool_options.client.max_reconnect_attempts = 1;
+    pool_options.client.backoff_initial_ms = 1;
+    pool_options.connections = 3;
+    auto pool = ClientPool::connect(pool_options);
+    ASSERT_TRUE(pool.ok());
+
+    // Submitters race the drain below; every future must still resolve.
+    std::vector<std::thread> submitters;
+    std::atomic<bool> go{false};
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        std::vector<std::future<common::Result<RemoteResult>>> futures;
+        for (int i = 0; i < 8; ++i) {
+          futures.push_back(pool.value()->submit("m", words.value()));
+        }
+        for (auto& f : futures) {
+          auto r = f.get();
+          if (r.ok()) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    // Stop somewhere inside the burst: 0..2 ms into it.
+    std::this_thread::sleep_for(std::chrono::microseconds(rng.next_below(2000)));
+    net.stop();
+    for (auto& t : submitters) t.join();
+    // Pool destroyed here with the server already gone: destructors must
+    // fail any stragglers and join readers cleanly.
+  }
+
+  // Liveness, not outcomes: every request resolved one way or the other.
+  EXPECT_EQ(completed.load() + failed.load(), iters * 3 * 8);
+  server.stop();
+}
+
+TEST(NetChurnStress, ClientDestructionMidFlight) {
+  const auto mlp = tiny_mlp();
+  const auto setting = loadable::LayerSetting::from_layer(mlp.layers.front());
+  std::vector<std::uint8_t> image(mlp.input_size(), 31);
+  auto words = loadable::compile_input(setting, image);
+  ASSERT_TRUE(words.ok());
+
+  serve::ModelRegistry registry(core::NetpuConfig::paper_instance(),
+                                {.resident_cap = 1, .contexts_per_model = 2});
+  ASSERT_TRUE(registry.add_model("m", mlp).ok());
+  serve::ServerOptions server_options;
+  server_options.run_options.backend = core::Backend::kFast;
+  serve::Server server(registry, server_options);
+  server.start();
+  NetServer net(server, {});
+  ASSERT_TRUE(net.start().ok());
+
+  const std::size_t iters = test::stress_iters(8);
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    ClientOptions options;
+    options.port = net.port();
+    auto client = Client::connect(options);
+    ASSERT_TRUE(client.ok());
+    // Fire-and-forget futures, then destroy the client while they fly: the
+    // destructor must fail still-pending slots and join its reader.
+    std::vector<std::future<common::Result<RemoteResult>>> futures;
+    for (int i = 0; i < 6; ++i) {
+      futures.push_back(client.value()->submit("m", words.value()));
+    }
+    client.value().reset();
+    for (auto& f : futures) {
+      (void)f.get();  // resolves with a result or kTransportError, never hangs
+    }
+  }
+  net.stop();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace netpu::net

@@ -134,7 +134,7 @@ def collect_status_returning_names(root):
     # Names too generic to scan by text alone — they collide with unrelated
     # methods (`condition_variable::wait`, `sim::Fifo::push`, ...). The
     # compiler's class-level [[nodiscard]] still covers the real ones.
-    for generic in ("run", "load", "wait", "push"):
+    for generic in ("run", "load", "wait", "push", "add", "start"):
         names.discard(generic)
     return names
 

@@ -1,0 +1,219 @@
+// netpu-netd: the network front door daemon. Hosts the serving stack
+// (request queue -> dynamic micro-batcher -> model registry -> engine)
+// behind a TCP listener speaking the NPWF wire protocol (src/net/wire.hpp).
+//
+//   netpu-netd [--models TFC-w1a1,TFC-w2a2] [--host H] [--port P] [options]
+//
+// Models are generated from the zoo deterministically: the same --models
+// list and --seed on a remote client (netpu-serve --remote) reproduce
+// bit-identical weights, which is how CI proves remote == in-process.
+//
+// Prints "listening on HOST:PORT" (the resolved port for --port 0) once the
+// socket is bound, then serves until SIGINT/SIGTERM, then drains: listener
+// closes, in-flight requests finish, responses flush, connections close.
+//
+// Serving policy flags mirror netpu-serve (--batch-size, --max-wait-us,
+// --queue-capacity, --resident-cap, --contexts, --devices, --backend,
+// --functional). Front-door flags: --workers (bridge threads into the
+// serving stack), --max-connections, --pending-cap (shed-load bound),
+// --force-poll (exercise the poll(2) backend). --metrics-out writes a
+// validated Prometheus snapshot (serving + netpu_net_* families) at
+// shutdown.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "net/server.hpp"
+#include "nn/model_zoo.hpp"
+#include "obs/metrics_exporter.hpp"
+#include "serve/server.hpp"
+
+using namespace netpu;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+bool parse_variant(const std::string& name, nn::ModelVariant& out) {
+  for (const auto& v : nn::paper_variants()) {
+    if (v.name() == name) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    const auto end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string models_csv = "TFC-w1a1,TFC-w2a2";
+  std::uint64_t seed = 11;
+  serve::ServerOptions server_options;
+  server_options.policy = {8, 1000};
+  serve::RegistryOptions registry_options{.resident_cap = 2, .contexts_per_model = 2};
+  server_options.dispatch_threads = 2;
+  net::NetServerOptions net_options;
+  std::string metrics_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--models" && (v = next())) {
+      models_csv = v;
+    } else if (arg == "--host" && (v = next())) {
+      net_options.host = v;
+    } else if (arg == "--port" && (v = next())) {
+      net_options.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--workers" && (v = next())) {
+      net_options.workers = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--max-connections" && (v = next())) {
+      net_options.max_connections = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--pending-cap" && (v = next())) {
+      net_options.pending_cap = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--force-poll") {
+      net_options.force_poll = true;
+    } else if (arg == "--batch-size" && (v = next())) {
+      server_options.policy.max_batch_size = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--max-wait-us" && (v = next())) {
+      server_options.policy.max_wait_us = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--queue-capacity" && (v = next())) {
+      server_options.queue_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--resident-cap" && (v = next())) {
+      registry_options.resident_cap = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--contexts" && (v = next())) {
+      registry_options.contexts_per_model = static_cast<std::size_t>(std::atoll(v));
+      server_options.dispatch_threads = registry_options.contexts_per_model;
+    } else if (arg == "--devices" && (v = next())) {
+      registry_options.devices = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--seed" && (v = next())) {
+      seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--metrics-out" && (v = next())) {
+      metrics_out = v;
+    } else if (arg == "--functional") {
+      server_options.run_options.mode = core::RunMode::kFunctional;
+    } else if (arg == "--backend" && (v = next())) {
+      if (!core::parse_backend(v, server_options.run_options.backend)) {
+        std::fprintf(stderr,
+                     "--backend takes cycle | fast | fast-with-latency-model\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: netpu-netd [--models CSV] [--host H] [--port P] "
+                   "[--workers N] [--max-connections N] [--pending-cap N] "
+                   "[--force-poll] [--batch-size B] [--max-wait-us W] "
+                   "[--queue-capacity Q] [--resident-cap K] [--contexts N] "
+                   "[--devices N] [--seed S] [--metrics-out F] "
+                   "[--functional] [--backend B]\n");
+      return 2;
+    }
+  }
+
+  const auto model_names = split_csv(models_csv);
+  if (model_names.empty()) {
+    std::fprintf(stderr, "no models given\n");
+    return 2;
+  }
+  const auto config = core::NetpuConfig::paper_instance();
+  serve::ModelRegistry registry(config, registry_options);
+  common::Xoshiro256 rng(seed);
+  for (const auto& name : model_names) {
+    nn::ModelVariant variant;
+    if (!parse_variant(name, variant)) {
+      std::fprintf(stderr, "unknown variant '%s'; use e.g. TFC-w1a1, SFC-w2a2\n",
+                   name.c_str());
+      return 2;
+    }
+    const auto mlp = nn::make_random_quantized_model(variant, true, rng);
+    if (auto s = registry.add_model(name, mlp); !s.ok()) {
+      std::fprintf(stderr, "register '%s' failed: %s\n", name.c_str(),
+                   s.error().to_string().c_str());
+      return 1;
+    }
+  }
+
+  serve::Server server(registry, server_options);
+  server.start();
+  net::NetServer net_server(server, net_options);
+  if (auto s = net_server.start(); !s.ok()) {
+    std::fprintf(stderr, "bind failed: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+
+  // Scraped by scripts driving --port 0; keep the format stable.
+  std::printf("listening on %s:%u\n", net_options.host.c_str(),
+              static_cast<unsigned>(net_server.port()));
+  std::printf("netpu-netd: %zu models, %zu workers, pending cap %zu, %s, %s backend\n",
+              model_names.size(), net_options.workers, net_options.pending_cap,
+              net_options.force_poll ? "poll" : "epoll",
+              server_options.run_options.mode == core::RunMode::kFunctional
+                  ? "functional"
+                  : core::to_string(server_options.run_options.backend));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  // Capture the exposition text before teardown so --metrics-out reflects
+  // the served load.
+  const std::string metrics_text = net_server.prometheus_text();
+  net_server.stop();
+  server.stop();
+
+  const auto counters = net_server.counters();
+  std::printf(
+      "served %llu frames in / %llu out over %llu connections "
+      "(%llu ok, %llu error, %llu shed, %llu protocol errors)\n",
+      static_cast<unsigned long long>(counters.frames_in),
+      static_cast<unsigned long long>(counters.frames_out),
+      static_cast<unsigned long long>(counters.connections_accepted),
+      static_cast<unsigned long long>(counters.responses_ok),
+      static_cast<unsigned long long>(counters.responses_error),
+      static_cast<unsigned long long>(counters.shed),
+      static_cast<unsigned long long>(counters.protocol_errors));
+
+  if (!metrics_out.empty()) {
+    if (auto s = obs::validate_prometheus(metrics_text); !s.ok()) {
+      std::fprintf(stderr, "metrics validation failed: %s\n",
+                   s.error().to_string().c_str());
+      return 1;
+    }
+    FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(metrics_text.data(), 1, metrics_text.size(), f);
+    std::fclose(f);
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}

@@ -23,9 +23,22 @@
 //   --trace-out F        record per-request spans, write Chrome trace JSON
 //                        (open in chrome://tracing)
 //
+// Remote mode (network front door, see src/net/):
+//   --remote H:P         drive a netpu-netd daemon over TCP instead of the
+//                        in-process stack; --clients sizes the connection
+//                        pool (closed loop only). Models and inputs are
+//                        regenerated locally from --models/--seed, so the
+//                        daemon must share both for bit-identical results.
+//   --predictions-out F  write "index model prediction" lines for completed
+//                        requests (both modes) — CI diffs remote vs local.
+//
 // Misc: --seed S, --functional (golden evaluation, no cycle simulation),
 //       --backend cycle|fast|fast-with-latency-model (hardware-path
-//       executor; fast skips FIFO ticking but stays bit-identical)
+//       executor; fast skips FIFO ticking but stays bit-identical; in
+//       remote mode this is sent as the per-request wire selector)
+//
+// Exit status: nonzero when nothing completed, an artifact failed to write,
+// or (remote mode) any client saw a transport or protocol error.
 //
 // Prints the ServerStats table: per-model admitted/rejected/expired counts,
 // mean micro-batch size and p50/p95/p99 end-to-end latency, plus per-model
@@ -34,12 +47,16 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/prng.hpp"
 #include "data/synthetic_mnist.hpp"
+#include "loadable/compiler.hpp"
+#include "net/client.hpp"
 #include "nn/model_zoo.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics_exporter.hpp"
@@ -72,6 +89,27 @@ std::vector<std::string> split_csv(const std::string& csv) {
   return out;
 }
 
+// Write "index model prediction" lines for completed requests (-1 entries
+// are skipped: rejected/expired requests have no prediction to compare).
+bool write_predictions(const std::string& path,
+                       const std::vector<std::string>& model_names,
+                       const std::vector<std::int64_t>& predictions) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for predictions\n", path.c_str());
+    return false;
+  }
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] < 0) continue;
+    std::fprintf(f, "%zu %s %lld\n", i,
+                 model_names[i % model_names.size()].c_str(),
+                 static_cast<long long>(predictions[i]));
+  }
+  std::fclose(f);
+  std::printf("predictions written to %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -88,6 +126,9 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 11;
   std::string metrics_out;
   std::string trace_out;
+  std::string remote;
+  std::string predictions_out;
+  bool backend_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -122,6 +163,10 @@ int main(int argc, char** argv) {
       registry_options.devices = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--seed" && (v = next())) {
       seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--remote" && (v = next())) {
+      remote = v;
+    } else if (arg == "--predictions-out" && (v = next())) {
+      predictions_out = v;
     } else if (arg == "--metrics-out" && (v = next())) {
       metrics_out = v;
     } else if (arg == "--trace-out" && (v = next())) {
@@ -135,6 +180,7 @@ int main(int argc, char** argv) {
                      "--backend takes cycle | fast | fast-with-latency-model\n");
         return 2;
       }
+      backend_set = true;
     } else {
       std::fprintf(stderr,
                    "usage: netpu-serve [--models CSV] [--requests N] "
@@ -142,12 +188,23 @@ int main(int argc, char** argv) {
                    "[--deadline-us D] [--batch-size B] [--max-wait-us W] "
                    "[--queue-capacity Q] [--resident-cap K] [--contexts N] "
                    "[--devices N] [--metrics-out F] [--trace-out F] [--seed S] "
+                   "[--remote H:P] [--predictions-out F] "
                    "[--functional] [--backend B]\n");
       return 2;
     }
   }
   if (mode != "closed" && mode != "open") {
     std::fprintf(stderr, "--mode must be 'closed' or 'open'\n");
+    return 2;
+  }
+  if (!remote.empty() && mode != "closed") {
+    std::fprintf(stderr, "--remote supports closed-loop clients only\n");
+    return 2;
+  }
+  if (!remote.empty() && server_options.run_options.mode == core::RunMode::kFunctional) {
+    std::fprintf(stderr,
+                 "--functional is an in-process mode; start netpu-netd with "
+                 "--functional instead\n");
     return 2;
   }
 
@@ -157,6 +214,116 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "no models given\n");
     return 2;
   }
+  // --- remote mode: drive a netpu-netd daemon over the wire protocol ------
+  if (!remote.empty()) {
+    const auto colon = remote.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= remote.size()) {
+      std::fprintf(stderr, "--remote takes HOST:PORT\n");
+      return 2;
+    }
+    const std::string host = remote.substr(0, colon);
+    const int port = std::atoi(remote.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) {
+      std::fprintf(stderr, "--remote: bad port in '%s'\n", remote.c_str());
+      return 2;
+    }
+
+    // Regenerate the zoo models the daemon holds (same --models/--seed =>
+    // bit-identical weights) — only the input-layer settings are needed
+    // here, to pack images into kInputMagic word streams.
+    common::Xoshiro256 rng(seed);
+    std::vector<loadable::LayerSetting> input_settings;
+    input_settings.reserve(model_names.size());
+    for (const auto& name : model_names) {
+      nn::ModelVariant variant;
+      if (!parse_variant(name, variant)) {
+        std::fprintf(stderr, "unknown variant '%s'\n", name.c_str());
+        return 2;
+      }
+      const auto mlp = nn::make_random_quantized_model(variant, true, rng);
+      input_settings.push_back(loadable::LayerSetting::from_layer(mlp.layers.front()));
+    }
+
+    const auto dataset = data::make_synthetic_mnist(requests, seed + 1);
+    std::vector<std::vector<Word>> streams(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+      auto words = loadable::compile_input(
+          input_settings[i % input_settings.size()], dataset.images[i]);
+      if (!words.ok()) {
+        std::fprintf(stderr, "compile input %zu failed: %s\n", i,
+                     words.error().to_string().c_str());
+        return 1;
+      }
+      streams[i] = std::move(words).value();
+    }
+
+    net::ClientPoolOptions pool_options;
+    pool_options.client.host = host;
+    pool_options.client.port = static_cast<std::uint16_t>(port);
+    pool_options.connections = clients == 0 ? 1 : clients;
+    auto pool = net::ClientPool::connect(pool_options);
+    if (!pool.ok()) {
+      std::fprintf(stderr, "connect to %s failed: %s\n", remote.c_str(),
+                   pool.error().to_string().c_str());
+      return 1;
+    }
+
+    std::printf("netpu-serve --remote %s: %zu requests over %zu models, "
+                "%zu pooled connections\n",
+                remote.c_str(), requests, model_names.size(),
+                pool.value()->size());
+
+    net::SubmitOptions submit_options;
+    submit_options.deadline_us = deadline_us;
+    if (backend_set) submit_options.backend = server_options.run_options.backend;
+
+    std::vector<std::int64_t> predictions(requests, -1);
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> completed{0};
+    std::atomic<std::size_t> failed{0};
+    std::mutex stderr_mutex;  // guards first-failure reporting
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(pool.value()->size());
+    for (std::size_t t = 0; t < pool.value()->size(); ++t) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = cursor.fetch_add(1);
+          if (i >= requests) return;
+          const auto& model = model_names[i % model_names.size()];
+          auto r = pool.value()->infer(model, streams[i], submit_options);
+          if (r.ok()) {
+            predictions[i] = static_cast<std::int64_t>(r.value().predicted);
+            completed.fetch_add(1);
+          } else {
+            if (failed.fetch_add(1) == 0) {
+              std::lock_guard<std::mutex> lock(stderr_mutex);
+              std::fprintf(stderr, "request %zu failed: %s\n", i,
+                           r.error().to_string().c_str());
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    std::printf("remote: %zu completed, %zu failed, %.1f req/s over %.3f s "
+                "(%llu connects across the pool)\n",
+                completed.load(), failed.load(),
+                wall > 0.0 ? static_cast<double>(completed.load()) / wall : 0.0,
+                wall,
+                static_cast<unsigned long long>(pool.value()->connects()));
+    if (!predictions_out.empty() &&
+        !write_predictions(predictions_out, model_names, predictions)) {
+      return 1;
+    }
+    // Any transport or protocol failure is a hard failure for scripts.
+    return (completed.load() > 0 && failed.load() == 0) ? 0 : 1;
+  }
+
   const auto config = core::NetpuConfig::paper_instance();
   serve::ModelRegistry registry(config, registry_options);
   common::Xoshiro256 rng(seed);
@@ -194,6 +361,9 @@ int main(int argc, char** argv) {
 
   const auto start = std::chrono::steady_clock::now();
   std::size_t submit_failures = 0;
+  // Per-request predictions (distinct slots per thread, so no lock); -1 =
+  // the request did not complete.
+  std::vector<std::int64_t> predictions(requests, -1);
 
   if (mode == "closed") {
     // Closed loop: C clients, each submits and waits before the next
@@ -216,7 +386,8 @@ int main(int argc, char** argv) {
             failures.fetch_add(1);
             continue;
           }
-          (void)h.value().wait();  // outcome lands in ServerStats
+          auto r = h.value().wait();  // outcome lands in ServerStats
+          if (r.ok()) predictions[i] = static_cast<std::int64_t>(r.value().predicted);
         }
       });
     }
@@ -227,7 +398,7 @@ int main(int argc, char** argv) {
     // without waiting, so queue pressure (and rejections/expiry under a
     // deadline) reflect the arrival process, not client think time.
     common::Xoshiro256 arrivals(seed + 2);
-    std::vector<serve::RequestHandle> handles;
+    std::vector<std::pair<std::size_t, serve::RequestHandle>> handles;
     handles.reserve(requests);
     auto next_arrival = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < requests; ++i) {
@@ -243,9 +414,12 @@ int main(int argc, char** argv) {
         ++submit_failures;
         continue;
       }
-      handles.push_back(std::move(h).value());
+      handles.emplace_back(i, std::move(h).value());
     }
-    for (auto& h : handles) (void)h.wait();
+    for (auto& [i, h] : handles) {
+      auto r = h.wait();
+      if (r.ok()) predictions[i] = static_cast<std::int64_t>(r.value().predicted);
+    }
   }
 
   const double wall =
@@ -315,6 +489,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (!write_file(metrics_out, text, "metrics")) return 1;
+  }
+  if (!predictions_out.empty() &&
+      !write_predictions(predictions_out, model_names, predictions)) {
+    return 1;
   }
   if (!trace_out.empty()) {
     const auto json = server.chrome_trace_json();
