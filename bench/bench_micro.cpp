@@ -1,13 +1,28 @@
 // Google-benchmark micro-benchmarks: datapath primitive throughput, golden
 // inference, loadable compilation, and cycle-simulation speed.
+//
+// `bench_micro --kernels-json PATH` skips the google-benchmark suite and
+// instead emits BENCH_kernels.json: the SIMD-vs-scalar row-dot speedup, the
+// event-vs-tick scheduler speedup on a stall-heavy DMA co-simulation, and
+// the warm-path allocation count of the fast-backend serve loop.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <new>
 
 #include "common/prng.hpp"
 #include "core/accelerator.hpp"
+#include "core/fast_executor.hpp"
 #include "hw/activation_unit.hpp"
+#include "hw/kernels.hpp"
 #include "hw/multiplier.hpp"
 #include "loadable/compiler.hpp"
+#include "loadable/words.hpp"
 #include "nn/model_zoo.hpp"
+#include "runtime/axi_dma.hpp"
 
 using namespace netpu;
 
@@ -115,4 +130,178 @@ BENCHMARK(BM_FunctionalRunTfc)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// --- Allocation instrumentation for the --kernels-json hot-path probe. ----
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+// Median-of-3 wall-clock of one callable.
+template <typename F>
+double time_best_of_3(F&& f) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = SteadyClock::now();
+    f();
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+// ns/row for one kernel table on a w1a1 (binary) row of `values` channels.
+double binary_row_ns(const hw::kernels::Dispatch& d, int values, int iters) {
+  common::Xoshiro256 rng(11);
+  std::vector<std::int32_t> a_codes(static_cast<std::size_t>(values));
+  std::vector<std::int32_t> w_codes(static_cast<std::size_t>(values));
+  for (auto& c : a_codes) c = rng.next_below(2) == 0 ? -1 : 1;
+  for (auto& c : w_codes) c = rng.next_below(2) == 0 ? -1 : 1;
+  const auto a = loadable::pack_codes(a_codes, {1, true});
+  const auto w = loadable::pack_codes(w_codes, {1, true});
+  std::int64_t sink = 0;
+  const double secs = time_best_of_3([&] {
+    for (int i = 0; i < iters; ++i) {
+      sink += d.dot_binary(a.data(), w.data(), a.size(), values);
+    }
+  });
+  benchmark::DoNotOptimize(sink);
+  return secs * 1e9 / iters;
+}
+
+// Wall-clock seconds of one stall-heavy DMA co-simulation (slow descriptor
+// setup, short bursts, long inter-burst gaps: the scheduler spends most
+// cycles in quiescent spans the event core jumps over).
+double stall_heavy_cosim_seconds(const char* sched_mode, Cycle* cycles_out) {
+  common::Xoshiro256 rng(12);
+  const auto mlp = nn::make_random_quantized_model({nn::Topology::kTfc, 1, 1},
+                                                   true, rng);
+  std::vector<std::uint8_t> image(mlp.input_size(), 77);
+  const auto config = core::NetpuConfig::paper_instance();
+  auto stream = loadable::compile(mlp, image, config.compile_options());
+  runtime::AxiDmaTimings timings;
+  timings.setup_cycles = 20'000;
+  timings.burst_beats = 16;
+  timings.inter_burst_gap = 256;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded tool mode.
+  setenv("NETPU_SCHED", sched_mode, 1);
+  const double secs = time_best_of_3([&] {
+    auto run = runtime::cosimulate(config, stream.value(), timings);
+    if (run.ok() && cycles_out != nullptr) *cycles_out = run.value().cycles;
+  });
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded tool mode.
+  unsetenv("NETPU_SCHED");
+  return secs;
+}
+
+// Warm-path allocation count of FastExecutor::run_into over `requests`.
+std::uint64_t warm_hot_path_allocations(int requests) {
+  common::Xoshiro256 rng(13);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 96;
+  spec.hidden = {64, 64};
+  spec.outputs = 10;
+  spec.weight_bits = 4;
+  spec.activation_bits = 4;
+  auto mlp = nn::random_quantized_mlp(spec, rng);
+  core::NetpuConfig config;
+  config.softmax_unit = true;
+  auto fast = core::FastExecutor::create(std::move(mlp), config);
+  if (!fast.ok()) return ~std::uint64_t{0};
+  std::vector<std::uint8_t> image(96, 120);
+  core::FastExecutor::Scratch scratch;
+  core::RunResult result;
+  for (int i = 0; i < 2; ++i) {
+    (void)fast.value().run_into(image, true, scratch, result);
+  }
+  g_allocs.store(0);
+  g_count_allocs.store(true);
+  for (int i = 0; i < requests; ++i) {
+    (void)fast.value().run_into(image, true, scratch, result);
+  }
+  g_count_allocs.store(false);
+  return g_allocs.load();
+}
+
+int emit_kernels_json(const char* path) {
+  constexpr int kRowValues = 4096;  // 64-word w1a1 rows
+  constexpr int kIters = 200'000;
+  const double scalar_ns =
+      binary_row_ns(hw::kernels::scalar(), kRowValues, kIters);
+  const hw::kernels::Dispatch* simd = hw::kernels::avx2();
+  const double simd_ns =
+      simd != nullptr ? binary_row_ns(*simd, kRowValues, kIters) : scalar_ns;
+
+  Cycle cosim_cycles = 0;
+  const double tick_secs = stall_heavy_cosim_seconds("tick", &cosim_cycles);
+  const double event_secs = stall_heavy_cosim_seconds("event", nullptr);
+
+  constexpr int kRequests = 256;
+  const std::uint64_t allocs = warm_hot_path_allocations(kRequests);
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"w1a1_row_dot\": {\"row_values\": %d, \"scalar_ns_per_row\":"
+               " %.2f, \"simd_ns_per_row\": %.2f, \"simd_table\": \"%s\","
+               " \"speedup\": %.2f},\n",
+               kRowValues, scalar_ns, simd_ns,
+               simd != nullptr ? simd->name : "scalar", scalar_ns / simd_ns);
+  std::fprintf(f,
+               "  \"stall_heavy_cosim\": {\"sim_cycles\": %llu, \"tick_s\":"
+               " %.4f, \"event_s\": %.4f, \"speedup\": %.2f},\n",
+               static_cast<unsigned long long>(cosim_cycles), tick_secs,
+               event_secs, tick_secs / event_secs);
+  std::fprintf(f,
+               "  \"fast_serve_hot_path\": {\"requests\": %d,"
+               " \"warm_run_into_allocations\": %llu}\n",
+               kRequests, static_cast<unsigned long long>(allocs));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s (w1a1 simd x%.2f, event sched x%.2f, %llu allocs)\n",
+              path, scalar_ns / simd_ns, tick_secs / event_secs,
+              static_cast<unsigned long long>(allocs));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--kernels-json") == 0 && i + 1 < argc) {
+      return emit_kernels_json(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

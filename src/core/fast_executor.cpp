@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "hw/activation_unit.hpp"
+#include "hw/kernels.hpp"
 #include "hw/multiplier.hpp"
 #include "loadable/words.hpp"
 
@@ -42,35 +43,38 @@ std::int32_t activate_code(const nn::QuantizedLayer& layer, int neuron, Q32x5 q5
 
 // Pack one code vector the way the producing stage would have: the
 // compiler for weights, the LPU emit path for inter-layer activations.
-std::vector<Word> pack_stream_words(std::span<const std::int32_t> codes,
-                                    hw::Precision prec, bool dense) {
-  return dense ? loadable::pack_codes_dense(codes, prec)
-               : loadable::pack_codes(codes, prec);
+void pack_stream_words_into(std::span<const std::int32_t> codes,
+                            hw::Precision prec, bool dense,
+                            std::vector<Word>& out) {
+  if (dense) {
+    loadable::pack_codes_dense_into(codes, prec, out);
+  } else {
+    loadable::pack_codes_into(codes, prec, out);
+  }
 }
 
-// Pre-activation Q32.5 value of one neuron from packed operand words: the
-// LPU MAC loop (word_dot per chunk, LPU tail masking) plus BN-or-bypass.
-Q32x5 neuron_preactivation_words(const nn::QuantizedLayer& layer,
+std::vector<Word> pack_stream_words(std::span<const std::int32_t> codes,
+                                    hw::Precision prec, bool dense) {
+  std::vector<Word> out;
+  pack_stream_words_into(codes, prec, dense, out);
+  return out;
+}
+
+// Pre-activation Q32.5 value of one neuron from packed operand words: one
+// row_dot kernel call (scalar or SIMD, bit-identical to the LPU's per-chunk
+// word_dot accumulation — see hw/kernels.hpp) plus BN-or-bypass.
+Q32x5 neuron_preactivation_words(const hw::kernels::Dispatch& kernel,
+                                 const nn::QuantizedLayer& layer,
                                  const loadable::LayerSetting& setting,
                                  std::span<const Word> input_words,
                                  std::span<const Word> weight_row, int neuron) {
   const auto n = static_cast<std::size_t>(neuron);
-  const bool binary = setting.in_prec.bits == 1 && setting.w_prec.bits == 1;
-  const int vpc = setting.values_per_chunk();
   hw::Accumulator acc;
   acc.reset(layer.uses_bias() ? layer.bias[n] : 0);
-  for (std::size_t c = 0; c < weight_row.size(); ++c) {
-    const int active = static_cast<int>(std::min<std::int64_t>(
-        vpc, static_cast<std::int64_t>(setting.input_length) -
-                 static_cast<std::int64_t>(c) * vpc));
-    if (setting.dense && !binary) {
-      acc.add(hw::word_dot_dense(input_words[c], weight_row[c], setting.in_prec,
-                                 setting.w_prec, active));
-    } else {
-      acc.add(hw::word_dot(input_words[c], weight_row[c], setting.in_prec,
-                           setting.w_prec, active));
-    }
-  }
+  acc.add(hw::kernels::row_dot(kernel, input_words.data(), weight_row.data(),
+                               weight_row.size(), setting.in_prec,
+                               setting.w_prec, setting.dense,
+                               setting.input_length));
   if (layer.bn_fold) return Q32x5::from_int32(acc.value());
   return common::bn_transform(acc.value(), layer.bn_scale[n], layer.bn_offset[n]);
 }
@@ -121,57 +125,90 @@ common::Result<FastExecutor> FastExecutor::create(nn::QuantizedMlp mlp,
   return FastExecutor(std::move(mlp), config);
 }
 
-std::vector<std::int32_t> FastExecutor::input_layer_codes(
-    std::span<const std::uint8_t> image) const {
+void FastExecutor::input_layer_codes_into(std::span<const std::uint8_t> image,
+                                          std::vector<std::int32_t>& out) const {
   const auto& input_layer = mlp_.layers.front();
-  std::vector<std::int32_t> codes(static_cast<std::size_t>(input_layer.neurons));
+  out.resize(static_cast<std::size_t>(input_layer.neurons));
   for (int n = 0; n < input_layer.neurons; ++n) {
-    codes[static_cast<std::size_t>(n)] = activate_code(
+    out[static_cast<std::size_t>(n)] = activate_code(
         input_layer, n, Q32x5::from_int32(image[static_cast<std::size_t>(n)]));
   }
+}
+
+std::vector<std::int32_t> FastExecutor::input_layer_codes(
+    std::span<const std::uint8_t> image) const {
+  std::vector<std::int32_t> codes;
+  input_layer_codes_into(image, codes);
   return codes;
 }
 
-std::vector<std::int32_t> FastExecutor::forward_layer(
-    std::size_t layer, std::span<const std::int32_t> in_codes) const {
+void FastExecutor::forward_layer_into(std::size_t layer,
+                                      std::span<const std::int32_t> in_codes,
+                                      Scratch& scratch,
+                                      std::vector<std::int32_t>& out) const {
   const auto& l = mlp_.layers[layer];
   const auto& plan = plans_[layer];
   const auto chunks = plan.setting.chunks_per_neuron();
-  const auto input_words = pack_stream_words(in_codes, plan.setting.in_prec, l.dense);
-  std::vector<std::int32_t> out(static_cast<std::size_t>(l.neurons));
+  const auto& kernel = hw::kernels::active();
+  pack_stream_words_into(in_codes, plan.setting.in_prec, l.dense,
+                         scratch.input_words);
+  out.resize(static_cast<std::size_t>(l.neurons));
   for (int n = 0; n < l.neurons; ++n) {
     const auto row = std::span<const Word>(plan.weight_words)
                          .subspan(static_cast<std::size_t>(n) * chunks, chunks);
     out[static_cast<std::size_t>(n)] = activate_code(
-        l, n, neuron_preactivation_words(l, plan.setting, input_words, row, n));
+        l, n,
+        neuron_preactivation_words(kernel, l, plan.setting, scratch.input_words,
+                                   row, n));
   }
+}
+
+std::vector<std::int32_t> FastExecutor::forward_layer(
+    std::size_t layer, std::span<const std::int32_t> in_codes) const {
+  Scratch scratch;
+  std::vector<std::int32_t> out;
+  forward_layer_into(layer, in_codes, scratch, out);
   return out;
 }
 
-std::vector<std::int64_t> FastExecutor::output_values(
-    std::span<const std::int32_t> in_codes) const {
+void FastExecutor::output_values_into(std::span<const std::int32_t> in_codes,
+                                      Scratch& scratch,
+                                      std::vector<std::int64_t>& out) const {
   const std::size_t layer = mlp_.layers.size() - 1;
   const auto& l = mlp_.layers[layer];
   const auto& plan = plans_[layer];
   const auto chunks = plan.setting.chunks_per_neuron();
-  const auto input_words = pack_stream_words(in_codes, plan.setting.in_prec, l.dense);
-  std::vector<std::int64_t> out(static_cast<std::size_t>(l.neurons));
+  const auto& kernel = hw::kernels::active();
+  pack_stream_words_into(in_codes, plan.setting.in_prec, l.dense,
+                         scratch.input_words);
+  out.resize(static_cast<std::size_t>(l.neurons));
   for (int n = 0; n < l.neurons; ++n) {
     const auto row = std::span<const Word>(plan.weight_words)
                          .subspan(static_cast<std::size_t>(n) * chunks, chunks);
     out[static_cast<std::size_t>(n)] =
-        neuron_preactivation_words(l, plan.setting, input_words, row, n).raw();
+        neuron_preactivation_words(kernel, l, plan.setting, scratch.input_words,
+                                   row, n)
+            .raw();
   }
+}
+
+std::vector<std::int64_t> FastExecutor::output_values(
+    std::span<const std::int32_t> in_codes) const {
+  Scratch scratch;
+  std::vector<std::int64_t> out;
+  output_values_into(in_codes, scratch, out);
   return out;
 }
 
-std::vector<std::int32_t> FastExecutor::partial_sums(
-    std::size_t layer, std::span<const std::int32_t> in_codes, int neuron_begin,
-    int neuron_count, int input_begin, int input_length, bool with_bias) const {
+void FastExecutor::partial_sums_into(std::size_t layer,
+                                     std::span<const std::int32_t> in_codes,
+                                     int neuron_begin, int neuron_count,
+                                     int input_begin, int input_length,
+                                     bool with_bias, Scratch& scratch,
+                                     std::vector<std::int32_t>& out) const {
   const auto& l = mlp_.layers[layer];
   const auto& plan = plans_[layer];
   const int vpc = plan.setting.values_per_chunk();
-  const bool binary = plan.setting.in_prec.bits == 1 && plan.setting.w_prec.bits == 1;
   // Shard word boundaries must coincide with the full row's chunk grid.
   const std::size_t chunk_begin = static_cast<std::size_t>(input_begin / vpc);
   const std::size_t window_chunks = static_cast<std::size_t>(
@@ -180,10 +217,11 @@ std::vector<std::int32_t> FastExecutor::partial_sums(
   const auto window_codes =
       in_codes.subspan(static_cast<std::size_t>(input_begin),
                        static_cast<std::size_t>(input_length));
-  const auto input_words =
-      pack_stream_words(window_codes, plan.setting.in_prec, l.dense);
+  const auto& kernel = hw::kernels::active();
+  pack_stream_words_into(window_codes, plan.setting.in_prec, l.dense,
+                         scratch.input_words);
 
-  std::vector<std::int32_t> sums(static_cast<std::size_t>(neuron_count));
+  out.resize(static_cast<std::size_t>(neuron_count));
   for (int j = 0; j < neuron_count; ++j) {
     const int n = neuron_begin + j;
     const auto row =
@@ -192,27 +230,29 @@ std::vector<std::int32_t> FastExecutor::partial_sums(
                      window_chunks);
     hw::Accumulator acc;
     acc.reset(with_bias && l.uses_bias() ? l.bias[static_cast<std::size_t>(n)] : 0);
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      const int active = static_cast<int>(std::min<std::int64_t>(
-          vpc, static_cast<std::int64_t>(input_length) -
-                   static_cast<std::int64_t>(c) * vpc));
-      if (plan.setting.dense && !binary) {
-        acc.add(hw::word_dot_dense(input_words[c], row[c], plan.setting.in_prec,
-                                   plan.setting.w_prec, active));
-      } else {
-        acc.add(hw::word_dot(input_words[c], row[c], plan.setting.in_prec,
-                             plan.setting.w_prec, active));
-      }
-    }
-    sums[static_cast<std::size_t>(j)] = acc.value();
+    acc.add(hw::kernels::row_dot(kernel, scratch.input_words.data(), row.data(),
+                                 row.size(), plan.setting.in_prec,
+                                 plan.setting.w_prec, plan.setting.dense,
+                                 input_length));
+    out[static_cast<std::size_t>(j)] = acc.value();
   }
+}
+
+std::vector<std::int32_t> FastExecutor::partial_sums(
+    std::size_t layer, std::span<const std::int32_t> in_codes, int neuron_begin,
+    int neuron_count, int input_begin, int input_length, bool with_bias) const {
+  Scratch scratch;
+  std::vector<std::int32_t> sums;
+  partial_sums_into(layer, in_codes, neuron_begin, neuron_count, input_begin,
+                    input_length, with_bias, scratch, sums);
   return sums;
 }
 
-std::vector<std::int32_t> FastExecutor::finalize_codes(
-    std::size_t layer, int neuron_begin, std::span<const std::int32_t> sums) const {
+void FastExecutor::finalize_codes_into(std::size_t layer, int neuron_begin,
+                                       std::span<const std::int32_t> sums,
+                                       std::vector<std::int32_t>& out) const {
   const auto& l = mlp_.layers[layer];
-  std::vector<std::int32_t> out(sums.size());
+  out.resize(sums.size());
   for (std::size_t j = 0; j < sums.size(); ++j) {
     const int n = neuron_begin + static_cast<int>(j);
     const auto q5 = l.bn_fold
@@ -222,13 +262,20 @@ std::vector<std::int32_t> FastExecutor::finalize_codes(
                                                l.bn_offset[static_cast<std::size_t>(n)]);
     out[j] = activate_code(l, n, q5);
   }
+}
+
+std::vector<std::int32_t> FastExecutor::finalize_codes(
+    std::size_t layer, int neuron_begin, std::span<const std::int32_t> sums) const {
+  std::vector<std::int32_t> out;
+  finalize_codes_into(layer, neuron_begin, sums, out);
   return out;
 }
 
-std::vector<std::int64_t> FastExecutor::finalize_output_values(
-    std::size_t layer, int neuron_begin, std::span<const std::int32_t> sums) const {
+void FastExecutor::finalize_output_values_into(
+    std::size_t layer, int neuron_begin, std::span<const std::int32_t> sums,
+    std::vector<std::int64_t>& out) const {
   const auto& l = mlp_.layers[layer];
-  std::vector<std::int64_t> out(sums.size());
+  out.resize(sums.size());
   for (std::size_t j = 0; j < sums.size(); ++j) {
     const int n = neuron_begin + static_cast<int>(j);
     const auto q5 = l.bn_fold
@@ -238,33 +285,43 @@ std::vector<std::int64_t> FastExecutor::finalize_output_values(
                                                l.bn_offset[static_cast<std::size_t>(n)]);
     out[j] = q5.raw();
   }
+}
+
+std::vector<std::int64_t> FastExecutor::finalize_output_values(
+    std::size_t layer, int neuron_begin, std::span<const std::int32_t> sums) const {
+  std::vector<std::int64_t> out;
+  finalize_output_values_into(layer, neuron_begin, sums, out);
   return out;
 }
 
-common::Result<RunResult> FastExecutor::run(std::span<const std::uint8_t> image,
-                                            bool stamp_latency) const {
+common::Status FastExecutor::run_into(std::span<const std::uint8_t> image,
+                                      bool stamp_latency, Scratch& scratch,
+                                      RunResult& r) const {
   if (image.size() != mlp_.input_size()) {
     return Error{ErrorCode::kInvalidArgument, "input image size mismatch"};
   }
-  RunResult r;
+  // Resolve the kernel table once per request, not per neuron.
+  const auto& kernel = hw::kernels::active();
+  r.predicted = 0;
+  r.cycles = 0;
+  r.output_values.clear();
+  r.probabilities.clear();
+  r.layers.clear();
+  r.stats.zero();
   std::uint64_t mac_word_ops = 0;
 
   // Input layer: elementwise ACTIV/QUAN of the raw samples (the crossbar
   // bypasses MUL/ACCU for input layers).
-  const auto& input_layer = mlp_.layers.front();
-  std::vector<std::int32_t> codes(static_cast<std::size_t>(input_layer.neurons));
-  for (int n = 0; n < input_layer.neurons; ++n) {
-    codes[static_cast<std::size_t>(n)] = activate_code(
-        input_layer, n, Q32x5::from_int32(image[static_cast<std::size_t>(n)]));
-  }
+  input_layer_codes_into(image, scratch.codes);
 
-  // Weighted layers: blocked word_dot kernels over the packed operands.
+  // Weighted layers: one row_dot kernel call per neuron over the packed
+  // operand words.
   for (std::size_t l = 1; l < mlp_.layers.size(); ++l) {
     const auto& layer = mlp_.layers[l];
     const auto& plan = plans_[l];
     const auto chunks = plan.setting.chunks_per_neuron();
-    const auto input_words =
-        pack_stream_words(codes, plan.setting.in_prec, layer.dense);
+    pack_stream_words_into(scratch.codes, plan.setting.in_prec, layer.dense,
+                           scratch.input_words);
     mac_word_ops +=
         static_cast<std::uint64_t>(chunks) * static_cast<std::uint64_t>(layer.neurons);
 
@@ -274,37 +331,53 @@ common::Result<RunResult> FastExecutor::run(std::span<const std::uint8_t> image,
         const auto row = std::span<const Word>(plan.weight_words)
                              .subspan(static_cast<std::size_t>(n) * chunks, chunks);
         r.output_values[static_cast<std::size_t>(n)] =
-            neuron_preactivation_words(layer, plan.setting, input_words, row, n)
+            neuron_preactivation_words(kernel, layer, plan.setting,
+                                       scratch.input_words, row, n)
                 .raw();
       }
       break;
     }
-    std::vector<std::int32_t> next(static_cast<std::size_t>(layer.neurons));
+    scratch.next.resize(static_cast<std::size_t>(layer.neurons));
     for (int n = 0; n < layer.neurons; ++n) {
       const auto row = std::span<const Word>(plan.weight_words)
                            .subspan(static_cast<std::size_t>(n) * chunks, chunks);
-      next[static_cast<std::size_t>(n)] = activate_code(
+      scratch.next[static_cast<std::size_t>(n)] = activate_code(
           layer, n,
-          neuron_preactivation_words(layer, plan.setting, input_words, row, n));
+          neuron_preactivation_words(kernel, layer, plan.setting,
+                                     scratch.input_words, row, n));
     }
-    codes = std::move(next);
+    std::swap(scratch.codes, scratch.next);
   }
 
   r.predicted = hw::maxout(r.output_values);
   if (config_.softmax_unit) {
-    r.probabilities = hw::softmax_q15(r.output_values);
+    hw::softmax_q15_into(r.output_values, r.probabilities, scratch.softmax_exps,
+                         scratch.softmax_remainders);
   }
-  r.stats.add("mac_word_ops", mac_word_ops);
+  r.stats.set("mac_word_ops", mac_word_ops);
   if (stamp_latency) {
     // Analytical LPU-discipline estimate instead of simulated cycles, so
     // latency-derived stats stay populated on the fast path.
     r.cycles = latency_.total();
-    r.stats.add("estimate_header_cycles", latency_.header);
-    r.stats.add("estimate_layer_init_cycles", latency_.layer_init);
-    r.stats.add("estimate_input_load_cycles", latency_.input_load);
-    r.stats.add("estimate_neuron_init_cycles", latency_.neuron_init);
-    r.stats.add("estimate_weight_traffic_cycles", latency_.weight_traffic);
-    r.stats.add("estimate_drain_emit_cycles", latency_.drain_emit);
+    r.stats.set("estimate_header_cycles", latency_.header);
+    r.stats.set("estimate_layer_init_cycles", latency_.layer_init);
+    r.stats.set("estimate_input_load_cycles", latency_.input_load);
+    r.stats.set("estimate_neuron_init_cycles", latency_.neuron_init);
+    r.stats.set("estimate_weight_traffic_cycles", latency_.weight_traffic);
+    r.stats.set("estimate_drain_emit_cycles", latency_.drain_emit);
+  }
+  return common::Status::ok_status();
+}
+
+common::Result<RunResult> FastExecutor::run(std::span<const std::uint8_t> image,
+                                            bool stamp_latency) const {
+  // Thread-local scratch keeps the value-returning API allocation-light
+  // without changing its signature; the serve loop uses run_into directly
+  // with per-context scratch.
+  thread_local Scratch scratch;
+  RunResult r;
+  if (auto s = run_into(image, stamp_latency, scratch, r); !s.ok()) {
+    return s.error();
   }
   return r;
 }

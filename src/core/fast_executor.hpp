@@ -5,10 +5,12 @@
 // The executor consumes exactly the words the hardware would see: weights
 // are packed once at construction with the compiler's pack_codes /
 // pack_codes_dense, inter-layer codes are re-packed with the same
-// functions the LPU emit path uses, and every MAC chunk runs through
-// hw::word_dot / word_dot_dense into the 32-bit wrap-around
-// hw::Accumulator with the LPU's exact `active = min(vpc, len - c*vpc)`
-// tail handling. Post-accumulation (BN-or-bypass, ACTIV, QUAN, MaxOut,
+// functions the LPU emit path uses, and every neuron row runs through one
+// hw::kernels::row_dot call (the runtime-dispatched scalar/AVX2 table)
+// whose 64-bit row sum truncates into the 32-bit wrap-around
+// hw::Accumulator exactly as the LPU's per-chunk `active = min(vpc,
+// len - c*vpc)` accumulation would (see hw/kernels.hpp for the exactness
+// argument). Post-accumulation (BN-or-bypass, ACTIV, QUAN, MaxOut,
 // SoftMax) calls the same units as core::Tnpu. The result is therefore
 // bit-identical to the cycle-accurate simulator (enforced by
 // tests/core/backend_equivalence_test.cpp across the full option sweep
@@ -40,11 +42,30 @@ class FastExecutor {
   [[nodiscard]] static common::Result<FastExecutor> create(
       nn::QuantizedMlp mlp, const NetpuConfig& config);
 
+  // Reusable per-context working memory for the allocation-free entry
+  // points below. Every vector is resized with capacity retained, so after
+  // one warm-up request a steady-state serve loop performs zero heap
+  // allocations in run_into (enforced by tests/core/fast_alloc_test.cpp).
+  struct Scratch {
+    std::vector<std::int32_t> codes;   // producer codes of the current layer
+    std::vector<std::int32_t> next;    // consumer codes being built
+    std::vector<Word> input_words;     // packed operand words of one layer
+    std::vector<std::int64_t> softmax_exps;
+    std::vector<std::int64_t> softmax_remainders;
+  };
+
   // One inference. `stamp_latency` selects Backend::kFastLatencyModel
   // semantics: cycles and stats carry the analytical estimate instead
   // of zero.
   [[nodiscard]] common::Result<RunResult> run(
       std::span<const std::uint8_t> image, bool stamp_latency = false) const;
+
+  // Allocation-reusing form of run(): all working memory comes from
+  // `scratch`, and `result`'s vectors/stats are overwritten in place
+  // (capacity retained). This is the serve hot path.
+  [[nodiscard]] common::Status run_into(std::span<const std::uint8_t> image,
+                                        bool stamp_latency, Scratch& scratch,
+                                        RunResult& result) const;
 
   // --- Stage entry points for multi-device execution plans. -------------
   //
@@ -54,17 +75,27 @@ class FastExecutor {
   // MAC, same Tnpu post-accumulation — so a staged evaluation is
   // bit-identical to a single-device run by construction.
 
+  // Each stage has an allocation-reusing `_into` form (output and packing
+  // scratch owned by the caller) and a convenience value-returning wrapper.
+
   // ACTIV/QUAN of the raw input samples (layer 0; the crossbar bypasses
   // MUL/ACCU for input layers).
   [[nodiscard]] std::vector<std::int32_t> input_layer_codes(
       std::span<const std::uint8_t> image) const;
+  void input_layer_codes_into(std::span<const std::uint8_t> image,
+                              std::vector<std::int32_t>& out) const;
   // Forward one weighted hidden layer: producer codes in, this layer's
   // output codes out.
   [[nodiscard]] std::vector<std::int32_t> forward_layer(
       std::size_t layer, std::span<const std::int32_t> in_codes) const;
+  void forward_layer_into(std::size_t layer,
+                          std::span<const std::int32_t> in_codes,
+                          Scratch& scratch, std::vector<std::int32_t>& out) const;
   // Output layer: producer codes in, raw Q32.5 pre-MaxOut values out.
   [[nodiscard]] std::vector<std::int64_t> output_values(
       std::span<const std::int32_t> in_codes) const;
+  void output_values_into(std::span<const std::int32_t> in_codes,
+                          Scratch& scratch, std::vector<std::int64_t>& out) const;
 
   // --- Sharded execution of one weighted layer. -------------------------
   //
@@ -79,15 +110,25 @@ class FastExecutor {
       std::size_t layer, std::span<const std::int32_t> in_codes,
       int neuron_begin, int neuron_count, int input_begin, int input_length,
       bool with_bias) const;
+  void partial_sums_into(std::size_t layer, std::span<const std::int32_t> in_codes,
+                         int neuron_begin, int neuron_count, int input_begin,
+                         int input_length, bool with_bias, Scratch& scratch,
+                         std::vector<std::int32_t>& out) const;
   // Reduce-side finalization of summed shard accumulators: BN-or-bypass,
   // then ACTIV + QUAN (hidden layers) or the raw Q32.5 values (output
   // layer). `neuron_begin` anchors the per-neuron parameter vectors.
   [[nodiscard]] std::vector<std::int32_t> finalize_codes(
       std::size_t layer, int neuron_begin,
       std::span<const std::int32_t> sums) const;
+  void finalize_codes_into(std::size_t layer, int neuron_begin,
+                           std::span<const std::int32_t> sums,
+                           std::vector<std::int32_t>& out) const;
   [[nodiscard]] std::vector<std::int64_t> finalize_output_values(
       std::size_t layer, int neuron_begin,
       std::span<const std::int32_t> sums) const;
+  void finalize_output_values_into(std::size_t layer, int neuron_begin,
+                                   std::span<const std::int32_t> sums,
+                                   std::vector<std::int64_t>& out) const;
 
   [[nodiscard]] const nn::QuantizedMlp& model() const { return mlp_; }
   [[nodiscard]] const LatencyBreakdown& latency_estimate() const {

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cassert>
+#include <limits>
 
 #include "loadable/words.hpp"
 
@@ -239,6 +240,146 @@ void Lpu::flush_packer() {
   assert(words.size() == 1);
   downstream_->push(words[0]);
   packer_.clear();
+}
+
+sim::Quiescence Lpu::quiescence() const {
+  // Mirrors tick() case by case: a nonzero span promises that the next
+  // `span` ticks would only bump state_cycles_ plus (per state) one stall
+  // counter, or decrement a countdown — nothing externally visible. skip()
+  // below replays exactly that accounting.
+  constexpr Cycle kUnbounded = std::numeric_limits<Cycle>::max();
+  const int reason = static_cast<int>(state_);
+  switch (state_) {
+    case State::kIdle:
+      // Both setting-word pops stall the same way on an empty FIFO.
+      if (setting_fifo_.empty()) return {kUnbounded, reason};
+      return {};
+
+    case State::kLayerInit:
+      // Ticks with counter > 1 only decrement; the counter == 1 tick
+      // transitions and must run for real.
+      if (state_counter_ > 1) return {state_counter_ - 1, reason};
+      return {};
+
+    case State::kInputLoad:
+      if (input_words_loaded_ >= input_words_needed_) return {};
+      if (input_fifo_.empty()) return {kUnbounded, reason};
+      return {};
+
+    case State::kNeuronInit: {
+      // Every countdown tick (counter > 0) decrements and returns.
+      if (state_counter_ > 0) return {state_counter_, reason};
+      if (batch_init_cursor_ >= batch_size_) return {};
+      if (neuron_ready_) return {};
+      // consume_available() progresses if any needed type has latched
+      // halves, or the first needed type's FIFO has a word.
+      for (int t = 0; t < kParamTypes; ++t) {
+        const auto& cursor = cursors_[static_cast<std::size_t>(
+            physical_type(static_cast<ParamType>(t)))];
+        if (needs_.values[t] > 0 && cursor.consumed < 2) return {};
+      }
+      for (int t = 0; t < kParamTypes; ++t) {
+        if (needs_.values[t] <= 0) continue;
+        const auto phys =
+            static_cast<std::size_t>(physical_type(static_cast<ParamType>(t)));
+        if (param_fifos_[phys]->empty()) return {kUnbounded, reason};
+        return {};
+      }
+      return {};
+    }
+
+    case State::kWeightFill:
+      if (fill_cursor_ >= batch_size_ * setting_.chunks_per_neuron()) return {};
+      if (weight_fifo_.empty()) return {kUnbounded, reason};
+      return {};
+
+    case State::kMac:
+      // BRAM-fed MAC always progresses; flow-through MAC stalls on the
+      // weight FIFO.
+      if (!config_.overlapped_weight_stream) return {};
+      if (mac_cursor_ >= batch_size_ * setting_.chunks_per_neuron()) return {};
+      if (weight_fifo_.empty()) return {kUnbounded, reason};
+      return {};
+
+    case State::kInputProc:
+    case State::kDrain:
+      if (state_counter_ > 1) return {state_counter_ - 1, reason};
+      return {};
+
+    case State::kEmit: {
+      if (emit_cursor_ >= batch_size_) return {};
+      if (setting_.kind == hw::LayerKind::kOutput) {
+        if (network_output_ != nullptr && network_output_->full()) {
+          return {kUnbounded, reason};
+        }
+        return {};
+      }
+      const int vpw = setting_.values_per_output_word();
+      const std::size_t take = batch_size_ - emit_cursor_;
+      const bool last_batch = batch_start_ + batch_size_ == setting_.neurons;
+      std::size_t flushes = (packer_.size() + take) / static_cast<std::size_t>(vpw);
+      if (last_batch && (packer_.size() + take) % static_cast<std::size_t>(vpw) != 0) {
+        ++flushes;
+      }
+      if (downstream_ != nullptr && downstream_->free_slots() < flushes) {
+        return {kUnbounded, reason};
+      }
+      return {};
+    }
+  }
+  return {};
+}
+
+void Lpu::skip(Cycle n, int reason) {
+  (void)reason;  // everything is recomputable from the (unchanged) state
+  state_cycles_[static_cast<std::size_t>(state_)] += n;
+  switch (state_) {
+    case State::kIdle:
+      setting_fifo_.record_pop_stalls(n);
+      return;
+
+    case State::kLayerInit:
+    case State::kInputProc:
+    case State::kDrain:
+      state_counter_ -= n;
+      return;
+
+    case State::kInputLoad:
+      stats_.add("stall_input_empty", n);
+      input_fifo_.record_pop_stalls(n);
+      return;
+
+    case State::kNeuronInit: {
+      if (state_counter_ > 0) {
+        state_counter_ -= n;
+        return;
+      }
+      stats_.add("stall_param_empty", n);
+      for (int t = 0; t < kParamTypes; ++t) {
+        if (needs_.values[t] <= 0) continue;
+        const auto phys =
+            static_cast<std::size_t>(physical_type(static_cast<ParamType>(t)));
+        param_fifos_[phys]->record_pop_stalls(n);
+        return;
+      }
+      return;
+    }
+
+    case State::kWeightFill:
+    case State::kMac:
+      stats_.add("stall_weight_empty", n);
+      weight_fifo_.record_pop_stalls(n);
+      return;
+
+    case State::kEmit:
+      // full()/free_slots() checks, not try_push: no FIFO stat accrues.
+      if (setting_.kind == hw::LayerKind::kOutput) {
+        stats_.add("stall_output_full", n);
+      } else {
+        stats_.add("stall_downstream_full", n);
+      }
+      return;
+  }
 }
 
 sim::Stats Lpu::stats() const {

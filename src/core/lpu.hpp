@@ -109,6 +109,10 @@ class Lpu : public sim::Component {
   void reset() override;
   void tick(Cycle cycle) override;
   [[nodiscard]] bool idle() const override;
+  // Event-driven scheduling: report FIFO-stall / countdown spans and replay
+  // their per-cycle accounting in bulk (see sim::Quiescence).
+  [[nodiscard]] sim::Quiescence quiescence() const override;
+  void skip(Cycle n, int reason) override;
 
   // Attach a waveform trace; state transitions and layer completions are
   // recorded as integer signals (renderable via sim::Trace::to_vcd).

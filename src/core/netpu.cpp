@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <sstream>
 
 #include "hw/activation_unit.hpp"
@@ -433,6 +434,84 @@ void Netpu::tick(Cycle) {
   ++stream_pos_;
   ++section_pos_;
   stats_.add("router_words");
+}
+
+sim::Quiescence Netpu::quiescence() const {
+  // Mirrors tick() stage by stage; a nonzero span means the next `span`
+  // ticks would at most bump one router stall counter per cycle (or
+  // decrement the SoftMax countdown). skip() replays that accounting.
+  constexpr Cycle kUnbounded = std::numeric_limits<Cycle>::max();
+  enum Reason : int {
+    kSoftmax = 1,
+    kInputStall,
+    kResidentQuiet,
+    kStreamQuiet,
+    kDmaStall,
+    kRouterFull,
+  };
+
+  if (softmax_countdown_ > 0) {
+    // The countdown-reaches-zero tick runs the SoftMax unit for real.
+    if (softmax_countdown_ > 1) return {softmax_countdown_ - 1, kSoftmax};
+    return {};
+  }
+  if (!finished_ && !network_output_fifo_.empty()) return {};  // drains one word
+
+  if (resident_) {
+    const bool input_pending = input_set_ && input_pos_ < input_stream_.size();
+    if (input_pending) {
+      if (input_pos_ < 2) return {};  // header word consumed this cycle
+      if (!lpus_[0]->input_fifo().full()) return {};
+    }
+    if (input_set_) {
+      for (const auto& c : channels_) {
+        if (c.pos < c.words.size() && !c.target->full()) return {};
+      }
+    }
+    // Blocked input word stalls loudly; blocked/drained refill channels are
+    // silent (the tick's while-loop merely fails its condition).
+    return {kUnbounded, input_pending ? kInputStall : kResidentQuiet};
+  }
+
+  if (!loaded_ || section_index_ >= plan_.size()) {
+    return {kUnbounded, kStreamQuiet};  // stream fully routed: pure no-op
+  }
+  const Section& sec = plan_[section_index_];
+  if (section_pos_ >= sec.words) return {};  // section switch consumes a cycle
+  if (sec.target == nullptr) {
+    if (external_source_ != nullptr && external_source_->empty()) {
+      return {kUnbounded, kDmaStall};
+    }
+    return {};
+  }
+  if (sec.target->full()) return {kUnbounded, kRouterFull};
+  if (external_source_ != nullptr && external_source_->empty()) {
+    return {kUnbounded, kDmaStall};
+  }
+  return {};
+}
+
+void Netpu::skip(Cycle n, int reason) {
+  (void)reason;  // recomputable from the (unchanged) state
+  if (softmax_countdown_ > 0) {
+    softmax_countdown_ -= n;
+    return;
+  }
+  if (resident_) {
+    if (input_set_ && input_pos_ >= 2 && input_pos_ < input_stream_.size()) {
+      stats_.add("router_stall_full", n);
+    }
+    return;
+  }
+  if (!loaded_ || section_index_ >= plan_.size()) return;
+  const Section& sec = plan_[section_index_];
+  if (sec.target != nullptr && sec.target->full()) {
+    // Full-target stall is checked before the DMA pop in tick().
+    stats_.add("router_stall_full", n);
+    return;
+  }
+  stats_.add("router_stall_dma", n);
+  external_source_->record_pop_stalls(n);
 }
 
 bool Netpu::idle() const {

@@ -59,6 +59,10 @@ class Netpu : public sim::Component {
   void reset() override;
   void tick(Cycle cycle) override;
   [[nodiscard]] bool idle() const override;
+  // Event-driven scheduling: router stalls, drained-resident no-op spans and
+  // the SoftMax countdown become clock jumps (see sim::Quiescence).
+  [[nodiscard]] sim::Quiescence quiescence() const override;
+  void skip(Cycle n, int reason) override;
 
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] std::size_t predicted() const { return predicted_; }
@@ -71,6 +75,10 @@ class Netpu : public sim::Component {
   }
 
   [[nodiscard]] int lpu_count() const { return static_cast<int>(lpus_.size()); }
+  // MaxOut-stage FIFO, exposed for differential FifoStats assertions.
+  [[nodiscard]] const sim::Fifo<Word>& network_output_fifo() const {
+    return network_output_fifo_;
+  }
   [[nodiscard]] Lpu& lpu(int i) { return *lpus_[static_cast<std::size_t>(i)]; }
   [[nodiscard]] const Lpu& lpu(int i) const { return *lpus_[static_cast<std::size_t>(i)]; }
 

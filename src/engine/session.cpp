@@ -245,18 +245,25 @@ Result<core::RunResult> Session::run_plan(std::span<const std::uint8_t> image,
   }
   const std::size_t last_layer = model_.layers.size() - 1;
   core::RunResult r;
-  std::vector<std::int32_t> codes;
+  // Per-thread staging buffers: the plan walk reuses them across steps and
+  // requests, so a warmed serving thread stops allocating per layer (the
+  // allocation-free `_into` stage entry points of FastExecutor).
+  thread_local core::FastExecutor::Scratch scratch;
+  thread_local std::vector<std::int32_t> codes;
+  thread_local std::vector<std::int32_t> staged;
+  thread_local std::vector<std::int32_t> sums;
   for (const auto& step : plan_.steps()) {
     if (!step.sharded) {
       auto lease = devices_[step.device]->acquire_stage();
       lease.charge(step.estimated_us);
       for (std::size_t l = step.first_layer; l <= step.last_layer; ++l) {
         if (l == 0) {
-          codes = fast_->input_layer_codes(image);
+          fast_->input_layer_codes_into(image, codes);
         } else if (l == last_layer) {
-          r.output_values = fast_->output_values(codes);
+          fast_->output_values_into(codes, scratch, r.output_values);
         } else {
-          codes = fast_->forward_layer(l, codes);
+          fast_->forward_layer_into(l, codes, scratch, staged);
+          std::swap(codes, staged);
         }
       }
       continue;
@@ -267,48 +274,52 @@ Result<core::RunResult> Session::run_plan(std::span<const std::uint8_t> image,
     if (step.dim == runtime::ShardDim::kNeurons) {
       // Scatter by neuron window (full fan-in each), finalize locally on
       // each shard's device, gather codes/values in neuron order.
-      std::vector<std::int32_t> next;
+      thread_local std::vector<std::int32_t> next;
+      thread_local std::vector<std::int32_t> part_codes;
+      thread_local std::vector<std::int64_t> part_values;
+      next.clear();
       for (const auto& part : step.parts) {
         auto lease = devices_[part.device]->acquire_stage();
         lease.charge(part.estimated_us);
-        const auto sums =
-            fast_->partial_sums(l, codes, part.neuron_begin, part.neuron_count,
-                                0, layer.input_length, /*with_bias=*/true);
+        fast_->partial_sums_into(l, codes, part.neuron_begin, part.neuron_count,
+                                 0, layer.input_length, /*with_bias=*/true,
+                                 scratch, sums);
         if (l == last_layer) {
-          const auto values =
-              fast_->finalize_output_values(l, part.neuron_begin, sums);
-          r.output_values.insert(r.output_values.end(), values.begin(),
-                                 values.end());
+          fast_->finalize_output_values_into(l, part.neuron_begin, sums,
+                                             part_values);
+          r.output_values.insert(r.output_values.end(), part_values.begin(),
+                                 part_values.end());
         } else {
-          const auto part_codes = fast_->finalize_codes(l, part.neuron_begin, sums);
+          fast_->finalize_codes_into(l, part.neuron_begin, sums, part_codes);
           next.insert(next.end(), part_codes.begin(), part_codes.end());
         }
       }
-      if (l != last_layer) codes = std::move(next);
+      if (l != last_layer) std::swap(codes, next);
     } else {
       // Fan-in shards: every shard owns all neurons over a chunk-aligned
       // input window. Reduce the raw 32-bit wrap-around partial sums with
       // the ACCU's own arithmetic (associative mod 2^32, so the merged
       // total is bit-identical to the unsharded accumulation), then run
       // BN -> ACTIV -> QUAN once.
-      std::vector<std::int32_t> totals(static_cast<std::size_t>(layer.neurons), 0);
+      thread_local std::vector<std::int32_t> totals;
+      totals.assign(static_cast<std::size_t>(layer.neurons), 0);
       for (const auto& part : step.parts) {
         auto lease = devices_[part.device]->acquire_stage();
         lease.charge(part.estimated_us);
-        const auto partials =
-            fast_->partial_sums(l, codes, 0, layer.neurons, part.input_begin,
-                                part.input_length, part.carries_bias);
+        fast_->partial_sums_into(l, codes, 0, layer.neurons, part.input_begin,
+                                 part.input_length, part.carries_bias, scratch,
+                                 sums);
         hw::Accumulator acc;
         for (std::size_t j = 0; j < totals.size(); ++j) {
           acc.reset(totals[j]);
-          acc.add(partials[j]);
+          acc.add(sums[j]);
           totals[j] = acc.value();
         }
       }
       if (l == last_layer) {
-        r.output_values = fast_->finalize_output_values(l, 0, totals);
+        fast_->finalize_output_values_into(l, 0, totals, r.output_values);
       } else {
-        codes = fast_->finalize_codes(l, 0, totals);
+        fast_->finalize_codes_into(l, 0, totals, codes);
       }
     }
   }

@@ -80,14 +80,17 @@ constexpr std::int64_t kLog2eQ16 = 94548;
 
 }  // namespace
 
-std::vector<std::int32_t> softmax_q15(std::span<const std::int64_t> values) {
+void softmax_q15_into(std::span<const std::int64_t> values,
+                      std::vector<std::int32_t>& out,
+                      std::vector<std::int64_t>& exps_scratch,
+                      std::vector<std::int64_t>& remainders_scratch) {
   assert(!values.empty());
   std::int64_t max_raw = values[0];
   for (const auto v : values) max_raw = std::max(max_raw, v);
 
   // e^(v - max) = 2^((v - max) * log2 e); the Q32.5 difference times
   // log2(e) in Q16.16, renormalized to a Q16.16 non-negative exponent.
-  std::vector<std::int64_t> exps(values.size());
+  exps_scratch.assign(values.size(), 0);
   std::int64_t sum = 0;
   for (std::size_t i = 0; i < values.size(); ++i) {
     const std::int64_t d_q5 = max_raw - values[i];  // >= 0
@@ -98,36 +101,43 @@ std::vector<std::int32_t> softmax_q15(std::span<const std::int64_t> values) {
       const auto frac_index = static_cast<std::size_t>((x_q16 >> 12) & 0xF);
       e = kExp2FracLut[frac_index] >> int_part;
     }
-    exps[i] = e;
+    exps_scratch[i] = e;
     sum += e;
   }
-  std::vector<std::int32_t> probs(values.size());
-  if (sum == 0) return probs;  // all-underflow degenerate case
+  out.assign(values.size(), 0);
+  if (sum == 0) return;  // all-underflow degenerate case
   // Floor division alone loses up to 1 ulp per class, so the Q15 outputs
   // would sum short of one. Largest-remainder apportionment: hand the
   // shortfall back one ulp at a time to the classes with the largest
   // truncated remainders (ties broken toward the lower index), making the
   // distribution sum to exactly kSoftmaxOne.
-  std::vector<std::int64_t> remainders(values.size());
+  remainders_scratch.assign(values.size(), 0);
   std::int64_t floor_sum = 0;
   for (std::size_t i = 0; i < values.size(); ++i) {
-    const std::int64_t scaled = exps[i] << kSoftmaxFracBits;
-    probs[i] = static_cast<std::int32_t>(scaled / sum);
-    remainders[i] = scaled % sum;
-    floor_sum += probs[i];
+    const std::int64_t scaled = exps_scratch[i] << kSoftmaxFracBits;
+    out[i] = static_cast<std::int32_t>(scaled / sum);
+    remainders_scratch[i] = scaled % sum;
+    floor_sum += out[i];
   }
   std::int64_t shortfall = kSoftmaxOne - floor_sum;
   assert(shortfall >= 0 &&
          shortfall <= static_cast<std::int64_t>(values.size()));
   while (shortfall > 0) {
     std::size_t best = 0;
-    for (std::size_t i = 1; i < remainders.size(); ++i) {
-      if (remainders[i] > remainders[best]) best = i;
+    for (std::size_t i = 1; i < remainders_scratch.size(); ++i) {
+      if (remainders_scratch[i] > remainders_scratch[best]) best = i;
     }
-    probs[best] += 1;
-    remainders[best] = -1;  // each class corrected at most once
+    out[best] += 1;
+    remainders_scratch[best] = -1;  // each class corrected at most once
     --shortfall;
   }
+}
+
+std::vector<std::int32_t> softmax_q15(std::span<const std::int64_t> values) {
+  std::vector<std::int32_t> probs;
+  std::vector<std::int64_t> exps;
+  std::vector<std::int64_t> remainders;
+  softmax_q15_into(values, probs, exps, remainders);
   return probs;
 }
 

@@ -53,4 +53,11 @@ inline constexpr std::int32_t kSoftmaxOne = 1 << kSoftmaxFracBits;
 [[nodiscard]] std::vector<std::int32_t> softmax_q15(
     std::span<const std::int64_t> values);
 
+// Allocation-reusing variant for the serve hot path: `out` and the two
+// scratch vectors are resized (retaining capacity) and overwritten.
+void softmax_q15_into(std::span<const std::int64_t> values,
+                      std::vector<std::int32_t>& out,
+                      std::vector<std::int64_t>& exps_scratch,
+                      std::vector<std::int64_t>& remainders_scratch);
+
 }  // namespace netpu::hw

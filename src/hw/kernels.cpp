@@ -1,0 +1,117 @@
+#include "hw/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/bitutils.hpp"
+#include "hw/multiplier.hpp"
+
+namespace netpu::hw::kernels {
+namespace {
+
+std::int64_t scalar_dot_binary(const Word* a, const Word* w, std::size_t n_words,
+                               std::int64_t total_values) {
+  // Sum of per-word `2 * popcount(masked) - active` terms with
+  // sum(active) == total_values, refactored to mask only once per word.
+  std::int64_t matches = 0;
+  std::int64_t remaining = total_values;
+  for (std::size_t i = 0; i < n_words; ++i) {
+    const int active = static_cast<int>(
+        std::min<std::int64_t>(kBinaryChannelsPerWord, remaining));
+    matches += common::popcount64(~(a[i] ^ w[i]) & common::low_mask(active));
+    remaining -= active;
+  }
+  return 2 * matches - total_values;
+}
+
+std::int64_t scalar_dot_int(const Word* a, const Word* w, std::size_t n_words,
+                            Precision in_prec, Precision w_prec) {
+  // Trailing lanes are zero-filled and decode to 0: full-lane processing is
+  // exact, no per-word tail bookkeeping.
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < n_words; ++i) {
+    sum += word_dot(a[i], w[i], in_prec, w_prec, kLanesPerTnpu);
+  }
+  return sum;
+}
+
+std::int64_t scalar_dot_dense(const Word* a, const Word* w, std::size_t n_words,
+                              Precision in_prec, Precision w_prec) {
+  const int vpw = dense_values_per_word(in_prec.bits);
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < n_words; ++i) {
+    sum += word_dot_dense(a[i], w[i], in_prec, w_prec, vpw);
+  }
+  return sum;
+}
+
+constexpr Dispatch kScalar{"scalar", scalar_dot_binary, scalar_dot_int,
+                           scalar_dot_dense};
+
+// The active-table pointer is written by select() and read concurrently by
+// every executor thread; a plain atomic pointer keeps selection races
+// benign (both candidate tables are immutable and bit-identical).
+std::atomic<const Dispatch*> g_active{nullptr};
+
+const Dispatch* resolve_auto() {
+  const Dispatch* v = avx2();
+  return v != nullptr ? v : &kScalar;
+}
+
+const Dispatch* resolve_default() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, before threads spawn.
+  const char* env = std::getenv("NETPU_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0 || std::strcmp(env, "off") == 0) {
+      return &kScalar;
+    }
+    if (std::strcmp(env, "avx2") == 0 && avx2() != nullptr) return avx2();
+  }
+  return resolve_auto();
+}
+
+}  // namespace
+
+const Dispatch& scalar() { return kScalar; }
+
+#ifdef NETPU_SIMD_AVX2
+namespace detail {
+// Defined in kernels_avx2.cpp (compiled with -mavx2).
+const Dispatch& avx2_table();
+}  // namespace detail
+
+const Dispatch* avx2() {
+  static const Dispatch* table =
+      __builtin_cpu_supports("avx2") ? &detail::avx2_table() : nullptr;
+  return table;
+}
+#else
+const Dispatch* avx2() { return nullptr; }
+#endif
+
+const Dispatch& active() {
+  const Dispatch* d = g_active.load(std::memory_order_acquire);
+  if (d == nullptr) {
+    d = resolve_default();
+    g_active.store(d, std::memory_order_release);
+  }
+  return *d;
+}
+
+bool select(std::string_view which) {
+  const Dispatch* d = nullptr;
+  if (which == "scalar") {
+    d = &kScalar;
+  } else if (which == "avx2") {
+    d = avx2();
+  } else if (which == "auto") {
+    d = resolve_auto();
+  }
+  if (d == nullptr) return false;
+  g_active.store(d, std::memory_order_release);
+  return true;
+}
+
+}  // namespace netpu::hw::kernels

@@ -1,0 +1,83 @@
+// Row-level dot-product kernels behind a runtime-dispatched table.
+//
+// hw::word_dot / word_dot_dense define the bit-true per-word semantics; the
+// kernels here compute a whole neuron row (all chunks of one neuron) in one
+// call so the implementation is free to vectorize across words. Exactness
+// relies on two invariants of the stream format and the ACCU:
+//
+//  * pack_codes / pack_codes_dense zero-fill trailing lanes/fields, and an
+//    all-zero integer or dense (bits >= 2) operand decodes to 0 — so a
+//    vector path may process whole words without tail masking. Binary mode
+//    (and dense 1-bit, whose {-1,+1} decode maps padding to -1) instead
+//    uses the closed form  dot = 2 * matches(masked) - total_values  with
+//    an explicit tail mask.
+//  * The 32-bit wrap-around ACCU is associative mod 2^32, so summing a row
+//    in 64-bit and truncating once equals the per-chunk accumulate.
+//
+// The active table is chosen at runtime: the NETPU_SIMD environment
+// variable ("scalar" / "avx2" / "auto", default auto) or kernels::select()
+// (the tools' --simd flag). AVX2 availability is detected with cpuid; the
+// scalar table is always present and bit-identical by construction
+// (it delegates to hw::word_dot*). Build-time: the -DNETPU_SIMD=off CMake
+// knob removes the AVX2 translation unit entirely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "hw/types.hpp"
+
+namespace netpu::hw::kernels {
+
+// One kernel implementation set. All functions take `n_words` packed word
+// pairs (one neuron row) and return the exact 64-bit dot-product sum that
+// per-word hw::word_dot / word_dot_dense accumulation would produce.
+struct Dispatch {
+  const char* name;
+  // Binary XNOR-popcount row (both operands 1-bit, packed 64 values/word,
+  // zero-filled tails; also serves dense 1-bit streams). `total_values` is
+  // the number of active channels across the row.
+  std::int64_t (*dot_binary)(const Word* a, const Word* w, std::size_t n_words,
+                             std::int64_t total_values);
+  // Integer-mode row (8 zero-filled 8-bit lanes per word).
+  std::int64_t (*dot_int)(const Word* a, const Word* w, std::size_t n_words,
+                          Precision in_prec, Precision w_prec);
+  // Dense-mode row, bits >= 2 (64/bits zero-filled fields per word;
+  // in_prec.bits == w_prec.bits enforced by stream validation).
+  std::int64_t (*dot_dense)(const Word* a, const Word* w, std::size_t n_words,
+                            Precision in_prec, Precision w_prec);
+};
+
+// The portable reference table (delegates to hw::word_dot / word_dot_dense).
+[[nodiscard]] const Dispatch& scalar();
+
+// The AVX2 table, or nullptr when not compiled in (-DNETPU_SIMD=off /
+// non-x86 build) or the CPU lacks AVX2.
+[[nodiscard]] const Dispatch* avx2();
+
+// The currently selected table. Defaults from the NETPU_SIMD environment
+// variable on first use.
+[[nodiscard]] const Dispatch& active();
+
+// Select an implementation by name: "scalar", "avx2", or "auto" (best
+// available). Returns false — leaving the selection unchanged — for an
+// unknown name or an unavailable implementation.
+[[nodiscard]] bool select(std::string_view which);
+
+// Route one row through the matching kernel of `d`: binary mode (either
+// packing) via dot_binary, dense (bits >= 2) via dot_dense, else dot_int.
+// `total_values` is the row's fan-in (active values across all words).
+[[nodiscard]] inline std::int64_t row_dot(const Dispatch& d, const Word* a,
+                                          const Word* w, std::size_t n_words,
+                                          Precision in_prec, Precision w_prec,
+                                          bool dense, std::int64_t total_values) {
+  if (in_prec.bits == 1 && w_prec.bits == 1) {
+    return d.dot_binary(a, w, n_words, total_values);
+  }
+  if (dense) return d.dot_dense(a, w, n_words, in_prec, w_prec);
+  return d.dot_int(a, w, n_words, in_prec, w_prec);
+}
+
+}  // namespace netpu::hw::kernels

@@ -1,0 +1,203 @@
+// AVX2 implementations of the row dot-product kernels.
+//
+// This translation unit is the only one compiled with -mavx2 (plus
+// -mpopcnt); it is excluded entirely under -DNETPU_SIMD=off, and at runtime
+// kernels.cpp only hands out this table when cpuid reports AVX2. Exactness
+// (see kernels.hpp): integer/dense operands zero-fill their padding and
+// decode padding to 0, so whole-word vector processing matches the
+// per-value scalar reduction; binary rows mask the tail word explicitly;
+// and 64-bit row sums truncate to the 32-bit wrap-around ACCU result
+// identically to per-chunk accumulation.
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "common/bitutils.hpp"
+#include "hw/kernels.hpp"
+#include "hw/multiplier.hpp"
+
+namespace netpu::hw::kernels {
+namespace {
+
+// Positional-popcount (pshufb nibble LUT + psadbw) of one 256-bit lane
+// group: returns four 64-bit partial counts.
+inline __m256i popcount256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3,
+                                       3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3,
+                                       2, 3, 3, 4);
+  const __m256i nibble = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, nibble);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nibble);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+inline std::int64_t hsum_epi64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return _mm_cvtsi128_si64(s) + _mm_extract_epi64(s, 1);
+}
+
+inline std::int64_t hsum_epi32(__m256i v) {
+  alignas(32) std::int32_t lanes[8];
+  // lint:allow reinterpret_cast — intrinsic store to an aligned buffer
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  std::int64_t s = 0;
+  for (const std::int32_t x : lanes) s += x;
+  return s;
+}
+
+std::int64_t avx2_dot_binary(const Word* a, const Word* w, std::size_t n_words,
+                             std::int64_t total_values) {
+  if (n_words == 0) return -total_values;  // total_values == 0 here
+  std::int64_t matches = 0;
+  const std::size_t full = n_words - 1;  // tail word masked separately
+  std::size_t i = 0;
+  __m256i acc = _mm256_setzero_si256();
+  for (; i + 4 <= full; i += 4) {
+    const __m256i va = _mm256_loadu_si256(
+        // lint:allow reinterpret_cast — unaligned intrinsic load of packed words
+        reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vw = _mm256_loadu_si256(
+        // lint:allow reinterpret_cast — unaligned intrinsic load of packed words
+        reinterpret_cast<const __m256i*>(w + i));
+    // XNOR: matching bits of a and w.
+    const __m256i x = _mm256_xor_si256(_mm256_xor_si256(va, vw),
+                                       _mm256_set1_epi8(-1));
+    acc = _mm256_add_epi64(acc, popcount256(x));
+  }
+  matches += hsum_epi64(acc);
+  for (; i < full; ++i) {
+    matches += common::popcount64(~(a[i] ^ w[i]));
+  }
+  const int tail_active = static_cast<int>(
+      total_values - static_cast<std::int64_t>(full) * kBinaryChannelsPerWord);
+  matches +=
+      common::popcount64(~(a[full] ^ w[full]) & common::low_mask(tail_active));
+  return 2 * matches - total_values;
+}
+
+// Widen 16 bytes to sixteen 16-bit lanes and decode them under `prec`:
+// mask to the precision width, then sign-extend when signed.
+inline __m256i decode16(__m128i bytes, Precision prec) {
+  __m256i x = _mm256_cvtepu8_epi16(bytes);
+  x = _mm256_and_si256(
+      x, _mm256_set1_epi16(static_cast<short>(common::low_mask(prec.bits))));
+  if (prec.is_signed) {
+    const __m256i m = _mm256_set1_epi16(static_cast<short>(1 << (prec.bits - 1)));
+    x = _mm256_sub_epi16(_mm256_xor_si256(x, m), m);
+  }
+  return x;
+}
+
+// Flush the 32-bit accumulator often enough that its lanes cannot wrap:
+// one madd term is bounded by 2 * 255 * 255 < 2^18, so 2^12 iterations
+// stay far below 2^31.
+constexpr std::size_t kFlushInterval = 4096;
+
+std::int64_t avx2_dot_int(const Word* a, const Word* w, std::size_t n_words,
+                          Precision in_prec, Precision w_prec) {
+  std::int64_t sum = 0;
+  std::size_t i = 0;
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t since_flush = 0;
+  for (; i + 2 <= n_words; i += 2) {
+    // lint:allow reinterpret_cast — unaligned intrinsic load of packed words
+    const __m128i ab = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    // lint:allow reinterpret_cast — unaligned intrinsic load of packed words
+    const __m128i wb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i));
+    acc = _mm256_add_epi32(
+        acc, _mm256_madd_epi16(decode16(ab, in_prec), decode16(wb, w_prec)));
+    if (++since_flush == kFlushInterval) {
+      sum += hsum_epi32(acc);
+      acc = _mm256_setzero_si256();
+      since_flush = 0;
+    }
+  }
+  sum += hsum_epi32(acc);
+  for (; i < n_words; ++i) {
+    sum += word_dot(a[i], w[i], in_prec, w_prec, kLanesPerTnpu);
+  }
+  return sum;
+}
+
+// Dense sub-byte fields: extract the field at bit offset `shift` of every
+// byte into its own 16-lane vector. Field order within a word is
+// little-endian, so byte b of the load carries fields with in-byte offsets
+// 0, `bits`, ... — extracting per offset and multiplying offset-wise pairs
+// a's and w's fields one-to-one, which is all a dot product needs.
+inline __m128i field16(__m128i bytes, int shift, int bits) {
+  const __m128i mask = _mm_set1_epi8(static_cast<char>(common::low_mask(bits)));
+  return _mm_and_si128(_mm_srli_epi16(bytes, shift), mask);
+}
+
+template <int Bits>
+std::int64_t avx2_dot_dense_subbyte(const Word* a, const Word* w,
+                                    std::size_t n_words, Precision in_prec,
+                                    Precision w_prec) {
+  static_assert(Bits == 2 || Bits == 4);
+  // Decode already happened structurally (fields isolated per byte); only
+  // the sign transform of decode16 remains precision-dependent.
+  const Precision in_f{Bits, in_prec.is_signed};
+  const Precision w_f{Bits, w_prec.is_signed};
+  std::int64_t sum = 0;
+  std::size_t i = 0;
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t since_flush = 0;
+  for (; i + 2 <= n_words; i += 2) {
+    // lint:allow reinterpret_cast — unaligned intrinsic load of packed words
+    const __m128i ab = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    // lint:allow reinterpret_cast — unaligned intrinsic load of packed words
+    const __m128i wb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i));
+    for (int shift = 0; shift < 8; shift += Bits) {
+      acc = _mm256_add_epi32(
+          acc, _mm256_madd_epi16(decode16(field16(ab, shift, Bits), in_f),
+                                 decode16(field16(wb, shift, Bits), w_f)));
+    }
+    if (++since_flush == kFlushInterval) {
+      sum += hsum_epi32(acc);
+      acc = _mm256_setzero_si256();
+      since_flush = 0;
+    }
+  }
+  sum += hsum_epi32(acc);
+  for (; i < n_words; ++i) {
+    sum += word_dot_dense(a[i], w[i], in_prec, w_prec,
+                          dense_values_per_word(Bits));
+  }
+  return sum;
+}
+
+std::int64_t avx2_dot_dense(const Word* a, const Word* w, std::size_t n_words,
+                            Precision in_prec, Precision w_prec) {
+  switch (in_prec.bits) {
+    case 8:
+      // Dense 8-bit fields coincide with the integer-mode lane layout.
+      return avx2_dot_int(a, w, n_words, in_prec, w_prec);
+    case 4:
+      return avx2_dot_dense_subbyte<4>(a, w, n_words, in_prec, w_prec);
+    case 2:
+      return avx2_dot_dense_subbyte<2>(a, w, n_words, in_prec, w_prec);
+    default: {
+      // Fields straddling byte boundaries (3/5/6/7 bits) stay scalar.
+      const int vpw = dense_values_per_word(in_prec.bits);
+      std::int64_t sum = 0;
+      for (std::size_t i = 0; i < n_words; ++i) {
+        sum += word_dot_dense(a[i], w[i], in_prec, w_prec, vpw);
+      }
+      return sum;
+    }
+  }
+}
+
+constexpr Dispatch kAvx2{"avx2", avx2_dot_binary, avx2_dot_int, avx2_dot_dense};
+
+}  // namespace
+
+namespace detail {
+const Dispatch& avx2_table() { return kAvx2; }
+}  // namespace detail
+
+}  // namespace netpu::hw::kernels

@@ -6,8 +6,8 @@
 
 namespace netpu::loadable {
 
-std::vector<Word> pack_codes(std::span<const std::int32_t> codes, hw::Precision prec) {
-  std::vector<Word> out;
+void pack_codes_into(std::span<const std::int32_t> codes, hw::Precision prec,
+                     std::vector<Word>& out) {
   if (prec.bits == 1) {
     out.assign(common::ceil_div(codes.size(), hw::kBinaryChannelsPerWord), 0);
     for (std::size_t i = 0; i < codes.size(); ++i) {
@@ -17,7 +17,7 @@ std::vector<Word> pack_codes(std::span<const std::int32_t> codes, hw::Precision 
             Word{1} << (i % hw::kBinaryChannelsPerWord);
       }
     }
-    return out;
+    return;
   }
   out.assign(common::ceil_div(codes.size(), hw::kLanesPerTnpu), 0);
   for (std::size_t i = 0; i < codes.size(); ++i) {
@@ -26,6 +26,11 @@ std::vector<Word> pack_codes(std::span<const std::int32_t> codes, hw::Precision 
     out[i / hw::kLanesPerTnpu] = common::set_byte_lane(
         out[i / hw::kLanesPerTnpu], static_cast<int>(i % hw::kLanesPerTnpu), lane);
   }
+}
+
+std::vector<Word> pack_codes(std::span<const std::int32_t> codes, hw::Precision prec) {
+  std::vector<Word> out;
+  pack_codes_into(codes, prec, out);
   return out;
 }
 
@@ -49,17 +54,25 @@ std::vector<std::int32_t> unpack_codes(std::span<const Word> words, std::size_t 
   return out;
 }
 
-std::vector<Word> pack_codes_dense(std::span<const std::int32_t> codes,
-                                   hw::Precision prec) {
-  if (prec.bits == 1) return pack_codes(codes, prec);
+void pack_codes_dense_into(std::span<const std::int32_t> codes, hw::Precision prec,
+                           std::vector<Word>& out) {
+  if (prec.bits == 1) {
+    pack_codes_into(codes, prec, out);
+    return;
+  }
   const int vpw = hw::dense_values_per_word(prec.bits);
-  std::vector<Word> out(common::ceil_div(codes.size(), static_cast<std::uint64_t>(vpw)),
-                        0);
+  out.assign(common::ceil_div(codes.size(), static_cast<std::uint64_t>(vpw)), 0);
   for (std::size_t i = 0; i < codes.size(); ++i) {
     const Word field = static_cast<std::uint32_t>(codes[i]) & common::low_mask(prec.bits);
     out[i / static_cast<std::size_t>(vpw)] |=
         field << ((i % static_cast<std::size_t>(vpw)) * static_cast<std::size_t>(prec.bits));
   }
+}
+
+std::vector<Word> pack_codes_dense(std::span<const std::int32_t> codes,
+                                   hw::Precision prec) {
+  std::vector<Word> out;
+  pack_codes_dense_into(codes, prec, out);
   return out;
 }
 

@@ -18,6 +18,10 @@ namespace netpu::loadable {
 // the precision's range; the final word is zero-padded.
 [[nodiscard]] std::vector<Word> pack_codes(std::span<const std::int32_t> codes,
                                            hw::Precision prec);
+// Allocation-reusing variant: `out` is resized (retaining capacity) and
+// overwritten — the serve hot path packs into per-context scratch.
+void pack_codes_into(std::span<const std::int32_t> codes, hw::Precision prec,
+                     std::vector<Word>& out);
 
 // Inverse of pack_codes for `count` values.
 [[nodiscard]] std::vector<std::int32_t> unpack_codes(std::span<const Word> words,
@@ -28,6 +32,8 @@ namespace netpu::loadable {
 // word, no placeholder bits. For 1-bit codes this coincides with pack_codes.
 [[nodiscard]] std::vector<Word> pack_codes_dense(std::span<const std::int32_t> codes,
                                                  hw::Precision prec);
+void pack_codes_dense_into(std::span<const std::int32_t> codes, hw::Precision prec,
+                           std::vector<Word>& out);
 [[nodiscard]] std::vector<std::int32_t> unpack_codes_dense(
     std::span<const Word> words, std::size_t count, hw::Precision prec);
 

@@ -1,5 +1,7 @@
 #include "runtime/axi_dma.hpp"
 
+#include <limits>
+
 #include "core/netpu.hpp"
 #include "sim/scheduler.hpp"
 
@@ -41,6 +43,32 @@ void AxiDmaEngine::tick(Cycle) {
 
 bool AxiDmaEngine::idle() const { return pos_ >= payload_.size(); }
 
+sim::Quiescence AxiDmaEngine::quiescence() const {
+  constexpr Cycle kUnbounded = std::numeric_limits<Cycle>::max();
+  enum Reason : int { kSetup = 1, kGap, kDone, kBackPressure };
+  // Countdown ticks only decrement (the first beat goes out the tick
+  // *after* a counter reaches zero), so the full remaining span is skippable.
+  if (setup_remaining_ > 0) return {setup_remaining_, kSetup};
+  if (gap_remaining_ > 0) return {gap_remaining_, kGap};
+  if (pos_ >= payload_.size()) return {kUnbounded, kDone};
+  if (target_.full()) return {kUnbounded, kBackPressure};
+  return {};
+}
+
+void AxiDmaEngine::skip(Cycle n, int reason) {
+  (void)reason;
+  if (setup_remaining_ > 0) {
+    setup_remaining_ -= n;
+    return;
+  }
+  if (gap_remaining_ > 0) {
+    gap_remaining_ -= n;
+    return;
+  }
+  if (pos_ >= payload_.size()) return;
+  target_.record_push_stalls(n);  // each blocked try_push counted a stall
+}
+
 common::Result<core::RunResult> cosimulate(const core::NetpuConfig& config,
                                            std::span<const Word> stream,
                                            const AxiDmaTimings& timings) {
@@ -62,8 +90,9 @@ common::Result<core::RunResult> cosimulate(const core::NetpuConfig& config,
   for (int i = 0; i < netpu.lpu_count(); ++i) scheduler.add(&netpu.lpu(i));
   const auto run = scheduler.run(500'000'000);
   if (!run.finished) {
-    return common::Error{common::ErrorCode::kInternal,
-                         "co-simulation hit the cycle limit"};
+    return common::Error{
+        common::ErrorCode::kInternal,
+        "co-simulation hit the cycle limit; busy components: " + run.busy};
   }
 
   core::RunResult r;

@@ -44,6 +44,10 @@ class AxiDmaEngine : public sim::Component {
   void reset() override;
   void tick(Cycle cycle) override;
   [[nodiscard]] bool idle() const override;
+  // Event-driven scheduling: descriptor-setup and inter-burst countdowns,
+  // back-pressure stalls and the post-payload quiet span become clock jumps.
+  [[nodiscard]] sim::Quiescence quiescence() const override;
+  void skip(Cycle n, int reason) override;
 
   [[nodiscard]] std::uint64_t beats_sent() const { return pos_; }
 

@@ -110,7 +110,8 @@ Result<core::RunResult> Device::run_cycle(std::span<const Word> input_stream,
     if (auto s = netpu.set_input(input_stream); !s.ok()) return s.error();
     const auto run = context->scheduler.run(options.max_cycles);
     if (!run.finished) {
-      return Error{ErrorCode::kInternal, "simulation hit the cycle limit"};
+      return Error{ErrorCode::kInternal,
+                   "simulation hit the cycle limit; busy components: " + run.busy};
     }
     return core::collect_run_result(netpu, run.cycles);
   }();
@@ -130,7 +131,8 @@ Result<core::RunResult> Device::run_fused(std::span<const Word> stream,
     if (auto s = netpu.load(stream); !s.ok()) return s.error();
     const auto run = context->scheduler.run(options.max_cycles);
     if (!run.finished) {
-      return Error{ErrorCode::kInternal, "simulation hit the cycle limit"};
+      return Error{ErrorCode::kInternal,
+                   "simulation hit the cycle limit; busy components: " + run.busy};
     }
     return core::collect_run_result(netpu, run.cycles);
   }();

@@ -6,6 +6,15 @@
 // push/pop discipline (at most one push and one pop per endpoint per cycle,
 // enforced by the FSMs that own them) gives register-transfer semantics
 // without a two-phase evaluate/commit pass.
+//
+// Event-driven extension: a component may additionally report *quiescence* —
+// a span of upcoming cycles during which its tick() would make no
+// externally visible progress (a FIFO stall, a multi-cycle countdown).
+// When every component is quiescent the scheduler jumps the clock by the
+// minimum remaining span and asks each component to account for the skipped
+// cycles via skip(), which must reproduce exactly the statistics the
+// equivalent ticks would have accrued. Components that don't implement the
+// protocol simply report span 0 and are ticked every cycle as before.
 #pragma once
 
 #include <string>
@@ -13,6 +22,19 @@
 #include "common/types.hpp"
 
 namespace netpu::sim {
+
+// A span of cycles a component promises to spend making no externally
+// visible state change (beyond its own stall/countdown accounting).
+//
+// `reason` is an opaque component-private tag identifying *why* the
+// component is quiescent (which stall counter / countdown the skipped
+// cycles must be charged to). The scheduler never interprets it; it only
+// flushes deferred skips when the reason changes, so one skip() call always
+// accounts for cycles of a single kind.
+struct Quiescence {
+  Cycle span = 0;   // 0 = not quiescent; tick me this cycle
+  int reason = 0;   // component-private tag for the quiescent state
+};
 
 class Component {
  public:
@@ -33,6 +55,20 @@ class Component {
   // True once the component has no further work; the scheduler may stop
   // when every component is idle.
   [[nodiscard]] virtual bool idle() const = 0;
+
+  // How many upcoming cycles (starting with the next tick) this component
+  // would spend making no externally visible progress. Must be evaluated
+  // against the component's *current* state; the scheduler re-queries each
+  // scheduling round. Default: never quiescent (tick every cycle).
+  [[nodiscard]] virtual Quiescence quiescence() const { return {}; }
+
+  // Account for `n` skipped cycles previously promised by quiescence()
+  // with the given reason tag: bump exactly the stall counters / countdowns
+  // the equivalent n ticks would have bumped. Default: nothing to account.
+  virtual void skip(Cycle n, int reason) {
+    (void)n;
+    (void)reason;
+  }
 
  private:
   std::string name_;

@@ -6,10 +6,13 @@
 // to D*W); the element type T carries the simulated payload.
 #pragma once
 
-#include <cassert>
+#include <algorithm>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <string>
+#include <utility>
 
 #include "common/types.hpp"
 
@@ -23,12 +26,23 @@ struct FifoStats {
   std::uint64_t pop_stalls = 0;   // failed pop attempts (empty)
 };
 
+// Hard-fails on FIFO protocol misuse (push-on-full / pop-on-empty). These
+// are simulator bugs, not recoverable conditions: under the old assert()
+// guard a Release-mode full push silently dropped the element and broke
+// FifoStats conservation (pushes != pops + occupancy). Kept out-of-line of
+// the template so every Fifo<T> shares one abort path.
+[[noreturn]] inline void fifo_protocol_abort(const char* op, const std::string& name) {
+  std::fprintf(stderr, "sim::Fifo protocol violation: %s on fifo '%s'\n", op,
+               name.c_str());
+  std::abort();
+}
+
 template <typename T>
 class Fifo {
  public:
   Fifo(std::string name, std::size_t depth, int bit_width)
       : name_(std::move(name)), depth_(depth), bit_width_(bit_width) {
-    assert(depth_ > 0);
+    if (depth_ == 0) fifo_protocol_abort("zero depth", name_);
   }
 
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -47,43 +61,62 @@ class Fifo {
       return false;
     }
     q_.push_back(v);
-    ++stats_.pushes;
-    stats_.max_occupancy = std::max(stats_.max_occupancy, q_.size());
+    record_push();
     return true;
   }
 
-  // Enqueue; caller must have checked !full().
+  bool try_push(T&& v) {
+    if (full()) {
+      ++stats_.push_stalls;
+      return false;
+    }
+    q_.push_back(std::move(v));
+    record_push();
+    return true;
+  }
+
+  // Enqueue; hard-fails when full (see fifo_protocol_abort).
   void push(const T& v) {
-    const bool ok = try_push(v);
-    assert(ok);
-    (void)ok;
+    if (!try_push(v)) fifo_protocol_abort("push on full", name_);
+  }
+
+  void push(T&& v) {
+    if (!try_push(std::move(v))) fifo_protocol_abort("push on full", name_);
   }
 
   [[nodiscard]] const T& front() const {
-    assert(!empty());
+    if (empty()) fifo_protocol_abort("front on empty", name_);
     return q_.front();
   }
 
   // Attempt to dequeue into `out`; returns false (and records a stall)
-  // when empty.
+  // when empty. The element is moved out of the queue.
   bool try_pop(T& out) {
     if (empty()) {
       ++stats_.pop_stalls;
       return false;
     }
-    out = q_.front();
+    out = std::move(q_.front());
     q_.pop_front();
     ++stats_.pops;
     return true;
   }
 
+  // Dequeue by move; hard-fails when empty. Does not require T to be
+  // default-constructible.
   T pop() {
-    T v{};
-    const bool ok = try_pop(v);
-    assert(ok);
-    (void)ok;
+    if (empty()) fifo_protocol_abort("pop on empty", name_);
+    T v = std::move(q_.front());
+    q_.pop_front();
+    ++stats_.pops;
     return v;
   }
+
+  // Bulk stall accounting for the event-driven scheduler: a component that
+  // skips `n` quiescent cycles records the per-cycle stall attempts it would
+  // have made, keeping FifoStats identical to the tick-every-cycle loop.
+  void record_push_stalls(std::uint64_t n) { stats_.push_stalls += n; }
+  void record_pop_stalls(std::uint64_t n) { stats_.pop_stalls += n; }
 
   void clear() { q_.clear(); }
 
@@ -95,6 +128,11 @@ class Fifo {
   [[nodiscard]] const FifoStats& stats() const { return stats_; }
 
  private:
+  void record_push() {
+    ++stats_.pushes;
+    stats_.max_occupancy = std::max(stats_.max_occupancy, q_.size());
+  }
+
   std::string name_;
   std::size_t depth_;
   int bit_width_;

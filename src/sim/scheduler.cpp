@@ -1,12 +1,26 @@
 #include "sim/scheduler.hpp"
 
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 
 namespace netpu::sim {
+
+Scheduler::Mode Scheduler::default_mode() {
+  // Re-read per call (i.e. per Scheduler construction): the differential
+  // tests flip NETPU_SCHED between session builds inside one process.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): schedulers are built before their
+  // contexts are shared across threads.
+  const char* env = std::getenv("NETPU_SCHED");
+  if (env != nullptr && std::strcmp(env, "tick") == 0) return Mode::kTick;
+  return Mode::kEvent;
+}
 
 void Scheduler::add(Component* component) {
   assert(component != nullptr);
   components_.push_back(component);
+  quiescence_.resize(components_.size());
 }
 
 void Scheduler::reset() {
@@ -21,6 +35,16 @@ bool Scheduler::all_idle() const {
   return true;
 }
 
+std::string Scheduler::busy_components() const {
+  std::string out;
+  for (const auto* c : components_) {
+    if (c->idle()) continue;
+    if (!out.empty()) out += ", ";
+    out += c->name();
+  }
+  return out;
+}
+
 void Scheduler::step(Cycle n) {
   for (Cycle i = 0; i < n; ++i) {
     for (auto* c : components_) c->tick(now_);
@@ -28,19 +52,58 @@ void Scheduler::step(Cycle n) {
   }
 }
 
-RunResult Scheduler::run(Cycle max_cycles) {
+RunResult Scheduler::finish_timeout() {
   RunResult r;
-  while (!all_idle()) {
-    if (now_ >= max_cycles) {
-      r.cycles = now_;
-      r.finished = false;
-      return r;
-    }
-    step(1);
-  }
   r.cycles = now_;
-  r.finished = true;
+  r.finished = false;
+  r.busy = busy_components();
   return r;
+}
+
+RunResult Scheduler::run(Cycle max_cycles) {
+  if (mode_ == Mode::kTick) {
+    while (!all_idle()) {
+      if (now_ >= max_cycles) return finish_timeout();
+      step(1);
+    }
+    return {now_, true, {}};
+  }
+
+  // Event mode. Each round: if any component would make progress this
+  // cycle, tick everyone (idle components included — their ticks may accrue
+  // stall statistics, exactly as in tick mode). Otherwise every component is
+  // quiescent: jump the clock by the minimum remaining span (clamped by the
+  // cycle limit) and have each component bulk-account the skipped cycles.
+  // Because nothing ticks inside a jump, no FIFO changes state mid-span and
+  // per-cycle stall accounting is uniform — skip(n) is exactly n no-op
+  // ticks. A component whose span is exhausted by the jump reports span 0
+  // next round and forces a real tick round.
+  while (!all_idle()) {
+    if (now_ >= max_cycles) return finish_timeout();
+
+    Cycle jump = std::numeric_limits<Cycle>::max();
+    bool all_quiescent = true;
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      const Quiescence q = components_[i]->quiescence();
+      if (q.span == 0) {
+        all_quiescent = false;
+        break;
+      }
+      quiescence_[i] = q;
+      jump = std::min(jump, q.span);
+    }
+    if (!all_quiescent) {
+      step(1);
+      continue;
+    }
+    jump = std::min(jump, max_cycles - now_);
+    assert(jump > 0);
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      components_[i]->skip(jump, quiescence_[i].reason);
+    }
+    now_ += jump;
+  }
+  return {now_, true, {}};
 }
 
 }  // namespace netpu::sim

@@ -1,8 +1,22 @@
-// Discrete-clock scheduler: advances all registered components one cycle at
-// a time until either every component reports idle or a cycle limit fires.
+// Discrete-clock scheduler with two execution modes over the same component
+// set and identical observable results (cycle counts, FIFO statistics,
+// component stall counters):
+//
+//  * kTick — the classical loop: every registered component ticks every
+//    cycle until all are idle or a cycle limit fires.
+//  * kEvent — next-event acceleration: each round the scheduler queries
+//    every component's Quiescence (a span of upcoming cycles whose ticks
+//    would make no externally visible progress). If any component has work
+//    this cycle, everyone ticks as usual; if *all* components are quiescent,
+//    the clock jumps by the minimum remaining span and each component
+//    accounts for the skipped cycles via Component::skip() — bulk-bumping
+//    exactly the stall counters / countdowns the equivalent ticks would
+//    have bumped. FIFO stall spans and multi-cycle FSM states therefore
+//    cost O(1) instead of O(span).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.hpp"
@@ -14,10 +28,23 @@ namespace netpu::sim {
 struct RunResult {
   Cycle cycles = 0;       // total cycles simulated
   bool finished = false;  // all components idle (vs. cycle-limit abort)
+  // Cycle-limit aborts only: names of the components still busy when the
+  // limit fired (comma-separated), so a wedged FSM is identifiable from the
+  // error path without a debugger.
+  std::string busy;
 };
 
 class Scheduler {
  public:
+  enum class Mode {
+    kTick,   // tick every component every cycle
+    kEvent,  // jump the clock over all-quiescent spans
+  };
+
+  // Process-wide default: Mode::kEvent, overridable with the NETPU_SCHED
+  // environment variable ("tick" or "event").
+  [[nodiscard]] static Mode default_mode();
+
   // Components are ticked in registration order each cycle; register
   // upstream producers before downstream consumers so a word can traverse
   // at most one hop per cycle.
@@ -25,20 +52,32 @@ class Scheduler {
 
   void reset();
 
+  void set_mode(Mode mode) { mode_ = mode; }
+  [[nodiscard]] Mode mode() const { return mode_; }
+
   // Run until all components are idle. `max_cycles` bounds runaway
   // simulations (deadlocked FSMs).
   RunResult run(Cycle max_cycles);
 
-  // Advance exactly `n` cycles (for fine-grained tests).
+  // Advance exactly `n` cycles (for fine-grained tests). Always ticks —
+  // single-stepping is inherently per-cycle.
   void step(Cycle n = 1);
 
   [[nodiscard]] Cycle now() const { return now_; }
 
   [[nodiscard]] bool all_idle() const;
 
+  // Names of components not currently idle, comma-separated ("" when all
+  // idle) — the payload of RunResult::busy.
+  [[nodiscard]] std::string busy_components() const;
+
  private:
+  RunResult finish_timeout();
+
   std::vector<Component*> components_;
+  std::vector<Quiescence> quiescence_;  // scratch, one slot per component
   Cycle now_ = 0;
+  Mode mode_ = default_mode();
 };
 
 }  // namespace netpu::sim

@@ -24,6 +24,23 @@ class Stats {
     }
   }
 
+  // Overwrite (or create) one counter. With `zero()` below this supports
+  // allocation-free reuse of a Stats object across requests: after the
+  // first request every key's map node exists and set() only assigns.
+  void set(std::string_view key, std::uint64_t value) {
+    const auto it = counters_.find(key);
+    if (it != counters_.end()) {
+      it->second = value;
+    } else {
+      counters_.emplace(std::string(key), value);
+    }
+  }
+
+  // Zero every counter without releasing map nodes.
+  void zero() {
+    for (auto& [key, value] : counters_) value = 0;
+  }
+
   [[nodiscard]] std::uint64_t get(std::string_view key) const {
     const auto it = counters_.find(key);
     return it == counters_.end() ? 0 : it->second;

@@ -1,0 +1,91 @@
+// Zero-allocation guarantee of the fast-backend serve hot path: after one
+// warm-up request, FastExecutor::run_into with per-context Scratch and a
+// reused RunResult performs no heap allocation at all — packing buffers,
+// inter-layer code vectors, softmax scratch and stats map nodes are all
+// reused. Enforced by instrumenting global operator new.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/fast_executor.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace netpu::core {
+namespace {
+
+TEST(FastExecutorAllocation, RunIntoIsAllocationFreeWhenWarm) {
+  common::Xoshiro256 rng(7);
+  nn::RandomMlpSpec spec;
+  spec.input_size = 29;
+  spec.hidden = {16, 11};
+  spec.outputs = 5;
+  spec.weight_bits = 4;
+  spec.activation_bits = 4;
+  auto mlp = nn::random_quantized_mlp(spec, rng);
+
+  NetpuConfig config;
+  config.softmax_unit = true;  // cover the softmax scratch path too
+  auto fast = FastExecutor::create(std::move(mlp), config);
+  ASSERT_TRUE(fast.ok()) << fast.error().to_string();
+
+  std::vector<std::uint8_t> image(29);
+  for (auto& p : image) p = static_cast<std::uint8_t>(rng.next_below(256));
+
+  FastExecutor::Scratch scratch;
+  RunResult result;
+  // Two warm-up requests: the first sizes every buffer, the second settles
+  // the swap rotation of the inter-layer code vectors.
+  ASSERT_TRUE(fast.value().run_into(image, true, scratch, result).ok());
+  ASSERT_TRUE(fast.value().run_into(image, true, scratch, result).ok());
+  const auto predicted = result.predicted;
+  const auto outputs = result.output_values;
+  const auto probabilities = result.probabilities;
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 16; ++i) {
+    const auto s = fast.value().run_into(image, true, scratch, result);
+    if (!s.ok()) break;
+  }
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "warm run_into allocated on the serve hot path";
+  // The warm runs still computed the right thing.
+  EXPECT_EQ(result.predicted, predicted);
+  EXPECT_EQ(result.output_values, outputs);
+  EXPECT_EQ(result.probabilities, probabilities);
+  EXPECT_GT(result.stats.get("mac_word_ops"), 0u);
+  EXPECT_GT(result.cycles, 0u);
+}
+
+}  // namespace
+}  // namespace netpu::core

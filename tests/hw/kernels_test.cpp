@@ -1,0 +1,155 @@
+// Kernel-dispatch differential suite: every table (scalar reference, AVX2
+// when compiled in and supported) must produce the exact row sum that
+// per-word hw::word_dot / word_dot_dense accumulation defines, across
+// precisions x signedness x packing mode x row lengths (including ragged
+// tails straddling word boundaries). Also covers the dispatch surface:
+// select() by name, NETPU_SIMD-style routing, and row_dot mode selection.
+#include "hw/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "hw/multiplier.hpp"
+#include "loadable/words.hpp"
+
+namespace netpu::hw::kernels {
+namespace {
+
+std::vector<std::int32_t> random_codes(common::Xoshiro256& rng, int count,
+                                       Precision prec) {
+  std::vector<std::int32_t> codes(static_cast<std::size_t>(count));
+  for (auto& c : codes) {
+    if (prec.bits == 1) {
+      c = rng.next_below(2) == 0 ? -1 : 1;
+    } else if (prec.is_signed) {
+      const std::int64_t lo = -(std::int64_t{1} << (prec.bits - 1));
+      c = static_cast<std::int32_t>(
+          lo + static_cast<std::int64_t>(
+                   rng.next_below(std::uint64_t{1} << prec.bits)));
+    } else {
+      c = static_cast<std::int32_t>(
+          rng.next_below(std::uint64_t{1} << prec.bits));
+    }
+  }
+  return codes;
+}
+
+// The defining reference: the LPU MAC loop's per-chunk accumulation with
+// `active = min(vpc, remaining)` tail handling.
+std::int64_t reference_row_dot(const std::vector<Word>& a,
+                               const std::vector<Word>& w, int total_values,
+                               Precision in_prec, Precision w_prec, bool dense) {
+  const bool binary = in_prec.bits == 1 && w_prec.bits == 1;
+  const int vpc = binary ? kBinaryChannelsPerWord
+                         : (dense ? dense_values_per_word(in_prec.bits)
+                                  : kLanesPerTnpu);
+  std::int64_t sum = 0;
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    const int active = static_cast<int>(std::min<std::int64_t>(
+        vpc, total_values - static_cast<std::int64_t>(c) * vpc));
+    if (dense && !binary) {
+      sum += word_dot_dense(a[c], w[c], in_prec, w_prec, active);
+    } else {
+      sum += word_dot(a[c], w[c], in_prec, w_prec, active);
+    }
+  }
+  return sum;
+}
+
+void check_table_against_reference(const Dispatch& d) {
+  common::Xoshiro256 rng(17);
+  // Lengths chosen to hit empty rows, sub-word rows, exact word multiples
+  // and ragged tails for every values-per-word in play.
+  const int lengths[] = {1, 3, 7, 8, 9, 16, 29, 63, 64, 65, 100, 128, 300, 517};
+  for (const int bits : {1, 2, 3, 4, 5, 8}) {
+    for (const bool in_signed : {true, false}) {
+      for (const bool dense : {false, true}) {
+        if (bits == 1 && !in_signed) continue;  // binary codes are {-1,+1}
+        const Precision in_prec{bits, in_signed};
+        const Precision w_prec{bits, true};
+        for (const int len : lengths) {
+          const auto in_codes = random_codes(rng, len, in_prec);
+          const auto w_codes = random_codes(rng, len, w_prec);
+          const auto a = dense ? loadable::pack_codes_dense(in_codes, in_prec)
+                               : loadable::pack_codes(in_codes, in_prec);
+          const auto w = dense ? loadable::pack_codes_dense(w_codes, w_prec)
+                               : loadable::pack_codes(w_codes, w_prec);
+          const auto expected =
+              reference_row_dot(a, w, len, in_prec, w_prec, dense);
+          const auto got = row_dot(d, a.data(), w.data(), a.size(), in_prec,
+                                   w_prec, dense, len);
+          ASSERT_EQ(got, expected)
+              << d.name << " bits=" << bits << " signed=" << in_signed
+              << " dense=" << dense << " len=" << len;
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, ScalarMatchesPerWordReference) {
+  check_table_against_reference(scalar());
+}
+
+TEST(Kernels, Avx2MatchesPerWordReference) {
+  const Dispatch* d = avx2();
+  if (d == nullptr) GTEST_SKIP() << "AVX2 table not compiled in / no CPU support";
+  check_table_against_reference(*d);
+}
+
+// Mixed-precision integer mode (input bits != weight bits) is legal in the
+// lane packing; make sure both tables agree there too.
+TEST(Kernels, MixedPrecisionIntRowsAgree) {
+  const Dispatch* v = avx2();
+  if (v == nullptr) GTEST_SKIP() << "AVX2 table not compiled in / no CPU support";
+  common::Xoshiro256 rng(23);
+  const Precision in_prec{3, false};
+  const Precision w_prec{8, true};
+  for (const int len : {5, 8, 40, 129}) {
+    const auto in_codes = random_codes(rng, len, in_prec);
+    const auto w_codes = random_codes(rng, len, w_prec);
+    const auto a = loadable::pack_codes(in_codes, in_prec);
+    const auto w = loadable::pack_codes(w_codes, w_prec);
+    EXPECT_EQ(v->dot_int(a.data(), w.data(), a.size(), in_prec, w_prec),
+              scalar().dot_int(a.data(), w.data(), a.size(), in_prec, w_prec));
+  }
+}
+
+TEST(Kernels, SelectByName) {
+  EXPECT_TRUE(select("scalar"));
+  EXPECT_STREQ(active().name, "scalar");
+  EXPECT_FALSE(select("neon"));  // unknown name leaves selection unchanged
+  EXPECT_STREQ(active().name, "scalar");
+  if (avx2() != nullptr) {
+    EXPECT_TRUE(select("avx2"));
+    EXPECT_STREQ(active().name, "avx2");
+  } else {
+    EXPECT_FALSE(select("avx2"));
+  }
+  EXPECT_TRUE(select("auto"));  // best available
+  EXPECT_STREQ(active().name, avx2() != nullptr ? "avx2" : "scalar");
+  EXPECT_TRUE(select("auto"));
+}
+
+TEST(Kernels, RowDotRoutesBinaryForBothPackings) {
+  // 1-bit dense packing coincides with the binary layout; row_dot must use
+  // the masked binary closed form for both (dense 1-bit padding decodes to
+  // -1, so the zero-pad-safe dense path would be wrong).
+  common::Xoshiro256 rng(31);
+  const Precision one{1, true};
+  const auto in_codes = random_codes(rng, 70, one);
+  const auto w_codes = random_codes(rng, 70, one);
+  const auto a = loadable::pack_codes(in_codes, one);
+  const auto w = loadable::pack_codes(w_codes, one);
+  const auto expected = reference_row_dot(a, w, 70, one, one, false);
+  for (const bool dense : {false, true}) {
+    EXPECT_EQ(row_dot(scalar(), a.data(), w.data(), a.size(), one, one, dense, 70),
+              expected);
+  }
+}
+
+}  // namespace
+}  // namespace netpu::hw::kernels

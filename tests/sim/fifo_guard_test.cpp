@@ -1,0 +1,101 @@
+// Regression suite for the Fifo protocol hardening: push-on-full and
+// pop-on-empty are hard failures in every build mode (the old assert()
+// guards vanished in Release builds, silently dropping words and breaking
+// FifoStats conservation), pop() moves the element out instead of
+// default-constructing + copying, and the bulk stall recorders used by the
+// event-driven scheduler account exactly like per-cycle failed attempts.
+#include "sim/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+namespace netpu::sim {
+namespace {
+
+TEST(FifoGuards, PushOnFullAborts) {
+  Fifo<int> f("tiny", 1, 4);
+  f.push(1);
+  EXPECT_DEATH(f.push(2), "push on full on fifo 'tiny'");
+}
+
+TEST(FifoGuards, PopOnEmptyAborts) {
+  Fifo<int> f("tiny", 1, 4);
+  EXPECT_DEATH((void)f.pop(), "pop on empty on fifo 'tiny'");
+}
+
+TEST(FifoGuards, FrontOnEmptyAborts) {
+  Fifo<int> f("tiny", 1, 4);
+  EXPECT_DEATH((void)f.front(), "front on empty on fifo 'tiny'");
+}
+
+TEST(FifoGuards, ZeroDepthAborts) {
+  EXPECT_DEATH(Fifo<int>("broken", 0, 4), "zero depth on fifo 'broken'");
+}
+
+// A payload that cannot be default-constructed or copied: compiles and
+// round-trips only if push/pop are genuinely move-based.
+struct MoveOnlyWord {
+  explicit MoveOnlyWord(int v) : value(std::make_unique<int>(v)) {}
+  MoveOnlyWord(MoveOnlyWord&&) = default;
+  MoveOnlyWord& operator=(MoveOnlyWord&&) = default;
+  MoveOnlyWord(const MoveOnlyWord&) = delete;
+  MoveOnlyWord& operator=(const MoveOnlyWord&) = delete;
+  std::unique_ptr<int> value;
+};
+
+TEST(FifoGuards, MoveOnlyPayloadRoundTrips) {
+  Fifo<MoveOnlyWord> f("move_only", 2, 4);
+  ASSERT_TRUE(f.try_push(MoveOnlyWord(7)));
+  f.push(MoveOnlyWord(8));
+  EXPECT_EQ(*f.pop().value, 7);
+  MoveOnlyWord out(0);
+  ASSERT_TRUE(f.try_pop(out));
+  EXPECT_EQ(*out.value, 8);
+  EXPECT_TRUE(f.empty());
+}
+
+struct CopyCounter {
+  CopyCounter() = default;
+  CopyCounter(const CopyCounter& other) : copies(other.copies + 1) {}
+  CopyCounter& operator=(const CopyCounter& other) {
+    copies = other.copies + 1;
+    return *this;
+  }
+  CopyCounter(CopyCounter&&) = default;
+  CopyCounter& operator=(CopyCounter&&) = default;
+  int copies = 0;
+};
+
+TEST(FifoGuards, PopDoesNotCopy) {
+  Fifo<CopyCounter> f("copy_count", 2, 4);
+  f.push(CopyCounter{});  // rvalue push: move into the queue
+  EXPECT_EQ(f.pop().copies, 0);
+  CopyCounter lv;
+  f.push(lv);  // lvalue push: exactly one copy into the queue
+  CopyCounter out;
+  ASSERT_TRUE(f.try_pop(out));
+  EXPECT_EQ(out.copies, 1);
+}
+
+TEST(FifoGuards, BulkStallRecordersMatchPerCycleAccounting) {
+  Fifo<int> a("bulk", 2, 4);
+  Fifo<int> b("percycle", 2, 4);
+  // Per-cycle accounting: n failed attempts.
+  int sink = 0;
+  for (int i = 0; i < 5; ++i) ASSERT_FALSE(b.try_pop(sink));
+  a.record_pop_stalls(5);
+  EXPECT_EQ(a.stats().pop_stalls, b.stats().pop_stalls);
+  a.push(1);
+  a.push(2);
+  b.push(1);
+  b.push(2);
+  for (int i = 0; i < 3; ++i) ASSERT_FALSE(b.try_push(9));
+  a.record_push_stalls(3);
+  EXPECT_EQ(a.stats().push_stalls, b.stats().push_stalls);
+  EXPECT_EQ(a.stats().pushes, b.stats().pushes);
+}
+
+}  // namespace
+}  // namespace netpu::sim

@@ -10,6 +10,7 @@
 //   --overlapped           flow-through weight streaming
 //   --functional           skip timing (golden evaluation only)
 //   --backend B            cycle | fast | fast-with-latency-model
+//   --simd K               row-dot kernels: scalar | avx2 | auto (default)
 //                          (hardware-path executor; default cycle)
 //   --stats                dump simulation counters
 //   --profile              per-layer cycle breakdown
@@ -26,6 +27,7 @@
 #include <string>
 
 #include "core/accelerator.hpp"
+#include "hw/kernels.hpp"
 #include "engine/inference_engine.hpp"
 #include "engine/session.hpp"
 #include "loadable/compiler.hpp"
@@ -77,6 +79,12 @@ int main(int argc, char** argv) {
       config.overlapped_weight_stream = true;
     } else if (arg == "--functional") {
       options.mode = core::RunMode::kFunctional;
+    } else if (arg == "--simd") {
+      const char* v = next();
+      if (v == nullptr || !hw::kernels::select(v)) {
+        std::fprintf(stderr, "--simd takes scalar | avx2 | auto\n");
+        return 2;
+      }
     } else if (arg == "--backend") {
       const char* v = next();
       if (v == nullptr || !core::parse_backend(v, options.backend)) {

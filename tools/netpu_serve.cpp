@@ -35,7 +35,8 @@
 // Misc: --seed S, --functional (golden evaluation, no cycle simulation),
 //       --backend cycle|fast|fast-with-latency-model (hardware-path
 //       executor; fast skips FIFO ticking but stays bit-identical; in
-//       remote mode this is sent as the per-request wire selector)
+//       remote mode this is sent as the per-request wire selector),
+//       --simd scalar|avx2|auto (row-dot kernel table; auto is default)
 //
 // Exit status: nonzero when nothing completed, an artifact failed to write,
 // or (remote mode) any client saw a transport or protocol error.
@@ -55,6 +56,7 @@
 
 #include "common/prng.hpp"
 #include "data/synthetic_mnist.hpp"
+#include "hw/kernels.hpp"
 #include "loadable/compiler.hpp"
 #include "net/client.hpp"
 #include "nn/model_zoo.hpp"
@@ -181,6 +183,11 @@ int main(int argc, char** argv) {
         return 2;
       }
       backend_set = true;
+    } else if (arg == "--simd" && (v = next())) {
+      if (!hw::kernels::select(v)) {
+        std::fprintf(stderr, "--simd takes scalar | avx2 | auto\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: netpu-serve [--models CSV] [--requests N] "
@@ -189,7 +196,7 @@ int main(int argc, char** argv) {
                    "[--queue-capacity Q] [--resident-cap K] [--contexts N] "
                    "[--devices N] [--metrics-out F] [--trace-out F] [--seed S] "
                    "[--remote H:P] [--predictions-out F] "
-                   "[--functional] [--backend B]\n");
+                   "[--functional] [--backend B] [--simd K]\n");
       return 2;
     }
   }
