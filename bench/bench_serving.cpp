@@ -1,28 +1,39 @@
-// Serving benchmark: serial cold driver vs. session engine.
+// Serving benchmark: serial cold driver vs. session engine, execution
+// backends, paced device pipelines, RPC overhead and SLO capacity.
 //
 // The serial baseline is the historical Driver::infer path — every request
 // re-streams the fused loadable (weights included) and simulates from a
 // fresh accelerator. The engine path loads the model stream once into a
 // Session (one persistent context per thread), so per-request host traffic
 // is the input stream only and the thread pool fans requests across
-// contexts. Two effects show up:
-//  * warm resident cycles < cold fused cycles (weight streaming leaves the
-//    per-request critical path);
-//  * simulator wall-clock throughput scales with threads (each request's
-//    simulation is single-threaded and independent).
+// contexts.
 //
-// Per-request model latency (simulated µs) feeds the serving-layer
-// histogram, so each row also reports p50/p95/p99 alongside throughput.
+// Every latency row reports *measured* per-request wall latency (exact
+// percentiles over the raw samples). An earlier revision summarized the
+// modeled/simulated latency instead — identical for every request of a
+// model, so each row degenerated to p50 == p99; the final row audit below
+// keeps that bug from coming back.
 //
-// The final section sweeps --devices 1..4 (layer-pipeline execution plans)
-// and the whole run is emitted as BENCH_serving.json — images/s and p50/p99
-// per backend and per device count plus the plan's modeled pipeline
-// throughput — so serving regressions diff as JSON. The modeled 1->2
-// scaling on the swept zoo model is asserted >= 1.7x.
+// Host-parallel sections are core-aware: wall-clock thread scaling is a
+// property of the host (nothing parallelizes on a 1-core container), so the
+// thread sweep asserts scaling only when the host has >= 2 cores and the
+// emitted JSON carries host_cores so consumers can tell. Device scaling is
+// asserted unconditionally — the device sweep runs *paced* (each plan stage
+// reserves its modeled microseconds of wall-clock device occupancy), which
+// makes the measured throughput device-limited rather than host-limited:
+// real wall scaling 1->2 devices must clear 1.5x next to the modeled 1.7x.
+//
+// The capacity section runs the canonical load::smoke_spec() search (shared
+// with `netpu-loadgen capacity --smoke`) at 1 and 2 devices: binary-search
+// the max sustainable req/s under a p99 SLO, then a validation probe at
+// 0.6x capacity for stable latency metrics.
+//
+// The whole run is emitted as BENCH_serving.json (load::write_bench_json)
+// and tools/bench_gate.py diffs it against the committed baseline.
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <chrono>
-#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +42,9 @@
 #include "data/synthetic_mnist.hpp"
 #include "engine/inference_engine.hpp"
 #include "engine/session.hpp"
+#include "load/bench_json.hpp"
+#include "load/capacity.hpp"
+#include "load/replay.hpp"
 #include "loadable/compiler.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
@@ -43,34 +57,27 @@ using namespace netpu;
 
 namespace {
 
-// One emitted measurement row (section/backends/devices discriminate).
-struct BenchRow {
-  std::string section;
-  std::string label;
-  std::size_t devices = 1;
-  double images_per_s = 0.0;
-  double p50_us = 0.0;
-  double p99_us = 0.0;
-  double modeled_images_per_s = 0.0;  // device sweep only
+struct Pct {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
 };
 
-void write_json(const std::string& path, const std::string& model,
-                std::size_t images, const std::vector<BenchRow>& rows,
-                double pipeline_scaling_1_to_2) {
-  std::ofstream f(path);
-  f << "{\n  \"model\": \"" << model << "\",\n  \"images\": " << images
-    << ",\n  \"pipeline_scaling_1_to_2\": " << pipeline_scaling_1_to_2
-    << ",\n  \"rows\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = rows[i];
-    f << "    {\"section\": \"" << r.section << "\", \"label\": \"" << r.label
-      << "\", \"devices\": " << r.devices
-      << ", \"images_per_s\": " << r.images_per_s << ", \"p50_us\": " << r.p50_us
-      << ", \"p99_us\": " << r.p99_us
-      << ", \"modeled_images_per_s\": " << r.modeled_images_per_s << "}"
-      << (i + 1 < rows.size() ? "," : "") << "\n";
-  }
-  f << "  ]\n}\n";
+// Exact nearest-rank percentiles over the raw measured samples.
+Pct exact_percentiles(std::vector<double> samples) {
+  Pct pct;
+  if (samples.empty()) return pct;
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double p) {
+    const auto n = samples.size();
+    const auto i = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(n - 1) + 0.5);
+    return samples[std::min(i, n - 1)];
+  };
+  pct.p50 = at(50.0);
+  pct.p95 = at(95.0);
+  pct.p99 = at(99.0);
+  return pct;
 }
 
 }  // namespace
@@ -86,25 +93,31 @@ int main() {
   for (const auto& img : dataset.images) images.push_back(img);
 
   const auto config = core::NetpuConfig::paper_instance();
+  const std::size_t host_cores = std::max(1u, std::thread::hardware_concurrency());
 
-  std::printf("Serving %zu synthetic-MNIST images, %s on the paper instance:\n\n",
-              images.size(), variant.name().c_str());
+  std::printf("Serving %zu synthetic-MNIST images, %s on the paper instance "
+              "(%zu host core%s):\n\n",
+              images.size(), variant.name().c_str(), host_cores,
+              host_cores == 1 ? "" : "s");
 
   // --- serial baseline: cold fused runs through the driver --------------
   core::Accelerator acc(config);
   runtime::Driver driver(acc);
   Cycle cold_cycles = 0;
-  serve::LatencyHistogram serial_latency;
+  std::vector<double> serial_us;
   const auto serial_start = std::chrono::steady_clock::now();
   for (const auto& image : images) {
+    const auto t0 = std::chrono::steady_clock::now();
     auto m = driver.infer(mlp, image);
     if (!m.ok()) {
       std::fprintf(stderr, "serial inference failed: %s\n",
                    m.error().to_string().c_str());
       return 1;
     }
+    serial_us.push_back(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
     cold_cycles = m.value().cycles;
-    serial_latency.record(m.value().measured_us);
   }
   const double serial_wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -112,10 +125,11 @@ int main() {
           .count();
   const double serial_ips =
       serial_wall > 0.0 ? static_cast<double>(images.size()) / serial_wall : 0.0;
+  const auto serial_pct = exact_percentiles(serial_us);
 
-  std::vector<BenchRow> rows;
-  rows.push_back({"driver", "serial cold", 1, serial_ips, serial_latency.p50(),
-                  serial_latency.p99(), 0.0});
+  std::vector<load::BenchRow> rows;
+  rows.push_back({"driver", "serial cold", 1, serial_ips, serial_pct.p50,
+                  serial_pct.p99, 0.0, 0.0});
 
   // Host traffic per request, both ways.
   auto model_stream = loadable::compile_model(mlp, config.compile_options());
@@ -129,10 +143,17 @@ int main() {
               "speedup", "host w/req", "p50 us", "p95 us", "p99 us");
   std::printf("%-22s %12.1f %12s %10zu %9.2f %9.2f %9.2f\n",
               "serial driver (cold)", serial_ips, "1.00x", fused_words,
-              serial_latency.p50(), serial_latency.p95(), serial_latency.p99());
+              serial_pct.p50, serial_pct.p95, serial_pct.p99);
 
   // --- engine: warm resident contexts, 1/2/4/8 threads ------------------
+  // Wall-clock thread scaling is host parallelism: each request's
+  // simulation is single-threaded and CPU-bound, so N threads only help
+  // when the host has N cores. The scaling assertion is therefore gated on
+  // host_cores >= 2 — on a 1-core box the flat numbers are the *correct*
+  // measurement, not a serving bug, and asserting on them would be testing
+  // the container, not the code.
   Cycle warm_cycles = 0;
+  double ips_one_thread = 0.0, ips_two_threads = 0.0;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     auto session = engine::Session::create(config, {.contexts = threads});
     if (!session.ok()) return 1;
@@ -150,20 +171,33 @@ int main() {
     }
     const auto& stats = batch.value().stats;
     warm_cycles = batch.value().results.front().cycles;
-    serve::LatencyHistogram warm_latency;
-    for (const auto& r : batch.value().results) {
-      warm_latency.record(r.latency_us(config));
-    }
+    if (threads == 1) ips_one_thread = stats.images_per_second;
+    if (threads == 2) ips_two_threads = stats.images_per_second;
+    const auto pct = exact_percentiles(batch.value().wall_us);
     char label[64];
     std::snprintf(label, sizeof label, "engine, %zu thread%s", threads,
                   threads == 1 ? "" : "s");
     std::printf("%-22s %12.1f %11.2fx %10zu %9.2f %9.2f %9.2f\n", label,
                 stats.images_per_second,
                 serial_ips > 0.0 ? stats.images_per_second / serial_ips : 0.0,
-                input_words, warm_latency.p50(), warm_latency.p95(),
-                warm_latency.p99());
+                input_words, pct.p50, pct.p95, pct.p99);
     rows.push_back({"engine_threads", label, 1, stats.images_per_second,
-                    warm_latency.p50(), warm_latency.p99(), 0.0});
+                    pct.p50, pct.p99, 0.0, 0.0});
+  }
+  if (host_cores >= 2) {
+    if (ips_two_threads < 1.25 * ips_one_thread) {
+      std::fprintf(stderr,
+                   "FAIL: %zu-core host, but 2 engine threads gave %.1f "
+                   "images/s vs %.1f at 1 thread (< 1.25x)\n",
+                   host_cores, ips_two_threads, ips_one_thread);
+      return 1;
+    }
+    std::printf("thread scaling 1->2: %.2fx on %zu cores (>=1.25x required)\n",
+                ips_one_thread > 0.0 ? ips_two_threads / ips_one_thread : 0.0,
+                host_cores);
+  } else {
+    std::printf("thread scaling not asserted: 1 host core, nothing to "
+                "parallelize (device scaling is asserted below instead)\n");
   }
 
   // --- execution backends: cycle sim vs. functional fast path -----------
@@ -216,11 +250,10 @@ int main() {
                     ? batch.value().stats.images_per_second / cycle_ips
                     : 0.0,
                 static_cast<unsigned long long>(results.front().cycles));
-    serve::LatencyHistogram backend_latency;
-    for (const auto& r : results) backend_latency.record(r.latency_us(config));
+    const auto pct = exact_percentiles(batch.value().wall_us);
     rows.push_back({"backend", core::to_string(backend), 1,
-                    batch.value().stats.images_per_second,
-                    backend_latency.p50(), backend_latency.p99(), 0.0});
+                    batch.value().stats.images_per_second, pct.p50, pct.p99,
+                    0.0, 0.0});
   }
   if (fast_ips < 5.0 * cycle_ips) {
     std::fprintf(stderr,
@@ -233,36 +266,51 @@ int main() {
       "(>=5x required)\n",
       cycle_ips > 0.0 ? fast_ips / cycle_ips : 0.0);
 
-  // --- device sweep: layer-pipeline execution plans ---------------------
+  // --- device sweep: paced layer-pipeline execution plans ---------------
   // TFC-w1a1: its per-layer time profile splits evenly enough that the
   // greedy stage assignment balances a two-stage pipeline, and the modeled
-  // 1->2 scaling must clear 1.7x. Wall images/s barely moves (the fast
-  // kernels do the same arithmetic either way) — the modeled pipeline
-  // throughput is the figure of merit; the wall numbers and the
-  // device-count-invariant predictions guard plan-execution overhead and
-  // correctness.
+  // 1->2 scaling must clear 1.7x. The sweep runs *paced*: every plan stage
+  // reserves its modeled microseconds of exclusive wall-clock occupancy on
+  // its device, so the measured images/s is bounded by device capacity, not
+  // by how fast this host grinds the (identical either way) kernel
+  // arithmetic — which is what let an earlier revision report 67k -> 72k
+  // "real" images/s from 1 -> 2 devices while modeling 1.8x. With pacing,
+  // real wall scaling is asserted >= 1.5x next to the modeled >= 1.7x, and
+  // predictions stay device-count invariant.
   const nn::ModelVariant sweep_variant{nn::Topology::kTfc, 1, 1};
   const auto sweep_mlp =
       nn::make_random_quantized_model(sweep_variant, true, rng);
-  std::printf("\ndevice sweep (%s, engine, fast-latency backend):\n",
-              sweep_variant.name().c_str());
-  std::printf("%-10s %14s %16s %10s %10s %10s\n", "devices", "wall img/s",
-              "modeled img/s", "scaling", "p50 us", "p99 us");
+  std::vector<std::vector<std::uint8_t>> sweep_images;
+  sweep_images.reserve(images.size() * 8);
+  for (int rep = 0; rep < 8; ++rep) {
+    for (const auto& img : images) sweep_images.push_back(img);
+  }
+  std::printf("\ndevice sweep (%s, engine, fast-latency backend, paced, %zu "
+              "requests):\n",
+              sweep_variant.name().c_str(), sweep_images.size());
+  std::printf("%-10s %14s %16s %10s %10s %10s %10s\n", "devices", "wall img/s",
+              "modeled img/s", "modeled x", "real x", "p50 us", "p99 us");
   double modeled_one = 0.0, modeled_two = 0.0;
+  double real_one = 0.0, real_two = 0.0;
   std::vector<std::size_t> single_device_predictions;
   for (const std::size_t d : {1u, 2u, 3u, 4u}) {
+    // 16 in-flight requests: host sleep/wake latency is ~100-200 us per
+    // paced stage on a small container, so fewer threads cannot offer
+    // enough load to saturate two devices' modeled capacity and the sweep
+    // would measure the host again (see the pacing note above).
     auto sweep_session =
-        engine::Session::create(config, {.contexts = 2, .devices = d});
+        engine::Session::create(config, {.contexts = 16, .devices = d});
     if (!sweep_session.ok()) return 1;
     if (auto s = sweep_session.value().load_model(sweep_mlp); !s.ok()) {
       std::fprintf(stderr, "sweep model load failed: %s\n",
                    s.error().to_string().c_str());
       return 1;
     }
-    engine::InferenceEngine sweep_eng(sweep_session.value(), 2);
+    engine::InferenceEngine sweep_eng(sweep_session.value(), 16);
     core::RunOptions options;
     options.backend = core::Backend::kFastLatencyModel;
-    auto batch = sweep_eng.run_batch(images, options);
+    options.pace_devices = true;
+    auto batch = sweep_eng.run_batch(sweep_images, options);
     if (!batch.ok()) {
       std::fprintf(stderr, "device sweep (%zu devices) failed: %s\n", d,
                    batch.error().to_string().c_str());
@@ -288,29 +336,37 @@ int main() {
     }
     const double modeled =
         sweep_session.value().plan().modeled_throughput_images_per_s();
-    if (d == 1) modeled_one = modeled;
-    if (d == 2) modeled_two = modeled;
-    serve::LatencyHistogram sweep_latency;
-    for (const auto& r : results) sweep_latency.record(r.latency_us(config));
-    std::printf("%-10zu %14.1f %16.1f %9.2fx %10.2f %10.2f\n", d,
-                batch.value().stats.images_per_second, modeled,
+    const double wall_ips = batch.value().stats.images_per_second;
+    if (d == 1) { modeled_one = modeled; real_one = wall_ips; }
+    if (d == 2) { modeled_two = modeled; real_two = wall_ips; }
+    const auto pct = exact_percentiles(batch.value().wall_us);
+    std::printf("%-10zu %14.1f %16.1f %9.2fx %9.2fx %10.2f %10.2f\n", d,
+                wall_ips, modeled,
                 modeled_one > 0.0 ? modeled / modeled_one : 0.0,
-                sweep_latency.p50(), sweep_latency.p99());
+                real_one > 0.0 ? wall_ips / real_one : 0.0, pct.p50, pct.p99);
     rows.push_back({"device_sweep", std::to_string(d) + " device(s)", d,
-                    batch.value().stats.images_per_second, sweep_latency.p50(),
-                    sweep_latency.p99(), modeled});
+                    wall_ips, pct.p50, pct.p99, modeled, 0.0});
   }
   const double scaling = modeled_one > 0.0 ? modeled_two / modeled_one : 0.0;
+  const double real_scaling = real_one > 0.0 ? real_two / real_one : 0.0;
   if (scaling < 1.7) {
     std::fprintf(stderr,
                  "FAIL: modeled pipeline scaling 1->2 devices %.2fx < 1.7x\n",
                  scaling);
     return 1;
   }
+  if (real_scaling < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: real (paced wall-clock) scaling 1->2 devices %.2fx "
+                 "< 1.5x\n",
+                 real_scaling);
+    return 1;
+  }
   std::printf(
-      "pipeline 1->2 devices: %.2fx modeled throughput (>=1.7x required), "
-      "predictions device-count invariant\n",
-      scaling);
+      "pipeline 1->2 devices: %.2fx modeled (>=1.7x required), %.2fx real "
+      "paced wall-clock (>=1.5x required), predictions device-count "
+      "invariant\n",
+      scaling, real_scaling);
 
   // --- RPC overhead: in-process submission vs. the loopback socket ------
   // Same serving stack (queue -> batcher -> registry -> engine, fast
@@ -336,8 +392,7 @@ int main() {
     const std::size_t rpc_requests = 4 * images.size();
 
     // In-process closed loop.
-    serve::LatencyHistogram local_latency;
-    std::mutex local_latency_mutex;  // guards local_latency
+    std::vector<double> local_us(rpc_requests, 0.0);
     std::atomic<std::size_t> cursor{0};
     const auto local_start = std::chrono::steady_clock::now();
     {
@@ -350,11 +405,9 @@ int main() {
             const auto t0 = std::chrono::steady_clock::now();
             auto h = rpc_server.submit("m", images[i % images.size()]);
             if (!h.ok() || !h.value().wait().ok()) std::abort();
-            const double us = std::chrono::duration<double, std::micro>(
-                                  std::chrono::steady_clock::now() - t0)
-                                  .count();
-            std::lock_guard<std::mutex> lock(local_latency_mutex);
-            local_latency.record(us);
+            local_us[i] = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
           }
         });
       }
@@ -365,6 +418,7 @@ int main() {
                                   .count();
     const double local_ips =
         local_wall > 0.0 ? static_cast<double>(rpc_requests) / local_wall : 0.0;
+    const auto local_pct = exact_percentiles(local_us);
 
     // Loopback socket closed loop: identical load through the front door.
     net::NetServer net_server(rpc_server, {});
@@ -388,8 +442,7 @@ int main() {
       if (!words.ok()) return 1;
       rpc_streams.push_back(std::move(words).value());
     }
-    serve::LatencyHistogram remote_latency;
-    std::mutex remote_latency_mutex;  // guards remote_latency
+    std::vector<double> remote_us(rpc_requests, 0.0);
     cursor.store(0);
     const auto remote_start = std::chrono::steady_clock::now();
     {
@@ -402,11 +455,9 @@ int main() {
             const auto t0 = std::chrono::steady_clock::now();
             auto r = pool.value()->infer("m", rpc_streams[i % images.size()]);
             if (!r.ok()) std::abort();
-            const double us = std::chrono::duration<double, std::micro>(
-                                  std::chrono::steady_clock::now() - t0)
-                                  .count();
-            std::lock_guard<std::mutex> lock(remote_latency_mutex);
-            remote_latency.record(us);
+            remote_us[i] = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
           }
         });
       }
@@ -417,6 +468,7 @@ int main() {
                                    .count();
     const double remote_ips =
         remote_wall > 0.0 ? static_cast<double>(rpc_requests) / remote_wall : 0.0;
+    const auto remote_pct = exact_percentiles(remote_us);
     net_server.stop();
     rpc_server.stop();
 
@@ -425,17 +477,94 @@ int main() {
                 rpc_requests, rpc_clients);
     std::printf("%-22s %12s %10s %10s\n", "path", "images/s", "p50 us", "p99 us");
     std::printf("%-22s %12.1f %10.2f %10.2f\n", "in-process submit", local_ips,
-                local_latency.p50(), local_latency.p99());
+                local_pct.p50, local_pct.p99);
     std::printf("%-22s %12.1f %10.2f %10.2f\n", "loopback socket", remote_ips,
-                remote_latency.p50(), remote_latency.p99());
+                remote_pct.p50, remote_pct.p99);
     std::printf("loopback retains %.0f%% of in-process throughput; p50 adds "
                 "%.1f us of wire + framing\n",
                 local_ips > 0.0 ? 100.0 * remote_ips / local_ips : 0.0,
-                remote_latency.p50() - local_latency.p50());
-    rows.push_back({"rpc", "in-process submit", 1, local_ips,
-                    local_latency.p50(), local_latency.p99(), 0.0});
-    rows.push_back({"rpc", "loopback socket", 1, remote_ips,
-                    remote_latency.p50(), remote_latency.p99(), 0.0});
+                remote_pct.p50 - local_pct.p50);
+    rows.push_back({"rpc", "in-process submit", 1, local_ips, local_pct.p50,
+                    local_pct.p99, 0.0, 0.0});
+    rows.push_back({"rpc", "loopback socket", 1, remote_ips, remote_pct.p50,
+                    remote_pct.p99, 0.0, 0.0});
+  }
+
+  // --- capacity under SLO: the canonical smoke search, 1 and 2 devices --
+  // load::smoke_spec() is shared verbatim with `netpu-loadgen capacity
+  // --smoke`, so these rows are the committed baseline the capacity_smoke
+  // ctest gate diffs fresh runs against. Paced fast execution: the knee
+  // tracks modeled device capacity, stable across hosts.
+  double capacity_one = 0.0, capacity_two = 0.0;
+  {
+    const auto spec = load::smoke_spec();
+    std::printf("\ncapacity under SLO (p99 <= %.0f us, success >= %.2f, %s, "
+                "paced fast backend):\n",
+                spec.slo.p99_us, spec.slo.min_success, spec.model.c_str());
+    std::printf("%-10s %14s %14s %12s %10s\n", "devices", "capacity rq/s",
+                "probe rq/s", "p50 us", "p99 us");
+    for (const std::size_t d : {1u, 2u}) {
+      serve::RegistryOptions registry_options;
+      registry_options.resident_cap = 1;
+      registry_options.contexts_per_model = spec.contexts;
+      registry_options.devices = d;
+      serve::ModelRegistry registry(config, registry_options);
+      if (auto s = registry.add_model(spec.model, mlp); !s.ok()) {
+        std::fprintf(stderr, "capacity model load failed: %s\n",
+                     s.error().to_string().c_str());
+        return 1;
+      }
+      serve::ServerOptions server_options;
+      server_options.dispatch_threads = spec.dispatch_threads;
+      server_options.policy.max_batch_size = spec.batch_size;
+      server_options.policy.max_wait_us = spec.max_wait_us;
+      server_options.queue_capacity = spec.queue_capacity;
+      server_options.run_options.backend = core::Backend::kFast;
+      server_options.run_options.pace_devices = true;
+      serve::Server capacity_server(registry, server_options);
+      capacity_server.start();
+      load::ServerTarget target(capacity_server, images);
+      const auto probe = load::make_probe(target, spec.plan);
+      const auto m = load::measure_capacity(probe, spec.slo, spec.lo_rps,
+                                            spec.hi_rps, spec.iterations);
+      capacity_server.stop();
+      if (m.search.capacity_rps <= 0.0) {
+        std::fprintf(stderr, "FAIL: no feasible rate found at %zu device(s)\n",
+                     d);
+        return 1;
+      }
+      if (d == 1) capacity_one = m.search.capacity_rps;
+      if (d == 2) capacity_two = m.search.capacity_rps;
+      const auto& v = m.validation;
+      std::printf("%-10zu %14.1f %14.1f %12.1f %10.1f\n", d,
+                  m.search.capacity_rps, v.completed_rps, v.p50_us, v.p99_us);
+      rows.push_back({"capacity", load::smoke_label(d), d, v.completed_rps,
+                      v.p50_us, v.p99_us, 0.0, m.search.capacity_rps});
+    }
+    std::printf("SLO capacity 1->2 devices: %.2fx\n",
+                capacity_one > 0.0 ? capacity_two / capacity_one : 0.0);
+  }
+
+  // --- row audit: percentiles must be real distributions ----------------
+  // p99 < p50 is impossible from sorted samples (a sign the row was filled
+  // from something else); p99 == p50 under contended open-loop or paced
+  // load means the row regressed to summarizing a modeled constant — the
+  // exact bug this bench used to have.
+  for (const auto& r : rows) {
+    if (r.p99_us < r.p50_us) {
+      std::fprintf(stderr, "FAIL: %s/%s reports p99 %.2f < p50 %.2f\n",
+                   r.section.c_str(), r.label.c_str(), r.p99_us, r.p50_us);
+      return 1;
+    }
+    const bool contended = r.section == "device_sweep" ||
+                           r.section == "capacity" || r.section == "rpc";
+    if (contended && !(r.p99_us > r.p50_us)) {
+      std::fprintf(stderr,
+                   "FAIL: %s/%s reports p50 == p99 == %.2f under contended "
+                   "load — latency collection is not per-request\n",
+                   r.section.c_str(), r.label.c_str(), r.p50_us);
+      return 1;
+    }
   }
 
   std::printf(
@@ -449,8 +578,9 @@ int main() {
       "fused loadable.\n",
       model_stream.value().size(), input_words, fused_words);
 
-  write_json("BENCH_serving.json", variant.name() + " + " + sweep_variant.name(),
-             images.size(), rows, scaling);
+  load::write_bench_json("BENCH_serving.json",
+                         variant.name() + " + " + sweep_variant.name(),
+                         images.size(), host_cores, rows, scaling);
   std::printf("wrote BENCH_serving.json (%zu rows)\n", rows.size());
   return 0;
 }

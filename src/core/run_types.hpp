@@ -64,6 +64,21 @@ struct RunOptions {
   // Optional caller-owned waveform trace (cycle-accurate mode only): the
   // LPU control FSMs record their state transitions into it.
   sim::Trace* trace = nullptr;
+  // Enforce the latency model's device occupancy on the wall clock: each
+  // execution-plan stage reserves its modeled microseconds of exclusive
+  // device time (a busy-horizon reservation) and the request waits the
+  // reservation out. Wall-clock throughput and tail latency then measure
+  // the *simulated hardware's* capacity — queueing, pipeline overlap and
+  // all — instead of how fast the host CPU can run the functional kernels.
+  // Paced requests execute on the plan path (bit-identical outputs, cycles
+  // carry the analytical estimate) whatever the backend. Off by default:
+  // only load benches and the capacity harness opt in.
+  bool pace_devices = false;
+  // Test hook for the SLO regression gate: stretch every request's execute
+  // stage by this much real time (sleep after the kernels run). Lets CI
+  // inject a latency regression and prove the gate catches it; never set
+  // in production paths.
+  std::uint32_t slowdown_us = 0;
 };
 
 struct LayerProfile {

@@ -16,12 +16,17 @@ Result<BatchRunResult> InferenceEngine::run_batch(
     const core::RunOptions& options) {
   BatchRunResult batch;
   batch.results.resize(images.size());
+  batch.wall_us.resize(images.size(), 0.0);
   if (images.empty()) return batch;
 
   std::vector<std::optional<common::Error>> errors(images.size());
   const auto start = std::chrono::steady_clock::now();
   pool_.parallel_for(images.size(), [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
     auto r = session_.run(images[i], options);
+    batch.wall_us[i] = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
     if (r.ok()) {
       batch.results[i] = std::move(r).value();
     } else {

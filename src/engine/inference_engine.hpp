@@ -30,6 +30,14 @@ struct BatchStats {
 
 struct BatchRunResult {
   std::vector<core::RunResult> results;  // one per request, input order
+  // Measured host latency of each request (same order): the wall-clock span
+  // of its Session::run call, including any context-pool wait or paced
+  // device-occupancy sleep. Unlike the simulated/modeled latency in
+  // `results[i].cycles`, these differ request to request, so percentile
+  // summaries computed from them are real distributions (the p50 == p99
+  // rows the serving bench used to emit came from summarizing the
+  // deterministic modeled latency instead).
+  std::vector<double> wall_us;
   BatchStats stats;
 };
 

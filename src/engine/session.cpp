@@ -1,5 +1,7 @@
 #include "engine/session.hpp"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "hw/activation_unit.hpp"
@@ -139,6 +141,16 @@ Result<core::RunResult> Session::run(std::span<const std::uint8_t> image,
   if (!model_loaded_) {
     return Error{ErrorCode::kInvalidArgument, "session has no model loaded"};
   }
+  if (options.slowdown_us > 0 && options.mode == core::RunMode::kCycleAccurate) {
+    // Regression-injection hook (see RunOptions::slowdown_us): run normally,
+    // then stretch the execute stage by the configured real time so the SLO
+    // gate has something to catch.
+    core::RunOptions inner = options;
+    inner.slowdown_us = 0;
+    auto r = run(image, inner);
+    std::this_thread::sleep_for(std::chrono::microseconds(options.slowdown_us));
+    return r;
+  }
   if (options.mode == core::RunMode::kFunctional) {
     // Golden evaluation needs no context; capability checks happened at
     // load_model.
@@ -155,10 +167,13 @@ Result<core::RunResult> Session::run(std::span<const std::uint8_t> image,
     r.cycles = 0;
     return r;
   }
-  if (plan_.kind() != runtime::PlanKind::kSingleDevice) {
+  if (plan_.kind() != runtime::PlanKind::kSingleDevice || options.pace_devices) {
     // Multi-device plans execute on the fast kernels under per-device
     // leases; kCycle and kFastLatencyModel carry the analytical estimate.
-    return run_plan(image, options.backend != core::Backend::kFast);
+    // Paced requests take this path on every plan kind (a single-device
+    // plan is one step covering all layers), so the device busy horizon
+    // throttles them in wall-clock time.
+    return run_plan(image, options);
   }
   if (options.backend != core::Backend::kCycle) {
     // Fast path: blocked word kernels against the resident executor. No
@@ -178,7 +193,8 @@ Result<core::RunResult> Session::run_input_stream(std::span<const Word> input_st
   }
   if (options.mode == core::RunMode::kFunctional ||
       options.backend != core::Backend::kCycle ||
-      plan_.kind() != runtime::PlanKind::kSingleDevice) {
+      plan_.kind() != runtime::PlanKind::kSingleDevice ||
+      options.pace_devices || options.slowdown_us > 0) {
     // Decode the image and dispatch through run(), which picks the golden
     // evaluation, the fast executor, or the multi-device plan; none of
     // those consumes the raw stream.
@@ -239,11 +255,23 @@ Result<core::RunResult> Session::run_fused(std::span<const Word> stream,
 }
 
 Result<core::RunResult> Session::run_plan(std::span<const std::uint8_t> image,
-                                          bool stamp_latency) {
+                                          const core::RunOptions& options) {
   if (image.size() != model_.input_size()) {
     return Error{ErrorCode::kInvalidArgument, "input image size mismatch"};
   }
+  const bool stamp_latency = options.backend != core::Backend::kFast;
   const std::size_t last_layer = model_.layers.size() - 1;
+  // Paced mode: after a stage's kernels finish (exclusivity released), the
+  // request reserves the stage's modeled microseconds on that device's busy
+  // horizon and waits them out before its next stage — consecutive requests
+  // therefore overlap across pipeline stages exactly like the modeled
+  // hardware, and a device's wall-clock throughput cannot exceed
+  // 1 / stage_us whatever the host CPU does. Sharded parts pace serially on
+  // their own devices (a conservative stand-in for the parallel scatter).
+  const auto pace = [&](std::size_t device, double us) {
+    if (!options.pace_devices) return;
+    std::this_thread::sleep_until(devices_[device]->reserve_paced(us));
+  };
   core::RunResult r;
   // Per-thread staging buffers: the plan walk reuses them across steps and
   // requests, so a warmed serving thread stops allocating per layer (the
@@ -254,18 +282,21 @@ Result<core::RunResult> Session::run_plan(std::span<const std::uint8_t> image,
   thread_local std::vector<std::int32_t> sums;
   for (const auto& step : plan_.steps()) {
     if (!step.sharded) {
-      auto lease = devices_[step.device]->acquire_stage();
-      lease.charge(step.estimated_us);
-      for (std::size_t l = step.first_layer; l <= step.last_layer; ++l) {
-        if (l == 0) {
-          fast_->input_layer_codes_into(image, codes);
-        } else if (l == last_layer) {
-          fast_->output_values_into(codes, scratch, r.output_values);
-        } else {
-          fast_->forward_layer_into(l, codes, scratch, staged);
-          std::swap(codes, staged);
+      {
+        auto lease = devices_[step.device]->acquire_stage();
+        lease.charge(step.estimated_us);
+        for (std::size_t l = step.first_layer; l <= step.last_layer; ++l) {
+          if (l == 0) {
+            fast_->input_layer_codes_into(image, codes);
+          } else if (l == last_layer) {
+            fast_->output_values_into(codes, scratch, r.output_values);
+          } else {
+            fast_->forward_layer_into(l, codes, scratch, staged);
+            std::swap(codes, staged);
+          }
         }
       }
+      pace(step.device, step.estimated_us);
       continue;
     }
     // Sharded steps cover exactly one weighted layer.
@@ -279,20 +310,23 @@ Result<core::RunResult> Session::run_plan(std::span<const std::uint8_t> image,
       thread_local std::vector<std::int64_t> part_values;
       next.clear();
       for (const auto& part : step.parts) {
-        auto lease = devices_[part.device]->acquire_stage();
-        lease.charge(part.estimated_us);
-        fast_->partial_sums_into(l, codes, part.neuron_begin, part.neuron_count,
-                                 0, layer.input_length, /*with_bias=*/true,
-                                 scratch, sums);
-        if (l == last_layer) {
-          fast_->finalize_output_values_into(l, part.neuron_begin, sums,
-                                             part_values);
-          r.output_values.insert(r.output_values.end(), part_values.begin(),
-                                 part_values.end());
-        } else {
-          fast_->finalize_codes_into(l, part.neuron_begin, sums, part_codes);
-          next.insert(next.end(), part_codes.begin(), part_codes.end());
+        {
+          auto lease = devices_[part.device]->acquire_stage();
+          lease.charge(part.estimated_us);
+          fast_->partial_sums_into(l, codes, part.neuron_begin,
+                                   part.neuron_count, 0, layer.input_length,
+                                   /*with_bias=*/true, scratch, sums);
+          if (l == last_layer) {
+            fast_->finalize_output_values_into(l, part.neuron_begin, sums,
+                                               part_values);
+            r.output_values.insert(r.output_values.end(), part_values.begin(),
+                                   part_values.end());
+          } else {
+            fast_->finalize_codes_into(l, part.neuron_begin, sums, part_codes);
+            next.insert(next.end(), part_codes.begin(), part_codes.end());
+          }
         }
+        pace(part.device, part.estimated_us);
       }
       if (l != last_layer) std::swap(codes, next);
     } else {
@@ -304,17 +338,20 @@ Result<core::RunResult> Session::run_plan(std::span<const std::uint8_t> image,
       thread_local std::vector<std::int32_t> totals;
       totals.assign(static_cast<std::size_t>(layer.neurons), 0);
       for (const auto& part : step.parts) {
-        auto lease = devices_[part.device]->acquire_stage();
-        lease.charge(part.estimated_us);
-        fast_->partial_sums_into(l, codes, 0, layer.neurons, part.input_begin,
-                                 part.input_length, part.carries_bias, scratch,
-                                 sums);
-        hw::Accumulator acc;
-        for (std::size_t j = 0; j < totals.size(); ++j) {
-          acc.reset(totals[j]);
-          acc.add(sums[j]);
-          totals[j] = acc.value();
+        {
+          auto lease = devices_[part.device]->acquire_stage();
+          lease.charge(part.estimated_us);
+          fast_->partial_sums_into(l, codes, 0, layer.neurons, part.input_begin,
+                                   part.input_length, part.carries_bias, scratch,
+                                   sums);
+          hw::Accumulator acc;
+          for (std::size_t j = 0; j < totals.size(); ++j) {
+            acc.reset(totals[j]);
+            acc.add(sums[j]);
+            totals[j] = acc.value();
+          }
         }
+        pace(part.device, part.estimated_us);
       }
       if (l == last_layer) {
         fast_->finalize_output_values_into(l, 0, totals, r.output_values);

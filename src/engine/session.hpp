@@ -127,10 +127,14 @@ class Session {
   Session(core::NetpuConfig config, SessionOptions options,
           std::vector<std::unique_ptr<runtime::Device>> devices);
 
-  // Execute the multi-device plan on the fast kernels: pipeline stages and
-  // shard scatter/gather with wrap-around partial-sum reduction.
+  // Execute the execution plan on the fast kernels: pipeline stages and
+  // shard scatter/gather with wrap-around partial-sum reduction. With
+  // RunOptions::pace_devices each stage additionally reserves its modeled
+  // microseconds of wall-clock device occupancy (runtime::Device busy
+  // horizon) and waits the reservation out, so wall-clock throughput and
+  // latency reflect the modeled hardware rather than host kernel speed.
   [[nodiscard]] common::Result<core::RunResult> run_plan(
-      std::span<const std::uint8_t> image, bool stamp_latency);
+      std::span<const std::uint8_t> image, const core::RunOptions& options);
 
   core::NetpuConfig config_;
   SessionOptions options_;

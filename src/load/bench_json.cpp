@@ -1,0 +1,29 @@
+#include "load/bench_json.hpp"
+
+#include <fstream>
+
+namespace netpu::load {
+
+void write_bench_json(const std::string& path, const std::string& model,
+                      std::size_t images, std::size_t host_cores,
+                      std::span<const BenchRow> rows,
+                      double pipeline_scaling_1_to_2) {
+  std::ofstream f(path, std::ios::trunc);
+  f << "{\n  \"schema\": 2,\n  \"model\": \"" << model
+    << "\",\n  \"images\": " << images << ",\n  \"host_cores\": " << host_cores
+    << ",\n  \"pipeline_scaling_1_to_2\": " << pipeline_scaling_1_to_2
+    << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    f << "    {\"section\": \"" << r.section << "\", \"label\": \"" << r.label
+      << "\", \"devices\": " << r.devices
+      << ", \"images_per_s\": " << r.images_per_s
+      << ", \"p50_us\": " << r.p50_us << ", \"p99_us\": " << r.p99_us
+      << ", \"modeled_images_per_s\": " << r.modeled_images_per_s
+      << ", \"capacity_rps\": " << r.capacity_rps << "}"
+      << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+}
+
+}  // namespace netpu::load

@@ -1,0 +1,34 @@
+// Machine-readable serving-benchmark rows: the schema behind
+// BENCH_serving.json and the SLO regression gate (tools/bench_gate.py).
+//
+// One writer shared by bench/bench_serving and tools/netpu_loadgen so the
+// gate diffs a single schema: rows keyed by (section, label), each carrying
+// throughput and *measured* p50/p99 (wall-clock per-request latency — never
+// the modeled constant that once made every row report p50 == p99), plus
+// host_cores at the top level so consumers can tell which rows are
+// host-parallelism-bound on a small CI box.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace netpu::load {
+
+struct BenchRow {
+  std::string section;  // e.g. "engine_threads", "device_sweep", "capacity"
+  std::string label;    // unique within the section
+  std::size_t devices = 1;
+  double images_per_s = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double modeled_images_per_s = 0.0;  // device sweep rows only
+  double capacity_rps = 0.0;          // capacity rows only
+};
+
+void write_bench_json(const std::string& path, const std::string& model,
+                      std::size_t images, std::size_t host_cores,
+                      std::span<const BenchRow> rows,
+                      double pipeline_scaling_1_to_2);
+
+}  // namespace netpu::load

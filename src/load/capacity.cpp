@@ -1,0 +1,125 @@
+#include "load/capacity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace netpu::load {
+
+namespace {
+
+void judge(CapacityProbe& probe, const SloPolicy& slo) {
+  const double success = probe.offered_rps > 0.0
+                             ? probe.completed_rps / probe.offered_rps
+                             : 0.0;
+  probe.feasible = probe.p99_us <= slo.p99_us && success >= slo.min_success;
+}
+
+}  // namespace
+
+CapacityResult search_capacity(const ProbeFn& probe, const SloPolicy& slo,
+                               double lo_rps, double hi_rps,
+                               int bisect_iterations) {
+  CapacityResult result;
+  if (!(lo_rps > 0.0) || hi_rps < lo_rps) return result;
+
+  const auto measure = [&](double rps) {
+    CapacityProbe p = probe(rps);
+    p.target_rps = rps;
+    judge(p, slo);
+    result.probes.push_back(p);
+    return p.feasible;
+  };
+
+  // Geometric growth from lo: double while feasible, stop at the first
+  // infeasible probe (the knee bracket) or at hi.
+  double low = 0.0;   // highest known-feasible target rate
+  double high = 0.0;  // lowest known-infeasible target rate
+  double rate = lo_rps;
+  bool bracketed = false;
+  for (;;) {
+    const double r = std::min(rate, hi_rps);
+    if (measure(r)) {
+      low = r;
+      if (r >= hi_rps) break;
+      rate = std::min(r * 2.0, hi_rps);
+    } else {
+      high = r;
+      bracketed = true;
+      break;
+    }
+  }
+
+  if (bracketed) {
+    // Bisect (low, high); low == 0 means even lo_rps failed and the knee
+    // (if any) sits below it.
+    for (int i = 0; i < bisect_iterations; ++i) {
+      const double mid = 0.5 * (low + high);
+      if (mid <= low || mid >= high) break;
+      if (measure(mid)) {
+        low = mid;
+      } else {
+        high = mid;
+      }
+    }
+  }
+  result.capacity_rps = low;
+  result.at_capacity = bracketed;
+  return result;
+}
+
+CapacityMeasurement measure_capacity(const ProbeFn& probe, const SloPolicy& slo,
+                                     double lo_rps, double hi_rps,
+                                     int bisect_iterations,
+                                     double validation_fraction) {
+  CapacityMeasurement m;
+  m.search = search_capacity(probe, slo, lo_rps, hi_rps, bisect_iterations);
+  if (m.search.capacity_rps > 0.0) {
+    const double rate = m.search.capacity_rps * validation_fraction;
+    m.validation = probe(rate);
+    m.validation.target_rps = rate;
+    judge(m.validation, slo);
+  }
+  return m;
+}
+
+ProbeFn make_probe(ReplayTarget& target, ProbePlan plan) {
+  // Shared counter so successive probes draw distinct (but deterministic)
+  // trace seeds: probe k of a search is reproducible run to run.
+  auto counter = std::make_shared<std::uint64_t>(0);
+  return [&target, plan, counter](double rps) {
+    SynthesisOptions synth = plan.synth;
+    synth.rate_rps = rps;
+    synth.requests = std::max(
+        plan.min_requests,
+        static_cast<std::size_t>(std::llround(rps * plan.probe_seconds)));
+    synth.seed = plan.synth.seed + (*counter)++;
+    const auto trace = synthesize(synth);
+    const auto r = replay(trace, target, plan.replay);
+    CapacityProbe probe;
+    probe.offered_rps = r.offered_rps;
+    probe.completed_rps = r.completed_rps;
+    probe.p50_us = r.p50_us;
+    probe.p99_us = r.p99_us;
+    return probe;
+  };
+}
+
+SmokeSpec smoke_spec() {
+  SmokeSpec spec;
+  spec.plan.synth.models = {spec.model};
+  spec.plan.synth.shape = ArrivalShape::kPoisson;
+  spec.plan.synth.seed = 17;
+  spec.plan.synth.inputs = 64;
+  spec.plan.replay.workers = 32;
+  spec.plan.probe_seconds = 0.4;
+  spec.plan.min_requests = 64;
+  return spec;
+}
+
+std::string smoke_label(std::size_t devices) {
+  return "paced fast, " + std::to_string(devices) +
+         (devices == 1 ? " device" : " devices");
+}
+
+}  // namespace netpu::load

@@ -1,0 +1,110 @@
+// Capacity search: the maximum sustainable offered rate under a p99 SLO.
+//
+// The probe function measures one open-loop replay at a target rate; the
+// search drives it with geometric growth from `lo_rps` (doubling while the
+// SLO holds) to bracket the knee, then bisects the bracket. Feasibility is
+// p99 <= slo.p99_us AND completed/offered >= slo.min_success — an
+// overloaded server that sheds load by rejecting (queue-full) or expiring
+// requests fails the success-rate arm even when the survivors' p99 looks
+// healthy, so load shedding cannot masquerade as capacity.
+//
+// The returned capacity is the highest probed-feasible rate. `at_capacity`
+// says whether the search actually bracketed a knee: false means even
+// `hi_rps` was feasible and the number is a lower bound, not a capacity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "load/generators.hpp"
+#include "load/replay.hpp"
+
+namespace netpu::load {
+
+struct SloPolicy {
+  double p99_us = 5000.0;
+  double min_success = 0.99;  // completed / offered
+};
+
+// One probe measurement. `feasible` is filled by the search from SloPolicy.
+struct CapacityProbe {
+  double target_rps = 0.0;
+  double offered_rps = 0.0;
+  double completed_rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  bool feasible = false;
+};
+
+struct CapacityResult {
+  double capacity_rps = 0.0;          // highest probed-feasible offered rate
+  bool at_capacity = false;           // true iff an infeasible probe bracketed it
+  std::vector<CapacityProbe> probes;  // in probe order
+};
+
+// Measures one replay at the given target rate (requests/s).
+using ProbeFn = std::function<CapacityProbe(double rps)>;
+
+[[nodiscard]] CapacityResult search_capacity(const ProbeFn& probe,
+                                             const SloPolicy& slo,
+                                             double lo_rps, double hi_rps,
+                                             int bisect_iterations = 5);
+
+// search_capacity plus one validation probe at validation_fraction x the
+// measured capacity. The knee probe's p99 is pinned against the SLO bound
+// by construction (the search stops exactly where it crosses), so it is the
+// wrong latency to regression-gate on; the validation probe sits on the
+// flat part of the latency curve and is stable run to run — BENCH rows
+// report it.
+struct CapacityMeasurement {
+  CapacityResult search;
+  CapacityProbe validation;  // zeroed when no feasible rate was found
+};
+
+[[nodiscard]] CapacityMeasurement measure_capacity(
+    const ProbeFn& probe, const SloPolicy& slo, double lo_rps, double hi_rps,
+    int bisect_iterations = 5, double validation_fraction = 0.6);
+
+// Probe recipe for a ReplayTarget: synthesize a trace at the target rate
+// from the template options (rate, request count and seed are overridden
+// per probe; everything else — shape, models, deadline mix — carries
+// through), replay it open-loop, report the measured knee inputs.
+struct ProbePlan {
+  SynthesisOptions synth;      // template; rate_rps/requests/seed overridden
+  ReplayOptions replay;
+  double probe_seconds = 0.5;  // trace duration at the target rate
+  std::size_t min_requests = 64;
+};
+
+[[nodiscard]] ProbeFn make_probe(ReplayTarget& target, ProbePlan plan);
+
+// Canonical capacity-smoke recipe, shared verbatim by bench_serving's
+// capacity section (which writes the committed BENCH_serving.json baseline)
+// and `netpu-loadgen capacity --smoke` (which the ctest gate diffs against
+// it) — one definition so the two row sources cannot drift apart. The probe
+// runs paced fast-backend execution: wall-clock occupancy is reserved from
+// the device model, so the measured knee tracks modeled device capacity,
+// not host CPU speed, and the gate thresholds hold across machines.
+struct SmokeSpec {
+  std::string model = "SFC-w1a1";  // zoo variant, also the registered name
+  std::size_t contexts = 4;
+  std::size_t dispatch_threads = 4;
+  std::size_t batch_size = 8;
+  std::uint64_t max_wait_us = 200;
+  std::size_t queue_capacity = 256;
+  SloPolicy slo{/*p99_us=*/20000.0, /*min_success=*/0.99};
+  ProbePlan plan;
+  double lo_rps = 500.0;
+  double hi_rps = 64000.0;
+  int iterations = 5;
+};
+
+[[nodiscard]] SmokeSpec smoke_spec();
+
+// Row label for a smoke capacity run at the given device count, e.g.
+// "paced fast, 1 device" — the (section="capacity", label) key the gate
+// joins baseline and run rows on.
+[[nodiscard]] std::string smoke_label(std::size_t devices);
+
+}  // namespace netpu::load

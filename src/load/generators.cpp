@@ -1,0 +1,122 @@
+#include "load/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prng.hpp"
+
+namespace netpu::load {
+
+const char* to_string(ArrivalShape shape) {
+  switch (shape) {
+    case ArrivalShape::kPoisson: return "poisson";
+    case ArrivalShape::kBurst: return "burst";
+    case ArrivalShape::kDiurnal: return "diurnal";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Instantaneous rate lambda(t) for the configured shape, in requests/us.
+[[nodiscard]] double rate_at(const SynthesisOptions& o, double t_us) {
+  const double mean = o.rate_rps / 1e6;
+  const double period = static_cast<double>(o.period_us);
+  switch (o.shape) {
+    case ArrivalShape::kPoisson:
+      return mean;
+    case ArrivalShape::kBurst: {
+      const double duty = std::clamp(o.burst_duty, 0.0, 1.0);
+      const double factor = std::max(o.burst_factor, 1.0);
+      const double phase = period > 0.0 ? std::fmod(t_us, period) / period : 0.0;
+      if (phase < duty) return mean * factor;
+      // Off-phase rate chosen so the time average stays at `mean`, floored
+      // at zero when the burst alone already exceeds the mean budget.
+      const double off =
+          duty < 1.0 ? mean * (1.0 - factor * duty) / (1.0 - duty) : mean;
+      return std::max(off, 0.0);
+    }
+    case ArrivalShape::kDiurnal: {
+      const double amplitude = std::clamp(o.burst_factor - 1.0, 0.0, 1.0);
+      const double phase = period > 0.0 ? 2.0 * kPi * t_us / period : 0.0;
+      return mean * (1.0 + amplitude * std::sin(phase));
+    }
+  }
+  return mean;
+}
+
+// Peak of rate_at over all t: the thinning envelope.
+[[nodiscard]] double peak_rate(const SynthesisOptions& o) {
+  const double mean = o.rate_rps / 1e6;
+  switch (o.shape) {
+    case ArrivalShape::kPoisson:
+      return mean;
+    case ArrivalShape::kBurst:
+      return mean * std::max(o.burst_factor, 1.0);
+    case ArrivalShape::kDiurnal:
+      return mean * (1.0 + std::clamp(o.burst_factor - 1.0, 0.0, 1.0));
+  }
+  return mean;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> synthesize(const SynthesisOptions& options) {
+  std::vector<TraceEvent> events;
+  if (options.requests == 0 || options.rate_rps <= 0.0 ||
+      options.models.empty()) {
+    return events;
+  }
+  events.reserve(options.requests);
+  common::Xoshiro256 rng(options.seed);
+
+  // Zipf popularity CDF over the model list: rank i weighs 1/(i+1)^s.
+  std::vector<double> model_cdf(options.models.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < options.models.size(); ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1),
+                            std::max(options.zipf_s, 0.0));
+    model_cdf[i] = total;
+  }
+
+  std::vector<double> deadline_cdf;
+  double deadline_total = 0.0;
+  for (const auto& [weight, deadline] : options.deadline_mix) {
+    deadline_total += std::max(weight, 0.0);
+    deadline_cdf.push_back(deadline_total);
+  }
+
+  // Non-homogeneous Poisson via Lewis thinning: candidate arrivals at the
+  // peak rate, each kept with probability lambda(t) / peak.
+  const double peak = peak_rate(options);
+  double t_us = 0.0;
+  while (events.size() < options.requests) {
+    t_us += -std::log(1.0 - rng.next_double()) / peak;
+    if (rng.next_double() * peak > rate_at(options, t_us)) continue;
+
+    TraceEvent e;
+    e.arrival_us = static_cast<std::uint64_t>(std::llround(t_us));
+    const double mu = rng.next_double() * total;
+    const auto mit = std::lower_bound(model_cdf.begin(), model_cdf.end(), mu);
+    e.model = options.models[std::min(
+        static_cast<std::size_t>(mit - model_cdf.begin()),
+        options.models.size() - 1)];
+    if (deadline_total > 0.0) {
+      const double du = rng.next_double() * deadline_total;
+      const auto dit =
+          std::lower_bound(deadline_cdf.begin(), deadline_cdf.end(), du);
+      e.deadline_us = options
+                          .deadline_mix[std::min(
+                              static_cast<std::size_t>(dit - deadline_cdf.begin()),
+                              options.deadline_mix.size() - 1)]
+                          .second;
+    }
+    e.input = options.inputs > 0 ? rng.next_below(options.inputs) : 0;
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+}  // namespace netpu::load

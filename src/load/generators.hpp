@@ -1,0 +1,62 @@
+// Synthetic workload-trace generation: the shapes production MLP serving
+// actually sees, reproducible from a seed.
+//
+//   * model popularity — Zipf over the model list (exponent `zipf_s`;
+//     0 = uniform): a handful of hot models and a long cold tail, which is
+//     what exercises registry LRU behaviour under a small resident_cap;
+//   * arrival process — Poisson (open-loop steady state), burst (square-
+//     wave on/off overload) or diurnal (sinusoidal day-shape), all with the
+//     same configured *mean* rate so capacity numbers compare across
+//     shapes. Non-homogeneous shapes are realized by Lewis thinning against
+//     the peak rate, so inter-arrival statistics are exact, not binned;
+//   * deadline mix — weighted classes (e.g. 30% interactive @ 2ms, 70%
+//     batch @ none) sampled per request.
+//
+// Determinism: one common::Xoshiro256 stream drives everything, so a
+// (options, seed) pair always yields the identical trace — the record/replay
+// round-trip tests and the capacity gate both depend on that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "load/trace.hpp"
+
+namespace netpu::load {
+
+enum class ArrivalShape {
+  kPoisson,  // homogeneous at rate_rps
+  kBurst,    // square wave: burst_factor x mean for burst_duty of each period
+  kDiurnal,  // sinusoidal about the mean, period_us per cycle
+};
+
+[[nodiscard]] const char* to_string(ArrivalShape shape);
+
+struct SynthesisOptions {
+  std::size_t requests = 1024;
+  double rate_rps = 1000.0;  // mean arrival rate across the whole trace
+  ArrivalShape shape = ArrivalShape::kPoisson;
+  // Burst shape: peak rate is burst_factor x the mean for burst_duty of
+  // each period; the off phase rate is lowered to preserve the mean (floored
+  // at zero when burst_factor * burst_duty > 1). Diurnal reuses burst_factor
+  // as the peak/mean ratio of the sinusoid (amplitude capped at 1x mean).
+  double burst_factor = 4.0;
+  double burst_duty = 0.25;
+  std::uint64_t period_us = 1'000'000;
+  // Model popularity: rank i (0-based) gets weight 1 / (i+1)^zipf_s.
+  std::vector<std::string> models = {"m"};
+  double zipf_s = 1.0;
+  // Mixed-deadline traffic: {weight, deadline_us} classes, weights need not
+  // be normalized; deadline 0 = no deadline.
+  std::vector<std::pair<double, std::uint64_t>> deadline_mix = {{1.0, 0}};
+  std::size_t inputs = 64;  // input tags sampled uniformly from [0, inputs)
+  std::uint64_t seed = 1;
+};
+
+// Deterministic: same options (including seed) -> bit-identical trace.
+// Events come out sorted by arrival_us.
+[[nodiscard]] std::vector<TraceEvent> synthesize(const SynthesisOptions& options);
+
+}  // namespace netpu::load

@@ -1,0 +1,154 @@
+#include "load/replay.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace netpu::load {
+
+using common::Error;
+using common::ErrorCode;
+using common::Status;
+
+Status ServerTarget::infer(const TraceEvent& event) {
+  if (images_.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "replay target has no images"};
+  }
+  serve::RequestOptions options;
+  options.deadline_us = event.deadline_us;
+  if (event.backend >= 0) {
+    options.backend = static_cast<core::Backend>(event.backend);
+  }
+  options.input_tag = event.input;
+  auto handle = server_.submit(event.model,
+                               images_[event.input % images_.size()], options);
+  if (!handle.ok()) return handle.error();
+  auto result = handle.value().wait();
+  if (!result.ok()) return result.error();
+  return Status::ok_status();
+}
+
+Status RemoteTarget::infer(const TraceEvent& event) {
+  if (input_streams_.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "replay target has no input streams"};
+  }
+  net::SubmitOptions options;
+  options.deadline_us = event.deadline_us;
+  if (event.backend >= 0) {
+    options.backend = static_cast<core::Backend>(event.backend);
+  }
+  auto result = pool_.infer(
+      event.model, input_streams_[event.input % input_streams_.size()], options);
+  if (!result.ok()) return result.error();
+  return Status::ok_status();
+}
+
+ReplayResult replay(std::span<const TraceEvent> events, ReplayTarget& target,
+                    const ReplayOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  ReplayResult result;
+  result.offered = events.size();
+  if (events.empty()) return result;
+  const double speed = options.speed > 0.0 ? options.speed : 1.0;
+  const std::size_t workers = std::max<std::size_t>(options.workers, 1);
+
+  struct Item {
+    const TraceEvent* event;
+    Clock::time_point due;  // scheduled arrival — the latency origin
+  };
+  std::mutex mutex;  // guards queue, closed
+  std::condition_variable cv;
+  std::deque<Item> queue;
+  bool closed = false;
+  std::atomic<std::size_t> failed{0};
+  std::vector<std::vector<double>> samples(workers);
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      for (;;) {
+        Item item{};
+        {
+          std::unique_lock<std::mutex> lock(mutex);
+          cv.wait(lock, [&] { return !queue.empty() || closed; });
+          if (queue.empty()) return;
+          item = queue.front();
+          queue.pop_front();
+        }
+        auto s = target.infer(*item.event);
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() - item.due)
+                .count();
+        if (s.ok()) {
+          samples[w].push_back(us < 0.0 ? 0.0 : us);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  const auto origin = Clock::now();
+  for (const auto& event : events) {
+    const auto due =
+        origin + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double, std::micro>(
+                         static_cast<double>(event.arrival_us) / speed));
+    std::this_thread::sleep_until(due);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      queue.push_back(Item{&event, due});
+    }
+    cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    closed = true;
+  }
+  cv.notify_all();
+  for (auto& t : pool) t.join();
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - origin).count();
+
+  std::vector<double> merged;
+  for (auto& s : samples) {
+    merged.insert(merged.end(), s.begin(), s.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  result.completed = merged.size();
+  result.failed = failed.load();
+  if (result.wall_seconds > 0.0) {
+    result.offered_rps =
+        static_cast<double>(result.offered) / result.wall_seconds;
+    result.completed_rps =
+        static_cast<double>(result.completed) / result.wall_seconds;
+  }
+  if (!merged.empty()) {
+    double sum = 0.0;
+    for (const double us : merged) {
+      sum += us;
+      result.histogram.record(us);
+    }
+    // Exact nearest-rank percentiles over the sorted raw samples.
+    const auto rank = [&](double p) {
+      const auto n = merged.size();
+      const auto i = static_cast<std::size_t>(p / 100.0 *
+                                              static_cast<double>(n - 1) + 0.5);
+      return merged[std::min(i, n - 1)];
+    };
+    result.mean_us = sum / static_cast<double>(merged.size());
+    result.p50_us = rank(50.0);
+    result.p95_us = rank(95.0);
+    result.p99_us = rank(99.0);
+    result.max_us = merged.back();
+  }
+  return result;
+}
+
+}  // namespace netpu::load

@@ -1,0 +1,96 @@
+// Open-loop trace replay: fire each TraceEvent at its recorded arrival
+// time and measure latency from the *scheduled* arrival, not from when a
+// worker got around to it.
+//
+// That distinction is the whole point. A closed loop (N clients, next
+// request after the previous completes) self-throttles when the server
+// slows down, so its latency numbers flatter an overloaded system
+// (coordinated omission). Here a dispatcher thread sleeps to each event's
+// due time and hands it to a worker pool; if the server falls behind, the
+// backlog shows up as latency — exactly what a p99-SLO capacity probe needs
+// to see. `workers` caps replay-side concurrency, not the arrival schedule.
+//
+// Latency summaries are exact percentiles over the raw per-request samples
+// (sorted, not bucketed) — the serving bench's p50 == p99 bug came from
+// summarizing a modeled constant; the replay path keeps every measured
+// sample precisely so that cannot recur. An obs::LatencyHistogram of the
+// same samples rides along for merging/exposition.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "load/trace.hpp"
+#include "net/client.hpp"
+#include "obs/latency_histogram.hpp"
+#include "serve/server.hpp"
+
+namespace netpu::load {
+
+// Where replayed events land. infer() blocks until the request terminates
+// and is called concurrently from replay workers.
+class ReplayTarget {
+ public:
+  virtual ~ReplayTarget() = default;
+  [[nodiscard]] virtual common::Status infer(const TraceEvent& event) = 0;
+};
+
+// In-process serve::Server: submit + wait, image picked by input tag.
+class ServerTarget final : public ReplayTarget {
+ public:
+  ServerTarget(serve::Server& server,
+               std::span<const std::vector<std::uint8_t>> images)
+      : server_(server), images_(images) {}
+
+  [[nodiscard]] common::Status infer(const TraceEvent& event) override;
+
+ private:
+  serve::Server& server_;
+  std::span<const std::vector<std::uint8_t>> images_;
+};
+
+// Network front door: NPWF frames through a net::ClientPool. Input streams
+// are pre-compiled (loadable::compile_input) so the replay loop measures the
+// serving path, not compilation.
+class RemoteTarget final : public ReplayTarget {
+ public:
+  RemoteTarget(net::ClientPool& pool,
+               std::span<const std::vector<Word>> input_streams)
+      : pool_(pool), input_streams_(input_streams) {}
+
+  [[nodiscard]] common::Status infer(const TraceEvent& event) override;
+
+ private:
+  net::ClientPool& pool_;
+  std::span<const std::vector<Word>> input_streams_;
+};
+
+struct ReplayOptions {
+  double speed = 1.0;          // arrival-time compression: 2.0 replays 2x faster
+  std::size_t workers = 64;    // replay-side concurrency cap
+};
+
+struct ReplayResult {
+  std::size_t offered = 0;    // events dispatched
+  std::size_t completed = 0;  // infer() returned ok
+  std::size_t failed = 0;     // rejected / expired / transport errors
+  double wall_seconds = 0.0;
+  double offered_rps = 0.0;
+  double completed_rps = 0.0;
+  // Exact percentiles over completed requests, measured from each event's
+  // scheduled arrival time (open loop; see file comment).
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  obs::LatencyHistogram histogram;
+};
+
+[[nodiscard]] ReplayResult replay(std::span<const TraceEvent> events,
+                                  ReplayTarget& target,
+                                  const ReplayOptions& options = {});
+
+}  // namespace netpu::load

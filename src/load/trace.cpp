@@ -1,0 +1,159 @@
+#include "load/trace.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+namespace netpu::load {
+
+using common::Error;
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr std::string_view kHeader = "netpu-trace v1";
+
+[[nodiscard]] bool valid_model_name(const std::string& model) {
+  if (model.empty()) return false;
+  for (const char c : model) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) return false;
+  }
+  return true;
+}
+
+template <typename T>
+[[nodiscard]] bool parse_field(std::string_view token, T& out) {
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(token.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+Result<std::string> format_trace(std::span<const TraceEvent> events) {
+  std::string out;
+  out += kHeader;
+  out += '\n';
+  for (const auto& e : events) {
+    if (!valid_model_name(e.model)) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "trace model name '" + e.model +
+                       "' is empty or contains whitespace"};
+    }
+    out += std::to_string(e.arrival_us);
+    out += ' ';
+    out += e.model;
+    out += ' ';
+    out += std::to_string(e.deadline_us);
+    out += ' ';
+    out += std::to_string(e.backend);
+    out += ' ';
+    out += std::to_string(e.input);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<TraceEvent>> parse_trace(std::string_view text) {
+  std::vector<TraceEvent> events;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    const auto line = text.substr(pos, nl == std::string_view::npos
+                                           ? std::string_view::npos
+                                           : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kHeader) {
+        return Error{ErrorCode::kMalformedStream,
+                     "trace line 1: expected '" + std::string(kHeader) +
+                         "', got '" + std::string(line) + "'"};
+      }
+      saw_header = true;
+      continue;
+    }
+    std::istringstream fields{std::string(line)};
+    std::string arrival, model, deadline, backend, input, extra;
+    fields >> arrival >> model >> deadline >> backend >> input;
+    const bool five = !input.empty() && !(fields >> extra);
+    TraceEvent e;
+    e.model = model;
+    if (!five || !parse_field(arrival, e.arrival_us) ||
+        !parse_field(deadline, e.deadline_us) ||
+        !parse_field(backend, e.backend) || !parse_field(input, e.input)) {
+      return Error{ErrorCode::kMalformedStream,
+                   "trace line " + std::to_string(line_no) +
+                       ": expected 'arrival_us model deadline_us backend "
+                       "input', got '" +
+                       std::string(line) + "'"};
+    }
+    events.push_back(std::move(e));
+  }
+  if (!saw_header) {
+    return Error{ErrorCode::kMalformedStream, "trace is missing its header"};
+  }
+  return events;
+}
+
+Status write_trace(const std::string& path, std::span<const TraceEvent> events) {
+  auto text = format_trace(events);
+  if (!text.ok()) return text.error();
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    return Error{ErrorCode::kInvalidArgument, "cannot open '" + path + "'"};
+  }
+  f << text.value();
+  f.flush();
+  if (!f) {
+    return Error{ErrorCode::kInternal, "short write to '" + path + "'"};
+  }
+  return Status::ok_status();
+}
+
+Result<std::vector<TraceEvent>> read_trace(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    return Error{ErrorCode::kInvalidArgument, "cannot open '" + path + "'"};
+  }
+  std::ostringstream text;
+  text << f.rdbuf();
+  return parse_trace(text.str());
+}
+
+TraceRecorder::TraceRecorder() : origin_(std::chrono::steady_clock::now()) {}
+
+void TraceRecorder::on_arrival(const std::string& model,
+                               std::uint64_t deadline_us, int backend,
+                               std::uint64_t input_tag) {
+  TraceEvent e;
+  e.arrival_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+  e.model = model;
+  e.deadline_us = deadline_us;
+  e.backend = static_cast<std::int32_t>(backend);
+  e.input = input_tag;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+}  // namespace netpu::load

@@ -1,0 +1,82 @@
+// Workload-trace format: the record/replay currency of the capacity harness.
+//
+// A trace is the *offered* load against a serving instance — one event per
+// arrival (admitted or bounced at the queue), each carrying the request
+// metadata a replay needs to reproduce it: arrival time, model name,
+// deadline, backend override and the dataset input index. Traces come from
+// two places and are interchangeable:
+//   * record mode — load::TraceRecorder plugged into
+//     serve::ServerOptions::arrival_sink captures live traffic;
+//   * synthesis — load::synthesize() fabricates Zipf/diurnal/burst mixes
+//     (generators.hpp).
+// Either way the trace replays through load::replay() (replay.hpp) or feeds
+// the capacity search (capacity.hpp).
+//
+// On-disk format is line-oriented text so traces diff, grep and survive in
+// git: a "netpu-trace v1" header line, then one event per line as five
+// whitespace-separated fields
+//
+//   arrival_us model deadline_us backend input
+//
+// with backend = -1 meaning "server default". All fields are integers
+// except the model name (which therefore must not contain whitespace), so
+// format -> parse round-trips bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "serve/server.hpp"
+
+namespace netpu::load {
+
+struct TraceEvent {
+  std::uint64_t arrival_us = 0;   // offset from the trace origin
+  std::string model;
+  std::uint64_t deadline_us = 0;  // relative budget; 0 = none
+  std::int32_t backend = -1;      // core::Backend value; -1 = server default
+  std::uint64_t input = 0;        // dataset input index (replay picks image)
+
+  [[nodiscard]] bool operator==(const TraceEvent&) const = default;
+};
+
+// Serialize to the v1 text format. Fails (kInvalidArgument) on a model name
+// that is empty or contains whitespace — such a name cannot round-trip.
+[[nodiscard]] common::Result<std::string> format_trace(
+    std::span<const TraceEvent> events);
+
+// Parse the v1 text format; blank lines are ignored, anything else
+// malformed is kMalformedStream with a line number.
+[[nodiscard]] common::Result<std::vector<TraceEvent>> parse_trace(
+    std::string_view text);
+
+[[nodiscard]] common::Status write_trace(const std::string& path,
+                                         std::span<const TraceEvent> events);
+[[nodiscard]] common::Result<std::vector<TraceEvent>> read_trace(
+    const std::string& path);
+
+// Record mode: attach to serve::ServerOptions::arrival_sink and every
+// arrival is stamped against the recorder's construction-time origin.
+// Thread-safe (submitters call on_arrival concurrently).
+class TraceRecorder final : public serve::ArrivalSink {
+ public:
+  TraceRecorder();
+
+  void on_arrival(const std::string& model, std::uint64_t deadline_us,
+                  int backend, std::uint64_t input_tag) override;
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  const std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mutex_;  // guards events_
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace netpu::load

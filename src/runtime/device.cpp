@@ -31,6 +31,11 @@ struct Device::Pool {
   std::uint64_t waits = 0;
   std::uint64_t stage_runs = 0;
   double busy_us = 0.0;
+  // Paced-occupancy busy horizon: the wall-clock instant up to which the
+  // modeled device time is already spoken for (reserve_paced).
+  std::chrono::steady_clock::time_point pace_horizon{};
+  std::uint64_t paced_reservations = 0;
+  double paced_us = 0.0;
 };
 
 Device::Device(const core::NetpuConfig& config, std::size_t contexts)
@@ -88,7 +93,21 @@ DeviceStats Device::stats() const {
   s.waits = pool_->waits;
   s.stage_runs = pool_->stage_runs;
   s.busy_us = pool_->busy_us;
+  s.paced_reservations = pool_->paced_reservations;
+  s.paced_us = pool_->paced_us;
   return s;
+}
+
+std::chrono::steady_clock::time_point Device::reserve_paced(double us) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto width = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::micro>(us < 0.0 ? 0.0 : us));
+  std::lock_guard<std::mutex> lock(pool_->mutex);
+  if (pool_->pace_horizon < now) pool_->pace_horizon = now;
+  pool_->pace_horizon += width;
+  pool_->paced_reservations += 1;
+  pool_->paced_us += us < 0.0 ? 0.0 : us;
+  return pool_->pace_horizon;
 }
 
 Status Device::load_resident(std::span<const Word> model_stream) {

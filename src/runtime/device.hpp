@@ -19,6 +19,7 @@
 //    release) and accounting.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -42,6 +43,8 @@ struct DeviceStats {
   std::uint64_t waits = 0;       // acquisitions that blocked
   std::uint64_t stage_runs = 0;  // plan stages/shards executed here
   double busy_us = 0.0;          // modeled microseconds of those stages
+  std::uint64_t paced_reservations = 0;  // wall-clock occupancy reservations
+  double paced_us = 0.0;                 // microseconds of reserved wall time
 };
 
 class Device {
@@ -104,6 +107,16 @@ class Device {
     double us_ = 0.0;
   };
   [[nodiscard]] StageLease acquire_stage();
+
+  // Paced occupancy (RunOptions::pace_devices): reserve `us` of exclusive
+  // modeled device time on the wall clock and return when the reservation
+  // ends. Reservations queue back-to-back behind the device's busy horizon
+  // (horizon = max(horizon, now) + us), so concurrent requests serialize on
+  // the *modeled* hardware exactly like an execution pipeline — the caller
+  // sleeps until the returned time before moving to its next stage. The
+  // horizon arithmetic, not the sleep, is what bounds throughput: a late
+  // waker reserves behind whoever got there first.
+  [[nodiscard]] std::chrono::steady_clock::time_point reserve_paced(double us);
 
  private:
   Device(const core::NetpuConfig& config, std::size_t contexts);

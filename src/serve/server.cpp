@@ -43,6 +43,14 @@ Result<RequestHandle> Server::submit(const std::string& model,
     return Error{ErrorCode::kInvalidArgument,
                  "model '" + model + "' is not registered"};
   }
+  if (options_.arrival_sink != nullptr) {
+    // Offered load, recorded before admission control: queue-full bounces
+    // are part of the workload a capacity replay must reproduce.
+    options_.arrival_sink->on_arrival(
+        model, options.deadline_us,
+        options.backend.has_value() ? static_cast<int>(*options.backend) : -1,
+        options.input_tag);
+  }
 
   Request request;
   request.id = id;
@@ -186,6 +194,13 @@ std::string Server::prometheus_text() const {
       exporter.counter("netpu_device_busy_us_total",
                        "Modeled busy microseconds of plan stages on this device",
                        stats.busy_us, labels);
+      exporter.counter("netpu_device_paced_reservations_total",
+                       "Wall-clock occupancy reservations (paced execution)",
+                       static_cast<double>(stats.paced_reservations), labels);
+      exporter.counter("netpu_device_paced_us_total",
+                       "Microseconds of wall-clock device time reserved by "
+                       "paced execution",
+                       stats.paced_us, labels);
     }
   }
 

@@ -59,6 +59,26 @@ struct RequestOptions {
   std::uint64_t deadline_us = 0;
   // Execution-backend override for this request (nullopt = server default).
   std::optional<core::Backend> backend = std::nullopt;
+  // Opaque caller tag recorded into workload traces (ArrivalSink) alongside
+  // the request metadata — load generators stamp the dataset input index
+  // here so a recorded trace can be replayed against the same inputs. Not
+  // interpreted by the server.
+  std::uint64_t input_tag = 0;
+};
+
+// Workload-trace record hook (ISSUE: record mode in serve::Server). The
+// server reports every admissible arrival — admitted or bounced at the
+// queue — at submit time, i.e. the *offered* load, which is what a capacity
+// replay needs to reproduce. Implementations (load::TraceRecorder) stamp
+// their own arrival clock; calls arrive concurrently from submitter
+// threads, so implementations must be thread-safe.
+class ArrivalSink {
+ public:
+  virtual ~ArrivalSink() = default;
+  // `backend` is the wire-style selector: -1 = server default, otherwise a
+  // core::Backend enumerator value.
+  virtual void on_arrival(const std::string& model, std::uint64_t deadline_us,
+                          int backend, std::uint64_t input_tag) = 0;
 };
 
 struct ServerOptions {
@@ -73,6 +93,9 @@ struct ServerOptions {
   // stage histograms in ServerStats are always on.
   bool trace = false;
   std::size_t trace_capacity = 1 << 14;
+  // Workload-trace record mode: every arrival for a registered model is
+  // reported here (caller-owned, may be null). See ArrivalSink.
+  ArrivalSink* arrival_sink = nullptr;
 };
 
 class Server {

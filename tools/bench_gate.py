@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""SLO regression gate over BENCH_serving-schema JSON.
+
+Joins the run's rows against the committed baseline on (section, label) and
+fails on a regression in any compared row:
+
+  * p99_us        more than --p99-tolerance above baseline (default +15%)
+  * images_per_s  more than --throughput-tolerance below baseline (default -10%)
+  * capacity_rps  more than --throughput-tolerance below baseline (default -10%)
+
+Improvements always pass; a metric that is zero/absent in the baseline is not
+compared (a row gains metrics over time without tripping the gate). Exit
+codes: 0 pass, 1 regression, 2 miswired (no rows compared, unreadable input)
+-- a gate that silently compared nothing must not look green.
+
+Usage:
+  bench_gate.py --baseline BENCH_serving.json --run out.json [--sections capacity,rpc]
+  bench_gate.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path, sections):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        if sections and row.get("section") not in sections:
+            continue
+        rows[(row.get("section"), row.get("label"))] = row
+    return rows
+
+
+def compare(base_rows, run_rows, p99_tol, tput_tol):
+    """Returns (compared_count, failure message list)."""
+    failures = []
+    compared = 0
+    for key in sorted(base_rows.keys() & run_rows.keys()):
+        base, run = base_rows[key], run_rows[key]
+        name = "%s/%s" % key
+        compared += 1
+        b_p99, r_p99 = base.get("p99_us", 0), run.get("p99_us", 0)
+        if b_p99 > 0 and r_p99 > b_p99 * (1 + p99_tol):
+            failures.append(
+                "%s: p99 %.1f us > baseline %.1f us +%d%%"
+                % (name, r_p99, b_p99, round(p99_tol * 100))
+            )
+        for metric in ("images_per_s", "capacity_rps"):
+            b, r = base.get(metric, 0), run.get(metric, 0)
+            if b > 0 and r < b * (1 - tput_tol):
+                failures.append(
+                    "%s: %s %.1f < baseline %.1f -%d%%"
+                    % (name, metric, r, b, round(tput_tol * 100))
+                )
+    return compared, failures
+
+
+def self_test():
+    base = {
+        ("capacity", "d1"): {"p99_us": 1000.0, "images_per_s": 5000.0,
+                             "capacity_rps": 8000.0},
+        ("rpc", "loopback"): {"p99_us": 200.0, "images_per_s": 30000.0},
+        ("baseline_only", "x"): {"p99_us": 1.0},
+    }
+    # Identical run passes and compares the intersection only.
+    compared, failures = compare(base, dict(base), 0.15, 0.10)
+    assert compared == 3 and not failures, failures
+    # Improvements pass.
+    better = {("capacity", "d1"): {"p99_us": 500.0, "images_per_s": 9000.0,
+                                   "capacity_rps": 9000.0}}
+    compared, failures = compare(base, better, 0.15, 0.10)
+    assert compared == 1 and not failures, failures
+    # Within-tolerance noise passes.
+    noisy = {("capacity", "d1"): {"p99_us": 1100.0, "images_per_s": 4600.0,
+                                  "capacity_rps": 7300.0}}
+    compared, failures = compare(base, noisy, 0.15, 0.10)
+    assert not failures, failures
+    # p99 blowup fails.
+    slow = {("capacity", "d1"): {"p99_us": 1200.0, "images_per_s": 5000.0,
+                                 "capacity_rps": 8000.0}}
+    _, failures = compare(base, slow, 0.15, 0.10)
+    assert len(failures) == 1, failures
+    # Capacity collapse fails.
+    shrunk = {("capacity", "d1"): {"p99_us": 1000.0, "images_per_s": 5000.0,
+                                   "capacity_rps": 7000.0}}
+    _, failures = compare(base, shrunk, 0.15, 0.10)
+    assert len(failures) == 1, failures
+    # Zero-baseline metrics are not compared.
+    sparse_base = {("capacity", "d1"): {"p99_us": 0, "images_per_s": 0}}
+    _, failures = compare(sparse_base, slow, 0.15, 0.10)
+    assert not failures, failures
+    # Disjoint keys -> nothing compared (callers must exit 2).
+    compared, _ = compare(base, {("other", "y"): {"p99_us": 1.0}}, 0.15, 0.10)
+    assert compared == 0
+    print("bench_gate self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline")
+    parser.add_argument("--run")
+    parser.add_argument("--sections", help="comma-separated section filter")
+    parser.add_argument("--p99-tolerance", type=float, default=0.15)
+    parser.add_argument("--throughput-tolerance", type=float, default=0.10)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.run:
+        parser.error("--baseline and --run are required (or --self-test)")
+    sections = set(args.sections.split(",")) if args.sections else None
+    try:
+        base_rows = load_rows(args.baseline, sections)
+        run_rows = load_rows(args.run, sections)
+    except (OSError, ValueError) as e:
+        print("bench_gate: cannot load input: %s" % e, file=sys.stderr)
+        return 2
+    compared, failures = compare(base_rows, run_rows, args.p99_tolerance,
+                                 args.throughput_tolerance)
+    if compared == 0:
+        print("bench_gate: no rows in common between %s and %s%s"
+              % (args.baseline, args.run,
+                 " (sections: %s)" % args.sections if args.sections else ""),
+              file=sys.stderr)
+        return 2
+    for f in failures:
+        print("REGRESSION %s" % f, file=sys.stderr)
+    print("bench_gate: %d row(s) compared, %d regression(s)"
+          % (compared, len(failures)))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,501 @@
+// netpu-loadgen: trace-driven load generation and capacity search against
+// the serving stack (in-process serve::Server or a netpu-netd daemon).
+//
+//   netpu-loadgen synth --out F [options]      fabricate a workload trace
+//   netpu-loadgen replay --trace F [options]   open-loop replay, report SLO view
+//   netpu-loadgen capacity [options]           binary-search max req/s under SLO
+//
+// Trace synthesis (synth, and the capacity probe template):
+//   --requests N         trace length (default 1024)
+//   --rate R             mean arrival rate, req/s (default 1000)
+//   --shape S            poisson | burst | diurnal (default poisson)
+//   --burst-factor F     peak/mean rate ratio (default 4)
+//   --burst-duty D       fraction of each period at the peak (default 0.25)
+//   --period-us P        burst/diurnal cycle length (default 1000000)
+//   --models CSV         zoo variants, Zipf-ranked hot-to-cold (default SFC-w1a1)
+//   --zipf S             Zipf exponent over the model list (default 1.0)
+//   --deadline-mix W:D,..  weighted deadline classes, us (0 = none)
+//   --inputs N           distinct input tags (default 64)
+//   --seed S             determinism root (default 1)
+//
+// Replay / capacity target (in-process serving stack):
+//   --batch-size B --max-wait-us W --queue-capacity Q --resident-cap K
+//   --contexts N --devices N     as in netpu-serve
+//   --backend B          cycle | fast | fast-with-latency-model (default fast)
+//   --pace               reserve modeled wall-clock device occupancy per stage
+//                        (device-limited results, host-speed independent)
+//   --slowdown-us U      inject U us of extra latency per request — the SLO
+//                        regression the bench gate must catch (test hook)
+//   --remote H:P         replay against a daemon instead (capacity: in-process only)
+//   --speed X            replay arrival-time compression (default 1.0)
+//   --workers N          replay-side concurrency cap (default 64)
+//   --metrics-out F      Prometheus snapshot of the in-process server
+//
+// Capacity search:
+//   --slo-p99-us U       SLO: p99 latency bound, us (default 20000)
+//   --min-success F      SLO: completed/offered floor (default 0.99)
+//   --lo R / --hi R      search bracket, req/s (default 500 / 64000)
+//   --iterations N       bisection steps after bracketing (default 5)
+//   --probe-seconds S    trace duration per probe (default 0.4)
+//   --smoke              the canonical smoke recipe (load::smoke_spec()) —
+//                        identical to bench_serving's capacity section, so
+//                        the output diffs against BENCH_serving.json
+//   --out F              machine-readable BENCH-schema JSON for the gate
+//
+// Exit status: nonzero on setup errors, a replay that completes nothing, or
+// a capacity search that never finds a feasible rate.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "load/bench_json.hpp"
+#include "load/capacity.hpp"
+#include "load/generators.hpp"
+#include "load/replay.hpp"
+#include "load/trace.hpp"
+#include "loadable/compiler.hpp"
+#include "net/client.hpp"
+#include "nn/model_zoo.hpp"
+#include "serve/server.hpp"
+
+using namespace netpu;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string out;
+  std::string trace_path;
+  std::string remote;
+  std::string metrics_out;
+  load::SynthesisOptions synth;
+  load::ReplayOptions replay;
+  serve::ServerOptions server;
+  serve::RegistryOptions registry{.resident_cap = 2, .contexts_per_model = 2};
+  load::SloPolicy slo;
+  double lo_rps = 500.0;
+  double hi_rps = 64000.0;
+  int iterations = 5;
+  double probe_seconds = 0.4;
+  bool smoke = false;
+};
+
+bool parse_variant(const std::string& name, nn::ModelVariant& out) {
+  for (const auto& v : nn::paper_variants()) {
+    if (v.name() == name) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    const auto end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_deadline_mix(const std::string& csv,
+                        std::vector<std::pair<double, std::uint64_t>>& out) {
+  out.clear();
+  for (const auto& item : split_csv(csv)) {
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) return false;
+    const double weight = std::atof(item.substr(0, colon).c_str());
+    const auto deadline =
+        static_cast<std::uint64_t>(std::atoll(item.c_str() + colon + 1));
+    if (weight <= 0.0) return false;
+    out.emplace_back(weight, deadline);
+  }
+  return !out.empty();
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: netpu-loadgen synth|replay|capacity [options]\n"
+      "  synth    --out F [--requests N] [--rate R] [--shape S] [--models CSV]\n"
+      "           [--zipf S] [--deadline-mix W:D,...] [--inputs N] [--seed S]\n"
+      "           [--burst-factor F] [--burst-duty D] [--period-us P]\n"
+      "  replay   --trace F [--speed X] [--workers N] [--remote H:P]\n"
+      "           [server knobs] [--pace] [--slowdown-us U] [--metrics-out F]\n"
+      "  capacity [--smoke] [--slo-p99-us U] [--min-success F] [--lo R] [--hi R]\n"
+      "           [--iterations N] [--probe-seconds S] [--out F]\n"
+      "           [synth template] [server knobs] [--pace] [--slowdown-us U]\n");
+  return 2;
+}
+
+// Registry + dataset for the in-process target: every model name must be a
+// zoo variant; weights regenerate deterministically from the seed.
+struct InProcessTarget {
+  std::unique_ptr<serve::ModelRegistry> registry;
+  std::unique_ptr<serve::Server> server;
+  std::vector<std::vector<std::uint8_t>> images;
+};
+
+bool build_target(const Args& args, const std::vector<std::string>& models,
+                  InProcessTarget& out) {
+  const auto config = core::NetpuConfig::paper_instance();
+  out.registry =
+      std::make_unique<serve::ModelRegistry>(config, args.registry);
+  common::Xoshiro256 rng(args.synth.seed);
+  for (const auto& name : models) {
+    nn::ModelVariant variant;
+    if (!parse_variant(name, variant)) {
+      std::fprintf(stderr, "unknown zoo variant '%s'\n", name.c_str());
+      return false;
+    }
+    const auto mlp = nn::make_random_quantized_model(variant, true, rng);
+    if (auto s = out.registry->add_model(name, mlp); !s.ok()) {
+      std::fprintf(stderr, "register '%s' failed: %s\n", name.c_str(),
+                   s.error().to_string().c_str());
+      return false;
+    }
+  }
+  const auto dataset =
+      data::make_synthetic_mnist(args.synth.inputs, args.synth.seed + 1);
+  out.images.assign(dataset.images.begin(), dataset.images.end());
+  out.server = std::make_unique<serve::Server>(*out.registry, args.server);
+  out.server->start();
+  return true;
+}
+
+void print_replay(const load::ReplayResult& r) {
+  std::printf("replay: %zu offered, %zu completed, %zu failed over %.3f s\n",
+              r.offered, r.completed, r.failed, r.wall_seconds);
+  std::printf("  offered %.1f req/s, completed %.1f req/s\n", r.offered_rps,
+              r.completed_rps);
+  std::printf("  latency (from scheduled arrival): mean %.1f us, p50 %.1f, "
+              "p95 %.1f, p99 %.1f, max %.1f\n",
+              r.mean_us, r.p50_us, r.p95_us, r.p99_us, r.max_us);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args args;
+  args.command = argv[1];
+  args.server.run_options.backend = core::Backend::kFast;
+  args.synth.models = {"SFC-w1a1"};
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--out" && (v = next())) {
+      args.out = v;
+    } else if (arg == "--trace" && (v = next())) {
+      args.trace_path = v;
+    } else if (arg == "--requests" && (v = next())) {
+      args.synth.requests = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--rate" && (v = next())) {
+      args.synth.rate_rps = std::atof(v);
+    } else if (arg == "--shape" && (v = next())) {
+      const std::string s = v;
+      if (s == "poisson") {
+        args.synth.shape = load::ArrivalShape::kPoisson;
+      } else if (s == "burst") {
+        args.synth.shape = load::ArrivalShape::kBurst;
+      } else if (s == "diurnal") {
+        args.synth.shape = load::ArrivalShape::kDiurnal;
+      } else {
+        std::fprintf(stderr, "--shape takes poisson | burst | diurnal\n");
+        return 2;
+      }
+    } else if (arg == "--burst-factor" && (v = next())) {
+      args.synth.burst_factor = std::atof(v);
+    } else if (arg == "--burst-duty" && (v = next())) {
+      args.synth.burst_duty = std::atof(v);
+    } else if (arg == "--period-us" && (v = next())) {
+      args.synth.period_us = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--models" && (v = next())) {
+      args.synth.models = split_csv(v);
+    } else if (arg == "--zipf" && (v = next())) {
+      args.synth.zipf_s = std::atof(v);
+    } else if (arg == "--deadline-mix" && (v = next())) {
+      if (!parse_deadline_mix(v, args.synth.deadline_mix)) {
+        std::fprintf(stderr, "--deadline-mix takes WEIGHT:DEADLINE_US,...\n");
+        return 2;
+      }
+    } else if (arg == "--inputs" && (v = next())) {
+      args.synth.inputs = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--seed" && (v = next())) {
+      args.synth.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--speed" && (v = next())) {
+      args.replay.speed = std::atof(v);
+    } else if (arg == "--workers" && (v = next())) {
+      args.replay.workers = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--batch-size" && (v = next())) {
+      args.server.policy.max_batch_size = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--max-wait-us" && (v = next())) {
+      args.server.policy.max_wait_us = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--queue-capacity" && (v = next())) {
+      args.server.queue_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--resident-cap" && (v = next())) {
+      args.registry.resident_cap = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--contexts" && (v = next())) {
+      args.registry.contexts_per_model = static_cast<std::size_t>(std::atoll(v));
+      args.server.dispatch_threads = args.registry.contexts_per_model;
+    } else if (arg == "--devices" && (v = next())) {
+      args.registry.devices = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--backend" && (v = next())) {
+      if (!core::parse_backend(v, args.server.run_options.backend)) {
+        std::fprintf(stderr,
+                     "--backend takes cycle | fast | fast-with-latency-model\n");
+        return 2;
+      }
+    } else if (arg == "--pace") {
+      args.server.run_options.pace_devices = true;
+    } else if (arg == "--slowdown-us" && (v = next())) {
+      args.server.run_options.slowdown_us =
+          static_cast<std::uint32_t>(std::atoll(v));
+    } else if (arg == "--remote" && (v = next())) {
+      args.remote = v;
+    } else if (arg == "--metrics-out" && (v = next())) {
+      args.metrics_out = v;
+    } else if (arg == "--slo-p99-us" && (v = next())) {
+      args.slo.p99_us = std::atof(v);
+    } else if (arg == "--min-success" && (v = next())) {
+      args.slo.min_success = std::atof(v);
+    } else if (arg == "--lo" && (v = next())) {
+      args.lo_rps = std::atof(v);
+    } else if (arg == "--hi" && (v = next())) {
+      args.hi_rps = std::atof(v);
+    } else if (arg == "--iterations" && (v = next())) {
+      args.iterations = std::atoi(v);
+    } else if (arg == "--probe-seconds" && (v = next())) {
+      args.probe_seconds = std::atof(v);
+    } else if (arg == "--smoke") {
+      args.smoke = true;
+    } else {
+      return usage();
+    }
+  }
+
+  // --- synth: fabricate and write a trace --------------------------------
+  if (args.command == "synth") {
+    if (args.out.empty()) {
+      std::fprintf(stderr, "synth needs --out\n");
+      return 2;
+    }
+    const auto trace = load::synthesize(args.synth);
+    if (auto s = load::write_trace(args.out, trace); !s.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   s.error().to_string().c_str());
+      return 1;
+    }
+    const double span_s =
+        trace.empty() ? 0.0
+                      : static_cast<double>(trace.back().arrival_us) / 1e6;
+    std::printf("synthesized %zu %s arrivals over %.3f s (mean %.1f req/s) "
+                "-> %s\n",
+                trace.size(), load::to_string(args.synth.shape), span_s,
+                span_s > 0.0 ? static_cast<double>(trace.size()) / span_s : 0.0,
+                args.out.c_str());
+    return 0;
+  }
+
+  // --- replay: drive a recorded/synthesized trace ------------------------
+  if (args.command == "replay") {
+    if (args.trace_path.empty()) {
+      std::fprintf(stderr, "replay needs --trace\n");
+      return 2;
+    }
+    auto trace = load::read_trace(args.trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "trace read failed: %s\n",
+                   trace.error().to_string().c_str());
+      return 1;
+    }
+    // The model set comes from the trace itself: replay serves exactly what
+    // was recorded.
+    std::vector<std::string> models;
+    for (const auto& e : trace.value()) {
+      bool seen = false;
+      for (const auto& m : models) seen = seen || m == e.model;
+      if (!seen) models.push_back(e.model);
+    }
+    if (models.empty()) {
+      std::fprintf(stderr, "trace is empty\n");
+      return 1;
+    }
+
+    load::ReplayResult result;
+    if (!args.remote.empty()) {
+      const auto colon = args.remote.rfind(':');
+      const int port =
+          colon == std::string::npos ? 0 : std::atoi(args.remote.c_str() + colon + 1);
+      if (port <= 0 || port > 65535) {
+        std::fprintf(stderr, "--remote takes HOST:PORT\n");
+        return 2;
+      }
+      common::Xoshiro256 rng(args.synth.seed);
+      std::vector<loadable::LayerSetting> settings;
+      for (const auto& name : models) {
+        nn::ModelVariant variant;
+        if (!parse_variant(name, variant)) {
+          std::fprintf(stderr, "unknown zoo variant '%s'\n", name.c_str());
+          return 2;
+        }
+        const auto mlp = nn::make_random_quantized_model(variant, true, rng);
+        settings.push_back(loadable::LayerSetting::from_layer(mlp.layers.front()));
+      }
+      const auto dataset =
+          data::make_synthetic_mnist(args.synth.inputs, args.synth.seed + 1);
+      std::vector<std::vector<Word>> streams;
+      streams.reserve(dataset.images.size());
+      for (std::size_t i = 0; i < dataset.images.size(); ++i) {
+        auto words = loadable::compile_input(settings[i % settings.size()],
+                                             dataset.images[i]);
+        if (!words.ok()) {
+          std::fprintf(stderr, "compile input %zu failed\n", i);
+          return 1;
+        }
+        streams.push_back(std::move(words).value());
+      }
+      net::ClientPoolOptions pool_options;
+      pool_options.client.host = args.remote.substr(0, colon);
+      pool_options.client.port = static_cast<std::uint16_t>(port);
+      pool_options.connections = std::max<std::size_t>(args.replay.workers / 8, 1);
+      auto pool = net::ClientPool::connect(pool_options);
+      if (!pool.ok()) {
+        std::fprintf(stderr, "connect to %s failed: %s\n", args.remote.c_str(),
+                     pool.error().to_string().c_str());
+        return 1;
+      }
+      load::RemoteTarget target(*pool.value(), streams);
+      result = load::replay(trace.value(), target, args.replay);
+    } else {
+      InProcessTarget target;
+      if (!build_target(args, models, target)) return 1;
+      load::ServerTarget server_target(*target.server, target.images);
+      result = load::replay(trace.value(), server_target, args.replay);
+      if (!args.metrics_out.empty()) {
+        FILE* f = std::fopen(args.metrics_out.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "cannot open %s\n", args.metrics_out.c_str());
+          return 1;
+        }
+        const auto text = target.server->prometheus_text();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+      }
+      target.server->stop();
+    }
+    print_replay(result);
+    if (!args.out.empty()) {
+      load::BenchRow row;
+      row.section = "replay";
+      row.label = args.trace_path;
+      row.devices = args.registry.devices;
+      row.images_per_s = result.completed_rps;
+      row.p50_us = result.p50_us;
+      row.p99_us = result.p99_us;
+      load::write_bench_json(args.out, models.front(), result.offered,
+                             std::thread::hardware_concurrency(), {&row, 1},
+                             0.0);
+      std::printf("wrote %s\n", args.out.c_str());
+    }
+    return result.completed > 0 ? 0 : 1;
+  }
+
+  // --- capacity: binary-search max sustainable req/s under the SLO -------
+  if (args.command == "capacity") {
+    if (!args.remote.empty()) {
+      std::fprintf(stderr, "capacity drives the in-process server only\n");
+      return 2;
+    }
+    load::ProbePlan plan;
+    plan.synth = args.synth;
+    plan.replay = args.replay;
+    plan.probe_seconds = args.probe_seconds;
+    if (args.smoke) {
+      // Canonical recipe: must match bench_serving's capacity section so the
+      // emitted row diffs against the committed BENCH_serving.json.
+      const auto spec = load::smoke_spec();
+      plan = spec.plan;
+      args.slo = spec.slo;
+      args.lo_rps = spec.lo_rps;
+      args.hi_rps = spec.hi_rps;
+      args.iterations = spec.iterations;
+      args.synth.models = plan.synth.models;
+      args.synth.seed = plan.synth.seed;
+      args.synth.inputs = plan.synth.inputs;
+      args.registry.contexts_per_model = spec.contexts;
+      args.server.dispatch_threads = spec.dispatch_threads;
+      args.server.policy.max_batch_size = spec.batch_size;
+      args.server.policy.max_wait_us = spec.max_wait_us;
+      args.server.queue_capacity = spec.queue_capacity;
+      args.server.run_options.backend = core::Backend::kFast;
+      args.server.run_options.pace_devices = true;
+    }
+
+    InProcessTarget target;
+    if (!build_target(args, args.synth.models, target)) return 1;
+    load::ServerTarget server_target(*target.server, target.images);
+    const auto probe = load::make_probe(server_target, plan);
+
+    std::printf("capacity search: %s, %zu device(s), backend %s%s, SLO p99 <= "
+                "%.0f us, success >= %.2f, bracket [%.0f, %.0f] req/s\n",
+                args.synth.models.front().c_str(), args.registry.devices,
+                core::to_string(args.server.run_options.backend),
+                args.server.run_options.pace_devices ? " (paced)" : "",
+                args.slo.p99_us, args.slo.min_success, args.lo_rps,
+                args.hi_rps);
+    const auto measurement = load::measure_capacity(
+        probe, args.slo, args.lo_rps, args.hi_rps, args.iterations);
+    const auto& result = measurement.search;
+    target.server->stop();
+
+    std::printf("%-12s %12s %12s %10s %10s %s\n", "target req/s", "offered",
+                "completed", "p50 us", "p99 us", "slo");
+    for (const auto& p : result.probes) {
+      std::printf("%-12.0f %12.1f %12.1f %10.1f %10.1f %s\n", p.target_rps,
+                  p.offered_rps, p.completed_rps, p.p50_us, p.p99_us,
+                  p.feasible ? "ok" : "VIOLATED");
+    }
+    std::printf("capacity: %.1f req/s under the SLO%s\n", result.capacity_rps,
+                result.at_capacity ? "" : " (search hit --hi; lower bound only)");
+    if (result.capacity_rps > 0.0) {
+      const auto& v = measurement.validation;
+      std::printf("validation @ %.0f req/s (0.6x capacity): completed %.1f "
+                  "req/s, p50 %.1f us, p99 %.1f us\n",
+                  v.target_rps, v.completed_rps, v.p50_us, v.p99_us);
+    }
+
+    if (!args.out.empty()) {
+      load::BenchRow row;
+      row.section = "capacity";
+      row.label = load::smoke_label(args.registry.devices);
+      row.devices = args.registry.devices;
+      row.capacity_rps = result.capacity_rps;
+      row.images_per_s = measurement.validation.completed_rps;
+      row.p50_us = measurement.validation.p50_us;
+      row.p99_us = measurement.validation.p99_us;
+      load::write_bench_json(args.out, args.synth.models.front(),
+                             plan.min_requests,
+                             std::thread::hardware_concurrency(), {&row, 1},
+                             0.0);
+      std::printf("wrote %s\n", args.out.c_str());
+    }
+    return result.capacity_rps > 0.0 ? 0 : 1;
+  }
+
+  return usage();
+}

@@ -22,6 +22,10 @@
 //   --metrics-out F      write a Prometheus text-format metrics snapshot
 //   --trace-out F        record per-request spans, write Chrome trace JSON
 //                        (open in chrome://tracing)
+//   --record-trace F     record the offered workload (arrival times, model,
+//                        deadline, backend, input index) as a netpu-trace v1
+//                        file replayable with netpu-loadgen (in-process
+//                        modes only)
 //
 // Remote mode (network front door, see src/net/):
 //   --remote H:P         drive a netpu-netd daemon over TCP instead of the
@@ -57,6 +61,7 @@
 #include "common/prng.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "hw/kernels.hpp"
+#include "load/trace.hpp"
 #include "loadable/compiler.hpp"
 #include "net/client.hpp"
 #include "nn/model_zoo.hpp"
@@ -128,6 +133,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 11;
   std::string metrics_out;
   std::string trace_out;
+  std::string record_trace;
   std::string remote;
   std::string predictions_out;
   bool backend_set = false;
@@ -174,6 +180,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-out" && (v = next())) {
       trace_out = v;
       server_options.trace = true;
+    } else if (arg == "--record-trace" && (v = next())) {
+      record_trace = v;
     } else if (arg == "--functional") {
       server_options.run_options.mode = core::RunMode::kFunctional;
     } else if (arg == "--backend" && (v = next())) {
@@ -194,7 +202,8 @@ int main(int argc, char** argv) {
                    "[--mode closed|open] [--clients C] [--rate R] "
                    "[--deadline-us D] [--batch-size B] [--max-wait-us W] "
                    "[--queue-capacity Q] [--resident-cap K] [--contexts N] "
-                   "[--devices N] [--metrics-out F] [--trace-out F] [--seed S] "
+                   "[--devices N] [--metrics-out F] [--trace-out F] "
+                   "[--record-trace F] [--seed S] "
                    "[--remote H:P] [--predictions-out F] "
                    "[--functional] [--backend B] [--simd K]\n");
       return 2;
@@ -206,6 +215,12 @@ int main(int argc, char** argv) {
   }
   if (!remote.empty() && mode != "closed") {
     std::fprintf(stderr, "--remote supports closed-loop clients only\n");
+    return 2;
+  }
+  if (!remote.empty() && !record_trace.empty()) {
+    std::fprintf(stderr,
+                 "--record-trace hooks the in-process server; in remote mode "
+                 "record on the daemon side\n");
     return 2;
   }
   if (!remote.empty() && server_options.run_options.mode == core::RunMode::kFunctional) {
@@ -350,6 +365,8 @@ int main(int argc, char** argv) {
   }
 
   const auto dataset = data::make_synthetic_mnist(requests, seed + 1);
+  load::TraceRecorder recorder;
+  if (!record_trace.empty()) server_options.arrival_sink = &recorder;
   serve::Server server(registry, server_options);
   server.start();
 
@@ -388,6 +405,7 @@ int main(int argc, char** argv) {
           const auto& model = model_names[i % model_names.size()];
           serve::RequestOptions ro;
           ro.deadline_us = deadline_us;
+          ro.input_tag = i;
           auto h = server.submit(model, dataset.images[i], ro);
           if (!h.ok()) {
             failures.fetch_add(1);
@@ -416,6 +434,7 @@ int main(int argc, char** argv) {
       const auto& model = model_names[i % model_names.size()];
       serve::RequestOptions ro;
       ro.deadline_us = deadline_us;
+      ro.input_tag = i;
       auto h = server.submit(model, dataset.images[i], ro);
       if (!h.ok()) {
         ++submit_failures;
@@ -513,6 +532,17 @@ int main(int argc, char** argv) {
                 "chrome://tracing\n",
                 static_cast<unsigned long long>(server.tracer().recorded()),
                 static_cast<unsigned long long>(server.tracer().dropped()));
+  }
+
+  if (!record_trace.empty()) {
+    if (auto s = load::write_trace(record_trace, recorder.events()); !s.ok()) {
+      std::fprintf(stderr, "trace record failed: %s\n",
+                   s.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("workload trace (%zu arrivals) written to %s; replay with "
+                "netpu-loadgen replay\n",
+                recorder.size(), record_trace.c_str());
   }
 
   // A serving demo that completed nothing is a failure, not a quiet exit.
