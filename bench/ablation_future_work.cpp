@@ -5,7 +5,7 @@
 // the paper's instance) and remain bit-exact with the golden model.
 #include <cstdio>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "nn/model_zoo.hpp"
 
 using namespace netpu;

@@ -6,7 +6,7 @@
 //  5. activation/weight precision 1-8 bits (stream volume scaling).
 #include <cstdio>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "core/latency_model.hpp"
 #include "hw/power_model.hpp"
 #include "nn/model_zoo.hpp"

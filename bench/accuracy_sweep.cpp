@@ -10,7 +10,7 @@
 // claim (the topologies differ only in width).
 #include <cstdio>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "nn/lowering.hpp"
 #include "nn/model_zoo.hpp"

@@ -14,7 +14,7 @@
 #include <new>
 
 #include "common/prng.hpp"
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "core/fast_executor.hpp"
 #include "hw/activation_unit.hpp"
 #include "hw/kernels.hpp"

@@ -38,7 +38,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "engine/inference_engine.hpp"
 #include "engine/session.hpp"
@@ -49,7 +49,7 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "nn/model_zoo.hpp"
-#include "runtime/driver.hpp"
+#include "serve/driver.hpp"
 #include "serve/server.hpp"
 #include "serve/server_stats.hpp"
 
@@ -102,7 +102,7 @@ int main() {
 
   // --- serial baseline: cold fused runs through the driver --------------
   core::Accelerator acc(config);
-  runtime::Driver driver(acc);
+  serve::Driver driver(acc);
   Cycle cold_cycles = 0;
   std::vector<double> serial_us;
   const auto serial_start = std::chrono::steady_clock::now();

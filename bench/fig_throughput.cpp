@@ -11,9 +11,9 @@
 #include <cstdio>
 
 #include "baseline/finn.hpp"
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "nn/model_zoo.hpp"
-#include "runtime/driver.hpp"
+#include "serve/driver.hpp"
 #include "runtime/multi_fpga.hpp"
 
 using namespace netpu;
@@ -46,7 +46,7 @@ int main() {
     for (auto& p : image) p = static_cast<std::uint8_t>(rng.next_below(256));
 
     core::Accelerator acc(core::NetpuConfig::paper_instance());
-    runtime::Driver driver(acc);
+    serve::Driver driver(acc);
     auto m = driver.infer(mlp, image);
     if (!m.ok()) {
       std::fprintf(stderr, "inference failed: %s\n", m.error().to_string().c_str());

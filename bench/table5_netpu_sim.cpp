@@ -12,7 +12,7 @@
 // so the models carry random parameters of the exact topology/precision.
 #include <cstdio>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "core/latency_model.hpp"
 #include "hw/power_model.hpp"
 #include "nn/model_zoo.hpp"

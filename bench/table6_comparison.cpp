@@ -10,10 +10,10 @@
 #include <cstdio>
 
 #include "baseline/finn.hpp"
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "hw/power_model.hpp"
 #include "nn/model_zoo.hpp"
-#include "runtime/driver.hpp"
+#include "serve/driver.hpp"
 
 using namespace netpu;
 
@@ -31,7 +31,7 @@ struct Cell {
 int main() {
   const auto config = core::NetpuConfig::paper_instance();
   core::Accelerator acc(config);
-  runtime::Driver driver(acc);
+  serve::Driver driver(acc);
   common::Xoshiro256 rng(99);
 
   std::printf("Table VI: NetPU-M vs FINN\n\n");

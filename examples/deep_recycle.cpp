@@ -4,7 +4,7 @@
 // beyond the two it always has.
 #include <cstdio>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "core/latency_model.hpp"
 #include "nn/quantized_mlp.hpp"
 #include "sim/scheduler.hpp"

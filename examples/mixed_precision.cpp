@@ -5,7 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "nn/quantized_mlp.hpp"
 
 using namespace netpu;

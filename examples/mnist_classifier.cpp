@@ -7,12 +7,12 @@
 // data::load_idx("train-images-idx3-ubyte", "train-labels-idx1-ubyte").
 #include <cstdio>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "nn/lowering.hpp"
 #include "nn/model_zoo.hpp"
 #include "nn/trainer.hpp"
-#include "runtime/driver.hpp"
+#include "serve/driver.hpp"
 
 int main() {
   using namespace netpu;
@@ -45,7 +45,7 @@ int main() {
   }
 
   core::Accelerator acc(core::NetpuConfig::paper_instance());
-  runtime::Driver driver(acc);
+  serve::Driver driver(acc);
 
   std::printf("Running %zu test images on the accelerator...\n", test_ds.size());
   auto batch = driver.infer_batch(lowered.value(), test_ds.images, test_ds.labels,

@@ -8,7 +8,7 @@
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "loadable/compiler.hpp"
 #include "nn/quantized_mlp.hpp"
 

@@ -1,7 +1,7 @@
 // core::Accelerator implementation. Lives in the engine library because the
 // facade delegates to a single-context engine::Session (the header stays at
 // core/accelerator.hpp for source compatibility).
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 
 #include <cstdio>
 #include <cstdlib>

@@ -11,6 +11,11 @@
 // calls (reset, not reconstructed). For model-resident serving across many
 // inputs or parallel batches, use engine::Session / engine::InferenceEngine
 // directly.
+//
+// The header lives in src/engine/ because the facade owns an
+// engine::Session — core cannot depend upward on engine (the layering
+// check enforces the direction). The class keeps its historical
+// netpu::core name: it is the paper-level public API.
 #pragma once
 
 #include <memory>

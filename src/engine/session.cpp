@@ -363,7 +363,10 @@ Result<core::RunResult> Session::run_plan(std::span<const std::uint8_t> image,
 
   r.predicted = hw::maxout(r.output_values);
   if (config_.softmax_unit) {
-    r.probabilities = hw::softmax_q15(r.output_values);
+    // Reuse the executor scratch: the value-returning softmax_q15 built two
+    // temporary vectors per request on this finalize path.
+    hw::softmax_q15_into(r.output_values, r.probabilities,
+                         scratch.softmax_exps, scratch.softmax_remainders);
   }
   r.stats.add("plan_devices", plan_.device_count());
   r.stats.add("plan_steps", plan_.steps().size());

@@ -77,6 +77,7 @@ void Tracer::record(std::uint64_t request_id, std::uint32_t model_id,
         slot.state.compare_exchange_weak(observed, claimed,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed)) {
+      // analyzer:acquire slot_seqlock  (odd state = slot write lock held)
       break;
     }
     std::this_thread::yield();
@@ -91,6 +92,7 @@ void Tracer::record(std::uint64_t request_id, std::uint32_t model_id,
       std::memory_order_relaxed);
   // Publish: even state, paired with the readers' acquire fence.
   slot.state.store(2 * (seq + 1), std::memory_order_release);
+  // analyzer:release slot_seqlock
 }
 
 std::vector<SpanEvent> Tracer::snapshot() const {

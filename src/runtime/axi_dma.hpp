@@ -14,7 +14,8 @@
 #include <span>
 #include <vector>
 
-#include "core/accelerator.hpp"
+#include "core/config.hpp"
+#include "core/run_types.hpp"
 #include "sim/component.hpp"
 #include "sim/fifo.hpp"
 

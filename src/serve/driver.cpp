@@ -1,4 +1,4 @@
-#include "runtime/driver.hpp"
+#include "serve/driver.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -8,7 +8,7 @@
 #include "loadable/compiler.hpp"
 #include "serve/server.hpp"
 
-namespace netpu::runtime {
+namespace netpu::serve {
 
 using common::Error;
 using common::ErrorCode;
@@ -170,4 +170,4 @@ Result<Driver::ServeResult> Driver::serve_batch(
   return result;
 }
 
-}  // namespace netpu::runtime
+}  // namespace netpu::serve

@@ -7,11 +7,11 @@
 #include <span>
 #include <vector>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "runtime/dma.hpp"
 #include "serve/dynamic_batcher.hpp"
 
-namespace netpu::runtime {
+namespace netpu::serve {
 
 struct MeasuredInference {
   std::size_t predicted = 0;
@@ -53,7 +53,7 @@ struct BatchResult {
 
 class Driver {
  public:
-  Driver(core::Accelerator& accelerator, DmaModel dma = {})
+  Driver(core::Accelerator& accelerator, runtime::DmaModel dma = {})
       : accelerator_(accelerator), dma_(dma) {}
 
   // One inference: compile, stream, simulate, add transfer overhead. The
@@ -132,7 +132,7 @@ class Driver {
 
  private:
   core::Accelerator& accelerator_;
-  DmaModel dma_;
+  runtime::DmaModel dma_;
 };
 
-}  // namespace netpu::runtime
+}  // namespace netpu::serve

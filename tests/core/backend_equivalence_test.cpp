@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "core/latency_model.hpp"
 #include "engine/session.hpp"
 #include "hw/activation_unit.hpp"

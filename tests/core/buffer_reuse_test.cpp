@@ -4,7 +4,7 @@
 // layer configuration.
 #include <gtest/gtest.h>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "loadable/layer_setting.hpp"
 #include "nn/quantized_mlp.hpp"
 

@@ -4,7 +4,7 @@
 // folded and unfolded, fan-ins spanning multiple chunks and neuron batches.
 #include <gtest/gtest.h>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "core/latency_model.hpp"
 #include "loadable/compiler.hpp"
 #include "nn/quantized_mlp.hpp"

@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "core/latency_model.hpp"
 #include "loadable/compiler.hpp"
 #include "nn/model_zoo.hpp"

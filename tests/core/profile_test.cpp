@@ -2,7 +2,7 @@
 // inside the run, and attribute the dominant cost to the heaviest layer.
 #include <gtest/gtest.h>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "nn/quantized_mlp.hpp"
 
 namespace netpu::core {

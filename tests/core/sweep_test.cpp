@@ -5,7 +5,7 @@
 // supported configuration space.
 #include <gtest/gtest.h>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "loadable/compiler.hpp"
 #include "loadable/parser.hpp"
 #include "nn/quantized_mlp.hpp"

@@ -2,7 +2,7 @@
 // LPU, renderable as VCD.
 #include <gtest/gtest.h>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "core/lpu.hpp"
 #include "nn/quantized_mlp.hpp"
 #include "sim/trace.hpp"

@@ -4,7 +4,7 @@
 // weight words leave the per-request host link entirely.
 #include <gtest/gtest.h>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "engine/session.hpp"
 #include "loadable/compiler.hpp"
 #include "loadable/parser.hpp"

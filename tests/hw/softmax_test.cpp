@@ -5,7 +5,7 @@
 #include <cmath>
 
 #include "common/prng.hpp"
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "hw/activation_unit.hpp"
 #include "nn/quantized_mlp.hpp"
 

@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "loadable/compiler.hpp"
 #include "loadable/parser.hpp"
@@ -14,7 +14,7 @@
 #include "nn/lowering.hpp"
 #include "nn/model_io.hpp"
 #include "nn/trainer.hpp"
-#include "runtime/driver.hpp"
+#include "serve/driver.hpp"
 
 namespace netpu {
 namespace {
@@ -124,7 +124,7 @@ TEST_F(EndToEndTest, FileArtifactsRoundTripThroughTheWholeFlow) {
 
 TEST_F(EndToEndTest, DriverBatchMatchesGoldenAccuracy) {
   core::Accelerator acc(core::NetpuConfig::paper_instance());
-  runtime::Driver driver(acc);
+  serve::Driver driver(acc);
   const std::size_t n = 40;
   std::size_t golden = 0;
   for (std::size_t i = 0; i < n; ++i) {

@@ -3,7 +3,7 @@
 // network) any mutation of a valid loadable.
 #include <gtest/gtest.h>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "core/netpu.hpp"
 #include "loadable/compiler.hpp"
 #include "loadable/parser.hpp"

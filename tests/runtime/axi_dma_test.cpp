@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/accelerator.hpp"
 #include "loadable/compiler.hpp"
 #include "nn/model_zoo.hpp"
 #include "nn/quantized_mlp.hpp"

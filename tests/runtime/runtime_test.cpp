@@ -2,10 +2,13 @@
 // multi-FPGA pipeline scenario.
 #include <gtest/gtest.h>
 
-#include "runtime/driver.hpp"
+#include "serve/driver.hpp"
 #include "runtime/multi_fpga.hpp"
 
 namespace netpu::runtime {
+
+using serve::BatchOptions;
+using serve::Driver;
 namespace {
 
 nn::QuantizedMlp small_mlp(std::uint64_t seed = 1) {

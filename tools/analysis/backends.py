@@ -1,0 +1,112 @@
+"""Token-stream backends for the NetPU-M analyzer.
+
+Two producers of the token stream that `cpp_model` consumes:
+
+  * builtin   — the pure-Python lexer in cpp_model.py. Always available,
+                deterministic, the canonical gate backend.
+  * libclang  — clang.cindex tokenization when the Python bindings are
+                importable (CI installs and caches the wheel; dev boxes
+                may not have it). Real preprocessor-grade lexing.
+
+`auto` prefers libclang but only after a probe: the two backends must
+produce identical (spelling, line) streams on a representative snippet.
+If the probe fails — missing module, missing libclang.so, or divergent
+tokens — auto falls back to builtin and records why, so an environment
+without clang can never weaken or break the gate.
+"""
+
+from __future__ import annotations
+
+import cpp_model
+
+_PROBE_SNIPPET = """\
+#include "core/fast_executor.hpp"
+namespace netpu::probe {
+struct Widget {
+  void run(int n) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    values_.push_back(n);  // growth on a member
+  }
+  std::mutex mutex_;  // guards values_
+  std::vector<int> values_;
+};
+}  // namespace netpu::probe
+"""
+
+
+def _builtin_tokens(raw_text):
+    return cpp_model.tokenize(cpp_model.strip_comments_keep_lines(raw_text))
+
+
+def _libclang_tokens(raw_text, cindex):
+    """Tokenize with clang.cindex, normalized to the builtin contract:
+    comments dropped, preprocessor-directive lines dropped, string/char
+    literals collapsed to empty quotes."""
+    pp_lines = {
+        i for i, line in enumerate(raw_text.split("\n"), start=1)
+        if line.lstrip().startswith("#")
+    }
+    tu = cindex.TranslationUnit.from_source(
+        "probe.cpp", args=["-std=c++17", "-fsyntax-only"],
+        unsaved_files=[("probe.cpp", raw_text)],
+        options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    out = []
+    for tok in tu.get_tokens(extent=tu.cursor.extent):
+        line = tok.location.line
+        if line in pp_lines:
+            continue
+        kind = tok.kind.name
+        if kind == "COMMENT":
+            continue
+        text = tok.spelling
+        if kind == "LITERAL" and text[:1] in "\"'" :
+            text = text[0] * 2
+        out.append(cpp_model.Token(text, line))
+    return out
+
+
+class Backend:
+    """Resolved backend: name, a tokens(raw_text) callable, and the
+    human-readable reason for the choice."""
+
+    def __init__(self, name, tokens_fn, note):
+        self.name = name
+        self.tokens = tokens_fn
+        self.note = note
+
+    def build_model(self, path, raw_text):
+        return cpp_model.build_file_model(path, raw_text,
+                                          tokens=self.tokens(raw_text))
+
+
+def resolve(requested):
+    """requested in {'auto', 'builtin', 'libclang'} -> Backend.
+
+    Raises RuntimeError only for an explicit `libclang` request that
+    cannot be satisfied; `auto` never raises.
+    """
+    if requested == "builtin":
+        return Backend("builtin", _builtin_tokens, "requested")
+
+    probe_error = None
+    try:
+        from clang import cindex  # noqa: deferred, optional dependency
+        lib_tokens = _libclang_tokens(_PROBE_SNIPPET, cindex)
+        ref_tokens = _builtin_tokens(_PROBE_SNIPPET)
+        got = [(t.text, t.line) for t in lib_tokens]
+        want = [(t.text, t.line) for t in ref_tokens]
+        if got != want:
+            probe_error = "probe token streams diverge"
+        else:
+            return Backend("libclang",
+                           lambda text: _libclang_tokens(text, cindex),
+                           "probe passed")
+    except ImportError as e:
+        probe_error = f"clang.cindex not importable: {e}"
+    except Exception as e:  # libclang.so missing, parse failure, ...
+        probe_error = f"libclang probe failed: {e}"
+
+    if requested == "libclang":
+        raise RuntimeError(f"libclang backend unavailable: {probe_error}")
+    return Backend("builtin", _builtin_tokens,
+                   f"fallback ({probe_error})")

@@ -1,0 +1,64 @@
+"""compile_commands.json loading for the NetPU-M analyzer.
+
+The analyzer is *database-driven*: the set of translation units it reasons
+about comes from the build's exported compile_commands.json, not from a
+directory glob, so the gate analyzes exactly what ships in the binaries.
+Headers are pulled in per-TU via the include graph.
+
+Exit-code contract (mirrors tools/bench_gate.py): a malformed, unreadable,
+or *empty* database is exit 2 — "nothing analyzed" must never read as
+"no findings".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+class CompileDbError(Exception):
+    """Database unusable; caller maps this to exit code 2."""
+
+
+def load_tu_paths(db_path, root):
+    """Source files listed in compile_commands.json, restricted to
+    first-party code under `root` (system/third-party TUs are ignored),
+    absolute, deduplicated, sorted.
+
+    Raises CompileDbError on missing/malformed/empty databases and when
+    every listed file is missing on disk (a stale database analyzes
+    nothing and must not pass).
+    """
+    try:
+        with open(db_path, "r", encoding="utf-8") as fh:
+            entries = json.load(fh)
+    except OSError as e:
+        raise CompileDbError(f"cannot read {db_path}: {e}")
+    except ValueError as e:
+        raise CompileDbError(f"{db_path} is not valid JSON: {e}")
+    if not isinstance(entries, list):
+        raise CompileDbError(f"{db_path}: top level must be a JSON array")
+    if not entries:
+        raise CompileDbError(f"{db_path}: empty database — nothing to analyze")
+
+    root = os.path.abspath(root)
+    paths = set()
+    for idx, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "file" not in entry:
+            raise CompileDbError(
+                f"{db_path}: entry {idx} lacks a 'file' field")
+        f = entry["file"]
+        if not os.path.isabs(f):
+            f = os.path.join(entry.get("directory", root), f)
+        f = os.path.abspath(f)
+        if f.startswith(root + os.sep):
+            paths.add(f)
+
+    if not paths:
+        raise CompileDbError(
+            f"{db_path}: no translation units under {root}")
+    existing = sorted(p for p in paths if os.path.isfile(p))
+    if not existing:
+        raise CompileDbError(
+            f"{db_path}: stale database — none of the listed files exist")
+    return existing

@@ -1,0 +1,695 @@
+"""Lexical C++ source model for the NetPU-M static analyzer.
+
+Builds, per file, a structural model that the three checks (lock-order,
+hot-path allocations, layering) consume:
+
+  * includes               `#include "x/y.hpp"` directives with line numbers
+  * functions              definitions with qualified names, body line
+                           ranges, and an event stream (lock acquisitions,
+                           calls, allocation sites) with scope depths
+  * namespace references   `layer::` tokens for symbol-level layering
+  * annotations            `// analyzer:...` markers (see below)
+
+The model is deliberately a *lexer*, not a compiler: it tokenizes stripped
+source and recognizes the project's idioms (Google-style definitions, RAII
+lock guards, `_into` buffer reuse). That makes it dependency-free — it runs
+wherever Python runs, with no libclang wheel and no clang binary — at the
+cost of approximating name resolution. The checks are written so the
+approximation errs toward *more* reachability (hot-path) and *fewer*
+merged lock identities (lock-order), keeping both sound against their
+failure modes (a missed allocation / a fabricated deadlock cycle).
+
+Annotations (in comments, anywhere in the tree):
+
+  // analyzer:acquire <lock-name>     non-RAII lock protocol begins here
+  // analyzer:release <lock-name>     ... and ends here
+  // analyzer:allow <category> -- <reason>
+                                      waive the finding on the next line
+                                      (or this line, if trailing)
+"""
+
+from __future__ import annotations
+
+import re
+
+# ---------------------------------------------------------------------------
+# Text preparation
+# ---------------------------------------------------------------------------
+
+def strip_comments_keep_lines(text):
+    """Remove // and /* */ comment bodies and string/char contents while
+    preserving line structure. String literals are left as empty quotes so
+    downstream token patterns (e.g. string concatenation) can still see that
+    a literal sat there."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif ch in "\"'":
+            quote = ch
+            out.append(ch)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 2
+                    continue
+                if text[i] == "\n":  # unterminated (rare); keep structure
+                    break
+                i += 1
+            if i < n and text[i] == quote:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
+
+
+def parse_includes(raw_text):
+    """[(line, path)] for quoted includes, from the *raw* text (the stripper
+    empties string literals, which would eat the path)."""
+    out = []
+    for m in INCLUDE_RE.finditer(raw_text):
+        line = raw_text.count("\n", 0, m.start()) + 1
+        out.append((line, m.group(1)))
+    return out
+
+
+ANNOTATION_RE = re.compile(
+    r"//\s*analyzer:(acquire|release|allow|calls)\s+([^\n]*)")
+
+
+def parse_annotations(raw_text):
+    """line -> [(verb, argument)] from `// analyzer:<verb> ...` comments."""
+    out = {}
+    for lineno, line in enumerate(raw_text.split("\n"), start=1):
+        for m in ANNOTATION_RE.finditer(line):
+            arg = m.group(2).strip()
+            out.setdefault(lineno, []).append((m.group(1), arg))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer (builtin backend)
+# ---------------------------------------------------------------------------
+
+TOKEN_RE = re.compile(
+    r"[A-Za-z_][A-Za-z0-9_]*"          # identifier / keyword
+    r"|\d[\dA-Za-z_.']*"               # number (incl. hex/suffix/separators)
+    r"|::|->\*?|\.\*|<<=|>>=|<=|>=|==|!=|&&|\|\||\+\+|--|\+=|-=|\*=|/=|%=|&=|\|=|\^=|<<|>>"
+    r"|\"\"|''"                        # emptied literals from the stripper
+    r"|[{}()\[\];,<>=+\-*/%!&|^~?:.#\"']")
+
+
+class Token:
+    __slots__ = ("text", "line")
+
+    def __init__(self, text, line):
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"{self.text!r}@{self.line}"
+
+
+def tokenize(stripped_text):
+    """Token stream over stripped text. Preprocessor lines (other than the
+    includes already captured from raw text) are dropped entirely so `#define`
+    bodies can't masquerade as code."""
+    tokens = []
+    for lineno, line in enumerate(stripped_text.split("\n"), start=1):
+        if line.lstrip().startswith("#"):
+            continue
+        for m in TOKEN_RE.finditer(line):
+            tokens.append(Token(m.group(0), lineno))
+    return tokens
+
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "return", "case", "default", "do",
+    "else", "break", "continue", "goto", "sizeof", "alignof", "decltype",
+    "new", "delete", "this", "nullptr", "true", "false", "const",
+    "constexpr", "consteval", "constinit", "static", "thread_local",
+    "mutable", "volatile", "inline", "extern", "register", "typedef",
+    "using", "namespace", "class", "struct", "union", "enum", "template",
+    "typename", "public", "private", "protected", "friend", "virtual",
+    "override", "final", "noexcept", "throw", "try", "catch", "operator",
+    "explicit", "auto", "void", "bool", "char", "short", "int", "long",
+    "float", "double", "unsigned", "signed", "static_cast", "dynamic_cast",
+    "const_cast", "reinterpret_cast", "static_assert", "co_await",
+    "co_return", "co_yield", "requires", "concept", "export", "asm",
+}
+
+GUARD_TEMPLATES = {"lock_guard", "unique_lock", "scoped_lock", "shared_lock"}
+
+GROWTH_METHODS = {
+    "push_back", "emplace_back", "push_front", "emplace_front", "insert",
+    "emplace", "resize", "reserve", "assign", "append",
+}
+
+CONTAINER_TYPES = {
+    "vector", "string", "deque", "list", "map", "multimap", "set",
+    "unordered_map", "unordered_set", "function", "ostringstream",
+    "stringstream", "basic_string", "queue", "priority_queue",
+}
+
+ALLOC_FUNCTIONS = {"malloc", "calloc", "realloc", "strdup", "aligned_alloc"}
+SMART_MAKERS = {"make_unique", "make_shared"}
+
+
+# ---------------------------------------------------------------------------
+# Events and model records
+# ---------------------------------------------------------------------------
+
+class Event:
+    """One occurrence inside a function body.
+
+    kind:
+      acquire   payload = (lock_exprs tuple, guard_var, simultaneous: bool)
+      ann_acquire / ann_release   payload = lock name (annotation protocol)
+      call      payload = (callee_text, is_method)
+      alloc     payload = (category, detail)
+    """
+    __slots__ = ("kind", "line", "depth", "payload")
+
+    def __init__(self, kind, line, depth, payload):
+        self.kind = kind
+        self.line = line
+        self.depth = depth
+        self.payload = payload
+
+    def __repr__(self):
+        return f"Event({self.kind},{self.payload}@{self.line} d{self.depth})"
+
+
+class Function:
+    __slots__ = ("name", "qualname", "cls", "start_line", "end_line",
+                 "params", "locals", "persistent_locals", "events", "path")
+
+    def __init__(self, name, qualname, cls, start_line, path):
+        self.name = name
+        self.qualname = qualname
+        self.cls = cls            # qualified class name or "" for free funcs
+        self.start_line = start_line
+        self.end_line = start_line
+        self.params = set()
+        self.locals = set()            # per-call lifetime
+        self.persistent_locals = set() # static / thread_local
+        self.events = []
+        self.path = ""
+
+
+class FileModel:
+    __slots__ = ("path", "includes", "functions", "ns_refs", "annotations")
+
+    def __init__(self, path):
+        self.path = path
+        self.includes = []
+        self.functions = []
+        self.ns_refs = []
+        self.annotations = {}
+
+
+# ---------------------------------------------------------------------------
+# Structural walk
+# ---------------------------------------------------------------------------
+
+_SIG_TAIL_OK = {"const", "noexcept", "override", "final", "try", "&", "&&",
+                ">", "::", ",", ")"}
+
+
+def _match_paren_back(tokens, close_idx):
+    """Index of the '(' matching tokens[close_idx] == ')'."""
+    depth = 0
+    for i in range(close_idx, -1, -1):
+        t = tokens[i].text
+        if t == ")":
+            depth += 1
+        elif t == "(":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _function_signature(tokens, sig_lo, sig_hi):
+    """If tokens[sig_lo:sig_hi] ends like a function definition header,
+    return (name, class_chain, param_names); else None."""
+    i = sig_hi - 1
+    # Skip trailer: const noexcept(...) override -> type, etc.
+    arrow_guard = 0
+    while i > sig_lo:
+        t = tokens[i].text
+        if t == ")":
+            # could be noexcept(...) / the parameter list itself
+            open_i = _match_paren_back(tokens, i)
+            if open_i <= sig_lo:
+                return None
+            before = tokens[open_i - 1].text
+            if before == "noexcept":
+                i = open_i - 1
+                continue
+            # Parameter list candidate: name token right before '('
+            name_i = open_i - 1
+            name = tokens[name_i].text
+            if name in ("operator",):
+                name = "operator()"
+            elif not re.match(r"[A-Za-z_]", name):
+                # operator+, operator==, ... : walk back to 'operator'
+                j = name_i
+                while j > sig_lo and tokens[j].text != "operator":
+                    j -= 1
+                if tokens[j].text != "operator":
+                    return None
+                name = "operator" + "".join(
+                    tk.text for tk in tokens[j + 1:name_i + 1])
+                name_i = j
+            if name in KEYWORDS and name not in ("operator()",):
+                return None
+            # Class qualification chain: ... A :: B :: name
+            chain = []
+            j = name_i - 1
+            while j - 1 > sig_lo and tokens[j].text == "::" and re.match(
+                    r"[A-Za-z_]", tokens[j - 1].text):
+                chain.insert(0, tokens[j - 1].text)
+                j -= 2
+            # There must be a return type / ctor context before the name for
+            # a definition; a bare `name(...)` mid-statement is a call. The
+            # caller only hands us namespace/class-scope statements, so
+            # accept.
+            params = _param_names(tokens, open_i, i)
+            return name, chain, params
+        if t in _SIG_TAIL_OK or re.match(r"[A-Za-z_>\]]", t):
+            if t == ">":
+                arrow_guard += 1
+                if arrow_guard > 64:
+                    return None
+            i -= 1
+            continue
+        return None
+    return None
+
+
+def _param_names(tokens, open_i, close_i):
+    """Best-effort parameter names of the list in tokens(open_i..close_i)."""
+    names = set()
+    depth = 0
+    current = []
+    for k in range(open_i + 1, close_i):
+        t = tokens[k].text
+        if t in "(<[{":
+            depth += 1
+        elif t in ")>]}":
+            depth -= 1
+        if t == "," and depth == 0:
+            _param_from(current, names)
+            current = []
+        else:
+            current.append(tokens[k])
+    _param_from(current, names)
+    return names
+
+
+def _param_from(toks, names):
+    # Strip a default argument, then take the last identifier.
+    cut = len(toks)
+    depth = 0
+    for k, tk in enumerate(toks):
+        if tk.text in "(<[{":
+            depth += 1
+        elif tk.text in ")>]}":
+            depth -= 1
+        elif tk.text == "=" and depth == 0:
+            cut = k
+            break
+    for tk in reversed(toks[:cut]):
+        if re.match(r"[A-Za-z_]", tk.text) and tk.text not in KEYWORDS:
+            names.add(tk.text)
+            return
+
+
+class _Scope:
+    __slots__ = ("kind", "name", "func")
+
+    def __init__(self, kind, name="", func=None):
+        self.kind = kind  # "ns" | "class" | "func" | "block"
+        self.name = name
+        self.func = func
+
+
+def build_file_model(path, raw_text, tokens=None):
+    model = FileModel(path)
+    model.includes = parse_includes(raw_text)
+    model.annotations = parse_annotations(raw_text)
+    if tokens is None:
+        tokens = tokenize(strip_comments_keep_lines(raw_text))
+    model.ns_refs = _namespace_refs(tokens)
+    _walk(tokens, model)
+    return model
+
+
+def _namespace_refs(tokens):
+    """[(line, identifier)] for every `ident ::` pair (layering symbol scan)."""
+    out = []
+    for i in range(len(tokens) - 1):
+        if tokens[i + 1].text == "::" and re.match(r"[a-z_]", tokens[i].text):
+            out.append((tokens[i].line, tokens[i].text))
+    return out
+
+
+def _walk(tokens, model):
+    scopes = []
+    anchor = 0  # start of the current statement at the current scope
+    i = 0
+    n = len(tokens)
+    current_func = None
+    func_depth = 0  # block depth inside current function body
+
+    def in_function():
+        return current_func is not None
+
+    while i < n:
+        t = tokens[i].text
+        if t == "{":
+            if in_function():
+                func_depth += 1
+                scopes.append(_Scope("block"))
+                anchor = i + 1
+                i += 1
+                continue
+            sig = tokens[anchor:i]
+            sig_texts = [tk.text for tk in sig]
+            kind = "block"
+            name = ""
+            func = None
+            if "namespace" in sig_texts and "=" not in sig_texts:
+                kind = "ns"
+                idx = sig_texts.index("namespace")
+                name = "".join(s for s in sig_texts[idx + 1:] if s not in ("{",))
+            elif ("enum" in sig_texts):
+                kind = "block"
+            elif ("class" in sig_texts or "struct" in sig_texts or
+                  "union" in sig_texts) and ")" != (sig_texts[-1] if sig_texts else ""):
+                kind = "class"
+                for key in ("class", "struct", "union"):
+                    if key in sig_texts:
+                        idx = sig_texts.index(key)
+                        break
+                for s in sig_texts[idx + 1:]:
+                    if re.match(r"[A-Za-z_]", s) and s not in KEYWORDS:
+                        name = s
+                        break
+            elif "=" in sig_texts and "operator" not in sig_texts:
+                kind = "block"  # aggregate initializer
+            else:
+                fs = _function_signature(tokens, anchor, i)
+                if fs is not None:
+                    fname, chain, params = fs
+                    kind = "func"
+                    ns_parts = [s.name for s in scopes if s.kind == "ns"]
+                    cls_parts = [s.name for s in scopes if s.kind == "class"]
+                    cls_parts += chain
+                    qual = "::".join(
+                        [p for p in ns_parts if p] + cls_parts + [fname])
+                    func = Function(fname, qual,
+                                    "::".join([p for p in ns_parts if p] +
+                                              cls_parts),
+                                    tokens[i].line, model.path)
+                    func.params = params
+                    func.path = model.path
+            scopes.append(_Scope(kind, name, func))
+            if func is not None:
+                current_func = func
+                func_depth = 1
+            anchor = i + 1
+            i += 1
+            continue
+        if t == "}":
+            if scopes:
+                closed = scopes.pop()
+                if in_function():
+                    func_depth -= 1
+                    if closed.kind == "func" or func_depth == 0:
+                        current_func.end_line = tokens[i].line
+                        model.functions.append(current_func)
+                        current_func = None
+                        func_depth = 0
+                    else:
+                        # scope close: guards acquired deeper than this die
+                        current_func.events.append(Event(
+                            "scope_close", tokens[i].line, func_depth, None))
+            anchor = i + 1
+            i += 1
+            continue
+        if t == ";" and not in_function():
+            anchor = i + 1
+            i += 1
+            continue
+        if in_function():
+            i = _body_statement(tokens, i, current_func, func_depth)
+            continue
+        i += 1
+
+    if current_func is not None:  # truncated file; keep what we have
+        current_func.end_line = tokens[-1].line if tokens else 0
+        model.functions.append(current_func)
+
+
+def _collect_template_args(tokens, i):
+    """tokens[i] == '<': return index just past the matching '>'."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif t in (";", "{"):
+            return i  # not a template after all
+        i += 1
+    return i
+
+
+def _expr_until(tokens, i, stop):
+    """Join token texts from i until a top-level token in `stop`; returns
+    (text, next_index)."""
+    parts = []
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if depth == 0 and t in stop:
+            return "".join(parts), i
+        if t in "([{":
+            depth += 1
+        elif t in ")]}":
+            depth -= 1
+            if depth < 0:
+                return "".join(parts), i
+        parts.append(t)
+        i += 1
+    return "".join(parts), i
+
+
+def _body_statement(tokens, i, func, depth):
+    """Process one token inside a function body; returns the next index."""
+    t = tokens[i].text
+    line = tokens[i].line
+    nxt = tokens[i + 1].text if i + 1 < len(tokens) else ""
+
+    # --- lock guards: std::lock_guard<...> name(args) ----------------------
+    if (t == "std" and nxt == "::" and i + 2 < len(tokens)
+            and tokens[i + 2].text in GUARD_TEMPLATES):
+        j = i + 3
+        if j < len(tokens) and tokens[j].text == "<":
+            j = _collect_template_args(tokens, j)
+        if j < len(tokens) and re.match(r"[A-Za-z_]", tokens[j].text):
+            guard_var = tokens[j].text
+            j += 1
+            if j < len(tokens) and tokens[j].text in ("(", "{"):
+                close = ")" if tokens[j].text == "(" else "}"
+                args = []
+                k = j + 1
+                while k < len(tokens) and tokens[k].text != close:
+                    expr, k = _expr_until(tokens, k, {",", close})
+                    if expr:
+                        args.append(expr)
+                    if k < len(tokens) and tokens[k].text == ",":
+                        k += 1
+                simultaneous = (tokens[i + 2].text == "scoped_lock"
+                                and len(args) > 1)
+                # adopting an already-held mutex, not an acquisition
+                args = [a for a in args if a not in
+                        ("std::adopt_lock", "std::defer_lock")]
+                if args:
+                    func.events.append(Event(
+                        "acquire", line, depth,
+                        (tuple(args), guard_var, simultaneous)))
+                return k + 1
+        return i + 3
+
+    # --- local declarations -------------------------------------------------
+    stmt_start = (i == 0 or tokens[i - 1].text in ("{", "}", ";"))
+    if stmt_start and re.match(r"[A-Za-z_]", t):
+        decl = _try_local_decl(tokens, i, func)
+        if decl is not None:
+            return decl
+
+    # --- allocation primitives ---------------------------------------------
+    if t == "new":
+        prev = tokens[i - 1].text if i > 0 else ""
+        if prev != "operator":
+            func.events.append(Event("alloc", line, depth, ("new", "new")))
+        return i + 1
+    if t in ALLOC_FUNCTIONS and nxt == "(":
+        func.events.append(Event("alloc", line, depth, ("malloc", t)))
+    if t in SMART_MAKERS:
+        func.events.append(Event("alloc", line, depth, ("make-smart", t)))
+        return i + 1
+    if t == "std" and nxt == "::" and i + 2 < len(tokens):
+        t2 = tokens[i + 2].text
+        if t2 == "string" and i + 3 < len(tokens):
+            t3 = tokens[i + 3].text
+            if t3 in ("(", "{"):
+                func.events.append(Event("alloc", line, depth,
+                                         ("std-string", "std::string(...)")))
+        if t2 == "to_string":
+            func.events.append(Event("alloc", line, depth,
+                                     ("std-string", "std::to_string")))
+    if (t == '""' and nxt == "+") or (t == "+" and nxt == '""'):
+        func.events.append(Event("alloc", line, depth,
+                                 ("string-concat", "literal +")))
+
+    # --- member/method calls and growth ------------------------------------
+    if t in (".", "->") and i + 2 < len(tokens) and \
+            re.match(r"[A-Za-z_]", nxt) and tokens[i + 2].text == "(":
+        method = nxt
+        if method in GROWTH_METHODS:
+            base = _receiver_base(tokens, i)
+            func.events.append(Event("alloc", line, depth,
+                                     ("growth", f"{base}.{method}" if base
+                                      else method)))
+        if method not in KEYWORDS:
+            func.events.append(Event("call", line, depth, (method, True)))
+        return i + 2
+
+    # --- plain / qualified calls -------------------------------------------
+    if re.match(r"[A-Za-z_]", t) and t not in KEYWORDS and nxt == "(":
+        prev = tokens[i - 1].text if i > 0 else ""
+        if prev not in (".", "->"):
+            qual = _qualified_prefix(tokens, i)
+            func.events.append(Event("call", line, depth, (qual, False)))
+    return i + 1
+
+
+def _receiver_base(tokens, dot_i):
+    """Base identifier of a member chain ending at tokens[dot_i] in
+    {'.', '->'}: for `a.b->c.push_back`, returns 'a'."""
+    j = dot_i
+    base = None
+    while j > 0:
+        if tokens[j].text in (".", "->"):
+            j -= 1
+            continue
+        if tokens[j].text in (")", "]"):
+            # method()-chained or indexed receiver: give up on a name
+            return None
+        if re.match(r"[A-Za-z_]", tokens[j].text):
+            base = tokens[j].text
+            if j > 0 and tokens[j - 1].text in (".", "->"):
+                j -= 1
+                continue
+            if j > 1 and tokens[j - 1].text == "::":
+                j -= 2
+                continue
+            return base if base not in ("this",) else None
+        return base
+    return base
+
+
+def _qualified_prefix(tokens, i):
+    """For a call at tokens[i], include any `A::B::` prefix."""
+    parts = [tokens[i].text]
+    j = i - 1
+    while j > 0 and tokens[j].text == "::" and re.match(
+            r"[A-Za-z_]", tokens[j - 1].text):
+        parts.insert(0, tokens[j - 1].text)
+        j -= 2
+    return "::".join(parts)
+
+
+def _try_local_decl(tokens, i, func):
+    """Detect `Type[::Type...][<...>] [&*]* name (;|=|(|{)` at statement
+    start; records the variable and returns the index of the name token + 1,
+    or None if this is not a declaration."""
+    j = i
+    persistent = False
+    n = len(tokens)
+    while j < n and tokens[j].text in ("static", "thread_local", "const",
+                                       "constexpr", "mutable"):
+        if tokens[j].text in ("static", "thread_local"):
+            persistent = True
+        j += 1
+    # type chain
+    chain_len = 0
+    type_head = None
+    while j < n and re.match(r"[A-Za-z_]", tokens[j].text):
+        if tokens[j].text in KEYWORDS and tokens[j].text not in (
+                "auto", "void", "bool", "char", "short", "int", "long",
+                "float", "double", "unsigned", "signed"):
+            return None
+        if type_head is None:
+            type_head = tokens[j].text
+        chain_len += 1
+        j += 1
+        if j < n and tokens[j].text == "<":
+            j = _collect_template_args(tokens, j)
+        if j < n and tokens[j].text == "::":
+            j += 1
+            continue
+        break
+    if chain_len == 0:
+        return None
+    while j < n and tokens[j].text in ("&", "*", "&&", "const"):
+        j += 1
+    if not (j < n and re.match(r"[A-Za-z_]", tokens[j].text)
+            and tokens[j].text not in KEYWORDS):
+        return None
+    name_tok = tokens[j]
+    after = tokens[j + 1].text if j + 1 < n else ""
+    if after not in (";", "=", "(", "{", ","):
+        return None
+    if chain_len == 0 or (chain_len == 1 and after in ("(",) and
+                          type_head == name_tok.text):
+        return None
+    # `x = y;` has no type chain (chain_len would be 1 and name `=`-adjacent
+    # only when two identifiers precede the '='), `call(args)` has one
+    # identifier then '(' — require a real type-then-name shape:
+    if chain_len == 1 and type_head is not None and after == "(" and \
+            type_head not in ("auto",) and "<" not in [t.text for t in
+                                                       tokens[i:j]]:
+        # Could be `name(args)` call misparse only when there was no
+        # separate type token; here we *do* have type+name, keep it.
+        pass
+    if persistent:
+        func.persistent_locals.add(name_tok.text)
+    else:
+        func.locals.add(name_tok.text)
+    return j + 1

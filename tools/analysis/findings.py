@@ -1,0 +1,43 @@
+"""Finding record + annotation waiver helpers shared by the three checks."""
+
+from __future__ import annotations
+
+
+class Finding:
+    __slots__ = ("check", "path", "line", "message")
+
+    def __init__(self, check, path, line, message):
+        self.check = check
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def render(self, root=None):
+        path = self.path
+        if root and path.startswith(root):
+            path = path[len(root):].lstrip("/")
+        return f"{path}:{self.line}: [{self.check}] {self.message}"
+
+
+def allow_reasons(model, category):
+    """line -> reason for `// analyzer:allow <category> -- <reason>`
+    annotations in a file model. A waiver covers its own line and the next
+    line (so it can sit above the flagged statement)."""
+    out = {}
+    for line, anns in model.annotations.items():
+        for verb, arg in anns:
+            if verb != "allow":
+                continue
+            parts = arg.split("--", 1)
+            cat = parts[0].strip()
+            reason = parts[1].strip() if len(parts) > 1 else ""
+            if cat == category:
+                if not reason:
+                    # A waiver without a justification is itself a finding;
+                    # callers treat reason None as malformed.
+                    out[line] = None
+                    out[line + 1] = None
+                else:
+                    out.setdefault(line, reason)
+                    out.setdefault(line + 1, reason)
+    return out

@@ -1,0 +1,340 @@
+"""Hot-path allocation reachability.
+
+Computes the call graph reachable from the serve hot roots —
+
+  * core::FastExecutor::run_into   (the zero-alloc fast backend entry)
+  * engine::Session::run_plan      (multi-device / paced execution)
+  * net::NetServer::event_loop     (the network thread)
+
+— and fails if any function on a reachable path contains an allocation
+site: `new`, `malloc`-family calls, `make_unique`/`make_shared`,
+`std::string` construction / `std::to_string`, or growth calls
+(`push_back`/`insert`/`resize`/...) on *function-local* containers.
+
+Growth on members, parameters, statics and thread_locals is allowed by
+rule: the repo's steady-state discipline (PR 8) is that such buffers
+retain capacity across requests, so growth there amortizes to zero — the
+`fast_alloc_test` runtime gate holds the rule honest. A fresh local
+container growing per request cannot amortize and is always a finding.
+
+Waivers come from `tools/analysis/hot_path_allowlist.txt`, audited
+entries of the form `file.cpp:Function::qualname:category -- reason`.
+A stale entry (matching nothing) is itself an error so the allowlist
+can only shrink honestly. Inline `// analyzer:allow hot-path -- reason`
+waives a single line for cases too local for the allowlist.
+
+Call resolution here is the *union* of plausible targets (the opposite
+bias from lock_order.py): missing an edge would silently un-prove the
+zero-alloc property, while an extra edge at worst flags a function that
+then gets a justified allowlist entry.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from findings import Finding, allow_reasons
+
+CHECK = "hot-path"
+
+HOT_ROOTS = (
+    "core::FastExecutor::run_into",
+    "engine::Session::run_plan",
+    "net::NetServer::event_loop",
+)
+
+# Leaf callees known not to allocate that the union resolver would
+# otherwise chase into unrelated same-name functions.
+_IGNORED_CALLEES = {
+    # std/compiler intrinsics the lexer sees as plain calls
+    "min", "max", "swap", "move", "size", "data", "empty", "begin", "end",
+    "clear", "count", "find", "at", "get", "front", "back", "load",
+    "store", "exchange", "compare_exchange_weak", "compare_exchange_strong",
+    "fetch_add", "fetch_sub", "wait", "notify_one", "notify_all", "lock",
+    "unlock", "try_lock", "memcpy", "memset", "memmove", "abs",
+    "duration_cast", "now", "time_since_epoch", "str", "c_str", "substr",
+    "compare", "length", "capacity", "reset", "release", "popcount",
+}
+
+
+def load_allowlist(path):
+    """[(file_suffix, func_pattern, category, reason, lineno)] from the
+    audited allowlist. Lines: `<file> <qualname> <category> -- <reason>`
+    (whitespace-separated — qualified names contain colons)."""
+    entries = []
+    if not os.path.isfile(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "--" not in line:
+                raise ValueError(
+                    f"{path}:{lineno}: entry lacks a `-- reason`")
+            spec, reason = line.split("--", 1)
+            if not reason.strip():
+                raise ValueError(
+                    f"{path}:{lineno}: empty `-- reason` justification")
+            parts = spec.split()
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{lineno}: want `<file> <qualname> <category>`")
+            entries.append((parts[0], parts[1], parts[2],
+                            reason.strip(), lineno))
+    return entries
+
+
+def _alloc_findings_for(func, model, allowlist, used_entries):
+    """Findings for allocation events inside one function."""
+    out = []
+    waived = allow_reasons(model, CHECK)
+    for e in func.events:
+        if e.kind != "alloc":
+            continue
+        category, detail = e.payload
+        if category == "growth":
+            base = detail.split(".")[0] if "." in detail else None
+            if base is None or base not in func.locals:
+                continue  # member/param/persistent growth: allowed by rule
+        if e.line in waived:
+            if waived[e.line] is None:
+                out.append(Finding(
+                    CHECK, model.path, e.line,
+                    "analyzer:allow without `-- reason` justification"))
+            continue
+        entry = _match_allowlist(allowlist, model.path, func.qualname,
+                                 category)
+        if entry is not None:
+            used_entries.add(entry)
+            continue
+        out.append(Finding(
+            CHECK, model.path, e.line,
+            f"{func.qualname}: {category} allocation ({detail}) reachable "
+            f"from a hot root"))
+    return out
+
+
+def _match_allowlist(allowlist, path, qualname, category):
+    for entry in allowlist:
+        file_sfx, pat, cat, _reason, _lineno = entry
+        if cat not in (category, "*"):
+            continue
+        if not path.endswith(file_sfx):
+            continue
+        if re.fullmatch(pat.replace("*", ".*"), qualname):
+            return entry
+    return None
+
+
+def _build_call_graph(models):
+    """qualname -> Function; name -> [Function]; and per-function callee
+    names (union resolution happens at traversal time)."""
+    by_qual = {}
+    by_name = {}
+    for model in models:
+        for func in model.functions:
+            by_qual.setdefault(func.qualname, func)
+            by_name.setdefault(func.name, []).append(func)
+    return by_qual, by_name
+
+
+def _resolve_union(callee, is_method, caller, by_name):
+    name = callee.split("::")[-1]
+    if name in _IGNORED_CALLEES:
+        return []
+    cands = by_name.get(name, [])
+    if not cands:
+        return []
+    if "::" in callee:
+        qual_matches = [f for f in cands if f.qualname.endswith(callee)]
+        if qual_matches:
+            return qual_matches
+    # Unqualified calls (and `x.f()` where x's type is unknown): C++ name
+    # lookup finds a same-class member first, so prefer it — the union of
+    # every same-name method across the tree would fabricate reachability
+    # through unrelated classes.
+    if caller.cls:
+        same_cls = [f for f in cands if f.cls == caller.cls]
+        if same_cls:
+            return same_cls
+    return cands  # union: over-approximate reachability
+
+
+def analyze(models, allowlist_path):
+    try:
+        allowlist = load_allowlist(allowlist_path)
+    except ValueError as e:
+        return [Finding(CHECK, allowlist_path, 0, str(e))]
+
+    by_qual, by_name = _build_call_graph(models)
+    model_of = {}
+    for model in models:
+        for func in model.functions:
+            model_of[id(func)] = model
+
+    roots = []
+    for root in HOT_ROOTS:
+        func = by_qual.get(root)
+        if func is None:  # qualnames carry the netpu:: prefix in-tree
+            for qual, cand in by_qual.items():
+                if qual == root or qual.endswith("::" + root):
+                    func = cand
+                    break
+        if func is None:
+            # A missing root means the check silently proves nothing.
+            return [Finding(
+                CHECK, "", 0,
+                f"hot root `{root}` not found — update HOT_ROOTS in "
+                f"tools/analysis/hot_path.py if it was renamed")]
+        roots.append(func)
+
+    # BFS over the union call graph, remembering one witness path each.
+    reach = {}
+    frontier = []
+    for func in roots:
+        reach[id(func)] = [func.qualname]
+        frontier.append(func)
+    while frontier:
+        func = frontier.pop()
+        for e in func.events:
+            if e.kind != "call":
+                continue
+            callee, is_method = e.payload
+            for target in _resolve_union(callee, is_method, func, by_name):
+                if id(target) in reach:
+                    continue
+                reach[id(target)] = reach[id(func)] + [target.qualname]
+                frontier.append(target)
+
+    findings = []
+    used_entries = set()
+    for model in models:
+        for func in model.functions:
+            if id(func) not in reach:
+                continue
+            for f in _alloc_findings_for(func, model, allowlist,
+                                         used_entries):
+                witness = reach[id(func)]
+                if len(witness) > 1:
+                    f.message += "  [via " + " -> ".join(witness) + "]"
+                findings.append(f)
+
+    for entry in allowlist:
+        if entry not in used_entries:
+            file_sfx, pat, cat, _reason, lineno = entry
+            findings.append(Finding(
+                CHECK, allowlist_path, lineno,
+                f"stale allowlist entry `{file_sfx}:{pat}:{cat}` matched "
+                f"nothing — remove it"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+# ---------------------------------------------------------------------------
+
+_SEEDED_BAD = """\
+namespace core {
+struct FastExecutor {
+  void run_into(int x) {
+    std::vector<int> staging;
+    staging.push_back(x);
+    helper(x);
+  }
+  void helper(int x) {}
+};
+}  // namespace core
+namespace engine {
+struct Session {
+  void run_plan() {}
+};
+}  // namespace engine
+namespace net {
+struct NetServer {
+  void event_loop() {}
+};
+}  // namespace net
+"""
+
+_SEEDED_OK = """\
+namespace core {
+struct FastExecutor {
+  void run_into(int x, std::vector<int>& out) {
+    out.push_back(x);
+    scratch_.push_back(x);
+    static thread_local std::vector<int> warm;
+    warm.push_back(x);
+  }
+  std::vector<int> scratch_;
+};
+}  // namespace core
+namespace engine {
+struct Session {
+  void run_plan() {}
+};
+}  // namespace engine
+namespace net {
+struct NetServer {
+  void event_loop() {}
+};
+}  // namespace net
+"""
+
+_SEEDED_DEEP = """\
+namespace core {
+struct FastExecutor {
+  void run_into(int x) { stage(x); }
+  void stage(int x) { finalize(x); }
+  void finalize(int x) {
+    auto p = std::make_unique<int>(x);
+  }
+};
+}  // namespace core
+namespace engine {
+struct Session {
+  void run_plan() {}
+};
+}  // namespace engine
+namespace net {
+struct NetServer {
+  void event_loop() {}
+};
+}  // namespace net
+"""
+
+
+def self_test():
+    import cpp_model
+    msgs = []
+    ok = True
+
+    bad = analyze([cpp_model.build_file_model("seed_bad.cpp", _SEEDED_BAD)],
+                  "/nonexistent-allowlist")
+    if any("growth" in f.message for f in bad):
+        msgs.append("seeded local-vector push in hot function detected: OK")
+    else:
+        ok = False
+        msgs.append("FAIL: seeded hot-path growth NOT detected: "
+                    + "; ".join(f.message for f in bad))
+
+    good = analyze([cpp_model.build_file_model("seed_ok.cpp", _SEEDED_OK)],
+                   "/nonexistent-allowlist")
+    if not good:
+        msgs.append("member/param/thread_local growth allowed: OK")
+    else:
+        ok = False
+        msgs.append("FAIL: clean steady-state growth flagged: "
+                    + "; ".join(f.message for f in good))
+
+    deep = analyze([cpp_model.build_file_model("seed_deep.cpp",
+                                               _SEEDED_DEEP)],
+                   "/nonexistent-allowlist")
+    if any("make-smart" in f.message and "via" in f.message for f in deep):
+        msgs.append("transitive make_unique two calls deep detected: OK")
+    else:
+        ok = False
+        msgs.append("FAIL: transitive allocation NOT detected: "
+                    + "; ".join(f.message for f in deep))
+    return ok, msgs

@@ -1,0 +1,166 @@
+"""Layering enforcement: a declared layer DAG over src/ subsystems with
+include-level and symbol-reference-level violation detection.
+
+The DAG below is the architecture contract: each `src/<layer>/` directory
+lists the layers it may depend on. Adding a dependency means editing this
+table in the same PR — the diff makes the architectural decision visible
+to review instead of letting an `#include` slip it in. The table is
+verified acyclic at load time, so the contract itself can't rot into a
+cycle.
+
+Detection is two-level:
+  * include-level — a quoted `#include "other_layer/...."` not in the
+    allowed set;
+  * symbol-level  — a `other_layer::` qualified reference (all first-party
+    code lives in `netpu::<layer>`), which also catches forward-declared
+    cross-layer use that never includes a header.
+
+Code outside src/ (tools, bench, tests, examples) sits above every layer
+and may use anything.
+"""
+
+from __future__ import annotations
+
+from findings import Finding, allow_reasons
+from repo_files import src_layer
+
+CHECK = "layering"
+
+# Layer -> layers it may depend on (its own layer is implicitly allowed).
+# Keep entries sorted; keep the table a DAG (verified by _check_dag).
+ALLOWED_DEPS = {
+    "common":   set(),
+    "hw":       {"common"},
+    "sim":      {"common"},
+    "obs":      {"common"},
+    "nn":       {"common", "hw"},
+    "loadable": {"common", "hw", "nn"},
+    "data":     {"common", "hw", "nn"},
+    "baseline": {"common", "hw", "nn"},
+    "core":     {"common", "hw", "loadable", "nn", "sim"},
+    "runtime":  {"common", "core", "hw", "loadable", "nn", "sim"},
+    "engine":   {"common", "core", "hw", "loadable", "nn", "runtime",
+                 "sim"},
+    "serve":    {"common", "core", "engine", "hw", "loadable", "nn", "obs",
+                 "runtime", "sim"},
+    "net":      {"common", "core", "engine", "hw", "loadable", "nn", "obs",
+                 "runtime", "serve", "sim"},
+    "load":     {"common", "core", "engine", "hw", "loadable", "net", "nn",
+                 "obs", "runtime", "serve", "sim"},
+}
+
+LAYERS = set(ALLOWED_DEPS)
+
+
+def _check_dag(table):
+    """Cycle in the declared table (should be impossible) -> list of msgs."""
+    msgs = []
+    state = {}
+
+    def visit(node, stack):
+        state[node] = "gray"
+        for dep in sorted(table.get(node, ())):
+            if dep not in table:
+                msgs.append(f"layer `{node}` allows unknown layer `{dep}`")
+                continue
+            if state.get(dep) == "gray":
+                msgs.append("declared layer table has a cycle: "
+                            + " -> ".join(stack + [node, dep]))
+            elif state.get(dep) is None:
+                visit(dep, stack + [node])
+        state[node] = "black"
+
+    for node in sorted(table):
+        if state.get(node) is None:
+            visit(node, [])
+    return msgs
+
+
+def analyze(models, root):
+    findings = [Finding(CHECK, "tools/analysis/layering.py", 0, msg)
+                for msg in _check_dag(ALLOWED_DEPS)]
+
+    for model in models:
+        layer = src_layer(root, model.path)
+        if layer is None or layer not in LAYERS:
+            continue  # above the DAG (tools/bench/tests) or unknown dir
+        allowed = ALLOWED_DEPS[layer] | {layer}
+        waived = allow_reasons(model, CHECK)
+
+        for line, inc in model.includes:
+            head = inc.split("/", 1)[0]
+            if head in LAYERS and head not in allowed:
+                if line in waived and waived[line] is not None:
+                    continue
+                findings.append(Finding(
+                    CHECK, model.path, line,
+                    f"src/{layer} may not include src/{head} "
+                    f'(#include "{inc}"); allowed: '
+                    + ", ".join(sorted(allowed - {layer}))))
+
+        seen_symbol = set()
+        for line, ref in model.ns_refs:
+            if ref in LAYERS and ref not in allowed:
+                if line in waived and waived[line] is not None:
+                    continue
+                key = (ref, line)
+                if key in seen_symbol:
+                    continue
+                seen_symbol.add(key)
+                findings.append(Finding(
+                    CHECK, model.path, line,
+                    f"src/{layer} references `{ref}::` — not an allowed "
+                    f"dependency"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+# ---------------------------------------------------------------------------
+
+_SEEDED_BAD = """\
+#include "serve/server.hpp"
+namespace netpu::hw {
+inline int poke() { return serve::kMaxBodyBytes; }
+}  // namespace netpu::hw
+"""
+
+_SEEDED_OK = """\
+#include "common/status.hpp"
+namespace netpu::hw {
+inline int fine() { return common::kOk; }
+}  // namespace netpu::hw
+"""
+
+
+def self_test():
+    import cpp_model
+    msgs = []
+    ok = True
+
+    dag_msgs = _check_dag(ALLOWED_DEPS)
+    if not dag_msgs:
+        msgs.append("declared layer table is a DAG: OK")
+    else:
+        ok = False
+        msgs.append("FAIL: " + "; ".join(dag_msgs))
+
+    bad_model = cpp_model.build_file_model("/r/src/hw/bad.hpp", _SEEDED_BAD)
+    bad = analyze([bad_model], "/r")
+    if (any("include" in f.message for f in bad)
+            and any("references" in f.message for f in bad)):
+        msgs.append("seeded upward include + symbol ref detected: OK")
+    else:
+        ok = False
+        msgs.append("FAIL: seeded upward dependency NOT detected: "
+                    + "; ".join(f.message for f in bad))
+
+    good_model = cpp_model.build_file_model("/r/src/hw/ok.hpp", _SEEDED_OK)
+    good = analyze([good_model], "/r")
+    if not good:
+        msgs.append("downward include produces no findings: OK")
+    else:
+        ok = False
+        msgs.append("FAIL: clean file flagged: "
+                    + "; ".join(f.message for f in good))
+    return ok, msgs

@@ -1,0 +1,376 @@
+"""Lock-order analysis: build the global mutex-acquisition-order graph and
+fail on cycles.
+
+Per function, the builtin model yields `acquire` events (RAII guards, with
+the guard's scope) and `ann_acquire`/`ann_release` annotation events for
+non-RAII protocols (the Tracer seqlock slot claim). Walking the event
+stream with scope-aware held-set tracking gives intra-function edges
+"A held while B acquired". A fixpoint over a *narrowly* resolved call graph
+(same-class methods, globally-unique names, same-namespace free functions —
+never a fuzzy union, which would fabricate cycles) adds interprocedural
+edges: a call made while holding A, into a callee that (transitively)
+acquires B, is an A→B edge.
+
+Lock identity: the canonical id is `<EnclosingClass>::<expr>` with `this->`
+stripped, so `mutex_` taken in two methods of one class is one lock, while
+the same member name in two classes stays two. A cycle is reported with
+the two acquisition chains that close it.
+
+Self-acquisition (acquiring a lock already held) is reported too — with
+std::mutex that is a deadlock, not a cycle.
+"""
+
+from __future__ import annotations
+
+from findings import Finding, allow_reasons
+
+CHECK = "lock-order"
+
+
+def canonical_lock(expr, cls):
+    expr = expr.replace("this->", "").replace("this.", "")
+    expr = expr.lstrip("&*")
+    if cls and "::" not in expr:
+        return f"{cls}::{expr}"
+    return expr
+
+
+class _Edge:
+    __slots__ = ("src", "dst", "evidence")
+
+    def __init__(self, src, dst, evidence):
+        self.src = src
+        self.dst = dst
+        self.evidence = evidence  # "func (file:line): ..."
+
+
+def _function_facts(models):
+    """Per function: direct lock acquisitions, call sites with held sets,
+    intra-function edges, and self-acquisition findings."""
+    facts = []
+    for model in models:
+        waived = allow_reasons(model, CHECK)
+        for func in model.functions:
+            anns = [
+                (line, verb, arg)
+                for line, pairs in model.annotations.items()
+                if func.start_line <= line <= func.end_line
+                for verb, arg in pairs if verb in ("acquire", "release")
+            ]
+            stream = sorted(
+                [(e.line, 0, e) for e in func.events] +
+                [(line, 1, (verb, arg)) for line, verb, arg in anns],
+                key=lambda item: (item[0], item[1]))
+
+            held = []          # [(lock_id, depth, line)]
+            edges = []
+            acquires = set()
+            calls = []         # [(callee, is_method, frozenset(held), line)]
+            self_findings = []
+
+            def on_acquire(lock_ids, depth, line, simultaneous):
+                for lock in lock_ids:
+                    for prev, _, _ in held:
+                        if prev == lock:
+                            if line not in waived:
+                                self_findings.append(Finding(
+                                    CHECK, model.path, line,
+                                    f"{func.qualname} re-acquires {lock} "
+                                    f"already held (self-deadlock)"))
+                            continue
+                        edges.append(_Edge(
+                            prev, lock,
+                            f"{func.qualname} ({model.path}:{line}) "
+                            f"acquires {lock} while holding {prev}"))
+                    if not simultaneous:
+                        # sequential: later args also order against earlier
+                        pass
+                for lock in lock_ids:
+                    acquires.add(lock)
+                    held.append((lock, depth, line))
+
+            for line, _, item in stream:
+                if isinstance(item, tuple):  # annotation
+                    verb, arg = item
+                    lock = canonical_lock(arg.split()[0], func.cls) \
+                        if arg else ""
+                    if not lock:
+                        continue
+                    if verb == "acquire":
+                        on_acquire([lock], 1, line, simultaneous=False)
+                    else:
+                        for k in range(len(held) - 1, -1, -1):
+                            if held[k][0] == lock:
+                                held.pop(k)
+                                break
+                    continue
+                e = item
+                if e.kind == "scope_close":
+                    held[:] = [h for h in held if h[1] <= e.depth]
+                elif e.kind == "acquire":
+                    exprs, _guard, simultaneous = e.payload
+                    lock_ids = [canonical_lock(x, func.cls) for x in exprs]
+                    if simultaneous:
+                        # std::scoped_lock(a, b): deadlock-free algorithm,
+                        # no order between a and b — but both order after
+                        # anything already held.
+                        for prev, _, _ in held:
+                            for lock in lock_ids:
+                                edges.append(_Edge(
+                                    prev, lock,
+                                    f"{func.qualname} ({model.path}:{e.line})"
+                                    f" scoped_lock {lock} while holding "
+                                    f"{prev}"))
+                        for lock in lock_ids:
+                            acquires.add(lock)
+                            held.append((lock, e.depth, e.line))
+                    else:
+                        on_acquire(lock_ids, e.depth, e.line,
+                                   simultaneous=False)
+                elif e.kind == "call":
+                    callee, is_method = e.payload
+                    if held:
+                        calls.append((callee, is_method,
+                                      tuple(h[0] for h in held), e.line))
+
+            facts.append({
+                "func": func, "model": model, "edges": edges,
+                "acquires": acquires, "calls": calls,
+                "self_findings": self_findings,
+            })
+    return facts
+
+
+def _resolve(callee, is_method, caller, by_name):
+    """Narrow call resolution; returns a list of candidate Functions
+    (empty = unresolved, deliberately not a union guess)."""
+    name = callee.split("::")[-1]
+    cands = by_name.get(name, [])
+    if not cands:
+        return []
+    if is_method:
+        same_cls = [f for f in cands if f.cls and f.cls == caller.cls]
+        if same_cls:
+            return same_cls
+        return cands if len(cands) == 1 else []
+    if "::" in callee:
+        suffix = callee
+        matches = [f for f in cands if f.qualname.endswith(suffix)]
+        if matches:
+            return matches
+    if len(cands) == 1:
+        return cands
+    caller_ns = caller.qualname.rsplit("::", 1)[0] if "::" in \
+        caller.qualname else ""
+    same_ns = [f for f in cands
+               if f.qualname.rsplit("::", 1)[0] == caller_ns and not f.cls]
+    if len(same_ns) == 1:
+        return same_ns
+    return []
+
+
+def _transitive_acquires(facts, by_name):
+    """Fixpoint: lock set each function may acquire, including via calls."""
+    trans = {id(f["func"]): set(f["acquires"]) for f in facts}
+    fact_by_func = {id(f["func"]): f for f in facts}
+    changed = True
+    while changed:
+        changed = False
+        for f in facts:
+            fid = id(f["func"])
+            for callee, is_method, _held, _line in f["calls"]:
+                for target in _resolve(callee, is_method, f["func"], by_name):
+                    extra = trans.get(id(target), set()) - trans[fid]
+                    if extra:
+                        trans[fid] |= extra
+                        changed = True
+        # also propagate for functions whose calls had no held locks —
+        # they still contribute their own acquires upward
+        for f in facts:
+            fid = id(f["func"])
+            for ev in f["func"].events:
+                if ev.kind != "call":
+                    continue
+                callee, is_method = ev.payload
+                for target in _resolve(callee, is_method, f["func"], by_name):
+                    extra = trans.get(id(target), set()) - trans[fid]
+                    if extra:
+                        trans[fid] |= extra
+                        changed = True
+    return trans, fact_by_func
+
+
+def analyze(models):
+    """-> [Finding]. Cycle findings carry both closing chains."""
+    facts = _function_facts(models)
+    by_name = {}
+    for f in facts:
+        by_name.setdefault(f["func"].name, []).append(f["func"])
+
+    trans, _ = _transitive_acquires(facts, by_name)
+
+    edges = []
+    findings = []
+    for f in facts:
+        findings.extend(f["self_findings"])
+        edges.extend(f["edges"])
+        for callee, is_method, held, line in f["calls"]:
+            for target in _resolve(callee, is_method, f["func"], by_name):
+                for lock in trans.get(id(target), ()):
+                    for prev in held:
+                        if prev == lock:
+                            continue  # re-entry via call: separate concern
+                        edges.append(_Edge(
+                            prev, lock,
+                            f"{f['func'].qualname} "
+                            f"({f['model'].path}:{line}) calls "
+                            f"{target.qualname} which acquires {lock} "
+                            f"while holding {prev}"))
+
+    # Cycle detection over the order graph.
+    adj = {}
+    for e in edges:
+        adj.setdefault(e.src, {}).setdefault(e.dst, e)
+    reported = set()
+    for e in edges:
+        # path from e.dst back to e.src?
+        path = _find_path(adj, e.dst, e.src)
+        if path is None:
+            continue
+        cycle_nodes = frozenset([e.src] + path)
+        if cycle_nodes in reported:
+            continue
+        reported.add(cycle_nodes)
+        chain_back = _path_evidence(adj, path)  # e.dst .. e.src evidence
+        findings.append(Finding(
+            CHECK, "", 0,
+            "lock-order cycle between "
+            + " and ".join(sorted(cycle_nodes)) + ":\n"
+            + "    forward:  " + e.evidence + "\n"
+            + "    closing:  " + "\n              ".join(chain_back)))
+    return findings
+
+
+def _find_path(adj, src, dst):
+    """Node path src..dst (inclusive) or None."""
+    if src == dst:
+        return [src]
+    frontier = [src]
+    parent = {src: None}
+    while frontier:
+        node = frontier.pop()
+        for nxt in adj.get(node, {}):
+            if nxt in parent:
+                continue
+            parent[nxt] = node
+            if nxt == dst:
+                path = [dst]
+                while path[-1] != src:
+                    path.append(parent[path[-1]])
+                return list(reversed(path))
+            frontier.append(nxt)
+    return None
+
+
+def _path_evidence(adj, path):
+    out = []
+    for a, b in zip(path, path[1:]):
+        e = adj.get(a, {}).get(b)
+        if e is not None:
+            out.append(e.evidence)
+    return out or ["(no edge evidence)"]
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+# ---------------------------------------------------------------------------
+
+_SEEDED_BAD = """\
+namespace demo {
+struct Pair {
+  void ab() {
+    std::lock_guard<std::mutex> la(a_);
+    std::lock_guard<std::mutex> lb(b_);
+  }
+  void ba() {
+    std::lock_guard<std::mutex> lb(b_);
+    std::lock_guard<std::mutex> la(a_);
+  }
+  std::mutex a_;  // guards x
+  std::mutex b_;  // guards y
+};
+}  // namespace demo
+"""
+
+_SEEDED_OK = """\
+namespace demo {
+struct Pair {
+  void ab() {
+    std::lock_guard<std::mutex> la(a_);
+    std::lock_guard<std::mutex> lb(b_);
+  }
+  void also_ab() {
+    {
+      std::lock_guard<std::mutex> la(a_);
+    }
+    std::lock_guard<std::mutex> lb(b_);
+    helper();
+  }
+  void helper() {}
+  std::mutex a_;  // guards x
+  std::mutex b_;  // guards y
+};
+}  // namespace demo
+"""
+
+_SEEDED_INTERPROC = """\
+namespace demo {
+struct Graph {
+  void outer() {
+    std::lock_guard<std::mutex> l(a_);
+    inner();
+  }
+  void inner() {
+    std::lock_guard<std::mutex> l(b_);
+  }
+  void reversed() {
+    std::lock_guard<std::mutex> l(b_);
+    std::lock_guard<std::mutex> l2(a_);
+  }
+  std::mutex a_;  // guards x
+  std::mutex b_;  // guards y
+};
+}  // namespace demo
+"""
+
+
+def self_test():
+    """-> (ok, messages). Seeded reversed pair must produce a cycle;
+    a clean ordering must not; an interprocedural reversal must too."""
+    import cpp_model
+    msgs = []
+    ok = True
+
+    bad = analyze([cpp_model.build_file_model("seed_bad.cpp", _SEEDED_BAD)])
+    if any("cycle" in f.message for f in bad):
+        msgs.append("seeded reversed lock pair detected: OK")
+    else:
+        ok = False
+        msgs.append("FAIL: seeded reversed lock pair NOT detected")
+
+    good = analyze([cpp_model.build_file_model("seed_ok.cpp", _SEEDED_OK)])
+    if not good:
+        msgs.append("clean ordering produces no findings: OK")
+    else:
+        ok = False
+        msgs.append("FAIL: clean ordering produced findings: "
+                    + "; ".join(f.message for f in good))
+
+    inter = analyze(
+        [cpp_model.build_file_model("seed_inter.cpp", _SEEDED_INTERPROC)])
+    if any("cycle" in f.message for f in inter):
+        msgs.append("interprocedural reversed pair detected: OK")
+    else:
+        ok = False
+        msgs.append("FAIL: interprocedural reversed pair NOT detected")
+    return ok, msgs

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""netpu-analyzer: static invariant checker for the NetPU-M serving stack.
+
+Three checks over the first-party C++ tree (driven by the build's
+compile_commands.json so the gate covers exactly what ships):
+
+  lock-order   mutex-acquisition-order graph must be acyclic
+  hot-path     no allocation reachable from the serve hot roots
+  layering     declared layer DAG enforced at include + symbol level
+
+Usage:
+  netpu_analyzer.py --compile-commands build/compile_commands.json
+  netpu_analyzer.py --check layering --compile-commands ...
+  netpu_analyzer.py --self-test [lock-order|hot-path|layering]
+
+Exit codes (mirrors tools/bench_gate.py):
+  0  clean (or self-test seeds all detected)
+  1  findings (or a self-test seed NOT detected)
+  2  compile_commands.json missing/malformed/empty — nothing analyzed
+     must never read as "no findings"
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import backends
+import compile_db
+import hot_path
+import layering
+import lock_order
+import repo_files
+
+CHECKS = ("lock-order", "hot-path", "layering")
+DEFAULT_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+
+
+def run_self_test(which):
+    modules = {
+        "lock-order": lock_order,
+        "hot-path": hot_path,
+        "layering": layering,
+    }
+    names = [which] if which else list(CHECKS)
+    all_ok = True
+    for name in names:
+        ok, msgs = modules[name].self_test()
+        for msg in msgs:
+            print(f"[self-test:{name}] {msg}")
+        all_ok = all_ok and ok
+    print("self-test: " + ("all seeded violations detected"
+                           if all_ok else "FAILED"))
+    return 0 if all_ok else 1
+
+
+def build_models(root, db_path, backend_name):
+    """-> (models, backend) for all src/ C++ files; validates the compile
+    database first (CompileDbError propagates to exit 2)."""
+    tu_paths = compile_db.load_tu_paths(db_path, root)
+    files = repo_files.find_files(root, subdirs=("src",))
+    file_set = set(files)
+    for tu in tu_paths:
+        # Any src/ TU the build compiles but the walk missed (generated
+        # sources, unusual extensions) still gets analyzed.
+        if repo_files.src_layer(root, tu) is not None and tu not in file_set:
+            files.append(tu)
+            file_set.add(tu)
+
+    backend = backends.resolve(backend_name)
+    models = []
+    for path in sorted(files):
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            raw = fh.read()
+        models.append(backend.build_model(path, raw))
+    return models, backend
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="netpu_analyzer")
+    ap.add_argument("--root", default=DEFAULT_ROOT)
+    ap.add_argument("--compile-commands", default=None,
+                    help="path to the build's compile_commands.json")
+    ap.add_argument("--check", choices=("all",) + CHECKS, default="all")
+    ap.add_argument("--backend", choices=("auto", "builtin", "libclang"),
+                    default="auto")
+    ap.add_argument("--self-test", nargs="?", const="", default=None,
+                    metavar="CHECK",
+                    help="run seeded-violation self tests and exit")
+    ap.add_argument("--allowlist", default=None,
+                    help="hot-path allowlist (default: next to this script)")
+    args = ap.parse_args(argv)
+
+    if args.self_test is not None:
+        which = args.self_test or None
+        if which is not None and which not in CHECKS:
+            print(f"unknown self-test check: {which}", file=sys.stderr)
+            return 2
+        return run_self_test(which)
+
+    if not args.compile_commands:
+        print("--compile-commands is required (or use --self-test)",
+              file=sys.stderr)
+        return 2
+
+    root = os.path.abspath(args.root)
+    try:
+        models, backend = build_models(root, args.compile_commands,
+                                       args.backend)
+    except compile_db.CompileDbError as e:
+        print(f"netpu-analyzer: {e}", file=sys.stderr)
+        return 2
+    except RuntimeError as e:  # explicit --backend libclang unavailable
+        print(f"netpu-analyzer: {e}", file=sys.stderr)
+        return 2
+
+    allowlist = args.allowlist or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "hot_path_allowlist.txt")
+
+    findings = []
+    ran = []
+    if args.check in ("all", "lock-order"):
+        findings += lock_order.analyze(models)
+        ran.append("lock-order")
+    if args.check in ("all", "hot-path"):
+        findings += hot_path.analyze(models, allowlist)
+        ran.append("hot-path")
+    if args.check in ("all", "layering"):
+        findings += layering.analyze(models, root)
+        ran.append("layering")
+
+    for f in findings:
+        print(f.render(root))
+    print(f"netpu-analyzer: backend={backend.name} ({backend.note}); "
+          f"{len(models)} files; checks: {', '.join(ran)}; "
+          f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

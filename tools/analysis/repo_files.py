@@ -1,0 +1,37 @@
+"""Shared repository file-walk for the NetPU-M analysis tooling.
+
+One canonical definition of "the source tree" so tools/lint.py and the
+netpu-analyzer checks cannot drift apart on which files they cover.
+"""
+
+from __future__ import annotations
+
+import os
+
+# Directories holding first-party C++ the correctness tooling scans.
+SRC_DIRS = ("src", "tools", "bench")
+CPP_EXTS = {".cpp", ".hpp", ".h"}
+HEADER_EXTS = {".hpp", ".h"}
+
+
+def find_files(root, subdirs=SRC_DIRS, exts=CPP_EXTS):
+    """All files under root/<subdir> with one of the extensions, sorted."""
+    out = []
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if os.path.splitext(name)[1] in exts:
+                    out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def src_layer(root, path):
+    """The src/ subsystem a file belongs to ('core', 'serve', ...) or None."""
+    rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    parts = rel.split(os.sep)
+    if len(parts) >= 2 and parts[0] == "src":
+        return parts[1]
+    return None

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Gate over clang static analyzer (scan-build) plist output.
+
+CI runs `scan-build --plist-output <dir> cmake --build ...` and then this
+script over the result directory. Reports are filtered against
+`scan_build_suppressions.txt`; anything unsuppressed fails the gate.
+
+Exit codes (mirrors netpu_analyzer.py / bench_gate.py):
+  0  no unsuppressed reports
+  1  unsuppressed reports
+  2  no plist files found / unreadable — an analyzer that analyzed nothing
+     must never read as "clean"
+
+Suppression file lines: `<file-suffix> <checker-or-*> -- <reason>`.
+A stale suppression (matching no report) is an error so the file can only
+shrink honestly; the file ships empty.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import plistlib
+import sys
+
+
+def load_suppressions(path):
+    """[(file_suffix, checker, reason, lineno)]; empty-reason is an error."""
+    entries = []
+    if not os.path.isfile(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "--" not in line:
+                raise ValueError(f"{path}:{lineno}: lacks a `-- reason`")
+            spec, reason = line.split("--", 1)
+            if not reason.strip():
+                raise ValueError(f"{path}:{lineno}: empty reason")
+            parts = spec.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{lineno}: want `<file-suffix> <checker>`")
+            entries.append((parts[0], parts[1], reason.strip(), lineno))
+    return entries
+
+
+def collect_reports(plist_dir):
+    """[(file, line, checker, description)] from every plist under dir."""
+    reports = []
+    plists = []
+    for dirpath, _, names in os.walk(plist_dir):
+        for name in sorted(names):
+            if name.endswith(".plist"):
+                plists.append(os.path.join(dirpath, name))
+    if not plists:
+        return None, 0
+    for path in sorted(plists):
+        try:
+            with open(path, "rb") as fh:
+                data = plistlib.load(fh)
+        except Exception as e:
+            print(f"scan-build-gate: unreadable plist {path}: {e}",
+                  file=sys.stderr)
+            continue
+        files = data.get("files", [])
+        for diag in data.get("diagnostics", []):
+            loc = diag.get("location", {})
+            file_idx = loc.get("file", 0)
+            fname = files[file_idx] if file_idx < len(files) else "?"
+            reports.append((
+                fname, loc.get("line", 0),
+                diag.get("check_name", diag.get("type", "unknown")),
+                diag.get("description", "")))
+    return reports, len(plists)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="scan_build_gate")
+    ap.add_argument("plist_dir", nargs="?",
+                    help="directory scan-build wrote plists into")
+    ap.add_argument("--suppressions", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "scan_build_suppressions.txt"))
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.plist_dir:
+        print("scan-build-gate: plist_dir required", file=sys.stderr)
+        return 2
+
+    try:
+        suppressions = load_suppressions(args.suppressions)
+    except ValueError as e:
+        print(f"scan-build-gate: {e}", file=sys.stderr)
+        return 1
+
+    reports, plist_count = collect_reports(args.plist_dir)
+    if reports is None:
+        print(f"scan-build-gate: no plist files under {args.plist_dir} — "
+              f"nothing analyzed", file=sys.stderr)
+        return 2
+
+    used = set()
+    failing = []
+    for fname, line, checker, desc in reports:
+        entry = None
+        for s in suppressions:
+            sfx, chk, _reason, _ln = s
+            if fname.endswith(sfx) and chk in (checker, "*"):
+                entry = s
+                break
+        if entry is not None:
+            used.add(entry)
+            continue
+        failing.append((fname, line, checker, desc))
+
+    for fname, line, checker, desc in failing:
+        print(f"{fname}:{line}: [{checker}] {desc}")
+    stale = [s for s in suppressions if s not in used]
+    for sfx, chk, _reason, ln in stale:
+        print(f"{args.suppressions}:{ln}: stale suppression "
+              f"`{sfx} {chk}` matched nothing — remove it")
+    print(f"scan-build-gate: {plist_count} plist(s), {len(reports)} "
+          f"report(s), {len(failing)} unsuppressed, {len(stale)} stale "
+          f"suppression(s)")
+    return 1 if failing or stale else 0
+
+
+def self_test():
+    """Seed a plist with one diagnostic; the gate must fail on it, pass
+    once suppressed, and exit 2 on an empty directory."""
+    import tempfile
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        plist_dir = os.path.join(tmp, "out")
+        os.makedirs(plist_dir)
+        with open(os.path.join(plist_dir, "report.plist"), "wb") as fh:
+            plistlib.dump({
+                "files": ["/repo/src/core/netpu.cpp"],
+                "diagnostics": [{
+                    "location": {"file": 0, "line": 42},
+                    "check_name": "core.NullDereference",
+                    "description": "seeded null dereference",
+                }],
+            }, fh)
+        empty_sup = os.path.join(tmp, "empty.txt")
+        open(empty_sup, "w").close()
+        rc = main([plist_dir, "--suppressions", empty_sup])
+        if rc == 1:
+            print("[self-test] seeded diagnostic fails the gate: OK")
+        else:
+            ok = False
+            print(f"[self-test] FAIL: seeded diagnostic gave rc {rc}")
+
+        sup = os.path.join(tmp, "sup.txt")
+        with open(sup, "w") as fh:
+            fh.write("src/core/netpu.cpp core.NullDereference -- seeded\n")
+        rc = main([plist_dir, "--suppressions", sup])
+        if rc == 0:
+            print("[self-test] suppressed diagnostic passes: OK")
+        else:
+            ok = False
+            print(f"[self-test] FAIL: suppressed diagnostic gave rc {rc}")
+
+        empty_dir = os.path.join(tmp, "none")
+        os.makedirs(empty_dir)
+        rc = main([empty_dir, "--suppressions", empty_sup])
+        if rc == 2:
+            print("[self-test] empty plist dir exits 2: OK")
+        else:
+            ok = False
+            print(f"[self-test] FAIL: empty plist dir gave rc {rc}")
+    print("scan-build-gate self-test: " + ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,58 +38,15 @@ import re
 import sys
 import tempfile
 
-SRC_DIRS = ("src", "tools", "bench")
+# Shared with the netpu-analyzer (tools/analysis/): one definition of the
+# file walk and the comment stripper so the two gates cannot drift apart on
+# what "the source tree" means.
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "analysis"))
+from cpp_model import strip_comments_keep_lines  # noqa: E402
+from repo_files import SRC_DIRS, find_files  # noqa: E402
+
 WAIVER = "lint:allow"
-
-
-def find_files(root, subdirs, exts):
-    out = []
-    for sub in subdirs:
-        base = os.path.join(root, sub)
-        if not os.path.isdir(base):
-            continue
-        for dirpath, _, names in os.walk(base):
-            for name in sorted(names):
-                if os.path.splitext(name)[1] in exts:
-                    out.append(os.path.join(dirpath, name))
-    return sorted(out)
-
-
-def strip_comments_keep_lines(text):
-    """Remove // and /* */ comment bodies while preserving line structure."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if ch == "/" and nxt == "/":
-            while i < n and text[i] != "\n":
-                i += 1
-        elif ch == "/" and nxt == "*":
-            i += 2
-            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
-                if text[i] == "\n":
-                    out.append("\n")
-                i += 1
-            i += 2
-        elif ch in "\"'":
-            quote = ch
-            out.append(ch)
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\":
-                    out.append(text[i : i + 2])
-                    i += 2
-                    continue
-                out.append(text[i])
-                i += 1
-            if i < n:
-                out.append(quote)
-                i += 1
-        else:
-            out.append(ch)
-            i += 1
-    return "".join(out)
 
 
 # --- rule: nodiscard-status -------------------------------------------------
@@ -202,7 +159,11 @@ def check_status_discard(root, names=None):
 
 # --- rule: mutex-annotation -------------------------------------------------
 
-MUTEX_DECL_RE = re.compile(r"^\s*(?:mutable\s+)?std::mutex\s+\w+\s*;")
+# Any std mutex flavour, declared with `;`, `{}` or `()` initialization.
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?std::"
+    r"(?:recursive_|timed_|shared_|recursive_timed_|shared_timed_)?mutex"
+    r"\s+\w+\s*(?:;|\{\s*\}\s*;|\(\s*\)\s*;)")
 
 
 def check_mutex_annotation(root):
@@ -218,7 +179,7 @@ def check_mutex_annotation(root):
                 continue
             findings.append(
                 (path, idx + 1, "mutex-annotation",
-                 "std::mutex declaration needs a lock-annotation comment "
+                 "mutex declaration needs a lock-annotation comment "
                  "(same line or line above) saying what it guards, e.g. "
                  "`// guards foo_, bar_`"))
     return findings
@@ -336,15 +297,22 @@ def self_test():
         expect("status-discard seeded", check_status_discard(root),
                "status-discard", 1)
 
-        # Seed: one annotated mutex (passes), one bare mutex (fails).
+        # Seed: annotated mutexes (pass) against a bare std::mutex, a bare
+        # shared_mutex, and a bare brace-initialized mutex (each must fail).
         _write(root, "src/x/locks.hpp",
-               "#pragma once\n#include <mutex>\nclass A {\n"
+               "#pragma once\n#include <mutex>\n#include <shared_mutex>\n"
+               "class A {\n"
                "  std::mutex good_;  // guards table_\n"
                "  // guards the free list and counters\n"
                "  std::mutex also_good_;\n"
-               "  std::mutex bad_;\n};\n")
+               "  std::shared_mutex rw_good_;  // guards the model map\n"
+               "  mutable std::recursive_mutex rec_good_;  // guards log_\n"
+               "  int spacer_ = 0;\n"
+               "  std::mutex bad_;\n"
+               "  std::shared_mutex rw_bad_;\n"
+               "  std::mutex brace_bad_{};\n};\n")
         expect("mutex seeded", check_mutex_annotation(root),
-               "mutex-annotation", 1)
+               "mutex-annotation", 3)
 
         # Seed: reinterpret_cast outside the serialization layers, one waived,
         # one inside src/data (allowed).

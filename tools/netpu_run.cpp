@@ -26,7 +26,7 @@
 #include <fstream>
 #include <string>
 
-#include "core/accelerator.hpp"
+#include "engine/accelerator.hpp"
 #include "hw/kernels.hpp"
 #include "engine/inference_engine.hpp"
 #include "engine/session.hpp"
